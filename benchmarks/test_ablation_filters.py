@@ -1,0 +1,65 @@
+"""Ablation — init/teardown filtering on vs. off (Sec. 5.3, item 2).
+
+Object construction writes members without locks on purpose; feeding
+those accesses into derivation drags relative support of true lock
+rules down.  The ablation quantifies how many winning write rules are
+weakened or flipped to "no lock" when the filter is disabled.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.report import render_table
+from repro.db.filters import FilterConfig
+from repro.db.importer import import_tracer
+from repro.kernel.vfs.groundtruth import (
+    GLOBAL_FUNCTION_BLACKLIST,
+    MEMBER_BLACKLIST,
+    build_filter_config,
+)
+
+
+def test_ablation_init_teardown_filter(benchmark, pipeline):
+    tracer = pipeline.mix.tracer
+    structs = pipeline.mix.world.rt.structs
+
+    no_init_filter = FilterConfig(
+        init_teardown_functions=set(),  # << the ablated knob
+        global_function_blacklist=set(GLOBAL_FUNCTION_BLACKLIST),
+        member_blacklist=set(MEMBER_BLACKLIST),
+    )
+    db_ablated = benchmark(import_tracer, tracer, structs, no_init_filter)
+    table_ablated = ObservationTable.from_database(db_ablated)
+    d_ablated = Derivator().derive(table_ablated)
+    d_normal = pipeline.derive()
+
+    flipped = []
+    weakened = 0
+    for type_key, member, access in d_normal.keys():
+        if access != "w":
+            continue
+        normal = d_normal.get(type_key, member, access)
+        ablated = d_ablated.get(type_key, member, access)
+        if normal.is_no_lock or ablated is None:
+            continue
+        if ablated.is_no_lock:
+            flipped.append([f"{type_key}.{member}", normal.rule.format()])
+        elif ablated.winner.s_r < normal.winner.s_r - 1e-9:
+            weakened += 1
+
+    emit(
+        "Ablation — init/teardown filter disabled",
+        render_table(
+            ["member", "true rule lost"],
+            flipped[:20],
+            title=(
+                f"{len(flipped)} write rules flip to 'no lock', "
+                f"{weakened} more lose support"
+            ),
+        ),
+    )
+    assert len(flipped) + weakened > 5
+    # the filter matters: it removes a large share of all accesses
+    kept_normal = pipeline.db.stats()["kept_accesses"]
+    kept_ablated = db_ablated.stats()["kept_accesses"]
+    assert kept_ablated > kept_normal

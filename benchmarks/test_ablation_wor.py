@@ -1,0 +1,50 @@
+"""Ablation — write-over-read folding on vs. off.
+
+The WoR heuristic (Tab. 1) exists because a transaction mixing reads
+and writes of one member was locked for the (stricter) write; counting
+the reads too would credit the write locks to read rules.  Disabling it
+must therefore *inflate* read observations under write locks and make
+lock-carrying read rules win where "no lock" (or a weaker lock) is the
+calibrated truth.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.report import render_table
+
+
+def test_ablation_write_over_read(benchmark, pipeline):
+    with_wor = pipeline.table
+    without_wor = benchmark(
+        ObservationTable.from_database, pipeline.db, True, False
+    )
+
+    d_with = Derivator().derive(with_wor)
+    d_without = Derivator().derive(without_wor)
+
+    changed = []
+    for type_key, member, access in d_with.keys():
+        if access != "r":
+            continue
+        a = d_with.get(type_key, member, access)
+        b = d_without.get(type_key, member, access)
+        if b is not None and a.rule != b.rule:
+            changed.append([f"{type_key}.{member}", a.rule.format(), b.rule.format()])
+
+    emit(
+        "Ablation — write-over-read",
+        render_table(["member", "with WoR", "without WoR"], changed[:20],
+                     title=f"{len(changed)} read rules change without WoR"),
+    )
+
+    # Without WoR, read-observation counts can only grow.
+    assert without_wor.total >= with_wor.total
+    grew = sum(
+        1
+        for (tk, m, at) in d_with.keys()
+        if at == "r"
+        and without_wor.observation_count(tk, m, at)
+        > with_wor.observation_count(tk, m, at)
+    )
+    assert grew > 10  # mixed transactions are common

@@ -1,0 +1,33 @@
+"""Extension — documentation patch generation.
+
+Sec. 5.5: generated rules "can replace currently documented but
+ambivalent/incorrect rules, or add new documentation".  The patch
+generator computes that diff; on the calibrated corpus it must propose
+updates for the stale inode rules (i_size under i_lock, ...) and adds
+for confidently-mined undocumented members.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.docdiff import DocAction, build_doc_patch
+from repro.doc.corpus import documented_rules
+
+
+def test_ext_docpatch(benchmark, pipeline):
+    derivation = pipeline.derive()
+
+    patch = benchmark(
+        build_doc_patch, derivation, documented_rules(), "inode"
+    )
+    emit("Extension — documentation patch for struct inode", patch.render())
+
+    counts = patch.summary()
+    assert counts["update"] >= 3  # the stale Tab. 5 rules
+    assert counts["add"] >= 5  # confidently mined, undocumented members
+    assert counts["review"] >= 1  # documented but unobserved (#No)
+    assert counts["keep"] >= 2  # i_bytes/i_state writes
+
+    # the famously stale i_size rule is proposed for update
+    updates = {
+        (e.member, e.access_type) for e in patch.by_action(DocAction.UPDATE)
+    }
+    assert ("i_size", "w") in updates

@@ -1,0 +1,33 @@
+"""Extension — lock-order analysis (the lockdep-style companion).
+
+The paper discusses Linux's lockdep (Sec. 3.2) as the in-situ
+complement to LockDoc; this extension builds the same acquisition-order
+model ex-post from a LockDoc trace.  The simulated kernel's ground
+truth is deadlock-free, so the benchmark trace must contain a rich
+order graph but no ABBA inversions.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.lockorder import build_lock_order, format_class
+
+
+def test_ext_lockorder(benchmark, pipeline):
+    report = benchmark(build_lock_order, pipeline.db)
+    emit("Extension — lock-order graph", report.render(limit=15))
+
+    assert report.edge_count > 10
+    assert report.inversions == []
+
+    # Known orders from the ground truth show up as edges.
+    edges = {
+        (format_class(before), format_class(after))
+        for before, after in report.edges
+    }
+    assert ("inode_hash_lock", "inode.i_lock") in edges
+    assert ("inode.i_rwsem", "inode.i_size_seqcount") in edges
+    assert ("journal_head.b_state_lock", "journal_t.j_list_lock") in edges
+
+    # The hand-written LRU paths nest i_lock before the global LRU lock.
+    a = ("embedded", "inode", "i_lock")
+    lru = ("global", "inode_lru_lock", None)
+    assert report.dominant_order(a, lru) == (a, lru)

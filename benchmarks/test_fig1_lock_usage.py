@@ -1,0 +1,26 @@
+"""Fig. 1 — lock usage and LoC growth, Linux v3.0 .. v4.18.
+
+Regenerates the growth series from the synthetic source corpus and
+checks the paper-stated growth factors (+81 % mutex, +45 % spinlock,
++73 % LoC, spinlock dip near the end).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig1
+from repro.kernelsrc.generator import generate_tree
+from repro.kernelsrc.model import KERNEL_VERSIONS
+from repro.kernelsrc.scanner import scan_tree
+
+
+def test_fig1_lock_usage(benchmark):
+    result = fig1.run(stride=2)
+
+    def scan_one_release():
+        return scan_tree(generate_tree(KERNEL_VERSIONS[-1]))
+
+    benchmark(scan_one_release)
+    emit("Fig. 1 — lock usage and LoC growth", result.render())
+    assert abs(result.growth("mutex") - 1.81) < 0.15
+    assert abs(result.growth("spinlock") - 1.45) < 0.12
+    assert abs(result.growth("loc") - 1.73) < 0.10
+    assert result.peak_version("spinlock") != result.series[-1]["version"]

@@ -1,0 +1,29 @@
+"""Fig. 7 — fraction of "no lock" winners vs. the accept threshold."""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.experiments import fig7
+
+
+def test_fig7_threshold_sweep(benchmark, pipeline):
+    result = fig7.run(seed=0, scale=BENCH_SCALE)
+
+    def sweep_once():
+        # one full re-derivation at a non-default threshold (uncached)
+        from repro.core.derivator import Derivator
+
+        return Derivator(accept_threshold=0.8).derive(pipeline.table)
+
+    benchmark(sweep_once)
+    emit("Fig. 7 — 'no lock' winners vs t_ac", result.render())
+
+    # weakly monotonic growth with t_ac for every series
+    for (type_key, access), points in result.series.items():
+        values = [f for _, f in points if f is not None]
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier - 1e-9, (type_key, access)
+
+    # fractions level off below 100 % for several types
+    finals = [
+        pts[-1][1] for pts in result.series.values() if pts[-1][1] is not None
+    ]
+    assert sum(1 for f in finals if f < 1.0) >= 5

@@ -1,0 +1,18 @@
+"""Fig. 8 — generated locking documentation for fs/inode.c."""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.core.docgen import DocOptions, generate_doc
+from repro.experiments import fig8
+
+
+def test_fig8_docgen(benchmark, pipeline):
+    result = fig8.run(seed=0, scale=BENCH_SCALE)
+    derivation = pipeline.derive()
+    benchmark(generate_doc, derivation, "inode:ext4", DocOptions())
+    emit("Fig. 8 — generated inode locking documentation", result.render())
+    assert result.contains_expected()
+    # kernel-comment shape
+    assert result.documentation.startswith("/*")
+    assert result.documentation.rstrip().endswith("*/")
+    # the no-lock paragraph and at least three distinct lock paragraphs
+    assert result.documentation.count("protects") >= 3

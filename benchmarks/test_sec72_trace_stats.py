@@ -1,0 +1,34 @@
+"""Sec. 7.2 — tracing and post-processing statistics.
+
+Also benchmarks the two heavy pipeline stages themselves: running the
+benchmark mix (the paper's 34-minute monitoring phase) and importing
+the trace into the database (the paper's 8-minute import).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.db.importer import import_tracer
+from repro.experiments import stats
+from repro.kernel.vfs.groundtruth import build_filter_config
+from repro.workloads.mix import BenchmarkMix
+
+
+def test_sec72_trace_stats(benchmark, pipeline):
+    result = stats.run(seed=0, scale=BENCH_SCALE)
+    emit("Sec. 7.2 — trace statistics", result.render())
+
+    benchmark(
+        lambda: import_tracer(
+            pipeline.mix.tracer, pipeline.mix.world.rt.structs, build_filter_config()
+        )
+    )
+
+    # proportions that must match the paper's run
+    assert result.trace["accesses"] > result.trace["lock_ops"]
+    assert result.db["embedded_locks"] > result.db["static_locks"] * 50
+    assert result.db["kept_accesses"] < result.db["accesses"]
+    assert result.trace["allocs"] >= result.trace["frees"]
+
+
+def test_monitoring_phase_runtime(benchmark):
+    """The monitoring phase itself (small scale, fresh run each round)."""
+    benchmark(lambda: BenchmarkMix(seed=1, scale=0.5).run())

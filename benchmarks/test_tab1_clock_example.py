@@ -1,0 +1,10 @@
+"""Tab. 1 — the clock-counter access matrix (observed/folded/WoR)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import tab1
+
+
+def test_tab1_clock_example(benchmark):
+    result = benchmark(tab1.run)
+    emit("Tab. 1 — clock example accesses", result.render())
+    assert result.matrix == tab1.PAPER_TAB1

@@ -1,0 +1,23 @@
+"""Tab. 2 — hypotheses for writing `minutes` with s_a / s_r.
+
+The headline methodological result: support values match the paper
+exactly, LockDoc's selection picks the true rule, the naive strategy
+does not.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import tab2
+
+
+def test_tab2_hypotheses(benchmark):
+    result = benchmark(tab2.run)
+    emit("Tab. 2 — locking hypotheses for `minutes` writes", result.render())
+    got = {
+        h.rule.format(): (h.s_a, round(h.s_r * 100, 2)) for h in result.hypotheses
+    }
+    for rule, s_a, s_r in tab2.PAPER_TAB2:
+        assert got[rule] == (s_a, s_r), rule
+    assert result.selection.winner.rule.format() == (
+        "ES(sec_lock in clock) -> ES(min_lock in clock)"
+    )
+    assert result.naive.rule.format() == "ES(sec_lock in clock)"

@@ -1,0 +1,30 @@
+"""Tab. 6 — mined locking rules per data type and inode subclass."""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.core.derivator import Derivator
+from repro.experiments import tab6
+
+
+def test_tab6_rule_mining(benchmark, pipeline):
+    result = tab6.run(seed=0, scale=BENCH_SCALE)
+    benchmark(lambda: Derivator().derive(pipeline.table))
+    emit("Tab. 6 — mined locking rules", result.render())
+
+    # static columns are exact
+    for type_key, (members, _bl, *_unused) in tab6.PAPER_TAB6.items():
+        assert result.row(type_key).members == members, type_key
+
+    # shape: lock-free reads far outnumber lock-free writes
+    nl_r = sum(r.no_lock_r for r in result.rows)
+    nl_w = sum(r.no_lock_w for r in result.rows)
+    rules_r = sum(r.rules_r for r in result.rows)
+    rules_w = sum(r.rules_w for r in result.rows)
+    assert nl_r / rules_r > 1.5 * (nl_w / rules_w)
+
+    # shape: subclass coverage ordering — ext4 rich, debugfs near-zero
+    assert result.row("inode:ext4").rules_r >= 30
+    debugfs = result.row("inode:debugfs")
+    assert debugfs.rules_r + debugfs.rules_w <= 4
+
+    # clean JBD2 shapes: journal_head has no lock-free write rules
+    assert result.row("journal_head").no_lock_w == 0

@@ -1,0 +1,29 @@
+"""Tab. 7 — summary of locking-rule violations."""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.core.violations import ViolationFinder
+from repro.experiments import tab7
+
+
+def test_tab7_violations(benchmark, pipeline):
+    result = tab7.run(seed=0, scale=BENCH_SCALE)
+    derivation = pipeline.derive()
+    benchmark(lambda: ViolationFinder(derivation, pipeline.table).find())
+    emit("Tab. 7 — locking-rule violations", result.render())
+
+    # buffer_head dominates (paper: 45 325 of 52 452 events)
+    buffer_head = result.events_for("buffer_head")
+    assert buffer_head == max(s.events for s in result.summaries)
+
+    # the paper's zero rows stay zero
+    for type_key in tab7.PAPER_ZERO_TYPES:
+        assert result.events_for(type_key) == 0, type_key
+
+    # the paper's hot types are non-zero
+    for type_key in ("journal_t", "inode:rootfs", "inode:ext4", "inode:tmpfs",
+                     "dentry", "pipe_inode_info"):
+        assert result.events_for(type_key) > 0, type_key
+
+    # violations are a small fraction of all accesses (paper ~0.4 %)
+    kept = pipeline.db.stats()["kept_accesses"]
+    assert result.total_events / kept < 0.05

@@ -1,0 +1,27 @@
+"""Tab. 8 — the three violation examples, with exact lock shapes."""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.experiments import tab8
+
+
+def test_tab8_violation_examples(benchmark):
+    result = benchmark(tab8.run, seed=0, scale=BENCH_SCALE)
+    emit("Tab. 8 — violation examples", result.render())
+    assert result.found_all(), result.render()
+
+    i_hash, jbd2_row, d_subdirs = result.examples
+
+    held = [r.format() for r in i_hash.held]
+    assert "inode_hash_lock" in held
+    assert "EO(i_lock in inode)" in held
+    assert i_hash.sample.file == "fs/inode.c"
+
+    held = [r.format() for r in jbd2_row.held]
+    assert "ES(j_state_lock in journal_t):r" in held
+    assert jbd2_row.sample.file == "fs/ext4/inode.c"
+    assert jbd2_row.sample.line == 4685
+
+    held = [r.format() for r in d_subdirs.held]
+    assert "rcu:r" in held
+    assert "EO(i_rwsem in inode):r" in held
+    assert d_subdirs.sample.file == "fs/libfs.c"

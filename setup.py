@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-build-isolation`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP 660 editable path is unavailable; this file enables the classic
+`setup.py develop` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""LockDoc reproduction: trace-based analysis of locking rules.
+
+Reproduces "LockDoc: Trace-Based Analysis of Locking in the Linux
+Kernel" (EuroSys 2019) as a pure-Python system:
+
+* :mod:`repro.kernel`      — the simulated, instrumented kernel
+* :mod:`repro.tracing`     — the monitoring/tracing phase (phase 1)
+* :mod:`repro.db`          — trace post-processing and storage
+* :mod:`repro.core`        — rule derivation + analysis tools (phases 2/3)
+* :mod:`repro.workloads`   — the benchmark mix
+* :mod:`repro.doc`         — documented-rule corpus and comment parser
+* :mod:`repro.kernelsrc`   — synthetic source corpus (Fig. 1)
+* :mod:`repro.experiments` — one module per paper table/figure
+
+Quickstart::
+
+    from repro.experiments.common import get_pipeline
+
+    pipeline = get_pipeline(seed=0, scale=5.0)
+    rules = pipeline.derive()
+    print(rules.get("inode:ext4", "i_state", "w").winner.format())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,324 @@
+"""Command-line interface: ``lockdoc <command>``.
+
+Commands mirror the paper's pipeline and analysis tools:
+
+=============  =====================================================
+``trace``      run the benchmark mix, write the trace to a file
+``derive``     run rule derivation, print winners per member
+``check``      check the documented-rule corpus (Tab. 4 summary)
+``docgen``     print generated locking documentation (Fig. 8 style)
+``violations`` print the rule-violation summary (Tab. 7)
+``experiment`` regenerate a specific table/figure by name
+``stats``      trace statistics (Sec. 7.2)
+``analyze``    derive rules from a previously saved trace file
+``lockorder``  lockdep-style lock-order graph and ABBA candidates
+``docpatch``   documentation patch: keep/update/add/review per member
+``sql``        export the trace database to SQLite (Fig. 6 schema)
+``contention`` Lockmeter-style lock-usage statistics
+``relations``  object-relation classification of EO rules (Sec. 8)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.checker import check_rules, summarize as summarize_checks
+from repro.core.docgen import DocOptions, generate_doc
+from repro.core.report import render_table
+from repro.core.violations import ViolationFinder, summarize as summarize_violations
+from repro.doc.corpus import documented_rules
+from repro.experiments import common as experiments_common
+
+_EXPERIMENTS = (
+    "fig1", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
+    "fig7", "tab7", "tab8", "fig8", "stats",
+)
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--scale", type=float, default=experiments_common.DEFAULT_SCALE,
+        help="workload scale factor",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lockdoc",
+        description="LockDoc reproduction: trace-based locking-rule analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="run the benchmark mix and save the trace")
+    _add_pipeline_args(trace)
+    trace.add_argument("output", help="trace file (.txt for text, .bin for binary)")
+
+    derive = sub.add_parser("derive", help="derive locking rules")
+    _add_pipeline_args(derive)
+    derive.add_argument("--type", default="", help="restrict to one type key")
+    derive.add_argument(
+        "--threshold", type=float, default=0.9, help="accept threshold t_ac"
+    )
+    derive.add_argument(
+        "--json", default="", metavar="FILE",
+        help="also write the machine-readable rule export (summary mode)",
+    )
+
+    check = sub.add_parser("check", help="check documented rules (Tab. 4)")
+    _add_pipeline_args(check)
+
+    docgen = sub.add_parser("docgen", help="generate documentation (Fig. 8)")
+    _add_pipeline_args(docgen)
+    docgen.add_argument("--type", default="inode:ext4", help="type key to document")
+
+    violations = sub.add_parser("violations", help="find rule violations (Tab. 7)")
+    _add_pipeline_args(violations)
+    violations.add_argument(
+        "--examples", type=int, default=0, help="also print the N largest violations"
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    _add_pipeline_args(experiment)
+
+    stats = sub.add_parser("stats", help="trace statistics (Sec. 7.2)")
+    _add_pipeline_args(stats)
+
+    analyze = sub.add_parser(
+        "analyze", help="derive rules from a saved trace file"
+    )
+    analyze.add_argument("trace", help="trace file written by `lockdoc trace`")
+    analyze.add_argument("--type", default="", help="restrict to one type key")
+    analyze.add_argument("--threshold", type=float, default=0.9)
+
+    lockorder = sub.add_parser(
+        "lockorder", help="lock-order graph + ABBA candidates"
+    )
+    _add_pipeline_args(lockorder)
+
+    docpatch = sub.add_parser(
+        "docpatch", help="documentation patch (keep/update/add/review)"
+    )
+    _add_pipeline_args(docpatch)
+    docpatch.add_argument("--type", default="inode", help="base data type")
+
+    sql = sub.add_parser("sql", help="export the trace database to SQLite")
+    _add_pipeline_args(sql)
+    sql.add_argument("output", help="SQLite file to write")
+
+    contention = sub.add_parser(
+        "contention", help="Lockmeter-style lock-usage statistics"
+    )
+    _add_pipeline_args(contention)
+    contention.add_argument("--limit", type=int, default=12)
+
+    relations = sub.add_parser(
+        "relations", help="object-relation classification of EO rules"
+    )
+    _add_pipeline_args(relations)
+
+    return parser
+
+
+def _cmd_trace(args) -> int:
+    from repro.tracing import serialize
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    tracer = pipeline.mix.tracer
+    if args.output.endswith(".bin"):
+        with open(args.output, "wb") as fp:
+            serialize.dump_binary(tracer, fp)
+    else:
+        with open(args.output, "w") as fp:
+            serialize.dump_text(tracer, fp)
+    print(f"wrote {len(tracer.events)} events to {args.output}")
+    return 0
+
+
+def _cmd_derive(args) -> int:
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    derivation = pipeline.derive(args.threshold)
+    if args.json:
+        from repro.core.rulesio import rules_to_json
+
+        with open(args.json, "w") as fp:
+            fp.write(rules_to_json(derivation))
+        print(f"wrote rule export to {args.json}")
+    rows = []
+    for d in derivation.all():
+        if args.type and d.type_key != args.type:
+            continue
+        rows.append(
+            [d.type_key, d.member, d.access_type, d.rule.format(),
+             f"{d.winner.s_r:.2%}", d.observation_count]
+        )
+    print(render_table(
+        ["type", "member", "r/w", "winning rule", "s_r", "n"], rows,
+        title=f"derived locking rules (t_ac={args.threshold})",
+    ))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    results = check_rules(pipeline.table, documented_rules())
+    rows = [
+        [s.data_type, s.rules, s.unobserved, s.observed, s.correct,
+         s.ambivalent, s.incorrect]
+        for s in summarize_checks(results)
+    ]
+    print(render_table(
+        ["type", "#R", "#No", "#Ob", "correct", "ambivalent", "incorrect"],
+        rows, title="documented-rule check (Tab. 4)",
+    ))
+    return 0
+
+
+def _cmd_docgen(args) -> int:
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    derivation = pipeline.derive()
+    print(generate_doc(derivation, args.type, DocOptions()))
+    return 0
+
+
+def _cmd_violations(args) -> int:
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    derivation = pipeline.derive()
+    violations = ViolationFinder(derivation, pipeline.table).find()
+    rows = [
+        [s.type_key, s.events, s.members, s.contexts]
+        for s in summarize_violations(violations)
+    ]
+    print(render_table(
+        ["type", "events", "members", "contexts"], rows,
+        title="locking-rule violations (Tab. 7)",
+    ))
+    for violation in violations[: args.examples]:
+        print(violation.format())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.name in ("fig1", "tab1", "tab2"):
+        result = module.run()
+    else:
+        result = module.run(seed=args.seed, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.experiments import stats as stats_mod
+
+    print(stats_mod.run(seed=args.seed, scale=args.scale).render())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.derivator import Derivator
+    from repro.core.observations import ObservationTable
+    from repro.db.importer import import_trace
+    from repro.kernel.vfs.groundtruth import build_filter_config
+    from repro.kernel.vfs.layouts import build_struct_registry
+    from repro.tracing import serialize
+
+    if args.trace.endswith(".bin"):
+        with open(args.trace, "rb") as fp:
+            events, stacks = serialize.load_binary(fp)
+    else:
+        with open(args.trace) as fp:
+            events, stacks = serialize.load_text(fp)
+    db = import_trace(events, stacks, build_struct_registry(), build_filter_config())
+    table = ObservationTable.from_database(db)
+    derivation = Derivator(args.threshold).derive(table)
+    rows = [
+        [d.type_key, d.member, d.access_type, d.rule.format(),
+         f"{d.winner.s_r:.2%}"]
+        for d in derivation.all()
+        if not args.type or d.type_key == args.type
+    ]
+    print(render_table(
+        ["type", "member", "r/w", "winning rule", "s_r"], rows,
+        title=f"rules derived from {args.trace} ({len(events)} events)",
+    ))
+    return 0
+
+
+def _cmd_lockorder(args) -> int:
+    from repro.core.lockorder import build_lock_order
+
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    print(build_lock_order(pipeline.db).render())
+    return 0
+
+
+def _cmd_docpatch(args) -> int:
+    from repro.core.docdiff import build_doc_patch
+
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    patch = build_doc_patch(pipeline.derive(), documented_rules(), args.type)
+    print(patch.render())
+    return 0
+
+
+def _cmd_contention(args) -> int:
+    from repro.core.contention import build_contention
+
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    report = build_contention(pipeline.mix.tracer.events, pipeline.db)
+    print(report.render(limit=args.limit))
+    return 0
+
+
+def _cmd_relations(args) -> int:
+    from repro.core.relations import analyze_relations
+
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    report = analyze_relations(pipeline.derive(), pipeline.table, pipeline.db)
+    print(report.render())
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from repro.db.sqlbackend import export_sqlite, table_counts
+
+    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    connection = export_sqlite(pipeline.db, args.output)
+    counts = table_counts(connection)
+    connection.close()
+    rows = sorted(counts.items())
+    print(render_table(["table", "rows"], rows, title=f"exported {args.output}"))
+    return 0
+
+
+_HANDLERS = {
+    "trace": _cmd_trace,
+    "derive": _cmd_derive,
+    "check": _cmd_check,
+    "docgen": _cmd_docgen,
+    "violations": _cmd_violations,
+    "experiment": _cmd_experiment,
+    "stats": _cmd_stats,
+    "analyze": _cmd_analyze,
+    "lockorder": _cmd_lockorder,
+    "docpatch": _cmd_docpatch,
+    "sql": _cmd_sql,
+    "contention": _cmd_contention,
+    "relations": _cmd_relations,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse arguments and dispatch to a handler."""
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""The Locking-Rule Checker (Sec. 5.5, evaluated in Sec. 7.3).
+
+Takes the officially *documented* locking rules and measures each
+against the trace: absolute and relative support, then classification
+
+* **correct**     — ``s_r = 1``: every observation follows the rule,
+* **ambivalent**  — ``0 < s_r < 1``: inconsistently followed,
+* **incorrect**   — ``s_r = 0``: never followed,
+* **unobserved**  — the benchmark never touched the member (column #No
+  of Tab. 4).
+
+Documented rules speak about a base data type (``inode``), so support
+is measured over the merged observations of all subclasses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.observations import ObservationTable
+from repro.core.rules import LockingRule, support
+from repro.doc.model import DocumentedRule, expand_rules
+
+
+class RuleStatus(enum.Enum):
+    """Checker verdict for one documented rule (Sec. 5.5)."""
+    CORRECT = "correct"
+    AMBIVALENT = "ambivalent"
+    INCORRECT = "incorrect"
+    UNOBSERVED = "unobserved"
+
+    @property
+    def symbol(self) -> str:
+        return {
+            RuleStatus.CORRECT: "+",
+            RuleStatus.AMBIVALENT: "~",
+            RuleStatus.INCORRECT: "-",
+            RuleStatus.UNOBSERVED: "?",
+        }[self]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict for one documented rule and one access type."""
+
+    documented: DocumentedRule
+    access_type: str
+    rule: LockingRule
+    s_a: int
+    total: int
+    status: RuleStatus
+
+    @property
+    def s_r(self) -> float:
+        return self.s_a / self.total if self.total else 0.0
+
+    def format(self) -> str:
+        return (
+            f"{self.documented.data_type}.{self.documented.member} "
+            f"[{self.access_type}] {self.rule.format()}: "
+            f"s_r={self.s_r:.2%} -> {self.status.value}"
+        )
+
+
+@dataclass
+class CheckSummary:
+    """Tab. 4 row: verdict counts for one data type."""
+
+    data_type: str
+    rules: int  # #R
+    unobserved: int  # #No
+    observed: int  # #Ob
+    correct: int
+    ambivalent: int
+    incorrect: int
+
+    def fraction(self, status: RuleStatus) -> float:
+        if self.observed == 0:
+            return 0.0
+        count = {
+            RuleStatus.CORRECT: self.correct,
+            RuleStatus.AMBIVALENT: self.ambivalent,
+            RuleStatus.INCORRECT: self.incorrect,
+        }[status]
+        return count / self.observed
+
+
+def check_rule(
+    table: ObservationTable,
+    documented: DocumentedRule,
+    access_type: str,
+    rule: LockingRule,
+) -> CheckResult:
+    """Measure one documented rule against the observation table."""
+    sequences = table.merged_sequences(documented.data_type, documented.member, access_type)
+    s_a, total = support(sequences, rule)
+    if total == 0:
+        status = RuleStatus.UNOBSERVED
+    elif s_a == total:
+        status = RuleStatus.CORRECT
+    elif s_a == 0:
+        status = RuleStatus.INCORRECT
+    else:
+        status = RuleStatus.AMBIVALENT
+    return CheckResult(
+        documented=documented,
+        access_type=access_type,
+        rule=rule,
+        s_a=s_a,
+        total=total,
+        status=status,
+    )
+
+
+def check_rules(
+    table: ObservationTable, rules: Sequence[DocumentedRule]
+) -> List[CheckResult]:
+    """Check every documented rule (expanding ``rw`` entries)."""
+    results = []
+    for documented, access_type, rule in expand_rules(list(rules)):
+        results.append(check_rule(table, documented, access_type, rule))
+    return results
+
+
+def summarize(results: Sequence[CheckResult]) -> List[CheckSummary]:
+    """Aggregate check results into Tab. 4 rows (one per data type)."""
+    by_type: Dict[str, List[CheckResult]] = {}
+    for result in results:
+        by_type.setdefault(result.documented.data_type, []).append(result)
+    summaries = []
+    for data_type in sorted(by_type):
+        rows = by_type[data_type]
+        unobserved = sum(1 for r in rows if r.status == RuleStatus.UNOBSERVED)
+        summaries.append(
+            CheckSummary(
+                data_type=data_type,
+                rules=len(rows),
+                unobserved=unobserved,
+                observed=len(rows) - unobserved,
+                correct=sum(1 for r in rows if r.status == RuleStatus.CORRECT),
+                ambivalent=sum(1 for r in rows if r.status == RuleStatus.AMBIVALENT),
+                incorrect=sum(1 for r in rows if r.status == RuleStatus.INCORRECT),
+            )
+        )
+    return summaries

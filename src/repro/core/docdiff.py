@@ -1,0 +1,172 @@
+"""Documentation patch generator.
+
+Phase 3's documentation generator "can, e.g., replace currently
+documented but ambivalent/incorrect rules, or add new documentation for
+data-structure members that were not documented before" (Sec. 5.5).
+This module computes that diff explicitly: given the documented-rule
+corpus and a derivation result, classify every member into
+
+* ``KEEP``     — documentation matches the mined rule,
+* ``UPDATE``   — documented, but the mined rule differs (stale docs),
+* ``ADD``      — mined with good support, not documented at all,
+* ``REVIEW``   — documented, but the member was never observed (cannot
+  confirm; flagged for expert review, like the paper's #No column),
+
+and render the result as a reviewable patch proposal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.derivator import DerivationResult
+from repro.core.rules import LockingRule
+from repro.doc.model import DocumentedRule, expand_rules
+
+
+class DocAction(enum.Enum):
+    """What the documentation patch proposes for a member."""
+    KEEP = "keep"
+    UPDATE = "update"
+    ADD = "add"
+    REVIEW = "review"
+
+
+@dataclass
+class DocPatchEntry:
+    """One proposed documentation change for one member/access."""
+    data_type: str
+    member: str
+    access_type: str
+    action: DocAction
+    documented: Optional[LockingRule]
+    mined: Optional[LockingRule]
+    support: Optional[float]  # mined winner's s_r
+    source: str = ""  # where the stale documentation lives
+
+    def format(self) -> str:
+        if self.action == DocAction.KEEP:
+            return (
+                f"  KEEP   {self.member} [{self.access_type}]: "
+                f"{self.documented.format()}"
+            )
+        if self.action == DocAction.UPDATE:
+            return (
+                f"- {self.member} [{self.access_type}]: {self.documented.format()}"
+                f"   ({self.source})\n"
+                f"+ {self.member} [{self.access_type}]: {self.mined.format()}"
+                f"   (s_r={self.support:.1%})"
+            )
+        if self.action == DocAction.ADD:
+            return (
+                f"+ {self.member} [{self.access_type}]: {self.mined.format()}"
+                f"   (s_r={self.support:.1%}, previously undocumented)"
+            )
+        return (
+            f"? {self.member} [{self.access_type}]: {self.documented.format()}"
+            f"   (never observed; needs expert review)"
+        )
+
+
+@dataclass
+class DocPatch:
+    """All proposed documentation changes for one data type."""
+    data_type: str
+    entries: List[DocPatchEntry]
+
+    def by_action(self, action: DocAction) -> List[DocPatchEntry]:
+        return [e for e in self.entries if e.action == action]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            action.value: len(self.by_action(action)) for action in DocAction
+        }
+
+    def render(self, include_keep: bool = False) -> str:
+        lines = [f"documentation patch for struct {self.data_type}:"]
+        for action in (DocAction.UPDATE, DocAction.ADD, DocAction.REVIEW):
+            entries = self.by_action(action)
+            if not entries:
+                continue
+            lines.append(f"-- {action.value} ({len(entries)}) --")
+            for entry in entries:
+                lines.append(entry.format())
+        if include_keep:
+            keeps = self.by_action(DocAction.KEEP)
+            lines.append(f"-- keep ({len(keeps)}) --")
+            lines.extend(entry.format() for entry in keeps)
+        counts = self.summary()
+        lines.append(
+            f"totals: keep {counts['keep']}, update {counts['update']}, "
+            f"add {counts['add']}, review {counts['review']}"
+        )
+        return "\n".join(lines)
+
+
+def build_doc_patch(
+    derivation: DerivationResult,
+    documented: Sequence[DocumentedRule],
+    data_type: str,
+    type_keys: Optional[Sequence[str]] = None,
+    min_support: float = 0.9,
+) -> DocPatch:
+    """Diff mined rules against the documentation for *data_type*.
+
+    ``type_keys`` selects which derivation keys represent this data
+    type (e.g. ``["inode:ext4"]`` or all subclasses); by default every
+    key whose base type matches is merged, with the best-supported
+    winner per member/access kept.
+    """
+    if type_keys is None:
+        prefix = data_type + ":"
+        type_keys = [
+            tk
+            for tk in derivation.type_keys()
+            if tk == data_type or tk.startswith(prefix)
+        ]
+
+    # best mined winner per (member, access)
+    mined: Dict[Tuple[str, str], Tuple[LockingRule, float]] = {}
+    for type_key in type_keys:
+        for d in derivation.for_type(type_key):
+            key = (d.member, d.access_type)
+            current = mined.get(key)
+            if current is None or d.winner.s_r > current[1]:
+                mined[key] = (d.rule, d.winner.s_r)
+
+    documented_map: Dict[Tuple[str, str], Tuple[DocumentedRule, LockingRule]] = {}
+    for origin, access_type, rule in expand_rules(
+        [r for r in documented if r.data_type == data_type]
+    ):
+        documented_map[(origin.member, access_type)] = (origin, rule)
+
+    entries: List[DocPatchEntry] = []
+    for key in sorted(set(mined) | set(documented_map)):
+        member, access_type = key
+        mined_entry = mined.get(key)
+        doc_entry = documented_map.get(key)
+        if doc_entry is None:
+            rule, support = mined_entry
+            if support < min_support or rule.is_no_lock:
+                continue  # only add confident, non-trivial rules
+            entries.append(
+                DocPatchEntry(data_type, member, access_type, DocAction.ADD,
+                              None, rule, support)
+            )
+        elif mined_entry is None:
+            origin, rule = doc_entry
+            entries.append(
+                DocPatchEntry(data_type, member, access_type, DocAction.REVIEW,
+                              rule, None, None, origin.source)
+            )
+        else:
+            origin, doc_rule = doc_entry
+            rule, support = mined_entry
+            action = DocAction.KEEP if rule == doc_rule else DocAction.UPDATE
+            entries.append(
+                DocPatchEntry(data_type, member, access_type, action,
+                              doc_rule, rule, support, origin.source)
+            )
+    return DocPatch(data_type=data_type, entries=entries)

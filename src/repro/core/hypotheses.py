@@ -1,0 +1,96 @@
+"""Locking-rule hypothesis enumeration and support counting (Sec. 4.3, 5.4).
+
+For each derivation target (member × access type) the derivator
+enumerates candidate locking rules.  Iterating over *all possible* lock
+combinations is infeasible; instead — exactly like the paper — we
+iterate over the *observed* lock combinations (transactions) and
+enumerate every ordered subset of each combination.  This guarantees
+every hypothesis with ``s_a >= 1`` is produced.
+
+Each hypothesis carries:
+
+* ``s_a`` — absolute support: number of observations complying with it,
+* ``s_r`` — relative support: ``s_a`` divided by the number of
+  observations of the member (Tab. 2).
+
+The "no lock needed" hypothesis (the empty rule) is always enumerated
+and — complying with everything — always has ``s_r = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.lockrefs import LockSeq
+from repro.core.rules import LockingRule, complies
+
+#: Safety valve: ordered subsets of a k-lock combination number
+#: sum_i C(k,i)·i!; combinations beyond this many locks are truncated to
+#: their prefixes of this length (k is tiny in practice — the paper's
+#: transactions rarely hold more than 4-5 relevant locks).
+MAX_RULE_LOCKS = 4
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A candidate locking rule with its measured support."""
+
+    rule: LockingRule
+    s_a: int
+    total: int
+
+    @property
+    def s_r(self) -> float:
+        return self.s_a / self.total if self.total else 0.0
+
+    def format(self) -> str:
+        return f"{self.rule.format()}  (s_a={self.s_a}, s_r={self.s_r:.2%})"
+
+
+def enumerate_rules(
+    sequences: Iterable[LockSeq], max_locks: int = MAX_RULE_LOCKS
+) -> List[LockingRule]:
+    """All candidate rules for the observed lock *sequences*.
+
+    Every ordered subset (all subsets, all orders) of every observed
+    combination, plus the empty "no lock" rule.  Duplicates collapse.
+    """
+    rules: Dict[LockingRule, None] = {LockingRule.no_lock(): None}
+    for sequence in sequences:
+        locks = tuple(dict.fromkeys(sequence))  # defensive dedup
+        top = min(len(locks), max_locks)
+        for size in range(1, top + 1):
+            for subset in combinations(locks, size):
+                for order in permutations(subset):
+                    rules.setdefault(LockingRule(order), None)
+    return list(rules)
+
+
+def score(
+    rules: Sequence[LockingRule],
+    observations: Sequence[Tuple[LockSeq, int]],
+) -> List[Hypothesis]:
+    """Measure s_a/s_r of each rule over ``(lockseq, count)`` observations."""
+    total = sum(count for _, count in observations)
+    hypotheses = []
+    for rule in rules:
+        s_a = sum(count for seq, count in observations if complies(seq, rule))
+        hypotheses.append(Hypothesis(rule=rule, s_a=s_a, total=total))
+    return hypotheses
+
+
+def enumerate_and_score(
+    observations: Sequence[Tuple[LockSeq, int]],
+    max_locks: int = MAX_RULE_LOCKS,
+) -> List[Hypothesis]:
+    """Convenience: enumerate rules from observations and score them.
+
+    The result is sorted by decreasing ``s_a``, then by fewer locks,
+    then textually — a stable, human-friendly report order (Tab. 2).
+    """
+    rules = enumerate_rules((seq for seq, _ in observations), max_locks)
+    hypotheses = score(rules, observations)
+    hypotheses.sort(key=lambda h: (-h.s_a, len(h.rule), h.rule.format()))
+    return hypotheses

@@ -1,0 +1,164 @@
+"""Lock-order analysis: the lockdep-style companion tool.
+
+The paper motivates LockDoc partly with dead-/livelocks caused by wrong
+lock *ordering* (Sec. 2.3) and discusses Linux's in-situ lockdep
+validator (Sec. 3.2), which builds a model of valid acquisition orders
+per lock class.  This module provides the ex-post equivalent over a
+LockDoc trace:
+
+* build the **lock-order graph**: a directed edge A → B for every
+  transaction that acquired lock class B while holding A (lock classes
+  are the same abstraction as rule lock references: global name, or
+  (struct, member) for embedded locks),
+* detect **order inversions**: pairs observed in both directions — the
+  classic ABBA deadlock candidate lockdep warns about,
+* report each edge with its witness count and one example context.
+
+Same-class nesting (e.g. taking two different instances of
+``inode.i_lock``) is reported separately: lockdep would require a
+nesting annotation for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.db.database import TraceDatabase
+
+#: A lock class: ("global", name, None) or ("embedded", owner_type, member).
+LockClassKey = Tuple[str, str, Optional[str]]
+
+
+def _class_of(db: TraceDatabase, lock_id: int) -> Optional[LockClassKey]:
+    lock = db.locks.get(lock_id)
+    if lock is None:
+        return None
+    if lock.is_static or lock.owner_alloc_id is None:
+        return ("global", lock.name, None)
+    return ("embedded", lock.owner_data_type or "?", lock.owner_member or lock.name)
+
+
+def format_class(key: LockClassKey) -> str:
+    """Human-readable name of a lock class key."""
+    kind, name, member = key
+    if kind == "global":
+        return name
+    return f"{name}.{member}"
+
+
+@dataclass
+class OrderEdge:
+    """Lock class *before* was (at least once) held while *after* was
+    acquired."""
+
+    before: LockClassKey
+    after: LockClassKey
+    witnesses: int = 0
+    example_txn: Optional[int] = None
+
+    def format(self) -> str:
+        return (
+            f"{format_class(self.before)} -> {format_class(self.after)} "
+            f"({self.witnesses} witnesses)"
+        )
+
+
+@dataclass
+class Inversion:
+    """An ABBA candidate: both orders observed."""
+
+    forward: OrderEdge
+    backward: OrderEdge
+
+    @property
+    def classes(self) -> Tuple[LockClassKey, LockClassKey]:
+        return (self.forward.before, self.forward.after)
+
+    def format(self) -> str:
+        return (
+            f"ABBA candidate: {self.forward.format()}  vs  "
+            f"{self.backward.format()}"
+        )
+
+
+@dataclass
+class LockOrderReport:
+    """The lock-order graph with inversion/nesting findings."""
+    edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge]
+    inversions: List[Inversion]
+    self_nesting: Dict[LockClassKey, int]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def dominant_order(
+        self, a: LockClassKey, b: LockClassKey
+    ) -> Optional[Tuple[LockClassKey, LockClassKey]]:
+        """The direction with more witnesses (None if never nested)."""
+        forward = self.edges.get((a, b))
+        backward = self.edges.get((b, a))
+        if forward is None and backward is None:
+            return None
+        if backward is None or (forward and forward.witnesses >= backward.witnesses):
+            return (a, b)
+        return (b, a)
+
+    def render(self, limit: int = 25) -> str:
+        lines = [f"lock-order graph: {self.edge_count} edges"]
+        ranked = sorted(self.edges.values(), key=lambda e: -e.witnesses)
+        for edge in ranked[:limit]:
+            lines.append(f"  {edge.format()}")
+        if self.self_nesting:
+            lines.append("same-class nesting (needs lockdep annotations):")
+            for key, count in sorted(self.self_nesting.items()):
+                lines.append(f"  {format_class(key)} ({count} witnesses)")
+        if self.inversions:
+            lines.append("order inversions (potential ABBA deadlocks):")
+            for inversion in self.inversions:
+                lines.append(f"  {inversion.format()}")
+        else:
+            lines.append("no order inversions observed")
+        return "\n".join(lines)
+
+
+def build_lock_order(db: TraceDatabase) -> LockOrderReport:
+    """Build the lock-order graph from the transactions of *db*.
+
+    A transaction's ``held`` tuple is its acquisition order; every
+    ordered pair in it is an order witness (transitively closed over
+    the prefix relation, as in lockdep).
+    """
+    edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge] = {}
+    self_nesting: Dict[LockClassKey, int] = {}
+    for txn in db.txns.values():
+        classes = []
+        for held in txn.held:
+            key = _class_of(db, held.lock_id)
+            if key is not None:
+                classes.append(key)
+        for i in range(len(classes)):
+            for j in range(i + 1, len(classes)):
+                before, after = classes[i], classes[j]
+                if before == after:
+                    self_nesting[before] = self_nesting.get(before, 0) + 1
+                    continue
+                edge = edges.get((before, after))
+                if edge is None:
+                    edge = OrderEdge(before, after)
+                    edges[(before, after)] = edge
+                edge.witnesses += 1
+                if edge.example_txn is None:
+                    edge.example_txn = txn.txn_id
+    inversions = []
+    seen: Set[Tuple[LockClassKey, LockClassKey]] = set()
+    for (before, after), edge in edges.items():
+        if (after, before) in edges and (after, before) not in seen:
+            seen.add((before, after))
+            inversions.append(
+                Inversion(forward=edge, backward=edges[(after, before)])
+            )
+    return LockOrderReport(
+        edges=edges, inversions=inversions, self_nesting=self_nesting
+    )

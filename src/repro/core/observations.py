@@ -1,0 +1,194 @@
+"""Folded per-transaction observations (Tab. 1 semantics).
+
+Rule derivation does not care how often a member is accessed within a
+transaction — a binary *folded* matrix records whether the member was
+accessed at all (Tab. 1, column "Folded").  If a transaction contains
+both reads and writes of the same member, the whole transaction is
+treated as a write ("WoR" — *write over read*), because write rules are
+typically more restrictive and it is unclear which access motivated the
+locks.
+
+An :class:`Observation` is one ``(transaction, object, member)`` group:
+its access type after WoR, the abstract lock sequence in force, and the
+underlying access rows (kept for violation reporting).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.lockrefs import LockSeq
+from repro.db.database import TraceDatabase
+from repro.db.schema import AccessRow
+
+#: Key identifying one derivation target.
+ObsKey = Tuple[str, str, str]  # (type_key, member, access_type)
+
+READ = "r"
+WRITE = "w"
+
+
+@dataclass
+class Observation:
+    """One folded (txn, object, member) observation."""
+
+    txn_id: Optional[int]
+    alloc_id: int
+    type_key: str
+    member: str
+    access_type: str  # after write-over-read
+    lockseq: LockSeq
+    accesses: Tuple[AccessRow, ...]
+    #: True if the group contained both reads and writes (WoR applied).
+    mixed: bool = False
+
+
+class ObservationTable:
+    """All observations of a trace, indexed by (type_key, member, type)."""
+
+    def __init__(self, split_subclasses: bool = True, write_over_read: bool = True):
+        self.split_subclasses = split_subclasses
+        self.write_over_read = write_over_read
+        self._by_key: Dict[ObsKey, List[Observation]] = defaultdict(list)
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_database(
+        cls,
+        db: TraceDatabase,
+        split_subclasses: bool = True,
+        write_over_read: bool = True,
+    ) -> "ObservationTable":
+        table = cls(split_subclasses, write_over_read)
+        groups: Dict[Tuple[Optional[int], int, str], List[AccessRow]] = defaultdict(list)
+        for access in db.kept_accesses():
+            groups[(access.txn_id, access.alloc_id, access.member)].append(access)
+        for (txn_id, alloc_id, member), rows in groups.items():
+            table._add_group(txn_id, alloc_id, member, rows)
+        return table
+
+    def _type_key(self, row: AccessRow) -> str:
+        if self.split_subclasses:
+            return row.type_key
+        return row.data_type
+
+    def _add_group(
+        self,
+        txn_id: Optional[int],
+        alloc_id: int,
+        member: str,
+        rows: List[AccessRow],
+    ) -> None:
+        reads = [r for r in rows if r.access_type == READ]
+        writes = [r for r in rows if r.access_type == WRITE]
+        type_key = self._type_key(rows[0])
+        lockseq = rows[0].lockseq
+        if self.write_over_read:
+            if writes:
+                self._append(
+                    Observation(
+                        txn_id,
+                        alloc_id,
+                        type_key,
+                        member,
+                        WRITE,
+                        lockseq,
+                        tuple(rows),
+                        mixed=bool(reads),
+                    )
+                )
+            else:
+                self._append(
+                    Observation(
+                        txn_id, alloc_id, type_key, member, READ, lockseq, tuple(rows)
+                    )
+                )
+        else:
+            if writes:
+                self._append(
+                    Observation(
+                        txn_id, alloc_id, type_key, member, WRITE, lockseq, tuple(writes)
+                    )
+                )
+            if reads:
+                self._append(
+                    Observation(
+                        txn_id, alloc_id, type_key, member, READ, lockseq, tuple(reads)
+                    )
+                )
+
+    def _append(self, obs: Observation) -> None:
+        self._by_key[(obs.type_key, obs.member, obs.access_type)].append(obs)
+        self.total += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def keys(self) -> List[ObsKey]:
+        return sorted(self._by_key)
+
+    def type_keys(self) -> List[str]:
+        return sorted({key[0] for key in self._by_key})
+
+    def members_of(self, type_key: str) -> List[str]:
+        return sorted({m for (tk, m, _) in self._by_key if tk == type_key})
+
+    def get(self, type_key: str, member: str, access_type: str) -> List[Observation]:
+        return self._by_key.get((type_key, member, access_type), [])
+
+    def sequences(
+        self, type_key: str, member: str, access_type: str
+    ) -> List[Tuple[LockSeq, int]]:
+        """Distinct lock sequences with observation counts."""
+        counter: Counter = Counter()
+        for obs in self.get(type_key, member, access_type):
+            counter[obs.lockseq] += 1
+        return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+    def observation_count(self, type_key: str, member: str, access_type: str) -> int:
+        return len(self.get(type_key, member, access_type))
+
+    # ------------------------------------------------------------------
+    # Base-type (subclass-merging) queries
+    # ------------------------------------------------------------------
+    #
+    # The documented rules of Tab. 4/5 talk about ``struct inode`` as a
+    # whole, while derivation may split by filesystem subclass.  These
+    # helpers merge all subclass keys of a base data type.
+
+    def base_keys(self, data_type: str) -> List[str]:
+        prefix = data_type + ":"
+        return [
+            tk
+            for tk in self.type_keys()
+            if tk == data_type or tk.startswith(prefix)
+        ]
+
+    def merged_get(
+        self, data_type: str, member: str, access_type: str
+    ) -> List[Observation]:
+        merged: List[Observation] = []
+        for type_key in self.base_keys(data_type):
+            merged.extend(self.get(type_key, member, access_type))
+        return merged
+
+    def merged_sequences(
+        self, data_type: str, member: str, access_type: str
+    ) -> List[Tuple[LockSeq, int]]:
+        counter: Counter = Counter()
+        for obs in self.merged_get(data_type, member, access_type):
+            counter[obs.lockseq] += 1
+        return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+    def merged_members_of(self, data_type: str) -> List[str]:
+        members = set()
+        for type_key in self.base_keys(data_type):
+            members.update(self.members_of(type_key))
+        return sorted(members)

@@ -1,0 +1,47 @@
+"""Report rendering helpers.
+
+The experiments print paper-style tables; this module provides the tiny
+fixed-width table renderer they share, plus machine-readable dict
+conversion for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def percentage(value: float, digits: int = 2) -> str:
+    """Format a ratio as a percent string (paper-style)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def rows_to_dicts(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> List[Dict[str, Any]]:
+    """Machine-readable form of a rendered table."""
+    return [dict(zip(headers, row)) for row in rows]

@@ -1,0 +1,117 @@
+"""Machine-readable export/import of derived locking rules.
+
+The paper's locking-rule derivator provides "several human- and
+machine-readable report modes" (Sec. 6); the locking-rule checker then
+consumes "a specific summary-mode output" of it.  This module is that
+interchange format: a JSON document carrying every derivation target's
+winning rule, support metrics, and (optionally) the full hypothesis
+list — so derived rule sets can be archived, diffed across kernel
+versions, or checked against a different trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.derivator import DerivationResult
+from repro.core.rules import LockingRule
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExportedRule:
+    """One derived rule as read back from an export."""
+
+    type_key: str
+    member: str
+    access_type: str
+    rule: LockingRule
+    s_a: int
+    s_r: float
+    observations: int
+
+    @property
+    def key(self):
+        return (self.type_key, self.member, self.access_type)
+
+
+def rules_to_json(
+    result: DerivationResult,
+    include_hypotheses: bool = False,
+) -> str:
+    """Serialize a derivation result (summary mode)."""
+    targets = []
+    for derivation in result.all():
+        entry = {
+            "type": derivation.type_key,
+            "member": derivation.member,
+            "access": derivation.access_type,
+            "rule": derivation.rule.format(),
+            "s_a": derivation.winner.s_a,
+            "s_r": round(derivation.winner.s_r, 6),
+            "observations": derivation.observation_count,
+        }
+        if include_hypotheses:
+            entry["hypotheses"] = [
+                {
+                    "rule": h.rule.format(),
+                    "s_a": h.s_a,
+                    "s_r": round(h.s_r, 6),
+                }
+                for h in derivation.hypotheses
+            ]
+        targets.append(entry)
+    return json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "accept_threshold": result.accept_threshold,
+            "targets": targets,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def rules_from_json(text: str) -> List[ExportedRule]:
+    """Parse an export back into :class:`ExportedRule` records."""
+    document = json.loads(text)
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported rule-export format {version!r}")
+    rules = []
+    for entry in document["targets"]:
+        rules.append(
+            ExportedRule(
+                type_key=entry["type"],
+                member=entry["member"],
+                access_type=entry["access"],
+                rule=LockingRule.parse(entry["rule"]),
+                s_a=entry["s_a"],
+                s_r=entry["s_r"],
+                observations=entry["observations"],
+            )
+        )
+    return rules
+
+
+def diff_rule_sets(
+    old: List[ExportedRule], new: List[ExportedRule]
+) -> Dict[str, List]:
+    """Compare two exported rule sets (e.g. across kernel versions).
+
+    Returns ``{"added": [...], "removed": [...], "changed": [(old, new),
+    ...]}`` keyed by (type, member, access).
+    """
+    old_map = {rule.key: rule for rule in old}
+    new_map = {rule.key: rule for rule in new}
+    added = [new_map[key] for key in sorted(set(new_map) - set(old_map))]
+    removed = [old_map[key] for key in sorted(set(old_map) - set(new_map))]
+    changed = [
+        (old_map[key], new_map[key])
+        for key in sorted(set(old_map) & set(new_map))
+        if old_map[key].rule != new_map[key].rule
+    ]
+    return {"added": added, "removed": removed, "changed": changed}

@@ -1,0 +1,69 @@
+"""Winning-hypothesis selection (Sec. 4.3).
+
+A naive "highest support above an accept threshold" strategy fails
+twice: the "no lock" hypothesis always wins (nothing is a
+counterexample to it), and an *under-specified* rule dominates the true
+rule (every observation of ``sec_lock -> min_lock`` also supports plain
+``sec_lock``, and buggy accesses support *only* the shorter rule, so
+the wrong rule scores higher — Tab. 2).
+
+LockDoc's strategy: all hypotheses with relative support at or above
+the accept threshold ``t_ac`` are considered *related*; among them the
+one with the **lowest** support wins, because the true (most specific)
+rule is the one every looser rule inherits its support from.  Support
+ties break towards **more locks**.  Since "no lock" always sits at
+``s_r = 1``, a winner always exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.hypotheses import Hypothesis
+
+#: The paper adopts Engler et al.'s p_correct = 0.9 (Sec. 7.4).
+DEFAULT_ACCEPT_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The outcome of winner selection for one derivation target."""
+
+    winner: Hypothesis
+    candidates: List[Hypothesis]
+    threshold: float
+
+    @property
+    def is_no_lock(self) -> bool:
+        return self.winner.rule.is_no_lock
+
+
+def select_winner(
+    hypotheses: Sequence[Hypothesis],
+    accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD,
+) -> Selection:
+    """Apply the LockDoc selection strategy.
+
+    Raises ``ValueError`` on an empty hypothesis list (the enumerator
+    always yields at least the "no lock" rule, so this signals misuse).
+    """
+    if not hypotheses:
+        raise ValueError("no hypotheses to select from")
+    candidates = [h for h in hypotheses if h.s_r >= accept_threshold]
+    if not candidates:  # pragma: no cover - "no lock" is always a candidate
+        candidates = [h for h in hypotheses if h.rule.is_no_lock]
+    winner = min(
+        candidates,
+        key=lambda h: (h.s_r, -len(h.rule), h.rule.format()),
+    )
+    ordered = sorted(candidates, key=lambda h: (h.s_r, -len(h.rule), h.rule.format()))
+    return Selection(winner=winner, candidates=ordered, threshold=accept_threshold)
+
+
+def select_naive(hypotheses: Sequence[Hypothesis]) -> Optional[Hypothesis]:
+    """The strawman strategy (highest support wins; used by the
+    selection-strategy ablation benchmark to demonstrate Tab. 2)."""
+    if not hypotheses:
+        return None
+    return max(hypotheses, key=lambda h: (h.s_r, len(h.rule), h.rule.format()))

@@ -1,0 +1,24 @@
+"""Trace post-processing and storage (paper Sec. 5.3 / Fig. 6).
+
+The raw event trace is imported into a relational-style in-memory
+database: allocations, locks, transactions and member-resolved accesses
+— the same relations the paper loads into MariaDB.  The importer also
+applies the paper's filters (init/teardown functions, ``atomic_t``
+members, black lists).
+"""
+
+from repro.db.database import TraceDatabase
+from repro.db.filters import FilterConfig, FilterStats
+from repro.db.importer import import_trace
+from repro.db.schema import AccessRow, AllocationRow, LockRow, TxnRow
+
+__all__ = [
+    "AccessRow",
+    "AllocationRow",
+    "FilterConfig",
+    "FilterStats",
+    "LockRow",
+    "TraceDatabase",
+    "TxnRow",
+    "import_trace",
+]

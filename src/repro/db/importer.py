@@ -1,0 +1,398 @@
+"""Trace import: from the raw event stream to the relational database.
+
+This is the paper's post-processing step (Sec. 5.3).  It replays the
+event trace in order and
+
+* reconstructs allocation lifetimes (addresses are reused, so lookups
+  respect liveness),
+* builds **transactions** per execution context: a transaction starts
+  upon lock acquisition and ends when the held-lock set changes again
+  (Sec. 4.2); lock-free access runs are grouped into pseudo-transactions
+  so the "no lock" hypothesis has a well-defined denominator,
+* resolves each memory access to ``(allocation, member)`` via the type
+  layout,
+* abstracts the held lock instances of each access into
+  :class:`~repro.core.lockrefs.LockRef` sequences (global / embedded-
+  same / embedded-other — resolved **against the accessed object**),
+* applies the Sec. 5.3 filters, tagging dropped accesses with a reason.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.lockrefs import LockRef, LockSeq, dedup_refs
+from repro.db.database import TraceDatabase
+from repro.db.filters import (
+    REASON_UNTYPED,
+    FilterConfig,
+    FilterStats,
+)
+from repro.db.schema import AccessRow, AllocationRow, HeldLock, LockRow, TxnRow
+from repro.kernel.structs import StructRegistry
+from repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    FreeEvent,
+    LockEvent,
+)
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+#: Lock classes whose instances are global pseudo-locks.
+_PSEUDO_CLASSES = {"rcu", "softirq", "hardirq", "preempt"}
+
+
+class ImportError_(ValueError):
+    """Raised for traces that violate the event protocol."""
+
+
+@dataclass
+class _PendingTxn:
+    txn_id: int
+    ctx_id: int
+    start_ts: int
+    held: Tuple[HeldLock, ...]
+    no_locks: bool
+    used: bool = False
+
+
+class _LiveIndex:
+    """Sorted interval index over live allocations (no overlaps)."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._rows: List[AllocationRow] = []
+
+    def insert(self, row: AllocationRow) -> None:
+        index = bisect.bisect_left(self._starts, row.address)
+        self._starts.insert(index, row.address)
+        self._rows.insert(index, row)
+
+    def remove(self, row: AllocationRow) -> None:
+        index = bisect.bisect_left(self._starts, row.address)
+        if index >= len(self._rows) or self._rows[index] is not row:
+            raise ImportError_(f"free of unknown allocation {row.alloc_id}")
+        del self._starts[index]
+        del self._rows[index]
+
+    def find(self, address: int) -> Optional[AllocationRow]:
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        row = self._rows[index]
+        if row.address <= address < row.address + row.size:
+            return row
+        return None
+
+
+@dataclass
+class _CtxState:
+    held: List[Tuple[int, str]] = field(default_factory=list)  # (lock_id, mode)
+    txn: Optional[_PendingTxn] = None
+    pseudo_frame: Optional[str] = None  # outermost function of pseudo-txn
+
+
+class Importer:
+    """One-shot importer; use :func:`import_trace` for convenience."""
+
+    def __init__(
+        self,
+        structs: StructRegistry,
+        filters: Optional[FilterConfig] = None,
+    ) -> None:
+        self.db = TraceDatabase(structs)
+        self.filters = filters or FilterConfig()
+        self.stats = FilterStats()
+        self.unmatched_releases = 0
+        self._live = _LiveIndex()
+        self._ctx: Dict[int, _CtxState] = {}
+        self._txn_counter = 0
+        self._access_counter = 0
+        self._stack_functions: Dict[int, FrozenSet[str]] = {}
+        self._stack_table: Sequence[StackFrames] = [()]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self, events: Sequence[Event], stack_table: Sequence[StackFrames]
+    ) -> TraceDatabase:
+        self._stack_table = stack_table
+        self.db.set_stack_table(stack_table)
+        for event in events:
+            if isinstance(event, AllocEvent):
+                self._on_alloc(event)
+            elif isinstance(event, FreeEvent):
+                self._on_free(event)
+            elif isinstance(event, LockEvent):
+                self._on_lock(event)
+            elif isinstance(event, AccessEvent):
+                self._on_access(event)
+            else:  # pragma: no cover - defensive
+                raise ImportError_(f"unknown event {event!r}")
+        final_ts = events[-1].ts if events else 0
+        for state in self._ctx.values():
+            self._close_txn(state, final_ts)
+        return self.db
+
+    # ------------------------------------------------------------------
+    # Context / transaction machinery
+    # ------------------------------------------------------------------
+
+    def _state(self, ctx_id: int) -> _CtxState:
+        state = self._ctx.get(ctx_id)
+        if state is None:
+            state = _CtxState()
+            self._ctx[ctx_id] = state
+        return state
+
+    def _close_txn(self, state: _CtxState, end_ts: int) -> None:
+        txn = state.txn
+        if txn is None:
+            return
+        if txn.used:
+            self.db.add_txn(
+                TxnRow(
+                    txn_id=txn.txn_id,
+                    ctx_id=txn.ctx_id,
+                    start_ts=txn.start_ts,
+                    end_ts=end_ts,
+                    held=txn.held,
+                    no_locks=txn.no_locks,
+                )
+            )
+        state.txn = None
+        state.pseudo_frame = None
+
+    def _open_txn(
+        self, state: _CtxState, ctx_id: int, ts: int, no_locks: bool
+    ) -> _PendingTxn:
+        self._txn_counter += 1
+        txn = _PendingTxn(
+            txn_id=self._txn_counter,
+            ctx_id=ctx_id,
+            start_ts=ts,
+            held=tuple(HeldLock(lock_id, mode) for lock_id, mode in state.held),
+            no_locks=no_locks,
+        )
+        state.txn = txn
+        return txn
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_alloc(self, event: AllocEvent) -> None:
+        row = AllocationRow(
+            alloc_id=event.alloc_id,
+            address=event.address,
+            size=event.size,
+            data_type=event.data_type,
+            subclass=event.subclass,
+            alloc_ts=event.ts,
+        )
+        self.db.add_allocation(row)
+        self._live.insert(row)
+        # An allocation is an operation boundary for lock-free runs.
+        state = self._state(event.ctx_id)
+        if state.txn is not None and state.txn.no_locks:
+            self._close_txn(state, event.ts)
+
+    def _on_free(self, event: FreeEvent) -> None:
+        row = self.db.allocations.get(event.alloc_id)
+        if row is None or row.free_ts is not None:
+            raise ImportError_(f"free of unknown/dead allocation {event.alloc_id}")
+        row.free_ts = event.ts
+        self._live.remove(row)
+        state = self._state(event.ctx_id)
+        if state.txn is not None and state.txn.no_locks:
+            self._close_txn(state, event.ts)
+
+    def _on_lock(self, event: LockEvent) -> None:
+        state = self._state(event.ctx_id)
+        self._ensure_lock_row(event)
+        self._close_txn(state, event.ts)
+        if event.is_acquire:
+            state.held.append((event.lock_id, event.mode))
+        else:
+            for index in range(len(state.held) - 1, -1, -1):
+                if state.held[index][0] == event.lock_id:
+                    del state.held[index]
+                    break
+            else:
+                # Lock predates tracing; tolerate but count.
+                self.unmatched_releases += 1
+        if state.held:
+            self._open_txn(state, event.ctx_id, event.ts, no_locks=False)
+
+    def _ensure_lock_row(self, event: LockEvent) -> None:
+        if event.lock_id in self.db.locks:
+            return
+        owner_alloc_id = None
+        owner_data_type = None
+        owner_member = None
+        is_static = event.address is None or event.lock_class in _PSEUDO_CLASSES
+        if event.address is not None:
+            owner = self._live.find(event.address)
+            if owner is not None:
+                owner_alloc_id = owner.alloc_id
+                owner_data_type = owner.data_type
+                if owner.data_type in self.db.structs:
+                    struct = self.db.structs.get(owner.data_type)
+                    offset = event.address - owner.address
+                    owner_member = struct.member_at(offset).name
+            else:
+                is_static = True
+        self.db.add_lock(
+            LockRow(
+                lock_id=event.lock_id,
+                lock_class=event.lock_class,
+                name=event.lock_name,
+                address=event.address,
+                is_static=is_static,
+                owner_alloc_id=owner_alloc_id,
+                owner_data_type=owner_data_type,
+                owner_member=owner_member,
+            )
+        )
+
+    def _on_access(self, event: AccessEvent) -> None:
+        state = self._state(event.ctx_id)
+        allocation = self._live.find(event.address)
+
+        # Transaction assignment.
+        if state.held:
+            txn = state.txn
+            if txn is None:  # pragma: no cover - defensive
+                raise ImportError_("held locks without an open transaction")
+        else:
+            txn = state.txn
+            outer = self._outer_function(event.stack_id)
+            if txn is None or state.pseudo_frame != outer:
+                self._close_txn(state, event.ts)
+                txn = self._open_txn(state, event.ctx_id, event.ts, no_locks=True)
+                state.pseudo_frame = outer
+        txn.used = True
+
+        self._access_counter += 1
+        access_type = "w" if event.is_write else "r"
+
+        if allocation is None:
+            row = AccessRow(
+                access_id=self._access_counter,
+                ts=event.ts,
+                ctx_id=event.ctx_id,
+                txn_id=txn.txn_id,
+                alloc_id=-1,
+                data_type="<unknown>",
+                subclass=None,
+                member="<raw>",
+                access_type=access_type,
+                address=event.address,
+                size=event.size,
+                stack_id=event.stack_id,
+                file=event.file,
+                line=event.line,
+                lockseq=(),
+                filter_reason=REASON_UNTYPED,
+            )
+            self.stats.count(REASON_UNTYPED)
+            self.db.add_access(row)
+            return
+
+        struct = self.db.structs.get(allocation.data_type)
+        member = struct.member_at(event.address - allocation.address)
+        lockseq = self._resolve_lockseq(state, allocation)
+        reason = self.filters.reason_for(
+            allocation.data_type,
+            member.name,
+            member.kind.value,
+            self._functions_of(event.stack_id),
+        )
+        if reason is not None:
+            self.stats.count(reason)
+        row = AccessRow(
+            access_id=self._access_counter,
+            ts=event.ts,
+            ctx_id=event.ctx_id,
+            txn_id=txn.txn_id,
+            alloc_id=allocation.alloc_id,
+            data_type=allocation.data_type,
+            subclass=allocation.subclass,
+            member=member.name,
+            access_type=access_type,
+            address=event.address,
+            size=event.size,
+            stack_id=event.stack_id,
+            file=event.file,
+            line=event.line,
+            lockseq=lockseq,
+            filter_reason=reason,
+        )
+        self.db.add_access(row)
+
+    # ------------------------------------------------------------------
+    # Lock-reference resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_lockseq(
+        self, state: _CtxState, accessed: AllocationRow
+    ) -> LockSeq:
+        refs: List[LockRef] = []
+        for lock_id, mode in state.held:
+            lock = self.db.locks.get(lock_id)
+            if lock is None:  # pragma: no cover - defensive
+                continue
+            if lock.is_static or lock.owner_alloc_id is None:
+                refs.append(LockRef.global_(lock.name, mode))
+            elif lock.owner_alloc_id == accessed.alloc_id:
+                refs.append(
+                    LockRef.es(lock.owner_member or lock.name, lock.owner_data_type or "?", mode)
+                )
+            else:
+                refs.append(
+                    LockRef.eo(lock.owner_member or lock.name, lock.owner_data_type or "?", mode)
+                )
+        return dedup_refs(refs)
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+
+    def _functions_of(self, stack_id: int) -> FrozenSet[str]:
+        cached = self._stack_functions.get(stack_id)
+        if cached is None:
+            frames = self._stack_table[stack_id]
+            cached = frozenset(fn for fn, _, _ in frames)
+            self._stack_functions[stack_id] = cached
+        return cached
+
+    def _outer_function(self, stack_id: int) -> Optional[str]:
+        frames = self._stack_table[stack_id]
+        return frames[0][0] if frames else None
+
+
+def import_trace(
+    events: Sequence[Event],
+    stack_table: Sequence[StackFrames],
+    structs: StructRegistry,
+    filters: Optional[FilterConfig] = None,
+) -> TraceDatabase:
+    """Import an event trace into a fresh :class:`TraceDatabase`."""
+    importer = Importer(structs, filters)
+    return importer.run(events, stack_table)
+
+
+def import_tracer(
+    tracer,
+    structs: StructRegistry,
+    filters: Optional[FilterConfig] = None,
+) -> TraceDatabase:
+    """Import straight from a live :class:`~repro.tracing.tracer.Tracer`."""
+    stack_table = [tracer.stack(i) for i in range(tracer.stack_count)]
+    return import_trace(tracer.events, stack_table, structs, filters)

@@ -1,0 +1,115 @@
+"""Query layer over the trace database.
+
+The paper's pipeline runs dedicated queries against the database: the
+77-minute "query generating the locking-rule derivator input" and the
+172-minute "extraction of all counterexamples" (Sec. 7.2).  This module
+provides those queries (in-memory, but with the same semantics) plus
+smaller inspection helpers used by tools and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.core.lockrefs import LockSeq
+from repro.core.rules import LockingRule, complies
+from repro.db.database import TraceDatabase
+from repro.db.schema import AccessRow
+
+
+def derivator_input(
+    db: TraceDatabase,
+    split_subclasses: bool = True,
+) -> Dict[Tuple[str, str, str], List[Tuple[LockSeq, int]]]:
+    """The derivator-input query: per (type_key, member, access_type),
+    the distinct held-lock sequences with observation counts.
+
+    This is the raw-access view (no folding): it answers "which lock
+    combinations were in force at accesses of this member" and is what
+    the paper's 77-minute SQL query produced.  Rule derivation itself
+    uses the folded :class:`~repro.core.observations.ObservationTable`.
+    """
+    out: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
+    for access in db.kept_accesses():
+        type_key = access.type_key if split_subclasses else access.data_type
+        out[(type_key, access.member, access.access_type)][access.lockseq] += 1
+    return {
+        key: sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        for key, counter in out.items()
+    }
+
+
+def counterexamples(
+    db: TraceDatabase,
+    type_key: str,
+    member: str,
+    access_type: str,
+    rule: LockingRule,
+) -> List[AccessRow]:
+    """All kept accesses of the target that violate *rule* (the paper's
+    counterexample-extraction query)."""
+    hits = []
+    for access in db.kept_accesses(type_key):
+        if access.member != member or access.access_type != access_type:
+            continue
+        if not complies(access.lockseq, rule):
+            hits.append(access)
+    return hits
+
+
+def accesses_for_member(
+    db: TraceDatabase, type_key: str, member: str
+) -> List[AccessRow]:
+    """Every kept access to one member of one type key, in trace order."""
+    return [
+        access
+        for access in db.kept_accesses(type_key)
+        if access.member == member
+    ]
+
+
+def txn_lock_histogram(db: TraceDatabase) -> Dict[int, int]:
+    """How many transactions held N locks (N=0 are the pseudo-txns)."""
+    histogram: Dict[int, int] = defaultdict(int)
+    for txn in db.txns.values():
+        histogram[len(txn.held)] += 1
+    return dict(histogram)
+
+
+def locks_summary(db: TraceDatabase) -> Dict[str, Dict[str, int]]:
+    """Per lock class name: instance count and static/embedded split."""
+    summary: Dict[str, Dict[str, int]] = defaultdict(
+        lambda: {"instances": 0, "static": 0, "embedded": 0}
+    )
+    for lock in db.locks.values():
+        entry = summary[lock.lock_class]
+        entry["instances"] += 1
+        if lock.is_static:
+            entry["static"] += 1
+        else:
+            entry["embedded"] += 1
+    return dict(summary)
+
+
+def busiest_members(
+    db: TraceDatabase, limit: int = 10
+) -> List[Tuple[str, str, int]]:
+    """The most-accessed (type_key, member) pairs."""
+    counter: Counter = Counter()
+    for access in db.kept_accesses():
+        counter[(access.type_key, access.member)] += 1
+    return [
+        (type_key, member, count)
+        for (type_key, member), count in counter.most_common(limit)
+    ]
+
+
+def contexts_touching(
+    db: TraceDatabase, type_key: str, member: str
+) -> Dict[int, int]:
+    """Access counts per execution context for one member (who uses it)."""
+    counter: Dict[int, int] = defaultdict(int)
+    for access in accesses_for_member(db, type_key, member):
+        counter[access.ctx_id] += 1
+    return dict(counter)

@@ -1,0 +1,287 @@
+"""SQLite backend: the Fig. 6 schema as real SQL tables.
+
+The paper loads its trace into MariaDB and implements the
+rule-violation finder "as a parametrizable SQL statement" (Sec. 6).
+This module provides the equivalent: export a
+:class:`~repro.db.database.TraceDatabase` into an SQLite database with
+the Fig. 6 relations, plus the violation query itself.
+
+Schema (one table per Fig. 6 relation):
+
+======================  ==================================================
+``data_types``          observed struct names
+``type_layout``         member name/offset/size/kind per data type
+``allocations``         id, address, size, type, subclass, lifetime
+``locks``               id, class, name, address, static flag, owner
+``txns``                id, context, start/end timestamps, no-locks flag
+``txn_locks``           held locks per txn in acquisition order (+mode)
+``accesses``            member-resolved accesses (txn, alloc, member, ...)
+``access_locks``        the abstract lock-reference sequence per access
+``stack_traces``        interned stacks, one row per frame
+``subclasses``          distinct (data_type, subclass) pairs
+======================  ==================================================
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Optional, Tuple
+
+from repro.db.database import TraceDatabase
+
+
+def _s64(value):
+    """Kernel addresses exceed SQLite's signed 64-bit INTEGER range;
+    store them as their two's-complement signed value (None passes
+    through)."""
+    if value is None:
+        return None
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+_SCHEMA = """
+CREATE TABLE data_types (
+    name TEXT PRIMARY KEY,
+    size INTEGER NOT NULL
+);
+CREATE TABLE type_layout (
+    data_type TEXT NOT NULL,
+    member TEXT NOT NULL,
+    offset INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    PRIMARY KEY (data_type, member)
+);
+CREATE TABLE allocations (
+    alloc_id INTEGER PRIMARY KEY,
+    address INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    data_type TEXT NOT NULL,
+    subclass TEXT,
+    alloc_ts INTEGER NOT NULL,
+    free_ts INTEGER
+);
+CREATE TABLE locks (
+    lock_id INTEGER PRIMARY KEY,
+    lock_class TEXT NOT NULL,
+    name TEXT NOT NULL,
+    address INTEGER,
+    is_static INTEGER NOT NULL,
+    owner_alloc_id INTEGER,
+    owner_data_type TEXT,
+    owner_member TEXT
+);
+CREATE TABLE txns (
+    txn_id INTEGER PRIMARY KEY,
+    ctx_id INTEGER NOT NULL,
+    start_ts INTEGER NOT NULL,
+    end_ts INTEGER NOT NULL,
+    no_locks INTEGER NOT NULL
+);
+CREATE TABLE txn_locks (
+    txn_id INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    lock_id INTEGER NOT NULL,
+    mode TEXT NOT NULL,
+    PRIMARY KEY (txn_id, position)
+);
+CREATE TABLE accesses (
+    access_id INTEGER PRIMARY KEY,
+    ts INTEGER NOT NULL,
+    ctx_id INTEGER NOT NULL,
+    txn_id INTEGER,
+    alloc_id INTEGER NOT NULL,
+    data_type TEXT NOT NULL,
+    subclass TEXT,
+    member TEXT NOT NULL,
+    access_type TEXT NOT NULL,
+    address INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    stack_id INTEGER NOT NULL,
+    file TEXT NOT NULL,
+    line INTEGER NOT NULL,
+    filter_reason TEXT
+);
+CREATE TABLE access_locks (
+    access_id INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    scope TEXT NOT NULL,
+    name TEXT NOT NULL,
+    owner_type TEXT,
+    mode TEXT NOT NULL,
+    PRIMARY KEY (access_id, position)
+);
+CREATE TABLE stack_traces (
+    stack_id INTEGER NOT NULL,
+    depth INTEGER NOT NULL,
+    function TEXT NOT NULL,
+    file TEXT NOT NULL,
+    line INTEGER NOT NULL,
+    PRIMARY KEY (stack_id, depth)
+);
+CREATE TABLE subclasses (
+    data_type TEXT NOT NULL,
+    subclass TEXT NOT NULL,
+    PRIMARY KEY (data_type, subclass)
+);
+CREATE INDEX idx_accesses_member ON accesses (data_type, member, access_type);
+CREATE INDEX idx_accesses_txn ON accesses (txn_id);
+CREATE INDEX idx_access_locks ON access_locks (access_id);
+"""
+
+
+def export_sqlite(
+    db: TraceDatabase, path: str = ":memory:"
+) -> sqlite3.Connection:
+    """Export *db* into an SQLite database; returns the connection."""
+    connection = sqlite3.connect(path)
+    connection.executescript(_SCHEMA)
+
+    for struct in db.structs.all():
+        connection.execute(
+            "INSERT INTO data_types VALUES (?, ?)", (struct.name, struct.size)
+        )
+        connection.executemany(
+            "INSERT INTO type_layout VALUES (?, ?, ?, ?, ?)",
+            [
+                (struct.name, m.name, m.offset, m.size, m.kind.value)
+                for m in struct.flat_members
+            ],
+        )
+
+    connection.executemany(
+        "INSERT INTO allocations VALUES (?, ?, ?, ?, ?, ?, ?)",
+        [
+            (a.alloc_id, _s64(a.address), a.size, a.data_type, a.subclass,
+             a.alloc_ts, a.free_ts)
+            for a in db.allocations.values()
+        ],
+    )
+    connection.executemany(
+        "INSERT INTO locks VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        [
+            (l.lock_id, l.lock_class, l.name, _s64(l.address), int(l.is_static),
+             l.owner_alloc_id, l.owner_data_type, l.owner_member)
+            for l in db.locks.values()
+        ],
+    )
+    connection.executemany(
+        "INSERT INTO txns VALUES (?, ?, ?, ?, ?)",
+        [
+            (t.txn_id, t.ctx_id, t.start_ts, t.end_ts, int(t.no_locks))
+            for t in db.txns.values()
+        ],
+    )
+    txn_locks = []
+    for txn in db.txns.values():
+        for position, held in enumerate(txn.held):
+            txn_locks.append((txn.txn_id, position, held.lock_id, held.mode))
+    connection.executemany("INSERT INTO txn_locks VALUES (?, ?, ?, ?)", txn_locks)
+
+    connection.executemany(
+        "INSERT INTO accesses VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        [
+            (a.access_id, a.ts, a.ctx_id, a.txn_id, a.alloc_id, a.data_type,
+             a.subclass, a.member, a.access_type, _s64(a.address), a.size,
+             a.stack_id, a.file, a.line, a.filter_reason)
+            for a in db.accesses
+        ],
+    )
+    access_locks = []
+    for access in db.accesses:
+        for position, ref in enumerate(access.lockseq):
+            access_locks.append(
+                (access.access_id, position, ref.scope.value, ref.name,
+                 ref.owner_type, ref.mode)
+            )
+    connection.executemany(
+        "INSERT INTO access_locks VALUES (?, ?, ?, ?, ?, ?)", access_locks
+    )
+
+    stack_rows = []
+    for stack_id, frames in enumerate(db.stack_table):
+        for depth, (function, file, line) in enumerate(frames):
+            stack_rows.append((stack_id, depth, function, file, line))
+    connection.executemany(
+        "INSERT INTO stack_traces VALUES (?, ?, ?, ?, ?)", stack_rows
+    )
+
+    subclasses = sorted(
+        {
+            (a.data_type, a.subclass)
+            for a in db.allocations.values()
+            if a.subclass
+        }
+    )
+    connection.executemany("INSERT INTO subclasses VALUES (?, ?)", subclasses)
+    connection.commit()
+    return connection
+
+
+#: The parametrizable rule-violation SQL (Sec. 6): find kept accesses to
+#: (data_type, member, access_type) whose lock sequence does not contain
+#: a given lock reference.  Order checking for multi-lock rules is done
+#: by composing this per lock and comparing positions in Python — the
+#: paper's post-processing script does the same address translation and
+#: refinement step after the SQL pass.
+VIOLATION_QUERY = """
+SELECT a.access_id, a.subclass, a.file, a.line, a.stack_id
+FROM accesses a
+WHERE a.data_type = :data_type
+  AND a.member = :member
+  AND a.access_type = :access_type
+  AND a.filter_reason IS NULL
+  AND NOT EXISTS (
+      SELECT 1 FROM access_locks al
+      WHERE al.access_id = a.access_id
+        AND al.scope = :scope
+        AND al.name = :name
+        AND (al.owner_type = :owner_type
+             OR (:owner_type IS NULL AND al.owner_type IS NULL))
+        AND (al.mode = :mode OR (al.mode = 'w' AND :mode = 'r'))
+  )
+"""
+
+
+def find_violations_sql(
+    connection: sqlite3.Connection,
+    data_type: str,
+    member: str,
+    access_type: str,
+    rule_refs: Iterable,
+) -> List[Tuple[int, Optional[str], str, int, int]]:
+    """Run the violation query for every lock of a rule; union of hits.
+
+    *rule_refs* are :class:`~repro.core.lockrefs.LockRef` objects; an
+    access violates if any required lock is missing (the order check is
+    refined by the Python-side finder, as in the paper).
+    """
+    hits = {}
+    for ref in rule_refs:
+        cursor = connection.execute(
+            VIOLATION_QUERY,
+            {
+                "data_type": data_type,
+                "member": member,
+                "access_type": access_type,
+                "scope": ref.scope.value,
+                "name": ref.name,
+                "owner_type": ref.owner_type,
+                "mode": ref.mode,
+            },
+        )
+        for row in cursor.fetchall():
+            hits[row[0]] = row
+    return [hits[key] for key in sorted(hits)]
+
+
+def table_counts(connection: sqlite3.Connection) -> dict:
+    """Row counts per table (sanity/report helper)."""
+    tables = (
+        "data_types", "type_layout", "allocations", "locks", "txns",
+        "txn_locks", "accesses", "access_locks", "stack_traces", "subclasses",
+    )
+    counts = {}
+    for table in tables:
+        (count,) = connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        counts[table] = count
+    return counts

@@ -1,0 +1,14 @@
+"""The documented-locking-rule substrate.
+
+The paper manually converts the Linux kernel's informal source-code
+comments into LockDoc's internal rule notation (Sec. 5.5).  This
+package provides the rule model (:mod:`repro.doc.model`), a parser for
+informal comment wording (:mod:`repro.doc.parser`), and the curated
+rule corpus for the five Tab. 4 data structures
+(:mod:`repro.doc.corpus`).
+"""
+
+from repro.doc.model import DocumentedRule
+from repro.doc.parser import parse_comment_block
+
+__all__ = ["DocumentedRule", "parse_comment_block"]

@@ -1,0 +1,52 @@
+"""Model of officially documented locking rules.
+
+A :class:`DocumentedRule` is one statement of the form "accesses of
+kind X to member M of type T require rule R", attributed to the source
+location the statement was found at.  ``access`` may be ``"r"``,
+``"w"`` or ``"rw"`` — the latter expands to two checkable rules, which
+is why the paper's 142 rules cover 71 members ("as we handle read and
+write accesses separately", Sec. 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.rules import LockingRule
+
+VALID_ACCESS = ("r", "w", "rw")
+
+
+@dataclass(frozen=True)
+class DocumentedRule:
+    """One documented locking rule."""
+
+    data_type: str
+    member: str
+    access: str  # "r", "w" or "rw"
+    rule: LockingRule
+    source: str = ""  # e.g. "fs/inode.c:10"
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.access not in VALID_ACCESS:
+            raise ValueError(f"invalid access kind {self.access!r}")
+
+    def expand(self) -> List[Tuple[str, LockingRule]]:
+        """Expand to per-access-type ``(access_type, rule)`` pairs."""
+        if self.access == "rw":
+            return [("r", self.rule), ("w", self.rule)]
+        return [(self.access, self.rule)]
+
+    def format(self) -> str:
+        return f"{self.data_type}.{self.member} [{self.access}]: {self.rule.format()}"
+
+
+def expand_rules(rules: List[DocumentedRule]) -> List[Tuple[DocumentedRule, str, LockingRule]]:
+    """Flatten a rule list to ``(origin, access_type, rule)`` triples."""
+    expanded = []
+    for documented in rules:
+        for access_type, rule in documented.expand():
+            expanded.append((documented, access_type, rule))
+    return expanded

@@ -1,0 +1,218 @@
+"""Parser for informal locking-rule comments.
+
+The kernel documents locking rules "only informally and with
+inconsistent wording" (Sec. 1): ``"holds"``, ``"is held"``, ``"to be
+grabbed"``, lock names sometimes spelled out, sometimes implied.  This
+parser understands the common comment shapes so documented rules can be
+extracted from kernel-style comment blocks like Fig. 2:
+
+    /*
+     * Inode locking rules:
+     *
+     * inode->i_lock protects:
+     *   inode->i_state, inode->i_hash
+     * inode_hash_lock protects:
+     *   inode_hashtable, inode->i_hash
+     */
+
+``parse_comment_block`` returns :class:`DocumentedRule` objects with
+access kind ``"rw"`` (informal comments rarely distinguish reads from
+writes — one of the documentation deficiencies the paper criticizes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule
+from repro.doc.model import DocumentedRule
+
+#: ``inode->i_lock`` or plain ``inode_hash_lock``.
+_LOCK_SPEC = re.compile(
+    r"^(?:(?P<owner>\w+)\s*->\s*)?(?P<name>\w+)$"
+)
+
+#: A "X protects:" header line; the wording varies wildly.
+_PROTECTS = re.compile(
+    r"^(?P<locks>.+?)\s+(?:protects?|guards?|serializes?|covers?)\s*:?\s*$",
+    re.IGNORECASE,
+)
+
+#: ``foo->bar`` or bare ``bar`` members in a protected-member list.
+_MEMBER = re.compile(r"(?:(?P<owner>\w+)\s*->\s*)?(?P<member>[\w.]+)\s*(?:\(\))?")
+
+
+class CommentParseError(ValueError):
+    """Raised for comment blocks the parser cannot interpret."""
+
+
+def _strip_comment_markup(block: str) -> List[str]:
+    """Remove ``/* * */`` decoration, returning content lines."""
+    lines = []
+    for raw in block.splitlines():
+        line = raw.strip()
+        if line.startswith("/*"):
+            line = line[2:].strip()
+        if line.endswith("*/"):
+            line = line[:-2].strip()
+        if line.startswith("*"):
+            line = line[1:].strip()
+        lines.append(line)
+    return lines
+
+
+def _parse_lock(text: str, subject_type: str) -> Optional[LockRef]:
+    """Parse one lock mention (``inode->i_lock``, ``inode_hash_lock``)."""
+    match = _LOCK_SPEC.match(text.strip())
+    if match is None:
+        return None
+    owner = match.group("owner")
+    name = match.group("name")
+    if owner:
+        if owner == subject_type:
+            return LockRef.es(name, subject_type)
+        return LockRef.eo(name, owner)
+    # Heuristic: names containing "lock"/"sem"/"mutex" with no owner are
+    # global locks; anything else is assumed embedded in the subject.
+    if any(tag in name for tag in ("lock", "sem", "mutex", "rcu")):
+        return LockRef.global_(name)
+    return LockRef.es(name, subject_type)
+
+
+def parse_comment_block(
+    block: str,
+    subject_type: str,
+    source: str = "",
+) -> List[DocumentedRule]:
+    """Parse a Fig. 2-style comment block into documented rules.
+
+    *subject_type* names the struct the comment documents (``"inode"``);
+    ``X->member`` mentions with a different owner are ignored (they talk
+    about other structures).
+    """
+    rules: List[DocumentedRule] = []
+    lines = _strip_comment_markup(block)
+    current_rule: Optional[LockingRule] = None
+    for line in lines:
+        if not line:
+            current_rule = None
+            continue
+        header = _PROTECTS.match(line)
+        if header:
+            lock_texts = re.split(r"\s*(?:->|,\s*then)\s*", header.group("locks"))
+            # Re-join owner->lock pairs split by the arrow split above:
+            # "inode->i_lock" splits into ["inode", "i_lock"]; detect by
+            # trying to parse pairs first.
+            refs = _parse_lock_sequence(header.group("locks"), subject_type)
+            if refs:
+                current_rule = LockingRule(tuple(refs))
+            else:
+                current_rule = None
+            continue
+        if current_rule is not None:
+            for match in _MEMBER.finditer(line):
+                owner = match.group("owner")
+                member = match.group("member")
+                if not member:
+                    continue
+                if owner and owner != subject_type:
+                    continue  # talks about a different struct
+                if owner is None and "." not in member and not line.startswith(
+                    (subject_type + "->", member)
+                ):
+                    # Heuristic guard: free-standing words in prose lines
+                    # are only accepted when the line is a member list.
+                    pass
+                rules.append(
+                    DocumentedRule(
+                        data_type=subject_type,
+                        member=member,
+                        access="rw",
+                        rule=current_rule,
+                        source=source,
+                    )
+                )
+    return rules
+
+
+#: Fig. 3-style wording inside function comments: "the caller should be
+#: holding i_mutex", "must be called with inode lock held", "i_lock to
+#: be grabbed" — the inconsistent vocabulary Sec. 2.4 complains about.
+_HOLDING = re.compile(
+    r"(?:holding|holds|with)\s+(?:the\s+)?(?P<lock>[\w>-]+)(?:\s+(?:spinlock|mutex|lock))?"
+    r"|(?P<lock2>[\w>-]+)\s+(?:is\s+held|held|to\s+be\s+grabbed|must\s+be\s+taken)",
+    re.IGNORECASE,
+)
+
+_NOT_LOCK_WORDS = {"be", "a", "an", "it", "this", "that", "caller", "lock"}
+
+
+def parse_function_comment(
+    block: str, subject_type: str, source: str = ""
+) -> List[LockRef]:
+    """Extract lock mentions from a Fig. 3-style function comment.
+
+    Returns the lock references the comment claims must be held.  The
+    informal wording does not say which members they protect — exactly
+    the deficiency the paper criticizes — so only the lock list can be
+    recovered.
+    """
+    refs: List[LockRef] = []
+    text = " ".join(_strip_comment_markup(block))
+    for match in _HOLDING.finditer(text):
+        token = match.group("lock") or match.group("lock2")
+        if not token:
+            continue
+        token = token.strip(".,;:")
+        if token.lower() in _NOT_LOCK_WORDS:
+            continue
+        ref = _parse_lock(token, subject_type)
+        if ref is not None and ref not in refs:
+            refs.append(ref)
+    return refs
+
+
+def _parse_lock_sequence(text: str, subject_type: str) -> List[LockRef]:
+    """Parse ``A -> B`` / ``A, then B`` lock sequences."""
+    refs: List[LockRef] = []
+    # Split on "then" / "," but NOT on the "->" inside "owner->lock":
+    # an "->" is a sequence separator only when both sides themselves
+    # parse as locks.
+    parts = re.split(r",\s*then\s+|,\s+", text.strip())
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        # owner->lock or owner->lock -> other->lock chains
+        chain = _split_chain(part)
+        for item in chain:
+            ref = _parse_lock(item, subject_type)
+            if ref is not None:
+                refs.append(ref)
+    return refs
+
+
+def _split_chain(text: str) -> List[str]:
+    """Split ``a->b->c->d`` into lock mentions, pairing owner->name
+    tokens: ``inode->i_lock -> inode_hash_lock`` yields
+    ``["inode->i_lock", "inode_hash_lock"]``."""
+    tokens = [t.strip() for t in text.split("->")]
+    out: List[str] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+        # "inode" + "i_lock" pair: owner names don't look like locks.
+        if (
+            nxt is not None
+            and not any(tag in token for tag in ("lock", "sem", "mutex", "rcu"))
+            and token.isidentifier()
+        ):
+            out.append(f"{token}->{nxt}")
+            index += 2
+        else:
+            out.append(token)
+            index += 1
+    return out

@@ -1,0 +1,83 @@
+"""Fig. 7: fraction of "no lock" winning hypotheses vs. the accept
+threshold t_ac, per data type and access kind.
+
+Shapes to hold (Sec. 7.4): the fraction grows (weakly) monotonically
+with t_ac, levels off towards t_ac -> 1, and does not reach 100 % for
+all types (members with fully-supported lock rules keep their locks
+even at t_ac = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.report import render_table
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, get_pipeline
+
+#: The ten base data types plotted by Fig. 7 (inode subclasses excluded
+#: "for clarity", as in the paper).
+FIG7_TYPES = (
+    "backing_dev_info",
+    "block_device",
+    "buffer_head",
+    "cdev",
+    "dentry",
+    "journal_head",
+    "journal_t",
+    "pipe_inode_info",
+    "super_block",
+    "transaction_t",
+)
+
+#: The swept thresholds (paper: 0.7 .. 1.0).
+DEFAULT_THRESHOLDS = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00)
+
+
+@dataclass
+class Fig7Result:
+    #: {(type, access): [(threshold, fraction or None), ...]}
+    """Fig. 7 threshold-sweep series with render()/data views."""
+    series: Dict[Tuple[str, str], List[Tuple[float, Optional[float]]]]
+
+    @property
+    def data(self):
+        return {
+            f"{tk}/{at}": [(t, None if f is None else round(f, 4)) for t, f in pts]
+            for (tk, at), pts in self.series.items()
+        }
+
+    def fractions(self, type_key: str, access: str) -> List[Optional[float]]:
+        return [f for _, f in self.series[(type_key, access)]]
+
+    def render(self) -> str:
+        thresholds = [t for t, _ in next(iter(self.series.values()))]
+        headers = ["type", "r/w"] + [f"t={t:.2f}" for t in thresholds]
+        rows = []
+        for (tk, at), pts in sorted(self.series.items()):
+            rows.append(
+                [tk, at]
+                + [("-" if f is None else f"{f:.0%}") for _, f in pts]
+            )
+        return render_table(
+            headers, rows, title="Fig. 7 — fraction of 'no lock' winners vs t_ac"
+        )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    thresholds=DEFAULT_THRESHOLDS,
+) -> Fig7Result:
+    """Regenerate this experiment; see the module docstring for the paper reference."""
+    pipeline = get_pipeline(seed, scale)
+    series: Dict[Tuple[str, str], List[Tuple[float, Optional[float]]]] = {}
+    for threshold in thresholds:
+        derivation = pipeline.derive(threshold)
+        for type_key in FIG7_TYPES:
+            for access in ("r", "w"):
+                fraction = derivation.no_lock_fraction(type_key, access)
+                series.setdefault((type_key, access), []).append(
+                    (threshold, fraction)
+                )
+    return Fig7Result(series=series)

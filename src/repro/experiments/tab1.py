@@ -1,0 +1,177 @@
+"""Tab. 1: the clock-counter example's access matrix.
+
+Rebuilds Fig. 4's shared time structure, runs 1000 correct executions
+plus one faulty one (missing ``min_lock``), and reports per variable and
+access type: observed access counts, folded counts, and write-over-read
+counts, separated by transaction kind (a = only ``sec_lock`` held,
+b = both locks held) — exactly the Tab. 1 columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Tuple
+
+from repro.core.observations import ObservationTable
+from repro.core.report import render_table
+from repro.db.database import TraceDatabase
+from repro.db.importer import import_tracer
+from repro.kernel.context import ExecutionContext
+from repro.kernel.runtime import KernelRuntime, KObject
+from repro.kernel.structs import Member, StructDef, StructRegistry
+
+#: Tab. 1 reference values: {(variable, access, txn): (observed, folded, wor)}
+PAPER_TAB1 = {
+    ("seconds", "r", "a"): (2, 1, 0),
+    ("seconds", "r", "b"): (0, 0, 0),
+    ("seconds", "w", "a"): (1, 1, 1),
+    ("seconds", "w", "b"): (1, 1, 1),
+    ("minutes", "r", "a"): (0, 0, 0),
+    ("minutes", "r", "b"): (1, 1, 0),
+    ("minutes", "w", "a"): (0, 0, 0),
+    ("minutes", "w", "b"): (1, 1, 1),
+}
+
+
+def build_clock_struct() -> StructDef:
+    """The Fig. 4 shared time structure's layout."""
+    return StructDef(
+        "clock",
+        [
+            Member.scalar("seconds", 8),
+            Member.scalar("minutes", 8),
+            Member.lock("sec_lock", "spinlock_t"),
+            Member.lock("min_lock", "spinlock_t"),
+        ],
+    )
+
+
+def clock_tick(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    clock: KObject,
+    buggy: bool = False,
+) -> Generator:
+    """One execution of Fig. 4's counter (the faulty variant forgets
+    ``min_lock``)."""
+    with rt.function(ctx, "clock_tick", "clock.c", 1):
+        yield from rt.spin_lock(ctx, clock.lock("sec_lock"))
+        # Fig. 4 line 2: seconds = seconds + 1  (read + write in txn a)
+        seconds = (rt.read(ctx, clock, "seconds", line=2) or 0) + 1
+        rt.write(ctx, clock, "seconds", seconds, line=2)
+        # Fig. 4 line 3: if (seconds == 60)    (second read in txn a)
+        rt.read(ctx, clock, "seconds", line=3)
+        if seconds == 60:
+            if not buggy:
+                yield from rt.spin_lock(ctx, clock.lock("min_lock"))
+            rt.write(ctx, clock, "seconds", 0, line=5)
+            minutes = rt.read(ctx, clock, "minutes", line=6) or 0
+            rt.write(ctx, clock, "minutes", minutes + 1, line=6)
+            if not buggy:
+                rt.spin_unlock(ctx, clock.lock("min_lock"))
+        rt.spin_unlock(ctx, clock.lock("sec_lock"))
+
+
+@dataclass
+class ClockTrace:
+    """A recorded clock run with its imported database."""
+
+    runtime: KernelRuntime
+    clock: KObject
+    db: TraceDatabase
+    table: ObservationTable
+
+
+def record_clock_trace(iterations: int = 1000, faulty: int = 1) -> ClockTrace:
+    """Run the Fig. 4 scenario: *iterations* correct ticks + *faulty*
+    executions that forget ``min_lock`` on the minute rollover."""
+    registry = StructRegistry([build_clock_struct()])
+    rt = KernelRuntime(registry)
+    ctx = rt.new_task("timer")
+    clock = rt.new_object(ctx, "clock")
+    for _ in range(iterations):
+        rt.run(clock_tick(rt, ctx, clock))
+    for _ in range(faulty):
+        clock.values["seconds"] = 59
+        rt.run(clock_tick(rt, ctx, clock, buggy=True))
+    db = import_tracer(rt.tracer, registry)
+    table = ObservationTable.from_database(db)
+    return ClockTrace(runtime=rt, clock=clock, db=db, table=table)
+
+
+@dataclass
+class Tab1Result:
+    #: {(variable, access, txn_kind): (observed, folded, wor)} for ONE
+    #: execution of transactions a and b (the Tab. 1 scope).
+    """Tab. 1 access matrix (observed/folded/WoR) with render()."""
+    matrix: Dict[Tuple[str, str, str], Tuple[int, int, int]]
+    trace: ClockTrace
+
+    @property
+    def data(self):
+        return {f"{v}/{a}/{t}": counts for (v, a, t), counts in self.matrix.items()}
+
+    def render(self) -> str:
+        headers = ["Variable", "Type", "Obs a", "Obs b", "Fold a", "Fold b",
+                   "WoR a", "WoR b"]
+        rows = []
+        for variable in ("seconds", "minutes"):
+            for access in ("r", "w"):
+                oa, fa, wa = self.matrix[(variable, access, "a")]
+                ob, fb, wb = self.matrix[(variable, access, "b")]
+                rows.append([variable, access, oa, ob, fa, fb, wa, wb])
+        return render_table(headers, rows, title="Tab. 1 — clock example accesses")
+
+
+def run(iterations: int = 1000) -> Tab1Result:
+    """Reproduce Tab. 1 from one rollover execution within a recorded
+    trace of *iterations* ticks."""
+    trace = record_clock_trace(iterations)
+    db = trace.db
+    # Find one rollover execution: a txn holding both locks (txn b)
+    # and its enclosing txn a.
+    matrix: Dict[Tuple[str, str, str], Tuple[int, int, int]] = {
+        key: (0, 0, 0) for key in PAPER_TAB1
+    }
+    rollover_b = None
+    for txn in db.txns.values():
+        if len(txn.held) == 2 and not txn.no_locks:
+            rollover_b = txn
+            break
+    assert rollover_b is not None, "no rollover transaction recorded"
+    # txn a fragments: the single-lock txns immediately around b in the
+    # same context (the lock event closing a opens b).
+    # txn a's fragments surround b exactly: a1 closes when min_lock's
+    # acquisition opens b, a2 opens when its release closes b.
+    a_txns = [
+        txn.txn_id
+        for txn in db.txns.values()
+        if txn.ctx_id == rollover_b.ctx_id
+        and len(txn.held) == 1
+        and (txn.end_ts == rollover_b.start_ts
+             or txn.start_ts == rollover_b.end_ts)
+    ]
+    scopes = {"b": [rollover_b.txn_id], "a": a_txns}
+    for kind, txn_ids in scopes.items():
+        for txn_id in txn_ids:
+            by_member: Dict[Tuple[str, str], int] = {}
+            for access in db.accesses_in_txn(txn_id):
+                by_member[(access.member, access.access_type)] = (
+                    by_member.get((access.member, access.access_type), 0) + 1
+                )
+            for (member, access_type), observed in by_member.items():
+                key = (member, access_type, kind)
+                if key not in matrix:
+                    continue
+                prev_obs, prev_fold, prev_wor = matrix[key]
+                folded = 1
+                wrote = (member, "w") in by_member
+                wor = 1 if (access_type == "w" and wrote) else 0
+                matrix[key] = (prev_obs + observed, prev_fold + folded, prev_wor + wor)
+    # Reads folded away by write-over-read: the WoR column zeroes reads
+    # in mixed transactions (Tab. 1 semantics).
+    for (member, access_type, kind), (obs, fold, wor) in list(matrix.items()):
+        if access_type == "r" and (member, "w", kind) in matrix:
+            if matrix[(member, "w", kind)][2]:
+                matrix[(member, access_type, kind)] = (obs, fold, 0)
+    return Tab1Result(matrix=matrix, trace=trace)

@@ -1,0 +1,79 @@
+"""Tab. 2: locking-rule hypotheses for writing ``minutes``.
+
+From the Tab. 1 clock trace (1000 correct executions, one forgetting
+``min_lock``), enumerate all hypotheses for write access to
+``minutes`` and report absolute and relative support.  The paper's
+values — and the selection lesson they teach:
+
+====  =========================  ====  ========
+id    hypothesis                 s_a   s_r
+====  =========================  ====  ========
+#0    no lock needed              17   100 %
+#1    sec_lock                    17   100 %
+#2    sec_lock -> min_lock        16   94.12 %
+#3    min_lock                    16   94.12 %
+#4    min_lock -> sec_lock         0   0 %
+====  =========================  ====  ========
+
+A naive highest-support pick chooses #1 (or #0); LockDoc's
+lowest-support-above-threshold pick chooses the true rule #2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.hypotheses import Hypothesis, enumerate_and_score
+from repro.core.report import render_table
+from repro.core.selection import Selection, select_naive, select_winner
+from repro.experiments.tab1 import ClockTrace, record_clock_trace
+
+#: (rule text, s_a, s_r%) in the paper's order.
+PAPER_TAB2 = [
+    ("no lock needed", 17, 100.0),
+    ("ES(sec_lock in clock)", 17, 100.0),
+    ("ES(sec_lock in clock) -> ES(min_lock in clock)", 16, 94.12),
+    ("ES(min_lock in clock)", 16, 94.12),
+    ("ES(min_lock in clock) -> ES(sec_lock in clock)", 0, 0.0),
+]
+
+
+@dataclass
+class Tab2Result:
+    """Tab. 2 hypothesis list plus both selection outcomes."""
+    hypotheses: List[Hypothesis]
+    selection: Selection
+    naive: Optional[Hypothesis]
+    trace: ClockTrace
+
+    @property
+    def data(self):
+        return [
+            {"rule": h.rule.format(), "s_a": h.s_a, "s_r": round(h.s_r, 4)}
+            for h in self.hypotheses
+        ]
+
+    def render(self) -> str:
+        headers = ["Locking Hypothesis", "s_a", "s_r"]
+        rows = [
+            [h.rule.format(), h.s_a, f"{h.s_r:.2%}"] for h in self.hypotheses
+        ]
+        table = render_table(headers, rows, title="Tab. 2 — hypotheses for writing `minutes`")
+        return (
+            f"{table}\n"
+            f"LockDoc winner: {self.selection.winner.rule.format()}\n"
+            f"naive winner:   {self.naive.rule.format() if self.naive else '-'}"
+        )
+
+
+def run(iterations: int = 1000) -> Tab2Result:
+    """Regenerate this experiment; see the module docstring for the paper reference."""
+    trace = record_clock_trace(iterations)
+    sequences = trace.table.sequences("clock", "minutes", "w")
+    hypotheses = enumerate_and_score(sequences)
+    selection = select_winner(hypotheses)
+    naive = select_naive(hypotheses)
+    return Tab2Result(
+        hypotheses=hypotheses, selection=selection, naive=naive, trace=trace
+    )

@@ -1,0 +1,107 @@
+"""Tab. 4: validation of the documented locking rules.
+
+Checks the documented-rule corpus against the trace and summarizes per
+data type: total rules (#R), unobserved members (#No), observed (#Ob),
+and the correct / ambivalent / incorrect shares.  Paper values:
+
+=============  ===  ===  ===  ======  ======  ======
+type           #R   #No  #Ob  ✓ %     ~ %     ✗ %
+=============  ===  ===  ===  ======  ======  ======
+inode           14    3   11  18.18   45.45   36.36
+journal_head    26    3   23  56.52   17.39   26.09
+transaction_t   42   13   29  79.31   13.79    6.90
+journal_t       38    8   30  56.67   33.33   10.00
+dentry          22    0   22  27.27   63.64    9.09
+=============  ===  ===  ===  ======  ======  ======
+
+Across the five structs only ~53 % of the observed documented rules are
+consistently followed — the paper's headline documentation finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.checker import CheckResult, CheckSummary, check_rules, summarize
+from repro.core.report import percentage, render_table
+from repro.doc.corpus import documented_rules
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, get_pipeline
+
+#: Paper reference: {type: (#R, #No, #Ob, correct, ambivalent, incorrect)}.
+PAPER_TAB4 = {
+    "inode": (14, 3, 11, 2, 5, 4),
+    "journal_head": (26, 3, 23, 13, 4, 6),
+    "transaction_t": (42, 13, 29, 23, 4, 2),
+    "journal_t": (38, 8, 30, 17, 10, 3),
+    "dentry": (22, 0, 22, 6, 14, 2),
+}
+
+#: Tab. 4 row order.
+ROW_ORDER = ("inode", "journal_head", "transaction_t", "journal_t", "dentry")
+
+
+@dataclass
+class Tab4Result:
+    """Tab. 4 check results and per-type summaries."""
+    results: List[CheckResult]
+    summaries: List[CheckSummary]
+
+    @property
+    def data(self):
+        return [
+            {
+                "type": s.data_type,
+                "rules": s.rules,
+                "unobserved": s.unobserved,
+                "observed": s.observed,
+                "correct": s.correct,
+                "ambivalent": s.ambivalent,
+                "incorrect": s.incorrect,
+            }
+            for s in self.summaries
+        ]
+
+    def summary_for(self, data_type: str) -> CheckSummary:
+        for summary in self.summaries:
+            if summary.data_type == data_type:
+                return summary
+        raise KeyError(data_type)
+
+    def overall_correct_fraction(self) -> float:
+        observed = sum(s.observed for s in self.summaries)
+        correct = sum(s.correct for s in self.summaries)
+        return correct / observed if observed else 0.0
+
+    def render(self) -> str:
+        headers = ["Data Type", "#R", "#No", "#Ob", "ok (%)", "~ (%)", "x (%)"]
+        ordered = sorted(
+            self.summaries, key=lambda s: ROW_ORDER.index(s.data_type)
+        )
+        rows = []
+        for s in ordered:
+            rows.append(
+                [
+                    s.data_type,
+                    s.rules,
+                    s.unobserved,
+                    s.observed,
+                    percentage(s.correct / s.observed if s.observed else 0),
+                    percentage(s.ambivalent / s.observed if s.observed else 0),
+                    percentage(s.incorrect / s.observed if s.observed else 0),
+                ]
+            )
+        table = render_table(headers, rows, title="Tab. 4 — validated documented rules")
+        return (
+            f"{table}\n"
+            f"overall consistently-followed share: "
+            f"{percentage(self.overall_correct_fraction())} "
+            f"(paper: ~53% counting correct+much of ambivalent as partially held)"
+        )
+
+
+def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> Tab4Result:
+    """Regenerate this experiment; see the module docstring for the paper reference."""
+    pipeline = get_pipeline(seed, scale)
+    results = check_rules(pipeline.table, documented_rules())
+    return Tab4Result(results=results, summaries=summarize(results))

@@ -1,0 +1,16 @@
+"""Simulated VFS + JBD2 subsystem (the paper's system under test).
+
+Provides the 11 observed data types of Tab. 6 with realistic layouts
+(:mod:`repro.kernel.vfs.layouts`), a ground-truth locking specification
+(:mod:`repro.kernel.vfs.groundtruth`), a spec-driven operation engine
+(:mod:`repro.kernel.vfs.ops`), hand-written kernel functions for the
+paper's famous cases (:mod:`repro.kernel.vfs.inode`,
+:mod:`repro.kernel.vfs.bufferhead`, :mod:`repro.kernel.vfs.jbd2`,
+:mod:`repro.kernel.vfs.pipe`, :mod:`repro.kernel.vfs.dentry`), and a
+filesystem facade (:mod:`repro.kernel.vfs.fs`) the workloads drive.
+"""
+
+from repro.kernel.vfs.layouts import build_struct_registry
+from repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
+
+__all__ = ["LockTok", "MemberSpec", "TypeSpec", "build_struct_registry"]

@@ -1,0 +1,24 @@
+"""Synthetic kernel source-tree substrate (Fig. 1).
+
+Fig. 1 of the paper counts lock-initialization calls and lines of code
+across Linux releases v3.0–v4.18.  The real trees (≈10⁷ LoC each) are
+not available offline, so this package generates a *calibrated,
+deterministic, down-scaled* source corpus per release
+(:mod:`repro.kernelsrc.generator`) and provides the scanner that counts
+lock usages the same way the paper did
+(:mod:`repro.kernelsrc.scanner`).  Growth *ratios* — +45 % spinlocks,
++81 % mutexes, +73 % LoC with the spinlock dip after v4.13 — are
+preserved; absolute numbers carry the documented scale factor.
+"""
+
+from repro.kernelsrc.model import KERNEL_VERSIONS, KernelVersion
+from repro.kernelsrc.generator import generate_tree
+from repro.kernelsrc.scanner import LockUsage, scan_tree
+
+__all__ = [
+    "KERNEL_VERSIONS",
+    "KernelVersion",
+    "LockUsage",
+    "generate_tree",
+    "scan_tree",
+]

@@ -1,0 +1,28 @@
+"""Monitoring/tracing phase (paper phase 1).
+
+Replaces the Fail*/Bochs monitoring environment: the simulated kernel
+reports allocations, frees, member accesses and lock operations to a
+:class:`~repro.tracing.tracer.Tracer`, which produces the flat, ordered
+event trace consumed by the post-processing importer.
+"""
+
+from repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    EventKind,
+    FreeEvent,
+    LockEvent,
+)
+from repro.tracing.tracer import Tracer, TraceStats
+
+__all__ = [
+    "AccessEvent",
+    "AllocEvent",
+    "Event",
+    "EventKind",
+    "FreeEvent",
+    "LockEvent",
+    "Tracer",
+    "TraceStats",
+]

@@ -1,0 +1,361 @@
+"""Trace serialization.
+
+The paper's pipeline writes the raw trace to disk, then imports several
+generated CSV tables into a MariaDB database (Sec. 6).  This module
+provides the equivalent archival step with two interchangeable formats:
+
+* a **text format** (one tab-separated record per line, with a stack
+  table section) — human-greppable, like the paper's CSV intermediates,
+* a **binary format** (length-prefixed, ``struct``-packed) — compact,
+  for large traces.
+
+Both round-trip exactly: ``load(dump(trace)) == trace``.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, List, TextIO, Tuple
+
+from repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    FreeEvent,
+    LockEvent,
+)
+from repro.tracing.tracer import Tracer
+
+_TEXT_MAGIC = "# lockdoc-trace v1"
+_BIN_MAGIC = b"LDOC1\n"
+
+_NONE_SUBCLASS = "-"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+
+def dump_text(tracer: Tracer, fp: TextIO) -> None:
+    """Write the tracer's events and stack table as text."""
+    fp.write(_TEXT_MAGIC + "\n")
+    fp.write(f"stacks {tracer.stack_count}\n")
+    for stack_id in range(tracer.stack_count):
+        frames = tracer.stack(stack_id)
+        encoded = ";".join(f"{fn}@{file}:{line}" for fn, file, line in frames)
+        fp.write(f"S\t{stack_id}\t{encoded}\n")
+    fp.write(f"events {len(tracer.events)}\n")
+    for event in tracer.events:
+        fp.write(_encode_text(event) + "\n")
+
+
+def _encode_text(event: Event) -> str:
+    if isinstance(event, AllocEvent):
+        return "\t".join(
+            [
+                "A",
+                str(event.ts),
+                str(event.ctx_id),
+                str(event.alloc_id),
+                f"{event.address:#x}",
+                str(event.size),
+                event.data_type,
+                event.subclass or _NONE_SUBCLASS,
+            ]
+        )
+    if isinstance(event, FreeEvent):
+        return "\t".join(
+            ["F", str(event.ts), str(event.ctx_id), str(event.alloc_id), f"{event.address:#x}"]
+        )
+    if isinstance(event, AccessEvent):
+        return "\t".join(
+            [
+                "W" if event.is_write else "R",
+                str(event.ts),
+                str(event.ctx_id),
+                f"{event.address:#x}",
+                str(event.size),
+                str(event.stack_id),
+                event.file,
+                str(event.line),
+            ]
+        )
+    if isinstance(event, LockEvent):
+        return "\t".join(
+            [
+                "L+" if event.is_acquire else "L-",
+                str(event.ts),
+                str(event.ctx_id),
+                str(event.lock_id),
+                event.lock_class,
+                event.lock_name,
+                f"{event.address:#x}" if event.address is not None else _NONE_SUBCLASS,
+                event.mode,
+                str(event.stack_id),
+                event.file,
+                str(event.line),
+            ]
+        )
+    raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def load_text(fp: TextIO) -> Tuple[List[Event], List[Tuple[Tuple[str, str, int], ...]]]:
+    """Read a text trace; returns ``(events, stack_table)``."""
+    header = fp.readline().rstrip("\n")
+    if header != _TEXT_MAGIC:
+        raise TraceFormatError(f"bad magic {header!r}")
+    stacks_line = fp.readline().split()
+    if len(stacks_line) != 2 or stacks_line[0] != "stacks":
+        raise TraceFormatError("missing stack table header")
+    stack_count = int(stacks_line[1])
+    stacks: List[Tuple[Tuple[str, str, int], ...]] = []
+    for _ in range(stack_count):
+        parts = fp.readline().rstrip("\n").split("\t")
+        if parts[0] != "S":
+            raise TraceFormatError(f"expected stack record, got {parts[0]!r}")
+        encoded = parts[2] if len(parts) > 2 else ""
+        frames: List[Tuple[str, str, int]] = []
+        if encoded:
+            for item in encoded.split(";"):
+                fn, _, loc = item.partition("@")
+                file, _, line = loc.rpartition(":")
+                frames.append((fn, file, int(line)))
+        stacks.append(tuple(frames))
+    events_line = fp.readline().split()
+    if len(events_line) != 2 or events_line[0] != "events":
+        raise TraceFormatError("missing events header")
+    event_count = int(events_line[1])
+    events: List[Event] = []
+    for _ in range(event_count):
+        line = fp.readline().rstrip("\n")
+        events.append(_decode_text(line))
+    return events, stacks
+
+
+def _decode_text(line: str) -> Event:
+    parts = line.split("\t")
+    tag = parts[0]
+    if tag == "A":
+        return AllocEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            alloc_id=int(parts[3]),
+            address=int(parts[4], 16),
+            size=int(parts[5]),
+            data_type=parts[6],
+            subclass=None if parts[7] == _NONE_SUBCLASS else parts[7],
+        )
+    if tag == "F":
+        return FreeEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            alloc_id=int(parts[3]),
+            address=int(parts[4], 16),
+        )
+    if tag in ("R", "W"):
+        return AccessEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            address=int(parts[3], 16),
+            size=int(parts[4]),
+            is_write=(tag == "W"),
+            stack_id=int(parts[5]),
+            file=parts[6],
+            line=int(parts[7]),
+        )
+    if tag in ("L+", "L-"):
+        return LockEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            lock_id=int(parts[3]),
+            lock_class=parts[4],
+            lock_name=parts[5],
+            address=None if parts[6] == _NONE_SUBCLASS else int(parts[6], 16),
+            is_acquire=(tag == "L+"),
+            mode=parts[7],
+            stack_id=int(parts[8]),
+            file=parts[9],
+            line=int(parts[10]),
+        )
+    raise TraceFormatError(f"unknown record tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+_HDR = struct.Struct("<BQI")  # tag, ts, ctx_id
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(fp: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", fp.read(2))
+    return fp.read(length).decode("utf-8")
+
+
+_TAG_ALLOC, _TAG_FREE, _TAG_READ, _TAG_WRITE, _TAG_ACQ, _TAG_REL = range(6)
+
+
+def dump_binary(tracer: Tracer, fp: BinaryIO) -> None:
+    """Write the tracer's events and stack table in binary form."""
+    fp.write(_BIN_MAGIC)
+    fp.write(struct.pack("<I", tracer.stack_count))
+    for stack_id in range(tracer.stack_count):
+        frames = tracer.stack(stack_id)
+        fp.write(struct.pack("<H", len(frames)))
+        for fn, file, line in frames:
+            fp.write(_pack_str(fn))
+            fp.write(_pack_str(file))
+            fp.write(struct.pack("<I", line))
+    fp.write(struct.pack("<Q", len(tracer.events)))
+    for event in tracer.events:
+        _encode_binary(event, fp)
+
+
+def _encode_binary(event: Event, fp: BinaryIO) -> None:
+    if isinstance(event, AllocEvent):
+        fp.write(_HDR.pack(_TAG_ALLOC, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QQI", event.alloc_id, event.address, event.size))
+        fp.write(_pack_str(event.data_type))
+        fp.write(_pack_str(event.subclass or _NONE_SUBCLASS))
+    elif isinstance(event, FreeEvent):
+        fp.write(_HDR.pack(_TAG_FREE, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QQ", event.alloc_id, event.address))
+    elif isinstance(event, AccessEvent):
+        tag = _TAG_WRITE if event.is_write else _TAG_READ
+        fp.write(_HDR.pack(tag, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QIQ", event.address, event.size, event.stack_id))
+        fp.write(_pack_str(event.file))
+        fp.write(struct.pack("<I", event.line))
+    elif isinstance(event, LockEvent):
+        tag = _TAG_ACQ if event.is_acquire else _TAG_REL
+        fp.write(_HDR.pack(tag, event.ts, event.ctx_id))
+        address = event.address if event.address is not None else 0
+        has_address = 1 if event.address is not None else 0
+        fp.write(struct.pack("<QBQ", event.lock_id, has_address, address))
+        fp.write(_pack_str(event.lock_class))
+        fp.write(_pack_str(event.lock_name))
+        fp.write(_pack_str(event.mode))
+        fp.write(struct.pack("<Q", event.stack_id))
+        fp.write(_pack_str(event.file))
+        fp.write(struct.pack("<I", event.line))
+    else:
+        raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def load_binary(fp: BinaryIO) -> Tuple[List[Event], List[Tuple[Tuple[str, str, int], ...]]]:
+    """Read a binary trace; returns ``(events, stack_table)``."""
+    magic = fp.read(len(_BIN_MAGIC))
+    if magic != _BIN_MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    (stack_count,) = struct.unpack("<I", fp.read(4))
+    stacks: List[Tuple[Tuple[str, str, int], ...]] = []
+    for _ in range(stack_count):
+        (frame_count,) = struct.unpack("<H", fp.read(2))
+        frames = []
+        for _ in range(frame_count):
+            fn = _unpack_str(fp)
+            file = _unpack_str(fp)
+            (line,) = struct.unpack("<I", fp.read(4))
+            frames.append((fn, file, line))
+        stacks.append(tuple(frames))
+    (event_count,) = struct.unpack("<Q", fp.read(8))
+    events: List[Event] = []
+    for _ in range(event_count):
+        events.append(_decode_binary(fp))
+    return events, stacks
+
+
+def _decode_binary(fp: BinaryIO) -> Event:
+    tag, ts, ctx_id = _HDR.unpack(fp.read(_HDR.size))
+    if tag == _TAG_ALLOC:
+        alloc_id, address, size = struct.unpack("<QQI", fp.read(20))
+        data_type = _unpack_str(fp)
+        subclass = _unpack_str(fp)
+        return AllocEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            alloc_id=alloc_id,
+            address=address,
+            size=size,
+            data_type=data_type,
+            subclass=None if subclass == _NONE_SUBCLASS else subclass,
+        )
+    if tag == _TAG_FREE:
+        alloc_id, address = struct.unpack("<QQ", fp.read(16))
+        return FreeEvent(ts=ts, ctx_id=ctx_id, alloc_id=alloc_id, address=address)
+    if tag in (_TAG_READ, _TAG_WRITE):
+        address, size, stack_id = struct.unpack("<QIQ", fp.read(20))
+        file = _unpack_str(fp)
+        (line,) = struct.unpack("<I", fp.read(4))
+        return AccessEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            address=address,
+            size=size,
+            is_write=(tag == _TAG_WRITE),
+            stack_id=stack_id,
+            file=file,
+            line=line,
+        )
+    if tag in (_TAG_ACQ, _TAG_REL):
+        lock_id, has_address, address = struct.unpack("<QBQ", fp.read(17))
+        lock_class = _unpack_str(fp)
+        lock_name = _unpack_str(fp)
+        mode = _unpack_str(fp)
+        (stack_id,) = struct.unpack("<Q", fp.read(8))
+        file = _unpack_str(fp)
+        (line,) = struct.unpack("<I", fp.read(4))
+        return LockEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            lock_id=lock_id,
+            lock_class=lock_class,
+            lock_name=lock_name,
+            address=address if has_address else None,
+            is_acquire=(tag == _TAG_ACQ),
+            mode=mode,
+            stack_id=stack_id,
+            file=file,
+            line=line,
+        )
+    raise TraceFormatError(f"unknown binary tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+
+
+def dumps_text(tracer: Tracer) -> str:
+    """Serialize a tracer to the text format, returning a string."""
+    buffer = io.StringIO()
+    dump_text(tracer, buffer)
+    return buffer.getvalue()
+
+
+def loads_text(text: str):
+    """Parse a text-format trace from a string."""
+    return load_text(io.StringIO(text))
+
+
+def dumps_binary(tracer: Tracer) -> bytes:
+    """Serialize a tracer to the binary format, returning bytes."""
+    buffer = io.BytesIO()
+    dump_binary(tracer, buffer)
+    return buffer.getvalue()
+
+
+def loads_binary(data: bytes):
+    """Parse a binary-format trace from bytes."""
+    return load_binary(io.BytesIO(data))

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+The expensive fixtures (the benchmark-mix pipeline, the clock trace)
+are session-scoped: the suite runs the workload once and every shape
+test reads from it, exactly like the paper analyzed one recorded trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_pipeline
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import Member, StructDef, StructRegistry
+
+#: Scale used by the shared test pipeline — statistics-bearing tests
+#: need a reasonably deep trace; heavier sweeps live in benchmarks/.
+TEST_SCALE = 18.0
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    """The shared benchmark-mix pipeline (seed 0)."""
+    return get_pipeline(seed=0, scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def derivation(pipeline):
+    """Rule-derivation results at the default accept threshold."""
+    return pipeline.derive()
+
+
+@pytest.fixture(scope="session")
+def clock_trace():
+    """The Fig. 4 clock example trace (1000 ticks + 1 faulty)."""
+    from repro.experiments.tab1 import record_clock_trace
+
+    return record_clock_trace(1000)
+
+
+def make_pair_struct(name: str = "pair") -> StructDef:
+    """A tiny two-member struct with two spinlocks (test workhorse)."""
+    return StructDef(
+        name,
+        [
+            Member.scalar("a", 8),
+            Member.scalar("b", 8),
+            Member.lock("lock_a", "spinlock_t"),
+            Member.lock("lock_b", "spinlock_t"),
+        ],
+    )
+
+
+@pytest.fixture
+def pair_runtime():
+    """Fresh runtime with the pair struct registered."""
+    registry = StructRegistry([make_pair_struct()])
+    return KernelRuntime(registry)

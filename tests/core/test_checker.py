@@ -1,0 +1,104 @@
+"""Unit tests for the Locking-Rule Checker."""
+
+import pytest
+
+from repro.core.checker import RuleStatus, check_rule, check_rules, summarize
+from repro.core.lockrefs import LockRef
+from repro.core.observations import ObservationTable
+from repro.core.rules import LockingRule
+from repro.db.importer import import_tracer
+from repro.doc.model import DocumentedRule
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+ES_A = LockRef.es("lock_a", "pair")
+
+
+@pytest.fixture
+def table():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair", subclass="x")
+    # 3 locked writes + 1 lockless write to member a; b untouched.
+    for _ in range(3):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "p", "f.c", 1):
+        rt.write(ctx, obj, "a")
+    db = import_tracer(rt.tracer, rt.structs)
+    return ObservationTable.from_database(db)
+
+
+def doc(member, access, rule):
+    return DocumentedRule("pair", member, access, rule, source="hdr:1")
+
+
+def test_ambivalent(table):
+    result = check_rule(table, doc("a", "w", LockingRule.of(ES_A)), "w", LockingRule.of(ES_A))
+    assert result.status == RuleStatus.AMBIVALENT
+    assert result.s_a == 3 and result.total == 4
+
+
+def test_correct(table):
+    rule = LockingRule.no_lock()
+    result = check_rule(table, doc("a", "w", rule), "w", rule)
+    assert result.status == RuleStatus.CORRECT
+
+
+def test_incorrect(table):
+    rule = LockingRule.of(LockRef.es("lock_b", "pair"))
+    result = check_rule(table, doc("a", "w", rule), "w", rule)
+    assert result.status == RuleStatus.INCORRECT
+
+
+def test_unobserved(table):
+    rule = LockingRule.of(ES_A)
+    result = check_rule(table, doc("b", "w", rule), "w", rule)
+    assert result.status == RuleStatus.UNOBSERVED
+
+
+def test_checker_merges_subclasses(table):
+    # the fixture's object carries subclass "x"; the documented rule
+    # speaks about the base type and still finds the observations.
+    result = check_rule(table, doc("a", "w", LockingRule.of(ES_A)), "w", LockingRule.of(ES_A))
+    assert result.total == 4
+
+
+def test_rw_rules_expand():
+    rules = [doc("a", "rw", LockingRule.of(ES_A))]
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.read(ctx, obj, "a")
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    results = check_rules(table, rules)
+    assert len(results) == 2
+    statuses = {r.access_type: r.status for r in results}
+    assert statuses["r"] == RuleStatus.CORRECT
+    assert statuses["w"] == RuleStatus.UNOBSERVED
+
+
+def test_summarize_counts(table):
+    rules = [
+        doc("a", "w", LockingRule.of(ES_A)),      # ambivalent
+        doc("a", "r", LockingRule.of(ES_A)),      # unobserved (no reads)
+        doc("b", "w", LockingRule.no_lock()),     # unobserved
+    ]
+    summaries = summarize(check_rules(table, rules))
+    assert len(summaries) == 1
+    s = summaries[0]
+    assert s.rules == 3 and s.unobserved == 2 and s.observed == 1
+    assert s.ambivalent == 1
+    assert s.fraction(RuleStatus.AMBIVALENT) == 1.0
+
+
+def test_status_symbols():
+    assert RuleStatus.CORRECT.symbol == "+"
+    assert RuleStatus.AMBIVALENT.symbol == "~"
+    assert RuleStatus.INCORRECT.symbol == "-"
+    assert RuleStatus.UNOBSERVED.symbol == "?"

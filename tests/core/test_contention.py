@@ -1,0 +1,91 @@
+"""Tests for the Lockmeter-style lock-usage statistics."""
+
+import pytest
+
+from repro.core.contention import build_contention
+from repro.core.lockorder import format_class
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def traced():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    # lock_a: 3 short holds; lock_b: 1 long hold.
+    for _ in range(3):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+    for _ in range(10):
+        rt.write(ctx, obj, "b")
+    rt.spin_unlock(ctx, obj.lock("lock_b"))
+    return rt
+
+
+def report_of(rt):
+    db = import_tracer(rt.tracer, rt.structs)
+    return build_contention(rt.tracer.events, db)
+
+
+def test_acquisition_counts(traced):
+    report = report_of(traced)
+    by_name = {format_class(s.key): s for s in report.stats.values()}
+    assert by_name["pair.lock_a"].acquisitions == 3
+    assert by_name["pair.lock_b"].acquisitions == 1
+
+
+def test_hold_spans(traced):
+    report = report_of(traced)
+    by_name = {format_class(s.key): s for s in report.stats.values()}
+    # lock_b wraps 10 accesses -> much longer hold span than lock_a's 1.
+    assert by_name["pair.lock_b"].max_hold_span > by_name["pair.lock_a"].max_hold_span
+    assert by_name["pair.lock_b"].total_hold_span > by_name["pair.lock_a"].total_hold_span
+
+
+def test_rankings(traced):
+    report = report_of(traced)
+    assert format_class(report.hottest_by_acquisitions(1)[0].key) == "pair.lock_a"
+    assert format_class(report.hottest_by_hold_span(1)[0].key) == "pair.lock_b"
+
+
+def test_read_mode_counted():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    rt.rcu_read_lock(ctx)
+    rt.rcu_read_unlock(ctx)
+    report = report_of(rt)
+    rcu = [s for s in report.stats.values() if s.key[1] == "rcu"][0]
+    assert rcu.read_acquisitions == 1
+
+
+def test_unmatched_release_counted():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    events = [e for e in rt.tracer.events
+              if not (hasattr(e, "is_acquire") and e.is_acquire)]
+    db = import_tracer(rt.tracer, rt.structs)
+    report = build_contention(events, db)
+    assert report.unmatched_releases == 1
+
+
+def test_render(traced):
+    text = report_of(traced).render()
+    assert "lock-usage statistics" in text
+    assert "pair.lock_a" in text
+
+
+def test_vfs_hotlocks(pipeline):
+    """On the full trace the hot locks are the ones the ground truth
+    exercises most: i_lock / the uptodate lock / i_rwsem rank high."""
+    report = build_contention(pipeline.mix.tracer.events, pipeline.db)
+    top = {format_class(s.key) for s in report.hottest_by_acquisitions(8)}
+    assert "inode.i_lock" in top
+    assert "buffer_head.b_uptodate_lock" in top or "inode.i_rwsem" in top

@@ -1,0 +1,113 @@
+"""Unit tests for end-to-end rule derivation."""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def rt():
+    return KernelRuntime(StructRegistry([make_pair_struct()]))
+
+
+def derive(rt, **kwargs):
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    return Derivator(**kwargs).derive(table), table
+
+
+def test_winner_for_consistent_lock(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(20):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    result, _ = derive(rt)
+    derivation = result.get("pair", "a", "w")
+    assert derivation.rule.format() == "ES(lock_a in pair)"
+    assert derivation.winner.s_r == 1.0
+
+
+def test_rare_deviation_does_not_flip_winner(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(30):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "buggy", "f.c", 9):
+        rt.write(ctx, obj, "a")  # one lockless write
+    result, _ = derive(rt)
+    derivation = result.get("pair", "a", "w")
+    assert derivation.rule.format() == "ES(lock_a in pair)"
+    assert derivation.winner.s_r < 1.0
+
+
+def test_frequent_deviation_flips_to_no_lock(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for index in range(10):
+        if index % 2 == 0:
+            rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+            rt.write(ctx, obj, "a")
+            rt.spin_unlock(ctx, obj.lock("lock_a"))
+        else:
+            with rt.function(ctx, f"path{index}", "f.c", index):
+                rt.write(ctx, obj, "a")
+    result, _ = derive(rt)
+    assert result.get("pair", "a", "w").is_no_lock
+
+
+def test_unobserved_member_has_no_derivation(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.write(ctx, obj, "a")
+    result, _ = derive(rt)
+    assert result.get("pair", "b", "w") is None
+    assert result.get("pair", "b", "r") is None
+
+
+def test_cutoff_threshold_limits_report(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(10):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "p", "f.c", 1):
+        rt.write(ctx, obj, "a")
+    result, _ = derive(rt, cutoff_threshold=0.5)
+    derivation = result.get("pair", "a", "w")
+    assert all(h.s_r >= 0.5 for h in derivation.hypotheses)
+
+
+def test_aggregate_counters(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.write(ctx, obj, "a")
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "reader", "f.c", 1):
+        rt.read(ctx, obj, "b")
+    result, _ = derive(rt)
+    assert result.rule_count("pair", "w") == 1
+    assert result.rule_count("pair", "r") == 1
+    assert result.no_lock_count("pair", "r") == 1
+    assert result.no_lock_fraction("pair", "r") == 1.0
+    assert result.no_lock_fraction("pair", "w") == 0.0
+    assert result.no_lock_fraction("missing", "r") is None
+
+
+def test_for_type_and_keys(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.write(ctx, obj, "a")
+    result, _ = derive(rt)
+    assert [d.member for d in result.for_type("pair")] == ["a"]
+    assert result.type_keys() == ["pair"]

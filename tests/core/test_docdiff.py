@@ -1,0 +1,118 @@
+"""Tests for the documentation patch generator."""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.docdiff import DocAction, build_doc_patch
+from repro.core.lockrefs import LockRef
+from repro.core.observations import ObservationTable
+from repro.core.rules import LockingRule
+from repro.db.importer import import_tracer
+from repro.doc.model import DocumentedRule
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+ES_A = LockRef.es("lock_a", "pair")
+ES_B = LockRef.es("lock_b", "pair")
+
+
+@pytest.fixture
+def derivation():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair", subclass="x")
+    for _ in range(10):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+        rt.write(ctx, obj, "b")
+        rt.spin_unlock(ctx, obj.lock("lock_b"))
+    db = import_tracer(rt.tracer, rt.structs)
+    return Derivator().derive(ObservationTable.from_database(db))
+
+
+def docs(*rules):
+    return list(rules)
+
+
+def test_keep_when_docs_match(derivation):
+    patch = build_doc_patch(
+        derivation,
+        docs(DocumentedRule("pair", "a", "w", LockingRule.of(ES_A), "hdr:1")),
+        "pair",
+    )
+    entry = [e for e in patch.entries if e.member == "a"][0]
+    assert entry.action == DocAction.KEEP
+
+
+def test_update_when_docs_stale(derivation):
+    patch = build_doc_patch(
+        derivation,
+        docs(DocumentedRule("pair", "a", "w", LockingRule.of(ES_B), "hdr:1")),
+        "pair",
+    )
+    entry = [e for e in patch.entries if e.member == "a"][0]
+    assert entry.action == DocAction.UPDATE
+    assert entry.mined == LockingRule.of(ES_A)
+    assert "hdr:1" in entry.format()
+
+
+def test_add_for_undocumented_locked_member(derivation):
+    patch = build_doc_patch(derivation, [], "pair")
+    added = {e.member for e in patch.by_action(DocAction.ADD)}
+    assert added == {"a", "b"}
+
+
+def test_no_add_for_no_lock_winners():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    with rt.function(ctx, "f", "f.c", 1):
+        rt.write(ctx, obj, "a")
+    db = import_tracer(rt.tracer, rt.structs)
+    derivation = Derivator().derive(ObservationTable.from_database(db))
+    patch = build_doc_patch(derivation, [], "pair")
+    assert patch.by_action(DocAction.ADD) == []
+
+
+def test_review_for_unobserved_documented_member(derivation):
+    patch = build_doc_patch(
+        derivation,
+        docs(DocumentedRule("pair", "a", "r", LockingRule.of(ES_A), "hdr:2")),
+        "pair",
+    )
+    # 'a' is never read in the fixture trace
+    entry = [
+        e for e in patch.entries if e.member == "a" and e.access_type == "r"
+    ][0]
+    assert entry.action == DocAction.REVIEW
+
+
+def test_summary_and_render(derivation):
+    patch = build_doc_patch(
+        derivation,
+        docs(
+            DocumentedRule("pair", "a", "w", LockingRule.of(ES_A), "hdr:1"),
+            DocumentedRule("pair", "b", "w", LockingRule.of(ES_A), "hdr:3"),
+        ),
+        "pair",
+    )
+    counts = patch.summary()
+    assert counts["keep"] == 1 and counts["update"] == 1
+    text = patch.render()
+    assert "totals:" in text and "update (1)" in text
+
+
+def test_full_corpus_patch_on_pipeline(pipeline):
+    from repro.doc.corpus import documented_rules
+
+    patch = build_doc_patch(pipeline.derive(), documented_rules(), "inode")
+    counts = patch.summary()
+    # the corpus deliberately contains stale rules -> updates exist;
+    # most members are undocumented -> adds exist; i_acl etc. -> review.
+    assert counts["update"] >= 3
+    assert counts["add"] >= 5
+    assert counts["review"] >= 1
+    assert counts["keep"] >= 2

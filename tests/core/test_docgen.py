@@ -1,0 +1,60 @@
+"""Unit tests for the Documentation Generator."""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.docgen import DocOptions, generate_all_docs, generate_doc
+from repro.core.observations import ObservationTable
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def derivation():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(5):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        with rt.function(ctx, "reader", "f.c", 1):
+            rt.read(ctx, obj, "b")
+    db = import_tracer(rt.tracer, rt.structs)
+    return Derivator().derive(ObservationTable.from_database(db))
+
+
+def test_comment_style_block(derivation):
+    doc = generate_doc(derivation, "pair")
+    assert doc.startswith("/*")
+    assert doc.endswith("*/")
+    assert "pair locking rules:" in doc
+
+
+def test_rules_grouped(derivation):
+    doc = generate_doc(derivation, "pair")
+    assert "ES(lock_a in pair) protects (write):" in doc
+    assert "No locks needed for:" in doc
+    assert "read: b" in doc
+
+
+def test_plain_style(derivation):
+    doc = generate_doc(derivation, "pair", DocOptions(comment_style=False))
+    assert "/*" not in doc
+
+
+def test_show_support(derivation):
+    doc = generate_doc(derivation, "pair", DocOptions(show_support=True))
+    assert "s_r=100%" in doc
+
+
+def test_min_support_filters(derivation):
+    doc = generate_doc(derivation, "pair", DocOptions(min_support=1.01))
+    assert "protects" not in doc
+
+
+def test_generate_all(derivation):
+    docs = generate_all_docs(derivation)
+    assert set(docs) == {"pair"}

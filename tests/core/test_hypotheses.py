@@ -1,0 +1,132 @@
+"""Unit and property tests for hypothesis enumeration and scoring."""
+
+from itertools import combinations, permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypotheses import enumerate_and_score, enumerate_rules, score
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule, complies
+
+A = LockRef.global_("a")
+B = LockRef.global_("b")
+C = LockRef.global_("c")
+
+
+class TestEnumeration:
+    def test_includes_no_lock(self):
+        rules = enumerate_rules([()])
+        assert LockingRule.no_lock() in rules
+
+    def test_all_ordered_subsets(self):
+        rules = set(enumerate_rules([(A, B)]))
+        expected = {
+            LockingRule.no_lock(),
+            LockingRule.of(A),
+            LockingRule.of(B),
+            LockingRule.of(A, B),
+            LockingRule.of(B, A),
+        }
+        assert rules == expected
+
+    def test_combines_multiple_observations(self):
+        rules = set(enumerate_rules([(A,), (B,)]))
+        assert LockingRule.of(A) in rules and LockingRule.of(B) in rules
+        # but no cross-product of locks never seen together:
+        assert LockingRule.of(A, B) not in rules
+
+    def test_max_locks_truncation(self):
+        seq = tuple(LockRef.global_(n) for n in "abcdef")
+        rules = enumerate_rules([seq], max_locks=2)
+        assert max(len(r) for r in rules) == 2
+
+    def test_every_enumerated_rule_has_support(self):
+        """The enumeration invariant: every rule has s_a >= 1 (it came
+        from an observed combination) except possibly permuted orders."""
+        observations = [((A, B), 5), ((C,), 2)]
+        rules = enumerate_rules([seq for seq, _ in observations])
+        scored = score(rules, observations)
+        # subset rules in *observed order* must have support:
+        for hypothesis in scored:
+            locks = hypothesis.rule.locks
+            if not locks:
+                continue
+            in_observed_order = any(
+                all(l in seq for l in locks)
+                and list(locks) == [l for l in seq if l in locks]
+                for seq, _ in observations
+            )
+            if in_observed_order:
+                assert hypothesis.s_a >= 1
+
+
+class TestScoring:
+    def test_paper_tab2_values(self):
+        sec = LockRef.es("sec_lock", "clock")
+        minute = LockRef.es("min_lock", "clock")
+        observations = [((sec, minute), 16), ((sec,), 1)]
+        scored = {h.rule.format(): h for h in enumerate_and_score(observations)}
+        assert scored["no lock needed"].s_a == 17
+        assert scored["ES(sec_lock in clock)"].s_a == 17
+        assert scored["ES(sec_lock in clock) -> ES(min_lock in clock)"].s_a == 16
+        assert scored["ES(min_lock in clock)"].s_a == 16
+        assert scored[
+            "ES(min_lock in clock) -> ES(sec_lock in clock)"
+        ].s_a == 0
+
+    def test_relative_support(self):
+        observations = [((A,), 3), (((B,)), 1)]
+        scored = {h.rule: h for h in score(enumerate_rules([(A,), (B,)]), observations)}
+        assert abs(scored[LockingRule.of(A)].s_r - 0.75) < 1e-9
+
+    def test_sorted_output(self):
+        observations = [((A, B), 10), ((A,), 5)]
+        ranked = enumerate_and_score(observations)
+        supports = [h.s_a for h in ranked]
+        assert supports == sorted(supports, reverse=True)
+
+
+_pool = [LockRef.global_(n) for n in "abcd"]
+_obs = st.lists(
+    st.tuples(
+        st.lists(st.sampled_from(_pool), max_size=3, unique=True).map(tuple),
+        st.integers(min_value=1, max_value=20),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_obs)
+def test_property_no_lock_has_full_support(observations):
+    scored = enumerate_and_score(observations)
+    no_lock = [h for h in scored if h.rule.is_no_lock][0]
+    assert no_lock.s_r == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(_obs)
+def test_property_support_matches_brute_force(observations):
+    """Scored support equals a brute-force compliance count."""
+    for hypothesis in enumerate_and_score(observations):
+        brute = sum(
+            count for seq, count in observations if complies(seq, hypothesis.rule)
+        )
+        assert hypothesis.s_a == brute
+
+
+@settings(max_examples=100, deadline=None)
+@given(_obs)
+def test_property_prefix_rules_dominate(observations):
+    """Dropping the tail of a rule can only increase support."""
+    for hypothesis in enumerate_and_score(observations):
+        locks = hypothesis.rule.locks
+        if len(locks) < 2:
+            continue
+        shorter = LockingRule(locks[:-1])
+        shorter_support = sum(
+            count for seq, count in observations if complies(seq, shorter)
+        )
+        assert shorter_support >= hypothesis.s_a

@@ -1,0 +1,26 @@
+"""Unit tests for report rendering helpers."""
+
+from repro.core.report import percentage, render_table, rows_to_dicts
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "long-name" in lines[3]
+    # header separator present
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_render_table_title():
+    out = render_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_percentage():
+    assert percentage(0.9412) == "94.12%"
+    assert percentage(1.0, digits=0) == "100%"
+
+
+def test_rows_to_dicts():
+    assert rows_to_dicts(["a", "b"], [[1, 2]]) == [{"a": 1, "b": 2}]

@@ -1,0 +1,112 @@
+"""Unit and property tests for locking rules and compliance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule, complies, support
+
+A = LockRef.global_("a")
+B = LockRef.global_("b")
+C = LockRef.global_("c")
+
+
+class TestLockingRule:
+    def test_no_lock(self):
+        rule = LockingRule.no_lock()
+        assert rule.is_no_lock and len(rule) == 0
+        assert rule.format() == "no lock needed"
+
+    def test_of(self):
+        rule = LockingRule.of(A, B)
+        assert len(rule) == 2
+
+    def test_repeated_lock_rejected(self):
+        with pytest.raises(ValueError):
+            LockingRule.of(A, A)
+
+    def test_format_parse_round_trip(self):
+        rule = LockingRule.of(A, LockRef.es("i_lock", "inode"))
+        assert LockingRule.parse(rule.format()) == rule
+        assert LockingRule.parse("no lock needed").is_no_lock
+        assert LockingRule.parse("").is_no_lock
+
+
+class TestComplies:
+    def test_empty_rule_always_complies(self):
+        assert complies((), LockingRule.no_lock())
+        assert complies((A, B), LockingRule.no_lock())
+
+    def test_exact_match(self):
+        assert complies((A, B), LockingRule.of(A, B))
+
+    def test_paper_interleaved_example(self):
+        # rule a -> b vs held a -> c -> b: complies (Sec. 5.4)
+        assert complies((A, C, B), LockingRule.of(A, B))
+
+    def test_wrong_order_violates(self):
+        assert not complies((B, A), LockingRule.of(A, B))
+
+    def test_missing_lock_violates(self):
+        assert not complies((A,), LockingRule.of(A, B))
+        assert not complies((), LockingRule.of(A))
+
+    def test_prefix_and_suffix_extras_ok(self):
+        assert complies((C, A, B, C.__class__.global_("d")), LockingRule.of(A, B))
+
+    def test_write_mode_satisfies_read_rule(self):
+        held = (LockRef.es("l", "t", "w"),)
+        rule = LockingRule.of(LockRef.es("l", "t", "r"))
+        assert complies(held, rule)
+
+    def test_read_mode_violates_write_rule(self):
+        held = (LockRef.es("l", "t", "r"),)
+        rule = LockingRule.of(LockRef.es("l", "t", "w"))
+        assert not complies(held, rule)
+
+
+class TestSupport:
+    def test_counts(self):
+        observations = [((A, B), 16), ((A,), 1)]
+        s_a, total = support(observations, LockingRule.of(A, B))
+        assert (s_a, total) == (16, 17)
+        s_a, total = support(observations, LockingRule.of(A))
+        assert (s_a, total) == (17, 17)
+        s_a, total = support(observations, LockingRule.no_lock())
+        assert (s_a, total) == (17, 17)
+
+
+_ref_pool = [LockRef.global_(n) for n in "abcdef"]
+_seqs = st.lists(st.sampled_from(_ref_pool), max_size=6, unique=True).map(tuple)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_seqs, _seqs)
+def test_property_subsequence_semantics(observation, rule_locks):
+    """complies() is exactly the subsequence relation on deduped refs."""
+    rule = LockingRule(rule_locks)
+
+    def is_subsequence(needle, haystack):
+        it = iter(haystack)
+        return all(any(h == n for h in it) for n in needle)
+
+    assert complies(observation, rule) == is_subsequence(rule_locks, observation)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_seqs, st.sampled_from(_ref_pool))
+def test_property_extra_locks_never_break_compliance(observation, extra):
+    """Inserting an extra held lock anywhere preserves compliance."""
+    rule_locks = observation[: max(0, len(observation) - 1)]
+    rule = LockingRule(rule_locks)
+    assert complies(observation, rule)
+    for position in range(len(observation) + 1):
+        augmented = observation[:position] + (extra,) + observation[position:]
+        assert complies(augmented, rule)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_seqs)
+def test_property_full_rule_complies_with_itself(seq):
+    assert complies(seq, LockingRule(seq))

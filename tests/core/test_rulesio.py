@@ -1,0 +1,76 @@
+"""Tests for rule export/import and rule-set diffing."""
+
+import json
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.rulesio import (
+    ExportedRule,
+    diff_rule_sets,
+    rules_from_json,
+    rules_to_json,
+)
+from repro.core.rules import LockingRule
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def result():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(5):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        with rt.function(ctx, "r", "f.c", 1):
+            rt.read(ctx, obj, "b")
+    db = import_tracer(rt.tracer, rt.structs)
+    return Derivator().derive(ObservationTable.from_database(db))
+
+
+def test_round_trip(result):
+    text = rules_to_json(result)
+    rules = rules_from_json(text)
+    by_key = {r.key: r for r in rules}
+    a_rule = by_key[("pair", "a", "w")]
+    assert a_rule.rule.format() == "ES(lock_a in pair)"
+    assert a_rule.s_r == 1.0
+    assert a_rule.observations == 5
+
+
+def test_hypotheses_included_on_request(result):
+    document = json.loads(rules_to_json(result, include_hypotheses=True))
+    target = [t for t in document["targets"] if t["member"] == "a"][0]
+    assert len(target["hypotheses"]) >= 2
+
+
+def test_version_check(result):
+    document = json.loads(rules_to_json(result))
+    document["format"] = 99
+    with pytest.raises(ValueError, match="unsupported"):
+        rules_from_json(json.dumps(document))
+
+
+def test_diff_rule_sets():
+    def exported(member, rule_text):
+        return ExportedRule("t", member, "w", LockingRule.parse(rule_text),
+                            10, 1.0, 10)
+
+    old = [exported("a", "g1"), exported("b", "g1")]
+    new = [exported("b", "g2"), exported("c", "g1")]
+    diff = diff_rule_sets(old, new)
+    assert [r.member for r in diff["added"]] == ["c"]
+    assert [r.member for r in diff["removed"]] == ["a"]
+    assert [(o.member, n.rule.format()) for o, n in diff["changed"]] == [("b", "g2")]
+
+
+def test_diff_is_empty_for_identical_sets(result):
+    rules = rules_from_json(rules_to_json(result))
+    diff = diff_rule_sets(rules, rules)
+    assert diff == {"added": [], "removed": [], "changed": []}

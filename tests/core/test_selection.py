@@ -1,0 +1,84 @@
+"""Unit tests for the winning-hypothesis selection strategy."""
+
+import pytest
+
+from repro.core.hypotheses import Hypothesis, enumerate_and_score
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule
+from repro.core.selection import select_naive, select_winner
+
+SEC = LockRef.es("sec_lock", "clock")
+MIN = LockRef.es("min_lock", "clock")
+
+
+def clock_hypotheses():
+    """The Tab. 2 scenario."""
+    return enumerate_and_score([((SEC, MIN), 16), ((SEC,), 1)])
+
+
+def test_lockdoc_selection_picks_true_rule():
+    selection = select_winner(clock_hypotheses(), accept_threshold=0.9)
+    assert selection.winner.rule == LockingRule.of(SEC, MIN)
+
+
+def test_naive_selection_picks_wrong_rule():
+    naive = select_naive(clock_hypotheses())
+    assert naive.rule != LockingRule.of(SEC, MIN)
+    assert naive.s_r == 1.0
+
+
+def test_candidates_are_above_threshold():
+    selection = select_winner(clock_hypotheses(), accept_threshold=0.9)
+    assert all(h.s_r >= 0.9 for h in selection.candidates)
+    # #4 (min -> sec, 0 support) is not a candidate
+    assert all(
+        h.rule != LockingRule.of(MIN, SEC) for h in selection.candidates
+    )
+
+
+def test_tie_breaks_towards_more_locks():
+    # #2 (sec->min) and #3 (min) tie at 94.12%; the longer rule wins.
+    selection = select_winner(clock_hypotheses(), accept_threshold=0.9)
+    assert len(selection.winner.rule) == 2
+
+
+def test_no_lock_always_available():
+    hypotheses = [Hypothesis(rule=LockingRule.no_lock(), s_a=5, total=5)]
+    selection = select_winner(hypotheses)
+    assert selection.winner.rule.is_no_lock
+
+
+def test_higher_threshold_can_flip_winner():
+    # At t_ac=0.95 the true rule (94.12%) is rejected; a looser rule wins.
+    low = select_winner(clock_hypotheses(), accept_threshold=0.9)
+    high = select_winner(clock_hypotheses(), accept_threshold=0.95)
+    assert len(high.winner.rule) < len(low.winner.rule)
+
+
+def test_threshold_one_keeps_fully_supported_rules():
+    selection = select_winner(clock_hypotheses(), accept_threshold=1.0)
+    assert selection.winner.rule == LockingRule.of(SEC)  # 100%, 1 lock > 0
+
+
+def test_empty_hypotheses_rejected():
+    with pytest.raises(ValueError):
+        select_winner([])
+
+
+def test_invalid_thresholds_rejected():
+    from repro.core.derivator import Derivator
+
+    with pytest.raises(ValueError):
+        Derivator(accept_threshold=0.0)
+    with pytest.raises(ValueError):
+        Derivator(accept_threshold=1.5)
+    with pytest.raises(ValueError):
+        Derivator(cutoff_threshold=-0.1)
+
+
+def test_deterministic_on_full_tie():
+    a = Hypothesis(rule=LockingRule.of(LockRef.global_("a")), s_a=10, total=10)
+    b = Hypothesis(rule=LockingRule.of(LockRef.global_("b")), s_a=10, total=10)
+    assert select_winner([a, b]).winner is select_winner([b, a]).winner or (
+        select_winner([a, b]).winner.rule == select_winner([b, a]).winner.rule
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for the Rule-Violation Finder."""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.violations import ViolationFinder, summarize
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+def build_trace(locked_writes=20, buggy_writes=1, buggy_paths=1):
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(locked_writes):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    for path in range(buggy_paths):
+        for _ in range(buggy_writes):
+            with rt.function(ctx, f"buggy_{path}", "buggy.c", 10 + path):
+                rt.write(ctx, obj, "a", line=11 + path)
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    result = Derivator().derive(table)
+    return result, table
+
+
+def test_violations_found():
+    result, table = build_trace()
+    violations = ViolationFinder(result, table).find()
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.member == "a" and v.access_type == "w"
+    assert v.held == ()
+    assert v.events == 1
+    assert v.sample.file == "buggy.c"
+
+
+def test_fully_supported_rules_have_no_violations():
+    result, table = build_trace(buggy_writes=0, buggy_paths=0)
+    assert ViolationFinder(result, table).find() == []
+
+
+def test_contexts_counted_per_stack():
+    result, table = build_trace(locked_writes=60, buggy_writes=1, buggy_paths=3)
+    violations = ViolationFinder(result, table).find()
+    assert len(violations) == 1  # same held-seq, grouped
+    assert len(violations[0].contexts) == 3
+    assert len(violations[0].locations) == 3
+
+
+def test_summarize_includes_zero_types():
+    result, table = build_trace()
+    violations = ViolationFinder(result, table).find()
+    rows = summarize(violations, ["pair", "ghost_type"])
+    by_type = {r.type_key: r for r in rows}
+    assert by_type["pair"].events == 1
+    assert by_type["ghost_type"].events == 0
+    assert by_type["ghost_type"].members == 0
+
+
+def test_no_lock_winner_produces_no_violations():
+    # 50/50 locked/lockless -> no-lock wins -> nothing to violate.
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for index in range(10):
+        if index % 2:
+            rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+            rt.write(ctx, obj, "a")
+            rt.spin_unlock(ctx, obj.lock("lock_a"))
+        else:
+            with rt.function(ctx, f"p{index}", "f.c", index):
+                rt.write(ctx, obj, "a")
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    result = Derivator().derive(table)
+    assert ViolationFinder(result, table).find() == []
+
+
+def test_violation_format_mentions_rule_and_location():
+    result, table = build_trace()
+    text = ViolationFinder(result, table).find()[0].format()
+    assert "expected" in text and "buggy.c" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the Sec. 5.3 import filters."""
+
+import pytest
+
+from repro.db.filters import (
+    REASON_ATOMIC_MEMBER,
+    REASON_FUNCTION_BLACKLIST,
+    REASON_INIT_TEARDOWN,
+    REASON_LOCK_MEMBER,
+    REASON_MEMBER_BLACKLIST,
+    FilterConfig,
+)
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import Member, StructDef, StructRegistry
+
+
+def build_rich_struct():
+    return StructDef(
+        "rich",
+        [
+            Member.scalar("plain", 8),
+            Member.atomic("counter"),
+            Member.lock("lk", "spinlock_t"),
+            Member.scalar("secret", 8),
+        ],
+    )
+
+
+@pytest.fixture
+def rt():
+    return KernelRuntime(StructRegistry([build_rich_struct()]))
+
+
+def kept_members(rt, config):
+    db = import_tracer(rt.tracer, rt.structs, config)
+    return {a.member for a in db.kept_accesses()}, db
+
+
+def test_atomic_member_filtered(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    rt.atomic_read(ctx, obj, "counter")
+    rt.read(ctx, obj, "plain")
+    members, db = kept_members(rt, FilterConfig())
+    assert members == {"plain"}
+    assert db.filtered_counts() == {REASON_ATOMIC_MEMBER: 1}
+
+
+def test_atomic_filter_can_be_disabled(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    rt.atomic_read(ctx, obj, "counter")
+    members, _ = kept_members(rt, FilterConfig(drop_atomic_members=False))
+    assert "counter" in members
+
+
+def test_lock_word_access_filtered(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    # Simulate the VM seeing the raw lock-word store.
+    rt.tracer.record_access(ctx, obj.addr_of("lk"), 4, is_write=True)
+    members, db = kept_members(rt, FilterConfig())
+    assert members == set()
+    assert db.filtered_counts() == {REASON_LOCK_MEMBER: 1}
+
+
+def test_member_blacklist(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    rt.read(ctx, obj, "secret")
+    config = FilterConfig(member_blacklist={("rich", "secret")})
+    members, db = kept_members(rt, config)
+    assert members == set()
+    assert db.filtered_counts() == {REASON_MEMBER_BLACKLIST: 1}
+
+
+def test_init_teardown_filter_scans_whole_stack(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    with rt.function(ctx, "rich_init", "f.c", 1):
+        with rt.function(ctx, "helper", "f.c", 20):
+            rt.write(ctx, obj, "plain")
+    rt.write(ctx, obj, "plain")  # post-init write survives
+    config = FilterConfig(init_teardown_functions={"rich_init"})
+    db = import_tracer(rt.tracer, rt.structs, config)
+    kept = [a for a in db.kept_accesses() if a.member == "plain"]
+    assert len(kept) == 1
+    assert db.filtered_counts() == {REASON_INIT_TEARDOWN: 1}
+
+
+def test_global_function_blacklist(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    with rt.function(ctx, "atomic_inc", "atomic.h", 1):
+        rt.write(ctx, obj, "plain")
+    config = FilterConfig(global_function_blacklist={"atomic_inc"})
+    members, db = kept_members(rt, config)
+    assert members == set()
+    assert db.filtered_counts() == {REASON_FUNCTION_BLACKLIST: 1}
+
+
+def test_per_type_function_blacklist(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rich")
+    with rt.function(ctx, "special_path", "f.c", 1):
+        rt.write(ctx, obj, "plain")
+    config = FilterConfig(per_type_function_blacklist={"rich": {"special_path"}})
+    members, _ = kept_members(rt, config)
+    assert members == set()
+    # ... but the same function does not filter other types:
+    config2 = FilterConfig(per_type_function_blacklist={"other": {"special_path"}})
+    members2, _ = kept_members(rt, config2)
+    assert members2 == {"plain"}
+
+
+def test_blacklisted_members_helper():
+    config = FilterConfig(member_blacklist={("a", "x"), ("a", "y"), ("b", "z")})
+    assert config.blacklisted_members("a") == {"x", "y"}
+    assert config.blacklisted_members("c") == set()
+
+
+def test_filter_precedence_lock_first():
+    config = FilterConfig(member_blacklist={("t", "lk")})
+    reason = config.reason_for("t", "lk", "lock", frozenset())
+    assert reason == REASON_LOCK_MEMBER

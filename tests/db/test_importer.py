@@ -1,0 +1,245 @@
+"""Unit tests for trace import: transaction construction, member
+resolution, lock-reference abstraction, lifetime handling."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef, Scope
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import Member, StructDef, StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def world():
+    registry = StructRegistry([make_pair_struct()])
+    rt = KernelRuntime(registry)
+    ctx = rt.new_task("t")
+    return rt, ctx
+
+
+def _import(rt):
+    return import_tracer(rt.tracer, rt.structs)
+
+
+class TestTransactionConstruction:
+    def test_access_under_lock_gets_txn(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        db = _import(rt)
+        access = [a for a in db.accesses if a.member == "a"][0]
+        txn = db.txns[access.txn_id]
+        assert not txn.no_locks
+        assert len(txn.held) == 1
+
+    def test_nested_lock_opens_new_txn(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+        rt.write(ctx, obj, "b")
+        rt.spin_unlock(ctx, obj.lock("lock_b"))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        db = _import(rt)
+        accesses = {
+            (a.member, len(db.txns[a.txn_id].held)) for a in db.kept_accesses()
+        }
+        assert ("a", 1) in accesses  # outer txn
+        assert ("b", 2) in accesses  # nested txn
+        # the two 'a' accesses land in two distinct single-lock txns
+        a_txns = {a.txn_id for a in db.kept_accesses() if a.member == "a"}
+        assert len(a_txns) == 2
+
+    def test_lockless_accesses_get_pseudo_txn(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        with rt.function(ctx, "reader", "f.c", 1):
+            rt.read(ctx, obj, "a")
+            rt.read(ctx, obj, "b")
+        db = _import(rt)
+        txn_ids = {a.txn_id for a in db.kept_accesses()}
+        assert len(txn_ids) == 1
+        assert db.txns[next(iter(txn_ids))].no_locks
+
+    def test_pseudo_txn_split_by_outer_function(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        with rt.function(ctx, "op1", "f.c", 1):
+            rt.read(ctx, obj, "a")
+        with rt.function(ctx, "op2", "f.c", 2):
+            rt.read(ctx, obj, "a")
+        db = _import(rt)
+        txn_ids = {a.txn_id for a in db.kept_accesses()}
+        assert len(txn_ids) == 2
+
+    def test_txns_are_per_context(self, world):
+        rt, ctx = world
+        other = rt.new_task("other")
+        obj = rt.new_object(ctx, "pair")
+        mutex = rt.static_lock("m", "mutex")
+        rt.run(rt.mutex_lock(ctx, mutex))
+        rt.write(ctx, obj, "a")
+        rt.read(other, obj, "b")  # other ctx holds nothing
+        rt.mutex_unlock(ctx, mutex)
+        db = _import(rt)
+        a = [x for x in db.kept_accesses() if x.member == "a"][0]
+        b = [x for x in db.kept_accesses() if x.member == "b"][0]
+        assert not db.txns[a.txn_id].no_locks
+        assert db.txns[b.txn_id].no_locks
+
+
+class TestLockRefResolution:
+    def test_embedded_same(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert access.lockseq == (LockRef.es("lock_a", "pair"),)
+
+    def test_embedded_other(self, world):
+        rt, ctx = world
+        obj1 = rt.new_object(ctx, "pair")
+        obj2 = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj1.lock("lock_a")))
+        rt.write(ctx, obj2, "a")  # foreign lock held
+        rt.spin_unlock(ctx, obj1.lock("lock_a"))
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert access.lockseq == (LockRef.eo("lock_a", "pair"),)
+
+    def test_global_lock(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        glock = rt.static_lock("big_lock", "spinlock_t")
+        rt.run(rt.spin_lock(ctx, glock))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, glock)
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert access.lockseq == (LockRef.global_("big_lock"),)
+
+    def test_pseudo_lock(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.rcu_read_lock(ctx)
+        rt.read(ctx, obj, "a")
+        rt.rcu_read_unlock(ctx)
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert access.lockseq == (LockRef.global_("rcu", "r"),)
+
+    def test_acquisition_order_preserved(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        glock = rt.static_lock("g", "spinlock_t")
+        rt.run(rt.spin_lock(ctx, glock))
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+        rt.spin_unlock(ctx, glock)
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert [r.scope for r in access.lockseq] == [Scope.GLOBAL, Scope.ES]
+
+    def test_same_ref_dedup(self, world):
+        rt, ctx = world
+        obj1 = rt.new_object(ctx, "pair")
+        obj2 = rt.new_object(ctx, "pair")
+        obj3 = rt.new_object(ctx, "pair")
+        # two foreign lock_a instances collapse to one EO ref
+        rt.run(rt.spin_lock(ctx, obj1.lock("lock_a")))
+        rt.run(rt.spin_lock(ctx, obj2.lock("lock_a")))
+        rt.write(ctx, obj3, "a")
+        rt.spin_unlock(ctx, obj2.lock("lock_a"))
+        rt.spin_unlock(ctx, obj1.lock("lock_a"))
+        db = _import(rt)
+        access = [a for a in db.kept_accesses() if a.member == "a"][0]
+        assert access.lockseq == (LockRef.eo("lock_a", "pair"),)
+
+    def test_lock_owner_metadata(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+        rt.spin_unlock(ctx, obj.lock("lock_b"))
+        db = _import(rt)
+        row = db.locks[obj.lock("lock_b").lock_id]
+        assert row.owner_data_type == "pair"
+        assert row.owner_member == "lock_b"
+        assert not row.is_static
+
+
+class TestAddressReuse:
+    def test_accesses_attributed_by_lifetime(self, world):
+        rt, ctx = world
+        obj1 = rt.new_object(ctx, "pair")
+        rt.write(ctx, obj1, "a")
+        first_id = obj1.allocation.alloc_id
+        rt.delete_object(ctx, obj1)
+        obj2 = rt.new_object(ctx, "pair")  # reuses the address
+        assert obj2.address == obj1.address
+        rt.write(ctx, obj2, "a")
+        db = _import(rt)
+        ids = [a.alloc_id for a in db.kept_accesses() if a.member == "a"]
+        assert len(ids) == 2 and ids[0] == first_id and ids[1] != first_id
+
+    def test_access_to_dead_address_is_untyped(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        address = obj.addr_of("a")
+        rt.delete_object(ctx, obj)
+        rt.tracer.record_access(ctx, address, 8, is_write=True)
+        db = _import(rt)
+        dangling = [a for a in db.accesses if a.filter_reason == "untyped_address"]
+        assert len(dangling) == 1
+
+
+class TestMemberResolution:
+    def test_nested_member(self):
+        inner = StructDef("inner", [Member.scalar("x", 8)])
+        outer = StructDef(
+            "outer", [Member.scalar("h", 8), Member.struct("sub", inner)]
+        )
+        rt = KernelRuntime(StructRegistry([outer]))
+        ctx = rt.new_task("t")
+        obj = rt.new_object(ctx, "outer")
+        rt.write(ctx, obj, "sub.x")
+        db = import_tracer(rt.tracer, rt.structs)
+        assert [a.member for a in db.kept_accesses()] == ["sub.x"]
+
+    def test_unmatched_release_tolerated(self, world):
+        rt, ctx = world
+        from repro.db.importer import Importer
+
+        obj = rt.new_object(ctx, "pair")
+        lock = obj.lock("lock_a")
+        rt.run(rt.spin_lock(ctx, lock))
+        rt.spin_unlock(ctx, lock)
+        # Craft a trace starting mid-stream: drop the acquire event.
+        events = [e for e in rt.tracer.events if not (
+            hasattr(e, "is_acquire") and e.is_acquire
+        )]
+        stacks = [rt.tracer.stack(i) for i in range(rt.tracer.stack_count)]
+        importer = Importer(rt.structs)
+        importer.run(events, stacks)
+        assert importer.unmatched_releases == 1
+
+
+class TestStats:
+    def test_db_stats_consistent(self, world):
+        rt, ctx = world
+        obj = rt.new_object(ctx, "pair")
+        rt.write(ctx, obj, "a")
+        rt.delete_object(ctx, obj)
+        db = _import(rt)
+        stats = db.stats()
+        assert stats["allocations"] == 1
+        assert stats["frees"] == 1
+        assert stats["accesses"] == 1

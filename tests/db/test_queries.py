@@ -1,0 +1,88 @@
+"""Tests for the trace-database query layer."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule
+from repro.db.importer import import_tracer
+from repro.db.queries import (
+    accesses_for_member,
+    busiest_members,
+    contexts_touching,
+    counterexamples,
+    derivator_input,
+    locks_summary,
+    txn_lock_histogram,
+)
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def db():
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    other = rt.new_task("o")
+    obj = rt.new_object(ctx, "pair", subclass="x")
+    for _ in range(3):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(other, "peek", "f.c", 1):
+        rt.read(other, obj, "a")
+        rt.read(other, obj, "b")
+    return import_tracer(rt.tracer, rt.structs)
+
+
+def test_derivator_input_split(db):
+    data = derivator_input(db)
+    key = ("pair:x", "a", "w")
+    assert key in data
+    sequences = dict(data[key])
+    assert sequences[(LockRef.es("lock_a", "pair"),)] == 3
+
+
+def test_derivator_input_merged(db):
+    data = derivator_input(db, split_subclasses=False)
+    assert ("pair", "a", "w") in data
+    assert ("pair:x", "a", "w") not in data
+
+
+def test_counterexamples(db):
+    rule = LockingRule.of(LockRef.es("lock_a", "pair"))
+    bad_reads = counterexamples(db, "pair:x", "a", "r", rule)
+    assert len(bad_reads) == 1  # the lockless peek
+    good_writes = counterexamples(db, "pair:x", "a", "w", rule)
+    assert good_writes == []
+
+
+def test_accesses_for_member(db):
+    rows = accesses_for_member(db, "pair:x", "a")
+    assert len(rows) == 4  # 3 writes + 1 read
+    assert [r.ts for r in rows] == sorted(r.ts for r in rows)
+
+
+def test_txn_lock_histogram(db):
+    histogram = txn_lock_histogram(db)
+    assert histogram[1] == 3  # the three locked write txns
+    assert histogram[0] == 1  # the lockless peek pseudo-txn
+
+
+def test_locks_summary(db):
+    summary = locks_summary(db)
+    assert summary["spinlock_t"]["instances"] == 1
+    assert summary["spinlock_t"]["embedded"] == 1
+    assert summary["spinlock_t"]["static"] == 0
+
+
+def test_busiest_members(db):
+    ranked = busiest_members(db, limit=2)
+    assert ranked[0][:2] == ("pair:x", "a")
+    assert ranked[0][2] == 4
+
+
+def test_contexts_touching(db):
+    contexts = contexts_touching(db, "pair:x", "a")
+    assert len(contexts) == 2  # writer task + peeking task
+    assert sorted(contexts.values()) == [1, 3]

@@ -1,0 +1,162 @@
+"""Unit tests for the documented-rule model, corpus, and parser."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef, Scope
+from repro.core.rules import LockingRule
+from repro.doc.corpus import (
+    CORPUS_BUILDERS,
+    corpus_counts,
+    documented_rules,
+)
+from repro.doc.model import DocumentedRule, expand_rules
+from repro.doc.parser import parse_comment_block
+from repro.kernel.vfs.groundtruth import build_all_specs
+from repro.kernel.vfs.layouts import build_struct_registry
+
+
+class TestModel:
+    def test_invalid_access_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentedRule("t", "m", "x", LockingRule.no_lock())
+
+    def test_rw_expands_to_two(self):
+        rule = DocumentedRule("t", "m", "rw", LockingRule.no_lock())
+        assert [a for a, _ in rule.expand()] == ["r", "w"]
+
+    def test_expand_rules_flattens(self):
+        rules = [
+            DocumentedRule("t", "m", "rw", LockingRule.no_lock()),
+            DocumentedRule("t", "n", "r", LockingRule.no_lock()),
+        ]
+        assert len(expand_rules(rules)) == 3
+
+
+class TestCorpus:
+    def test_total_is_142_rules(self):
+        counts = corpus_counts()
+        assert sum(counts.values()) == 142  # the paper's total
+
+    def test_per_type_counts_match_tab4(self):
+        assert corpus_counts() == {
+            "inode": 14,
+            "journal_head": 26,
+            "transaction_t": 42,
+            "journal_t": 38,
+            "dentry": 22,
+        }
+
+    def test_documented_members_exist_in_layouts(self):
+        registry = build_struct_registry()
+        for rule in documented_rules():
+            struct = registry.get(rule.data_type)
+            assert struct.has_member(rule.member), (rule.data_type, rule.member)
+
+    def test_rule_locks_reference_real_locks(self):
+        registry = build_struct_registry()
+        specs = build_all_specs()
+        for documented in documented_rules():
+            for ref in documented.rule.locks:
+                if ref.scope == Scope.GLOBAL:
+                    continue
+                owner = registry.get(ref.owner_type)
+                lock_names = {m.name for m in owner.lock_members()}
+                assert ref.name in lock_names, (documented.format(), ref.format())
+
+    def test_single_type_access(self):
+        rules = documented_rules("inode")
+        assert all(r.data_type == "inode" for r in rules)
+        with pytest.raises(KeyError):
+            documented_rules("nope")
+
+    def test_sources_attached(self):
+        assert all(r.source for r in documented_rules())
+
+
+class TestParser:
+    def test_fig2_style_block(self):
+        block = """
+        /*
+         * Inode locking rules:
+         *
+         * inode->i_lock protects:
+         *   inode->i_state, inode->i_hash
+         * inode_hash_lock protects:
+         *   inode->i_hash
+         */
+        """
+        rules = parse_comment_block(block, "inode", source="fs/inode.c:10")
+        by_member = {}
+        for rule in rules:
+            by_member.setdefault(rule.member, []).append(rule)
+        assert any(
+            r.rule.locks == (LockRef.es("i_lock", "inode"),)
+            for r in by_member["i_state"]
+        )
+        assert any(
+            r.rule.locks == (LockRef.global_("inode_hash_lock"),)
+            for r in by_member["i_hash"]
+        )
+
+    def test_wording_variants(self):
+        for verb in ("protects", "guards", "serializes"):
+            rules = parse_comment_block(
+                f"inode->i_lock {verb}:\n inode->i_state\n", "inode"
+            )
+            assert rules and rules[0].member == "i_state"
+
+    def test_lock_sequence(self):
+        block = "inode_hash_lock -> inode->i_lock protects:\n inode->i_hash\n"
+        rules = parse_comment_block(block, "inode")
+        assert rules[0].rule.locks == (
+            LockRef.global_("inode_hash_lock"),
+            LockRef.es("i_lock", "inode"),
+        )
+
+    def test_foreign_struct_members_ignored(self):
+        block = "inode->i_lock protects:\n dentry->d_inode, inode->i_state\n"
+        rules = parse_comment_block(block, "inode")
+        assert {r.member for r in rules} == {"i_state"}
+
+    def test_access_is_rw(self):
+        rules = parse_comment_block(
+            "inode->i_lock protects:\n inode->i_state\n", "inode"
+        )
+        assert rules[0].access == "rw"
+
+
+class TestFunctionCommentParser:
+    def test_fig3_style_comment(self):
+        from repro.doc.parser import parse_function_comment
+
+        block = """
+        /*
+         * inode_set_flags - atomically set some inode flags
+         *
+         * Note: the caller should be holding i_mutex, or else be sure
+         * that they have exclusive access to the inode structure.
+         */
+        """
+        refs = parse_function_comment(block, "inode")
+        assert any(r.name == "i_mutex" for r in refs)
+
+    def test_is_held_wording(self):
+        from repro.doc.parser import parse_function_comment
+
+        refs = parse_function_comment(
+            "/* should be called with inode->i_lock held */", "inode"
+        )
+        assert [r.format() for r in refs] == ["ES(i_lock in inode)"]
+
+    def test_grabbed_wording(self):
+        from repro.doc.parser import parse_function_comment
+
+        refs = parse_function_comment(
+            "/* inode_hash_lock to be grabbed before calling */", "inode"
+        )
+        assert [r.format() for r in refs] == ["inode_hash_lock"]
+
+    def test_no_lock_mentions(self):
+        from repro.doc.parser import parse_function_comment
+
+        assert parse_function_comment("/* frobs the widget */", "inode") == []

@@ -1,0 +1,216 @@
+"""Unit tests for the lock primitives."""
+
+import pytest
+
+from repro.kernel.context import make_hardirq, make_softirq, make_task
+from repro.kernel.errors import LockUsageError
+from repro.kernel.locks import Lock, LockClass, LockMode, PseudoLocks
+
+
+@pytest.fixture
+def ctx():
+    return make_task("t0")
+
+
+@pytest.fixture
+def other():
+    return make_task("t1")
+
+
+class TestSpinlock:
+    def test_acquire_release(self, ctx):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert lock.owner is ctx
+        lock.release(ctx, LockMode.EXCLUSIVE)
+        assert lock.is_free()
+
+    def test_contention(self, ctx, other):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert not lock.try_acquire(other, LockMode.EXCLUSIVE)
+
+    def test_self_deadlock_detected(self, ctx):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        with pytest.raises(LockUsageError, match="self-deadlock"):
+            lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+
+    def test_no_shared_mode(self, ctx):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        with pytest.raises(LockUsageError, match="no shared mode"):
+            lock.try_acquire(ctx, LockMode.SHARED)
+
+    def test_release_not_held(self, ctx):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        with pytest.raises(LockUsageError):
+            lock.release(ctx, LockMode.EXCLUSIVE)
+
+    def test_release_by_non_owner(self, ctx, other):
+        lock = Lock(LockClass.SPINLOCK, "l")
+        lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        with pytest.raises(LockUsageError):
+            lock.release(other, LockMode.EXCLUSIVE)
+
+
+class TestRwlock:
+    def test_multiple_readers(self, ctx, other):
+        lock = Lock(LockClass.RWLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        assert lock.try_acquire(other, LockMode.SHARED)
+        assert lock.reader_count == 2
+
+    def test_writer_excludes_readers(self, ctx, other):
+        lock = Lock(LockClass.RWLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert not lock.try_acquire(other, LockMode.SHARED)
+
+    def test_readers_exclude_writer(self, ctx, other):
+        lock = Lock(LockClass.RWLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        assert not lock.try_acquire(other, LockMode.EXCLUSIVE)
+
+    def test_read_recursion_allowed(self, ctx):
+        lock = Lock(LockClass.RWLOCK, "l")
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        lock.release(ctx, LockMode.SHARED)
+        assert lock.held_by(ctx)
+        lock.release(ctx, LockMode.SHARED)
+        assert lock.is_free()
+
+    def test_upgrade_rejected(self, ctx):
+        lock = Lock(LockClass.RWLOCK, "l")
+        lock.try_acquire(ctx, LockMode.SHARED)
+        with pytest.raises(LockUsageError, match="write-acquires"):
+            lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+
+    def test_downgrade_rejected(self, ctx):
+        lock = Lock(LockClass.RWLOCK, "l")
+        lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        with pytest.raises(LockUsageError, match="read-acquires"):
+            lock.try_acquire(ctx, LockMode.SHARED)
+
+
+class TestMutex:
+    def test_exclusive(self, ctx, other):
+        lock = Lock(LockClass.MUTEX, "m")
+        assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert not lock.try_acquire(other, LockMode.EXCLUSIVE)
+        lock.release(ctx, LockMode.EXCLUSIVE)
+        assert lock.try_acquire(other, LockMode.EXCLUSIVE)
+
+    def test_sleeping_classification(self):
+        assert LockClass.MUTEX.sleeping
+        assert LockClass.RW_SEMAPHORE.sleeping
+        assert LockClass.SEMAPHORE.sleeping
+        assert not LockClass.SPINLOCK.sleeping
+        assert not LockClass.RWLOCK.sleeping
+
+
+class TestSemaphore:
+    def test_counting(self, ctx, other):
+        sem = Lock(LockClass.SEMAPHORE, "s", capacity=2)
+        assert sem.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert sem.try_acquire(other, LockMode.EXCLUSIVE)
+        third = make_task("t2")
+        assert not sem.try_acquire(third, LockMode.EXCLUSIVE)
+        sem.release(ctx, LockMode.EXCLUSIVE)
+        assert sem.try_acquire(third, LockMode.EXCLUSIVE)
+
+    def test_overflow_up(self, ctx):
+        sem = Lock(LockClass.SEMAPHORE, "s", capacity=1)
+        with pytest.raises(LockUsageError, match="up"):
+            sem.release(ctx, LockMode.EXCLUSIVE)
+
+
+class TestRwSemaphore:
+    def test_reader_writer(self, ctx, other):
+        sem = Lock(LockClass.RW_SEMAPHORE, "rw")
+        assert sem.try_acquire(ctx, LockMode.SHARED)
+        assert not sem.try_acquire(other, LockMode.EXCLUSIVE)
+        sem.release(ctx, LockMode.SHARED)
+        assert sem.try_acquire(other, LockMode.EXCLUSIVE)
+
+
+class TestSeqlock:
+    def test_write_side_bumps_sequence(self, ctx):
+        lock = Lock(LockClass.SEQLOCK, "s")
+        start = lock.seq
+        lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert lock.seq == start + 1  # odd while writing
+        lock.release(ctx, LockMode.EXCLUSIVE)
+        assert lock.seq == start + 2  # even when done
+
+    def test_reader_blocked_by_writer(self, ctx, other):
+        lock = Lock(LockClass.SEQLOCK, "s")
+        lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert not lock.try_acquire(other, LockMode.SHARED)
+
+    def test_readers_concurrent(self, ctx, other):
+        lock = Lock(LockClass.SEQLOCK, "s")
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        assert lock.try_acquire(other, LockMode.SHARED)
+
+
+class TestRcu:
+    def test_nesting(self, ctx):
+        rcu = Lock(LockClass.RCU, "rcu", is_static=True)
+        assert rcu.try_acquire(ctx, LockMode.SHARED)
+        assert rcu.try_acquire(ctx, LockMode.SHARED)
+        rcu.release(ctx, LockMode.SHARED)
+        assert rcu.held_by(ctx)
+        rcu.release(ctx, LockMode.SHARED)
+        assert not rcu.held_by(ctx)
+
+    def test_many_concurrent_readers(self):
+        rcu = Lock(LockClass.RCU, "rcu", is_static=True)
+        contexts = [make_task(f"t{i}") for i in range(10)]
+        for c in contexts:
+            assert rcu.try_acquire(c, LockMode.SHARED)
+        assert rcu.reader_count == 10
+
+
+class TestPseudoLocks:
+    def test_singletons(self):
+        pseudo = PseudoLocks()
+        names = {lock.name for lock in pseudo.all()}
+        assert names == {"rcu", "softirq", "hardirq", "preempt"}
+        assert all(lock.is_static for lock in pseudo.all())
+
+    def test_irq_disable_nests(self, ctx):
+        pseudo = PseudoLocks()
+        assert pseudo.hardirq.try_acquire(ctx, LockMode.EXCLUSIVE)
+        assert pseudo.hardirq.try_acquire(ctx, LockMode.EXCLUSIVE)
+        pseudo.hardirq.release(ctx, LockMode.EXCLUSIVE)
+        assert pseudo.hardirq.held_by(ctx)
+        pseudo.hardirq.release(ctx, LockMode.EXCLUSIVE)
+        assert pseudo.hardirq.is_free()
+
+    def test_cross_context_pseudo_rejected(self, ctx, other):
+        pseudo = PseudoLocks()
+        pseudo.softirq.try_acquire(ctx, LockMode.EXCLUSIVE)
+        with pytest.raises(LockUsageError, match="crossed contexts"):
+            pseudo.softirq.try_acquire(other, LockMode.EXCLUSIVE)
+
+
+class TestLockIdentity:
+    def test_unique_ids(self):
+        a = Lock(LockClass.SPINLOCK, "a")
+        b = Lock(LockClass.SPINLOCK, "b")
+        assert a.lock_id != b.lock_id
+
+    def test_reader_writer_classification(self):
+        assert LockClass.RWLOCK.reader_writer
+        assert LockClass.RW_SEMAPHORE.reader_writer
+        assert LockClass.SEQLOCK.reader_writer
+        assert LockClass.RCU.reader_writer
+        assert not LockClass.MUTEX.reader_writer
+        assert not LockClass.SPINLOCK.reader_writer
+
+    def test_pseudo_classification(self):
+        assert LockClass.RCU.pseudo
+        assert LockClass.SOFTIRQ.pseudo
+        assert LockClass.HARDIRQ.pseudo
+        assert LockClass.PREEMPT.pseudo
+        assert not LockClass.SPINLOCK.pseudo

@@ -1,0 +1,137 @@
+"""Unit and property tests for the allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.errors import DoubleFreeError, MemoryError_
+from repro.kernel.memory import ALIGN, HEAP_BASE, Allocation, Allocator
+
+
+class TestAllocation:
+    def test_contains(self):
+        a = Allocation(address=1000, size=64, data_type="t")
+        assert a.contains(1000)
+        assert a.contains(1063)
+        assert not a.contains(1064)
+        assert not a.contains(999)
+        assert a.contains(1060, size=4)
+        assert not a.contains(1060, size=5)
+
+    def test_offset_of(self):
+        a = Allocation(address=1000, size=64, data_type="t")
+        assert a.offset_of(1000) == 0
+        assert a.offset_of(1040) == 40
+
+    def test_offset_outside_raises(self):
+        a = Allocation(address=1000, size=64, data_type="t")
+        with pytest.raises(Exception):
+            a.offset_of(2000)
+
+
+class TestAllocator:
+    def test_alloc_basic(self):
+        allocator = Allocator()
+        a = allocator.alloc(40, "inode")
+        assert a.address >= HEAP_BASE
+        assert a.size == 40
+        assert a.live
+
+    def test_alignment(self):
+        allocator = Allocator()
+        a = allocator.alloc(3, "t")
+        assert a.size % ALIGN == 0
+
+    def test_zero_size_rejected(self):
+        allocator = Allocator()
+        with pytest.raises(MemoryError_):
+            allocator.alloc(0, "t")
+
+    def test_no_overlap(self):
+        allocator = Allocator()
+        allocations = [allocator.alloc(24, "t") for _ in range(20)]
+        spans = sorted((a.address, a.address + a.size) for a in allocations)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_free_and_reuse(self):
+        allocator = Allocator()
+        a = allocator.alloc(64, "t")
+        address = a.address
+        allocator.free(a)
+        assert not a.live
+        b = allocator.alloc(64, "t")
+        assert b.address == address  # address reuse (kmalloc cache style)
+        assert b.alloc_id != a.alloc_id  # but a fresh identity
+
+    def test_double_free(self):
+        allocator = Allocator()
+        a = allocator.alloc(64, "t")
+        allocator.free(a)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(a)
+
+    def test_find_live_exact(self):
+        allocator = Allocator()
+        a = allocator.alloc(64, "t")
+        assert allocator.find_live(a.address) is a
+
+    def test_find_live_interior(self):
+        allocator = Allocator()
+        a = allocator.alloc(64, "t")
+        assert allocator.find_live(a.address + 32) is a
+
+    def test_find_live_dead(self):
+        allocator = Allocator()
+        a = allocator.alloc(64, "t")
+        allocator.free(a)
+        assert allocator.find_live(a.address) is None
+
+    def test_static_segment_disjoint_from_heap(self):
+        allocator = Allocator()
+        heap = allocator.alloc(64, "t")
+        static = allocator.alloc_static(8)
+        assert allocator.is_static_address(static)
+        assert not allocator.is_static_address(heap.address)
+
+    def test_live_of_type(self):
+        allocator = Allocator()
+        allocator.alloc(8, "a")
+        allocator.alloc(8, "b")
+        allocator.alloc(8, "a")
+        assert len(allocator.live_of_type("a")) == 2
+        assert len(allocator.live_of_type("b")) == 1
+
+    def test_counters(self):
+        allocator = Allocator()
+        a = allocator.alloc(8, "t")
+        allocator.alloc(8, "t")
+        allocator.free(a)
+        assert allocator.alloc_count == 2
+        assert allocator.free_count == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=512), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_live_allocations_never_overlap(plan):
+    """Whatever the alloc/free sequence, live allocations never overlap
+    and interior lookups always resolve to the covering allocation."""
+    allocator = Allocator()
+    live = []
+    for size, do_free in plan:
+        allocation = allocator.alloc(size, "t")
+        live.append(allocation)
+        if do_free and len(live) > 1:
+            victim = live.pop(0)
+            allocator.free(victim)
+    spans = sorted((a.address, a.address + a.size) for a in live)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start
+    for allocation in live:
+        assert allocator.find_live(allocation.address + allocation.size - 1) is allocation

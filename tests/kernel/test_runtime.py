@@ -1,0 +1,205 @@
+"""Unit tests for the kernel runtime (objects, accesses, lock API)."""
+
+import pytest
+
+from repro.kernel.errors import KernelError, LockUsageError
+from repro.kernel.locks import LockClass
+from repro.kernel.runtime import Wait, pinned
+from repro.tracing.events import AccessEvent, AllocEvent, FreeEvent, LockEvent
+
+
+@pytest.fixture
+def rt(pair_runtime):
+    return pair_runtime
+
+
+@pytest.fixture
+def ctx(rt):
+    return rt.new_task("worker")
+
+
+class TestObjectLifecycle:
+    def test_new_object_records_alloc(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        allocs = [e for e in rt.tracer.events if isinstance(e, AllocEvent)]
+        assert len(allocs) == 1
+        assert allocs[0].data_type == "pair"
+        assert obj.live
+
+    def test_embedded_locks_created(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        assert obj.lock("lock_a").lock_class == LockClass.SPINLOCK
+        assert obj.lock("lock_a").address == obj.addr_of("lock_a")
+
+    def test_unknown_lock_member(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with pytest.raises(LockUsageError):
+            obj.lock("nope")
+
+    def test_delete_records_free(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.delete_object(ctx, obj)
+        frees = [e for e in rt.tracer.events if isinstance(e, FreeEvent)]
+        assert len(frees) == 1
+        assert not obj.live
+
+    def test_delete_with_held_lock_rejected(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        with pytest.raises(LockUsageError, match="freeing"):
+            rt.delete_object(ctx, obj)
+
+    def test_subclass_recorded(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair", subclass="ext4")
+        assert obj.subclass == "ext4"
+
+    def test_lock_registry_cleaned_on_delete(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        lock_id = obj.lock("lock_a").lock_id
+        rt.delete_object(ctx, obj)
+        assert lock_id not in rt.locks_by_id
+
+
+class TestAccesses:
+    def test_read_event(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.read(ctx, obj, "a")
+        event = rt.tracer.events[-1]
+        assert isinstance(event, AccessEvent)
+        assert not event.is_write
+        assert event.address == obj.addr_of("a")
+
+    def test_write_stores_value(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.write(ctx, obj, "b", value=42)
+        assert rt.read(ctx, obj, "b") == 42
+
+    def test_access_site_from_frame(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with rt.function(ctx, "fn", "file.c", 10):
+            rt.read(ctx, obj, "a")
+            rt.read(ctx, obj, "a", line=99)
+        events = [e for e in rt.tracer.events if isinstance(e, AccessEvent)]
+        assert events[-2].file == "file.c" and events[-2].line == 10
+        assert events[-1].line == 99
+
+    def test_stack_interning(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with rt.function(ctx, "fn", "file.c", 10):
+            rt.read(ctx, obj, "a")
+            rt.read(ctx, obj, "a")
+        events = [e for e in rt.tracer.events if isinstance(e, AccessEvent)]
+        assert events[-1].stack_id == events[-2].stack_id
+        frames = rt.tracer.stack(events[-1].stack_id)
+        assert frames[-1][0] == "fn"
+
+
+class TestLockApi:
+    def test_spin_lock_records_events(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        lock = obj.lock("lock_a")
+        rt.run(rt.spin_lock(ctx, lock))
+        rt.spin_unlock(ctx, lock)
+        lock_events = [e for e in rt.tracer.events if isinstance(e, LockEvent)]
+        assert [e.is_acquire for e in lock_events] == [True, False]
+        assert lock_events[0].lock_id == lock.lock_id
+
+    def test_wrong_primitive_rejected(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with pytest.raises(LockUsageError, match="mutex_lock"):
+            rt.run(rt.mutex_lock(ctx, obj.lock("lock_a")))
+
+    def test_spin_trylock(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        other = rt.new_task("other")
+        assert rt.spin_trylock(ctx, obj.lock("lock_a"))
+        assert not rt.spin_trylock(other, obj.lock("lock_a"))
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+
+    def test_spin_lock_irq_holds_pseudo(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock_irq(ctx, obj.lock("lock_a")))
+        held = [lock.name for lock in ctx.held_locks()]
+        assert held == ["hardirq", "lock_a"]
+        rt.spin_unlock_irq(ctx, obj.lock("lock_a"))
+        assert ctx.held == []
+
+    def test_spin_lock_bh_holds_pseudo(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock_bh(ctx, obj.lock("lock_a")))
+        assert [lock.name for lock in ctx.held_locks()] == ["softirq", "lock_a"]
+        rt.spin_unlock_bh(ctx, obj.lock("lock_a"))
+
+    def test_rcu_nesting_records_once(self, rt, ctx):
+        rt.rcu_read_lock(ctx)
+        rt.rcu_read_lock(ctx)
+        rt.rcu_read_unlock(ctx)
+        rt.rcu_read_unlock(ctx)
+        lock_events = [e for e in rt.tracer.events if isinstance(e, LockEvent)]
+        assert len(lock_events) == 2  # one acquire + one release
+
+    def test_irq_disable_nesting_records_once(self, rt, ctx):
+        rt.local_irq_disable(ctx)
+        rt.local_irq_disable(ctx)
+        rt.local_irq_enable(ctx)
+        assert ctx.irq_disable_depth == 1
+        rt.local_irq_enable(ctx)
+        lock_events = [e for e in rt.tracer.events if isinstance(e, LockEvent)]
+        assert len(lock_events) == 2
+
+    def test_unbalanced_enable_rejected(self, rt, ctx):
+        with pytest.raises(LockUsageError, match="unbalanced"):
+            rt.local_bh_enable(ctx)
+
+    def test_static_lock_is_singleton(self, rt):
+        a = rt.static_lock("global_l", "spinlock_t")
+        b = rt.static_lock("global_l", "spinlock_t")
+        assert a is b
+        assert a.is_static
+
+    def test_sleeping_lock_in_atomic_context_rejected(self, rt, ctx):
+        registry = rt.structs
+        obj = rt.new_object(ctx, "pair")
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        mutex = rt.static_lock("m", "mutex")
+        with pytest.raises(LockUsageError, match="holding a spinlock"):
+            rt.run(rt.mutex_lock(ctx, mutex))
+
+    def test_sleeping_lock_with_irqs_off_rejected(self, rt, ctx):
+        mutex = rt.static_lock("m", "mutex")
+        rt.local_irq_disable(ctx)
+        with pytest.raises(LockUsageError, match="disabled"):
+            rt.run(rt.mutex_lock(ctx, mutex))
+
+    def test_inline_run_raises_on_contention(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        other = rt.new_task("other")
+        mutex = rt.static_lock("m", "mutex")
+        rt.run(rt.mutex_lock(ctx, mutex))
+        with pytest.raises(KernelError, match="blocked"):
+            rt.run(rt.mutex_lock(other, mutex))
+
+
+class TestPinning:
+    def test_pin_unpin(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with pinned(obj):
+            assert obj.pinned
+        assert not obj.pinned
+
+    def test_unbalanced_unpin(self, rt, ctx):
+        obj = rt.new_object(ctx, "pair")
+        with pytest.raises(KernelError):
+            obj.unpin()
+
+
+class TestWaitToken:
+    def test_ready_probe(self, rt, ctx):
+        from repro.kernel.locks import LockMode
+
+        mutex = rt.static_lock("m", "mutex")
+        wait = Wait(mutex, LockMode.EXCLUSIVE)
+        assert wait.ready(ctx)
+        rt.run(rt.mutex_lock(ctx, mutex))
+        other = rt.new_task("o")
+        assert not Wait(mutex, LockMode.EXCLUSIVE).ready(other)

@@ -1,0 +1,277 @@
+"""Unit tests for the cooperative scheduler."""
+
+import pytest
+
+from repro.kernel.context import ContextKind
+from repro.kernel.errors import DeadlockError, KernelError
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.sched import Scheduler
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+
+@pytest.fixture
+def rt():
+    return KernelRuntime(StructRegistry([make_pair_struct()]))
+
+
+def test_threads_run_to_completion(rt):
+    log = []
+
+    def body(name):
+        def run(ctx):
+            for i in range(3):
+                log.append((name, i))
+                yield
+
+        return run
+
+    scheduler = Scheduler(rt, seed=1)
+    scheduler.spawn("a", body("a"))
+    scheduler.spawn("b", body("b"))
+    scheduler.run()
+    assert sorted(log) == [(n, i) for n in "ab" for i in range(3)]
+
+
+def test_interleaving_is_deterministic(rt):
+    def trace_for(seed):
+        runtime = KernelRuntime(StructRegistry([make_pair_struct()]))
+        order = []
+
+        def body(name):
+            def run(ctx):
+                for _ in range(5):
+                    order.append(name)
+                    yield
+
+            return run
+
+        scheduler = Scheduler(runtime, seed=seed)
+        scheduler.spawn("a", body("a"))
+        scheduler.spawn("b", body("b"))
+        scheduler.run()
+        return order
+
+    assert trace_for(7) == trace_for(7)
+
+
+def test_seed_changes_interleaving(rt):
+    def order_with(seed):
+        runtime = KernelRuntime(StructRegistry([make_pair_struct()]))
+        order = []
+
+        def body(name):
+            def run(ctx):
+                for _ in range(10):
+                    order.append(name)
+                    yield
+
+            return run
+
+        scheduler = Scheduler(runtime, seed=seed)
+        scheduler.spawn("a", body("a"))
+        scheduler.spawn("b", body("b"))
+        scheduler.run()
+        return tuple(order)
+
+    assert len({order_with(s) for s in range(5)}) > 1
+
+
+def test_mutex_blocking_and_handoff(rt):
+    mutex = rt.static_lock("m", "mutex")
+    order = []
+
+    def body(name):
+        def run(ctx):
+            yield from rt.mutex_lock(ctx, mutex)
+            order.append((name, "locked"))
+            yield  # hold across a preemption point
+            order.append((name, "unlocking"))
+            rt.mutex_unlock(ctx, mutex)
+
+        return run
+
+    scheduler = Scheduler(rt, seed=3)
+    for name in ("a", "b", "c"):
+        scheduler.spawn(name, body(name))
+    scheduler.run()
+    # Critical sections never interleave.
+    for i in range(0, len(order), 2):
+        assert order[i][0] == order[i + 1][0]
+        assert order[i][1] == "locked" and order[i + 1][1] == "unlocking"
+
+
+def test_deadlock_detection(rt):
+    m1 = rt.static_lock("m1", "mutex")
+    m2 = rt.static_lock("m2", "mutex")
+
+    def grab(first, second):
+        def run(ctx):
+            yield from rt.mutex_lock(ctx, first)
+            yield
+            yield
+            yield from rt.mutex_lock(ctx, second)
+            rt.mutex_unlock(ctx, second)
+            rt.mutex_unlock(ctx, first)
+
+        return run
+
+    found_deadlock = False
+    for seed in range(12):
+        runtime = KernelRuntime(StructRegistry([make_pair_struct()]))
+        a = runtime.static_lock("m1", "mutex")
+        b = runtime.static_lock("m2", "mutex")
+
+        def grab2(first, second):
+            def run(ctx):
+                yield from runtime.mutex_lock(ctx, first)
+                yield
+                yield
+                yield from runtime.mutex_lock(ctx, second)
+                runtime.mutex_unlock(ctx, second)
+                runtime.mutex_unlock(ctx, first)
+
+            return run
+
+        scheduler = Scheduler(runtime, seed=seed, max_burst=1)
+        scheduler.spawn("ab", grab2(a, b))
+        scheduler.spawn("ba", grab2(b, a))
+        try:
+            scheduler.run()
+        except DeadlockError:
+            found_deadlock = True
+            break
+    assert found_deadlock, "ABBA deadlock never materialized across seeds"
+
+
+def test_atomic_sections_never_interleave(rt):
+    """A spinlock holder is non-preemptable: no other thread's marker may
+    appear between lock and unlock."""
+    obj = rt.new_object(rt.new_task("boot"), "pair")
+    lock = obj.lock("lock_a")
+    order = []
+
+    def body(name):
+        def run(ctx):
+            for _ in range(5):
+                yield from rt.spin_lock(ctx, lock)
+                order.append((name, "in"))
+                yield  # even with an explicit yield inside the section
+                order.append((name, "out"))
+                rt.spin_unlock(ctx, lock)
+                yield
+
+        return run
+
+    scheduler = Scheduler(rt, seed=5)
+    scheduler.spawn("a", body("a"))
+    scheduler.spawn("b", body("b"))
+    scheduler.run()
+    for i in range(0, len(order), 2):
+        assert order[i][0] == order[i + 1][0]
+
+
+def test_exit_holding_lock_rejected(rt):
+    mutex = rt.static_lock("m", "mutex")
+
+    def leaker(ctx):
+        yield from rt.mutex_lock(ctx, mutex)
+
+    scheduler = Scheduler(rt, seed=0)
+    scheduler.spawn("leak", leaker)
+    with pytest.raises(KernelError, match="exited holding"):
+        scheduler.run()
+
+
+def test_irq_injection(rt):
+    fired = []
+
+    def handler(ctx):
+        assert ctx.kind == ContextKind.HARDIRQ
+        fired.append(ctx.ctx_id)
+        yield
+
+    def body(ctx):
+        for _ in range(200):
+            yield
+
+    scheduler = Scheduler(rt, seed=2)
+    scheduler.spawn("main", body)
+    source = scheduler.add_irq_source("timer", handler, rate=0.3)
+    scheduler.run()
+    assert source.fired > 0
+    assert len(fired) == source.fired
+
+
+def test_irq_not_injected_while_irqs_disabled(rt):
+    interrupted_states = []
+
+    def handler(ctx):
+        parent = ctx.interrupted
+        interrupted_states.append(parent.irq_disable_depth if parent else 0)
+        yield
+
+    def body(ctx):
+        for _ in range(100):
+            rt.local_irq_disable(ctx)
+            yield
+            yield
+            rt.local_irq_enable(ctx)
+            yield
+
+    scheduler = Scheduler(rt, seed=4)
+    scheduler.spawn("main", body)
+    scheduler.add_irq_source("timer", handler, rate=0.5)
+    scheduler.run()
+    assert all(depth == 0 for depth in interrupted_states)
+
+
+def test_softirq_not_injected_while_bh_disabled(rt):
+    states = []
+
+    def handler(ctx):
+        parent = ctx.interrupted
+        states.append(parent.bh_disable_depth if parent else 0)
+        yield
+
+    def body(ctx):
+        for _ in range(100):
+            rt.local_bh_disable(ctx)
+            yield
+            rt.local_bh_enable(ctx)
+            yield
+
+    scheduler = Scheduler(rt, seed=4)
+    scheduler.spawn("main", body)
+    scheduler.add_irq_source("bh", handler, rate=0.5, softirq=True)
+    scheduler.run()
+    assert all(depth == 0 for depth in states)
+
+
+def test_irq_handler_leaking_lock_rejected(rt):
+    mutex_free = rt.static_lock("s", "spinlock_t")
+
+    def handler(ctx):
+        yield from rt.spin_lock(ctx, mutex_free)
+        # handler "forgets" to unlock
+
+    def body(ctx):
+        for _ in range(50):
+            yield
+
+    scheduler = Scheduler(rt, seed=1)
+    scheduler.spawn("main", body)
+    scheduler.add_irq_source("bad", handler, rate=1.0)
+    with pytest.raises(KernelError, match="leaked"):
+        scheduler.run()
+
+
+def test_step_limit(rt):
+    def forever(ctx):
+        while True:
+            yield
+
+    scheduler = Scheduler(rt, seed=0)
+    scheduler.spawn("spin", forever)
+    with pytest.raises(Exception, match="exceeded"):
+        scheduler.run(max_steps=100)

@@ -1,0 +1,120 @@
+"""Unit tests for the struct-layout model."""
+
+import pytest
+
+from repro.kernel.locks import LockClass
+from repro.kernel.structs import (
+    LOCK_SIZES,
+    Member,
+    MemberKind,
+    StructDef,
+    StructRegistry,
+)
+
+
+def build_nested():
+    inner = StructDef(
+        "inner",
+        [Member.scalar("x", 8), Member.lock("ilock", "spinlock_t"), Member.scalar("y", 4)],
+    )
+    return StructDef(
+        "outer",
+        [
+            Member.scalar("head", 8),
+            Member.struct("sub", inner),
+            Member.atomic("count"),
+            Member.lock("olock", "mutex"),
+        ],
+    )
+
+
+class TestMemberFactories:
+    def test_scalar(self):
+        m = Member.scalar("f", 4)
+        assert m.kind == MemberKind.SCALAR and m.size == 4
+
+    def test_atomic(self):
+        m = Member.atomic("c")
+        assert m.kind == MemberKind.ATOMIC
+
+    def test_lock_size_from_class(self):
+        m = Member.lock("l", "mutex")
+        assert m.size == LOCK_SIZES[LockClass.MUTEX]
+        assert m.lock_class == LockClass.MUTEX
+
+    def test_lock_accepts_enum(self):
+        m = Member.lock("l", LockClass.SPINLOCK)
+        assert m.lock_class == LockClass.SPINLOCK
+
+
+class TestStructDef:
+    def test_sequential_offsets(self):
+        s = StructDef("s", [Member.scalar("a", 8), Member.scalar("b", 4)])
+        assert s.offset_of("a") == 0
+        assert s.offset_of("b") == 8
+        assert s.size == 12
+
+    def test_nested_flattening(self):
+        s = build_nested()
+        assert s.has_member("sub.x")
+        assert s.has_member("sub.ilock")
+        assert s.offset_of("sub.x") == 8
+
+    def test_member_at_offset(self):
+        s = build_nested()
+        member = s.member_at(s.offset_of("sub.y") + 1)
+        assert member.name == "sub.y"
+
+    def test_member_at_bad_offset(self):
+        s = build_nested()
+        with pytest.raises(KeyError):
+            s.member_at(s.size + 10)
+
+    def test_unknown_member(self):
+        s = build_nested()
+        with pytest.raises(KeyError):
+            s.member("nope")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError):
+            StructDef("d", [Member.scalar("a"), Member.scalar("a")])
+
+    def test_lock_members(self):
+        s = build_nested()
+        names = {m.name for m in s.lock_members()}
+        assert names == {"sub.ilock", "olock"}
+
+    def test_data_members_exclude_locks(self):
+        s = build_nested()
+        names = {m.name for m in s.data_members()}
+        assert "olock" not in names
+        assert "count" in names  # atomics are data (filtered later)
+
+    def test_every_offset_resolves(self):
+        s = build_nested()
+        for member in s.flat_members:
+            for offset in (member.offset, member.end - 1):
+                assert s.member_at(offset).name == member.name
+
+
+class TestStructRegistry:
+    def test_register_and_get(self):
+        registry = StructRegistry([build_nested()])
+        assert registry.get("outer").name == "outer"
+        assert "outer" in registry
+
+    def test_duplicate_rejected(self):
+        registry = StructRegistry([build_nested()])
+        with pytest.raises(ValueError):
+            registry.register(build_nested())
+
+    def test_unknown(self):
+        registry = StructRegistry()
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_names_sorted(self):
+        registry = StructRegistry(
+            [StructDef("zz", [Member.scalar("a")]), StructDef("aa", [Member.scalar("a")])]
+        )
+        assert registry.names() == ["aa", "zz"]

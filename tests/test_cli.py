@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(autouse=True)
+def small_pipeline(monkeypatch):
+    """Point the CLI at a tiny cached pipeline so tests stay fast."""
+    from repro.experiments import common
+
+    original = common.get_pipeline
+
+    def tiny(seed=0, scale=None):
+        return original(seed, 1.0)
+
+    monkeypatch.setattr(common, "get_pipeline", tiny)
+
+
+def test_derive_prints_rules(capsys):
+    assert cli.main(["derive", "--type", "inode:ext4"]) == 0
+    out = capsys.readouterr().out
+    assert "winning rule" in out
+    assert "inode:ext4" in out
+
+
+def test_check_prints_summary(capsys):
+    assert cli.main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "transaction_t" in out and "#Ob" in out
+
+
+def test_docgen_prints_comment_block(capsys):
+    assert cli.main(["docgen", "--type", "inode:ext4"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip().startswith("/*")
+
+
+def test_violations_summary(capsys):
+    assert cli.main(["violations", "--examples", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+
+
+def test_stats(capsys):
+    assert cli.main(["stats"]) == 0
+    assert "lock_ops" in capsys.readouterr().out
+
+
+def test_trace_text_and_binary(tmp_path, capsys):
+    text_path = tmp_path / "trace.txt"
+    assert cli.main(["trace", str(text_path)]) == 0
+    assert text_path.read_text().startswith("# lockdoc-trace")
+    bin_path = tmp_path / "trace.bin"
+    assert cli.main(["trace", str(bin_path)]) == 0
+    assert bin_path.read_bytes().startswith(b"LDOC1")
+
+
+def test_experiment_tab2(capsys):
+    assert cli.main(["experiment", "tab2"]) == 0
+    assert "sec_lock" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["experiment", "nope"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        cli.main([])
+
+
+def test_lockorder_command(capsys):
+    assert cli.main(["lockorder"]) == 0
+    assert "lock-order graph" in capsys.readouterr().out
+
+
+def test_docpatch_command(capsys):
+    assert cli.main(["docpatch", "--type", "inode"]) == 0
+    assert "documentation patch" in capsys.readouterr().out
+
+
+def test_sql_command(tmp_path, capsys):
+    out = tmp_path / "db.sqlite"
+    assert cli.main(["sql", str(out)]) == 0
+    assert out.exists()
+    assert "accesses" in capsys.readouterr().out
+
+
+def test_analyze_round_trip(tmp_path, capsys):
+    trace_path = tmp_path / "run.bin"
+    assert cli.main(["trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert cli.main(["analyze", str(trace_path), "--type", "inode:ext4"]) == 0
+    out = capsys.readouterr().out
+    assert "inode:ext4" in out and "winning rule" in out
+
+
+def test_derive_json_export(tmp_path, capsys):
+    out = tmp_path / "rules.json"
+    assert cli.main(["derive", "--json", str(out)]) == 0
+    from repro.core.rulesio import rules_from_json
+
+    rules = rules_from_json(out.read_text())
+    assert any(r.type_key == "inode:ext4" for r in rules)
+
+
+def test_contention_command(capsys):
+    assert cli.main(["contention", "--limit", "5"]) == 0
+    assert "lock-usage statistics" in capsys.readouterr().out
+
+
+def test_relations_command(capsys):
+    assert cli.main(["relations"]) == 0
+    assert "EO-rule object relations" in capsys.readouterr().out

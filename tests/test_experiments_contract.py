@@ -1,0 +1,117 @@
+"""Contract tests for the experiment modules: `data` and `render()`
+agree, render output is non-empty and well-formed, and paper-reference
+constants stay self-consistent."""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig7,
+    fig8,
+    stats,
+    tab1,
+    tab2,
+    tab3,
+    tab4,
+    tab5,
+    tab6,
+    tab7,
+    tab8,
+)
+from tests.conftest import TEST_SCALE
+
+PIPELINE_MODULES = [tab3, tab4, tab5, tab6, tab7, tab8, fig8, stats]
+
+
+@pytest.fixture(scope="module")
+def results(pipeline):
+    out = {}
+    for module in PIPELINE_MODULES:
+        out[module.__name__.rsplit(".", 1)[-1]] = module.run(
+            seed=0, scale=TEST_SCALE
+        )
+    out["fig7"] = fig7.run(seed=0, scale=TEST_SCALE)
+    out["fig1"] = fig1.run(stride=8)
+    out["tab1"] = tab1.run(200)
+    out["tab2"] = tab2.run(200)
+    return out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["fig1", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "fig7",
+     "tab7", "tab8", "fig8", "stats"],
+)
+def test_render_nonempty(results, name):
+    rendered = results[name].render()
+    assert isinstance(rendered, str) and rendered.strip()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["fig1", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "fig7",
+     "tab7", "tab8", "fig8", "stats"],
+)
+def test_data_accessible(results, name):
+    assert results[name].data is not None
+
+
+def test_tab3_data_matches_rows(results):
+    result = results["tab3"]
+    assert [d["directory"] for d in result.data] == [r.directory for r in result.rows]
+
+
+def test_tab4_data_row_per_struct(results):
+    assert {d["type"] for d in results["tab4"].data} == set(tab4.PAPER_TAB4)
+
+
+def test_tab5_paper_reference_is_consistent():
+    # every PAPER_TAB5 key appears exactly once among observed corpus rules
+    from repro.doc.corpus import inode_rules
+
+    keys = {(r.member, a) for r in inode_rules() for a, _ in r.expand()}
+    for key in tab5.PAPER_TAB5:
+        assert key in keys
+
+
+def test_tab6_paper_reference_covers_all_types(results):
+    assert {row.type_key for row in results["tab6"].rows} == set(tab6.PAPER_TAB6)
+
+
+def test_tab7_zero_types_constant():
+    assert "cdev" in tab7.PAPER_ZERO_TYPES
+    assert "buffer_head" not in tab7.PAPER_ZERO_TYPES
+    total = sum(tab7.PAPER_TAB7.values())
+    assert total == 52452  # the paper's stated total
+
+
+def test_tab8_data_aligned_with_examples(results):
+    result = results["tab8"]
+    assert len(result.data) == len(tab8.PAPER_EXAMPLES) == len(result.examples)
+
+
+def test_fig7_series_cover_all_types(results):
+    keys = {tk for tk, _ in results["fig7"].series}
+    assert keys == set(fig7.FIG7_TYPES)
+
+
+def test_fig1_series_sorted_by_release(results):
+    versions = [row["version"] for row in results["fig1"].series]
+    assert versions[0] == "v3.0" and versions[-1] == "v4.18"
+
+
+def test_stats_data_sections(results):
+    data = results["stats"].data
+    assert set(data) == {"trace", "db", "filtered"}
+
+
+def test_tab2_data_shape(results):
+    data = results["tab2"].data
+    assert all({"rule", "s_a", "s_r"} <= set(entry) for entry in data)
+
+
+def test_corpus_counts_in_tab4_reference():
+    from repro.doc.corpus import corpus_counts
+
+    for data_type, (rules, *_rest) in tab4.PAPER_TAB4.items():
+        assert corpus_counts()[data_type] == rules

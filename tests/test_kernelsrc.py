@@ -1,0 +1,86 @@
+"""Tests for the synthetic kernel-source corpus and scanner (Fig. 1)."""
+
+import pytest
+
+from repro.kernelsrc.generator import generate_tree
+from repro.kernelsrc.model import (
+    KERNEL_VERSIONS,
+    KernelVersion,
+    expected_metrics,
+    scaled_metrics,
+)
+from repro.kernelsrc.scanner import LockUsage, scan_source, scan_tree
+
+
+def test_release_axis():
+    assert KERNEL_VERSIONS[0].name == "v3.0"
+    assert KERNEL_VERSIONS[-1].name == "v4.18"
+    assert KernelVersion(3, 19).ordinal == 19
+    assert KernelVersion(4, 0).ordinal == 20
+    ordinals = [v.ordinal for v in KERNEL_VERSIONS]
+    assert ordinals == sorted(ordinals)
+
+
+def test_anchor_growth_ratios():
+    first = expected_metrics(KERNEL_VERSIONS[0])
+    last = expected_metrics(KERNEL_VERSIONS[-1])
+    assert 1.70 < last["loc"] / first["loc"] < 1.80  # paper: +73%
+    assert 1.75 < last["mutex"] / first["mutex"] < 1.90  # paper: +81%
+    assert 1.38 < last["spinlock"] / first["spinlock"] < 1.52  # paper: +45%
+
+
+def test_spinlock_peaks_before_418():
+    values = [(v, expected_metrics(v)["spinlock"]) for v in KERNEL_VERSIONS]
+    peak_version = max(values, key=lambda item: item[1])[0]
+    assert peak_version.ordinal < KERNEL_VERSIONS[-1].ordinal
+
+
+def test_generator_deterministic():
+    v = KernelVersion(4, 10)
+    assert generate_tree(v) == generate_tree(v)
+
+
+def test_generated_tree_hits_scaled_targets():
+    v = KernelVersion(3, 0)
+    usage = scan_tree(generate_tree(v))
+    targets = scaled_metrics(v)
+    assert usage.spinlock == targets["spinlock"]
+    assert usage.mutex == targets["mutex"]
+    assert usage.rcu == targets["rcu"]
+    assert abs(usage.loc - targets["loc"]) / targets["loc"] < 0.02
+
+
+def test_scanner_matches_idioms():
+    usage = LockUsage()
+    scan_source(
+        "\n".join(
+            [
+                "spin_lock_init(&a);",
+                "DEFINE_SPINLOCK(b);",
+                "mutex_init(&c);",
+                "DEFINE_MUTEX(d);",
+                "rcu_read_lock();",
+                "call_rcu(&e, e_free);",
+                "int unrelated;",
+            ]
+        ),
+        usage,
+    )
+    assert usage.spinlock == 2
+    assert usage.mutex == 2
+    assert usage.rcu == 2
+    assert usage.loc == 7
+
+
+def test_scanner_skips_comment_lines():
+    usage = LockUsage()
+    scan_source("/* spin_lock_init(&a); */\n// mutex_init(&b);\n * DEFINE_MUTEX(c);", usage)
+    assert usage.spinlock == 0 and usage.mutex == 0
+    assert usage.loc == 3  # comments still count as lines
+
+
+def test_tree_paths_cover_subsystems():
+    tree = generate_tree(KernelVersion(4, 0))
+    directories = {path.rsplit("/", 1)[0] for path in tree}
+    assert "fs" in directories
+    assert any(d.startswith("drivers") for d in directories)

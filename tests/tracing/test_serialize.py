@@ -1,0 +1,115 @@
+"""Round-trip tests for trace serialization (text and binary)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracing import serialize
+from repro.tracing.events import AccessEvent, AllocEvent, FreeEvent, LockEvent
+from repro.tracing.tracer import Tracer
+
+
+def build_sample_tracer():
+    from repro.kernel.context import make_task
+    from repro.kernel.locks import Lock, LockClass, LockMode
+    from repro.kernel.memory import Allocator
+
+    tracer = Tracer()
+    ctx = make_task("t")
+    ctx.push_frame("outer", "a.c", 5)
+    allocator = Allocator()
+    allocation = allocator.alloc(64, "inode", subclass="ext4")
+    tracer.record_alloc(ctx, allocation)
+    lock = Lock(LockClass.SPINLOCK, "i_lock", address=allocation.address + 16)
+    tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE)
+    tracer.record_access(ctx, allocation.address, 8, is_write=True)
+    tracer.record_access(ctx, allocation.address + 8, 8, is_write=False)
+    tracer.record_lock(ctx, lock, False, LockMode.EXCLUSIVE)
+    pseudo = Lock(LockClass.RCU, "rcu", is_static=True)  # address None
+    tracer.record_lock(ctx, pseudo, True, LockMode.SHARED)
+    tracer.record_free(ctx, allocation)
+    return tracer
+
+
+@pytest.mark.parametrize("fmt", ["text", "binary"])
+def test_round_trip(fmt):
+    tracer = build_sample_tracer()
+    if fmt == "text":
+        blob = serialize.dumps_text(tracer)
+        events, stacks = serialize.loads_text(blob)
+    else:
+        blob = serialize.dumps_binary(tracer)
+        events, stacks = serialize.loads_binary(blob)
+    assert events == tracer.events
+    assert stacks == [tracer.stack(i) for i in range(tracer.stack_count)]
+
+
+def test_text_bad_magic():
+    with pytest.raises(serialize.TraceFormatError):
+        serialize.loads_text("garbage\n")
+
+
+def test_binary_bad_magic():
+    with pytest.raises(serialize.TraceFormatError):
+        serialize.loads_binary(b"NOPE!!")
+
+
+def test_empty_tracer_round_trips():
+    tracer = Tracer()
+    events, stacks = serialize.loads_text(serialize.dumps_text(tracer))
+    assert events == [] and stacks == [()]
+    events, stacks = serialize.loads_binary(serialize.dumps_binary(tracer))
+    assert events == [] and stacks == [()]
+
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_./"),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def _event(draw):
+    kind = draw(st.integers(0, 3))
+    ts = draw(st.integers(1, 2**40))
+    ctx = draw(st.integers(1, 1000))
+    if kind == 0:
+        return AllocEvent(
+            ts=ts, ctx_id=ctx, alloc_id=draw(st.integers(1, 10**6)),
+            address=draw(st.integers(0, 2**60)), size=draw(st.integers(1, 4096)),
+            data_type=draw(_names), subclass=draw(st.none() | _names),
+        )
+    if kind == 1:
+        return FreeEvent(
+            ts=ts, ctx_id=ctx, alloc_id=draw(st.integers(1, 10**6)),
+            address=draw(st.integers(0, 2**60)),
+        )
+    if kind == 2:
+        return AccessEvent(
+            ts=ts, ctx_id=ctx, address=draw(st.integers(0, 2**60)),
+            size=draw(st.integers(1, 64)), is_write=draw(st.booleans()),
+            stack_id=draw(st.integers(0, 100)), file=draw(_names),
+            line=draw(st.integers(0, 10**6)),
+        )
+    return LockEvent(
+        ts=ts, ctx_id=ctx, lock_id=draw(st.integers(1, 10**6)),
+        lock_class=draw(st.sampled_from(["spinlock_t", "mutex", "rcu"])),
+        lock_name=draw(_names),
+        address=draw(st.none() | st.integers(0, 2**60)),
+        is_acquire=draw(st.booleans()),
+        mode=draw(st.sampled_from(["r", "w"])),
+        stack_id=draw(st.integers(0, 100)), file=draw(_names),
+        line=draw(st.integers(0, 10**6)),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_event(), max_size=30))
+def test_property_both_formats_round_trip(events):
+    tracer = Tracer()
+    tracer.events = events
+    decoded_text, _ = serialize.loads_text(serialize.dumps_text(tracer))
+    decoded_bin, _ = serialize.loads_binary(serialize.dumps_binary(tracer))
+    assert decoded_text == events
+    assert decoded_bin == events

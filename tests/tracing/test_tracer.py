@@ -1,0 +1,91 @@
+"""Unit tests for the tracer."""
+
+from repro.kernel.context import make_task
+from repro.kernel.locks import Lock, LockClass, LockMode
+from repro.kernel.memory import Allocator
+from repro.tracing.events import AccessEvent, AllocEvent, LockEvent
+from repro.tracing.tracer import EMPTY_STACK_ID, Tracer
+
+
+def test_clock_monotonic():
+    tracer = Tracer()
+    stamps = [tracer.now() for _ in range(10)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 10
+
+
+def test_record_alloc_free():
+    tracer = Tracer()
+    ctx = make_task("t")
+    allocator = Allocator()
+    allocation = allocator.alloc(32, "inode", subclass="ext4")
+    tracer.record_alloc(ctx, allocation)
+    tracer.record_free(ctx, allocation)
+    assert tracer.stats.allocs == 1
+    assert tracer.stats.frees == 1
+    event = tracer.events[0]
+    assert isinstance(event, AllocEvent)
+    assert event.subclass == "ext4"
+
+
+def test_record_access_without_frames():
+    tracer = Tracer()
+    ctx = make_task("t")
+    tracer.record_access(ctx, 0x1000, 8, is_write=True)
+    event = tracer.events[0]
+    assert isinstance(event, AccessEvent)
+    assert event.stack_id == EMPTY_STACK_ID
+    assert event.file == "<unknown>"
+
+
+def test_record_access_with_frames():
+    tracer = Tracer()
+    ctx = make_task("t")
+    ctx.push_frame("vfs_write", "fs/read_write.c", 540)
+    ctx.push_frame("i_size_write", "include/linux/fs.h", 872)
+    tracer.record_access(ctx, 0x1000, 8, is_write=False, line=876)
+    event = tracer.events[0]
+    assert event.file == "include/linux/fs.h"
+    assert event.line == 876
+    assert tracer.stack(event.stack_id)[0][0] == "vfs_write"
+
+
+def test_stack_interning_dedups():
+    tracer = Tracer()
+    a = tracer.intern_stack((("f", "x.c", 1),))
+    b = tracer.intern_stack((("f", "x.c", 1),))
+    c = tracer.intern_stack((("g", "x.c", 2),))
+    assert a == b != c
+    assert tracer.stack_count == 3  # includes the empty stack
+
+
+def test_record_lock_modes():
+    tracer = Tracer()
+    ctx = make_task("t")
+    lock = Lock(LockClass.RWLOCK, "rw", address=0x2000)
+    tracer.record_lock(ctx, lock, True, LockMode.SHARED)
+    tracer.record_lock(ctx, lock, False, LockMode.SHARED)
+    acquire, release = tracer.events
+    assert isinstance(acquire, LockEvent) and acquire.mode == "r"
+    assert acquire.is_acquire and not release.is_acquire
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    ctx = make_task("t")
+    tracer.record_access(ctx, 0x1000, 8, is_write=True)
+    assert tracer.events == []
+    assert tracer.stats.total_events == 0
+
+
+def test_stats_total():
+    tracer = Tracer()
+    ctx = make_task("t")
+    allocator = Allocator()
+    allocation = allocator.alloc(16, "t")
+    tracer.record_alloc(ctx, allocation)
+    tracer.record_access(ctx, allocation.address, 8, is_write=True)
+    lock = Lock(LockClass.SPINLOCK, "l")
+    tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE)
+    assert tracer.stats.total_events == 3

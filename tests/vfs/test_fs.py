@@ -1,0 +1,179 @@
+"""Integration tests for the VFS world and its kernel entry points."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef
+from repro.core.observations import ObservationTable
+from repro.db.importer import import_tracer
+from repro.kernel.sched import Scheduler
+from repro.kernel.vfs.fs import VfsWorld
+from repro.kernel.vfs.groundtruth import build_filter_config
+
+
+@pytest.fixture
+def world():
+    w = VfsWorld(seed=42)
+    w.boot(["ext4", "tmpfs"])
+    return w
+
+
+def run_threads(world, *bodies):
+    scheduler = Scheduler(world.rt, seed=1)
+    for index, body in enumerate(bodies):
+        scheduler.spawn(f"t{index}", body)
+    scheduler.run()
+
+
+def import_world(world):
+    db = import_tracer(world.rt.tracer, world.rt.structs, build_filter_config())
+    return db, ObservationTable.from_database(db)
+
+
+class TestBoot:
+    def test_superblocks_and_roots(self, world):
+        assert set(world.supers) == {"ext4", "tmpfs"}
+        assert world.root_inodes["ext4"].subclass == "ext4"
+        assert world.journal is not None  # ext4 brings the journal
+        assert world.transactions
+
+    def test_boot_inode_pool(self, world):
+        assert len(world.inodes["ext4"]) >= 5
+
+    def test_object_graph_wiring(self, world):
+        inode = world.inodes["ext4"][0]
+        assert inode.refs["i_sb"] is world.supers["ext4"]
+        assert inode.refs["i_bdi"] is world.bdis["ext4"]
+
+
+class TestVfsCreate:
+    def test_creates_inode_and_dentry(self, world):
+        before = len(world.inodes["ext4"])
+
+        def body(ctx):
+            yield from world.vfs_create(ctx, "ext4")
+
+        run_threads(world, body)
+        assert len(world.inodes["ext4"]) == before + 1
+
+    def test_ops_written_under_parent_rwsem(self, world):
+        def body(ctx):
+            yield from world.vfs_create(ctx, "ext4")
+
+        run_threads(world, body)
+        _, table = import_world(world)
+        seqs = dict(table.sequences("inode:ext4", "i_op", "w"))
+        assert (LockRef.eo("i_rwsem", "inode"),) in seqs
+
+    def test_insert_hash_locks(self, world):
+        def body(ctx):
+            yield from world.vfs_create(ctx, "ext4")
+
+        run_threads(world, body)
+        _, table = import_world(world)
+        seqs = dict(table.sequences("inode:ext4", "i_hash", "w"))
+        assert (
+            LockRef.global_("inode_hash_lock"),
+            LockRef.es("i_lock", "inode"),
+        ) in seqs
+
+
+class TestVfsUnlink:
+    def test_unlink_destroys_an_inode(self, world):
+        def creator(ctx):
+            for _ in range(4):
+                yield from world.vfs_create(ctx, "ext4")
+
+        run_threads(world, creator)
+        count = len([i for i in world.inodes["ext4"] if i.live])
+
+        def unlinker(ctx):
+            yield from world.vfs_unlink(ctx, "ext4")
+
+        run_threads(world, unlinker)
+        assert len([i for i in world.inodes["ext4"] if i.live]) == count - 1
+
+    def test_pinned_inode_not_destroyed(self, world):
+        def creator(ctx):
+            for _ in range(4):
+                yield from world.vfs_create(ctx, "ext4")
+
+        run_threads(world, creator)
+        victims = [i for i in world.inodes["ext4"] if i.live]
+        for victim in victims:
+            victim.pin()
+        try:
+            def unlinker(ctx):
+                yield from world.vfs_unlink(ctx, "ext4")
+
+            run_threads(world, unlinker)
+            assert all(i.live for i in victims)
+        finally:
+            for victim in victims:
+                victim.unpin()
+
+
+class TestVfsReadWrite:
+    def test_write_uses_size_protocol(self, world):
+        inode = world.inodes["ext4"][0]
+
+        def body(ctx):
+            for _ in range(3):
+                yield from world.vfs_write(ctx, inode)
+
+        run_threads(world, body)
+        _, table = import_world(world)
+        seqs = dict(table.sequences("inode:ext4", "i_size", "w"))
+        expected = (
+            LockRef.es("i_rwsem", "inode"),
+            LockRef.es("i_size_seqcount", "inode"),
+        )
+        assert expected in seqs
+
+    def test_read_uses_seqcount(self, world):
+        inode = world.inodes["ext4"][0]
+
+        def body(ctx):
+            yield from world.vfs_read(ctx, inode)
+
+        run_threads(world, body)
+        _, table = import_world(world)
+        seqs = dict(table.sequences("inode:ext4", "i_size", "r"))
+        assert (LockRef.es("i_size_seqcount", "inode", "r"),) in seqs
+
+
+class TestConcurrency:
+    def test_parallel_creates_do_not_corrupt(self, world):
+        def creator(ctx):
+            for _ in range(6):
+                yield from world.vfs_create(ctx, "ext4")
+                yield
+
+        run_threads(world, creator, creator, creator)
+        live = [i for i in world.inodes["ext4"] if i.live]
+        assert len(live) >= 18
+
+    def test_init_accesses_filtered(self, world):
+        def creator(ctx):
+            yield from world.vfs_create(ctx, "tmpfs")
+
+        run_threads(world, creator)
+        db, _ = import_world(world)
+        init_filtered = db.filtered_counts().get("init_teardown", 0)
+        assert init_filtered > 0
+
+
+class TestExercise:
+    def test_profile_blocks_disabled_subclass(self):
+        w = VfsWorld(seed=3)
+        w.boot(["debugfs"])
+        inode = w.inodes["debugfs"][0]
+
+        def body(ctx):
+            for _ in range(50):
+                yield from w.exercise(ctx, "inode", inode)
+
+        run_threads(w, body)
+        db, table = import_world(w)
+        # near-zero exercise rate: almost no kept accesses
+        kept = [a for a in db.kept_accesses() if a.type_key == "inode:debugfs"]
+        assert len(kept) < 25

@@ -1,0 +1,218 @@
+"""Tests for the hand-written kernel functions (the paper's famous
+code paths): each must produce exactly the lock observations the
+evaluation section builds on."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef
+from repro.core.observations import ObservationTable
+from repro.db.importer import import_tracer
+from repro.kernel.vfs import bufferhead, dentry as dops, inode as iops, jbd2, pipe as pops
+from repro.kernel.vfs.fs import VfsWorld
+from repro.kernel.vfs.groundtruth import build_filter_config
+
+
+@pytest.fixture
+def world():
+    w = VfsWorld(seed=7)
+    w.boot(["ext4"])
+    return w
+
+
+def table_of(world):
+    db = import_tracer(world.rt.tracer, world.rt.structs, build_filter_config())
+    return ObservationTable.from_database(db)
+
+
+def seqs_fmt(table, type_key, member, access):
+    return {
+        tuple(r.format() for r in seq): count
+        for seq, count in table.sequences(type_key, member, access)
+    }
+
+
+class TestInodeHash:
+    def test_remove_writes_neighbors_with_foreign_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        neighbor = world.inodes["ext4"][1]
+        rt.run(iops.remove_inode_hash(rt, ctx, inode, [neighbor]))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "inode:ext4", "i_hash", "w")
+        assert ("inode_hash_lock", "ES(i_lock in inode)") in seqs  # self
+        assert ("inode_hash_lock", "EO(i_lock in inode)") in seqs  # neighbor
+
+    def test_find_inode_reads_under_hash_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        rt.run(iops.find_inode(rt, ctx, world.inodes["ext4"][:3], with_i_lock=False))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "inode:ext4", "i_hash", "r")
+        assert ("inode_hash_lock",) in seqs
+
+
+class TestInodeFlags:
+    def test_locked_path(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        rt.run(iops.inode_set_flags(rt, ctx, inode, locked=True))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "inode:ext4", "i_flags", "w")
+        assert ("ES(i_rwsem in inode)",) in seqs
+
+    def test_cmpxchg_path_is_lockless(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        rt.run(iops.inode_set_flags(rt, ctx, inode, locked=False))
+        table = table_of(world)
+        assert () in dict(table.sequences("inode:ext4", "i_flags", "w"))
+
+
+class TestInodeLru:
+    def test_two_legitimate_paths(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        rt.run(iops.inode_lru_add(rt, ctx, inode, with_i_lock=True))
+        rt.run(iops.inode_lru_add(rt, ctx, inode, with_i_lock=False))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "inode:ext4", "i_lru", "w")
+        assert ("ES(i_lock in inode)", "inode_lru_lock") in seqs
+        assert ("inode_lru_lock",) in seqs
+
+
+class TestISize:
+    def test_write_protocol(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        rt.run(iops.i_size_write(rt, ctx, inode))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "inode:ext4", "i_size", "w")
+        assert ("ES(i_rwsem in inode)", "ES(i_size_seqcount in inode)") in seqs
+
+    def test_fsstack_copy_reads_lockless(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        src, dst = world.inodes["ext4"][:2]
+        rt.run(iops.fsstack_copy_inode_size(rt, ctx, dst, src))
+        table = table_of(world)
+        assert () in dict(table.sequences("inode:ext4", "i_size", "r"))
+
+
+class TestBufferHead:
+    def test_end_io_under_irq_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        bh = world.new_buffer_head(ctx, world.inodes["ext4"][0])
+        rt.run(bufferhead.end_buffer_async_write(rt, ctx, bh))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "buffer_head", "b_state", "w")
+        assert ("hardirq", "ES(b_uptodate_lock in buffer_head)") in seqs
+
+    def test_touch_buffer_is_lockless(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        bh = world.new_buffer_head(ctx, world.inodes["ext4"][0])
+        rt.run(bufferhead.touch_buffer(rt, ctx, bh))
+        table = table_of(world)
+        assert () in dict(table.sequences("buffer_head", "b_state", "w"))
+
+    def test_associate_uses_inode_private_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        bh = world.new_buffer_head(ctx, world.inodes["ext4"][0])
+        rt.run(bufferhead.buffer_associate(rt, ctx, bh))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "buffer_head", "b_assoc_buffers", "w")
+        assert ("EO(i_data.private_lock in inode)",) in seqs
+
+
+class TestJbd2:
+    def test_commit_state_under_write_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        txn = world.transactions[0]
+        rt.run(jbd2.jbd2_journal_commit_transaction(rt, ctx, world.journal, txn))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "journal_t", "j_commit_sequence", "w")
+        assert ("ES(j_state_lock in journal_t)",) in seqs
+        txn_seqs = seqs_fmt(table, "transaction_t", "t_state", "w")
+        assert ("EO(j_state_lock in journal_t)",) in txn_seqs
+
+    def test_writepages_peek_writes_under_read_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        inode = world.inodes["ext4"][0]
+        rt.run(jbd2.ext4_writepages_peek(rt, ctx, inode, world.journal))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "journal_t", "j_committing_transaction", "w")
+        assert (
+            "EO(i_rwsem in inode):r",
+            "ES(j_state_lock in journal_t):r",
+        ) in seqs
+
+    def test_journal_head_blist_protocol(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        bh = world.new_buffer_head(ctx, world.inodes["ext4"][0])
+        jh = world.new_journal_head(ctx, bh)
+        rt.run(jbd2.jbd2_journal_add_journal_head(rt, ctx, jh, world.journal))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "journal_head", "b_transaction", "w")
+        assert (
+            "ES(b_state_lock in journal_head)",
+            "EO(j_list_lock in journal_t)",
+        ) in seqs
+
+
+class TestDentry:
+    def test_d_move_under_rename_lock(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        d = world.root_dentries["ext4"]
+        rt.run(dops.d_move(rt, ctx, d))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "dentry", "d_parent", "w")
+        assert ("rename_lock", "ES(d_lock in dentry)") in seqs
+
+    def test_simple_dir_walk_violating_shape(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        d = world.root_dentries["ext4"]
+        dir_inode = world.root_inodes["ext4"]
+        rt.run(dops.simple_dir_walk(rt, ctx, dir_inode, d))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "dentry", "d_subdirs", "r")
+        assert ("EO(i_rwsem in inode):r", "rcu:r") in seqs
+
+    def test_rcu_walk_lockless_reads(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        d = world.root_dentries["ext4"]
+        rt.run(dops.rcu_walk_lookup(rt, ctx, d))
+        table = table_of(world)
+        assert ("rcu:r",) in seqs_fmt(table, "dentry", "d_name", "r")
+
+
+class TestPipe:
+    def test_ring_ops_under_mutex(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        pipe = world.new_pipe(ctx)
+        rt.run(pops.pipe_write(rt, ctx, pipe))
+        rt.run(pops.pipe_read(rt, ctx, pipe))
+        table = table_of(world)
+        seqs = seqs_fmt(table, "pipe_inode_info", "nrbufs", "w")
+        assert ("ES(mutex in pipe_inode_info)",) in seqs
+
+    def test_poll_fast_path_lockless(self, world):
+        rt = world.rt
+        ctx = rt.new_task("t")
+        pipe = world.new_pipe(ctx)
+        rt.run(pops.pipe_poll_fast(rt, ctx, pipe))
+        table = table_of(world)
+        assert () in dict(table.sequences("pipe_inode_info", "readers", "r"))

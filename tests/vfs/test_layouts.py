@@ -1,0 +1,78 @@
+"""Unit tests for the VFS struct layouts."""
+
+import pytest
+
+from repro.kernel.structs import MemberKind
+from repro.kernel.vfs.layouts import (
+    BUILDERS,
+    EXPECTED_MEMBER_COUNTS,
+    build_struct_registry,
+)
+
+
+@pytest.mark.parametrize("type_name", sorted(EXPECTED_MEMBER_COUNTS))
+def test_member_counts_match_tab6(type_name):
+    struct = BUILDERS[type_name]()
+    assert len(struct.data_members()) == EXPECTED_MEMBER_COUNTS[type_name]
+
+
+def test_registry_contains_all_eleven_types():
+    registry = build_struct_registry()
+    assert len(registry.names()) == 11
+
+
+@pytest.mark.parametrize(
+    "type_name,lock",
+    [
+        ("inode", "i_lock"),
+        ("inode", "i_rwsem"),
+        ("inode", "i_size_seqcount"),
+        ("inode", "i_data.tree_lock"),
+        ("dentry", "d_lock"),
+        ("dentry", "d_seq"),
+        ("super_block", "s_umount"),
+        ("buffer_head", "b_uptodate_lock"),
+        ("backing_dev_info", "wb.list_lock"),
+        ("journal_t", "j_state_lock"),
+        ("journal_t", "j_list_lock"),
+        ("transaction_t", "t_handle_lock"),
+        ("journal_head", "b_state_lock"),
+        ("pipe_inode_info", "mutex"),
+        ("block_device", "bd_mutex"),
+    ],
+)
+def test_expected_embedded_locks_present(type_name, lock):
+    registry = build_struct_registry()
+    names = {m.name for m in registry.get(type_name).lock_members()}
+    assert lock in names
+
+
+def test_cdev_has_no_embedded_locks():
+    registry = build_struct_registry()
+    assert registry.get("cdev").lock_members() == []
+
+
+def test_inode_union_unrolled():
+    """The i_pipe/i_bdev/i_cdev union members have distinct offsets."""
+    inode = build_struct_registry().get("inode")
+    offsets = {inode.offset_of(m) for m in ("i_pipe", "i_bdev", "i_cdev")}
+    assert len(offsets) == 3
+
+
+def test_paper_tab5_members_exist():
+    inode = build_struct_registry().get("inode")
+    for member in ("i_bytes", "i_state", "i_hash", "i_blocks", "i_lru", "i_size"):
+        assert inode.has_member(member)
+
+
+def test_fig8_members_exist():
+    inode = build_struct_registry().get("inode")
+    for member in ("i_data.a_ops", "i_data.gfp_mask", "i_data.writeback_index",
+                   "dirtied_when", "i_io_list", "i_rdev", "i_generation"):
+        assert inode.has_member(member)
+
+
+def test_atomic_members_marked():
+    inode = build_struct_registry().get("inode")
+    atomics = {m.name for m in inode.data_members() if m.kind == MemberKind.ATOMIC}
+    assert atomics == {"i_count", "i_dio_count", "i_writecount", "i_readcount"}

@@ -1,0 +1,161 @@
+"""Unit tests for the spec-driven operation engine."""
+
+import random
+
+import pytest
+
+from repro.core.observations import ObservationTable
+from repro.db.importer import import_tracer
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.vfs.groundtruth import build_all_specs
+from repro.kernel.vfs.layouts import build_struct_registry
+from repro.kernel.vfs.ops import OpEngine
+from repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
+from repro.kernel.structs import Member, StructDef, StructRegistry
+
+
+def tiny_world():
+    struct = StructDef(
+        "thing",
+        [
+            Member.scalar("x", 8),
+            Member.scalar("y", 8),
+            Member.scalar("z", 8),
+            Member.lock("lk", "spinlock_t"),
+        ],
+    )
+    spec = TypeSpec(
+        "thing",
+        [
+            MemberSpec("x", read=(LockTok.es("lk"),), write=(LockTok.es("lk"),),
+                       group="g"),
+            MemberSpec("y", write=(LockTok.es("lk"),), group="g",
+                       write_skip=0.5),
+            MemberSpec("z"),
+        ],
+    )
+    rt = KernelRuntime(StructRegistry([struct]))
+    engine = OpEngine(rt, {"thing": spec}, random.Random(0), combo_rate=0.0)
+    return rt, engine
+
+
+def test_synthesis_buckets_by_rule_and_skip():
+    rt, engine = tiny_world()
+    ops = engine.ops_by_type["thing"]
+    write_g = [op for op in ops if op.group == "g" and op.access_type == "w"]
+    # x (skip 0) and y (skip 0.5) must not share an op.
+    assert len(write_g) == 2
+    assert {op.skip for op in write_g} == {0.0, 0.5}
+
+
+def test_run_op_accesses_members_under_rule():
+    rt, engine = tiny_world()
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "thing")
+    op = next(
+        op for op in engine.ops_by_type["thing"]
+        if op.access_type == "w" and op.skip == 0.0 and op.group == "g"
+    )
+    rt.run(engine.run_op(ctx, obj, op))
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    seqs = table.sequences("thing", "x", "w")
+    assert [r.format() for r in seqs[0][0]] == ["ES(lk in thing)"]
+
+
+def test_deviant_twin_drops_single_lock():
+    rt, engine = tiny_world()
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "thing")
+    op = next(
+        op for op in engine.ops_by_type["thing"]
+        if op.access_type == "w" and op.skip == 0.5
+    )
+    for _ in range(40):
+        rt.run(engine.run_op(ctx, obj, op))
+    assert engine.deviated > 0
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    seqs = dict(table.sequences("thing", "y", "w"))
+    assert () in seqs  # deviant lock-free writes present
+    assert any(seq for seq in seqs if seq)  # clean writes present too
+
+
+def test_skip_scale_zero_silences_deviations():
+    rt, engine = tiny_world()
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "thing")
+    op = next(
+        op for op in engine.ops_by_type["thing"]
+        if op.access_type == "w" and op.skip == 0.5
+    )
+    for _ in range(40):
+        rt.run(engine.run_op(ctx, obj, op, skip_scale=0.0))
+    assert engine.deviated == 0
+
+
+def test_zero_weight_members_get_no_ops():
+    struct = StructDef("s", [Member.scalar("a", 8)])
+    spec = TypeSpec("s", [MemberSpec("a", weight=1.0, read_weight=0.0,
+                                     write_weight=0.0)])
+    rt = KernelRuntime(StructRegistry([struct]))
+    engine = OpEngine(rt, {"s": spec}, random.Random(0))
+    assert engine.ops_by_type["s"] == []
+
+
+def test_profile_rate_gating_in_pick():
+    rt, engine = tiny_world()
+    profile = {"_default": 0.0, "g": 1.0, "_reads": 0.0, "_writes": 1.0}
+    for _ in range(20):
+        op = engine.pick_op("thing", profile)
+        assert op is not None
+        assert op.group == "g" and op.access_type == "w"
+
+
+def test_pick_with_all_zero_profile():
+    rt, engine = tiny_world()
+    assert engine.pick_op("thing", {"_default": 0.0}) is None
+
+
+def test_full_specs_synthesize_for_all_types():
+    rt = KernelRuntime(build_struct_registry())
+    engine = OpEngine(rt, build_all_specs(), random.Random(0))
+    assert set(engine.ops_by_type) == set(build_all_specs())
+    for ops in engine.ops_by_type.values():
+        assert ops  # every type has at least one op
+
+
+def test_via_op_bails_without_reference():
+    registry = build_struct_registry()
+    rt = KernelRuntime(registry)
+    specs = build_all_specs()
+    engine = OpEngine(rt, specs, random.Random(0), combo_rate=0.0)
+    ctx = rt.new_task("t")
+    inode = rt.new_object(ctx, "inode", subclass="ext4")  # no refs wired
+    op = next(
+        op for op in engine.ops_by_type["inode"]
+        if any(t.kind == "via" for t in op.tokens)
+    )
+    before = len(rt.tracer.events)
+    rt.run(engine.run_op(ctx, inode, op))
+    after = len(rt.tracer.events)
+    assert before == after  # bailed out, no accesses recorded
+
+
+def test_lockfree_alt_path():
+    struct = StructDef("s", [Member.scalar("a", 8), Member.lock("lk", "spinlock_t")])
+    spec = TypeSpec("s", [MemberSpec("a", read=(LockTok.es("lk"),),
+                                     lockfree_alt=0.5)])
+    rt = KernelRuntime(StructRegistry([struct]))
+    engine = OpEngine(rt, {"s": spec}, random.Random(3), combo_rate=0.0)
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "s")
+    op = next(op for op in engine.ops_by_type["s"] if op.access_type == "r")
+    assert op.lockfree_alt == 0.5
+    for _ in range(40):
+        rt.run(engine.run_op(ctx, obj, op))
+    db = import_tracer(rt.tracer, rt.structs)
+    table = ObservationTable.from_database(db)
+    seqs = dict(table.sequences("s", "a", "r"))
+    assert () in seqs and len(seqs) == 2
+    assert engine.deviated == 0  # alt path is not a deviation

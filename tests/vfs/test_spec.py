@@ -1,0 +1,88 @@
+"""Unit tests for the locking-spec model (LockTok / MemberSpec / TypeSpec)."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef
+from repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
+
+
+class TestLockTok:
+    def test_es_refs(self):
+        tok = LockTok.es("i_lock")
+        refs = tok.expected_refs({"<self>": "inode"})
+        assert refs == [LockRef.es("i_lock", "inode")]
+
+    def test_via_refs(self):
+        tok = LockTok.via_("i_sb", "s_umount", mode="r")
+        refs = tok.expected_refs({"<self>": "inode", "i_sb": "super_block"})
+        assert refs == [LockRef.eo("s_umount", "super_block", "r")]
+
+    def test_global_refs(self):
+        tok = LockTok.global_("inode_hash_lock")
+        assert tok.expected_refs({"<self>": "inode"}) == [
+            LockRef.global_("inode_hash_lock")
+        ]
+
+    def test_irq_flavor_adds_pseudo(self):
+        tok = LockTok.es("b_uptodate_lock", flavor="irq")
+        refs = tok.expected_refs({"<self>": "buffer_head"})
+        assert refs[0] == LockRef.global_("hardirq")
+        assert refs[1] == LockRef.es("b_uptodate_lock", "buffer_head")
+
+    def test_bh_flavor_adds_pseudo(self):
+        tok = LockTok.es("l", flavor="bh")
+        refs = tok.expected_refs({"<self>": "t"})
+        assert refs[0] == LockRef.global_("softirq")
+
+    def test_rcu(self):
+        assert LockTok.rcu().expected_refs({"<self>": "t"}) == [
+            LockRef.global_("rcu", "r")
+        ]
+
+
+class TestMemberSpec:
+    def test_expected_rule(self):
+        spec = MemberSpec(
+            "i_hash",
+            read=(LockTok.global_("inode_hash_lock"),),
+            write=(LockTok.global_("inode_hash_lock"), LockTok.es("i_lock")),
+        )
+        write_rule = spec.expected_rule("w", {"<self>": "inode"})
+        assert write_rule.format() == "inode_hash_lock -> ES(i_lock in inode)"
+        read_rule = spec.expected_rule("r", {"<self>": "inode"})
+        assert read_rule.format() == "inode_hash_lock"
+
+    def test_weight_overrides(self):
+        spec = MemberSpec("m", weight=2.0, read_weight=0.0)
+        assert spec.weight_for("r") == 0.0
+        assert spec.weight_for("w") == 2.0
+
+    def test_duplicate_pseudo_collapsed(self):
+        spec = MemberSpec(
+            "m",
+            write=(LockTok.es("a", flavor="irq"), LockTok.es("b", flavor="irq")),
+        )
+        rule = spec.expected_rule("w", {"<self>": "t"})
+        hardirqs = [r for r in rule.locks if r.name == "hardirq"]
+        assert len(hardirqs) == 1
+
+
+class TestTypeSpec:
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError):
+            TypeSpec("t", [MemberSpec("a"), MemberSpec("a")])
+
+    def test_groups(self):
+        spec = TypeSpec(
+            "t",
+            [MemberSpec("a", group="g"), MemberSpec("b", group="g"), MemberSpec("c")],
+        )
+        groups = spec.groups()
+        assert {m.member for m in groups["g"]} == {"a", "b"}
+        assert "_c" in groups
+
+    def test_owner_types_includes_self(self):
+        spec = TypeSpec("inode", [MemberSpec("a")], ref_types={"i_sb": "super_block"})
+        owners = spec.owner_types()
+        assert owners["<self>"] == "inode"
+        assert owners["i_sb"] == "super_block"

@@ -1,0 +1,51 @@
+"""Tests for the coverage accounting (Tab. 3 substrate)."""
+
+from repro.workloads.coverage import (
+    COLD_FUNCTIONS,
+    CatalogEntry,
+    CoverageRow,
+    build_catalog,
+    coverage_report,
+    executed_functions,
+)
+
+
+def test_catalog_entry_directory():
+    assert CatalogEntry("f", "fs/inode.c", 1, 10).directory == "fs"
+    assert CatalogEntry("f", "fs/ext4/inode.c", 1, 10).directory == "fs/ext4"
+    assert CatalogEntry("f", "toplevel.c", 1, 10).directory == "."
+
+
+def test_coverage_row_math():
+    row = CoverageRow("fs", lines_hit=30, lines_total=100, functions_hit=3,
+                      functions_total=10)
+    assert row.line_coverage == 0.30
+    assert row.function_coverage == 0.30
+    assert "30.00%" in row.format()
+
+
+def test_catalog_contains_hand_and_cold_functions(pipeline):
+    catalog = build_catalog(pipeline.mix.world)
+    names = {e.name for e in catalog}
+    assert "__remove_inode_hash" in names  # hand-written
+    assert "jbd2_journal_commit_transaction" in names
+    assert any(n.startswith("fs_cold_") for n in names)  # cold paths
+    assert any(n.endswith("_fastpath") for n in names)  # deviant twins
+
+
+def test_executed_functions_from_stacks(pipeline):
+    executed = executed_functions(pipeline.db)
+    assert ("vfs_write", "fs/read_write.c") in executed
+
+
+def test_cold_functions_never_executed(pipeline):
+    executed = executed_functions(pipeline.db)
+    assert not any(name.endswith("_cold_0001") for name, _ in executed)
+
+
+def test_report_rows_in_partial_band(pipeline):
+    rows = coverage_report(pipeline.mix.world, pipeline.db)
+    assert [r.directory for r in rows] == ["fs", "fs/ext4", "fs/jbd2"]
+    for row in rows:
+        assert 0.0 < row.line_coverage < 1.0, row.format()
+        assert 0.0 < row.function_coverage < 1.0, row.format()
