@@ -1,0 +1,143 @@
+"""Eraser-style lockset analysis over the trace database.
+
+For every ``(allocation, member)`` pair the algorithm maintains the
+classic Eraser state machine
+
+    VIRGIN → EXCLUSIVE → SHARED → SHARED_MODIFIED
+
+together with the *candidate lockset* ``C(v)``: the intersection of the
+locks held across all accesses (reads intersect every held lock, writes
+intersect only write-mode-held locks, since a reader-held lock cannot
+order two writers).  A pair whose state reaches SHARED_MODIFIED with an
+empty lockset has no lock that consistently protected it — a race
+*candidate*.
+
+One deliberate deviation from Eraser: refinement here is **eager** —
+``C(v)`` starts at the *first* access's held set instead of being armed
+only once a second thread shows up.  Eraser's delayed start exists to
+suppress init-phase false positives inside the lockset algorithm
+itself; this pipeline wants those candidates *surfaced*, because the
+happens-before layer (:mod:`repro.analysis.happens`) prunes them with
+an actual ordering proof rather than a heuristic, and the pruned ones
+become the report class "ordered violation" that LockDoc's Tab. 7
+finder cannot distinguish from bugs.
+
+Lock identity is the lock *instance* (``lock_id``), not the abstract
+:class:`~repro.core.lockrefs.LockRef`: two threads holding two
+different instances of ``inode.i_lock`` protect nothing between them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.db.database import TraceDatabase
+from repro.db.schema import AccessRow
+
+#: Held-lock sets of one transaction: (all modes, write-mode only).
+_HeldSets = Tuple[FrozenSet[int], FrozenSet[int]]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class MemberState(enum.Enum):
+    """Eraser state of one (allocation, member) pair."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class MemberTrack:
+    """Lockset bookkeeping for one (allocation, member) pair."""
+
+    alloc_id: int
+    member: str
+    type_key: str
+    state: MemberState = MemberState.VIRGIN
+    lockset: FrozenSet[int] = _EMPTY
+    first_ctx: Optional[int] = None
+    ctx_ids: Set[int] = field(default_factory=set)
+    write_ctx_ids: Set[int] = field(default_factory=set)
+    accesses: List[AccessRow] = field(default_factory=list)
+
+    @property
+    def is_candidate(self) -> bool:
+        return self.state == MemberState.SHARED_MODIFIED and not self.lockset
+
+    def apply(self, access: AccessRow, held: _HeldSets) -> None:
+        """Advance the state machine and refine the lockset."""
+        all_held, write_held = held
+        protecting = write_held if access.access_type == "w" else all_held
+        if self.state == MemberState.VIRGIN:
+            self.state = MemberState.EXCLUSIVE
+            self.first_ctx = access.ctx_id
+            self.lockset = protecting
+        else:
+            self.lockset &= protecting
+            if access.ctx_id != self.first_ctx or self.state != MemberState.EXCLUSIVE:
+                if access.access_type == "w":
+                    self.state = MemberState.SHARED_MODIFIED
+                elif self.state == MemberState.EXCLUSIVE:
+                    self.state = MemberState.SHARED
+        self.ctx_ids.add(access.ctx_id)
+        if access.access_type == "w":
+            self.write_ctx_ids.add(access.ctx_id)
+        self.accesses.append(access)
+
+
+@dataclass
+class LocksetResult:
+    """All tracked members plus the surviving candidates."""
+
+    tracks: Dict[Tuple[int, str], MemberTrack]
+    candidates: List[MemberTrack]
+
+    def state_counts(self) -> Dict[MemberState, int]:
+        counts: Dict[MemberState, int] = {}
+        for track in self.tracks.values():
+            counts[track.state] = counts.get(track.state, 0) + 1
+        return counts
+
+
+def held_sets_by_txn(db: TraceDatabase) -> Dict[Optional[int], _HeldSets]:
+    """Per-transaction held-lock-instance sets (all-mode, write-mode)."""
+    held: Dict[Optional[int], _HeldSets] = {None: (_EMPTY, _EMPTY)}
+    for txn in db.txns.values():
+        all_ids = frozenset(h.lock_id for h in txn.held)
+        write_ids = frozenset(h.lock_id for h in txn.held if h.mode == "w")
+        held[txn.txn_id] = (all_ids, write_ids)
+    return held
+
+
+def run_lockset(db: TraceDatabase) -> LocksetResult:
+    """Run the lockset algorithm over every kept access of *db*.
+
+    Accesses arrive in trace order (``db.accesses`` preserves it), so
+    state transitions replay the execution faithfully.
+    """
+    held = held_sets_by_txn(db)
+    none_held = (_EMPTY, _EMPTY)
+    tracks: Dict[Tuple[int, str], MemberTrack] = {}
+    for access in db.accesses:
+        if not access.kept:
+            continue
+        key = (access.alloc_id, access.member)
+        track = tracks.get(key)
+        if track is None:
+            track = MemberTrack(
+                alloc_id=access.alloc_id,
+                member=access.member,
+                type_key=access.type_key,
+            )
+            tracks[key] = track
+        track.apply(access, held.get(access.txn_id, none_held))
+    candidates = sorted(
+        (t for t in tracks.values() if t.is_candidate),
+        key=lambda t: (t.type_key, t.member, t.alloc_id),
+    )
+    return LocksetResult(tracks=tracks, candidates=candidates)

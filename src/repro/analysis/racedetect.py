@@ -1,0 +1,321 @@
+"""The race-detection driver: lockset × happens-before × derived rules.
+
+Pipeline per trace:
+
+1. :func:`repro.analysis.lockset.run_lockset` yields the *candidates* —
+   ``(allocation, member)`` pairs written from multiple contexts with no
+   consistently held lock instance,
+2. :class:`repro.analysis.happens.HappensBeforeIndex` stamps exactly the
+   candidate accesses, and a per-context running-maxima sweep finds
+   *unordered conflicting pairs* (write/write or read/write from
+   different contexts with no happens-before path),
+3. each candidate is joined with LockDoc's **derived winning rules**:
+   does any access in the group violate the rule the rest of the system
+   supports?
+
+The cross product classifies every candidate:
+
+=====================  ===========  ============  =======================
+class                  unordered?   violates rule  meaning
+=====================  ===========  ============  =======================
+rule-confirmed race    yes          yes           the statistically mined
+                                                  discipline *and* the
+                                                  ordering analysis agree
+                                                  this access races
+lockset race           yes          no            no consistent lock and
+                                                  no ordering, but also no
+                                                  mined rule against it
+ordered violation      no           yes           breaks the rule, but a
+                                                  synchronization chain
+                                                  orders every pair —
+                                                  the classic init-phase
+                                                  Tab. 7 false positive
+benign                 no           no            consistently unlocked
+                                                  and totally ordered
+=====================  ===========  ============  =======================
+
+Findings carry interned stack/context witnesses exactly like the Tab. 8
+violation reports (:mod:`repro.core.violations`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.happens import AccessStamp, HappensBeforeIndex, happens_before
+from repro.analysis.lockset import LocksetResult, MemberTrack, run_lockset
+from repro.core.derivator import DerivationResult
+from repro.core.report import render_counts, render_table
+from repro.core.rules import LockingRule, complies
+from repro.db.database import TraceDatabase
+from repro.db.schema import AccessRow
+from repro.tracing.events import Event
+
+
+class RaceClass(enum.Enum):
+    """Classification of one race candidate (most severe first)."""
+
+    RULE_CONFIRMED_RACE = "rule-confirmed race"
+    LOCKSET_RACE = "lockset race"
+    ORDERED_VIOLATION = "ordered violation"
+    BENIGN = "benign"
+
+
+#: Render/sort order of the classes.
+_SEVERITY = {
+    RaceClass.RULE_CONFIRMED_RACE: 0,
+    RaceClass.LOCKSET_RACE: 1,
+    RaceClass.ORDERED_VIOLATION: 2,
+    RaceClass.BENIGN: 3,
+}
+
+#: The classes that are actual races (unordered conflicting pairs).
+RACE_CLASSES = (RaceClass.RULE_CONFIRMED_RACE, RaceClass.LOCKSET_RACE)
+
+
+@dataclass
+class RaceFinding:
+    """All same-class candidates of one ``(type_key, member)`` target."""
+
+    race_class: RaceClass
+    type_key: str
+    member: str
+    allocs: int = 0
+    events: int = 0
+    pairs: int = 0
+    contexts: Set[int] = field(default_factory=set)  # execution contexts
+    stacks: Set[int] = field(default_factory=set)  # interned stack ids
+    locations: Set[Tuple[str, int]] = field(default_factory=set)
+    rules: Dict[str, LockingRule] = field(default_factory=dict)
+    #: First unordered conflicting pair (race classes only).
+    sample_pair: Optional[Tuple[AccessRow, AccessRow]] = None
+    #: First rule-violating access (violation classes only).
+    sample_violation: Optional[AccessRow] = None
+
+    @property
+    def is_race(self) -> bool:
+        return self.race_class in RACE_CLASSES
+
+    def rule_text(self) -> str:
+        if not self.rules:
+            return "no lock needed"
+        return "; ".join(
+            f"[{access_type}] {rule.format()}"
+            for access_type, rule in sorted(self.rules.items())
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"{self.race_class.value}: {self.type_key}.{self.member} "
+            f"({self.events} events, {len(self.contexts)} contexts, "
+            f"{self.allocs} object(s); rule {self.rule_text()})"
+        ]
+        if self.sample_pair is not None:
+            a, b = self.sample_pair
+            lines.append(
+                f"  unordered pair: [{a.access_type}] {a.file}:{a.line} "
+                f"(ctx {a.ctx_id})  <-?->  [{b.access_type}] "
+                f"{b.file}:{b.line} (ctx {b.ctx_id})"
+            )
+        elif self.sample_violation is not None:
+            v = self.sample_violation
+            held = " -> ".join(ref.format() for ref in v.lockseq) or "(none)"
+            lines.append(
+                f"  violating access: [{v.access_type}] {v.file}:{v.line} "
+                f"(ctx {v.ctx_id}) held [{held}]"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class RaceReport:
+    """The classified race findings of one trace."""
+
+    findings: List[RaceFinding]
+    tracked_members: int
+    candidate_count: int
+    state_counts: Dict[str, int]
+
+    def races(self) -> List[RaceFinding]:
+        """Findings with an actual unordered conflicting pair."""
+        return [f for f in self.findings if f.is_race]
+
+    def by_class(self, race_class: RaceClass) -> List[RaceFinding]:
+        return [f for f in self.findings if f.race_class == race_class]
+
+    def get(self, type_key: str, member: str) -> Optional[RaceFinding]:
+        for finding in self.findings:
+            if (finding.type_key, finding.member) == (type_key, member):
+                return finding
+        return None
+
+    def class_counts(self) -> Dict[RaceClass, int]:
+        counts = {cls: 0 for cls in RaceClass}
+        for finding in self.findings:
+            counts[finding.race_class] += 1
+        return counts
+
+    def render(self, examples: int = 0) -> str:
+        lines = [
+            f"race detection: {self.tracked_members} (object, member) pairs "
+            f"tracked, {self.candidate_count} lockset candidates",
+            render_counts(
+                self.state_counts,
+                title="lockset states",
+                headers=("state", "members"),
+            ),
+        ]
+        rows = [
+            [
+                f.race_class.value,
+                f"{f.type_key}.{f.member}",
+                f.allocs,
+                f.events,
+                len(f.contexts),
+                f.rule_text(),
+            ]
+            for f in self.findings
+        ]
+        lines.append(
+            render_table(
+                ["class", "target", "objects", "events", "ctxs", "winning rule"],
+                rows,
+                title="classified lockset candidates",
+            )
+        )
+        races = self.races()
+        if races:
+            lines.append(f"{len(races)} racy target(s):")
+        else:
+            lines.append("no unordered conflicting accesses found")
+        for finding in self.findings[:examples] if examples else races:
+            lines.append(finding.format())
+        return "\n".join(lines)
+
+
+def detect_races(
+    events: Sequence[Event],
+    db: TraceDatabase,
+    derivation: DerivationResult,
+    lockset: Optional[LocksetResult] = None,
+) -> RaceReport:
+    """Run the full race-detection pipeline over one trace.
+
+    *events* must be the raw event stream the *db* was imported from
+    (the happens-before edges live in the lock events, which the
+    database's transaction view folds away).
+    """
+    if lockset is None:
+        lockset = run_lockset(db)
+    needed = {access.ts for track in lockset.candidates for access in track.accesses}
+    hb = HappensBeforeIndex.build(events, needed)
+
+    grouped: Dict[Tuple[RaceClass, str, str], RaceFinding] = {}
+    for track in lockset.candidates:
+        pair, pairs = _first_unordered_pair(track, hb)
+        violations = _violating_accesses(track, derivation)
+        if pair is not None:
+            race_class = (
+                RaceClass.RULE_CONFIRMED_RACE if violations else RaceClass.LOCKSET_RACE
+            )
+        else:
+            race_class = (
+                RaceClass.ORDERED_VIOLATION if violations else RaceClass.BENIGN
+            )
+        key = (race_class, track.type_key, track.member)
+        finding = grouped.get(key)
+        if finding is None:
+            finding = RaceFinding(
+                race_class=race_class, type_key=track.type_key, member=track.member
+            )
+            grouped[key] = finding
+        _account(finding, track, derivation, pair, pairs, violations)
+
+    findings = sorted(
+        grouped.values(),
+        key=lambda f: (_SEVERITY[f.race_class], -f.events, f.type_key, f.member),
+    )
+    return RaceReport(
+        findings=findings,
+        tracked_members=len(lockset.tracks),
+        candidate_count=len(lockset.candidates),
+        state_counts={
+            state.value: count for state, count in lockset.state_counts().items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-candidate machinery
+# ----------------------------------------------------------------------
+
+
+def _first_unordered_pair(
+    track: MemberTrack, hb: HappensBeforeIndex
+) -> Tuple[Optional[Tuple[AccessRow, AccessRow]], int]:
+    """Find unordered conflicting pairs in one candidate group.
+
+    Walks the group in trace order keeping, per context, the latest
+    access and the latest write.  Program order and transitivity make
+    the latest conflicting access per context a sufficient witness: if
+    it happens-before the current access, every earlier one does too.
+    Returns the first pair found plus the number of detections.
+    """
+    last_any: Dict[int, Tuple[AccessStamp, AccessRow]] = {}
+    last_write: Dict[int, Tuple[AccessStamp, AccessRow]] = {}
+    first: Optional[Tuple[AccessRow, AccessRow]] = None
+    pairs = 0
+    for row in track.accesses:
+        stamp = hb.stamp(row.ts)
+        conflicting = last_any if row.access_type == "w" else last_write
+        for ctx, (other_stamp, other_row) in conflicting.items():
+            if ctx == row.ctx_id:
+                continue
+            if not happens_before(other_stamp, stamp):
+                pairs += 1
+                if first is None:
+                    first = (other_row, row)
+        last_any[row.ctx_id] = (stamp, row)
+        if row.access_type == "w":
+            last_write[row.ctx_id] = (stamp, row)
+    return first, pairs
+
+
+def _violating_accesses(
+    track: MemberTrack, derivation: DerivationResult
+) -> List[AccessRow]:
+    """Accesses in the group that violate their derived winning rule."""
+    out = []
+    for row in track.accesses:
+        derived = derivation.get(row.type_key, row.member, row.access_type)
+        if derived is None or derived.rule.is_no_lock:
+            continue
+        if not complies(row.lockseq, derived.rule):
+            out.append(row)
+    return out
+
+
+def _account(
+    finding: RaceFinding,
+    track: MemberTrack,
+    derivation: DerivationResult,
+    pair: Optional[Tuple[AccessRow, AccessRow]],
+    pairs: int,
+    violations: List[AccessRow],
+) -> None:
+    finding.allocs += 1
+    finding.events += len(track.accesses)
+    finding.pairs += pairs
+    finding.contexts.update(track.ctx_ids)
+    for row in track.accesses:
+        finding.stacks.add(row.stack_id)
+        finding.locations.add((row.file, row.line))
+        derived = derivation.get(row.type_key, row.member, row.access_type)
+        if derived is not None and not derived.rule.is_no_lock:
+            finding.rules.setdefault(row.access_type, derived.rule)
+    if finding.sample_pair is None:
+        finding.sample_pair = pair
+    if finding.sample_violation is None and violations:
+        finding.sample_violation = violations[0]

@@ -1,0 +1,115 @@
+"""Sparse vector clocks.
+
+A vector clock maps an execution context id to the number of events of
+that context "known" at a point in the trace.  Clocks here are *sparse*:
+a benchmark-mix trace contains thousands of contexts (every injected
+interrupt handler is a fresh one), but any individual clock only ever
+names the contexts it actually synchronized with — absent entries read
+as zero.
+
+Instances are immutable; :meth:`VectorClock.join` and
+:meth:`VectorClock.advanced` return new clocks (or ``self``/``other``
+unchanged when the result would be identical, so chained joins of
+already-dominated clocks stay allocation-free).  The happens-before
+builder (:mod:`repro.analysis.happens`) implements the same algebra on
+flattened dicts for speed; this class is the reference semantics it is
+tested against, and the form analysis results expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+class VectorClock:
+    """An immutable, sparse ``{ctx_id: count}`` clock."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Optional[Mapping[int, int]] = None) -> None:
+        # Zero entries are dropped so equal clocks are structurally equal.
+        self._clocks: Dict[int, int] = (
+            {k: v for k, v in clocks.items() if v > 0} if clocks else {}
+        )
+
+    @classmethod
+    def of(cls, **entries: int) -> "VectorClock":
+        """Literal constructor for tests: ``VectorClock.of(c1=3, c2=1)``
+        with ``cN`` meaning context id N."""
+        return cls({int(name.lstrip("c")): value for name, value in entries.items()})
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, ctx_id: int) -> int:
+        return self._clocks.get(ctx_id, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def __bool__(self) -> bool:
+        return bool(self._clocks)
+
+    # ------------------------------------------------------------------
+    # Order
+    # ------------------------------------------------------------------
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``<=`` — the happens-before partial order."""
+        if self is other:
+            return True
+        clocks = other._clocks
+        return all(clocks.get(ctx, 0) >= count for ctx, count in self._clocks.items())
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.leq(other) and not other.leq(self)
+
+    # ------------------------------------------------------------------
+    # Updates (persistent)
+    # ------------------------------------------------------------------
+
+    def advanced(self, ctx_id: int, count: Optional[int] = None) -> "VectorClock":
+        """This clock with *ctx_id* ticked (or set to *count*)."""
+        value = self.get(ctx_id) + 1 if count is None else count
+        if value == self.get(ctx_id):
+            return self
+        merged = dict(self._clocks)
+        merged[ctx_id] = value
+        return VectorClock(merged)
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise max; returns an operand unchanged when it dominates."""
+        if not other._clocks or other.leq(self):
+            return self
+        if not self._clocks or self.leq(other):
+            return other
+        merged = dict(self._clocks)
+        for ctx, count in other._clocks.items():
+            if merged.get(ctx, 0) < count:
+                merged[ctx] = count
+        return VectorClock(merged)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._clocks == other._clocks
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._clocks.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{k}:{v}" for k, v in sorted(self._clocks.items()))
+        return f"<VectorClock {{{entries}}}>"
+
+
+#: The zero clock (shared; VectorClock is immutable).
+EMPTY_CLOCK = VectorClock()

@@ -11,7 +11,8 @@ Commands mirror the paper's pipeline and analysis tools:
 ``experiment`` regenerate a specific table/figure by name
 ``stats``      trace statistics (Sec. 7.2)
 ``analyze``    derive rules from a previously saved trace file
-``lockorder``  lockdep-style lock-order graph and ABBA candidates
+``lockorder``  lockdep-style lock-order graph, ABBA candidates, cycles
+``races``      lockset + happens-before race detection
 ``docpatch``   documentation patch: keep/update/add/review per member
 ``sql``        export the trace database to SQLite (Fig. 6 schema)
 ``contention`` Lockmeter-style lock-usage statistics
@@ -96,9 +97,30 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--threshold", type=float, default=0.9)
 
     lockorder = sub.add_parser(
-        "lockorder", help="lock-order graph + ABBA candidates"
+        "lockorder", help="lock-order graph + ABBA candidates + cycles"
     )
     _add_pipeline_args(lockorder)
+    lockorder.add_argument(
+        "--workload", choices=("mix", "racer"), default="mix",
+        help="trace source: benchmark mix or the planted-race workload",
+    )
+
+    races = sub.add_parser(
+        "races", help="lockset + happens-before race detection"
+    )
+    _add_pipeline_args(races)
+    races.add_argument(
+        "--workload", choices=("mix", "racer", "racer-safe"), default="racer",
+        help="trace source: benchmark mix, planted-race workload, or its "
+        "race-free control variant",
+    )
+    races.add_argument(
+        "--examples", type=int, default=0,
+        help="print details for the first N findings (default: racy only)",
+    )
+    races.add_argument(
+        "--threshold", type=float, default=0.9, help="accept threshold t_ac"
+    )
 
     docpatch = sub.add_parser(
         "docpatch", help="documentation patch (keep/update/add/review)"
@@ -253,8 +275,34 @@ def _cmd_analyze(args) -> int:
 def _cmd_lockorder(args) -> int:
     from repro.core.lockorder import build_lock_order
 
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
-    print(build_lock_order(pipeline.db).render())
+    if args.workload == "racer":
+        from repro.workloads.racer import run_racer
+
+        db = run_racer(seed=args.seed, scale=args.scale).to_database()
+    else:
+        db = experiments_common.get_pipeline(args.seed, args.scale).db
+    print(build_lock_order(db).render())
+    return 0
+
+
+def _cmd_races(args) -> int:
+    from repro.analysis import detect_races
+
+    if args.workload == "mix":
+        pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+        events = pipeline.mix.tracer.events
+        db = pipeline.db
+        derivation = pipeline.derive(args.threshold)
+    else:
+        from repro.workloads.racer import run_racer
+
+        result = run_racer(
+            seed=args.seed, scale=args.scale, racy=args.workload == "racer"
+        )
+        events = result.tracer.events
+        db = result.to_database()
+        derivation = result.derive(args.threshold)
+    print(detect_races(events, db, derivation).render(examples=args.examples))
     return 0
 
 
@@ -307,6 +355,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "analyze": _cmd_analyze,
     "lockorder": _cmd_lockorder,
+    "races": _cmd_races,
     "docpatch": _cmd_docpatch,
     "sql": _cmd_sql,
     "contention": _cmd_contention,

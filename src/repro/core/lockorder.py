@@ -12,17 +12,23 @@ LockDoc trace:
   (struct, member) for embedded locks),
 * detect **order inversions**: pairs observed in both directions — the
   classic ABBA deadlock candidate lockdep warns about,
-* report each edge with its witness count and one example context.
+* detect **order cycles** of any length via strongly connected
+  components of the graph: a cycle A → B → C → A is just as much a
+  deadlock candidate as ABBA, but no pair of its locks is ever taken in
+  both orders, so the pairwise inversion check is blind to it.  Each
+  non-trivial SCC is reported with a shortest witness cycle,
+* report each edge with its witness count and one example transaction.
 
 Same-class nesting (e.g. taking two different instances of
 ``inode.i_lock``) is reported separately: lockdep would require a
-nesting annotation for it.
+nesting annotation for it.  Like inversions, nesting findings carry an
+example transaction/context so they are actionable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.db.database import TraceDatabase
 
@@ -83,15 +89,68 @@ class Inversion:
 
 
 @dataclass
+class NestingFinding:
+    """Same-class nesting (two instances of one class held together)."""
+
+    key: LockClassKey
+    witnesses: int = 0
+    example_txn: Optional[int] = None
+    example_ctx: Optional[int] = None
+
+    def format(self) -> str:
+        where = (
+            f"txn {self.example_txn}, ctx {self.example_ctx}"
+            if self.example_txn is not None
+            else "?"
+        )
+        return (
+            f"{format_class(self.key)} ({self.witnesses} witnesses, "
+            f"e.g. {where})"
+        )
+
+
+@dataclass
+class Cycle:
+    """A deadlock-candidate cycle in the lock-order graph.
+
+    ``classes`` is the witness path (first class not repeated at the
+    end); ``edges`` are the observed order edges closing it.
+    """
+
+    classes: Tuple[LockClassKey, ...]
+    edges: Tuple[OrderEdge, ...]
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    @property
+    def min_witnesses(self) -> int:
+        return min(edge.witnesses for edge in self.edges)
+
+    def format(self) -> str:
+        path = " -> ".join(format_class(key) for key in self.classes)
+        first = format_class(self.classes[0])
+        return (
+            f"cycle[{len(self.classes)}]: {path} -> {first} "
+            f"(weakest edge: {self.min_witnesses} witnesses)"
+        )
+
+
+@dataclass
 class LockOrderReport:
-    """The lock-order graph with inversion/nesting findings."""
+    """The lock-order graph with inversion/cycle/nesting findings."""
     edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge]
     inversions: List[Inversion]
-    self_nesting: Dict[LockClassKey, int]
+    self_nesting: Dict[LockClassKey, NestingFinding]
+    cycles: List[Cycle] = field(default_factory=list)
 
     @property
     def edge_count(self) -> int:
         return len(self.edges)
+
+    def multi_lock_cycles(self) -> List[Cycle]:
+        """Cycles of length >= 3 — invisible to the pairwise ABBA check."""
+        return [cycle for cycle in self.cycles if len(cycle) >= 3]
 
     def dominant_order(
         self, a: LockClassKey, b: LockClassKey
@@ -112,14 +171,21 @@ class LockOrderReport:
             lines.append(f"  {edge.format()}")
         if self.self_nesting:
             lines.append("same-class nesting (needs lockdep annotations):")
-            for key, count in sorted(self.self_nesting.items()):
-                lines.append(f"  {format_class(key)} ({count} witnesses)")
+            for key in sorted(self.self_nesting):
+                lines.append(f"  {self.self_nesting[key].format()}")
         if self.inversions:
             lines.append("order inversions (potential ABBA deadlocks):")
             for inversion in self.inversions:
                 lines.append(f"  {inversion.format()}")
         else:
             lines.append("no order inversions observed")
+        longer = self.multi_lock_cycles()
+        if longer:
+            lines.append("multi-lock order cycles (invisible to the ABBA check):")
+            for cycle in longer:
+                lines.append(f"  {cycle.format()}")
+        else:
+            lines.append("no multi-lock order cycles observed")
         return "\n".join(lines)
 
 
@@ -131,7 +197,7 @@ def build_lock_order(db: TraceDatabase) -> LockOrderReport:
     the prefix relation, as in lockdep).
     """
     edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge] = {}
-    self_nesting: Dict[LockClassKey, int] = {}
+    self_nesting: Dict[LockClassKey, NestingFinding] = {}
     for txn in db.txns.values():
         classes = []
         for held in txn.held:
@@ -142,7 +208,14 @@ def build_lock_order(db: TraceDatabase) -> LockOrderReport:
             for j in range(i + 1, len(classes)):
                 before, after = classes[i], classes[j]
                 if before == after:
-                    self_nesting[before] = self_nesting.get(before, 0) + 1
+                    nesting = self_nesting.get(before)
+                    if nesting is None:
+                        nesting = NestingFinding(key=before)
+                        self_nesting[before] = nesting
+                    nesting.witnesses += 1
+                    if nesting.example_txn is None:
+                        nesting.example_txn = txn.txn_id
+                        nesting.example_ctx = txn.ctx_id
                     continue
                 edge = edges.get((before, after))
                 if edge is None:
@@ -160,5 +233,137 @@ def build_lock_order(db: TraceDatabase) -> LockOrderReport:
                 Inversion(forward=edge, backward=edges[(after, before)])
             )
     return LockOrderReport(
-        edges=edges, inversions=inversions, self_nesting=self_nesting
+        edges=edges,
+        inversions=inversions,
+        self_nesting=self_nesting,
+        cycles=find_cycles(edges),
     )
+
+
+# ----------------------------------------------------------------------
+# Cycle detection
+# ----------------------------------------------------------------------
+
+
+def find_cycles(
+    edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge]
+) -> List[Cycle]:
+    """One shortest witness cycle per non-trivial SCC of the graph.
+
+    Tarjan's algorithm (iterative — order graphs of big traces nest
+    deeper than Python's recursion limit) finds the strongly connected
+    components; every component with more than one node contains at
+    least one cycle, and a BFS restricted to the component recovers a
+    shortest one.  Reporting one witness per SCC keeps the output
+    bounded: a dense component contains exponentially many simple
+    cycles, but breaking the component's witness breaks them all.
+    """
+    graph: Dict[LockClassKey, List[LockClassKey]] = {}
+    for before, after in edges:
+        graph.setdefault(before, []).append(after)
+        graph.setdefault(after, [])
+
+    cycles = [
+        _witness_cycle(component, graph, edges)
+        for component in _tarjan_sccs(graph)
+        if len(component) > 1
+    ]
+    cycles.sort(key=lambda c: (len(c), [format_class(k) for k in c.classes]))
+    return cycles
+
+
+def _tarjan_sccs(
+    graph: Dict[LockClassKey, List[LockClassKey]]
+) -> List[List[LockClassKey]]:
+    """Iterative Tarjan strongly-connected components."""
+    index_of: Dict[LockClassKey, int] = {}
+    lowlink: Dict[LockClassKey, int] = {}
+    on_stack: Set[LockClassKey] = set()
+    stack: List[LockClassKey] = []
+    components: List[List[LockClassKey]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator position into its successors).
+        work: List[Tuple[LockClassKey, int]] = [(root, 0)]
+        while work:
+            node, position = work[-1]
+            if position == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = graph[node]
+            advanced = False
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if successor not in index_of:
+                    work[-1] = (node, position)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _witness_cycle(
+    component: Sequence[LockClassKey],
+    graph: Dict[LockClassKey, List[LockClassKey]],
+    edges: Dict[Tuple[LockClassKey, LockClassKey], OrderEdge],
+) -> Cycle:
+    """Shortest cycle inside one SCC (BFS from every member node)."""
+    members = set(component)
+    best: Optional[List[LockClassKey]] = None
+    for start in sorted(component, key=format_class):
+        path = _shortest_cycle_from(start, members, graph)
+        if path is not None and (best is None or len(path) < len(best)):
+            best = path
+    assert best is not None  # an SCC with >1 node always has a cycle
+    witness_edges = tuple(
+        edges[(best[i], best[(i + 1) % len(best)])] for i in range(len(best))
+    )
+    return Cycle(classes=tuple(best), edges=witness_edges)
+
+
+def _shortest_cycle_from(
+    start: LockClassKey,
+    members: Set[LockClassKey],
+    graph: Dict[LockClassKey, List[LockClassKey]],
+) -> Optional[List[LockClassKey]]:
+    """BFS for the shortest path start → ... → start within *members*."""
+    parents: Dict[LockClassKey, Optional[LockClassKey]] = {start: None}
+    queue: List[LockClassKey] = [start]
+    while queue:
+        next_queue: List[LockClassKey] = []
+        for node in queue:
+            for successor in graph[node]:
+                if successor == start:
+                    path = [node]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                if successor in members and successor not in parents:
+                    parents[successor] = node
+                    next_queue.append(successor)
+        queue = next_queue
+    return None

@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.derivator import DerivationResult
 from repro.core.lockrefs import LockRef, Scope

@@ -7,7 +7,7 @@ conversion for programmatic consumers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
 
 def render_table(
@@ -33,6 +33,15 @@ def render_table(
     for row in materialized:
         lines.append(fmt(row))
     return "\n".join(lines)
+
+
+def render_counts(
+    counts: Mapping[str, Any],
+    title: str = "",
+    headers: Sequence[str] = ("kind", "count"),
+) -> str:
+    """Render a ``{label: count}`` mapping as a two-column table."""
+    return render_table(headers, list(counts.items()), title=title)
 
 
 def percentage(value: float, digits: int = 2) -> str:

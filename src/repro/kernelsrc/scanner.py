@@ -3,15 +3,20 @@
 Counts calls to lock-related initialization functions — dynamic
 (``spin_lock_init``, ``mutex_init``) and static (``DEFINE_SPINLOCK``,
 ``DEFINE_MUTEX``) — plus RCU usage markers, and lines of code.
-Comment-only lines are excluded from idiom matching (but counted as
-LoC, matching ``wc -l``-style methodology).
+Comment text is excluded from idiom matching (but every line counts as
+LoC, matching ``wc -l``-style methodology): block comments are tracked
+across lines with a small state machine, so an idiom mentioned in the
+middle of a multi-line ``/* ... */`` is not counted, while code sharing
+a line with a comment (``spin_lock_init(&a); /* why */``) still is.
+Comment markers inside string literals are not recognized — acceptable
+for a counting methodology, wrong for a parser.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 _SPINLOCK = re.compile(
     r"\b(?:raw_)?spin_lock_init\s*\(|\bDEFINE_SPINLOCK\s*\(|\b__SPIN_LOCK_UNLOCKED\s*\("
@@ -19,7 +24,9 @@ _SPINLOCK = re.compile(
 _MUTEX = re.compile(r"\bmutex_init\s*\(|\bDEFINE_MUTEX\s*\(")
 _RCU = re.compile(r"\brcu_read_lock\s*\(|\bsynchronize_rcu\s*\(|\bcall_rcu\s*\(")
 
-_COMMENT_LINE = re.compile(r"^\s*(?://|/\*|\*)")
+#: A lone ``*``-continuation line outside any open block comment — a
+#: comment fragment (e.g. a diff hunk or doc excerpt); skip it entirely.
+_ORPHAN_CONTINUATION = re.compile(r"^\s*\*")
 
 
 @dataclass
@@ -42,18 +49,50 @@ class LockUsage:
         }
 
 
+def _strip_comments(line: str, in_block: bool) -> Tuple[str, bool]:
+    """Remove comment text from one line.
+
+    Returns the remaining code and whether a ``/* ... */`` block is
+    still open at the end of the line.
+    """
+    code = []
+    position = 0
+    while position < len(line):
+        if in_block:
+            end = line.find("*/", position)
+            if end == -1:
+                return "".join(code), True
+            position = end + 2
+            in_block = False
+            continue
+        block = line.find("/*", position)
+        slashes = line.find("//", position)
+        if slashes != -1 and (block == -1 or slashes < block):
+            code.append(line[position:slashes])
+            return "".join(code), False
+        if block == -1:
+            code.append(line[position:])
+            return "".join(code), False
+        code.append(line[position:block])
+        position = block + 2
+        in_block = True
+    return "".join(code), in_block
+
+
 def scan_source(content: str, usage: LockUsage) -> None:
     """Accumulate one file's counts into *usage*."""
     usage.files += 1
+    in_block = False
     for line in content.splitlines():
         usage.loc += 1
-        if _COMMENT_LINE.match(line):
+        if not in_block and _ORPHAN_CONTINUATION.match(line):
             continue
-        if _SPINLOCK.search(line):
+        code, in_block = _strip_comments(line, in_block)
+        if _SPINLOCK.search(code):
             usage.spinlock += 1
-        if _MUTEX.search(line):
+        if _MUTEX.search(code):
             usage.mutex += 1
-        if _RCU.search(line):
+        if _RCU.search(code):
             usage.rcu += 1
 
 

@@ -1,0 +1,109 @@
+"""Unit tests for the happens-before index.
+
+Events are built by hand so every edge in the expected order relation
+is explicit: program order plus release→acquire edges per lock
+instance, closed under transitivity — and nothing else.
+"""
+
+from repro.analysis.happens import HappensBeforeIndex, happens_before, unordered
+from repro.analysis.vectorclock import VectorClock
+from repro.tracing.events import AccessEvent, LockEvent
+
+
+def access(ts, ctx):
+    return AccessEvent(
+        ts=ts, ctx_id=ctx, address=0x1000 + ts, size=8, is_write=True,
+        stack_id=0, file="hb.c", line=ts,
+    )
+
+
+def lock_op(ts, ctx, lock_id, acquire):
+    return LockEvent(
+        ts=ts, ctx_id=ctx, lock_id=lock_id, lock_class="spinlock_t",
+        lock_name=f"l{lock_id}", address=None, is_acquire=acquire,
+        mode="w", stack_id=0, file="hb.c", line=ts,
+    )
+
+
+def test_program_order_within_one_context():
+    hb = HappensBeforeIndex.build([access(1, 1), access(2, 1)])
+    assert happens_before(hb.stamp(1), hb.stamp(2))
+
+
+def test_release_acquire_edge_orders_across_contexts():
+    events = [
+        access(1, 1),
+        lock_op(2, 1, lock_id=7, acquire=True),
+        lock_op(3, 1, lock_id=7, acquire=False),
+        lock_op(4, 2, lock_id=7, acquire=True),
+        access(5, 2),
+        lock_op(6, 2, lock_id=7, acquire=False),
+    ]
+    hb = HappensBeforeIndex.build(events)
+    assert happens_before(hb.stamp(1), hb.stamp(5))
+
+
+def test_no_common_lock_means_unordered():
+    events = [
+        access(1, 1),
+        lock_op(2, 1, lock_id=7, acquire=True),
+        lock_op(3, 1, lock_id=7, acquire=False),
+        lock_op(4, 2, lock_id=8, acquire=True),  # different instance
+        access(5, 2),
+    ]
+    hb = HappensBeforeIndex.build(events)
+    assert unordered(hb.stamp(1), hb.stamp(5))
+
+
+def test_acquire_before_release_creates_no_edge():
+    events = [
+        lock_op(1, 2, lock_id=7, acquire=True),
+        access(2, 2),
+        lock_op(3, 2, lock_id=7, acquire=False),
+        access(4, 1),
+        lock_op(5, 1, lock_id=7, acquire=True),
+        access(6, 1),
+    ]
+    hb = HappensBeforeIndex.build(events)
+    # ctx 2's release (ts 3) flows into ctx 1's acquire (ts 5): the
+    # *earlier* ctx-2 access is ordered before the later ctx-1 access...
+    assert happens_before(hb.stamp(2), hb.stamp(6))
+    # ...but ctx 1's access before its acquire got no edge from anyone.
+    assert unordered(hb.stamp(2), hb.stamp(4))
+
+
+def test_transitivity_through_two_locks():
+    events = [
+        access(1, 1),
+        lock_op(2, 1, lock_id=7, acquire=False),   # ctx1 releases L7
+        lock_op(3, 2, lock_id=7, acquire=True),    # ctx2 learns ctx1
+        lock_op(4, 2, lock_id=8, acquire=False),   # ctx2 releases L8
+        lock_op(5, 3, lock_id=8, acquire=True),    # ctx3 learns ctx2 (+ctx1)
+        access(6, 3),
+    ]
+    hb = HappensBeforeIndex.build(events)
+    assert happens_before(hb.stamp(1), hb.stamp(6))
+
+
+def test_needed_ts_restricts_the_index():
+    events = [access(1, 1), access(2, 1), access(3, 2)]
+    hb = HappensBeforeIndex.build(events, needed_ts={1, 3})
+    assert len(hb) == 2
+    assert hb.get(2) is None
+    assert hb.get(1) is not None
+
+
+def test_stamp_clock_matches_knowledge():
+    events = [
+        access(1, 1),
+        lock_op(2, 1, lock_id=7, acquire=False),
+        lock_op(3, 2, lock_id=7, acquire=True),
+        access(4, 2),
+    ]
+    hb = HappensBeforeIndex.build(events)
+    stamp = hb.stamp(4)
+    # ctx 2 knows ctx 1 up to its release (event index 2) and itself up
+    # to its own second event.
+    assert stamp.knows_of(1) == 2
+    assert stamp.knows_of(2) == stamp.index == 2
+    assert stamp.clock == VectorClock.of(c1=2, c2=2)

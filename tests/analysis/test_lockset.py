@@ -1,0 +1,117 @@
+"""Unit tests for the Eraser-style lockset state machine."""
+
+import pytest
+
+from repro.analysis.lockset import MemberState, MemberTrack, run_lockset
+from repro.db.importer import import_tracer
+from repro.db.schema import AccessRow
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.structs import StructRegistry
+from tests.conftest import make_pair_struct
+
+_EMPTY = frozenset()
+
+
+def row(ts, ctx, access_type="w"):
+    return AccessRow(
+        access_id=ts, ts=ts, ctx_id=ctx, txn_id=None, alloc_id=1,
+        data_type="pair", subclass=None, member="a", access_type=access_type,
+        address=0, size=8, stack_id=0, file="ls.c", line=ts,
+    )
+
+
+def track():
+    return MemberTrack(alloc_id=1, member="a", type_key="pair")
+
+
+def test_first_access_moves_virgin_to_exclusive():
+    t = track()
+    t.apply(row(1, ctx=1), (frozenset({9}), frozenset({9})))
+    assert t.state == MemberState.EXCLUSIVE
+    assert t.lockset == {9}
+    assert not t.is_candidate
+
+
+def test_single_context_stays_exclusive():
+    t = track()
+    for ts in range(1, 4):
+        t.apply(row(ts, ctx=1), (_EMPTY, _EMPTY))
+    assert t.state == MemberState.EXCLUSIVE
+    assert not t.is_candidate  # one thread cannot race with itself
+
+
+def test_second_context_read_moves_to_shared():
+    t = track()
+    t.apply(row(1, ctx=1), (_EMPTY, _EMPTY))
+    t.apply(row(2, ctx=2, access_type="r"), (_EMPTY, _EMPTY))
+    assert t.state == MemberState.SHARED
+    assert not t.is_candidate
+
+
+def test_second_context_write_without_lock_is_candidate():
+    t = track()
+    t.apply(row(1, ctx=1), (_EMPTY, _EMPTY))
+    t.apply(row(2, ctx=2), (_EMPTY, _EMPTY))
+    assert t.state == MemberState.SHARED_MODIFIED
+    assert t.is_candidate
+
+
+def test_consistent_lock_prevents_candidacy():
+    t = track()
+    t.apply(row(1, ctx=1), (frozenset({9}), frozenset({9})))
+    t.apply(row(2, ctx=2), (frozenset({9, 5}), frozenset({9})))
+    assert t.state == MemberState.SHARED_MODIFIED
+    assert t.lockset == {9}
+    assert not t.is_candidate
+
+
+def test_lockset_refinement_to_empty():
+    t = track()
+    t.apply(row(1, ctx=1), (frozenset({9}), frozenset({9})))
+    t.apply(row(2, ctx=2), (frozenset({5}), frozenset({5})))
+    assert t.lockset == _EMPTY
+    assert t.is_candidate
+
+
+def test_reader_held_lock_does_not_protect_writes():
+    t = track()
+    # Both writers hold lock 9 in read mode only: it cannot order them.
+    t.apply(row(1, ctx=1), (frozenset({9}), _EMPTY))
+    t.apply(row(2, ctx=2), (frozenset({9}), _EMPTY))
+    assert t.lockset == _EMPTY
+    assert t.is_candidate
+
+
+def test_reads_intersect_all_held_locks():
+    t = track()
+    t.apply(row(1, ctx=1, access_type="r"), (frozenset({9}), _EMPTY))
+    t.apply(row(2, ctx=2, access_type="r"), (frozenset({9}), _EMPTY))
+    assert t.lockset == {9}
+
+
+@pytest.fixture
+def rt():
+    return KernelRuntime(StructRegistry([make_pair_struct()]))
+
+
+def test_run_lockset_over_a_real_trace(rt):
+    ctx1, ctx2 = rt.new_task("t1"), rt.new_task("t2")
+    obj = rt.new_object(ctx1, "pair")
+    lock = obj.lock("lock_a")
+    # member a: both contexts locked -> protected, no candidate.
+    for ctx in (ctx1, ctx2):
+        rt.run(rt.spin_lock(ctx, lock))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, lock)
+    # member b: both contexts lock-free -> candidate.
+    rt.write(ctx1, obj, "b")
+    rt.write(ctx2, obj, "b")
+    result = run_lockset(import_tracer(rt.tracer, rt.structs))
+    members = {t.member: t for t in result.candidates}
+    assert set(members) == {"b"}
+    assert members["b"].state == MemberState.SHARED_MODIFIED
+    tracked_a = result.tracks[(obj.allocation.alloc_id, "a")]
+    assert tracked_a.state == MemberState.SHARED_MODIFIED
+    assert tracked_a.lockset  # the shared spinlock instance survived
+    counts = result.state_counts()
+    assert counts[MemberState.SHARED_MODIFIED] == 2

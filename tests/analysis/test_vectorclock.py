@@ -1,0 +1,59 @@
+"""Unit tests for the sparse vector clock."""
+
+from repro.analysis.vectorclock import EMPTY_CLOCK, VectorClock
+
+
+def test_empty_clock_is_falsy_and_bottom():
+    assert not EMPTY_CLOCK
+    assert len(EMPTY_CLOCK) == 0
+    assert EMPTY_CLOCK.leq(VectorClock.of(c1=3))
+    assert EMPTY_CLOCK.get(7) == 0
+
+
+def test_zero_entries_are_dropped():
+    clock = VectorClock({1: 0, 2: 5})
+    assert len(clock) == 1
+    assert clock == VectorClock.of(c2=5)
+
+
+def test_leq_is_pointwise():
+    small = VectorClock.of(c1=1, c2=2)
+    big = VectorClock.of(c1=1, c2=3, c3=1)
+    assert small.leq(big)
+    assert not big.leq(small)
+    assert small.leq(small)
+
+
+def test_concurrent_clocks():
+    a = VectorClock.of(c1=2)
+    b = VectorClock.of(c2=2)
+    assert a.concurrent(b)
+    assert b.concurrent(a)
+    assert not a.concurrent(a)
+
+
+def test_join_takes_pointwise_max():
+    a = VectorClock.of(c1=3, c2=1)
+    b = VectorClock.of(c2=4, c3=2)
+    joined = a.join(b)
+    assert joined == VectorClock.of(c1=3, c2=4, c3=2)
+    assert a.leq(joined) and b.leq(joined)
+
+
+def test_join_returns_dominating_operand():
+    small = VectorClock.of(c1=1)
+    big = VectorClock.of(c1=2, c2=1)
+    assert small.join(big) is big
+    assert big.join(small) is big
+
+
+def test_advanced_increments_one_component():
+    clock = VectorClock.of(c1=1)
+    assert clock.advanced(1) == VectorClock.of(c1=2)
+    assert clock.advanced(2) == VectorClock.of(c1=1, c2=1)
+    assert clock.advanced(1, count=9) == VectorClock.of(c1=9)
+
+
+def test_hash_and_eq_follow_entries():
+    assert hash(VectorClock.of(c1=1)) == hash(VectorClock({1: 1, 2: 0}))
+    assert VectorClock.of() == EMPTY_CLOCK

@@ -67,7 +67,11 @@ def test_same_class_nesting_reported(rt):
     rt.spin_unlock(ctx, obj1.lock("lock_a"))
     report = analyze(rt)
     nesting = {format_class(k): v for k, v in report.self_nesting.items()}
-    assert nesting.get("pair.lock_a") == 1
+    finding = nesting.get("pair.lock_a")
+    assert finding is not None and finding.witnesses == 1
+    assert finding.example_txn is not None
+    assert finding.example_ctx == ctx.ctx_id
+    assert "pair.lock_a" in finding.format()
     assert not report.inversions  # same-class is not an ABBA edge
 
 
@@ -121,9 +125,59 @@ def test_render(rt):
     assert "no order inversions observed" in text
 
 
+def test_three_lock_cycle_detected_without_any_inversion(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    locks = [rt.static_lock(name, "spinlock_t") for name in ("x", "y", "z")]
+    # x->y, y->z, z->x: every pair has one consistent order, yet the
+    # three orders compose into a cycle.
+    for first, second in zip(locks, locks[1:] + locks[:1]):
+        rt.run(rt.spin_lock(ctx, first))
+        rt.run(rt.spin_lock(ctx, second))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, second)
+        rt.spin_unlock(ctx, first)
+    report = analyze(rt)
+    assert report.inversions == []
+    cycles = report.multi_lock_cycles()
+    assert len(cycles) == 1
+    assert {format_class(k) for k in cycles[0].classes} == {"x", "y", "z"}
+    assert cycles[0].min_witnesses == 1
+    assert "cycle[3]" in report.render()
+
+
+def test_abba_is_also_a_two_cycle(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    glock = rt.static_lock("g", "spinlock_t")
+    for first, second in ((obj.lock("lock_a"), glock), (glock, obj.lock("lock_a"))):
+        rt.run(rt.spin_lock(ctx, first))
+        rt.run(rt.spin_lock(ctx, second))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, second)
+        rt.spin_unlock(ctx, first)
+    report = analyze(rt)
+    assert len(report.inversions) == 1
+    assert len(report.cycles) == 1 and len(report.cycles[0]) == 2
+    assert report.multi_lock_cycles() == []  # length-2 is ABBA's job
+
+
+def test_acyclic_graph_has_no_cycles(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+    rt.write(ctx, obj, "a")
+    rt.spin_unlock(ctx, obj.lock("lock_b"))
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    assert analyze(rt).cycles == []
+
+
 def test_vfs_trace_has_consistent_order(pipeline):
     """The simulated kernel's ground truth is deadlock-free by
-    construction: the benchmark trace must contain no ABBA inversions."""
+    construction: the benchmark trace must contain no ABBA inversions
+    and no lock-order cycles of any length."""
     report = build_lock_order(pipeline.db)
     assert report.edge_count > 10
     assert report.inversions == []
+    assert report.cycles == []

@@ -74,7 +74,36 @@ def test_no_command_rejected():
 
 def test_lockorder_command(capsys):
     assert cli.main(["lockorder"]) == 0
-    assert "lock-order graph" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "lock-order graph" in out
+    assert "no multi-lock order cycles observed" in out
+
+
+def test_lockorder_racer_workload(capsys):
+    assert cli.main(["lockorder", "--workload", "racer", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle[3]" in out
+    assert "racer_a" in out
+
+
+def test_races_racer_workload(capsys):
+    assert cli.main(["races", "--workload", "racer", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "rule-confirmed race" in out
+    assert "race_obj.counter" in out
+    assert "unordered pair" in out
+
+
+def test_races_racer_safe_workload(capsys):
+    assert cli.main(["races", "--workload", "racer-safe", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "no unordered conflicting accesses found" in out
+    assert "rule-confirmed race" not in out
+
+
+def test_races_mix_workload(capsys):
+    assert cli.main(["races", "--workload", "mix"]) == 0
+    assert "race detection:" in capsys.readouterr().out
 
 
 def test_docpatch_command(capsys):

@@ -79,6 +79,52 @@ def test_scanner_skips_comment_lines():
     assert usage.loc == 3  # comments still count as lines
 
 
+def test_scanner_tracks_block_comments_across_lines():
+    usage = LockUsage()
+    scan_source(
+        "\n".join(
+            [
+                "/*",
+                " * spin_lock_init(&a);",
+                "mutex_init(&b);",  # no leading *, still inside the block
+                " */",
+                "spin_lock_init(&real);",
+            ]
+        ),
+        usage,
+    )
+    assert usage.spinlock == 1
+    assert usage.mutex == 0
+    assert usage.loc == 5
+
+
+def test_scanner_counts_code_sharing_a_line_with_comments():
+    usage = LockUsage()
+    scan_source(
+        "\n".join(
+            [
+                "spin_lock_init(&a); /* why */",
+                "/* note */ mutex_init(&b); // trailing",
+                "int x; /* block opens here",
+                "rcu_read_lock();",  # commented out
+                "*/ rcu_read_lock();",  # block closes, real call
+            ]
+        ),
+        usage,
+    )
+    assert usage.spinlock == 1
+    assert usage.mutex == 1
+    assert usage.rcu == 1
+    assert usage.loc == 5
+
+
+def test_scanner_ignores_idioms_commented_out_inline():
+    usage = LockUsage()
+    scan_source("int y; /* mutex_init(&b); */ spin_lock_init(&a);", usage)
+    assert usage.mutex == 0
+    assert usage.spinlock == 1
+
+
 def test_tree_paths_cover_subsystems():
     tree = generate_tree(KernelVersion(4, 0))
     directories = {path.rsplit("/", 1)[0] for path in tree}

@@ -1,0 +1,101 @@
+"""Ground-truth tests for the planted-race workload.
+
+The racer workload plants known behaviour per member (see its module
+docstring); these tests pin the detector to that ground truth: every
+planted race is reported, nothing else is, and the race-free control
+variant is completely clean.
+"""
+
+import pytest
+
+from repro.analysis import RaceClass, detect_races
+from repro.core.lockorder import build_lock_order, format_class
+from repro.workloads.racer import PLANTED_CYCLE, PLANTED_RACES, run_racer
+
+
+@pytest.fixture(scope="module")
+def racy():
+    return run_racer(seed=0, scale=1.0, racy=True)
+
+
+@pytest.fixture(scope="module")
+def racy_report(racy):
+    return detect_races(racy.tracer.events, racy.to_database(), racy.derive())
+
+
+@pytest.fixture(scope="module")
+def safe_report():
+    result = run_racer(seed=0, scale=1.0, racy=False)
+    return detect_races(result.tracer.events, result.to_database(), result.derive())
+
+
+def test_all_planted_races_found(racy_report):
+    for type_key, member in PLANTED_RACES:
+        finding = racy_report.get(type_key, member)
+        assert finding is not None, f"planted race {type_key}.{member} missed"
+        assert finding.race_class == RaceClass.RULE_CONFIRMED_RACE
+        assert finding.sample_pair is not None
+
+
+def test_no_false_positive_races(racy_report):
+    reported = {(f.type_key, f.member) for f in racy_report.races()}
+    assert reported == set(PLANTED_RACES)
+
+
+def test_init_phase_write_is_ordered_violation_not_race(racy_report):
+    finding = racy_report.get("race_obj", "stat")
+    assert finding is not None
+    assert finding.race_class == RaceClass.ORDERED_VIOLATION
+    assert finding.sample_violation is not None
+
+
+def test_single_writer_unlocked_member_is_benign(racy_report):
+    finding = racy_report.get("race_obj", "seq")
+    assert finding is not None
+    assert finding.race_class == RaceClass.BENIGN
+
+
+def test_locked_member_never_becomes_a_candidate(racy_report):
+    assert racy_report.get("race_obj", "guarded") is None
+
+
+def test_race_free_variant_reports_zero_races(safe_report):
+    assert safe_report.races() == []
+    # The planted non-race classifications survive unchanged.
+    assert (
+        safe_report.get("race_obj", "stat").race_class
+        == RaceClass.ORDERED_VIOLATION
+    )
+    assert safe_report.get("race_obj", "seq").race_class == RaceClass.BENIGN
+
+
+def test_derived_rule_still_names_the_lock(racy):
+    derivation = racy.derive()
+    for member in ("counter", "dirty", "stat", "guarded"):
+        derived = derivation.get("race_obj", member, "w")
+        assert derived is not None
+        assert "lock" in derived.rule.format()
+    seq_rule = derivation.get("race_obj", "seq", "w")
+    assert seq_rule is not None and seq_rule.rule.is_no_lock
+
+
+def test_race_witness_points_at_the_buggy_code(racy_report):
+    finding = racy_report.get("race_obj", "counter")
+    lines = {line for (_, line) in finding.locations}
+    assert 66 in lines  # the unlocked write in _buggy_worker
+
+
+def test_planted_cycle_found_with_zero_inversions(racy):
+    report = build_lock_order(racy.to_database())
+    assert report.inversions == []  # pairwise ABBA check is blind here
+    cycles = report.multi_lock_cycles()
+    assert len(cycles) == 1
+    names = {format_class(key) for key in cycles[0].classes}
+    assert names == set(PLANTED_CYCLE)
+
+
+def test_deterministic_per_seed():
+    first = run_racer(seed=3, scale=1.0)
+    second = run_racer(seed=3, scale=1.0)
+    assert len(first.tracer.events) == len(second.tracer.events)
+    assert first.steps == second.steps
