@@ -50,6 +50,7 @@ from repro.core.derivator import DerivationResult
 from repro.core.report import render_counts, render_table
 from repro.core.rules import LockingRule, complies
 from repro.db.database import TraceDatabase
+from repro.db.filters import REASON_STALE_LOCK, REASON_SYNTHETIC_TXN
 from repro.db.schema import AccessRow
 from repro.tracing.events import Event
 
@@ -137,6 +138,10 @@ class RaceReport:
     tracked_members: int
     candidate_count: int
     state_counts: Dict[str, int]
+    #: Accesses excluded because their transaction was closed by a
+    #: synthesized release (quarantine flag from the importer) — race
+    #: verdicts are computed only over salvaged-clean spans.
+    synthetic_excluded: int = 0
 
     def races(self) -> List[RaceFinding]:
         """Findings with an actual unordered conflicting pair."""
@@ -161,6 +166,13 @@ class RaceReport:
         lines = [
             f"race detection: {self.tracked_members} (object, member) pairs "
             f"tracked, {self.candidate_count} lockset candidates",
+        ]
+        if self.synthetic_excluded:
+            lines.append(
+                f"{self.synthetic_excluded} access(es) with untrusted lock "
+                f"state excluded (synthetic close / stale-lock span)"
+            )
+        lines += [
             render_counts(
                 self.state_counts,
                 title="lockset states",
@@ -244,6 +256,11 @@ def detect_races(
         state_counts={
             state.value: count for state, count in lockset.state_counts().items()
         },
+        synthetic_excluded=sum(
+            1
+            for a in db.accesses
+            if a.filter_reason in (REASON_SYNTHETIC_TXN, REASON_STALE_LOCK)
+        ),
     )
 
 

@@ -17,7 +17,13 @@ Commands mirror the paper's pipeline and analysis tools:
 ``sql``        export the trace database to SQLite (Fig. 6 schema)
 ``contention`` Lockmeter-style lock-usage statistics
 ``relations``  object-relation classification of EO rules (Sec. 8)
+``health``     lenient ingestion + TraceHealth damage report
+``corrupt``    apply a seeded fault plan to a saved trace file
 =============  =====================================================
+
+Every subcommand taking a file input exits with status 2 and a
+one-line ``error: ...`` on empty, unreadable or malformed inputs —
+never a traceback.
 """
 
 from __future__ import annotations
@@ -143,6 +149,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_args(relations)
 
+    health = sub.add_parser(
+        "health", help="lenient trace ingestion + TraceHealth report"
+    )
+    health.add_argument("trace", help="trace file (text or binary, may be damaged)")
+    health.add_argument(
+        "--registry", choices=("vfs", "racer"), default="vfs",
+        help="struct registry the trace was recorded against",
+    )
+    health.add_argument(
+        "--budget", type=float, default=0.25,
+        help="error budget: max tolerated malformed fraction (1.0 = off)",
+    )
+    health.add_argument(
+        "--diagnostics", type=int, default=10,
+        help="how many parse diagnostics to print",
+    )
+
+    corrupt = sub.add_parser(
+        "corrupt", help="apply a seeded fault plan to a saved trace"
+    )
+    corrupt.add_argument("input", help="clean trace file (from `trace`)")
+    corrupt.add_argument("output", help="corrupted trace file to write")
+    corrupt.add_argument(
+        "--ops", default="drop:0.02,mangle:0.02",
+        help="fault spec: name[:param],... (see repro.faults)",
+    )
+    corrupt.add_argument("--seed", type=int, default=0, help="fault plan seed")
+
     return parser
 
 
@@ -250,12 +284,7 @@ def _cmd_analyze(args) -> int:
     from repro.kernel.vfs.layouts import build_struct_registry
     from repro.tracing import serialize
 
-    if args.trace.endswith(".bin"):
-        with open(args.trace, "rb") as fp:
-            events, stacks = serialize.load_binary(fp)
-    else:
-        with open(args.trace) as fp:
-            events, stacks = serialize.load_text(fp)
+    events, stacks = serialize.load_path(args.trace).as_tuple()
     db = import_trace(events, stacks, build_struct_registry(), build_filter_config())
     table = ObservationTable.from_database(db)
     derivation = Derivator(args.threshold).derive(table)
@@ -345,6 +374,58 @@ def _cmd_sql(args) -> int:
     return 0
 
 
+def _registry_for(name: str):
+    """(StructRegistry, FilterConfig) for a --registry choice."""
+    if name == "racer":
+        from repro.workloads.racer import build_racer_registry
+
+        return build_racer_registry(), None
+    from repro.kernel.vfs.groundtruth import build_filter_config
+    from repro.kernel.vfs.layouts import build_struct_registry
+
+    return build_struct_registry(), build_filter_config()
+
+
+def _cmd_health(args) -> int:
+    import os
+
+    from repro.db.health import ingest_path, render_diagnostics
+    from repro.db.importer import ImportPolicy
+
+    if os.path.getsize(args.trace) == 0:
+        raise ValueError(f"empty trace file {args.trace!r}")
+    structs, filters = _registry_for(args.registry)
+    policy = ImportPolicy(lenient=True, max_malformed_fraction=args.budget)
+    db, health, report = ingest_path(args.trace, structs, filters, policy)
+    if report.diagnostics:
+        print(render_diagnostics(report.diagnostics, limit=args.diagnostics))
+    print(health.render())
+    return 1 if health.budget_exceeded else 0
+
+
+def _cmd_corrupt(args) -> int:
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.from_spec(args.ops, seed=args.seed)
+    with open(args.input, "rb") as fp:
+        data = fp.read()
+    if not data:
+        raise ValueError(f"empty trace file {args.input!r}")
+    if data.startswith(b"LDOC1"):
+        out = plan.corrupt_binary(data)
+        with open(args.output, "wb") as fp:
+            fp.write(out)
+        size_note = f"{len(data)} -> {len(out)} bytes"
+    else:
+        out_text = plan.corrupt_text(data.decode("utf-8"))
+        with open(args.output, "w") as fp:
+            fp.write(out_text)
+        size_note = f"{len(data)} -> {len(out_text)} chars"
+    print(f"applied {plan.describe()}")
+    print(f"wrote {args.output} ({size_note})")
+    return 0
+
+
 _HANDLERS = {
     "trace": _cmd_trace,
     "derive": _cmd_derive,
@@ -360,13 +441,25 @@ _HANDLERS = {
     "sql": _cmd_sql,
     "contention": _cmd_contention,
     "relations": _cmd_relations,
+    "health": _cmd_health,
+    "corrupt": _cmd_corrupt,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: parse arguments and dispatch to a handler."""
+    """CLI entry point: parse arguments and dispatch to a handler.
+
+    Input problems (missing/empty/malformed trace files, bad fault
+    specs, exceeded error budgets in strict paths) surface as a
+    one-line ``error: ...`` on stderr and exit status 2 — never as a
+    traceback.
+    """
     args = _build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

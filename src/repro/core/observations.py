@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.lockrefs import LockSeq
 from repro.db.database import TraceDatabase
+from repro.db.filters import REASON_STALE_LOCK, REASON_SYNTHETIC_TXN
 from repro.db.schema import AccessRow
 
 #: Key identifying one derivation target.
@@ -53,6 +54,10 @@ class ObservationTable:
         self.write_over_read = write_over_read
         self._by_key: Dict[ObsKey, List[Observation]] = defaultdict(list)
         self.total = 0
+        #: Accesses excluded because the importer quarantined their
+        #: transaction (synthetic close) — rules are mined only over
+        #: salvaged-clean spans.
+        self.synthetic_excluded = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -71,6 +76,11 @@ class ObservationTable:
             groups[(access.txn_id, access.alloc_id, access.member)].append(access)
         for (txn_id, alloc_id, member), rows in groups.items():
             table._add_group(txn_id, alloc_id, member, rows)
+        table.synthetic_excluded = sum(
+            1
+            for a in db.accesses
+            if a.filter_reason in (REASON_SYNTHETIC_TXN, REASON_STALE_LOCK)
+        )
         return table
 
     def _type_key(self, row: AccessRow) -> str:

@@ -8,7 +8,7 @@ laptop-scale Python run fits comfortably in memory.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.db.schema import AccessRow, AllocationRow, LockRow, TxnRow
 from repro.kernel.structs import StructRegistry
@@ -26,6 +26,8 @@ class TraceDatabase:
         self.txns: Dict[int, TxnRow] = {}
         self.accesses: List[AccessRow] = []
         self.stack_table: List[StackFrames] = [()]
+        #: TraceHealth of the producing import (set by the importer).
+        self.health: Optional[Any] = None
         # Indexes
         self._accesses_by_type: Dict[str, List[AccessRow]] = defaultdict(list)
         self._accesses_by_txn: Dict[Optional[int], List[AccessRow]] = defaultdict(list)
@@ -51,6 +53,49 @@ class TraceDatabase:
 
     def set_stack_table(self, table: Sequence[StackFrames]) -> None:
         self.stack_table = list(table)
+
+    def quarantine_txn_accesses(self, txn_id: int, reason: str) -> int:
+        """Retroactively filter the kept accesses of one transaction.
+
+        Used for transactions whose held-lock set turned out to be
+        untrustworthy (synthetic close): their rows stay in the table
+        but stop counting as kept, so rule derivation and race
+        detection only see salvaged-clean spans.  Returns how many rows
+        were newly filtered.
+        """
+        flagged = 0
+        for row in self._accesses_by_txn.get(txn_id, ()):
+            if row.filter_reason is None:
+                row.filter_reason = reason
+                self._accesses_by_type[row.type_key].remove(row)
+                flagged += 1
+        if txn_id in self._accesses_by_txn:
+            del self._accesses_by_txn[txn_id]
+        return flagged
+
+    def quarantine_span_accesses(
+        self, ctx_id: int, start_ts: int, end_ts: int, reason: str
+    ) -> int:
+        """Retroactively filter one context's kept accesses in a span.
+
+        Used when a lock turns out to have been stale for part of the
+        trace (its release event was lost): every access the context
+        made while the stale entry sat in its held set carries a
+        potentially wrong lock sequence.  Returns how many rows were
+        newly filtered.
+        """
+        flagged = 0
+        for row in self.accesses:
+            if (
+                row.filter_reason is None
+                and row.ctx_id == ctx_id
+                and start_ts <= row.ts <= end_ts
+            ):
+                row.filter_reason = reason
+                self._accesses_by_type[row.type_key].remove(row)
+                self._accesses_by_txn[row.txn_id].remove(row)
+                flagged += 1
+        return flagged
 
     # ------------------------------------------------------------------
     # Lookup

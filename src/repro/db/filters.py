@@ -29,6 +29,17 @@ REASON_MEMBER_BLACKLIST = "member_blacklist"
 REASON_ATOMIC_MEMBER = "atomic_member"
 REASON_LOCK_MEMBER = "lock_member"
 REASON_UNTYPED = "untyped_address"
+#: A lock release with no matching acquisition in the same context.
+REASON_UNMATCHED_RELEASE = "unmatched_release"
+#: Access rows of a transaction closed by a synthesized lock release
+#: (the trace ended, or a release event went missing, while the lock
+#: was still held) — their lock sequences cannot be trusted.
+REASON_SYNTHETIC_TXN = "synthetic_close_txn"
+#: Access rows recorded while a stale lock polluted the context's held
+#: set (a lost release, detected by re-acquisition or at trace end) —
+#: the span between the stale acquire and the detection point carries
+#: an unknown release point, so every lock sequence in it is suspect.
+REASON_STALE_LOCK = "stale_lock_span"
 
 
 @dataclass

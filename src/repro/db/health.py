@@ -1,0 +1,212 @@
+"""Trace-health accounting for resilient ingestion.
+
+A real trace arrives damaged: records torn mid-write, events dropped
+under load, releases missing at trace boundaries.  The lenient
+ingestion path measures the damage instead of crashing on it, and this
+module is where the measurement lives:
+
+* :class:`TraceHealth` — per-defect-class counts, the salvage ratio,
+  and the error-budget status of one import.  The accounting identity
+  ``kept + quarantined == total`` holds for every import: each event
+  that entered the importer is either processed into the database or
+  quarantined with a reason.  Synthesized closing releases are counted
+  on top (they are outputs, not inputs).
+* :func:`ingest_events` / :func:`ingest_path` — convenience drivers
+  that run the lenient pipeline end-to-end and hand back
+  ``(database, health)``.
+
+Rendering goes through :mod:`repro.core.report` like every other
+paper-style table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.report import percentage, render_table
+from repro.tracing.events import Event
+from repro.tracing.serialize import LoadReport
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+
+@dataclass
+class TraceHealth:
+    """Damage report of one trace ingestion (parse + import stages)."""
+
+    #: Events that entered the importer.
+    total_events: int = 0
+    #: Events processed into the database (includes untyped accesses,
+    #: which become rows tagged ``untyped_address``).
+    kept_events: int = 0
+    #: Events the importer could not resolve, per reason.
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    #: Closing releases synthesized for locks still held at trace end.
+    synthesized_releases: int = 0
+    #: Lost releases healed mid-trace (a held exclusive lock was
+    #: re-acquired by its own context, proving the release was dropped).
+    healed_releases: int = 0
+    #: Transactions closed by a synthesized release (``synthetic_close``).
+    synthetic_txns: int = 0
+    #: Access rows retroactively filtered out of synthetic transactions.
+    synthetic_accesses: int = 0
+    #: Access rows fenced off because a stale lock (lost release)
+    #: polluted their context's held set when they were recorded and
+    #: no clean hold duration was available to repair them.
+    fenced_accesses: int = 0
+    #: Access rows whose lock sequence was repaired by scrubbing a
+    #: presumed-stale lock (held past its longest clean hold).
+    scrubbed_accesses: int = 0
+    #: Events referencing a stack id outside the stack table.
+    dangling_stack_refs: int = 0
+    #: Malformed records the (lenient) parser diagnosed and skipped.
+    parse_diagnostics: int = 0
+    #: Event count the trace file header declared (None when imported
+    #: straight from memory or when the header was unreadable).
+    declared_events: Optional[int] = None
+    #: The error budget in force: maximum tolerated malformed fraction.
+    budget: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(self.quarantined.values())
+
+    @property
+    def malformed_total(self) -> int:
+        """Defects across both stages: parse diagnostics + quarantine."""
+        return self.parse_diagnostics + self.quarantined_total
+
+    @property
+    def malformed_fraction(self) -> float:
+        denominator = max(self.total_events + self.parse_diagnostics, 1)
+        return self.malformed_total / denominator
+
+    @property
+    def salvage_ratio(self) -> float:
+        """Fraction of importer input that made it into the database."""
+        if self.total_events == 0:
+            return 1.0
+        return self.kept_events / self.total_events
+
+    @property
+    def budget_exceeded(self) -> bool:
+        return self.malformed_fraction > self.budget
+
+    def accounts_for_all_events(self) -> bool:
+        """The core invariant: every input event is kept or quarantined."""
+        return self.kept_events + self.quarantined_total == self.total_events
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_events": self.total_events,
+            "kept_events": self.kept_events,
+            "quarantined": dict(self.quarantined),
+            "quarantined_total": self.quarantined_total,
+            "synthesized_releases": self.synthesized_releases,
+            "healed_releases": self.healed_releases,
+            "synthetic_txns": self.synthetic_txns,
+            "synthetic_accesses": self.synthetic_accesses,
+            "fenced_accesses": self.fenced_accesses,
+            "scrubbed_accesses": self.scrubbed_accesses,
+            "dangling_stack_refs": self.dangling_stack_refs,
+            "parse_diagnostics": self.parse_diagnostics,
+            "declared_events": self.declared_events,
+            "salvage_ratio": self.salvage_ratio,
+            "malformed_fraction": self.malformed_fraction,
+            "budget": self.budget,
+            "budget_exceeded": self.budget_exceeded,
+        }
+
+    def render(self) -> str:
+        rows = [
+            ["declared events", "-" if self.declared_events is None else self.declared_events],
+            ["imported events", self.total_events],
+            ["kept", self.kept_events],
+            ["quarantined", self.quarantined_total],
+            ["parse diagnostics", self.parse_diagnostics],
+            ["synthesized releases", self.synthesized_releases],
+            ["healed releases", self.healed_releases],
+            ["synthetic-close txns", self.synthetic_txns],
+            ["synthetic accesses filtered", self.synthetic_accesses],
+            ["stale-span accesses fenced", self.fenced_accesses],
+            ["stale-lock sequences scrubbed", self.scrubbed_accesses],
+            ["dangling stack refs", self.dangling_stack_refs],
+            ["salvage ratio", percentage(self.salvage_ratio)],
+            ["malformed fraction", percentage(self.malformed_fraction)],
+            [
+                "error budget",
+                f"{percentage(self.budget)} "
+                f"({'EXCEEDED' if self.budget_exceeded else 'ok'})",
+            ],
+        ]
+        lines = [render_table(["measure", "value"], rows, title="trace health")]
+        if self.quarantined:
+            lines.append(
+                render_table(
+                    ["quarantine reason", "events"],
+                    sorted(self.quarantined.items()),
+                )
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pipeline drivers
+# ----------------------------------------------------------------------
+
+
+def ingest_events(
+    events: Sequence[Event],
+    stacks: Sequence[StackFrames],
+    structs,
+    filters=None,
+    policy=None,
+    parse_report: Optional[LoadReport] = None,
+):
+    """Import an event stream and return ``(database, health)``."""
+    from repro.db.importer import Importer
+
+    importer = Importer(structs, filters, policy)
+    db = importer.run(events, stacks)
+    return db, importer.health(parse_report)
+
+
+def ingest_path(
+    path: str,
+    structs,
+    filters=None,
+    policy=None,
+    lenient: bool = True,
+):
+    """Load a trace file and import it: ``(database, health, report)``."""
+    from repro.db.importer import LENIENT_POLICY
+    from repro.tracing.serialize import load_path
+
+    if policy is None and lenient:
+        policy = LENIENT_POLICY
+    report = load_path(path, lenient=lenient)
+    db, health = ingest_events(
+        report.events, report.stacks, structs, filters, policy, parse_report=report
+    )
+    return db, health, report
+
+
+def render_diagnostics(diagnostics: List, limit: int = 10) -> str:
+    """Render the first *limit* parse diagnostics as a table."""
+    rows = [[d.location, d.reason] for d in diagnostics[:limit]]
+    extra = len(diagnostics) - limit
+    if extra > 0:
+        rows.append(["...", f"{extra} more diagnostic(s)"])
+    return render_table(
+        ["position", "reason"], rows,
+        title=f"parse diagnostics ({len(diagnostics)})",
+    )

@@ -15,6 +15,29 @@ event trace in order and
   :class:`~repro.core.lockrefs.LockRef` sequences (global / embedded-
   same / embedded-other — resolved **against the accessed object**),
 * applies the Sec. 5.3 filters, tagging dropped accesses with a reason.
+
+Resilience
+----------
+
+Real traces violate the event protocol — frees without allocs,
+duplicated allocations, releases of never-acquired locks.  The importer
+runs under an :class:`ImportPolicy`:
+
+* **strict** (default): protocol violations raise :class:`ImportError_`
+  on first contact, as a pristine pipeline should.
+* **lenient**: unresolvable events are *quarantined* — recorded with a
+  reason, kept out of the database, counted in the
+  :class:`~repro.db.health.TraceHealth` report — and the import
+  continues.  The **error budget** still bounds the damage: once the
+  malformed fraction exceeds ``policy.max_malformed_fraction`` the
+  import aborts with :class:`ErrorBudgetExceeded`, so a fully garbage
+  trace cannot masquerade as a small salvage.
+
+In both modes, locks still held when the trace ends get a
+**synthesized closing release**: the dangling transaction is closed,
+flagged ``synthetic_close``, and its access rows are retroactively
+filtered (reason ``synthetic_close_txn``) so rules and race verdicts
+are mined only over salvaged-clean spans.
 """
 
 from __future__ import annotations
@@ -26,10 +49,14 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.lockrefs import LockRef, LockSeq, dedup_refs
 from repro.db.database import TraceDatabase
 from repro.db.filters import (
+    REASON_STALE_LOCK,
+    REASON_SYNTHETIC_TXN,
+    REASON_UNMATCHED_RELEASE,
     REASON_UNTYPED,
     FilterConfig,
     FilterStats,
 )
+from repro.db.health import TraceHealth
 from repro.db.schema import AccessRow, AllocationRow, HeldLock, LockRow, TxnRow
 from repro.kernel.structs import StructRegistry
 from repro.tracing.events import (
@@ -39,6 +66,7 @@ from repro.tracing.events import (
     FreeEvent,
     LockEvent,
 )
+from repro.tracing.serialize import LoadReport
 
 StackFrames = Tuple[Tuple[str, str, int], ...]
 
@@ -50,6 +78,57 @@ class ImportError_(ValueError):
     """Raised for traces that violate the event protocol."""
 
 
+class ErrorBudgetExceeded(ImportError_):
+    """Raised when the malformed fraction exceeds the configured budget."""
+
+
+#: Quarantine reasons (event-level defects).
+Q_FREE_UNKNOWN = "free_unknown_alloc"
+Q_DUPLICATE_ALLOC = "duplicate_alloc"
+Q_OVERLAPPING_ALLOC = "overlapping_alloc"
+Q_UNMATCHED_RELEASE = REASON_UNMATCHED_RELEASE
+Q_UNKNOWN_EVENT = "unknown_event_type"
+
+
+@dataclass(frozen=True)
+class ImportPolicy:
+    """How the importer treats protocol violations.
+
+    Attributes:
+        lenient: quarantine unresolvable events instead of raising.
+        max_malformed_fraction: the per-import error budget — abort
+            with :class:`ErrorBudgetExceeded` when (quarantined + parse
+            diagnostics) / total exceeds it.  The default tolerates a
+            quarter of the trace; ``1.0`` disables the budget.
+        min_events_for_budget: don't enforce the budget below this many
+            events (tiny samples make fractions meaningless).
+        heal_shared_reacquire: extend lost-release healing to shared
+            and pseudo locks (RCU read sections, irq-off sections).
+            Those can nest legitimately, so a re-acquisition is not
+            *proof* of a lost release — but in a damaged trace the
+            lost-release explanation dominates, and a stale RCU entry
+            pollutes every later lock sequence of its context.  Off in
+            strict mode (preserve true nesting), on in lenient mode.
+    """
+
+    lenient: bool = False
+    max_malformed_fraction: float = 0.25
+    min_events_for_budget: int = 64
+    heal_shared_reacquire: bool = False
+
+
+STRICT_POLICY = ImportPolicy(lenient=False)
+LENIENT_POLICY = ImportPolicy(lenient=True, heal_shared_reacquire=True)
+
+
+@dataclass(frozen=True)
+class QuarantinedEvent:
+    """One event the importer could not resolve, with its reason."""
+
+    event: Event
+    reason: str
+
+
 @dataclass
 class _PendingTxn:
     txn_id: int
@@ -58,6 +137,7 @@ class _PendingTxn:
     held: Tuple[HeldLock, ...]
     no_locks: bool
     used: bool = False
+    synthetic_close: bool = False
 
 
 class _LiveIndex:
@@ -88,10 +168,20 @@ class _LiveIndex:
             return row
         return None
 
+    def overlaps(self, address: int, size: int) -> bool:
+        """Would ``[address, address + size)`` overlap a live allocation?"""
+        if size <= 0:
+            return False
+        if self.find(address) is not None:
+            return True
+        index = bisect.bisect_right(self._starts, address)
+        return index < len(self._starts) and self._starts[index] < address + size
+
 
 @dataclass
 class _CtxState:
-    held: List[Tuple[int, str]] = field(default_factory=list)  # (lock_id, mode)
+    #: Currently held locks: (lock_id, mode, acquire_ts).
+    held: List[Tuple[int, str, int]] = field(default_factory=list)
     txn: Optional[_PendingTxn] = None
     pseudo_frame: Optional[str] = None  # outermost function of pseudo-txn
 
@@ -103,11 +193,29 @@ class Importer:
         self,
         structs: StructRegistry,
         filters: Optional[FilterConfig] = None,
+        policy: Optional[ImportPolicy] = None,
     ) -> None:
         self.db = TraceDatabase(structs)
         self.filters = filters or FilterConfig()
+        self.policy = policy or STRICT_POLICY
         self.stats = FilterStats()
         self.unmatched_releases = 0
+        self.quarantine: List[QuarantinedEvent] = []
+        self.healed_releases = 0
+        self.synthesized_releases = 0
+        self.synthetic_txns = 0
+        self.synthetic_accesses = 0
+        self.fenced_accesses = 0
+        self.scrubbed_accesses = 0
+        #: Suspect spans: (ctx_id, lock_id, mode, acquire_ts, end_ts)
+        #: during which a stale lock polluted the context's held set.
+        self._fences: List[Tuple[int, int, str, int, int]] = []
+        #: Longest clean hold duration seen per lock instance / class —
+        #: the credibility bound for suspect spans.
+        self._max_hold: Dict[int, int] = {}
+        self._class_max_hold: Dict[str, int] = {}
+        self.dangling_stack_refs = 0
+        self.total_events = 0
         self._live = _LiveIndex()
         self._ctx: Dict[int, _CtxState] = {}
         self._txn_counter = 0
@@ -122,9 +230,10 @@ class Importer:
     def run(
         self, events: Sequence[Event], stack_table: Sequence[StackFrames]
     ) -> TraceDatabase:
-        self._stack_table = stack_table
-        self.db.set_stack_table(stack_table)
+        self._stack_table = stack_table if len(stack_table) > 0 else [()]
+        self.db.set_stack_table(self._stack_table)
         for event in events:
+            self.total_events += 1
             if isinstance(event, AllocEvent):
                 self._on_alloc(event)
             elif isinstance(event, FreeEvent):
@@ -133,12 +242,154 @@ class Importer:
                 self._on_lock(event)
             elif isinstance(event, AccessEvent):
                 self._on_access(event)
-            else:  # pragma: no cover - defensive
-                raise ImportError_(f"unknown event {event!r}")
-        final_ts = events[-1].ts if events else 0
-        for state in self._ctx.values():
-            self._close_txn(state, final_ts)
+            else:
+                self._reject(event, Q_UNKNOWN_EVENT, f"unknown event {event!r}")
+        final_ts = getattr(events[-1], "ts", 0) if events else 0
+        self._finalize(final_ts)
+        self._enforce_budget()
+        self.db.health = self.health()
         return self.db
+
+    def _finalize(self, final_ts: int) -> None:
+        """Close dangling transactions, synthesizing missing releases."""
+        synthetic_ids: List[int] = []
+        for ctx_id, state in self._ctx.items():
+            if state.held:
+                # A release event never arrived for these locks — the
+                # trace was truncated or the record dropped.  Synthesize
+                # the close so the transaction has an end, but flag it:
+                # its held set is a guess, not an observation — and
+                # mark the whole span since the stale acquire suspect,
+                # because the lost release may sit anywhere inside it.
+                self.synthesized_releases += len(state.held)
+                for lock_id, mode, acquire_ts in state.held:
+                    self._fences.append(
+                        (ctx_id, lock_id, mode, acquire_ts, final_ts)
+                    )
+                if state.txn is not None:
+                    state.txn.synthetic_close = True
+                state.held.clear()
+            txn = state.txn
+            self._close_txn(state, final_ts)
+            if txn is not None and txn.synthetic_close and txn.used:
+                synthetic_ids.append(txn.txn_id)
+        self.synthetic_txns = len(synthetic_ids)
+        for txn_id in synthetic_ids:
+            flagged = self.db.quarantine_txn_accesses(txn_id, REASON_SYNTHETIC_TXN)
+            self.synthetic_accesses += flagged
+            for _ in range(flagged):
+                self.stats.count(REASON_SYNTHETIC_TXN)
+        for ctx_id, lock_id, mode, start_ts, end_ts in self._fences:
+            cap = self._hold_cap(lock_id)
+            if cap is None:
+                # Never saw this lock held cleanly: no basis to split
+                # the span into a credible and a stale part — fence it
+                # entirely.
+                flagged = self.db.quarantine_span_accesses(
+                    ctx_id, start_ts, end_ts, REASON_STALE_LOCK
+                )
+                self.fenced_accesses += flagged
+                for _ in range(flagged):
+                    self.stats.count(REASON_STALE_LOCK)
+            else:
+                # The lock was credibly held for at most *cap* time
+                # units (its longest clean hold anywhere in the trace);
+                # beyond that the entry is presumed stale — scrub the
+                # lock from the affected lock sequences instead of
+                # discarding the accesses.
+                self.scrubbed_accesses += self._scrub_stale_lock(
+                    ctx_id, lock_id, mode, start_ts + cap, end_ts
+                )
+
+    def _hold_cap(self, lock_id: int) -> Optional[int]:
+        """Longest clean hold of *lock_id* (instance, then class-wide)."""
+        cap = self._max_hold.get(lock_id)
+        if cap is not None:
+            return cap
+        lock = self.db.locks.get(lock_id)
+        if lock is None:
+            return None
+        return self._class_max_hold.get(lock.lock_class)
+
+    def _scrub_stale_lock(
+        self, ctx_id: int, lock_id: int, mode: str, cutoff_ts: int, end_ts: int
+    ) -> int:
+        """Remove a presumed-stale lock from affected lock sequences.
+
+        Accesses *ctx_id* made in ``(cutoff_ts, end_ts]`` were resolved
+        while the stale entry still sat in the held set; their recorded
+        sequences contain one lock reference too many.  Dropping that
+        reference repairs the observation instead of discarding it, so
+        low-traffic members keep their support.
+        """
+        lock = self.db.locks.get(lock_id)
+        if lock is None:  # pragma: no cover - defensive
+            return 0
+        scrubbed = 0
+        for row in self.db.accesses:
+            if (
+                row.ctx_id != ctx_id
+                or not cutoff_ts < row.ts <= end_ts
+                or row.filter_reason is not None
+                or not row.lockseq
+            ):
+                continue
+            ref = self._ref_for(lock, mode, row.alloc_id)
+            seq = list(row.lockseq)
+            try:
+                seq.remove(ref)
+            except ValueError:
+                continue
+            row.lockseq = tuple(seq)
+            scrubbed += 1
+        return scrubbed
+
+    def _enforce_budget(self) -> None:
+        if self.total_events < self.policy.min_events_for_budget:
+            return
+        fraction = len(self.quarantine) / max(self.total_events, 1)
+        if fraction > self.policy.max_malformed_fraction:
+            raise ErrorBudgetExceeded(
+                f"malformed fraction {fraction:.1%} exceeds the "
+                f"{self.policy.max_malformed_fraction:.1%} error budget "
+                f"({len(self.quarantine)} of {self.total_events} events "
+                f"quarantined)"
+            )
+
+    def health(self, parse_report: Optional[LoadReport] = None) -> TraceHealth:
+        """The damage report of this import (plus the parse stage's)."""
+        by_reason: Dict[str, int] = {}
+        for entry in self.quarantine:
+            by_reason[entry.reason] = by_reason.get(entry.reason, 0) + 1
+        return TraceHealth(
+            total_events=self.total_events,
+            kept_events=self.total_events - len(self.quarantine),
+            quarantined=by_reason,
+            synthesized_releases=self.synthesized_releases,
+            healed_releases=self.healed_releases,
+            synthetic_txns=self.synthetic_txns,
+            synthetic_accesses=self.synthetic_accesses,
+            fenced_accesses=self.fenced_accesses,
+            scrubbed_accesses=self.scrubbed_accesses,
+            dangling_stack_refs=self.dangling_stack_refs,
+            parse_diagnostics=(
+                len(parse_report.diagnostics) if parse_report is not None else 0
+            ),
+            declared_events=(
+                parse_report.declared_events if parse_report is not None else None
+            ),
+            budget=self.policy.max_malformed_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    # Quarantine machinery
+    # ------------------------------------------------------------------
+
+    def _reject(self, event: Event, reason: str, message: str) -> None:
+        """Quarantine *event* (lenient) or raise (strict)."""
+        if not self.policy.lenient:
+            raise ImportError_(message)
+        self.quarantine.append(QuarantinedEvent(event, reason))
 
     # ------------------------------------------------------------------
     # Context / transaction machinery
@@ -164,6 +415,7 @@ class Importer:
                     end_ts=end_ts,
                     held=txn.held,
                     no_locks=txn.no_locks,
+                    synthetic_close=txn.synthetic_close,
                 )
             )
         state.txn = None
@@ -177,7 +429,7 @@ class Importer:
             txn_id=self._txn_counter,
             ctx_id=ctx_id,
             start_ts=ts,
-            held=tuple(HeldLock(lock_id, mode) for lock_id, mode in state.held),
+            held=tuple(HeldLock(lock_id, mode) for lock_id, mode, _ in state.held),
             no_locks=no_locks,
         )
         state.txn = txn
@@ -188,6 +440,22 @@ class Importer:
     # ------------------------------------------------------------------
 
     def _on_alloc(self, event: AllocEvent) -> None:
+        existing = self.db.allocations.get(event.alloc_id)
+        if existing is not None:
+            self._reject(
+                event,
+                Q_DUPLICATE_ALLOC,
+                f"duplicate allocation id {event.alloc_id}",
+            )
+            return
+        if self._live.overlaps(event.address, event.size):
+            self._reject(
+                event,
+                Q_OVERLAPPING_ALLOC,
+                f"allocation {event.alloc_id} overlaps a live allocation "
+                f"at {event.address:#x}",
+            )
+            return
         row = AllocationRow(
             alloc_id=event.alloc_id,
             address=event.address,
@@ -206,7 +474,12 @@ class Importer:
     def _on_free(self, event: FreeEvent) -> None:
         row = self.db.allocations.get(event.alloc_id)
         if row is None or row.free_ts is not None:
-            raise ImportError_(f"free of unknown/dead allocation {event.alloc_id}")
+            self._reject(
+                event,
+                Q_FREE_UNKNOWN,
+                f"free of unknown/dead allocation {event.alloc_id}",
+            )
+            return
         row.free_ts = event.ts
         self._live.remove(row)
         state = self._state(event.ctx_id)
@@ -218,17 +491,85 @@ class Importer:
         self._ensure_lock_row(event)
         self._close_txn(state, event.ts)
         if event.is_acquire:
-            state.held.append((event.lock_id, event.mode))
+            self._heal_lost_release(state, event)
+            self._heal_foreign_holders(event)
+            state.held.append((event.lock_id, event.mode, event.ts))
         else:
             for index in range(len(state.held) - 1, -1, -1):
                 if state.held[index][0] == event.lock_id:
+                    self._record_hold(event, event.ts - state.held[index][2])
                     del state.held[index]
                     break
             else:
-                # Lock predates tracing; tolerate but count.
+                # No matching acquisition in this context: either the
+                # lock predates tracing or the acquire event was lost.
+                # Tolerated in both modes, but counted and quarantined
+                # so it is never silently dropped.
                 self.unmatched_releases += 1
+                self.stats.count(REASON_UNMATCHED_RELEASE)
+                self.quarantine.append(
+                    QuarantinedEvent(event, Q_UNMATCHED_RELEASE)
+                )
         if state.held:
             self._open_txn(state, event.ctx_id, event.ts, no_locks=False)
+
+    def _record_hold(self, event: LockEvent, duration: int) -> None:
+        """Track the longest clean hold per lock instance and class."""
+        if duration > self._max_hold.get(event.lock_id, -1):
+            self._max_hold[event.lock_id] = duration
+        if duration > self._class_max_hold.get(event.lock_class, -1):
+            self._class_max_hold[event.lock_class] = duration
+
+    def _heal_lost_release(self, state: _CtxState, event: LockEvent) -> None:
+        """Fence a lost release when the same lock is re-acquired.
+
+        A context cannot re-acquire a held exclusive lock without
+        deadlocking, so an exclusive re-acquisition proves the release
+        event was dropped: evict the stale held entry so it stops
+        polluting every later lock sequence of this context.  Shared
+        and pseudo locks (RCU read sections, irq-off sections) nest
+        legitimately, so for them the same eviction is a heuristic and
+        only runs under ``policy.heal_shared_reacquire``.
+        """
+        exclusive = event.mode == "w" and event.lock_class not in _PSEUDO_CLASSES
+        if not exclusive and not self.policy.heal_shared_reacquire:
+            return
+        for index in range(len(state.held) - 1, -1, -1):
+            if state.held[index][0] == event.lock_id:
+                _, mode, acquire_ts = state.held[index]
+                del state.held[index]
+                self.healed_releases += 1
+                self._fences.append(
+                    (event.ctx_id, event.lock_id, mode, acquire_ts, event.ts)
+                )
+                break
+
+    def _heal_foreign_holders(self, event: LockEvent) -> None:
+        """Fence lost releases proven by mutual exclusion.
+
+        When a context acquires an exclusive lock, no *other* context
+        can still hold it — any foreign held entry for the same lock
+        instance is a stale leftover of a dropped release.  A shared
+        acquisition likewise excludes a foreign *exclusive* holder.
+        Evicting at the earliest provable point keeps the suspect span
+        (and the damage it fences off) as short as possible.
+        """
+        if event.lock_class in _PSEUDO_CLASSES:
+            return
+        for ctx_id, state in self._ctx.items():
+            if ctx_id == event.ctx_id:
+                continue
+            for index in range(len(state.held) - 1, -1, -1):
+                if state.held[index][0] == event.lock_id and (
+                    event.mode == "w" or state.held[index][1] == "w"
+                ):
+                    _, mode, acquire_ts = state.held[index]
+                    del state.held[index]
+                    self.healed_releases += 1
+                    self._fences.append(
+                        (ctx_id, event.lock_id, mode, acquire_ts, event.ts)
+                    )
+                    break
 
     def _ensure_lock_row(self, event: LockEvent) -> None:
         if event.lock_id in self.db.locks:
@@ -242,10 +583,8 @@ class Importer:
             if owner is not None:
                 owner_alloc_id = owner.alloc_id
                 owner_data_type = owner.data_type
-                if owner.data_type in self.db.structs:
-                    struct = self.db.structs.get(owner.data_type)
-                    offset = event.address - owner.address
-                    owner_member = struct.member_at(offset).name
+                member = self._resolve_member(owner, event.address - owner.address)
+                owner_member = member.name if member is not None else None
             else:
                 is_static = True
         self.db.add_lock(
@@ -260,6 +599,20 @@ class Importer:
                 owner_member=owner_member,
             )
         )
+
+    def _resolve_member(self, allocation: AllocationRow, offset: int):
+        """Resolve *offset* within *allocation* to a member, or None.
+
+        Corrupt traces produce addresses landing in padding, beyond the
+        layout, or in unregistered types; resolution failure falls back
+        to the untyped path instead of raising.
+        """
+        if allocation.data_type not in self.db.structs:
+            return None
+        try:
+            return self.db.structs.get(allocation.data_type).member_at(offset)
+        except KeyError:
+            return None
 
     def _on_access(self, event: AccessEvent) -> None:
         state = self._state(event.ctx_id)
@@ -282,13 +635,16 @@ class Importer:
         self._access_counter += 1
         access_type = "w" if event.is_write else "r"
 
-        if allocation is None:
+        member = None
+        if allocation is not None:
+            member = self._resolve_member(allocation, event.address - allocation.address)
+        if allocation is None or member is None:
             row = AccessRow(
                 access_id=self._access_counter,
                 ts=event.ts,
                 ctx_id=event.ctx_id,
                 txn_id=txn.txn_id,
-                alloc_id=-1,
+                alloc_id=allocation.alloc_id if allocation is not None else -1,
                 data_type="<unknown>",
                 subclass=None,
                 member="<raw>",
@@ -305,8 +661,6 @@ class Importer:
             self.db.add_access(row)
             return
 
-        struct = self.db.structs.get(allocation.data_type)
-        member = struct.member_at(event.address - allocation.address)
         lockseq = self._resolve_lockseq(state, allocation)
         reason = self.filters.reason_for(
             allocation.data_type,
@@ -344,36 +698,46 @@ class Importer:
         self, state: _CtxState, accessed: AllocationRow
     ) -> LockSeq:
         refs: List[LockRef] = []
-        for lock_id, mode in state.held:
+        for lock_id, mode, _ in state.held:
             lock = self.db.locks.get(lock_id)
             if lock is None:  # pragma: no cover - defensive
                 continue
-            if lock.is_static or lock.owner_alloc_id is None:
-                refs.append(LockRef.global_(lock.name, mode))
-            elif lock.owner_alloc_id == accessed.alloc_id:
-                refs.append(
-                    LockRef.es(lock.owner_member or lock.name, lock.owner_data_type or "?", mode)
-                )
-            else:
-                refs.append(
-                    LockRef.eo(lock.owner_member or lock.name, lock.owner_data_type or "?", mode)
-                )
+            refs.append(self._ref_for(lock, mode, accessed.alloc_id))
         return dedup_refs(refs)
+
+    def _ref_for(self, lock: LockRow, mode: str, accessed_alloc_id: int) -> LockRef:
+        """Abstract one held lock relative to the accessed object."""
+        if lock.is_static or lock.owner_alloc_id is None:
+            return LockRef.global_(lock.name, mode)
+        if lock.owner_alloc_id == accessed_alloc_id:
+            return LockRef.es(
+                lock.owner_member or lock.name, lock.owner_data_type or "?", mode
+            )
+        return LockRef.eo(
+            lock.owner_member or lock.name, lock.owner_data_type or "?", mode
+        )
 
     # ------------------------------------------------------------------
     # Stack helpers
     # ------------------------------------------------------------------
 
+    def _frames_of(self, stack_id: int) -> StackFrames:
+        """Bounds-checked stack lookup; corrupt ids resolve to no frames."""
+        if 0 <= stack_id < len(self._stack_table):
+            return self._stack_table[stack_id]
+        self.dangling_stack_refs += 1
+        return ()
+
     def _functions_of(self, stack_id: int) -> FrozenSet[str]:
         cached = self._stack_functions.get(stack_id)
         if cached is None:
-            frames = self._stack_table[stack_id]
+            frames = self._frames_of(stack_id)
             cached = frozenset(fn for fn, _, _ in frames)
             self._stack_functions[stack_id] = cached
         return cached
 
     def _outer_function(self, stack_id: int) -> Optional[str]:
-        frames = self._stack_table[stack_id]
+        frames = self._frames_of(stack_id)
         return frames[0][0] if frames else None
 
 
@@ -382,9 +746,10 @@ def import_trace(
     stack_table: Sequence[StackFrames],
     structs: StructRegistry,
     filters: Optional[FilterConfig] = None,
+    policy: Optional[ImportPolicy] = None,
 ) -> TraceDatabase:
     """Import an event trace into a fresh :class:`TraceDatabase`."""
-    importer = Importer(structs, filters)
+    importer = Importer(structs, filters, policy)
     return importer.run(events, stack_table)
 
 
@@ -392,7 +757,8 @@ def import_tracer(
     tracer,
     structs: StructRegistry,
     filters: Optional[FilterConfig] = None,
+    policy: Optional[ImportPolicy] = None,
 ) -> TraceDatabase:
     """Import straight from a live :class:`~repro.tracing.tracer.Tracer`."""
     stack_table = [tracer.stack(i) for i in range(tracer.stack_count)]
-    return import_trace(tracer.events, stack_table, structs, filters)
+    return import_trace(tracer.events, stack_table, structs, filters, policy)

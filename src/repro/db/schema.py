@@ -75,6 +75,10 @@ class TxnRow:
     end_ts: int
     held: Tuple[HeldLock, ...]
     no_locks: bool = False
+    #: True when the transaction was closed by a *synthesized* lock
+    #: release: its locks were still held when the trace ended (or their
+    #: release event went missing), so the held set is a guess.
+    synthetic_close: bool = False
 
 
 @dataclass

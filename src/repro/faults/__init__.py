@@ -1,0 +1,68 @@
+"""Fault injection for trace robustness testing.
+
+A seeded, composable trace-corruption engine: :mod:`operators` define
+defect classes (drop, duplicate, reorder, truncate, missing releases,
+unmatched frees, torn records, mangled lines), :mod:`plan` composes
+them deterministically so every injected failure is replayable.
+
+The corruption gauntlet (``tests/test_gauntlet.py``, CI job
+``fault-injection``) drives every operator through the full
+``trace -> import -> derive -> races`` pipeline in lenient mode and
+asserts that no exception escapes and that the
+:class:`~repro.db.health.TraceHealth` report accounts for every input
+event.
+"""
+
+from repro.faults.operators import (
+    DropAllocs,
+    DropEvents,
+    DropReleases,
+    DuplicateEvents,
+    FaultOp,
+    FlipBytes,
+    MangleLines,
+    ReorderWindow,
+    TornTail,
+    TruncateHead,
+    TruncateMid,
+    TruncateTail,
+)
+from repro.faults.plan import FaultPlan, make_operator, operator_names
+
+#: One representative spec per operator — what the gauntlet sweeps.
+ALL_OPERATOR_SPECS = (
+    "drop:0.05",
+    "dup:0.05",
+    "reorder:6",
+    "truncate-head:0.3",
+    "truncate-tail:0.3",
+    "truncate-mid:0.2",
+    "drop-releases:0.3",
+    "drop-allocs:0.3",
+    "torn:0.1",
+    "mangle:0.05",
+    "flip:0.002",
+)
+
+#: A kitchen-sink composition exercising operator interaction.
+COMPOSED_SPEC = "drop:0.03,dup:0.02,reorder:4,drop-releases:0.1,mangle:0.02"
+
+__all__ = [
+    "ALL_OPERATOR_SPECS",
+    "COMPOSED_SPEC",
+    "DropAllocs",
+    "DropEvents",
+    "DropReleases",
+    "DuplicateEvents",
+    "FaultOp",
+    "FaultPlan",
+    "FlipBytes",
+    "MangleLines",
+    "ReorderWindow",
+    "TornTail",
+    "TruncateHead",
+    "TruncateMid",
+    "TruncateTail",
+    "make_operator",
+    "operator_names",
+]

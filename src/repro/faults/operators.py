@@ -1,0 +1,328 @@
+"""Trace-corruption operators.
+
+Each operator models one defect class that real kernel traces exhibit
+(Fail*/Bochs runs killed mid-write, events dropped under tracing load,
+releases missing at trace boundaries).  Operators are pure: they take a
+``random.Random`` handed in by the :class:`~repro.faults.plan.FaultPlan`
+and never keep state, so the same (seed, plan) always reproduces the
+same corruption.
+
+Two levels:
+
+* **event level** (``apply_events``) — structural defects on the
+  decoded stream: drop, duplicate, reorder-within-a-window, truncation
+  (head/tail/random span), missing lock releases, unmatched frees.
+* **encoded level** (``apply_text`` / ``apply_bytes``) — defects of the
+  storage layer: torn/partial records at the byte level for the binary
+  format, mangled lines for the text format.
+
+An operator touches only its level; the other hooks are identity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.tracing.events import AllocEvent, Event, LockEvent
+
+
+class FaultOp:
+    """Base operator: identity at every level."""
+
+    name = "identity"
+
+    def apply_events(
+        self, events: Sequence[Event], rng: random.Random
+    ) -> List[Event]:
+        return list(events)
+
+    def apply_text(self, text: str, rng: random.Random) -> str:
+        return text
+
+    def apply_bytes(self, data: bytes, rng: random.Random) -> bytes:
+        return data
+
+    def describe(self) -> str:
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Event-level operators
+# ----------------------------------------------------------------------
+
+
+class DropEvents(FaultOp):
+    """Drop each event independently with probability ``rate``."""
+
+    name = "drop"
+
+    def __init__(self, rate: float = 0.02) -> None:
+        self.rate = rate
+
+    def apply_events(self, events, rng):
+        return [e for e in events if rng.random() >= self.rate]
+
+    def describe(self):
+        return f"drop({self.rate})"
+
+
+class DuplicateEvents(FaultOp):
+    """Emit each event twice with probability ``rate`` (replay defects)."""
+
+    name = "dup"
+
+    def __init__(self, rate: float = 0.02) -> None:
+        self.rate = rate
+
+    def apply_events(self, events, rng):
+        out: List[Event] = []
+        for event in events:
+            out.append(event)
+            if rng.random() < self.rate:
+                out.append(event)
+        return out
+
+    def describe(self):
+        return f"dup({self.rate})"
+
+
+class ReorderWindow(FaultOp):
+    """Jitter event order within a bounded window.
+
+    Each event's position is perturbed by a uniform offset in
+    ``[0, window)``; a stable sort by perturbed position yields a
+    stream that is locally shuffled but globally ordered — the shape of
+    per-CPU buffers flushed out of order.
+    """
+
+    name = "reorder"
+
+    def __init__(self, window: int = 8) -> None:
+        self.window = max(1, int(window))
+
+    def apply_events(self, events, rng):
+        keyed = [
+            (index + rng.uniform(0, self.window), index)
+            for index in range(len(events))
+        ]
+        keyed.sort()
+        return [events[index] for _, index in keyed]
+
+    def describe(self):
+        return f"reorder(window={self.window})"
+
+
+class TruncateHead(FaultOp):
+    """Drop a prefix of up to ``fraction`` of the stream.
+
+    Models tracing that starts mid-run: accesses hit unknown
+    allocations, releases have no acquisition.
+    """
+
+    name = "truncate-head"
+
+    def __init__(self, fraction: float = 0.2) -> None:
+        self.fraction = fraction
+
+    def apply_events(self, events, rng):
+        bound = int(len(events) * self.fraction)
+        cut = rng.randint(0, bound) if bound > 0 else 0
+        return list(events[cut:])
+
+    def describe(self):
+        return f"truncate-head({self.fraction})"
+
+
+class TruncateTail(FaultOp):
+    """Drop a suffix of up to ``fraction`` — the killed-mid-write run."""
+
+    name = "truncate-tail"
+
+    def __init__(self, fraction: float = 0.2) -> None:
+        self.fraction = fraction
+
+    def apply_events(self, events, rng):
+        bound = int(len(events) * self.fraction)
+        cut = rng.randint(0, bound) if bound > 0 else 0
+        return list(events[: len(events) - cut])
+
+    def describe(self):
+        return f"truncate-tail({self.fraction})"
+
+
+class TruncateMid(FaultOp):
+    """Drop one contiguous span of up to ``fraction`` of the stream."""
+
+    name = "truncate-mid"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        self.fraction = fraction
+
+    def apply_events(self, events, rng):
+        if not events:
+            return []
+        bound = max(1, int(len(events) * self.fraction))
+        span = rng.randint(1, bound)
+        start = rng.randrange(max(1, len(events) - span))
+        return list(events[:start]) + list(events[start + span:])
+
+    def describe(self):
+        return f"truncate-mid({self.fraction})"
+
+
+class DropReleases(FaultOp):
+    """Drop lock-release events with probability ``rate``.
+
+    The canonical inaccurate-trace defect: the lock appears held
+    forever afterwards, so downstream analyses must fence off the
+    affected spans.
+    """
+
+    name = "drop-releases"
+
+    def __init__(self, rate: float = 0.2) -> None:
+        self.rate = rate
+
+    def apply_events(self, events, rng):
+        return [
+            e
+            for e in events
+            if not (
+                isinstance(e, LockEvent)
+                and not e.is_acquire
+                and rng.random() < self.rate
+            )
+        ]
+
+    def describe(self):
+        return f"drop-releases({self.rate})"
+
+
+class DropAllocs(FaultOp):
+    """Drop allocation events with probability ``rate``.
+
+    Leaves unmatched frees and untyped accesses behind — the importer
+    must quarantine the former and degrade the latter.
+    """
+
+    name = "drop-allocs"
+
+    def __init__(self, rate: float = 0.2) -> None:
+        self.rate = rate
+
+    def apply_events(self, events, rng):
+        return [
+            e
+            for e in events
+            if not (isinstance(e, AllocEvent) and rng.random() < self.rate)
+        ]
+
+    def describe(self):
+        return f"drop-allocs({self.rate})"
+
+
+# ----------------------------------------------------------------------
+# Encoded-level operators
+# ----------------------------------------------------------------------
+
+
+class TornTail(FaultOp):
+    """Cut the serialized trace mid-record.
+
+    The binary stream loses up to ``fraction`` of its bytes; the text
+    stream is cut mid-line.  Both model a writer killed before flush.
+    """
+
+    name = "torn"
+
+    def __init__(self, fraction: float = 0.05) -> None:
+        self.fraction = fraction
+
+    def _cut(self, length: int, floor: int, rng: random.Random) -> int:
+        bound = max(1, int(length * self.fraction))
+        return max(floor, length - rng.randint(1, bound))
+
+    def apply_bytes(self, data, rng):
+        if len(data) < 8:
+            return data
+        return data[: self._cut(len(data), 7, rng)]
+
+    def apply_text(self, text, rng):
+        if len(text) < 24:
+            return text
+        return text[: self._cut(len(text), 20, rng)]
+
+    def describe(self):
+        return f"torn({self.fraction})"
+
+
+class MangleLines(FaultOp):
+    """Mangle text-format lines with probability ``rate`` per line.
+
+    Mutations: truncate the line, garble one tab-separated field, drop
+    a field, or splice in garbage — the defects transport and log
+    rotation inflict on line-oriented traces.  (Binary streams are
+    handled by :class:`TornTail`; this operator leaves bytes alone.)
+    """
+
+    name = "mangle"
+
+    def __init__(self, rate: float = 0.02) -> None:
+        self.rate = rate
+
+    def apply_text(self, text, rng):
+        lines = text.split("\n")
+        # Leave the two header lines alone: header corruption is total
+        # loss, which TornTail already covers more honestly.
+        for index in range(2, len(lines)):
+            if lines[index] and rng.random() < self.rate:
+                lines[index] = self._mutate(lines[index], rng)
+        return "\n".join(lines)
+
+    def _mutate(self, line: str, rng: random.Random) -> str:
+        choice = rng.randrange(4)
+        if choice == 0:  # truncate mid-line
+            return line[: rng.randrange(len(line))]
+        parts = line.split("\t")
+        if choice == 1:  # garble one field
+            victim = rng.randrange(len(parts))
+            parts[victim] = "??" + parts[victim][:2]
+            return "\t".join(parts)
+        if choice == 2 and len(parts) > 1:  # lose one field
+            del parts[rng.randrange(len(parts))]
+            return "\t".join(parts)
+        # splice garbage into the middle
+        pos = rng.randrange(len(line))
+        return line[:pos] + "\x00garbage\x00" + line[pos:]
+
+    def describe(self):
+        return f"mangle({self.rate})"
+
+
+class FlipBytes(FaultOp):
+    """Flip a per-byte ``rate`` share of bytes in the binary stream.
+
+    Bit rot / DMA corruption: framing survives until the first flipped
+    length prefix, after which the lenient loader must stop cleanly.
+    (Text streams are handled by :class:`MangleLines`.)
+    """
+
+    name = "flip"
+
+    def __init__(self, rate: float = 0.001) -> None:
+        self.rate = rate
+
+    def apply_bytes(self, data, rng):
+        if len(data) < 8:
+            return data
+        mutable = bytearray(data)
+        flips = max(1, int(len(data) * self.rate))
+        for _ in range(flips):
+            # Spare the magic so the file still identifies as a trace.
+            position = rng.randrange(6, len(mutable))
+            mutable[position] ^= 1 << rng.randrange(8)
+        return bytes(mutable)
+
+    def describe(self):
+        return f"flip({self.rate})"

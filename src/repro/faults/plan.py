@@ -1,0 +1,150 @@
+"""Deterministic composition of fault operators.
+
+A :class:`FaultPlan` is an ordered list of operators plus a seed.
+Every operator receives its own ``random.Random`` derived from
+``(seed, position, operator name)``, so
+
+* the same plan and seed always produce byte-identical corruption
+  (every failure found by the gauntlet is replayable), and
+* inserting or removing one operator does not silently reshuffle the
+  randomness of the others.
+
+Plans are parseable from a compact spec string — the CLI's
+``corrupt --ops`` syntax::
+
+    drop:0.05,reorder:8,torn          # three operators, two with params
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.operators import (
+    DropAllocs,
+    DropEvents,
+    DropReleases,
+    DuplicateEvents,
+    FaultOp,
+    FlipBytes,
+    MangleLines,
+    ReorderWindow,
+    TornTail,
+    TruncateHead,
+    TruncateMid,
+    TruncateTail,
+)
+from repro.tracing import serialize
+from repro.tracing.events import Event
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+#: name -> factory taking the optional spec parameter.
+_REGISTRY: Dict[str, Callable[[Optional[float]], FaultOp]] = {
+    "drop": lambda p: DropEvents(p if p is not None else 0.02),
+    "dup": lambda p: DuplicateEvents(p if p is not None else 0.02),
+    "reorder": lambda p: ReorderWindow(int(p) if p is not None else 8),
+    "truncate-head": lambda p: TruncateHead(p if p is not None else 0.2),
+    "truncate-tail": lambda p: TruncateTail(p if p is not None else 0.2),
+    "truncate-mid": lambda p: TruncateMid(p if p is not None else 0.1),
+    "drop-releases": lambda p: DropReleases(p if p is not None else 0.2),
+    "drop-allocs": lambda p: DropAllocs(p if p is not None else 0.2),
+    "torn": lambda p: TornTail(p if p is not None else 0.05),
+    "mangle": lambda p: MangleLines(p if p is not None else 0.02),
+    "flip": lambda p: FlipBytes(p if p is not None else 0.001),
+}
+
+
+def operator_names() -> List[str]:
+    """All spec-addressable operator names."""
+    return sorted(_REGISTRY)
+
+
+def make_operator(name: str, param: Optional[float] = None) -> FaultOp:
+    """Instantiate one operator by spec name."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(operator_names())
+        raise ValueError(f"unknown fault operator {name!r} (known: {known})")
+    return factory(param)
+
+
+class FaultPlan:
+    """A seeded, ordered composition of fault operators."""
+
+    def __init__(self, operators: Sequence[FaultOp], seed: int = 0) -> None:
+        self.operators: Tuple[FaultOp, ...] = tuple(operators)
+        self.seed = seed
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``"name[:param],name[:param],..."`` into a plan."""
+        operators: List[FaultOp] = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, _, raw_param = token.partition(":")
+            param: Optional[float] = None
+            if raw_param:
+                try:
+                    param = float(raw_param)
+                except ValueError:
+                    raise ValueError(
+                        f"bad parameter {raw_param!r} for operator {name!r}"
+                    ) from None
+            operators.append(make_operator(name, param))
+        if not operators:
+            raise ValueError(f"empty fault spec {spec!r}")
+        return cls(operators, seed=seed)
+
+    def describe(self) -> str:
+        chain = " -> ".join(op.describe() for op in self.operators)
+        return f"{chain} @seed={self.seed}"
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def _rng(self, index: int, op: FaultOp) -> random.Random:
+        return random.Random(f"{self.seed}/{index}/{op.name}")
+
+    def apply_events(self, events: Sequence[Event]) -> List[Event]:
+        """Run the event-level side of every operator, in order."""
+        out = list(events)
+        for index, op in enumerate(self.operators):
+            out = op.apply_events(out, self._rng(index, op))
+        return out
+
+    def apply_text(self, text: str) -> str:
+        """Run the text-level side of every operator, in order."""
+        for index, op in enumerate(self.operators):
+            text = op.apply_text(text, self._rng(index, op))
+        return text
+
+    def apply_bytes(self, data: bytes) -> bytes:
+        """Run the byte-level side of every operator, in order."""
+        for index, op in enumerate(self.operators):
+            data = op.apply_bytes(data, self._rng(index, op))
+        return data
+
+    # ------------------------------------------------------------------
+    # Whole-trace corruption (event level, then storage level)
+    # ------------------------------------------------------------------
+
+    def corrupt_text(self, text: str) -> str:
+        """Corrupt a text-format trace end-to-end.
+
+        The clean input is decoded strictly, event-level operators are
+        applied, the stream is re-encoded, and encoded-level operators
+        mangle the result.
+        """
+        events, stacks = serialize.loads_text(text)
+        encoded = serialize.dumps_events_text(self.apply_events(events), stacks)
+        return self.apply_text(encoded)
+
+    def corrupt_binary(self, data: bytes) -> bytes:
+        """Corrupt a binary-format trace end-to-end (see corrupt_text)."""
+        events, stacks = serialize.loads_binary(data)
+        encoded = serialize.dumps_events_binary(self.apply_events(events), stacks)
+        return self.apply_bytes(encoded)

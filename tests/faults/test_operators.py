@@ -1,0 +1,182 @@
+"""Unit tests for the trace-corruption operators.
+
+Every operator must be deterministic under a fixed RNG and must model
+exactly its defect class: event-level operators keep the encoded hooks
+identity, encoded-level operators keep the event stream intact.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.operators import (
+    DropAllocs,
+    DropEvents,
+    DropReleases,
+    DuplicateEvents,
+    FaultOp,
+    FlipBytes,
+    MangleLines,
+    ReorderWindow,
+    TornTail,
+    TruncateHead,
+    TruncateMid,
+    TruncateTail,
+)
+from repro.tracing import serialize
+from repro.tracing.events import AllocEvent, LockEvent
+from repro.workloads.racer import run_racer
+
+ALL_OPS = (
+    DropEvents(0.1),
+    DuplicateEvents(0.1),
+    ReorderWindow(4),
+    TruncateHead(0.3),
+    TruncateTail(0.3),
+    TruncateMid(0.2),
+    DropReleases(0.3),
+    DropAllocs(0.3),
+    TornTail(0.1),
+    MangleLines(0.1),
+    FlipBytes(0.01),
+)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    """A small but realistic trace: events, text and binary encodings."""
+    tracer = run_racer(seed=0, scale=1.0).tracer
+    events = list(tracer.events)
+    stacks = serialize.stacks_of(tracer)
+    text = serialize.dumps_events_text(events, stacks)
+    data = serialize.dumps_events_binary(events, stacks)
+    return events, text, data
+
+
+def _rng():
+    return random.Random(1234)
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.describe())
+def test_operator_is_deterministic(op, sample):
+    events, text, data = sample
+    assert op.apply_events(events, _rng()) == op.apply_events(events, _rng())
+    assert op.apply_text(text, _rng()) == op.apply_text(text, _rng())
+    assert op.apply_bytes(data, _rng()) == op.apply_bytes(data, _rng())
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.describe())
+def test_operator_describe_names_itself(op):
+    assert op.describe().startswith(op.name)
+
+
+def test_base_operator_is_identity(sample):
+    events, text, data = sample
+    op = FaultOp()
+    assert op.apply_events(events, _rng()) == events
+    assert op.apply_text(text, _rng()) == text
+    assert op.apply_bytes(data, _rng()) == data
+
+
+class TestEventLevel:
+    def test_drop_reduces_count(self, sample):
+        events, _, _ = sample
+        out = DropEvents(0.5).apply_events(events, _rng())
+        assert 0 < len(out) < len(events)
+        assert DropEvents(0.0).apply_events(events, _rng()) == events
+        assert DropEvents(1.0).apply_events(events, _rng()) == []
+
+    def test_duplicate_preserves_order(self, sample):
+        events, _, _ = sample
+        out = DuplicateEvents(1.0).apply_events(events, _rng())
+        assert len(out) == 2 * len(events)
+        assert out[0] is out[1] is events[0]
+
+    def test_reorder_keeps_multiset(self, sample):
+        events, _, _ = sample
+        out = ReorderWindow(8).apply_events(events, _rng())
+        assert len(out) == len(events)
+        assert sorted(map(id, out)) == sorted(map(id, events))
+        assert out != events  # enough events that a shuffle must show
+
+    def test_reorder_window_one_is_order_preserving(self, sample):
+        # Perturbed keys stay within [i, i+1), so order cannot change.
+        events, _, _ = sample
+        assert ReorderWindow(1).apply_events(events, _rng()) == events
+
+    def test_truncate_head_keeps_suffix(self, sample):
+        events, _, _ = sample
+        out = TruncateHead(0.5).apply_events(events, _rng())
+        assert out == events[len(events) - len(out):]
+        assert len(out) >= len(events) // 2
+
+    def test_truncate_tail_keeps_prefix(self, sample):
+        events, _, _ = sample
+        out = TruncateTail(0.5).apply_events(events, _rng())
+        assert out == events[: len(out)]
+        assert len(out) >= len(events) // 2
+
+    def test_truncate_mid_cuts_contiguous_span(self, sample):
+        events, _, _ = sample
+        out = TruncateMid(0.3).apply_events(events, _rng())
+        assert len(out) < len(events)
+        cut = len(events) - len(out)
+        # Output is a prefix plus a suffix of the input.
+        start = next(
+            i for i, (a, b) in enumerate(zip(out, events)) if a is not b
+        )
+        assert out[start:] == events[start + cut:]
+
+    def test_drop_releases_only_touches_releases(self, sample):
+        events, _, _ = sample
+        out = DropReleases(1.0).apply_events(events, _rng())
+        assert not any(
+            isinstance(e, LockEvent) and not e.is_acquire for e in out
+        )
+        survivors = [
+            e
+            for e in events
+            if not (isinstance(e, LockEvent) and not e.is_acquire)
+        ]
+        assert out == survivors
+
+    def test_drop_allocs_only_touches_allocs(self, sample):
+        events, _, _ = sample
+        out = DropAllocs(1.0).apply_events(events, _rng())
+        assert not any(isinstance(e, AllocEvent) for e in out)
+        assert len(out) == len(
+            [e for e in events if not isinstance(e, AllocEvent)]
+        )
+
+
+class TestEncodedLevel:
+    def test_torn_tail_cuts_bytes(self, sample):
+        _, _, data = sample
+        out = TornTail(0.2).apply_bytes(data, _rng())
+        assert len(out) < len(data)
+        assert data.startswith(out)
+
+    def test_torn_tail_cuts_text(self, sample):
+        _, text, _ = sample
+        out = TornTail(0.2).apply_text(text, _rng())
+        assert len(out) < len(text)
+        assert text.startswith(out)
+
+    def test_torn_tail_spares_tiny_inputs(self):
+        assert TornTail(0.5).apply_bytes(b"LDOC1\n", _rng()) == b"LDOC1\n"
+        assert TornTail(0.5).apply_text("short", _rng()) == "short"
+
+    def test_mangle_spares_headers(self, sample):
+        _, text, _ = sample
+        out = MangleLines(1.0).apply_text(text, _rng())
+        in_lines, out_lines = text.split("\n"), out.split("\n")
+        assert out_lines[:2] == in_lines[:2]
+        assert len(out_lines) == len(in_lines)
+        assert sum(a != b for a, b in zip(in_lines, out_lines)) > 10
+
+    def test_flip_preserves_length_and_magic(self, sample):
+        _, _, data = sample
+        out = FlipBytes(0.01).apply_bytes(data, _rng())
+        assert len(out) == len(data)
+        assert out[:6] == data[:6] == b"LDOC1\n"
+        assert out != data

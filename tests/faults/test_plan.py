@@ -1,0 +1,113 @@
+"""Tests for fault-plan composition, spec parsing and reproducibility."""
+
+import pytest
+
+from repro.faults import (
+    ALL_OPERATOR_SPECS,
+    COMPOSED_SPEC,
+    DropEvents,
+    FaultPlan,
+    ReorderWindow,
+    make_operator,
+    operator_names,
+)
+from repro.tracing import serialize
+from repro.workloads.racer import run_racer
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    tracer = run_racer(seed=0, scale=1.0).tracer
+    events = list(tracer.events)
+    stacks = serialize.stacks_of(tracer)
+    return (
+        serialize.dumps_events_text(events, stacks),
+        serialize.dumps_events_binary(events, stacks),
+    )
+
+
+class TestSpecParsing:
+    def test_names_and_params(self):
+        plan = FaultPlan.from_spec("drop:0.1,reorder:4", seed=7)
+        assert len(plan.operators) == 2
+        assert isinstance(plan.operators[0], DropEvents)
+        assert plan.operators[0].rate == 0.1
+        assert isinstance(plan.operators[1], ReorderWindow)
+        assert plan.operators[1].window == 4
+        assert "@seed=7" in plan.describe()
+
+    def test_param_defaults(self):
+        plan = FaultPlan.from_spec("drop")
+        assert plan.operators[0].rate == 0.02
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault operator"):
+            FaultPlan.from_spec("drop:0.1,bogus")
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(ValueError, match="bad parameter"):
+            FaultPlan.from_spec("drop:zero")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty fault spec"):
+            FaultPlan.from_spec(" , ")
+
+    def test_registry_covers_every_shipped_spec(self):
+        for spec in ALL_OPERATOR_SPECS + (COMPOSED_SPEC,):
+            assert FaultPlan.from_spec(spec).operators
+
+    def test_make_operator_lists_known_names(self):
+        names = operator_names()
+        assert names == sorted(names)
+        assert "drop" in names and "torn" in names
+        with pytest.raises(ValueError, match="known:"):
+            make_operator("nope")
+
+
+class TestReproducibility:
+    def test_same_seed_same_corruption(self, encoded):
+        text, data = encoded
+        a = FaultPlan.from_spec(COMPOSED_SPEC, seed=3)
+        b = FaultPlan.from_spec(COMPOSED_SPEC, seed=3)
+        assert a.corrupt_text(text) == b.corrupt_text(text)
+        assert a.corrupt_binary(data) == b.corrupt_binary(data)
+
+    def test_different_seed_different_corruption(self, encoded):
+        text, _ = encoded
+        a = FaultPlan.from_spec(COMPOSED_SPEC, seed=3)
+        b = FaultPlan.from_spec(COMPOSED_SPEC, seed=4)
+        assert a.corrupt_text(text) != b.corrupt_text(text)
+
+    def test_operator_rng_is_position_scoped(self, encoded):
+        # Prepending an operator must not reshuffle the randomness the
+        # *shared-position* operators see... but shifting positions does
+        # change the stream, so equal plans are the only guarantee we
+        # make: per-(seed, index, name) RNG derivation.
+        text, _ = encoded
+        plan = FaultPlan.from_spec("drop:0.1", seed=5)
+        again = FaultPlan([DropEvents(0.1)], seed=5)
+        assert plan.corrupt_text(text) == again.corrupt_text(text)
+
+
+class TestWholeTraceCorruption:
+    def test_corrupt_text_keeps_format_identity(self, encoded):
+        text, _ = encoded
+        out = FaultPlan.from_spec("drop:0.05", seed=0).corrupt_text(text)
+        assert out.startswith("# lockdoc-trace v1\n")
+        # Pure event-level corruption still parses strictly.
+        events, _ = serialize.loads_text(out)
+        assert events
+
+    def test_corrupt_binary_keeps_magic(self, encoded):
+        _, data = encoded
+        out = FaultPlan.from_spec("torn:0.1", seed=0).corrupt_binary(data)
+        assert out.startswith(b"LDOC1\n")
+        assert len(out) < len(data)
+
+    def test_identity_plan_round_trips(self, encoded):
+        text, data = encoded
+        plan = FaultPlan.from_spec("drop:0.0", seed=0)
+        assert serialize.loads_text(plan.corrupt_text(text)) == \
+            serialize.loads_text(text)
+        assert serialize.loads_binary(plan.corrupt_binary(data)) == \
+            serialize.loads_binary(data)

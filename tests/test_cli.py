@@ -136,6 +136,82 @@ def test_derive_json_export(tmp_path, capsys):
     assert any(r.type_key == "inode:ext4" for r in rules)
 
 
+def test_health_command(tmp_path, capsys):
+    trace = tmp_path / "run.bin"
+    assert cli.main(["trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert cli.main(["health", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "trace health" in out
+    assert "salvage ratio" in out
+
+
+def test_corrupt_then_health_round_trip(tmp_path, capsys):
+    trace = tmp_path / "run.txt"
+    bad = tmp_path / "bad.txt"
+    assert cli.main(["trace", str(trace)]) == 0
+    capsys.readouterr()
+    argv = ["corrupt", str(trace), str(bad), "--ops", "mangle:0.05", "--seed", "1"]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "applied" in out and bad.exists()
+    assert bad.read_text() != trace.read_text()
+    assert cli.main(["health", str(bad), "--budget", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "parse diagnostics" in out
+
+
+def test_health_reports_budget_breach_with_exit_one(tmp_path, capsys):
+    trace = tmp_path / "run.txt"
+    bad = tmp_path / "bad.txt"
+    assert cli.main(["trace", str(trace)]) == 0
+    assert cli.main(["corrupt", str(trace), str(bad), "--ops", "mangle:0.9"]) == 0
+    capsys.readouterr()
+    assert cli.main(["health", str(bad), "--budget", "0.25"]) == 1
+    assert "EXCEEDED" in capsys.readouterr().out
+
+
+def test_corrupt_rejects_unknown_operator(tmp_path, capsys):
+    trace = tmp_path / "run.txt"
+    assert cli.main(["trace", str(trace)]) == 0
+    capsys.readouterr()
+    out = tmp_path / "bad.txt"
+    assert cli.main(["corrupt", str(trace), str(out), "--ops", "nope:1"]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+@pytest.mark.parametrize("suffix", [".txt", ".bin"])
+def test_file_commands_reject_missing_input(tmp_path, capsys, suffix):
+    missing = str(tmp_path / f"nope{suffix}")
+    out = str(tmp_path / f"out{suffix}")
+    for argv in (
+        ["analyze", missing],
+        ["health", missing],
+        ["corrupt", missing, out],
+    ):
+        assert cli.main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+@pytest.mark.parametrize("suffix", [".txt", ".bin"])
+def test_file_commands_reject_empty_input(tmp_path, capsys, suffix):
+    empty = tmp_path / f"empty{suffix}"
+    empty.write_bytes(b"")
+    out = str(tmp_path / f"out{suffix}")
+    for argv in (
+        ["analyze", str(empty)],
+        ["health", str(empty)],
+        ["corrupt", str(empty), out],
+    ):
+        assert cli.main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+
 def test_contention_command(capsys):
     assert cli.main(["contention", "--limit", "5"]) == 0
     assert "lock-usage statistics" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""The corruption gauntlet (acceptance criteria of the faults work).
+
+Every fault operator — alone and composed — is driven through the full
+``trace -> import -> derive -> races`` pipeline in lenient mode, across
+several seeds and both workloads:
+
+* zero uncaught exceptions anywhere in the pipeline,
+* the :class:`~repro.db.health.TraceHealth` report accounts for 100% of
+  the events that entered the importer (kept + quarantined == total),
+* graceful degradation: a trace with ~2% of events dropped still
+  derives the same winning rule for >= 90% of the fault-free baseline's
+  members.
+
+Seeds come from the ``FAULT_SEEDS`` environment variable (default
+``0,1,2``) so CI can widen the sweep without a code change.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.racedetect import RaceReport, detect_races
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.db.health import ingest_events
+from repro.db.importer import ImportPolicy
+from repro.experiments.common import get_pipeline
+from repro.faults import ALL_OPERATOR_SPECS, COMPOSED_SPEC, FaultPlan
+from repro.kernel.vfs.groundtruth import build_filter_config
+from repro.kernel.vfs.layouts import build_struct_registry
+from repro.tracing import serialize
+from repro.workloads.racer import build_racer_registry, run_racer
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("FAULT_SEEDS", "0,1,2").split(",") if s
+)
+
+#: The gauntlet disables the error budget: heavy corruption (30% head
+#: truncation, say) must *survive*, not abort — budget enforcement has
+#: its own tests.
+GAUNTLET_POLICY = ImportPolicy(lenient=True, max_malformed_fraction=1.0)
+
+#: Byte-only operators exercise the binary encoding; everything else
+#: runs through the text encoding (mangle is text-only, torn does both).
+_BINARY_SPECS = {"flip:0.002", "torn:0.1"}
+
+
+@pytest.fixture(scope="module")
+def racer_trace():
+    tracer = run_racer(seed=0, scale=1.0).tracer
+    events = list(tracer.events)
+    stacks = serialize.stacks_of(tracer)
+    return {
+        "text": serialize.dumps_events_text(events, stacks),
+        "binary": serialize.dumps_events_binary(events, stacks),
+        "structs": build_racer_registry(),
+    }
+
+
+@pytest.fixture(scope="module")
+def mix_pipeline():
+    return get_pipeline(0, 1.0)
+
+
+def _run_pipeline(report, structs, filters=None):
+    """The post-parse pipeline; returns (health, race report)."""
+    db, health = ingest_events(
+        report.events,
+        report.stacks,
+        structs,
+        filters,
+        GAUNTLET_POLICY,
+        parse_report=report,
+    )
+    table = ObservationTable.from_database(db)
+    derivation = Derivator(0.9).derive(table)
+    races = detect_races(report.events, db, derivation)
+    return health, races
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("spec", ALL_OPERATOR_SPECS + (COMPOSED_SPEC,))
+def test_racer_survives_every_operator(racer_trace, spec, seed):
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    if spec in _BINARY_SPECS:
+        mutated = plan.corrupt_binary(racer_trace["binary"])
+        report = serialize.loads_binary_lenient(mutated)
+    else:
+        mutated = plan.corrupt_text(racer_trace["text"])
+        report = serialize.loads_text_lenient(mutated)
+    health, races = _run_pipeline(report, racer_trace["structs"])
+    assert health.accounts_for_all_events(), health.to_dict()
+    assert isinstance(races, RaceReport)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mix_survives_composed_faults(mix_pipeline, seed):
+    events = mix_pipeline.mix.tracer.events
+    stacks = serialize.stacks_of(mix_pipeline.mix.tracer)
+    text = serialize.dumps_events_text(events, stacks)
+    mutated = FaultPlan.from_spec(COMPOSED_SPEC, seed=seed).corrupt_text(text)
+    report = serialize.loads_text_lenient(mutated)
+    health, races = _run_pipeline(
+        report, build_struct_registry(), build_filter_config()
+    )
+    assert health.accounts_for_all_events(), health.to_dict()
+    assert health.kept_events > 0
+    assert isinstance(races, RaceReport)
+
+
+def test_mix_graceful_degradation(mix_pipeline):
+    """<= 5% event drops still reproduce >= 90% of the winning rules."""
+    baseline = {
+        (d.type_key, d.member, d.access_type): d.rule.format()
+        for d in mix_pipeline.derive().all()
+    }
+    assert baseline
+
+    plan = FaultPlan.from_spec("drop:0.02", seed=0)
+    events = plan.apply_events(mix_pipeline.mix.tracer.events)
+    stacks = serialize.stacks_of(mix_pipeline.mix.tracer)
+    db, health = ingest_events(
+        events, stacks, build_struct_registry(), build_filter_config(),
+        GAUNTLET_POLICY,
+    )
+    assert health.accounts_for_all_events()
+    derivation = Derivator(0.9).derive(ObservationTable.from_database(db))
+    degraded = {
+        (d.type_key, d.member, d.access_type): d.rule.format()
+        for d in derivation.all()
+    }
+    matching = sum(
+        1 for key, rule in baseline.items() if degraded.get(key) == rule
+    )
+    assert matching / len(baseline) >= 0.9, (
+        f"only {matching}/{len(baseline)} winning rules survived 2% drops"
+    )

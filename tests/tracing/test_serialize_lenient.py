@@ -1,0 +1,173 @@
+"""The lenient/strict ingestion contract (property-style).
+
+For *any* corruption of a well-formed trace:
+
+* the lenient loaders never raise — they return a
+  :class:`~repro.tracing.serialize.LoadReport` with diagnostics,
+* the strict loaders raise :class:`TraceFormatError` and nothing else —
+  never a bare ``KeyError``/``struct.error``/``IndexError`` — and the
+  message carries the position (line number / byte offset).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import ALL_OPERATOR_SPECS, COMPOSED_SPEC, FaultPlan
+from repro.tracing import serialize
+from tests.tracing.test_serialize import build_sample_tracer
+
+_TRACER = build_sample_tracer()
+_TEXT = serialize.dumps_text(_TRACER)
+_DATA = serialize.dumps_binary(_TRACER)
+_EVENTS = list(_TRACER.events)
+
+
+def _assert_strict_contract_text(text: str) -> None:
+    """Strict mode either parses or raises exactly TraceFormatError."""
+    try:
+        serialize.loads_text(text)
+    except serialize.TraceFormatError as exc:
+        assert str(exc).startswith("line ")
+
+
+def _assert_strict_contract_binary(data: bytes) -> None:
+    try:
+        serialize.loads_binary(data)
+    except serialize.TraceFormatError as exc:
+        assert str(exc).startswith("offset 0x")
+
+
+class TestArbitraryTruncation:
+    @given(cut=st.integers(min_value=0, max_value=len(_TEXT)))
+    @settings(max_examples=80, deadline=None)
+    def test_text_cut_anywhere(self, cut):
+        mutated = _TEXT[:cut]
+        report = serialize.loads_text_lenient(mutated)
+        assert len(report.events) <= len(_EVENTS)
+        _assert_strict_contract_text(mutated)
+
+    @given(cut=st.integers(min_value=0, max_value=len(_DATA)))
+    @settings(max_examples=80, deadline=None)
+    def test_binary_cut_anywhere(self, cut):
+        mutated = _DATA[:cut]
+        report = serialize.loads_binary_lenient(mutated)
+        # Salvage is always a clean prefix of the original stream.
+        assert report.events == _EVENTS[: len(report.events)]
+        _assert_strict_contract_binary(mutated)
+
+
+class TestArbitraryMutation:
+    @given(
+        pos=st.integers(min_value=0, max_value=len(_DATA) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_binary_single_bit_flip(self, pos, bit):
+        mutated = bytearray(_DATA)
+        mutated[pos] ^= 1 << bit
+        mutated = bytes(mutated)
+        serialize.loads_binary_lenient(mutated)  # must not raise
+        _assert_strict_contract_binary(mutated)
+
+    @given(
+        lineno=st.integers(min_value=0, max_value=_TEXT.count("\n") - 1),
+        junk=st.text(
+            alphabet=st.characters(blacklist_characters="\n"), max_size=30
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_text_line_replacement(self, lineno, junk):
+        lines = _TEXT.split("\n")
+        lines[lineno] = junk
+        mutated = "\n".join(lines)
+        serialize.loads_text_lenient(mutated)  # must not raise
+        _assert_strict_contract_text(mutated)
+
+
+@pytest.mark.parametrize("spec", ALL_OPERATOR_SPECS + (COMPOSED_SPEC,))
+@pytest.mark.parametrize("seed", (0, 1, 2))
+class TestEveryFaultOperator:
+    def test_text(self, spec, seed):
+        mutated = FaultPlan.from_spec(spec, seed=seed).corrupt_text(_TEXT)
+        report = serialize.loads_text_lenient(mutated)
+        for diagnostic in report.diagnostics:
+            assert diagnostic.location.startswith("line ")
+            assert diagnostic.reason
+        _assert_strict_contract_text(mutated)
+
+    def test_binary(self, spec, seed):
+        mutated = FaultPlan.from_spec(spec, seed=seed).corrupt_binary(_DATA)
+        report = serialize.loads_binary_lenient(mutated)
+        for diagnostic in report.diagnostics:
+            assert diagnostic.location.startswith("offset 0x")
+        _assert_strict_contract_binary(mutated)
+
+
+class TestPositionContext:
+    def test_text_error_names_line_and_record(self):
+        lines = _TEXT.split("\n")
+        victim = next(
+            i for i, line in enumerate(lines) if line.startswith(("A\t", "R\t", "W\t"))
+        )
+        lines[victim] = "A\tnot-a-number"
+        with pytest.raises(serialize.TraceFormatError) as err:
+            serialize.loads_text("\n".join(lines))
+        assert f"line {victim + 1}:" in str(err.value)
+        assert "not-a-number" in str(err.value)
+
+    def test_binary_error_names_offset(self):
+        with pytest.raises(serialize.TraceFormatError) as err:
+            serialize.loads_binary(_DATA[:-3])
+        assert "offset 0x" in str(err.value)
+
+    def test_lenient_diagnostic_costs_one_line_only(self):
+        lines = _TEXT.split("\n")
+        victim = next(
+            i for i, line in enumerate(lines) if line.startswith(("R\t", "W\t"))
+        )
+        lines[victim] = "W\tgarbage"
+        report = serialize.loads_text_lenient("\n".join(lines))
+        assert len(report.events) == len(_EVENTS) - 1
+        assert len(report.diagnostics) == 1
+        assert report.diagnostics[0].location == f"line {victim + 1}"
+        assert report.diagnostics[0].record == "W\tgarbage"
+
+
+class TestDegenerateInputs:
+    def test_empty_text_file(self):
+        report = serialize.loads_text_lenient("")
+        assert report.events == []
+        assert report.diagnostics[0].reason == "empty trace file"
+        with pytest.raises(serialize.TraceFormatError, match="empty trace file"):
+            serialize.loads_text("")
+
+    def test_empty_binary_file(self):
+        report = serialize.loads_binary_lenient(b"")
+        assert report.events == []
+        assert report.diagnostics[0].reason == "empty trace file"
+        with pytest.raises(serialize.TraceFormatError, match="empty trace file"):
+            serialize.loads_binary(b"")
+
+    def test_wrong_magic(self):
+        with pytest.raises(serialize.TraceFormatError, match="bad magic"):
+            serialize.loads_text("#!/bin/sh\n")
+        with pytest.raises(serialize.TraceFormatError, match="bad magic"):
+            serialize.loads_binary(b"GIF89a....")
+
+    def test_load_path_sniffs_format(self, tmp_path):
+        text_path = tmp_path / "t.txt"
+        text_path.write_text(_TEXT)
+        bin_path = tmp_path / "t.bin"
+        bin_path.write_bytes(_DATA)
+        assert serialize.load_path(str(text_path)).events == _EVENTS
+        assert serialize.load_path(str(bin_path)).events == _EVENTS
+
+    def test_load_path_lenient_on_damage(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        path.write_bytes(_DATA[:-5])
+        report = serialize.load_path(str(path), lenient=True)
+        assert report.events == _EVENTS[: len(report.events)]
+        assert report.malformed_count == 1
+        with pytest.raises(serialize.TraceFormatError):
+            serialize.load_path(str(path))
