@@ -1,0 +1,42 @@
+"""The pre-memoization serial derivation path, preserved for benchmarking.
+
+This is the engine as it stood before the parallel/memoized rewrite:
+for every target it re-folds the raw observations into a Counter and
+re-runs ``enumerate_and_score`` from scratch — no profile sharing, no
+incremental fold.  The benchmark harness times it as the "serial
+baseline" so ``BENCH_derive.json``'s speedup numbers measure the new
+engine against the code it replaced, and asserts its output still
+equals the new engine's (the optimization must be behaviour-free).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.derivator import DerivationResult, Derivator
+from repro.core.hypotheses import enumerate_and_score
+from repro.core.observations import ObservationTable
+
+
+def fold_sequences(table: ObservationTable, key):
+    """The old ``ObservationTable.sequences``: rescan and count."""
+    counter: Counter = Counter()
+    for obs in table.get(*key):
+        counter[obs.lockseq] += 1
+    return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+
+def derive_serial_baseline(
+    derivator: Derivator, table: ObservationTable
+) -> DerivationResult:
+    """Unmemoized whole-table derivation (the pre-rewrite hot path)."""
+    result = DerivationResult(derivator.accept_threshold)
+    for key in table.keys():
+        sequences = fold_sequences(table, key)
+        if not sequences:
+            continue
+        hypotheses = enumerate_and_score(sequences, derivator.max_locks)
+        result.add(
+            derivator._build(*key, table.observation_count(*key), hypotheses)
+        )
+    return result

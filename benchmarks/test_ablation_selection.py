@@ -8,8 +8,10 @@ known-truth case.
 """
 
 from benchmarks.conftest import emit
-from repro.core.hypotheses import enumerate_and_score
+from repro.core.hypotheses import Hypothesis, enumerate_and_score
+from repro.core.lockrefs import LockRef
 from repro.core.report import render_table
+from repro.core.rules import LockingRule
 from repro.core.selection import select_naive, select_winner
 from repro.experiments.tab1 import record_clock_trace
 
@@ -53,3 +55,28 @@ def test_ablation_selection_strategy(benchmark, pipeline):
     assert select_naive(hypotheses).rule.format() != (
         "ES(sec_lock in clock) -> ES(min_lock in clock)"
     )
+    # The naive winner must be deterministic regardless of hypothesis
+    # order — otherwise this ablation's disagreement counts would be
+    # order-sensitive.  Tie-break: fewest locks, then lexicographically
+    # first format.
+    assert select_naive(list(reversed(hypotheses))) == select_naive(hypotheses)
+
+
+def test_naive_tie_break_is_explicit_and_deterministic():
+    """The strawman breaks support ties towards *fewer* locks and the
+    lexicographically-first format (regression: it used to do the exact
+    opposite via ``max`` over ascending keys)."""
+    sec = LockRef.es("sec_lock", "clock")
+    minute = LockRef.es("min_lock", "clock")
+    tied = [
+        Hypothesis(rule=LockingRule.of(sec, minute), s_a=7, total=7),
+        Hypothesis(rule=LockingRule.of(minute), s_a=7, total=7),
+        Hypothesis(rule=LockingRule.of(sec), s_a=7, total=7),
+    ]
+    # Fewest locks first; "ES(min_lock ...)" < "ES(sec_lock ...)".
+    assert select_naive(tied).rule == LockingRule.of(minute)
+    assert select_naive(list(reversed(tied))).rule == LockingRule.of(minute)
+    with_no_lock = tied + [
+        Hypothesis(rule=LockingRule.no_lock(), s_a=7, total=7)
+    ]
+    assert select_naive(with_no_lock).rule.is_no_lock

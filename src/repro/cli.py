@@ -53,6 +53,14 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for rule derivation (results are "
+        "identical to serial; default: serial)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lockdoc",
@@ -66,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     derive = sub.add_parser("derive", help="derive locking rules")
     _add_pipeline_args(derive)
+    _add_jobs_arg(derive)
     derive.add_argument("--type", default="", help="restrict to one type key")
     derive.add_argument(
         "--threshold", type=float, default=0.9, help="accept threshold t_ac"
@@ -77,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="check documented rules (Tab. 4)")
     _add_pipeline_args(check)
+    _add_jobs_arg(check)
 
     docgen = sub.add_parser("docgen", help="generate documentation (Fig. 8)")
     _add_pipeline_args(docgen)
@@ -84,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     violations = sub.add_parser("violations", help="find rule violations (Tab. 7)")
     _add_pipeline_args(violations)
+    _add_jobs_arg(violations)
     violations.add_argument(
         "--examples", type=int, default=0, help="also print the N largest violations"
     )
@@ -91,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment.add_argument("name", choices=_EXPERIMENTS)
     _add_pipeline_args(experiment)
+    _add_jobs_arg(experiment)
 
     stats = sub.add_parser("stats", help="trace statistics (Sec. 7.2)")
     _add_pipeline_args(stats)
@@ -115,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "races", help="lockset + happens-before race detection"
     )
     _add_pipeline_args(races)
+    _add_jobs_arg(races)
     races.add_argument(
         "--workload", choices=("mix", "racer", "racer-safe"), default="racer",
         help="trace source: benchmark mix, planted-race workload, or its "
@@ -330,7 +343,7 @@ def _cmd_races(args) -> int:
         )
         events = result.tracer.events
         db = result.to_database()
-        derivation = result.derive(args.threshold)
+        derivation = result.derive(args.threshold, jobs=args.jobs)
     print(detect_races(events, db, derivation).render(examples=args.examples))
     return 0
 
@@ -455,6 +468,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     traceback.
     """
     args = _build_parser().parse_args(argv)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        print(f"error: --jobs {jobs} must be >= 1", file=sys.stderr)
+        return 2
+    # One process-wide default so every derivation a subcommand
+    # triggers (including inside experiments) uses the worker pool.
+    experiments_common.set_default_jobs(jobs)
     try:
         return _HANDLERS[args.command](args)
     except (ValueError, OSError) as exc:

@@ -6,8 +6,10 @@ The subpackage implements phases 2 and 3 of the paper:
 * :mod:`repro.core.rules`         — locking rules + compliance semantics
 * :mod:`repro.core.observations`  — folded per-transaction access matrix
 * :mod:`repro.core.hypotheses`    — hypothesis enumeration and support
+* :mod:`repro.core.memo`          — canonical-profile hypothesis memo
 * :mod:`repro.core.selection`     — winning-hypothesis selection
-* :mod:`repro.core.derivator`     — end-to-end rule derivation
+* :mod:`repro.core.derivator`     — end-to-end rule derivation (serial
+  or process-parallel via ``derive(table, jobs=N)``)
 * :mod:`repro.core.checker`       — Locking-Rule Checker  (Sec. 7.3)
 * :mod:`repro.core.docgen`        — Documentation Generator (Fig. 8)
 * :mod:`repro.core.violations`    — Rule-Violation Finder  (Sec. 7.5)

@@ -5,18 +5,34 @@ target of an :class:`~repro.core.observations.ObservationTable`,
 enumerates and scores hypotheses, and selects a winner.  The result
 object offers the aggregate views the evaluation needs (rule counts,
 "no lock" fractions for Fig. 7, per-type winners for Tab. 6).
+
+Derivation targets are independent, so the engine exploits two levels
+of structure:
+
+* **Memoization** — targets whose folded observation profiles are
+  equal share one ``enumerate_and_score`` result via
+  :class:`~repro.core.memo.HypothesisMemo`.
+* **Process parallelism** — ``derive(table, jobs=N)`` dedups targets
+  down to distinct profiles, chunks the cache misses, and ships the
+  *folded sequences* (never the table or raw observations) to a
+  ``ProcessPoolExecutor``.  The merged :class:`DerivationResult` is
+  bit-identical to a serial run — winners, supports, report order and
+  even the memo statistics.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.hypotheses import (
     MAX_RULE_LOCKS,
     Hypothesis,
     enumerate_and_score,
 )
+from repro.core.lockrefs import LockSeq
+from repro.core.memo import HypothesisMemo, MemoStats, Profile, canonical_profile
 from repro.core.observations import ObsKey, ObservationTable
 from repro.core.rules import LockingRule
 from repro.core.selection import (
@@ -62,10 +78,28 @@ class DerivationResult:
     def __init__(self, accept_threshold: float) -> None:
         self.accept_threshold = accept_threshold
         self._by_key: Dict[ObsKey, Derivation] = {}
+        #: Memo hit/miss statistics of the derive run that produced
+        #: this result (None when assembled by hand via :meth:`add`).
+        self.memo_stats: Optional[MemoStats] = None
 
     def add(self, derivation: Derivation) -> None:
         key = (derivation.type_key, derivation.member, derivation.access_type)
         self._by_key[key] = derivation
+
+    def __eq__(self, other: object) -> bool:
+        """Payload equality: same threshold and same derivations.
+
+        Memo statistics are run metadata and deliberately excluded, so
+        a parallel run compares equal to its serial twin.
+        """
+        if not isinstance(other, DerivationResult):
+            return NotImplemented
+        return (
+            self.accept_threshold == other.accept_threshold
+            and self._by_key == other._by_key
+        )
+
+    __hash__ = None  # mutable container
 
     # ------------------------------------------------------------------
     # Lookup
@@ -115,6 +149,16 @@ class DerivationResult:
         return self.no_lock_count(type_key, access_type) / total
 
 
+def _score_chunk(payload: Tuple[Sequence[Profile], int]) -> List[List[Hypothesis]]:
+    """Worker: enumerate and score one chunk of canonical profiles.
+
+    Top-level so it pickles; receives only folded sequences and returns
+    plain hypothesis lists — no table, no database, no observations.
+    """
+    profiles, max_locks = payload
+    return [enumerate_and_score(list(profile), max_locks) for profile in profiles]
+
+
 class Derivator:
     """Configurable rule-derivation engine.
 
@@ -122,6 +166,13 @@ class Derivator:
     threshold ``t_ac``, an output cut-off threshold ``t_co`` limiting
     reported hypotheses to a minimum relative support, and the maximum
     rule length.
+
+    ``accept_threshold >= cutoff_threshold`` is *not* required: the
+    cutoff only trims the reported hypothesis list, and
+    :meth:`derive_one` always merges the selection candidates (winner
+    included) back into the report — so a cutoff above the accept
+    threshold merely shortens the listing, it can never hide the
+    selection outcome.
     """
 
     def __init__(
@@ -134,34 +185,155 @@ class Derivator:
             raise ValueError(f"accept threshold {accept_threshold} not in (0, 1]")
         if not 0.0 <= cutoff_threshold <= 1.0:
             raise ValueError(f"cutoff threshold {cutoff_threshold} not in [0, 1]")
+        if max_locks < 1:
+            # max_locks == 0 would enumerate only the no-lock rule and
+            # every member would silently "derive" to no-lock.
+            raise ValueError(f"max rule length {max_locks} must be >= 1")
         self.accept_threshold = accept_threshold
         self.cutoff_threshold = cutoff_threshold
         self.max_locks = max_locks
 
+    # ------------------------------------------------------------------
+    # Single-target derivation
+    # ------------------------------------------------------------------
+
     def derive_one(
-        self, table: ObservationTable, type_key: str, member: str, access_type: str
+        self,
+        table: ObservationTable,
+        type_key: str,
+        member: str,
+        access_type: str,
+        memo: Optional[HypothesisMemo] = None,
     ) -> Optional[Derivation]:
         """Derive the rule for a single target; None if unobserved."""
         sequences = table.sequences(type_key, member, access_type)
         if not sequences:
             return None
-        hypotheses = enumerate_and_score(sequences, self.max_locks)
+        if memo is not None:
+            hypotheses = memo.enumerate_and_score(sequences, self.max_locks)
+        else:
+            hypotheses = enumerate_and_score(sequences, self.max_locks)
+        return self._build(
+            type_key,
+            member,
+            access_type,
+            table.observation_count(type_key, member, access_type),
+            hypotheses,
+        )
+
+    def _build(
+        self,
+        type_key: str,
+        member: str,
+        access_type: str,
+        observation_count: int,
+        hypotheses: List[Hypothesis],
+    ) -> Derivation:
         selection = select_winner(hypotheses, self.accept_threshold)
-        reported = [h for h in hypotheses if h.s_r >= self.cutoff_threshold]
+        # The cutoff trims the *report*, never the selection: merge the
+        # selection candidates (winner included) back in, so a cutoff
+        # above the accept threshold cannot drop the winner from
+        # ``Derivation.hypotheses``.  Report order stays the
+        # enumerate_and_score order (Tab. 2).
+        candidates = set(selection.candidates)
+        reported = [
+            h
+            for h in hypotheses
+            if h.s_r >= self.cutoff_threshold or h in candidates
+        ]
         return Derivation(
             type_key=type_key,
             member=member,
             access_type=access_type,
-            observation_count=table.observation_count(type_key, member, access_type),
+            observation_count=observation_count,
             hypotheses=reported,
             selection=selection,
         )
 
-    def derive(self, table: ObservationTable) -> DerivationResult:
-        """Derive rules for every observed target in *table*."""
+    # ------------------------------------------------------------------
+    # Whole-table derivation (serial or parallel)
+    # ------------------------------------------------------------------
+
+    def derive(
+        self,
+        table: ObservationTable,
+        jobs: Optional[int] = None,
+        memo: Optional[HypothesisMemo] = None,
+    ) -> DerivationResult:
+        """Derive rules for every observed target in *table*.
+
+        ``jobs > 1`` scores distinct observation profiles on a process
+        pool; the merged result is bit-identical to the serial path.
+        A caller-supplied *memo* is reused (and further filled), which
+        lets repeated derivations at different thresholds share work.
+        """
+        if memo is None:
+            memo = HypothesisMemo()
         result = DerivationResult(self.accept_threshold)
-        for type_key, member, access_type in table.keys():
-            derivation = self.derive_one(table, type_key, member, access_type)
-            if derivation is not None:
-                result.add(derivation)
+        targets = [
+            (key, sequences)
+            for key in table.keys()
+            if (sequences := table.sequences(*key))
+        ]
+        if jobs is not None and jobs > 1 and targets:
+            self._prescore_parallel(memo, [s for _, s in targets], jobs)
+        for key, sequences in targets:
+            hypotheses = memo.enumerate_and_score(sequences, self.max_locks)
+            result.add(
+                self._build(*key, table.observation_count(*key), hypotheses)
+            )
+        result.memo_stats = memo.stats
         return result
+
+    def _prescore_parallel(
+        self,
+        memo: HypothesisMemo,
+        seq_lists: Sequence[Sequence[Tuple[LockSeq, int]]],
+        jobs: int,
+    ) -> None:
+        """Fill the memo's cache misses on a process pool.
+
+        Only *distinct uncached* profiles travel to the workers (the
+        memo dedup is the parallel work partition), and seeded entries
+        count as misses on first use, so statistics match serial runs.
+        """
+        pending: List[Profile] = []
+        seen = set()
+        for sequences in seq_lists:
+            profile = canonical_profile(sequences)
+            key = (profile, self.max_locks)
+            if key in memo or profile in seen:
+                continue
+            seen.add(profile)
+            pending.append(profile)
+        if len(pending) < 2:
+            return  # nothing worth forking for
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = min(jobs, len(pending))
+            # More chunks than workers for load balance; contiguous
+            # slices keep the order deterministic.
+            n_chunks = min(len(pending), workers * 4)
+            step = -(-len(pending) // n_chunks)
+            chunks = [
+                pending[i : i + step] for i in range(0, len(pending), step)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                scored = list(
+                    pool.map(
+                        _score_chunk,
+                        [(chunk, self.max_locks) for chunk in chunks],
+                    )
+                )
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            # Sandboxes without fork/semaphores: degrade to serial.
+            print(
+                f"warning: parallel derivation unavailable ({exc}); "
+                "falling back to serial",
+                file=sys.stderr,
+            )
+            return
+        for chunk, hypothesis_lists in zip(chunks, scored):
+            for profile, hypotheses in zip(chunk, hypothesis_lists):
+                memo.seed(profile, self.max_locks, hypotheses)

@@ -27,9 +27,11 @@ from repro.core.lockrefs import LockSeq
 from repro.core.rules import LockingRule, complies
 
 #: Safety valve: ordered subsets of a k-lock combination number
-#: sum_i C(k,i)·i!; combinations beyond this many locks are truncated to
-#: their prefixes of this length (k is tiny in practice — the paper's
-#: transactions rarely hold more than 4-5 relevant locks).
+#: sum_i C(k,i)·i!; for combinations longer than this, *all* subsets of
+#: up to this many locks are still enumerated from the full combination
+#: — only subsets larger than the cap are skipped (k is tiny in
+#: practice — the paper's transactions rarely hold more than 4-5
+#: relevant locks).
 MAX_RULE_LOCKS = 4
 
 
@@ -72,11 +74,20 @@ def score(
     rules: Sequence[LockingRule],
     observations: Sequence[Tuple[LockSeq, int]],
 ) -> List[Hypothesis]:
-    """Measure s_a/s_r of each rule over ``(lockseq, count)`` observations."""
-    total = sum(count for _, count in observations)
+    """Measure s_a/s_r of each rule over ``(lockseq, count)`` observations.
+
+    Observations are grouped by distinct lockseq first, so ``complies``
+    runs once per (rule, distinct sequence) — not once per raw
+    observation when a caller passes unfolded (count-1) pairs.
+    """
+    folded: Dict[LockSeq, int] = {}
+    for seq, count in observations:
+        folded[seq] = folded.get(seq, 0) + count
+    total = sum(folded.values())
+    distinct = list(folded.items())
     hypotheses = []
     for rule in rules:
-        s_a = sum(count for seq, count in observations if complies(seq, rule))
+        s_a = sum(count for seq, count in distinct if complies(seq, rule))
         hypotheses.append(Hypothesis(rule=rule, s_a=s_a, total=total))
     return hypotheses
 

@@ -53,6 +53,11 @@ class ObservationTable:
         self.split_subclasses = split_subclasses
         self.write_over_read = write_over_read
         self._by_key: Dict[ObsKey, List[Observation]] = defaultdict(list)
+        #: Incrementally maintained fold: per-target lockseq counts,
+        #: updated on every append so :meth:`sequences` — the first step
+        #: of the derivation hot path — never rescans raw observations.
+        self._seq_counts: Dict[ObsKey, Counter] = defaultdict(Counter)
+        self._sorted_seqs: Dict[ObsKey, List[Tuple[LockSeq, int]]] = {}
         self.total = 0
         #: Accesses excluded because the importer quarantined their
         #: transaction (synthetic close) — rules are mined only over
@@ -134,7 +139,10 @@ class ObservationTable:
                 )
 
     def _append(self, obs: Observation) -> None:
-        self._by_key[(obs.type_key, obs.member, obs.access_type)].append(obs)
+        key = (obs.type_key, obs.member, obs.access_type)
+        self._by_key[key].append(obs)
+        self._seq_counts[key][obs.lockseq] += 1
+        self._sorted_seqs.pop(key, None)
         self.total += 1
 
     # ------------------------------------------------------------------
@@ -156,11 +164,20 @@ class ObservationTable:
     def sequences(
         self, type_key: str, member: str, access_type: str
     ) -> List[Tuple[LockSeq, int]]:
-        """Distinct lock sequences with observation counts."""
-        counter: Counter = Counter()
-        for obs in self.get(type_key, member, access_type):
-            counter[obs.lockseq] += 1
-        return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        """Distinct lock sequences with observation counts.
+
+        Served from the incrementally maintained fold; the returned
+        list is cached and shared — callers must not mutate it.
+        """
+        key = (type_key, member, access_type)
+        cached = self._sorted_seqs.get(key)
+        if cached is None:
+            counter = self._seq_counts.get(key)
+            if not counter:
+                return []
+            cached = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+            self._sorted_seqs[key] = cached
+        return cached
 
     def observation_count(self, type_key: str, member: str, access_type: str) -> int:
         return len(self.get(type_key, member, access_type))
@@ -193,8 +210,8 @@ class ObservationTable:
         self, data_type: str, member: str, access_type: str
     ) -> List[Tuple[LockSeq, int]]:
         counter: Counter = Counter()
-        for obs in self.merged_get(data_type, member, access_type):
-            counter[obs.lockseq] += 1
+        for type_key in self.base_keys(data_type):
+            counter.update(self._seq_counts.get((type_key, member, access_type), ()))
         return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
 
     def merged_members_of(self, data_type: str) -> List[str]:

@@ -63,7 +63,16 @@ def select_winner(
 
 def select_naive(hypotheses: Sequence[Hypothesis]) -> Optional[Hypothesis]:
     """The strawman strategy (highest support wins; used by the
-    selection-strategy ablation benchmark to demonstrate Tab. 2)."""
+    selection-strategy ablation benchmark to demonstrate Tab. 2).
+
+    Tie-break: among equal-support hypotheses the one with the *fewest*
+    locks wins, then the lexicographically-first format.  That matches
+    the strawman's spirit — it gravitates to under-specified rules —
+    and makes the winner deterministic under any input permutation
+    (the previous ``max`` over ascending keys silently favoured *more*
+    locks and the lexicographically-last format, so the Tab. 2 ablation
+    depended on hypothesis order).
+    """
     if not hypotheses:
         return None
-    return max(hypotheses, key=lambda h: (h.s_r, len(h.rule), h.rule.format()))
+    return min(hypotheses, key=lambda h: (-h.s_r, len(h.rule), h.rule.format()))

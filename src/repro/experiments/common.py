@@ -11,7 +11,7 @@ one recorded trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.derivator import DerivationResult, Derivator
 from repro.core.observations import ObservationTable
@@ -23,6 +23,21 @@ from repro.workloads.mix import BenchmarkMix, MixResult
 #: statistics, small enough for a laptop-scale pytest run.
 DEFAULT_SCALE = 18.0
 DEFAULT_SEED = 0
+
+#: Process-level default for derivation worker processes (``--jobs``).
+#: None means serial.  Parallel and serial derivation produce identical
+#: results, so this only affects wall-clock time.
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the derivation worker-process default (CLI ``--jobs``)."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+
+
+def get_default_jobs() -> Optional[int]:
+    return _DEFAULT_JOBS
 
 
 @dataclass
@@ -37,10 +52,19 @@ class Pipeline:
     merged_table: ObservationTable  # subclasses merged (checker view)
     _derivations: Dict[float, DerivationResult] = field(default_factory=dict)
 
-    def derive(self, accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD) -> DerivationResult:
+    def derive(
+        self,
+        accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD,
+        jobs: Optional[int] = None,
+    ) -> DerivationResult:
+        # Cached per threshold only: parallel derivation is bit-identical
+        # to serial, so the jobs count never changes the payload.
         result = self._derivations.get(accept_threshold)
         if result is None:
-            result = Derivator(accept_threshold).derive(self.table)
+            effective_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+            result = Derivator(accept_threshold).derive(
+                self.table, jobs=effective_jobs
+            )
             self._derivations[accept_threshold] = result
         return result
 

@@ -87,6 +87,72 @@ def test_cutoff_threshold_limits_report(rt):
     assert all(h.s_r >= 0.5 for h in derivation.hypotheses)
 
 
+def test_cutoff_above_accept_keeps_winner_in_report(rt):
+    """Regression: with cutoff_threshold > accept_threshold the winner
+    used to be filtered out of ``Derivation.hypotheses`` because the
+    cutoff was applied after selection without merging the candidates
+    back in."""
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(10):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "buggy", "f.c", 9):
+        rt.write(ctx, obj, "a")  # one lockless write: winner s_r = 10/11
+    result, _ = derive(rt, cutoff_threshold=0.95, accept_threshold=0.9)
+    derivation = result.get("pair", "a", "w")
+    # The winner sits between the accept and cutoff thresholds ...
+    assert 0.9 <= derivation.winner.s_r < 0.95
+    assert derivation.rule.format() == "ES(lock_a in pair)"
+    # ... and must still be reported, along with every candidate.
+    assert derivation.winner in derivation.hypotheses
+    for candidate in derivation.selection.candidates:
+        assert candidate in derivation.hypotheses
+    # Everything else in the report honours the cutoff.
+    candidates = set(derivation.selection.candidates)
+    assert all(
+        h.s_r >= 0.95 for h in derivation.hypotheses if h not in candidates
+    )
+
+
+def test_report_order_is_preserved_after_candidate_merge(rt):
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    for _ in range(10):
+        rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+        rt.write(ctx, obj, "a")
+        rt.spin_unlock(ctx, obj.lock("lock_a"))
+    with rt.function(ctx, "buggy", "f.c", 9):
+        rt.write(ctx, obj, "a")
+    result, _ = derive(rt, cutoff_threshold=0.95, accept_threshold=0.9)
+    reported = result.get("pair", "a", "w").hypotheses
+    # Report keeps the enumerate_and_score order: s_a desc, fewer locks,
+    # then textual.
+    keys = [(-h.s_a, len(h.rule), h.rule.format()) for h in reported]
+    assert keys == sorted(keys)
+
+
+def test_max_locks_validation(rt):
+    with pytest.raises(ValueError):
+        Derivator(max_locks=0)
+    with pytest.raises(ValueError):
+        Derivator(max_locks=-3)
+    Derivator(max_locks=1)  # shortest sensible rule length is fine
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        Derivator(accept_threshold=0.0)
+    with pytest.raises(ValueError):
+        Derivator(accept_threshold=1.5)
+    with pytest.raises(ValueError):
+        Derivator(cutoff_threshold=-0.1)
+    # accept >= cutoff is deliberately NOT required (the cutoff only
+    # trims the report; candidates are merged back in).
+    Derivator(accept_threshold=0.9, cutoff_threshold=0.95)
+
+
 def test_aggregate_counters(rt):
     ctx = rt.new_task("t")
     obj = rt.new_object(ctx, "pair")

@@ -1,0 +1,75 @@
+"""Unit tests for the canonical-profile hypothesis memo."""
+
+from repro.core.hypotheses import enumerate_and_score
+from repro.core.lockrefs import LockRef
+from repro.core.memo import HypothesisMemo, MemoStats, canonical_profile
+
+A = LockRef.es("lock_a", "pair")
+B = LockRef.es("lock_b", "pair")
+G = LockRef.global_("g_lock")
+
+
+def profile():
+    return [((A, B), 12), ((A,), 3), ((), 1)]
+
+
+def test_memoized_result_equals_direct():
+    memo = HypothesisMemo()
+    assert memo.enumerate_and_score(profile()) == enumerate_and_score(profile())
+
+
+def test_shared_profile_targets_share_hypotheses():
+    """Two targets with equal (lockseq, count) multisets must get the
+    *same* hypothesis list — one computation, one hit."""
+    memo = HypothesisMemo()
+    first = memo.enumerate_and_score(profile())
+    second = memo.enumerate_and_score(profile())
+    assert first is second  # shared, not merely equal
+    assert memo.stats.hits == 1
+    assert memo.stats.misses == 1
+    assert memo.stats.hit_rate == 0.5
+
+
+def test_canonical_profile_is_order_insensitive():
+    shuffled = [((), 1), ((A, B), 12), ((A,), 3)]
+    assert canonical_profile(shuffled) == canonical_profile(profile())
+    memo = HypothesisMemo()
+    assert memo.enumerate_and_score(profile()) is memo.enumerate_and_score(
+        shuffled
+    )
+
+
+def test_distinct_profiles_do_not_collide():
+    memo = HypothesisMemo()
+    one = memo.enumerate_and_score([((A,), 5)])
+    other = memo.enumerate_and_score([((B,), 5)])
+    assert one is not other
+    assert memo.stats.misses == 2
+    # Different max_locks is a different key too.
+    memo.enumerate_and_score([((A, B), 5)], max_locks=1)
+    memo.enumerate_and_score([((A, B), 5)], max_locks=2)
+    assert memo.stats.misses == 4
+
+
+def test_seeded_entries_count_as_miss_once():
+    """Parallel prescoring seeds the cache; the first consuming lookup
+    must count as a miss (matching what a serial run would record) and
+    later lookups as hits."""
+    memo = HypothesisMemo()
+    prof = canonical_profile(profile())
+    memo.seed(prof, 4, enumerate_and_score(list(prof)))
+    memo.enumerate_and_score(profile())
+    assert (memo.stats.hits, memo.stats.misses) == (0, 1)
+    memo.enumerate_and_score(profile())
+    assert (memo.stats.hits, memo.stats.misses) == (1, 1)
+
+
+def test_stats_merge():
+    stats = MemoStats(hits=3, misses=1)
+    stats.merge(MemoStats(hits=1, misses=3))
+    assert stats.lookups == 8
+    assert stats.hit_rate == 0.5
+
+
+def test_empty_stats_hit_rate():
+    assert MemoStats().hit_rate == 0.0

@@ -1,0 +1,152 @@
+"""Parallel-derivation parity: ``derive(jobs=N)`` must equal serial.
+
+The acceptance property of the parallel engine — same winners, same
+``s_a``/``s_r``, same hypothesis report order, same memo statistics —
+checked exactly over the benchmark mix, the planted-race workload, a
+fault-corrupted trace, and hypothesis-generated random tables.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.derivator import Derivator
+from repro.core.memo import HypothesisMemo
+from repro.core.observations import Observation, ObservationTable
+from repro.faults import COMPOSED_SPEC, FaultPlan
+from repro.core.lockrefs import LockRef
+from repro.db.health import ingest_events
+from repro.db.importer import ImportPolicy
+from repro.tracing import serialize
+from repro.workloads.racer import build_racer_registry, run_racer
+
+
+def assert_exact_parity(table, jobs=2, threshold=0.9):
+    serial = Derivator(threshold).derive(table)
+    parallel = Derivator(threshold).derive(table, jobs=jobs)
+    assert parallel == serial
+    # Belt and braces: make the compared dimensions explicit.
+    assert parallel.keys() == serial.keys()
+    for key in serial.keys():
+        s, p = serial.get(*key), parallel.get(*key)
+        assert p.winner == s.winner
+        assert p.rule.format() == s.rule.format()
+        assert [(h.rule, h.s_a, h.s_r) for h in p.hypotheses] == [
+            (h.rule, h.s_a, h.s_r) for h in s.hypotheses
+        ]
+        assert p.selection.candidates == s.selection.candidates
+    # The memo dedup partitions the parallel work, so even the hit/miss
+    # statistics match a serial run.
+    assert parallel.memo_stats == serial.memo_stats
+    return serial
+
+
+def test_mix_parallel_equals_serial(pipeline):
+    result = assert_exact_parity(pipeline.table, jobs=2)
+    assert result.memo_stats.hits > 0  # sharing actually happened
+
+
+def test_mix_four_jobs_equals_serial(pipeline):
+    assert_exact_parity(pipeline.table, jobs=4)
+
+
+def test_racer_parallel_equals_serial():
+    racer = run_racer(seed=0, scale=1.0)
+    table = ObservationTable.from_database(racer.to_database())
+    assert_exact_parity(table, jobs=2)
+    # The public API route too.
+    assert racer.derive(0.9, jobs=2) == racer.derive(0.9)
+
+
+def test_fault_corrupted_trace_parallel_equals_serial():
+    """Parity must survive quarantined/healed observations, not just
+    clean traces."""
+    tracer = run_racer(seed=0, scale=1.0).tracer
+    text = serialize.dumps_events_text(
+        list(tracer.events), serialize.stacks_of(tracer)
+    )
+    mutated = FaultPlan.from_spec(COMPOSED_SPEC, seed=1).corrupt_text(text)
+    report = serialize.loads_text_lenient(mutated)
+    db, _health = ingest_events(
+        report.events,
+        report.stacks,
+        build_racer_registry(),
+        None,
+        ImportPolicy(lenient=True, max_malformed_fraction=1.0),
+        parse_report=report,
+    )
+    table = ObservationTable.from_database(db)
+    assert table.total > 0
+    assert_exact_parity(table, jobs=2)
+
+
+def test_shared_memo_across_thresholds(pipeline):
+    """A caller-supplied memo is reused across derive() calls."""
+    memo = HypothesisMemo()
+    first = Derivator(0.9).derive(pipeline.table, memo=memo)
+    lookups = memo.stats.lookups
+    misses_after_first = memo.stats.misses
+    second = Derivator(0.5).derive(pipeline.table, memo=memo)
+    # Second pass recomputed nothing: every lookup hit the shared cache.
+    assert memo.stats.lookups == 2 * lookups
+    assert memo.stats.misses == misses_after_first
+    # Thresholds differ, so selections may differ — but every target
+    # scored the same hypotheses.
+    for key in first.keys():
+        assert [h for h in second.get(*key).hypotheses] == [
+            h for h in first.get(*key).hypotheses
+        ]
+
+
+# ----------------------------------------------------------------------
+# Property test: random tables
+# ----------------------------------------------------------------------
+
+_LOCKS = (
+    LockRef.es("lock_a", "pair"),
+    LockRef.es("lock_b", "pair"),
+    LockRef.global_("g_lock"),
+    LockRef.global_("rcu", mode="r"),
+)
+
+_lockseq = st.lists(
+    st.sampled_from(_LOCKS), max_size=3, unique=True
+).map(tuple)
+
+
+@st.composite
+def _tables(draw):
+    table = ObservationTable()
+    n_members = draw(st.integers(min_value=1, max_value=4))
+    for m in range(n_members):
+        member = f"m{m}"
+        seqs = draw(st.lists(_lockseq, min_size=1, max_size=5))
+        for i, seq in enumerate(seqs):
+            table._append(
+                Observation(
+                    txn_id=i,
+                    alloc_id=1,
+                    type_key="pair",
+                    member=member,
+                    access_type=draw(st.sampled_from(["r", "w"])),
+                    lockseq=seq,
+                    accesses=(),
+                )
+            )
+    return table
+
+
+@settings(max_examples=8, deadline=None)
+@given(table=_tables(), jobs=st.sampled_from([2, 3]))
+def test_random_tables_parallel_equals_serial(table, jobs):
+    assert_exact_parity(table, jobs=jobs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(table=_tables())
+def test_random_tables_memo_equals_unmemoized(table):
+    """Memoized serial derivation equals per-target unmemoized
+    derivation (derive_one without a memo)."""
+    derivator = Derivator(0.9)
+    memoized = derivator.derive(table)
+    for key in memoized.keys():
+        assert memoized.get(*key) == derivator.derive_one(table, *key)

@@ -76,6 +76,36 @@ def test_invalid_thresholds_rejected():
         Derivator(cutoff_threshold=-0.1)
 
 
+def test_naive_tie_breaks_towards_fewer_locks():
+    """Regression: select_naive used ``max`` over ascending keys, so
+    ties silently favoured *more* locks and the lexicographically-last
+    format — contradicting the strawman description."""
+    no_lock = Hypothesis(rule=LockingRule.no_lock(), s_a=10, total=10)
+    one = Hypothesis(rule=LockingRule.of(SEC), s_a=10, total=10)
+    two = Hypothesis(rule=LockingRule.of(SEC, MIN), s_a=10, total=10)
+    assert select_naive([two, one, no_lock]).rule.is_no_lock
+    # Without the no-lock rule, the shortest remaining rule wins.
+    assert select_naive([two, one]).rule == LockingRule.of(SEC)
+
+
+def test_naive_tie_breaks_lexicographically_first():
+    a = Hypothesis(rule=LockingRule.of(LockRef.global_("aaa")), s_a=5, total=5)
+    b = Hypothesis(rule=LockingRule.of(LockRef.global_("bbb")), s_a=5, total=5)
+    assert select_naive([b, a]).rule == a.rule
+    assert select_naive([a, b]).rule == a.rule
+
+
+def test_naive_is_order_insensitive():
+    hypotheses = clock_hypotheses()
+    expected = select_naive(hypotheses)
+    assert select_naive(list(reversed(hypotheses))) == expected
+    assert select_naive(sorted(hypotheses, key=lambda h: h.rule.format())) == expected
+
+
+def test_naive_empty_returns_none():
+    assert select_naive([]) is None
+
+
 def test_deterministic_on_full_tie():
     a = Hypothesis(rule=LockingRule.of(LockRef.global_("a")), s_a=10, total=10)
     b = Hypothesis(rule=LockingRule.of(LockRef.global_("b")), s_a=10, total=10)

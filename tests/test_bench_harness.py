@@ -1,0 +1,46 @@
+"""Smoke tests for the perf-benchmark harness (benchmarks/perf)."""
+
+import json
+
+from benchmarks.perf.baseline import derive_serial_baseline
+from benchmarks.perf.bench_derive import bench_workload, main
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.workloads.racer import run_racer
+
+
+def test_baseline_equals_new_engine():
+    table = ObservationTable.from_database(run_racer(seed=0).to_database())
+    derivator = Derivator(0.9)
+    assert derive_serial_baseline(derivator, table) == derivator.derive(table)
+
+
+def test_bench_workload_record_shape():
+    record, matches = bench_workload(
+        "fsstress", seed=0, scale=0.5, jobs=2, threshold=0.9, repeat=1
+    )
+    assert matches
+    assert record["parallel_matches_serial"]
+    assert record["serial_matches_baseline"]
+    assert record["targets"] > 0
+    assert 0.0 <= record["memo_hit_rate"] <= 1.0
+    assert record["speedup_vs_serial"] > 0
+    for field in ("trace_s", "import_s", "derive_baseline_s",
+                  "derive_serial_s", "derive_parallel_s", "targets_per_s"):
+        assert record[field] is not None
+
+
+def test_main_writes_json(tmp_path):
+    out = tmp_path / "BENCH_derive.json"
+    code = main([
+        "--scale", "0.5", "--jobs", "2", "--repeat", "1",
+        "--workloads", "fsstress", "--out", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "lockdoc-bench-derive/1"
+    assert "fsstress" in report["workloads"]
+
+
+def test_main_rejects_unknown_workload(tmp_path):
+    assert main(["--workloads", "nope", "--out", str(tmp_path / "x.json")]) == 2
