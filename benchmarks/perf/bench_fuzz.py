@@ -1,0 +1,133 @@
+"""Fuzzing-campaign benchmark: generations timed, coverage-per-second.
+
+Runs a fixed-seed coverage-guided campaign (``repro.fuzz``) against the
+benchmark-mix baseline and reports how fast the corpus buys new
+``(struct.member, access, lockset)`` pairs.  Results land in
+``BENCH_fuzz.json``::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_fuzz \
+        --generations 3 --population 8 --out BENCH_fuzz.json
+
+Exit status is 1 (and the ``fuzz-smoke`` CI job fails) if the campaign
+admits nothing, if per-generation coverage ever decreases, or if the
+acceptance-floor growth over the mix baseline is not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.fuzz.orchestrator import (
+    FuzzConfig,
+    FuzzOrchestrator,
+    baseline_coverage,
+    replay_corpus,
+)
+
+#: Bump on any change to the JSON layout.
+SCHEMA = "lockdoc-bench-fuzz/1"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run a fixed-seed fuzzing campaign; write BENCH_fuzz.json"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--generations", type=int, default=3)
+    parser.add_argument("--population", type=int, default=8)
+    parser.add_argument("--baseline-scale", type=float, default=1.0)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--min-growth", type=float, default=0.20,
+        help="required pair-coverage growth over the mix baseline",
+    )
+    parser.add_argument("--corpus-out", default=None, metavar="FILE",
+                        help="also save the final corpus JSON")
+    parser.add_argument("--out", default="BENCH_fuzz.json")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    baseline = baseline_coverage(args.seed, args.baseline_scale)
+    baseline_s = time.perf_counter() - t0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        generations=args.generations,
+        population=args.population,
+        baseline_scale=args.baseline_scale,
+        jobs=args.jobs,
+    )
+    t0 = time.perf_counter()
+    outcome = FuzzOrchestrator(config).run(baseline=baseline)
+    campaign_s = time.perf_counter() - t0
+
+    corpus = outcome.corpus
+    pair_curve = [r.pair_coverage for r in corpus.records]
+    func_curve = [r.function_coverage for r in corpus.records]
+    new_pairs = corpus.global_coverage.pair_count - baseline.pair_count
+    replay = replay_corpus(corpus)
+
+    report = {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "seed": args.seed,
+        "generations": args.generations,
+        "population": args.population,
+        "jobs": args.jobs,
+        "corpus_id": corpus.corpus_id,
+        "corpus_entries": len(corpus.entries),
+        "candidates": sum(r.candidates for r in corpus.records),
+        "rejected": corpus.rejected,
+        "baseline_pairs": baseline.pair_count,
+        "baseline_functions": baseline.function_count,
+        "pairs": corpus.global_coverage.pair_count,
+        "functions": corpus.global_coverage.function_count,
+        "pair_curve": pair_curve,
+        "function_curve": func_curve,
+        "pair_growth": round(outcome.pair_growth, 4),
+        "baseline_s": round(baseline_s, 4),
+        "campaign_s": round(campaign_s, 4),
+        "generation_wall_s": [round(r.wall_s, 4) for r in corpus.records],
+        "new_pairs_per_s": round(new_pairs / campaign_s, 2)
+        if campaign_s
+        else None,
+        "replay_identical": replay.identical,
+    }
+    with open(args.out, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    if args.corpus_out:
+        corpus.save(args.corpus_out)
+        print(f"wrote {args.corpus_out}")
+
+    print(
+        f"fuzz: entries={len(corpus.entries)} "
+        f"pairs={baseline.pair_count}->{corpus.global_coverage.pair_count} "
+        f"(+{outcome.pair_growth:.1%}) "
+        f"wall={campaign_s:.2f}s "
+        f"new_pairs/s={report['new_pairs_per_s']}"
+    )
+    print(f"wrote {args.out}")
+
+    errors = []
+    if not corpus.entries:
+        errors.append("no programs were admitted")
+    if pair_curve != sorted(pair_curve) or func_curve != sorted(func_curve):
+        errors.append("coverage decreased between generations")
+    if outcome.pair_growth < args.min_growth:
+        errors.append(
+            f"pair growth {outcome.pair_growth:.1%} below the "
+            f"{args.min_growth:.0%} floor"
+        )
+    if not replay.identical:
+        errors.append(f"replay diverged on entries {replay.mismatches}")
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,13 @@ Commands mirror the paper's pipeline and analysis tools:
 ``relations``  object-relation classification of EO rules (Sec. 8)
 ``health``     lenient ingestion + TraceHealth damage report
 ``corrupt``    apply a seeded fault plan to a saved trace file
+``fuzz``       coverage-guided workload fuzzing (run/replay/corpus/report)
 =============  =====================================================
+
+Trace-producing subcommands take ``--workload``, resolved through the
+central :mod:`repro.workloads.registry` — built-ins (``mix``,
+``racer``, ``racer-safe``) or a fuzzed corpus (``fuzz:<file>`` /
+``fuzz:<corpus-id>``).
 
 Every subcommand taking a file input exits with status 2 and a
 one-line ``error: ...`` on empty, unreadable or malformed inputs —
@@ -45,11 +51,19 @@ _EXPERIMENTS = (
 )
 
 
-def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+def _add_pipeline_args(
+    parser: argparse.ArgumentParser, workload_default: str = "mix"
+) -> None:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
         "--scale", type=float, default=experiments_common.DEFAULT_SCALE,
         help="workload scale factor",
+    )
+    parser.add_argument(
+        "--workload", default=workload_default, metavar="NAME",
+        help="trace source from the workload registry: mix, racer, "
+        "racer-safe, or fuzz:<corpus-file> "
+        f"(default: {workload_default})",
     )
 
 
@@ -118,21 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "lockorder", help="lock-order graph + ABBA candidates + cycles"
     )
     _add_pipeline_args(lockorder)
-    lockorder.add_argument(
-        "--workload", choices=("mix", "racer"), default="mix",
-        help="trace source: benchmark mix or the planted-race workload",
-    )
 
     races = sub.add_parser(
         "races", help="lockset + happens-before race detection"
     )
-    _add_pipeline_args(races)
+    _add_pipeline_args(races, workload_default="racer")
     _add_jobs_arg(races)
-    races.add_argument(
-        "--workload", choices=("mix", "racer", "racer-safe"), default="racer",
-        help="trace source: benchmark mix, planted-race workload, or its "
-        "race-free control variant",
-    )
     races.add_argument(
         "--examples", type=int, default=0,
         help="print details for the first N findings (default: racy only)",
@@ -190,12 +195,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     corrupt.add_argument("--seed", type=int, default=0, help="fault plan seed")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided workload fuzzing (repro.fuzz)"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="action", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a fuzzing campaign and save the corpus"
+    )
+    fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument(
+        "--generations", type=int, default=3, help="fuzzing generations"
+    )
+    fuzz_run.add_argument(
+        "--population", type=int, default=8, help="candidates per generation"
+    )
+    fuzz_run.add_argument(
+        "--baseline-scale", type=float, default=1.0,
+        help="scale of the seed (mix) workload the frontier starts from",
+    )
+    fuzz_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for candidate execution "
+        "(bit-identical to serial; default: serial)",
+    )
+    fuzz_run.add_argument(
+        "--out", default="corpus.json", help="corpus file to write"
+    )
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute a saved corpus, verify coverage bit-for-bit"
+    )
+    fuzz_replay.add_argument("corpus", help="corpus file from `fuzz run`")
+
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="inspect (and optionally minimize) a saved corpus"
+    )
+    fuzz_corpus.add_argument("corpus", help="corpus file from `fuzz run`")
+    fuzz_corpus.add_argument(
+        "--minimize", default="", metavar="FILE",
+        help="write a coverage-preserving minimal corpus to FILE",
+    )
+
+    fuzz_report = fuzz_sub.add_parser(
+        "report", help="mix-only vs mix+fuzz comparison report"
+    )
+    fuzz_report.add_argument("corpus", help="corpus file from `fuzz run`")
+    fuzz_report.add_argument("--seed", type=int, default=0)
+    fuzz_report.add_argument(
+        "--scale", type=float, default=1.0, help="mix scale for the comparison"
+    )
+    fuzz_report.add_argument("--threshold", type=float, default=0.9)
+    _add_jobs_arg(fuzz_report)
+
     return parser
+
+
+def _pipeline(args):
+    """The cached pipeline for the subcommand's (workload, seed, scale)."""
+    return experiments_common.get_pipeline(
+        args.seed, args.scale, workload=getattr(args, "workload", "mix")
+    )
 
 
 def _cmd_trace(args) -> int:
     from repro.tracing import serialize
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     tracer = pipeline.mix.tracer
     if args.output.endswith(".bin"):
         with open(args.output, "wb") as fp:
@@ -208,7 +273,7 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_derive(args) -> int:
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     derivation = pipeline.derive(args.threshold)
     if args.json:
         from repro.core.rulesio import rules_to_json
@@ -232,7 +297,7 @@ def _cmd_derive(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     results = check_rules(pipeline.table, documented_rules())
     rows = [
         [s.data_type, s.rules, s.unobserved, s.observed, s.correct,
@@ -247,14 +312,14 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_docgen(args) -> int:
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     derivation = pipeline.derive()
     print(generate_doc(derivation, args.type, DocOptions()))
     return 0
 
 
 def _cmd_violations(args) -> int:
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     derivation = pipeline.derive()
     violations = ViolationFinder(derivation, pipeline.table).find()
     rows = [
@@ -273,6 +338,15 @@ def _cmd_violations(args) -> int:
 def _cmd_experiment(args) -> int:
     import importlib
 
+    if args.workload != "mix":
+        # The paper tables are defined over the benchmark mix; use the
+        # ``stats``/``derive``/``races`` subcommands for other workloads.
+        print(
+            "error: experiments reproduce paper tables over the benchmark "
+            "mix and do not accept --workload",
+            file=sys.stderr,
+        )
+        return 2
     module = importlib.import_module(f"repro.experiments.{args.name}")
     if args.name in ("fig1", "tab1", "tab2"):
         result = module.run()
@@ -285,7 +359,10 @@ def _cmd_experiment(args) -> int:
 def _cmd_stats(args) -> int:
     from repro.experiments import stats as stats_mod
 
-    print(stats_mod.run(seed=args.seed, scale=args.scale).render())
+    result = stats_mod.run(
+        seed=args.seed, scale=args.scale, workload=args.workload
+    )
+    print(result.render())
     return 0
 
 
@@ -317,13 +394,7 @@ def _cmd_analyze(args) -> int:
 def _cmd_lockorder(args) -> int:
     from repro.core.lockorder import build_lock_order
 
-    if args.workload == "racer":
-        from repro.workloads.racer import run_racer
-
-        db = run_racer(seed=args.seed, scale=args.scale).to_database()
-    else:
-        db = experiments_common.get_pipeline(args.seed, args.scale).db
-    print(build_lock_order(db).render())
+    print(build_lock_order(_pipeline(args).db).render())
     return 0
 
 
@@ -331,7 +402,7 @@ def _cmd_races(args) -> int:
     from repro.analysis import detect_races
 
     if args.workload == "mix":
-        pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+        pipeline = _pipeline(args)
         events = pipeline.mix.tracer.events
         db = pipeline.db
         derivation = pipeline.derive(args.threshold)
@@ -351,7 +422,7 @@ def _cmd_races(args) -> int:
 def _cmd_docpatch(args) -> int:
     from repro.core.docdiff import build_doc_patch
 
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     patch = build_doc_patch(pipeline.derive(), documented_rules(), args.type)
     print(patch.render())
     return 0
@@ -360,7 +431,7 @@ def _cmd_docpatch(args) -> int:
 def _cmd_contention(args) -> int:
     from repro.core.contention import build_contention
 
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     report = build_contention(pipeline.mix.tracer.events, pipeline.db)
     print(report.render(limit=args.limit))
     return 0
@@ -369,7 +440,7 @@ def _cmd_contention(args) -> int:
 def _cmd_relations(args) -> int:
     from repro.core.relations import analyze_relations
 
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     report = analyze_relations(pipeline.derive(), pipeline.table, pipeline.db)
     print(report.render())
     return 0
@@ -378,7 +449,7 @@ def _cmd_relations(args) -> int:
 def _cmd_sql(args) -> int:
     from repro.db.sqlbackend import export_sqlite, table_counts
 
-    pipeline = experiments_common.get_pipeline(args.seed, args.scale)
+    pipeline = _pipeline(args)
     connection = export_sqlite(pipeline.db, args.output)
     counts = table_counts(connection)
     connection.close()
@@ -439,6 +510,75 @@ def _cmd_corrupt(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import Corpus, FuzzConfig, FuzzOrchestrator, replay_corpus
+    from repro.workloads.registry import register_corpus
+
+    if args.action == "run":
+        config = FuzzConfig(
+            seed=args.seed,
+            generations=args.generations,
+            population=args.population,
+            baseline_scale=args.baseline_scale,
+            jobs=args.jobs,
+        )
+        outcome = FuzzOrchestrator(config, progress=print).run()
+        corpus = outcome.corpus
+        corpus.save(args.out)
+        name = register_corpus(corpus)
+        print(
+            f"wrote {args.out}: {len(corpus.entries)} programs, "
+            f"{corpus.global_coverage.pair_count} pairs "
+            f"(+{outcome.pair_growth:.1%} over the mix baseline)"
+        )
+        print(f"registered as workload {name!r} "
+              f"(also runnable as fuzz:{args.out})")
+        return 0
+
+    corpus = Corpus.load(args.corpus)
+    if args.action == "replay":
+        result = replay_corpus(corpus)
+        status = "identical" if result.identical else "DIVERGED"
+        print(
+            f"replayed {result.entries} programs: coverage {status} "
+            f"({result.pair_coverage} pairs)"
+        )
+        if not result.identical:
+            print(f"mismatching entries: {result.mismatches}", file=sys.stderr)
+            return 1
+        return 0
+    if args.action == "corpus":
+        rows = [
+            [e.entry_id, e.generation, len(e.program.threads),
+             e.program.op_count, e.novel.pair_count, e.novel.function_count,
+             f"{e.energy:.0f}"]
+            for e in corpus.entries
+        ]
+        print(render_table(
+            ["id", "gen", "threads", "ops", "new pairs", "new funcs", "energy"],
+            rows,
+            title=f"corpus {corpus.corpus_id} "
+            f"({corpus.global_coverage.pair_count} pairs total)",
+        ))
+        if args.minimize:
+            minimized = corpus.minimize()
+            minimized.save(args.minimize)
+            print(
+                f"minimized {len(corpus.entries)} -> "
+                f"{len(minimized.entries)} programs, wrote {args.minimize}"
+            )
+        return 0
+    # report
+    from repro.fuzz.report import build_fuzz_report
+
+    report = build_fuzz_report(
+        corpus, seed=args.seed, scale=args.scale,
+        threshold=args.threshold, jobs=args.jobs,
+    )
+    print(report.render())
+    return 0
+
+
 _HANDLERS = {
     "trace": _cmd_trace,
     "derive": _cmd_derive,
@@ -456,6 +596,7 @@ _HANDLERS = {
     "relations": _cmd_relations,
     "health": _cmd_health,
     "corrupt": _cmd_corrupt,
+    "fuzz": _cmd_fuzz,
 }
 
 

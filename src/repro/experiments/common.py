@@ -17,12 +17,13 @@ from repro.core.derivator import DerivationResult, Derivator
 from repro.core.observations import ObservationTable
 from repro.core.selection import DEFAULT_ACCEPT_THRESHOLD
 from repro.db.database import TraceDatabase
-from repro.workloads.mix import BenchmarkMix, MixResult
+from repro.workloads import registry
 
 #: Default workload scale for experiments; large enough for stable
 #: statistics, small enough for a laptop-scale pytest run.
 DEFAULT_SCALE = 18.0
 DEFAULT_SEED = 0
+DEFAULT_WORKLOAD = "mix"
 
 #: Process-level default for derivation worker processes (``--jobs``).
 #: None means serial.  Parallel and serial derivation produce identical
@@ -42,14 +43,20 @@ def get_default_jobs() -> Optional[int]:
 
 @dataclass
 class Pipeline:
-    """One fully processed benchmark run."""
+    """One fully processed workload run.
+
+    ``mix`` keeps its historical name but holds whichever registered
+    workload's run result the pipeline was built from (the common
+    contract: ``.tracer`` + ``.to_database()``).
+    """
 
     seed: int
     scale: float
-    mix: MixResult
+    mix: object  # run result of the selected workload
     db: TraceDatabase
     table: ObservationTable  # subclass-split (the paper's default)
     merged_table: ObservationTable  # subclasses merged (checker view)
+    workload: str = DEFAULT_WORKLOAD
     _derivations: Dict[float, DerivationResult] = field(default_factory=dict)
 
     def derive(
@@ -69,25 +76,33 @@ class Pipeline:
         return result
 
 
-_CACHE: Dict[Tuple[int, float], Pipeline] = {}
+_CACHE: Dict[Tuple[str, int, float], Pipeline] = {}
 
 
 def get_pipeline(
-    seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    workload: str = DEFAULT_WORKLOAD,
 ) -> Pipeline:
-    """The cached pipeline for ``(seed, scale)``."""
-    key = (seed, scale)
+    """The cached pipeline for ``(workload, seed, scale)``.
+
+    *workload* is any name the registry resolves — a built-in
+    (``mix``, ``racer``, ``racer-safe``) or a fuzzed corpus
+    (``fuzz:<corpus-id>`` / ``fuzz:<path>``).
+    """
+    key = (workload, seed, scale)
     pipeline = _CACHE.get(key)
     if pipeline is None:
-        mix = BenchmarkMix(seed=seed, scale=scale).run()
-        db = mix.to_database()
+        result = registry.run(workload, seed=seed, scale=scale)
+        db = result.to_database()
         pipeline = Pipeline(
             seed=seed,
             scale=scale,
-            mix=mix,
+            mix=result,
             db=db,
             table=ObservationTable.from_database(db, split_subclasses=True),
             merged_table=ObservationTable.from_database(db, split_subclasses=False),
+            workload=workload,
         )
         _CACHE[key] = pipeline
     return pipeline

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.report import render_table
-from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, get_pipeline
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    DEFAULT_WORKLOAD,
+    get_pipeline,
+)
 
 
 @dataclass
@@ -37,9 +42,13 @@ class StatsResult:
         return render_table(["metric", "value"], rows, title="Sec. 7.2 — trace statistics")
 
 
-def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> StatsResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    workload: str = DEFAULT_WORKLOAD,
+) -> StatsResult:
     """Regenerate this experiment; see the module docstring for the paper reference."""
-    pipeline = get_pipeline(seed, scale)
+    pipeline = get_pipeline(seed, scale, workload)
     trace_stats = pipeline.mix.tracer.stats
     return StatsResult(
         trace={

@@ -1,0 +1,42 @@
+"""``repro.fuzz`` — coverage-guided workload fuzzing.
+
+Reproduces the feedback-driven fuzzing loop of the LockDoc follow-up
+(*Improving Linux-Kernel Tests for LockDoc with Feedback-driven
+Fuzzing*, Lochmann et al. 2020) on the simulated kernel:
+
+* :mod:`repro.fuzz.program`      — the :class:`SyscallProgram` IR
+* :mod:`repro.fuzz.mutate`       — mutation/crossover operators
+* :mod:`repro.fuzz.feedback`     — the (member, access, lockset) signal
+* :mod:`repro.fuzz.corpus`       — AFL-style corpus + persistence
+* :mod:`repro.fuzz.orchestrator` — the generation loop + replay
+* :mod:`repro.fuzz.report`       — mix-only vs mix+fuzz comparison
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, GenerationRecord
+from repro.fuzz.feedback import CoverageMap, execute_program
+from repro.fuzz.mutate import mutate, random_program, splice
+from repro.fuzz.orchestrator import (
+    FuzzConfig,
+    FuzzOrchestrator,
+    FuzzOutcome,
+    replay_corpus,
+)
+from repro.fuzz.program import ProgramWorkload, SyscallOp, SyscallProgram
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "FuzzConfig",
+    "FuzzOrchestrator",
+    "FuzzOutcome",
+    "GenerationRecord",
+    "ProgramWorkload",
+    "SyscallOp",
+    "SyscallProgram",
+    "execute_program",
+    "mutate",
+    "random_program",
+    "replay_corpus",
+    "splice",
+]

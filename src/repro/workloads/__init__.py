@@ -20,5 +20,6 @@ simulated VFS through scheduler kthreads:
 
 from repro.workloads.base import Workload
 from repro.workloads.mix import BenchmarkMix, run_benchmark_mix
+from repro.workloads import registry
 
-__all__ = ["BenchmarkMix", "Workload", "run_benchmark_mix"]
+__all__ = ["BenchmarkMix", "Workload", "registry", "run_benchmark_mix"]

@@ -97,7 +97,10 @@ class BenchmarkMix:
                 scheduler.spawn(name, body)
         self._add_irq_sources(world, scheduler)
         # Subclass-only stress: hit every inode subclass at least a bit.
-        scheduler.spawn("subclass-sweep", _subclass_sweep(world, self._iterations(40)))
+        scheduler.spawn(
+            "subclass-sweep",
+            _subclass_sweep(world, self._iterations(40), self.seed + 12345),
+        )
         steps = scheduler.run()
         return MixResult(world=world, scheduler=scheduler, steps=steps)
 
@@ -127,14 +130,14 @@ class BenchmarkMix:
         scheduler.add_irq_source("blk-hardirq", hardirq_body, rate=self.irq_rate)
 
 
-def _subclass_sweep(world: VfsWorld, iterations: int):
+def _subclass_sweep(world: VfsWorld, iterations: int, seed: int = 12345):
     """A thread that exercises inodes of every mounted subclass, so the
     Tab. 6 per-subclass rows all have observations."""
 
     def run(ctx: ExecutionContext) -> Generator:
         from repro.kernel.vfs import inode as iops
 
-        rng = random.Random(12345)
+        rng = random.Random(seed)
         fstypes = list(world.supers)
         for index in range(iterations):
             fstype = fstypes[index % len(fstypes)]

@@ -1,0 +1,175 @@
+"""Central workload registry.
+
+Every trace source the pipeline can run — the benchmark mix, the
+planted-race workloads, fuzzed corpora — is registered here under a
+name, replacing the ad-hoc ``--workload`` string dispatch that used to
+live in ``cli.py`` and ``experiments/common.py``.
+
+A **factory** takes ``(seed, scale)`` and returns a run result
+honouring the common contract: a ``.tracer`` property (the recorded
+event stream) and a ``.to_database()`` method (the imported trace).
+:class:`~repro.workloads.mix.MixResult` and
+:class:`~repro.workloads.racer.RacerResult` already do.
+
+Fuzzed corpora are addressable two ways:
+
+* ``fuzz:<path>`` — load the corpus JSON at *path* on demand,
+* ``fuzz:<corpus-id>`` — a corpus previously registered in-process via
+  :func:`register_corpus` (the ``fuzz run`` CLI does this).
+
+so every existing subcommand (``derive``, ``races``, ``stats``, ...)
+can run a fuzzed corpus like any other workload.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.db.database import TraceDatabase
+
+#: factory(seed, scale) -> result with ``.tracer`` / ``.to_database()``.
+WorkloadFactory = Callable[[int, float], object]
+
+_PREFIX_FUZZ = "fuzz:"
+
+_REGISTRY: Dict[str, WorkloadFactory] = {}
+_HELP: Dict[str, str] = {}
+
+
+def register(name: str, factory: WorkloadFactory, help: str = "") -> None:
+    """Register (or replace) a named workload factory."""
+    _REGISTRY[name] = factory
+    _HELP[name] = help
+
+
+def available() -> List[str]:
+    """Registered workload names (without dynamic ``fuzz:<path>``)."""
+    return sorted(_REGISTRY)
+
+
+def describe() -> Dict[str, str]:
+    return {name: _HELP.get(name, "") for name in available()}
+
+
+def resolve(name: str) -> WorkloadFactory:
+    """The factory for *name*; understands the ``fuzz:`` prefix."""
+    factory = _REGISTRY.get(name)
+    if factory is not None:
+        return factory
+    if name.startswith(_PREFIX_FUZZ):
+        ref = name[len(_PREFIX_FUZZ):]
+        if os.path.exists(ref):
+            return _corpus_factory_from_path(ref)
+        raise ValueError(
+            f"unknown fuzz corpus {ref!r}: not a registered corpus id and "
+            f"not a corpus file"
+        )
+    raise ValueError(
+        f"unknown workload {name!r} (available: {', '.join(available())}, "
+        f"or fuzz:<corpus-file>)"
+    )
+
+
+def run(name: str, seed: int = 0, scale: float = 1.0):
+    """Resolve and run a workload in one step."""
+    return resolve(name)(seed, scale)
+
+
+# ----------------------------------------------------------------------
+# Built-in workloads
+# ----------------------------------------------------------------------
+
+def _mix_factory(seed: int, scale: float):
+    from repro.workloads.mix import BenchmarkMix
+
+    return BenchmarkMix(seed=seed, scale=scale).run()
+
+
+def _racer_factory(seed: int, scale: float):
+    from repro.workloads.racer import run_racer
+
+    return run_racer(seed=seed, scale=scale, racy=True)
+
+
+def _racer_safe_factory(seed: int, scale: float):
+    from repro.workloads.racer import run_racer
+
+    return run_racer(seed=seed, scale=scale, racy=False)
+
+
+register("mix", _mix_factory, "the paper's full benchmark mix (Sec. 7.1)")
+register("racer", _racer_factory, "planted-race ground-truth workload")
+register("racer-safe", _racer_safe_factory, "race-free racer control variant")
+
+
+# ----------------------------------------------------------------------
+# Fuzzed corpora as first-class workloads
+# ----------------------------------------------------------------------
+
+@dataclass
+class CorpusRunResult:
+    """A fuzzed corpus executed as one combined workload."""
+
+    world: object
+    scheduler: object
+    steps: int
+
+    @property
+    def tracer(self):
+        return self.world.rt.tracer
+
+    def to_database(self) -> TraceDatabase:
+        from repro.db.importer import import_tracer
+        from repro.kernel.vfs.groundtruth import build_filter_config
+
+        return import_tracer(
+            self.tracer, self.world.rt.structs, build_filter_config()
+        )
+
+
+def _run_corpus(corpus, seed: int, scale: float) -> CorpusRunResult:
+    """Spawn every corpus program's threads into one world/scheduler.
+
+    ``scale`` repeats the corpus programs ``max(1, int(scale))`` times,
+    so deeper statistics remain reachable like with other workloads.
+    """
+    from repro.kernel import reset_id_counters
+    from repro.kernel.sched import Scheduler
+    from repro.kernel.vfs.fs import VfsWorld
+
+    reset_id_counters()
+    world = VfsWorld(seed=seed)
+    world.boot()
+    scheduler = Scheduler(world.rt, seed=seed + 1)
+    repeats = max(1, int(scale))
+    for repeat in range(repeats):
+        for index, entry in enumerate(corpus.entries):
+            for name, body in entry.program.compile(world):
+                scheduler.spawn(f"corpus/{repeat}/{index}/{name}", body)
+    steps = scheduler.run()
+    return CorpusRunResult(world=world, scheduler=scheduler, steps=steps)
+
+
+def _corpus_factory_from_path(path: str) -> WorkloadFactory:
+    from repro.fuzz.corpus import Corpus
+
+    corpus = Corpus.load(path)
+
+    def factory(seed: int, scale: float) -> CorpusRunResult:
+        return _run_corpus(corpus, seed, scale)
+
+    return factory
+
+
+def register_corpus(corpus, name: Optional[str] = None) -> str:
+    """Register a loaded corpus under ``fuzz:<corpus-id>`` (or *name*);
+    returns the registered name."""
+    registered = name or f"{_PREFIX_FUZZ}{corpus.corpus_id}"
+    register(
+        registered,
+        lambda seed, scale: _run_corpus(corpus, seed, scale),
+        f"fuzzed corpus ({len(corpus.entries)} programs)",
+    )
+    return registered

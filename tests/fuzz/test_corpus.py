@@ -1,0 +1,133 @@
+"""Corpus management: admission, energy, minimization, persistence."""
+
+import json
+import random
+
+import pytest
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, GenerationRecord
+from repro.fuzz.feedback import CoverageMap
+from repro.fuzz.mutate import random_program
+
+
+def _cov(*pairs, functions=()):
+    return CoverageMap(
+        pairs=frozenset(("t", f"m{p}", "r", "-") for p in pairs),
+        functions=frozenset((f"fn{f}", "fs/x.c") for f in functions),
+    )
+
+
+def _program(seed):
+    return random_program(random.Random(seed))
+
+
+def test_admit_keeps_only_novel_coverage():
+    corpus = Corpus(baseline=_cov(1, 2), seed=0)
+    assert corpus.admit(_program(0), _cov(1, 2, 3), generation=0) is not None
+    # Same coverage again: nothing new, rejected.
+    assert corpus.admit(_program(1), _cov(1, 2, 3), generation=0) is None
+    assert corpus.rejected == 1
+    assert len(corpus.entries) == 1
+
+
+def test_admit_counts_function_novelty_too():
+    corpus = Corpus(baseline=_cov(1), seed=0)
+    entry = corpus.admit(_program(0), _cov(1, functions=(7,)), generation=0)
+    assert entry is not None
+    assert entry.novel.function_count == 1
+    assert entry.novel.pair_count == 0
+
+
+def test_energy_rewards_pairs_over_functions():
+    corpus = Corpus(baseline=CoverageMap(), seed=0)
+    pair_entry = corpus.admit(_program(0), _cov(1, 2), generation=0)
+    func_entry = corpus.admit(
+        _program(1), _cov(1, 2, functions=(1, 2)), generation=0
+    )
+    assert pair_entry.energy == 4.0  # 2 pairs * 2
+    assert func_entry.energy == 2.0  # 2 functions * 1
+
+
+def test_select_is_energy_weighted_and_deterministic():
+    corpus = Corpus(baseline=CoverageMap(), seed=0)
+    corpus.admit(_program(0), _cov(*range(30)), generation=0)
+    corpus.admit(_program(1), _cov(*range(30), 31), generation=0)
+    picks = [corpus.select(random.Random(4)).entry_id for _ in range(5)]
+    assert picks == [corpus.select(random.Random(4)).entry_id for _ in range(5)]
+    # The high-energy first entry dominates selection.
+    histogram = [corpus.select(random.Random(i)).entry_id for i in range(100)]
+    assert histogram.count(0) > histogram.count(1)
+
+
+def test_select_empty_corpus_raises():
+    with pytest.raises(ValueError):
+        Corpus(baseline=CoverageMap(), seed=0).select(random.Random(0))
+
+
+def test_minimize_preserves_global_coverage():
+    corpus = Corpus(baseline=_cov(0), seed=0)
+    corpus.admit(_program(0), _cov(0, 1), generation=0)
+    corpus.admit(_program(1), _cov(0, 1, 2, 3, 4), generation=0)  # superset
+    corpus.admit(_program(2), _cov(5), generation=1)
+    smaller = corpus.minimize()
+    assert smaller.global_coverage.pairs >= corpus.global_coverage.pairs
+    assert smaller.global_coverage.functions >= corpus.global_coverage.functions
+    # Entry 0 is redundant (entry 1 covers it) and must be dropped.
+    assert len(smaller.entries) == 2
+    assert [e.entry_id for e in smaller.entries] == [0, 1]
+
+
+def test_corpus_json_round_trip(tmp_path):
+    corpus = Corpus(baseline=_cov(1), seed=9)
+    corpus.admit(_program(0), _cov(1, 2, functions=(3,)), generation=0)
+    corpus.records.append(
+        GenerationRecord(
+            generation=0, candidates=8, admitted=1,
+            pair_coverage=2, function_coverage=1, wall_s=0.5,
+        )
+    )
+    path = tmp_path / "corpus.json"
+    corpus.save(str(path))
+    loaded = Corpus.load(str(path))
+    assert loaded.to_dict() == corpus.to_dict()
+    assert loaded.corpus_id == corpus.corpus_id
+    assert loaded.global_coverage == corpus.global_coverage
+    # Saving the loaded corpus is byte-stable.
+    second = tmp_path / "again.json"
+    loaded.save(str(second))
+    assert second.read_text() == path.read_text()
+
+
+def test_corpus_id_depends_on_programs_and_seed():
+    empty_a = Corpus(baseline=CoverageMap(), seed=0)
+    empty_b = Corpus(baseline=CoverageMap(), seed=1)
+    assert empty_a.corpus_id != empty_b.corpus_id
+    grown = Corpus(baseline=CoverageMap(), seed=0)
+    grown.admit(_program(0), _cov(1), generation=0)
+    assert grown.corpus_id != empty_a.corpus_id
+
+
+def test_load_rejects_malformed_json(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        Corpus.load(str(bad))
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    bad = tmp_path / "schema.json"
+    bad.write_text(json.dumps({"schema": "something-else/9"}))
+    with pytest.raises(ValueError):
+        Corpus.load(str(bad))
+
+
+def test_entry_round_trip():
+    entry = CorpusEntry(
+        entry_id=3,
+        program=_program(0),
+        coverage=_cov(1, 2),
+        novel=_cov(2),
+        generation=1,
+        energy=2.0,
+    )
+    assert CorpusEntry.from_dict(entry.to_dict()) == entry

@@ -1,0 +1,69 @@
+"""Mutation/crossover operators: bounds, validity, determinism."""
+
+import random
+
+from repro.fuzz.mutate import (
+    MAX_OPS_PER_THREAD,
+    MAX_THREADS,
+    mutate,
+    random_program,
+    splice,
+)
+from repro.fuzz.program import SyscallProgram
+
+
+def _assert_valid(program: SyscallProgram) -> None:
+    assert 1 <= len(program.threads) <= MAX_THREADS
+    for thread in program.threads:
+        assert 1 <= len(thread) <= MAX_OPS_PER_THREAD
+    # Round-tripping re-runs SyscallOp validation on every op.
+    assert SyscallProgram.from_dict(program.to_dict()) == program
+
+
+def test_random_program_respects_bounds():
+    rng = random.Random(0)
+    for _ in range(50):
+        _assert_valid(random_program(rng))
+
+
+def test_mutate_preserves_validity():
+    rng = random.Random(1)
+    program = random_program(rng)
+    for _ in range(200):
+        program = mutate(program, rng)
+        _assert_valid(program)
+
+
+def test_mutate_does_not_alias_parent():
+    rng = random.Random(2)
+    parent = random_program(rng)
+    snapshot = parent.to_dict()
+    for _ in range(50):
+        mutate(parent, rng)
+    assert parent.to_dict() == snapshot
+
+
+def test_mutate_is_deterministic_for_same_rng_seed():
+    parent = random_program(random.Random(3))
+    first = [mutate(parent, random.Random(9)) for _ in range(5)]
+    second = [mutate(parent, random.Random(9)) for _ in range(5)]
+    assert [p.to_dict() for p in first] == [p.to_dict() for p in second]
+
+
+def test_mutate_eventually_changes_the_program():
+    rng = random.Random(4)
+    parent = random_program(rng)
+    assert any(mutate(parent, rng).key() != parent.key() for _ in range(20))
+
+
+def test_splice_combines_both_parents():
+    rng = random.Random(5)
+    first = random_program(rng)
+    second = random_program(rng)
+    child = splice(first, second, rng)
+    _assert_valid(child)
+    parent_keys = {first.key(), second.key()}
+    # The child is a valid program regardless; over several trials it
+    # must produce genuinely new material, not clone a parent.
+    children = [splice(first, second, random.Random(i)) for i in range(10)]
+    assert any(c.key() not in parent_keys for c in children)

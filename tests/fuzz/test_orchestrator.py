@@ -1,0 +1,103 @@
+"""Campaign-level behaviour: determinism, growth, replay, registry."""
+
+import pytest
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.orchestrator import (
+    FuzzConfig,
+    FuzzOrchestrator,
+    baseline_coverage,
+    replay_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return baseline_coverage(seed=0, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def outcome(baseline):
+    config = FuzzConfig(seed=0, generations=3, population=8)
+    return FuzzOrchestrator(config).run(baseline=baseline)
+
+
+def _strip_wall(corpus: Corpus) -> dict:
+    data = corpus.to_dict()
+    for record in data["records"]:
+        record["wall_s"] = 0.0
+    return data
+
+
+def test_campaign_admits_programs_and_records_generations(outcome):
+    assert outcome.corpus.entries
+    assert len(outcome.corpus.records) == 3
+    assert all(r.candidates == 8 for r in outcome.corpus.records)
+
+
+def test_coverage_is_monotonically_non_decreasing(outcome):
+    pair_curve = [r.pair_coverage for r in outcome.corpus.records]
+    func_curve = [r.function_coverage for r in outcome.corpus.records]
+    assert pair_curve == sorted(pair_curve)
+    assert func_curve == sorted(func_curve)
+
+
+def test_acceptance_pair_growth_over_mix_baseline(outcome):
+    """ISSUE acceptance: fixed-seed 3-generation campaign grows pair
+    coverage >= 20% over the mix alone."""
+    assert outcome.pair_growth >= 0.20
+
+
+def test_campaign_is_deterministic(baseline, outcome):
+    again = FuzzOrchestrator(
+        FuzzConfig(seed=0, generations=3, population=8)
+    ).run(baseline=baseline)
+    assert _strip_wall(again.corpus) == _strip_wall(outcome.corpus)
+
+
+def test_parallel_campaign_matches_serial(baseline, outcome):
+    parallel = FuzzOrchestrator(
+        FuzzConfig(seed=0, generations=3, population=8, jobs=2)
+    ).run(baseline=baseline)
+    assert _strip_wall(parallel.corpus) == _strip_wall(outcome.corpus)
+
+
+def test_different_seed_changes_the_campaign(baseline, outcome):
+    other = FuzzOrchestrator(
+        FuzzConfig(seed=1, generations=3, population=8)
+    ).run(baseline=baseline)
+    assert _strip_wall(other.corpus) != _strip_wall(outcome.corpus)
+
+
+def test_replay_reproduces_coverage_bit_for_bit(outcome):
+    result = replay_corpus(outcome.corpus)
+    assert result.identical
+    assert result.mismatches == []
+    assert result.pair_coverage == outcome.corpus.global_coverage.pair_count
+
+
+def test_replay_detects_divergence(outcome):
+    from repro.fuzz.feedback import CoverageMap
+
+    broken = Corpus.from_dict(outcome.corpus.to_dict())
+    broken.entries[0].coverage = CoverageMap(
+        pairs=frozenset({("bogus", "m", "r", "-")})
+    )
+    result = replay_corpus(broken)
+    assert not result.identical
+    assert 0 in result.mismatches
+
+
+def test_corpus_registers_as_workload(outcome, tmp_path):
+    from repro.workloads import registry
+
+    name = registry.register_corpus(outcome.corpus)
+    assert name == f"fuzz:{outcome.corpus.corpus_id}"
+    result = registry.run(name, seed=0, scale=1)
+    db = result.to_database()
+    assert len(db.kept_accesses()) > 0
+
+    path = tmp_path / "corpus.json"
+    outcome.corpus.save(str(path))
+    by_path = registry.run(f"fuzz:{path}", seed=0, scale=1)
+    assert len(by_path.to_database().kept_accesses()) > 0

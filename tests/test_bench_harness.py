@@ -44,3 +44,32 @@ def test_main_writes_json(tmp_path):
 
 def test_main_rejects_unknown_workload(tmp_path):
     assert main(["--workloads", "nope", "--out", str(tmp_path / "x.json")]) == 2
+
+
+def test_bench_fuzz_writes_json_and_passes_floor(tmp_path):
+    from benchmarks.perf.bench_fuzz import main as fuzz_main
+
+    out = tmp_path / "BENCH_fuzz.json"
+    corpus = tmp_path / "corpus.json"
+    code = fuzz_main([
+        "--generations", "2", "--population", "4", "--min-growth", "0.0",
+        "--out", str(out), "--corpus-out", str(corpus),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "lockdoc-bench-fuzz/1"
+    assert report["corpus_entries"] >= 1
+    assert report["replay_identical"]
+    assert report["pair_curve"] == sorted(report["pair_curve"])
+    assert corpus.exists()
+
+
+def test_bench_fuzz_fails_on_unreachable_growth_floor(tmp_path):
+    from benchmarks.perf.bench_fuzz import main as fuzz_main
+
+    out = tmp_path / "BENCH_fuzz.json"
+    code = fuzz_main([
+        "--generations", "1", "--population", "2", "--min-growth", "9.9",
+        "--out", str(out),
+    ])
+    assert code == 1

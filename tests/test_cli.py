@@ -12,8 +12,8 @@ def small_pipeline(monkeypatch):
 
     original = common.get_pipeline
 
-    def tiny(seed=0, scale=None):
-        return original(seed, 1.0)
+    def tiny(seed=0, scale=None, workload=common.DEFAULT_WORKLOAD):
+        return original(seed, 1.0, workload)
 
     monkeypatch.setattr(common, "get_pipeline", tiny)
 

@@ -1,0 +1,52 @@
+"""End-to-end determinism: same seed, byte-identical trace.
+
+Every source of randomness in a workload must flow from the workload
+seed (satellite audit of ``workloads/*.py``): two runs with the same
+seed serialize to the exact same trace text, and a different seed
+produces a different trace.
+"""
+
+from repro.tracing import serialize
+from repro.workloads.mix import run_benchmark_mix
+from repro.workloads.racer import run_racer
+
+
+def _mix_trace_text(seed: int) -> str:
+    return serialize.dumps_text(run_benchmark_mix(seed=seed, scale=0.5).tracer)
+
+
+def test_mix_trace_is_byte_identical_for_same_seed():
+    assert _mix_trace_text(3) == _mix_trace_text(3)
+
+
+def test_mix_trace_differs_across_seeds():
+    assert _mix_trace_text(3) != _mix_trace_text(4)
+
+
+def test_subclass_sweep_is_seeded_from_mix_seed():
+    # The sweep thread's rng derives from the mix seed; with everything
+    # else equal, distinct seeds must still yield distinct sweeps (this
+    # regressed when the sweep used a fixed module-level constant).
+    from repro.workloads.mix import _subclass_sweep  # noqa: F401 (audit anchor)
+
+    assert _mix_trace_text(10) != _mix_trace_text(11)
+
+
+def test_racer_trace_is_byte_identical_for_same_seed():
+    first = serialize.dumps_text(run_racer(seed=5, scale=1.0, racy=True).tracer)
+    second = serialize.dumps_text(run_racer(seed=5, scale=1.0, racy=True).tracer)
+    assert first == second
+
+
+def test_fuzz_program_execution_is_deterministic():
+    import random
+
+    from repro.fuzz.feedback import execute_program
+    from repro.fuzz.mutate import random_program
+
+    program = random_program(random.Random(7))
+    first = execute_program(program)
+    second = execute_program(program)
+    assert first.coverage == second.coverage
+    assert first.events == second.events
+    assert first.steps == second.steps

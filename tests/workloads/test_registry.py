@@ -1,0 +1,90 @@
+"""Workload registry: resolution, contract, fuzz-corpus dispatch."""
+
+import pytest
+
+from repro.workloads import registry
+
+
+def test_builtins_are_registered():
+    names = registry.available()
+    assert {"mix", "racer", "racer-safe"} <= set(names)
+
+
+def test_describe_has_help_for_every_name():
+    described = registry.describe()
+    assert set(described) == set(registry.available())
+    assert described["mix"]
+
+
+def test_unknown_workload_raises_with_available_list():
+    with pytest.raises(ValueError, match="mix"):
+        registry.resolve("nope")
+
+
+def test_unknown_fuzz_corpus_raises():
+    with pytest.raises(ValueError, match="fuzz corpus"):
+        registry.resolve("fuzz:does-not-exist")
+
+
+def test_run_result_honours_common_contract():
+    result = registry.run("racer", seed=0, scale=1.0)
+    assert result.tracer.stats.total_events > 0
+    db = result.to_database()
+    assert len(db.kept_accesses()) > 0
+
+
+def test_register_and_replace():
+    calls = []
+
+    def factory(seed, scale):
+        calls.append((seed, scale))
+        return "sentinel"
+
+    registry.register("test-sentinel", factory, "test-only")
+    try:
+        assert registry.run("test-sentinel", seed=3, scale=2.0) == "sentinel"
+        assert calls == [(3, 2.0)]
+        assert registry.describe()["test-sentinel"] == "test-only"
+    finally:
+        # keep the global registry clean for other tests
+        registry._REGISTRY.pop("test-sentinel")
+        registry._HELP.pop("test-sentinel")
+
+
+def test_corpus_path_dispatch_and_scale_repeats(tmp_path):
+    import random
+
+    from repro.fuzz.corpus import Corpus
+    from repro.fuzz.feedback import CoverageMap, execute_program
+    from repro.fuzz.mutate import random_program
+
+    program = random_program(random.Random(0))
+    corpus = Corpus(baseline=CoverageMap(), seed=0)
+    corpus.admit(program, execute_program(program).coverage, generation=0)
+    path = tmp_path / "corpus.json"
+    corpus.save(str(path))
+
+    once = registry.run(f"fuzz:{path}", seed=0, scale=1)
+    twice = registry.run(f"fuzz:{path}", seed=0, scale=2)
+    assert twice.tracer.stats.total_events > once.tracer.stats.total_events
+
+
+def test_registered_corpus_name_resolves(tmp_path):
+    import random
+
+    from repro.fuzz.corpus import Corpus
+    from repro.fuzz.feedback import CoverageMap, execute_program
+    from repro.fuzz.mutate import random_program
+
+    program = random_program(random.Random(1))
+    corpus = Corpus(baseline=CoverageMap(), seed=1)
+    corpus.admit(program, execute_program(program).coverage, generation=0)
+    name = registry.register_corpus(corpus)
+    try:
+        assert name == f"fuzz:{corpus.corpus_id}"
+        assert name in registry.available()
+        result = registry.run(name, seed=0, scale=1)
+        assert result.to_database() is not None
+    finally:
+        registry._REGISTRY.pop(name)
+        registry._HELP.pop(name)
