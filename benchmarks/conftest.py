@@ -9,12 +9,21 @@ evaluation section.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import DEFAULT_SCALE, get_pipeline
 
 #: Benchmark-run workload scale (matches the experiments default).
 BENCH_SCALE = DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Session-private on-disk trace cache (hermetic benchmark runs)."""
+    os.environ["LOCKDOC_CACHE_DIR"] = str(tmp_path_factory.mktemp("trace-cache"))
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,301 @@
+"""Trace-path benchmark: generation throughput, cache, streaming import.
+
+Measures the three layers of the trace-path overhaul and gates each:
+
+* **generation** — events/s of the optimised tracer on the benchmark
+  mix vs the frozen pre-rewrite snapshot
+  (:mod:`benchmarks.perf.legacy_repro`); fails under
+  ``--min-speedup``.  Both tracers must produce byte-identical binary
+  dumps.
+* **cache** — cold vs warm wall time of an end-to-end ``lockdoc
+  derive`` against a throwaway cache directory; the warm run must stay
+  under ``--max-warm-fraction`` of the cold run, and a trace reloaded
+  from the cache must be byte-identical to fresh generation.
+* **streaming import** — peak traced-allocation bytes (a peak-RSS
+  proxy via :mod:`tracemalloc`) of importing the binary trace through
+  :func:`~repro.tracing.serialize.open_binary_stream` vs materializing
+  the event list first; the resulting observation tables must be
+  equal.
+
+Results land in ``BENCH_trace.json``::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_trace \
+        --scale 18 --out BENCH_trace.json
+
+Timed generation runs are best-of-``--repeat``, each preceded by a
+full ``gc.collect()`` — the optimised scheduler defers cycle
+collection past the run, so without the pre-run collect a later
+iteration pays the previous iteration's garbage inside its timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import io
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+from typing import Callable, Tuple
+
+import repro.kernel  # noqa: F401  (must initialize before repro.tracing)
+
+#: Bump on any change to the JSON layout.
+SCHEMA = "lockdoc-bench-trace/1"
+
+
+def _run_new(seed: int, scale: float):
+    from repro.workloads.mix import BenchmarkMix
+
+    return BenchmarkMix(seed=seed, scale=scale).run().tracer
+
+
+def _run_legacy(seed: int, scale: float):
+    from benchmarks.perf.legacy_repro.workloads.mix import (
+        BenchmarkMix as LegacyMix,
+    )
+
+    return LegacyMix(seed=seed, scale=scale).run().tracer
+
+
+def _time_generation(
+    run: Callable[[int, float], object], seed: int, scale: float, repeat: int
+) -> Tuple[float, object]:
+    """(best wall seconds, last tracer) over *repeat* timed runs."""
+    best = float("inf")
+    tracer = None
+    for _ in range(max(1, repeat)):
+        gc.collect()  # keep deferred garbage out of the timed region
+        t0 = time.perf_counter()
+        tracer = run(seed, scale)
+        best = min(best, time.perf_counter() - t0)
+    return best, tracer
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def bench_generation(seed: int, scale: float, repeat: int) -> dict:
+    import benchmarks.perf.legacy_repro.kernel  # noqa: F401  (import order)
+    from benchmarks.perf.legacy_repro.tracing.serialize import (
+        dumps_events_binary as legacy_dumps,
+        stacks_of as legacy_stacks_of,
+    )
+    from repro.tracing.serialize import dumps_events_binary, stacks_of
+
+    new_s, new_tracer = _time_generation(_run_new, seed, scale, repeat)
+    legacy_s, legacy_tracer = _time_generation(_run_legacy, seed, scale, repeat)
+    events = len(new_tracer.events)
+    new_dump = dumps_events_binary(new_tracer.events, stacks_of(new_tracer))
+    # The legacy events are the snapshot's own classes; its serializer
+    # writes the same byte format, so the dumps compare byte-for-byte.
+    legacy_dump = legacy_dumps(
+        legacy_tracer.events, legacy_stacks_of(legacy_tracer)
+    )
+    return {
+        "events": events,
+        "new_s": round(new_s, 4),
+        "legacy_s": round(legacy_s, 4),
+        "new_events_per_s": round(events / new_s, 1),
+        "legacy_events_per_s": round(len(legacy_tracer.events) / legacy_s, 1),
+        "speedup": round(legacy_s / new_s, 2),
+        "identical_to_legacy": new_dump == legacy_dump,
+        "trace_sha256": _sha256(new_dump),
+        "trace_bytes": len(new_dump),
+        "_dump": new_dump,  # stripped before writing the report
+    }
+
+
+def bench_cache(
+    seed: int, scale: float, fresh_dump: bytes, cache_dir: str
+) -> dict:
+    """Cold/warm end-to-end derive + cached-reload divergence gate."""
+    from repro import cache
+    from repro.tracing.serialize import dumps_events_binary, stacks_of
+
+    env = dict(os.environ, LOCKDOC_CACHE_DIR=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    command = [
+        sys.executable, "-m", "repro.cli", "derive",
+        "--seed", str(seed), "--scale", str(scale),
+    ]
+    timings = {}
+    for label in ("cold", "warm"):
+        t0 = time.perf_counter()
+        proc = subprocess.run(command, env=env, capture_output=True, text=True)
+        timings[label] = time.perf_counter() - t0
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{label} derive failed (rc {proc.returncode}): {proc.stderr}"
+            )
+
+    # Reload the trace the cold run cached and compare byte-for-byte
+    # against fresh in-process generation.
+    saved = os.environ.get("LOCKDOC_CACHE_DIR")
+    os.environ["LOCKDOC_CACHE_DIR"] = cache_dir
+    try:
+        run = cache.cached_run("mix", seed=seed, scale=scale)
+        served_from_cache = isinstance(run, cache.CachedRun)
+        reload_dump = dumps_events_binary(
+            run.tracer.events, stacks_of(run.tracer)
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("LOCKDOC_CACHE_DIR", None)
+        else:
+            os.environ["LOCKDOC_CACHE_DIR"] = saved
+    return {
+        "cold_s": round(timings["cold"], 4),
+        "warm_s": round(timings["warm"], 4),
+        "warm_fraction": round(timings["warm"] / timings["cold"], 4),
+        "served_from_cache": served_from_cache,
+        "reload_identical": reload_dump == fresh_dump,
+    }
+
+
+def bench_streaming(fresh_dump: bytes) -> dict:
+    """Streaming vs materialised import: peak memory proxy + equality."""
+    from repro.core.observations import ObservationTable
+    from repro.db.importer import Importer
+    from repro.tracing.serialize import load_binary, open_binary_stream
+    from repro.workloads.registry import database_inputs
+
+    def _import_materialized():
+        structs, filters = database_inputs("vfs")
+        events, stacks = load_binary(io.BytesIO(fresh_dump))
+        return Importer(structs, filters).run(events, stacks)
+
+    def _import_streaming():
+        structs, filters = database_inputs("vfs")
+        stream = open_binary_stream(io.BytesIO(fresh_dump))
+        return Importer(structs, filters).run(stream.events, stream.stacks)
+
+    peaks = {}
+    tables = {}
+    for label, importer in (
+        ("materialized", _import_materialized),
+        ("streaming", _import_streaming),
+    ):
+        gc.collect()
+        tracemalloc.start()
+        db = importer()
+        _, peaks[label] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tables[label] = ObservationTable.from_database(db, split_subclasses=True)
+
+    keys = list(tables["materialized"].keys())
+    equal = keys == list(tables["streaming"].keys()) and all(
+        tables["materialized"].sequences(*key)
+        == tables["streaming"].sequences(*key)
+        for key in keys
+    )
+    return {
+        "materialized_peak_bytes": peaks["materialized"],
+        "streaming_peak_bytes": peaks["streaming"],
+        "peak_ratio": round(peaks["streaming"] / peaks["materialized"], 4)
+        if peaks["materialized"]
+        else None,
+        "tables_equal": equal,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the trace path; write BENCH_trace.json"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=18.0)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail unless new/legacy generation speedup reaches this",
+    )
+    parser.add_argument(
+        "--max-warm-fraction", type=float, default=0.10,
+        help="fail unless warm derive wall time is at most this "
+        "fraction of cold (fixed interpreter startup dominates at very "
+        "small scales — relax there)",
+    )
+    parser.add_argument("--out", default="BENCH_trace.json")
+    args = parser.parse_args(argv)
+
+    generation = bench_generation(args.seed, args.scale, args.repeat)
+    fresh_dump = generation.pop("_dump")
+    print(
+        f"generation: {generation['events']} events, "
+        f"new={generation['new_s']:.3f}s "
+        f"legacy={generation['legacy_s']:.3f}s "
+        f"speedup={generation['speedup']}x "
+        f"identical={generation['identical_to_legacy']}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="lockdoc-bench-cache-") as tmp:
+        cache_rec = bench_cache(args.seed, args.scale, fresh_dump, tmp)
+    print(
+        f"cache: cold={cache_rec['cold_s']:.2f}s "
+        f"warm={cache_rec['warm_s']:.2f}s "
+        f"({cache_rec['warm_fraction']:.1%}) "
+        f"reload_identical={cache_rec['reload_identical']}"
+    )
+
+    streaming = bench_streaming(fresh_dump)
+    print(
+        f"streaming import: peak {streaming['streaming_peak_bytes'] / 1e6:.1f} MB "
+        f"vs materialized {streaming['materialized_peak_bytes'] / 1e6:.1f} MB "
+        f"({streaming['peak_ratio']:.0%}), tables_equal={streaming['tables_equal']}"
+    )
+
+    failures = []
+    if not generation["identical_to_legacy"]:
+        failures.append("optimised tracer diverged from the legacy snapshot")
+    if generation["speedup"] < args.min_speedup:
+        failures.append(
+            f"generation speedup {generation['speedup']}x below the "
+            f"{args.min_speedup}x floor"
+        )
+    if not cache_rec["reload_identical"]:
+        failures.append("cached trace reload diverged from fresh generation")
+    if not cache_rec["served_from_cache"]:
+        failures.append("second lookup was not served from the cache")
+    if cache_rec["warm_fraction"] > args.max_warm_fraction:
+        failures.append(
+            f"warm derive took {cache_rec['warm_fraction']:.1%} of cold "
+            f"(ceiling {args.max_warm_fraction:.0%})"
+        )
+    if not streaming["tables_equal"]:
+        failures.append("streaming import diverged from materialized import")
+
+    report = {
+        "schema": SCHEMA,
+        "seed": args.seed,
+        "scale": args.scale,
+        "repeat": args.repeat,
+        "python": sys.version.split()[0],
+        "generation": generation,
+        "cache": cache_rec,
+        "streaming": streaming,
+        "gates": {
+            "min_speedup": args.min_speedup,
+            "max_warm_fraction": args.max_warm_fraction,
+            "failures": failures,
+        },
+    }
+    with open(args.out, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Frozen pre-rewrite snapshot of the trace-generation path.
+
+This package is a verbatim copy (imports rewritten) of ``repro.kernel``,
+``repro.tracing``, and the workload modules as they stood before the
+PR-5 hot-loop rewrite.  ``benchmarks.perf.bench_trace`` runs it to
+measure the events/s speedup and to prove the optimised tracer's binary
+dump is byte-identical to the pre-rewrite one.  Never edit by hand
+beyond the mechanical import rewrite and the trimmed database stubs.
+"""

@@ -1,0 +1,1 @@
+"""Frozen leaf modules needed by the vfs op specs (lockrefs, rules)."""

@@ -1,0 +1,100 @@
+"""Locking rules and their compliance semantics.
+
+A locking rule specifies *a set of locks and a lock ordering* required
+for a read or write access to a data-structure member (Sec. 5.4).  An
+observation (the ordered lock references held during an access)
+**complies** with a rule iff every rule lock is held and the rule locks
+were taken in rule order — additional, interleaved locks are harmless:
+
+    rule  a -> b   vs.  held  a -> c -> b     => complies
+    rule  a -> b   vs.  held  b -> a          => violates (order)
+    rule  a -> b   vs.  held  a               => violates (b missing)
+
+i.e. the rule must be a *subsequence* of the held-lock sequence.
+The empty rule ("no lock needed") complies with every observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from benchmarks.perf.legacy_repro.core.lockrefs import LockRef, LockSeq, satisfies
+
+#: Separator used in the textual rule notation (matches Tab. 5).
+ARROW = " -> "
+
+
+@dataclass(frozen=True)
+class LockingRule:
+    """An ordered sequence of lock references; empty means "no lock"."""
+
+    locks: LockSeq = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.locks)) != len(self.locks):
+            raise ValueError(f"rule repeats a lock: {self.locks}")
+
+    @classmethod
+    def no_lock(cls) -> "LockingRule":
+        return cls(())
+
+    @classmethod
+    def of(cls, *locks: LockRef) -> "LockingRule":
+        return cls(tuple(locks))
+
+    @property
+    def is_no_lock(self) -> bool:
+        return not self.locks
+
+    def __len__(self) -> int:
+        return len(self.locks)
+
+    def format(self) -> str:
+        if not self.locks:
+            return "no lock needed"
+        return ARROW.join(ref.format() for ref in self.locks)
+
+    @classmethod
+    def parse(cls, text: str) -> "LockingRule":
+        """Inverse of :meth:`format`."""
+        text = text.strip()
+        if not text or text == "no lock needed":
+            return cls.no_lock()
+        refs = tuple(LockRef.parse(part) for part in text.split("->"))
+        return cls(refs)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def complies(observation: Sequence[LockRef], rule: LockingRule) -> bool:
+    """True iff *observation* (held locks in acquisition order) complies
+    with *rule* (subsequence semantics; see module docstring)."""
+    position = 0
+    needed = rule.locks
+    if not needed:
+        return True
+    for held in observation:
+        if satisfies(held, needed[position]):
+            position += 1
+            if position == len(needed):
+                return True
+    return False
+
+
+def support(
+    observations: Iterable[Tuple[LockSeq, int]], rule: LockingRule
+) -> Tuple[int, int]:
+    """Count rule support over ``(lock_sequence, count)`` pairs.
+
+    Returns ``(s_a, total)`` — the absolute support and the total number
+    of observations; relative support is ``s_a / total``.
+    """
+    absolute = 0
+    total = 0
+    for sequence, count in observations:
+        total += count
+        if complies(sequence, rule):
+            absolute += count
+    return absolute, total

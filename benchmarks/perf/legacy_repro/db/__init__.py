@@ -1,0 +1,1 @@
+"""Frozen leaf module needed by groundtruth (filters only)."""

@@ -1,0 +1,107 @@
+"""Import-time filters (paper Sec. 5.3).
+
+Three properties of real-world kernels would mislead naive rule
+derivation; the importer filters them out:
+
+1. **Init/teardown accesses** — objects under construction or
+   destruction are invisible to concurrent control flows and skip
+   locking deliberately.  A list of (de)initialization functions is
+   maintained; accesses with such a function on their call stack drop.
+2. **Out-of-scope members** — a per-type member black list.
+3. **Atomic members and lock words** — ``atomic_t`` members, accesses
+   performed via ``atomic_read()``-style helpers (a global function
+   black list), and the lock member variables themselves.
+
+The paper's configuration has 99 per-type function entries, 58 global
+ignored functions and 30 black-listed members; ours is declared by the
+VFS model (:mod:`benchmarks.perf.legacy_repro.kernel.vfs.groundtruth`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+#: Filter reason tags stored on AccessRow.filter_reason.
+REASON_INIT_TEARDOWN = "init_teardown"
+REASON_FUNCTION_BLACKLIST = "function_blacklist"
+REASON_MEMBER_BLACKLIST = "member_blacklist"
+REASON_ATOMIC_MEMBER = "atomic_member"
+REASON_LOCK_MEMBER = "lock_member"
+REASON_UNTYPED = "untyped_address"
+#: A lock release with no matching acquisition in the same context.
+REASON_UNMATCHED_RELEASE = "unmatched_release"
+#: Access rows of a transaction closed by a synthesized lock release
+#: (the trace ended, or a release event went missing, while the lock
+#: was still held) — their lock sequences cannot be trusted.
+REASON_SYNTHETIC_TXN = "synthetic_close_txn"
+#: Access rows recorded while a stale lock polluted the context's held
+#: set (a lost release, detected by re-acquisition or at trace end) —
+#: the span between the stale acquire and the detection point carries
+#: an unknown release point, so every lock sequence in it is suspect.
+REASON_STALE_LOCK = "stale_lock_span"
+
+
+@dataclass
+class FilterConfig:
+    """What to filter during import.
+
+    Attributes:
+        init_teardown_functions: function names whose dynamic extent is
+            object construction/destruction.
+        global_function_blacklist: functions whose accesses bypass
+            locking by design (``atomic_inc`` etc.).
+        per_type_function_blacklist: ``{data_type: {function, ...}}`` —
+            functions ignored only for accesses to that type.
+        member_blacklist: ``{(data_type, member), ...}``.
+        drop_atomic_members: filter accesses landing on ``atomic_t``
+            members (paper: yes).
+        drop_lock_members: filter accesses landing on lock words.
+    """
+
+    init_teardown_functions: Set[str] = field(default_factory=set)
+    global_function_blacklist: Set[str] = field(default_factory=set)
+    per_type_function_blacklist: Dict[str, Set[str]] = field(default_factory=dict)
+    member_blacklist: Set[Tuple[str, str]] = field(default_factory=set)
+    drop_atomic_members: bool = True
+    drop_lock_members: bool = True
+
+    def blacklisted_members(self, data_type: str) -> Set[str]:
+        return {m for (t, m) in self.member_blacklist if t == data_type}
+
+    def reason_for(
+        self,
+        data_type: str,
+        member: str,
+        member_kind: str,
+        stack_functions: FrozenSet[str],
+    ) -> Optional[str]:
+        """First matching filter reason, or None if the access is kept."""
+        if self.drop_lock_members and member_kind == "lock":
+            return REASON_LOCK_MEMBER
+        if self.drop_atomic_members and member_kind == "atomic":
+            return REASON_ATOMIC_MEMBER
+        if (data_type, member) in self.member_blacklist:
+            return REASON_MEMBER_BLACKLIST
+        if stack_functions & self.init_teardown_functions:
+            return REASON_INIT_TEARDOWN
+        if stack_functions & self.global_function_blacklist:
+            return REASON_FUNCTION_BLACKLIST
+        per_type = self.per_type_function_blacklist.get(data_type)
+        if per_type and stack_functions & per_type:
+            return REASON_FUNCTION_BLACKLIST
+        return None
+
+
+@dataclass
+class FilterStats:
+    """Counts of filtered accesses per reason (reporting aid)."""
+
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, reason: str) -> None:
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_reason.values())

@@ -1,0 +1,65 @@
+"""Simulated Linux-like kernel substrate.
+
+This package replaces the paper's instrumented Linux 4.10 kernel running
+inside the Bochs emulator.  It provides:
+
+* lock primitives mirroring the kernel's zoo of synchronization
+  mechanisms (:mod:`benchmarks.perf.legacy_repro.kernel.locks`),
+* a byte-addressed heap allocator with address reuse
+  (:mod:`benchmarks.perf.legacy_repro.kernel.memory`),
+* a struct-layout model with union unrolling and embedded locks
+  (:mod:`benchmarks.perf.legacy_repro.kernel.structs`),
+* execution contexts and a deterministic cooperative scheduler
+  (:mod:`benchmarks.perf.legacy_repro.kernel.context`, :mod:`benchmarks.perf.legacy_repro.kernel.sched`),
+* the :class:`~benchmarks.perf.legacy_repro.kernel.runtime.KernelRuntime` that ties these
+  together and emits the execution trace consumed by the LockDoc
+  analysis pipeline, and
+* a simulated VFS/JBD2 subsystem (:mod:`benchmarks.perf.legacy_repro.kernel.vfs`).
+"""
+
+from benchmarks.perf.legacy_repro.kernel.context import ContextKind, ExecutionContext, reset_context_ids
+from benchmarks.perf.legacy_repro.kernel.locks import reset_lock_ids
+from benchmarks.perf.legacy_repro.kernel.memory import reset_alloc_ids
+
+
+def reset_id_counters() -> None:
+    """Restart the global context/lock/allocation id counters so a
+    fresh simulated-kernel run produces a byte-identical trace for the
+    same seed (ids are otherwise process-lifetime monotonic)."""
+    reset_context_ids()
+    reset_lock_ids()
+    reset_alloc_ids()
+
+from benchmarks.perf.legacy_repro.kernel.errors import (
+    DeadlockError,
+    DoubleFreeError,
+    KernelError,
+    LockUsageError,
+    MemoryError_,
+)
+from benchmarks.perf.legacy_repro.kernel.locks import Lock, LockClass, LockMode
+from benchmarks.perf.legacy_repro.kernel.memory import Allocation, Allocator
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime
+from benchmarks.perf.legacy_repro.kernel.sched import Scheduler
+from benchmarks.perf.legacy_repro.kernel.structs import Member, MemberKind, StructDef, StructRegistry
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "ContextKind",
+    "DeadlockError",
+    "DoubleFreeError",
+    "ExecutionContext",
+    "KernelError",
+    "KernelRuntime",
+    "Lock",
+    "LockClass",
+    "LockMode",
+    "LockUsageError",
+    "Member",
+    "MemberKind",
+    "MemoryError_",
+    "Scheduler",
+    "StructDef",
+    "StructRegistry",
+]

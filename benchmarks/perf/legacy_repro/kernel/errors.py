@@ -1,0 +1,42 @@
+"""Exceptions raised by the simulated kernel.
+
+All simulator-level failures derive from :class:`KernelError`, so test
+code and workloads can catch the whole family at once.  These exceptions
+signal *simulator misuse or simulated crashes*; the analysis pipeline
+never raises them.
+"""
+
+
+class KernelError(Exception):
+    """Base class for all simulated-kernel failures."""
+
+
+class LockUsageError(KernelError):
+    """A lock primitive was used incorrectly.
+
+    Examples: releasing a lock that is not held, acquiring a
+    non-recursive spinlock twice from the same context, or releasing a
+    reader-held rwlock in write mode.
+    """
+
+
+class DeadlockError(KernelError):
+    """The scheduler detected that every runnable thread is blocked."""
+
+
+class MemoryError_(KernelError):
+    """Base class for allocator failures (the trailing underscore avoids
+    shadowing the builtin :class:`MemoryError`)."""
+
+
+class DoubleFreeError(MemoryError_):
+    """An allocation was freed twice."""
+
+
+class BadAccessError(MemoryError_):
+    """A memory access touched an address outside any live allocation
+    of an observed data structure."""
+
+
+class SchedulerError(KernelError):
+    """Invalid scheduler usage, e.g. spawning after shutdown."""

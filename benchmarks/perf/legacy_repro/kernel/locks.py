@@ -1,0 +1,320 @@
+"""Lock primitives of the simulated kernel.
+
+The Linux kernel offers a zoo of synchronization primitives (Sec. 2.2 of
+the paper).  This module models the ones LockDoc instruments:
+
+* ``spinlock_t``      — non-sleeping, exclusive
+* ``rwlock_t``        — non-sleeping, reader/writer
+* ``mutex``           — sleeping, exclusive
+* ``semaphore``       — sleeping, counting (``down``/``up``)
+* ``rw_semaphore``    — sleeping, reader/writer (``i_rwsem``, ``s_umount``)
+* ``seqlock_t``       — writer side is a spinlock; readers retry
+* ``rcu``             — global read-side pseudo-lock
+* synthetic ``softirq`` / ``hardirq`` / ``preempt`` pseudo-locks that
+  model ``local_bh_disable``, ``local_irq_disable`` and
+  ``preempt_disable`` (the paper records lock/release events for the
+  synthetic softirq and hardirq locks, Sec. 7.1)
+
+A :class:`Lock` is a passive state machine: the
+:class:`~benchmarks.perf.legacy_repro.kernel.runtime.KernelRuntime` drives ``try_acquire`` /
+``release`` and emits trace events; blocking is realized by the
+cooperative scheduler re-polling ``try_acquire``.
+
+Single-core note: the simulator — like the paper's Bochs setup — runs on
+one virtual CPU, so acquiring a spinlock that another context holds
+means the current context must be descheduled until the holder releases
+it.  Attempting to take a non-recursive lock twice *from the same
+context* is a self-deadlock and raises :class:`LockUsageError`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.errors import LockUsageError
+
+
+class LockClass(enum.Enum):
+    """The kind of a lock; mirrors the instrumented kernel lock APIs."""
+
+    SPINLOCK = "spinlock_t"
+    RWLOCK = "rwlock_t"
+    MUTEX = "mutex"
+    SEMAPHORE = "semaphore"
+    RW_SEMAPHORE = "rw_semaphore"
+    SEQLOCK = "seqlock_t"
+    RCU = "rcu"
+    SOFTIRQ = "softirq"
+    HARDIRQ = "hardirq"
+    PREEMPT = "preempt"
+
+    @property
+    def sleeping(self) -> bool:
+        """True for primitives that may sleep while waiting."""
+        return self in (LockClass.MUTEX, LockClass.SEMAPHORE, LockClass.RW_SEMAPHORE)
+
+    @property
+    def pseudo(self) -> bool:
+        """True for the synthetic context-disabling pseudo-locks and RCU."""
+        return self in (LockClass.RCU, LockClass.SOFTIRQ, LockClass.HARDIRQ, LockClass.PREEMPT)
+
+    @property
+    def reader_writer(self) -> bool:
+        """True if the primitive distinguishes shared and exclusive mode."""
+        return self in (
+            LockClass.RWLOCK,
+            LockClass.RW_SEMAPHORE,
+            LockClass.SEQLOCK,
+            LockClass.RCU,
+        )
+
+
+class LockMode(enum.Enum):
+    """How a lock is being held."""
+
+    EXCLUSIVE = "w"
+    SHARED = "r"
+
+
+_lock_ids = itertools.count(1)
+
+
+class Lock:
+    """A single lock instance.
+
+    Attributes:
+        lock_id: unique id, stable across the lock's lifetime.
+        lock_class: which primitive this instance is.
+        name: the variable name the kernel source would use
+            (``"i_lock"``, ``"inode_hash_lock"``, ...).
+        address: the byte address of the lock variable.  Embedded locks
+            get an address inside their containing allocation; static
+            (global) locks get an address from the allocator's static
+            segment; pseudo-locks have address ``None``.
+        is_static: True for global/static lock variables.
+    """
+
+    __slots__ = (
+        "lock_id",
+        "lock_class",
+        "name",
+        "address",
+        "is_static",
+        "_owner",
+        "_exclusive_depth",
+        "_readers",
+        "_sem_count",
+        "_sem_capacity",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        lock_class: LockClass,
+        name: str,
+        address: Optional[int] = None,
+        is_static: bool = False,
+        capacity: int = 1,
+    ) -> None:
+        self.lock_id = next(_lock_ids)
+        self.lock_class = lock_class
+        self.name = name
+        self.address = address
+        self.is_static = is_static
+        self._owner: Optional[ExecutionContext] = None
+        self._exclusive_depth = 0
+        self._readers: Dict[int, int] = {}  # ctx_id -> nesting depth
+        self._sem_capacity = capacity
+        self._sem_count = capacity
+        self.seq = 0  # sequence counter for seqlocks
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def owner(self) -> Optional[ExecutionContext]:
+        """The exclusive holder, if any."""
+        return self._owner
+
+    @property
+    def reader_count(self) -> int:
+        """Number of shared holders (counting nesting once per context)."""
+        return len(self._readers)
+
+    def held_by(self, ctx: ExecutionContext) -> bool:
+        """True if *ctx* holds this lock in any mode."""
+        return (self._owner is ctx) or (ctx.ctx_id in self._readers)
+
+    def is_free(self) -> bool:
+        """True if nobody holds the lock in any mode."""
+        if self.lock_class == LockClass.SEMAPHORE:
+            return self._sem_count == self._sem_capacity
+        return self._owner is None and not self._readers
+
+    # ------------------------------------------------------------------
+    # Acquisition / release
+    # ------------------------------------------------------------------
+
+    def try_acquire(self, ctx: ExecutionContext, mode: LockMode) -> bool:
+        """Attempt to take the lock; True on success, False if contended.
+
+        Raises :class:`LockUsageError` for self-deadlocks and illegal
+        mode/primitive combinations rather than wedging the simulation.
+        """
+        self._check_mode(mode)
+        cls = self.lock_class
+
+        if cls == LockClass.SEMAPHORE:
+            if self._sem_count > 0:
+                self._sem_count -= 1
+                return True
+            return False
+
+        if mode == LockMode.SHARED:
+            return self._try_acquire_shared(ctx)
+        return self._try_acquire_exclusive(ctx)
+
+    def release(self, ctx: ExecutionContext, mode: LockMode) -> None:
+        """Release a previously acquired lock."""
+        self._check_mode(mode)
+        cls = self.lock_class
+
+        if cls == LockClass.SEMAPHORE:
+            if self._sem_count >= self._sem_capacity:
+                raise LockUsageError(f"up() on non-held semaphore {self.name}")
+            self._sem_count += 1
+            return
+
+        if mode == LockMode.SHARED:
+            depth = self._readers.get(ctx.ctx_id)
+            if depth is None:
+                raise LockUsageError(
+                    f"{ctx!r} releases {self.name} (shared) without holding it"
+                )
+            if depth == 1:
+                del self._readers[ctx.ctx_id]
+            else:
+                self._readers[ctx.ctx_id] = depth - 1
+            return
+
+        if self._owner is not ctx:
+            raise LockUsageError(
+                f"{ctx!r} releases {self.name} (exclusive) held by {self._owner!r}"
+            )
+        self._exclusive_depth -= 1
+        if self._exclusive_depth == 0:
+            self._owner = None
+            if self.lock_class == LockClass.SEQLOCK:
+                self.seq += 1  # write_sequnlock bumps to an even value
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_mode(self, mode: LockMode) -> None:
+        if mode == LockMode.SHARED and not self.lock_class.reader_writer:
+            raise LockUsageError(
+                f"{self.lock_class.value} {self.name} has no shared mode"
+            )
+
+    def _recursive_shared(self) -> bool:
+        # RCU read sections and irq/bh-disable nest freely; rwlock read
+        # sides are also recursive on Linux.
+        return self.lock_class in (
+            LockClass.RCU,
+            LockClass.RWLOCK,
+            LockClass.SEQLOCK,
+        )
+
+    def _try_acquire_shared(self, ctx: ExecutionContext) -> bool:
+        if self._owner is not None:
+            if self._owner is ctx:
+                raise LockUsageError(
+                    f"{ctx!r} read-acquires {self.name} while write-holding it"
+                )
+            # Seqlock readers never block: read_seqbegin just samples the
+            # sequence counter.  We model an in-flight writer as a failed
+            # (retried) read section, i.e. the reader spins.
+            return False
+        if ctx.ctx_id in self._readers:
+            if not self._recursive_shared():
+                raise LockUsageError(
+                    f"recursive read of non-recursive {self.name} by {ctx!r}"
+                )
+            self._readers[ctx.ctx_id] += 1
+            return True
+        self._readers[ctx.ctx_id] = 1
+        return True
+
+    def _try_acquire_exclusive(self, ctx: ExecutionContext) -> bool:
+        cls = self.lock_class
+        if cls in (LockClass.SOFTIRQ, LockClass.HARDIRQ, LockClass.PREEMPT):
+            # Disabling bottom halves / interrupts / preemption nests per
+            # context and never contends in the single-core model.
+            if self._owner is None:
+                self._owner = ctx
+                self._exclusive_depth = 1
+            elif self._owner is ctx:
+                self._exclusive_depth += 1
+            else:
+                # A different context disabling irqs is fine on the single
+                # simulated CPU: the previous context cannot be running.
+                # Model it as independent nesting by transferring ownership
+                # only when free; otherwise treat as recursion error.
+                raise LockUsageError(
+                    f"pseudo-lock {self.name} crossed contexts "
+                    f"({self._owner!r} -> {ctx!r})"
+                )
+            return True
+
+        if self._readers:
+            if ctx.ctx_id in self._readers:
+                raise LockUsageError(
+                    f"{ctx!r} write-acquires {self.name} while read-holding it"
+                )
+            return False
+        if self._owner is None:
+            self._owner = ctx
+            self._exclusive_depth = 1
+            if cls == LockClass.SEQLOCK:
+                self.seq += 1  # write_seqlock bumps to an odd value
+            return True
+        if self._owner is ctx:
+            raise LockUsageError(
+                f"self-deadlock: {ctx!r} re-acquires {self.name} "
+                f"({cls.value}) it already holds"
+            )
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "static" if self.is_static else f"@{self.address}"
+        return f"<{self.lock_class.value} {self.name} id={self.lock_id} {where}>"
+
+
+class PseudoLocks:
+    """The per-system pseudo-lock singletons.
+
+    The paper records synthetic ``softirq`` and ``hardirq`` lock events
+    (Sec. 7.1); RCU's read side is likewise modelled as one global
+    shared lock.  One instance of this class exists per
+    :class:`~benchmarks.perf.legacy_repro.kernel.runtime.KernelRuntime`.
+    """
+
+    def __init__(self) -> None:
+        self.rcu = Lock(LockClass.RCU, "rcu", is_static=True)
+        self.softirq = Lock(LockClass.SOFTIRQ, "softirq", is_static=True)
+        self.hardirq = Lock(LockClass.HARDIRQ, "hardirq", is_static=True)
+        self.preempt = Lock(LockClass.PREEMPT, "preempt", is_static=True)
+
+    def all(self) -> List[Lock]:
+        return [self.rcu, self.softirq, self.hardirq, self.preempt]
+
+
+def reset_lock_ids() -> None:
+    """Restart the global lock-id counter (test isolation helper)."""
+    global _lock_ids
+    _lock_ids = itertools.count(1)

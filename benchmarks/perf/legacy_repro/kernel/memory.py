@@ -1,0 +1,187 @@
+"""Byte-addressed heap allocator of the simulated kernel.
+
+The paper's tracing phase records dynamic memory allocations and
+deallocations of the observed data structures (Sec. 5.2); the analysis
+later maps raw access addresses back to ``(allocation, member)`` pairs.
+To exercise the same machinery this allocator
+
+* hands out real byte addresses from a flat address space,
+* keeps an :class:`Allocation` record per live object (address, size,
+  data type, subclass, lifetime), and
+* **reuses addresses** of freed allocations (kmalloc caches do), so the
+  post-processing step must respect allocation lifetimes instead of
+  treating addresses as unique keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.errors import BadAccessError, DoubleFreeError, MemoryError_
+
+#: Base of the simulated kernel heap (an arbitrary, kernel-looking value).
+HEAP_BASE = 0xFFFF_8800_0000_0000
+#: Base of the static/global data segment.
+STATIC_BASE = 0xFFFF_FFFF_8100_0000
+#: Allocation granularity; mirrors kmalloc's minimum alignment.
+ALIGN = 8
+
+_alloc_ids = itertools.count(1)
+
+
+def reset_alloc_ids() -> None:
+    """Restart the allocation-id counter (trace reproducibility helper)."""
+    global _alloc_ids
+    _alloc_ids = itertools.count(1)
+
+
+def _align_up(n: int, align: int = ALIGN) -> int:
+    return (n + align - 1) & ~(align - 1)
+
+
+@dataclass
+class Allocation:
+    """A live (or historical) dynamic allocation.
+
+    Attributes:
+        alloc_id: unique id (never reused, unlike the address).
+        address: start address.
+        size: size in bytes.
+        data_type: name of the struct stored here (``"inode"``...).
+        subclass: optional subclass tag (``"ext4"`` for an ext4 inode);
+            realizes the paper's subclass handling (Sec. 5.3, item 1).
+        alloc_ts / free_ts: event timestamps delimiting the lifetime
+            (``free_ts`` is None while live).
+    """
+
+    address: int
+    size: int
+    data_type: str
+    subclass: Optional[str] = None
+    alloc_id: int = field(default_factory=lambda: next(_alloc_ids))
+    alloc_ts: int = 0
+    free_ts: Optional[int] = None
+
+    @property
+    def live(self) -> bool:
+        return self.free_ts is None
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """True if ``[address, address+size)`` lies inside this allocation."""
+        return self.address <= address and address + size <= self.address + self.size
+
+    def offset_of(self, address: int) -> int:
+        """Byte offset of *address* within this allocation."""
+        if not self.contains(address):
+            raise BadAccessError(
+                f"address {address:#x} outside allocation {self.alloc_id}"
+            )
+        return address - self.address
+
+
+class Allocator:
+    """Bump allocator with per-size free lists (address reuse).
+
+    Also owns the static segment used for global variables such as
+    ``inode_hash_lock`` — statics get addresses but no Allocation
+    record, matching the paper's distinction between the 821 static and
+    40 768 embedded locks (Sec. 7.2).
+    """
+
+    def __init__(self) -> None:
+        self._next = HEAP_BASE
+        self._next_static = STATIC_BASE
+        self._free_lists: Dict[int, List[int]] = {}
+        self._live_by_addr: Dict[int, Allocation] = {}
+        self.history: List[Allocation] = []
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # ------------------------------------------------------------------
+    # Dynamic allocations
+    # ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        size: int,
+        data_type: str,
+        subclass: Optional[str] = None,
+        timestamp: int = 0,
+    ) -> Allocation:
+        """Allocate *size* bytes for an instance of *data_type*."""
+        if size <= 0:
+            raise MemoryError_(f"invalid allocation size {size}")
+        size = _align_up(size)
+        free = self._free_lists.get(size)
+        if free:
+            address = free.pop()
+        else:
+            address = self._next
+            self._next += size
+        record = Allocation(
+            address=address,
+            size=size,
+            data_type=data_type,
+            subclass=subclass,
+            alloc_ts=timestamp,
+        )
+        self._live_by_addr[address] = record
+        self.history.append(record)
+        self.alloc_count += 1
+        return record
+
+    def free(self, allocation: Allocation, timestamp: int = 0) -> None:
+        """Free a live allocation; its address becomes reusable."""
+        if not allocation.live:
+            raise DoubleFreeError(
+                f"double free of allocation {allocation.alloc_id} "
+                f"({allocation.data_type} @ {allocation.address:#x})"
+            )
+        current = self._live_by_addr.get(allocation.address)
+        if current is not allocation:
+            raise DoubleFreeError(
+                f"free of stale allocation {allocation.alloc_id}"
+            )
+        allocation.free_ts = timestamp
+        del self._live_by_addr[allocation.address]
+        self._free_lists.setdefault(allocation.size, []).append(allocation.address)
+        self.free_count += 1
+
+    # ------------------------------------------------------------------
+    # Static segment
+    # ------------------------------------------------------------------
+
+    def alloc_static(self, size: int) -> int:
+        """Reserve *size* bytes in the static segment; returns the address."""
+        size = _align_up(size)
+        address = self._next_static
+        self._next_static += size
+        return address
+
+    def is_static_address(self, address: int) -> bool:
+        return STATIC_BASE <= address < self._next_static
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def find_live(self, address: int) -> Optional[Allocation]:
+        """Find the live allocation containing *address* (linear in the
+        number of live allocations only for interior pointers; start
+        addresses resolve in O(1))."""
+        exact = self._live_by_addr.get(address)
+        if exact is not None:
+            return exact
+        for allocation in self._live_by_addr.values():
+            if allocation.contains(address):
+                return allocation
+        return None
+
+    @property
+    def live_allocations(self) -> Tuple[Allocation, ...]:
+        return tuple(self._live_by_addr.values())
+
+    def live_of_type(self, data_type: str) -> List[Allocation]:
+        return [a for a in self._live_by_addr.values() if a.data_type == data_type]

@@ -1,0 +1,527 @@
+"""The kernel runtime: typed objects, lock API, trace emission.
+
+:class:`KernelRuntime` is the glue of the simulated kernel.  It owns the
+allocator, the tracer, the struct registry and all live lock instances,
+and offers the *instrumented kernel API* that workload code programs
+against:
+
+* object lifecycle  — :meth:`KernelRuntime.new_object`, :meth:`KernelRuntime.delete_object`
+* member accesses   — :meth:`KernelRuntime.read`, :meth:`KernelRuntime.write`
+* lock operations   — kernel-named methods (``spin_lock``, ``mutex_lock``,
+  ``down_read``, ``rcu_read_lock``, ...)
+
+Lock-acquiring methods are **generators**: they yield :class:`Wait`
+tokens while the lock is contended, so the cooperative scheduler can
+deschedule the calling kthread.  Code composes them with ``yield from``.
+Single-context code (unit tests, the clock example) runs them through
+:meth:`KernelRuntime.run`, which asserts that no blocking occurs.
+
+Everything the runtime does is reported to the tracer, producing the
+phase-1 event trace of the paper.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Generator, Iterator, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ContextKind, ExecutionContext, make_task
+from benchmarks.perf.legacy_repro.kernel.errors import KernelError, LockUsageError
+from benchmarks.perf.legacy_repro.kernel.locks import Lock, LockClass, LockMode, PseudoLocks
+from benchmarks.perf.legacy_repro.kernel.memory import Allocation, Allocator
+from benchmarks.perf.legacy_repro.kernel.structs import StructDef, StructRegistry
+from benchmarks.perf.legacy_repro.tracing.tracer import Tracer
+
+
+class Wait:
+    """Yielded by lock-acquiring generators while contended."""
+
+    __slots__ = ("lock", "mode")
+
+    def __init__(self, lock: Lock, mode: LockMode) -> None:
+        self.lock = lock
+        self.mode = mode
+
+    def ready(self, ctx: ExecutionContext) -> bool:
+        """Cheap readiness probe used by the scheduler (non-mutating)."""
+        lock = self.lock
+        if lock.lock_class == LockClass.SEMAPHORE:
+            return lock._sem_count > 0  # noqa: SLF001 - scheduler fast path
+        if self.mode == LockMode.SHARED:
+            return lock.owner is None
+        return lock.owner is None and lock.reader_count == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Wait {self.lock.name} mode={self.mode.value}>"
+
+
+KGen = Generator[Wait, None, None]
+
+
+class KObject:
+    """A typed, traced kernel object.
+
+    Wraps a live allocation plus its struct layout.  Embedded lock
+    members have been instantiated as :class:`Lock` objects; data
+    members can carry simulation state in :attr:`values` (a plain dict —
+    the analysis never looks at values, only at access events).
+    """
+
+    __slots__ = (
+        "runtime",
+        "allocation",
+        "struct",
+        "locks",
+        "values",
+        "refs",
+        "pin_count",
+    )
+
+    def __init__(
+        self,
+        runtime: "KernelRuntime",
+        allocation: Allocation,
+        struct: StructDef,
+        locks: Dict[str, Lock],
+    ) -> None:
+        self.runtime = runtime
+        self.allocation = allocation
+        self.struct = struct
+        self.locks = locks
+        self.values: Dict[str, object] = {}
+        # Object-graph references (i_sb, d_parent, ...) live separately
+        # from member values: traced writes store arbitrary simulated
+        # values into `values` and must not clobber the graph wiring.
+        self.refs: Dict[str, "KObject"] = {}
+        # Reference count: a pinned object must not be freed.  Models
+        # the kernel's refcounting, which keeps objects alive while a
+        # control flow holds a reference across a blocking point.
+        self.pin_count = 0
+
+    def pin(self) -> None:
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise KernelError(f"unbalanced unpin of {self!r}")
+        self.pin_count -= 1
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    @property
+    def address(self) -> int:
+        return self.allocation.address
+
+    @property
+    def data_type(self) -> str:
+        return self.struct.name
+
+    @property
+    def subclass(self) -> Optional[str]:
+        return self.allocation.subclass
+
+    @property
+    def live(self) -> bool:
+        return self.allocation.live
+
+    def lock(self, member: str) -> Lock:
+        """The embedded lock instance stored in *member*."""
+        try:
+            return self.locks[member]
+        except KeyError:
+            raise LockUsageError(
+                f"{self.data_type} has no embedded lock {member!r}"
+            ) from None
+
+    def addr_of(self, member: str) -> int:
+        return self.allocation.address + self.struct.offset_of(member)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sub = f":{self.subclass}" if self.subclass else ""
+        return f"<{self.data_type}{sub} @{self.address:#x}>"
+
+
+@contextmanager
+def pinned(*objects: "KObject") -> Iterator[None]:
+    """Pin *objects* for the duration of a block (refcount guard)."""
+    for obj in objects:
+        obj.pin()
+    try:
+        yield
+    finally:
+        for obj in objects:
+            obj.unpin()
+
+
+class KernelRuntime:
+    """The simulated, instrumented kernel."""
+
+    def __init__(
+        self,
+        structs: Optional[StructRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.structs = structs or StructRegistry()
+        self.tracer = tracer or Tracer()
+        self.allocator = Allocator()
+        self.pseudo = PseudoLocks()
+        self.locks_by_id: Dict[int, Lock] = {}
+        self.static_locks: Dict[str, Lock] = {}
+        self.objects_by_alloc_id: Dict[int, KObject] = {}
+        for pseudo_lock in self.pseudo.all():
+            self.locks_by_id[pseudo_lock.lock_id] = pseudo_lock
+
+    # ------------------------------------------------------------------
+    # Contexts
+    # ------------------------------------------------------------------
+
+    def new_task(self, name: str) -> ExecutionContext:
+        return make_task(name)
+
+    @contextmanager
+    def function(
+        self, ctx: ExecutionContext, name: str, file: str, line: int
+    ) -> Iterator[None]:
+        """Push a call frame for the duration of a kernel function body."""
+        ctx.push_frame(name, file, line)
+        try:
+            yield
+        finally:
+            ctx.pop_frame()
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def new_object(
+        self,
+        ctx: ExecutionContext,
+        type_name: str,
+        subclass: Optional[str] = None,
+    ) -> KObject:
+        """Allocate and register a traced instance of *type_name*."""
+        struct = self.structs.get(type_name)
+        allocation = self.allocator.alloc(
+            struct.size, type_name, subclass, timestamp=self.tracer.clock
+        )
+        locks: Dict[str, Lock] = {}
+        for member in struct.lock_members():
+            lock = Lock(
+                member.lock_class,
+                member.name,
+                address=allocation.address + member.offset,
+            )
+            locks[member.name] = lock
+            self.locks_by_id[lock.lock_id] = lock
+        obj = KObject(self, allocation, struct, locks)
+        self.objects_by_alloc_id[allocation.alloc_id] = obj
+        self.tracer.record_alloc(ctx, allocation)
+        return obj
+
+    def delete_object(self, ctx: ExecutionContext, obj: KObject) -> None:
+        """Free a traced object; its embedded locks die with it."""
+        for lock in obj.locks.values():
+            if not lock.is_free():
+                raise LockUsageError(
+                    f"freeing {obj!r} while embedded lock {lock.name} is held"
+                )
+            del self.locks_by_id[lock.lock_id]
+        self.tracer.record_free(ctx, obj.allocation)
+        self.allocator.free(obj.allocation, timestamp=self.tracer.clock)
+        del self.objects_by_alloc_id[obj.allocation.alloc_id]
+
+    def static_lock(self, name: str, lock_class: "LockClass | str") -> Lock:
+        """Create (or fetch) a global/static lock such as ``inode_hash_lock``."""
+        if name in self.static_locks:
+            return self.static_locks[name]
+        if isinstance(lock_class, str):
+            lock_class = LockClass(lock_class)
+        from benchmarks.perf.legacy_repro.kernel.structs import LOCK_SIZES
+
+        address = self.allocator.alloc_static(LOCK_SIZES.get(lock_class, 8))
+        lock = Lock(lock_class, name, address=address, is_static=True)
+        self.static_locks[name] = lock
+        self.locks_by_id[lock.lock_id] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Member accesses
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        ctx: ExecutionContext,
+        obj: KObject,
+        member: str,
+        line: Optional[int] = None,
+    ) -> object:
+        """Emit a traced read of ``obj.member``; returns the simulated value."""
+        laid_out = obj.struct.member(member)
+        self.tracer.record_access(
+            ctx, obj.address + laid_out.offset, laid_out.size, is_write=False, line=line
+        )
+        return obj.values.get(member)
+
+    def write(
+        self,
+        ctx: ExecutionContext,
+        obj: KObject,
+        member: str,
+        value: object = None,
+        line: Optional[int] = None,
+    ) -> None:
+        """Emit a traced write of ``obj.member`` and store the value."""
+        laid_out = obj.struct.member(member)
+        self.tracer.record_access(
+            ctx, obj.address + laid_out.offset, laid_out.size, is_write=True, line=line
+        )
+        obj.values[member] = value
+
+    def atomic_read(self, ctx: ExecutionContext, obj: KObject, member: str) -> object:
+        """An ``atomic_read()``-style access.
+
+        It *does* emit a trace event (the VM sees the load), but the
+        importer filters accesses to ``atomic_t`` members by layout kind
+        (Sec. 5.3, item 3), so this never reaches rule derivation.
+        """
+        return self.read(ctx, obj, member)
+
+    def atomic_write(
+        self, ctx: ExecutionContext, obj: KObject, member: str, value: object = None
+    ) -> None:
+        self.write(ctx, obj, member, value)
+
+    # ------------------------------------------------------------------
+    # Core acquire/release plumbing
+    # ------------------------------------------------------------------
+
+    def _acquire(
+        self,
+        ctx: ExecutionContext,
+        lock: Lock,
+        mode: LockMode,
+        line: Optional[int] = None,
+    ) -> KGen:
+        # Every lock operation is a scheduling opportunity (the kernel may
+        # deschedule a task right before it takes a lock).
+        yield None
+        while True:
+            already_held = lock.held_by(ctx)
+            if lock.try_acquire(ctx, mode):
+                break
+            yield Wait(lock, mode)
+        if not already_held:
+            ctx.held.append((lock, mode))
+            self.tracer.record_lock(ctx, lock, True, mode, line)
+
+    def _release(
+        self,
+        ctx: ExecutionContext,
+        lock: Lock,
+        mode: LockMode,
+        line: Optional[int] = None,
+    ) -> None:
+        lock.release(ctx, mode)
+        if not lock.held_by(ctx):
+            for index in range(len(ctx.held) - 1, -1, -1):
+                if ctx.held[index][0] is lock:
+                    del ctx.held[index]
+                    break
+            else:
+                raise LockUsageError(
+                    f"{ctx!r} released {lock.name} not in its held list"
+                )
+            self.tracer.record_lock(ctx, lock, False, mode, line)
+
+    def run(self, gen: KGen) -> None:
+        """Inline trampoline for single-context code.
+
+        Drives a kernel-function generator to completion; raises if it
+        would block (impossible without concurrent contexts).
+        """
+        for token in gen:
+            if isinstance(token, Wait):
+                raise KernelError(
+                    f"inline execution blocked on {token.lock.name}; "
+                    "use the Scheduler for concurrent workloads"
+                )
+
+    # ------------------------------------------------------------------
+    # Kernel-named lock API (generators unless noted)
+    # ------------------------------------------------------------------
+
+    def spin_lock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.SPINLOCK, "spin_lock")
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def spin_unlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def spin_trylock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> bool:
+        """Non-blocking spinlock attempt (plain method, returns success)."""
+        self._expect(lock, LockClass.SPINLOCK, "spin_trylock")
+        if lock.try_acquire(ctx, LockMode.EXCLUSIVE):
+            ctx.held.append((lock, LockMode.EXCLUSIVE))
+            self.tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE, line)
+            return True
+        return False
+
+    def spin_lock_irq(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        """``spin_lock_irq``: disable interrupts, then take the spinlock."""
+        self.local_irq_disable(ctx, line)
+        return self.spin_lock(ctx, lock, line)
+
+    def spin_unlock_irq(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self.spin_unlock(ctx, lock, line)
+        self.local_irq_enable(ctx, line)
+
+    def spin_lock_bh(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        """``spin_lock_bh``: disable bottom halves, then take the spinlock."""
+        self.local_bh_disable(ctx, line)
+        return self.spin_lock(ctx, lock, line)
+
+    def spin_unlock_bh(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self.spin_unlock(ctx, lock, line)
+        self.local_bh_enable(ctx, line)
+
+    def read_lock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.RWLOCK, "read_lock")
+        return self._acquire(ctx, lock, LockMode.SHARED, line)
+
+    def read_unlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.SHARED, line)
+
+    def write_lock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.RWLOCK, "write_lock")
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def write_unlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def mutex_lock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.MUTEX, "mutex_lock")
+        self._no_sleep_check(ctx, lock)
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def mutex_unlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def down(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.SEMAPHORE, "down")
+        self._no_sleep_check(ctx, lock)
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def up(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def down_read(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.RW_SEMAPHORE, "down_read")
+        self._no_sleep_check(ctx, lock)
+        return self._acquire(ctx, lock, LockMode.SHARED, line)
+
+    def up_read(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.SHARED, line)
+
+    def down_write(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.RW_SEMAPHORE, "down_write")
+        self._no_sleep_check(ctx, lock)
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def up_write(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def write_seqlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        self._expect(lock, LockClass.SEQLOCK, "write_seqlock")
+        return self._acquire(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def write_sequnlock(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def read_seqbegin(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> KGen:
+        """Model a seqlock read section as a shared hold (see locks.py)."""
+        self._expect(lock, LockClass.SEQLOCK, "read_seqbegin")
+        return self._acquire(ctx, lock, LockMode.SHARED, line)
+
+    def read_seqend(self, ctx: ExecutionContext, lock: Lock, line: Optional[int] = None) -> None:
+        self._release(ctx, lock, LockMode.SHARED, line)
+
+    # -- pseudo-locks (never block; plain methods) ----------------------
+
+    def rcu_read_lock(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        lock = self.pseudo.rcu
+        already_held = lock.held_by(ctx)
+        assert lock.try_acquire(ctx, LockMode.SHARED)
+        if not already_held:
+            ctx.held.append((lock, LockMode.SHARED))
+            self.tracer.record_lock(ctx, lock, True, LockMode.SHARED, line)
+
+    def rcu_read_unlock(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._release(ctx, self.pseudo.rcu, LockMode.SHARED, line)
+
+    def _pseudo_disable(
+        self, ctx: ExecutionContext, lock: Lock, attr: str, line: Optional[int]
+    ) -> None:
+        depth = getattr(ctx, attr)
+        setattr(ctx, attr, depth + 1)
+        if depth == 0:
+            assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+            ctx.held.append((lock, LockMode.EXCLUSIVE))
+            self.tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE, line)
+        else:
+            assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
+
+    def _pseudo_enable(
+        self, ctx: ExecutionContext, lock: Lock, attr: str, line: Optional[int]
+    ) -> None:
+        depth = getattr(ctx, attr)
+        if depth <= 0:
+            raise LockUsageError(f"unbalanced enable of {lock.name} in {ctx!r}")
+        setattr(ctx, attr, depth - 1)
+        self._release(ctx, lock, LockMode.EXCLUSIVE, line)
+
+    def local_irq_disable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_disable(ctx, self.pseudo.hardirq, "irq_disable_depth", line)
+
+    def local_irq_enable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_enable(ctx, self.pseudo.hardirq, "irq_disable_depth", line)
+
+    def local_bh_disable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_disable(ctx, self.pseudo.softirq, "bh_disable_depth", line)
+
+    def local_bh_enable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_enable(ctx, self.pseudo.softirq, "bh_disable_depth", line)
+
+    def preempt_disable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_disable(ctx, self.pseudo.preempt, "preempt_disable_depth", line)
+
+    def preempt_enable(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
+        self._pseudo_enable(ctx, self.pseudo.preempt, "preempt_disable_depth", line)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _expect(lock: Lock, lock_class: LockClass, api: str) -> None:
+        if lock.lock_class != lock_class:
+            raise LockUsageError(
+                f"{api}() on a {lock.lock_class.value} ({lock.name})"
+            )
+
+    @staticmethod
+    def _no_sleep_check(ctx: ExecutionContext, lock: Lock) -> None:
+        """Sleeping primitives are illegal in atomic context."""
+        if ctx.kind != ContextKind.TASK:
+            raise LockUsageError(
+                f"sleeping lock {lock.name} taken from {ctx.kind.value} context"
+            )
+        if ctx.irq_disable_depth or ctx.bh_disable_depth or ctx.preempt_disable_depth:
+            raise LockUsageError(
+                f"sleeping lock {lock.name} taken with irqs/bh/preemption disabled"
+            )
+        if any(l.lock_class == LockClass.SPINLOCK for l in ctx.held_locks()):
+            raise LockUsageError(
+                f"sleeping lock {lock.name} taken while holding a spinlock"
+            )

@@ -1,0 +1,249 @@
+"""Deterministic cooperative scheduler.
+
+The paper traces a kernel running on the single-core Bochs emulator
+(Sec. 6).  This scheduler reproduces those concurrency semantics for
+the simulated kernel:
+
+* **kthreads** are Python generators; every ``yield`` is a potential
+  preemption point (lock acquisitions yield once before acquiring),
+* a thread is **non-preemptable while atomic** — holding a spinlock,
+  rwlock, seqlock write side, or having irqs/bh/preemption disabled —
+  matching a single CPU with ``CONFIG_PREEMPT`` unset,
+* blocked threads (waiting on a contended sleeping lock) are
+  descheduled until the lock becomes available,
+* **interrupt handlers** (hardirq/softirq) are injected between
+  preemption points with a seeded probability, run to completion, and
+  are gated on the interrupted context's irq/bh-disable state,
+* scheduling decisions come from a seeded :class:`random.Random`, so a
+  given workload + seed always produces the identical trace.
+
+If every thread is blocked and no wait condition is satisfiable, the
+scheduler raises :class:`~benchmarks.perf.legacy_repro.kernel.errors.DeadlockError` — the
+simulated analogue of a frozen kernel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import (
+    ContextKind,
+    ExecutionContext,
+    make_hardirq,
+    make_softirq,
+    make_task,
+)
+from benchmarks.perf.legacy_repro.kernel.errors import DeadlockError, KernelError, SchedulerError
+from benchmarks.perf.legacy_repro.kernel.locks import LockClass
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, Wait
+
+KThreadBody = Callable[[ExecutionContext], Generator]
+IrqBody = Callable[[ExecutionContext], Generator]
+
+#: Lock classes that make a context atomic (non-preemptable).
+_ATOMIC_CLASSES = (
+    LockClass.SPINLOCK,
+    LockClass.RWLOCK,
+    LockClass.SEQLOCK,
+    LockClass.SOFTIRQ,
+    LockClass.HARDIRQ,
+    LockClass.PREEMPT,
+)
+
+
+def _is_atomic(ctx: ExecutionContext) -> bool:
+    if ctx.irq_disable_depth or ctx.bh_disable_depth or ctx.preempt_disable_depth:
+        return True
+    return any(lock.lock_class in _ATOMIC_CLASSES for lock in ctx.held_locks())
+
+
+@dataclass
+class KThread:
+    """A schedulable kernel thread."""
+
+    ctx: ExecutionContext
+    gen: Generator
+    finished: bool = False
+    waiting_on: Optional[Wait] = None
+
+    @property
+    def blocked(self) -> bool:
+        return self.waiting_on is not None
+
+    def runnable(self) -> bool:
+        if self.finished:
+            return False
+        if self.waiting_on is None:
+            return True
+        return self.waiting_on.ready(self.ctx)
+
+
+@dataclass
+class IrqSource:
+    """A registered interrupt source."""
+
+    name: str
+    kind: ContextKind
+    body: IrqBody
+    rate: float  # injection probability per scheduling decision
+    fired: int = 0
+
+
+class Scheduler:
+    """Runs kthreads and injects interrupts deterministically."""
+
+    def __init__(self, runtime: KernelRuntime, seed: int = 0, max_burst: int = 6) -> None:
+        self.runtime = runtime
+        self.rng = random.Random(seed)
+        self.max_burst = max_burst
+        self.threads: List[KThread] = []
+        self.irq_sources: List[IrqSource] = []
+        self.steps = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str, body: KThreadBody) -> KThread:
+        """Create a task kthread; *body(ctx)* must return a generator."""
+        ctx = make_task(name)
+        thread = KThread(ctx=ctx, gen=body(ctx))
+        self.threads.append(thread)
+        return thread
+
+    def add_irq_source(
+        self,
+        name: str,
+        body: IrqBody,
+        rate: float = 0.01,
+        softirq: bool = False,
+    ) -> IrqSource:
+        """Register an interrupt source fired with probability *rate* at
+        each scheduling decision (subject to irq/bh-disable gating)."""
+        kind = ContextKind.SOFTIRQ if softirq else ContextKind.HARDIRQ
+        source = IrqSource(name, kind, body, rate)
+        self.irq_sources.append(source)
+        return source
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run until all threads finish; returns the number of steps."""
+        if self._running:
+            raise SchedulerError("scheduler is not reentrant")
+        self._running = True
+        try:
+            current: Optional[KThread] = None
+            while True:
+                alive = [t for t in self.threads if not t.finished]
+                if not alive:
+                    break
+                if self.steps >= max_steps:
+                    raise SchedulerError(f"exceeded {max_steps} scheduler steps")
+
+                if current is None or current.finished or current.blocked:
+                    current = self._pick(alive)
+                self._maybe_inject_irq(current)
+                burst = self.rng.randint(1, self.max_burst)
+                for _ in range(burst):
+                    if not self._step(current):
+                        current = None
+                        break
+                    # Atomic sections are non-preemptable: extend the burst.
+                    while not current.finished and _is_atomic(current.ctx):
+                        if not self._step(current):
+                            current = None
+                            break
+                    if current is None:
+                        break
+                else:
+                    # Voluntarily preempt after the burst.
+                    current = None
+            return self.steps
+        finally:
+            self._running = False
+
+    def _pick(self, alive: List[KThread]) -> KThread:
+        ready = [t for t in alive if t.runnable()]
+        if not ready:
+            waits = ", ".join(
+                f"{t.ctx.name}->{t.waiting_on.lock.name}" for t in alive if t.waiting_on
+            )
+            raise DeadlockError(f"all threads blocked ({waits})")
+        return self.rng.choice(ready)
+
+    def _step(self, thread: KThread) -> bool:
+        """Advance *thread* by one yield; False if it finished or blocked."""
+        self.steps += 1
+        try:
+            token = next(thread.gen)
+        except StopIteration:
+            thread.finished = True
+            self._check_clean_exit(thread)
+            return False
+        if isinstance(token, Wait):
+            if _is_atomic(thread.ctx):
+                raise KernelError(
+                    f"{thread.ctx!r} blocked on {token.lock.name} while atomic"
+                )
+            thread.waiting_on = token
+            return False
+        thread.waiting_on = None
+        return True
+
+    @staticmethod
+    def _check_clean_exit(thread: KThread) -> None:
+        if thread.ctx.held:
+            held = ", ".join(lock.name for lock in thread.ctx.held_locks())
+            raise KernelError(f"{thread.ctx!r} exited holding locks: {held}")
+
+    # ------------------------------------------------------------------
+    # Interrupt injection
+    # ------------------------------------------------------------------
+
+    def _maybe_inject_irq(self, current: Optional[KThread]) -> None:
+        if not self.irq_sources:
+            return
+        interrupted = current.ctx if current is not None else None
+        for source in self.irq_sources:
+            if self.rng.random() >= source.rate:
+                continue
+            if not self._irq_allowed(source, interrupted):
+                continue
+            self._fire(source, interrupted)
+
+    @staticmethod
+    def _irq_allowed(source: IrqSource, interrupted: Optional[ExecutionContext]) -> bool:
+        if interrupted is None:
+            return True
+        if interrupted.irq_disable_depth:
+            return False
+        if source.kind == ContextKind.SOFTIRQ and interrupted.bh_disable_depth:
+            return False
+        # A handler interrupting an atomic section could self-deadlock on
+        # the very lock the section holds; real kernels prevent this with
+        # the _irq/_bh lock variants.  We conservatively do not interrupt
+        # atomic sections at all (the section is short anyway).
+        return not _is_atomic(interrupted)
+
+    def _fire(self, source: IrqSource, interrupted: Optional[ExecutionContext]) -> None:
+        if source.kind == ContextKind.SOFTIRQ:
+            ctx = make_softirq(source.name, interrupted)
+        else:
+            ctx = make_hardirq(source.name, interrupted)
+        source.fired += 1
+        gen = source.body(ctx)
+        for token in gen:
+            if isinstance(token, Wait):
+                raise KernelError(
+                    f"irq handler {source.name} blocked on {token.lock.name}; "
+                    "handlers must use trylock/_irq variants"
+                )
+        if ctx.held:
+            held = ", ".join(lock.name for lock in ctx.held_locks())
+            raise KernelError(f"irq handler {source.name} leaked locks: {held}")

@@ -1,0 +1,203 @@
+"""Struct-layout model.
+
+LockDoc's database knows the *type layout* of each observed data
+structure: the byte offset and size of every member (Fig. 6).  The
+paper additionally "unrolls" unions — differently named members sharing
+an offset get distinct offsets so memory addresses identify members
+unambiguously (Sec. 7.1) — and filters members of kind ``atomic_t`` and
+the lock variables themselves (Sec. 5.3, item 3).
+
+This module provides a declarative way to define such layouts:
+
+>>> clock = StructDef("clock", [
+...     Member.scalar("seconds", 8),
+...     Member.scalar("minutes", 8),
+...     Member.lock("sec_lock", "spinlock_t"),
+... ])
+>>> clock.offset_of("minutes")
+8
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.locks import LockClass
+
+#: Sizes (bytes) of the lock primitives when embedded in a struct.
+LOCK_SIZES = {
+    LockClass.SPINLOCK: 4,
+    LockClass.RWLOCK: 8,
+    LockClass.MUTEX: 32,
+    LockClass.SEMAPHORE: 24,
+    LockClass.RW_SEMAPHORE: 40,
+    LockClass.SEQLOCK: 8,
+}
+
+
+class MemberKind(enum.Enum):
+    """What kind of member a struct field is."""
+
+    SCALAR = "scalar"  # plain data: int, long, pointer, small array
+    ATOMIC = "atomic"  # atomic_t / atomic64_t — filtered by LockDoc
+    LOCK = "lock"  # an embedded lock variable — filtered by LockDoc
+    STRUCT = "struct"  # a nested (non-union) struct, embedded by value
+
+
+@dataclass(frozen=True)
+class Member:
+    """One member of a struct layout.
+
+    ``offset`` is filled in by :class:`StructDef`; user code creates
+    members with the factory classmethods and lets the struct assign
+    offsets sequentially (after union unrolling there is no sharing).
+    """
+
+    name: str
+    size: int
+    kind: MemberKind
+    lock_class: Optional[LockClass] = None
+    nested: Optional["StructDef"] = None
+
+    @classmethod
+    def scalar(cls, name: str, size: int = 8) -> "Member":
+        return cls(name, size, MemberKind.SCALAR)
+
+    @classmethod
+    def atomic(cls, name: str, size: int = 4) -> "Member":
+        return cls(name, size, MemberKind.ATOMIC)
+
+    @classmethod
+    def lock(cls, name: str, lock_class: "LockClass | str") -> "Member":
+        if isinstance(lock_class, str):
+            lock_class = LockClass(lock_class)
+        return cls(name, LOCK_SIZES[lock_class], MemberKind.LOCK, lock_class=lock_class)
+
+    @classmethod
+    def struct(cls, name: str, nested: "StructDef") -> "Member":
+        return cls(name, nested.size, MemberKind.STRUCT, nested=nested)
+
+
+@dataclass(frozen=True)
+class LaidOutMember:
+    """A member with its resolved byte offset inside the outermost struct.
+
+    Nested-struct members are flattened to dotted names
+    (``"i_data.a_ops"``), mirroring how the paper reports them (Fig. 8).
+    """
+
+    name: str
+    offset: int
+    size: int
+    kind: MemberKind
+    lock_class: Optional[LockClass] = None
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class StructDef:
+    """A struct layout: ordered members with assigned offsets.
+
+    Union compounds must be passed pre-unrolled (each alternative as its
+    own member) — exactly the transformation the paper applies before
+    tracing.  Nested struct members are flattened into dotted leaf
+    members for address->member resolution.
+    """
+
+    def __init__(self, name: str, members: Sequence[Member]) -> None:
+        self.name = name
+        self.members: List[Member] = list(members)
+        seen: Dict[str, Member] = {}
+        for member in self.members:
+            if member.name in seen:
+                raise ValueError(f"duplicate member {member.name} in {name}")
+            seen[member.name] = member
+        self._flat: List[LaidOutMember] = []
+        self._by_name: Dict[str, LaidOutMember] = {}
+        offset = 0
+        for member in self.members:
+            offset = self._layout(member, member.name, offset)
+        self.size = offset
+
+    def _layout(self, member: Member, path: str, offset: int) -> int:
+        if member.kind == MemberKind.STRUCT:
+            assert member.nested is not None
+            for sub in member.nested.members:
+                offset = self._layout(sub, f"{path}.{sub.name}", offset)
+            return offset
+        laid_out = LaidOutMember(path, offset, member.size, member.kind, member.lock_class)
+        self._flat.append(laid_out)
+        self._by_name[path] = laid_out
+        return offset + member.size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def flat_members(self) -> Tuple[LaidOutMember, ...]:
+        """All leaf members (nested structs flattened), in layout order."""
+        return tuple(self._flat)
+
+    def member(self, name: str) -> LaidOutMember:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no member {name!r}") from None
+
+    def has_member(self, name: str) -> bool:
+        return name in self._by_name
+
+    def offset_of(self, name: str) -> int:
+        return self.member(name).offset
+
+    def member_at(self, offset: int) -> LaidOutMember:
+        """Resolve a byte offset to the leaf member covering it."""
+        for member in self._flat:
+            if member.offset <= offset < member.end:
+                return member
+        raise KeyError(f"{self.name} has no member at offset {offset}")
+
+    def lock_members(self) -> List[LaidOutMember]:
+        return [m for m in self._flat if m.kind == MemberKind.LOCK]
+
+    def data_members(self) -> List[LaidOutMember]:
+        """Members LockDoc derives rules for (excludes locks)."""
+        return [m for m in self._flat if m.kind != MemberKind.LOCK]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<struct {self.name} size={self.size} members={len(self._flat)}>"
+
+
+class StructRegistry:
+    """Registry of all observed struct layouts, keyed by type name."""
+
+    def __init__(self, structs: Iterable[StructDef] = ()) -> None:
+        self._by_name: Dict[str, StructDef] = {}
+        for struct in structs:
+            self.register(struct)
+
+    def register(self, struct: StructDef) -> StructDef:
+        if struct.name in self._by_name:
+            raise ValueError(f"struct {struct.name} already registered")
+        self._by_name[struct.name] = struct
+        return struct
+
+    def get(self, name: str) -> StructDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown struct {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def all(self) -> List[StructDef]:
+        return [self._by_name[n] for n in self.names()]

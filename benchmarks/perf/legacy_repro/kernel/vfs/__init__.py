@@ -1,0 +1,16 @@
+"""Simulated VFS + JBD2 subsystem (the paper's system under test).
+
+Provides the 11 observed data types of Tab. 6 with realistic layouts
+(:mod:`benchmarks.perf.legacy_repro.kernel.vfs.layouts`), a ground-truth locking specification
+(:mod:`benchmarks.perf.legacy_repro.kernel.vfs.groundtruth`), a spec-driven operation engine
+(:mod:`benchmarks.perf.legacy_repro.kernel.vfs.ops`), hand-written kernel functions for the
+paper's famous cases (:mod:`benchmarks.perf.legacy_repro.kernel.vfs.inode`,
+:mod:`benchmarks.perf.legacy_repro.kernel.vfs.bufferhead`, :mod:`benchmarks.perf.legacy_repro.kernel.vfs.jbd2`,
+:mod:`benchmarks.perf.legacy_repro.kernel.vfs.pipe`, :mod:`benchmarks.perf.legacy_repro.kernel.vfs.dentry`), and a
+filesystem facade (:mod:`benchmarks.perf.legacy_repro.kernel.vfs.fs`) the workloads drive.
+"""
+
+from benchmarks.perf.legacy_repro.kernel.vfs.layouts import build_struct_registry
+from benchmarks.perf.legacy_repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
+
+__all__ = ["LockTok", "MemberSpec", "TypeSpec", "build_struct_registry"]

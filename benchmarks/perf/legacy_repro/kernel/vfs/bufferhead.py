@@ -1,0 +1,91 @@
+"""Hand-written buffer_head kernel functions.
+
+Buffer heads are the paper's violation fountain (Tab. 7: 45 325
+violating events over 4 members in 635 contexts).  Completion handlers
+run in **softirq context**, so ``b_state`` manipulation must take the
+uptodate lock with interrupts disabled — and a large family of hot
+paths (``touch_buffer``-style) skips it for speed.
+
+The functions here are used both from task context (via the workloads)
+and as the softirq handler the scheduler injects.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject
+
+FILE = "fs/buffer.c"
+
+
+def end_buffer_async_write(
+    rt: KernelRuntime, ctx: ExecutionContext, bh: KObject
+) -> Generator:
+    """IO-completion handler (softirq): update buffer state under the
+    irq-safe uptodate lock."""
+    with rt.function(ctx, "end_buffer_async_write", FILE, 385):
+        yield from rt.spin_lock_irq(ctx, bh.lock("b_uptodate_lock"))
+        rt.read(ctx, bh, "b_state", line=391)
+        rt.write(ctx, bh, "b_state", line=392)
+        rt.write(ctx, bh, "b_end_io", line=394)
+        rt.write(ctx, bh, "b_count", line=395)
+        rt.spin_unlock_irq(ctx, bh.lock("b_uptodate_lock"))
+
+
+def end_buffer_read_sync(
+    rt: KernelRuntime, ctx: ExecutionContext, bh: KObject
+) -> Generator:
+    """Synchronous-read completion (softirq), also correctly locked."""
+    with rt.function(ctx, "end_buffer_read_sync", FILE, 168):
+        yield from rt.spin_lock_irq(ctx, bh.lock("b_uptodate_lock"))
+        rt.write(ctx, bh, "b_state", line=171)
+        rt.write(ctx, bh, "b_private", line=172)
+        rt.spin_unlock_irq(ctx, bh.lock("b_uptodate_lock"))
+
+
+def touch_buffer(
+    rt: KernelRuntime, ctx: ExecutionContext, bh: KObject
+) -> Generator:
+    """Hot-path buffer touch: reads/writes ``b_state`` with **no**
+    locks — one of the many deviating paths behind Tab. 7."""
+    with rt.function(ctx, "touch_buffer", FILE, 59):
+        rt.read(ctx, bh, "b_state", line=61)
+        rt.write(ctx, bh, "b_state", line=62)
+        yield
+
+
+def mark_buffer_dirty(
+    rt: KernelRuntime, ctx: ExecutionContext, bh: KObject, locked: bool = True
+) -> Generator:
+    """``mark_buffer_dirty``: sets the dirty bit.  The fast path tests
+    the bit first and skips the lock when it races ("locked=False")."""
+    if locked:
+        with rt.function(ctx, "mark_buffer_dirty", FILE, 1095):
+            yield from rt.spin_lock_irq(ctx, bh.lock("b_uptodate_lock"))
+            rt.read(ctx, bh, "b_state", line=1101)
+            rt.write(ctx, bh, "b_state", line=1102)
+            rt.spin_unlock_irq(ctx, bh.lock("b_uptodate_lock"))
+    else:
+        with rt.function(ctx, "mark_buffer_dirty_fast", FILE, 1110):
+            rt.read(ctx, bh, "b_state", line=1112)
+            rt.write(ctx, bh, "b_state", line=1113)
+            yield
+
+
+def buffer_associate(
+    rt: KernelRuntime, ctx: ExecutionContext, bh: KObject
+) -> Generator:
+    """``mark_buffer_dirty_inode``: link the buffer onto its inode's
+    private list under the address_space's ``private_lock``."""
+    inode = bh.refs.get("b_assoc_map")
+    if inode is None or not inode.live:
+        return
+    with rt.function(ctx, "mark_buffer_dirty_inode", FILE, 678):
+        yield from rt.spin_lock(ctx, inode.lock("i_data.private_lock"))
+        rt.write(ctx, bh, "b_assoc_buffers", line=684)
+        rt.write(ctx, bh, "b_assoc_map", line=685)
+        rt.read(ctx, inode, "i_data.private_list", line=686)
+        rt.write(ctx, inode, "i_data.private_list", line=687)
+        rt.spin_unlock(ctx, inode.lock("i_data.private_lock"))

@@ -1,0 +1,126 @@
+"""Hand-written dentry kernel functions.
+
+Covers the rename/rehash machinery (global ``rename_lock`` seqlock,
+per-dentry ``d_lock``), the RCU-walk fast path that reads fields
+without any d_lock (making the documented read rules ambivalent,
+Tab. 4), and the ``fs/libfs.c`` directory walk that traverses
+``d_subdirs`` under the parent inode's ``i_rwsem`` + RCU instead of
+``d_lock`` — Tab. 8's third violation example.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject
+
+FILE = "fs/dcache.c"
+
+
+def d_rehash(rt: KernelRuntime, ctx: ExecutionContext, dentry: KObject) -> Generator:
+    """``__d_rehash``: move the dentry between hash chains."""
+    with rt.function(ctx, "__d_rehash", FILE, 2380):
+        rename_lock = rt.static_lock("rename_lock", "seqlock_t")
+        yield from rt.write_seqlock(ctx, rename_lock)
+        yield from rt.spin_lock(ctx, dentry.lock("d_lock"))
+        rt.write(ctx, dentry, "d_hash", line=2384)
+        rt.write(ctx, dentry, "d_bucket", line=2385)
+        rt.spin_unlock(ctx, dentry.lock("d_lock"))
+        rt.write_sequnlock(ctx, rename_lock)
+
+
+def d_move(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    dentry: KObject,
+    new_parent: Optional[KObject] = None,
+) -> Generator:
+    """``__d_move``: rename — retarget parent and name under
+    ``rename_lock`` + ``d_lock``."""
+    with rt.function(ctx, "__d_move", FILE, 2680):
+        rename_lock = rt.static_lock("rename_lock", "seqlock_t")
+        yield from rt.write_seqlock(ctx, rename_lock)
+        yield from rt.spin_lock(ctx, dentry.lock("d_lock"))
+        rt.write(ctx, dentry, "d_parent", line=2700)
+        rt.write(ctx, dentry, "d_name", line=2701)
+        rt.write(ctx, dentry, "d_hash", line=2702)
+        if new_parent is not None and new_parent.live:
+            dentry.refs["d_parent"] = new_parent
+        rt.spin_unlock(ctx, dentry.lock("d_lock"))
+        rt.write_sequnlock(ctx, rename_lock)
+
+
+def dget(rt: KernelRuntime, ctx: ExecutionContext, dentry: KObject) -> Generator:
+    """``dget``: take a reference, reading flags under ``d_lock``."""
+    with rt.function(ctx, "dget", FILE, 900):
+        yield from rt.spin_lock(ctx, dentry.lock("d_lock"))
+        rt.read(ctx, dentry, "d_flags", line=903)
+        rt.read(ctx, dentry, "d_count", line=904)
+        rt.write(ctx, dentry, "d_count", line=905)
+        rt.spin_unlock(ctx, dentry.lock("d_lock"))
+
+
+def rcu_walk_lookup(
+    rt: KernelRuntime, ctx: ExecutionContext, dentry: KObject
+) -> Generator:
+    """RCU-walk path-lookup fast path: reads name/parent/inode fields
+    under RCU only — no ``d_lock``.  These reads are legitimate (the
+    seqcount protocol validates them), but they halve the support of
+    the documented ``d_lock`` read rules."""
+    with rt.function(ctx, "__d_lookup_rcu", FILE, 2290):
+        rt.rcu_read_lock(ctx)
+        rt.read(ctx, dentry, "d_name", line=2300)
+        rt.read(ctx, dentry, "d_parent", line=2301)
+        rt.read(ctx, dentry, "d_inode", line=2302)
+        rt.read(ctx, dentry, "d_flags", line=2303)
+        rt.rcu_read_unlock(ctx)
+        yield
+
+
+def simple_dir_walk(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    dir_inode: KObject,
+    dentry: KObject,
+) -> Generator:
+    """``fs/libfs.c:104``-style readdir: iterates the directory's
+    children reading ``d_subdirs``/``d_child`` while holding the
+    *inode's* ``i_rwsem`` and RCU — not the dentry's ``d_lock``.
+    Flagged by the rule-violation finder (Tab. 8, third row)."""
+    with rt.function(ctx, "dcache_readdir", "fs/libfs.c", 95):
+        yield from rt.down_read(ctx, dir_inode.lock("i_rwsem"))
+        rt.rcu_read_lock(ctx)
+        rt.read(ctx, dentry, "d_subdirs", line=104)
+        rt.read(ctx, dentry, "d_child", line=105)
+        rt.rcu_read_unlock(ctx)
+        rt.up_read(ctx, dir_inode.lock("i_rwsem"))
+
+
+def d_lru_scan(
+    rt: KernelRuntime, ctx: ExecutionContext, dentry: KObject
+) -> Generator:
+    """Read-only LRU membership check holding both the global LRU lock
+    and ``d_lock`` — the path that keeps the documented full d_lru read
+    rule partially supported."""
+    with rt.function(ctx, "d_lru_scan", FILE, 1100):
+        lru = rt.static_lock("dcache_lru_lock", "spinlock_t")
+        yield from rt.spin_lock(ctx, lru)
+        yield from rt.spin_lock(ctx, dentry.lock("d_lock"))
+        rt.read(ctx, dentry, "d_lru", line=1104)
+        rt.spin_unlock(ctx, dentry.lock("d_lock"))
+        rt.spin_unlock(ctx, lru)
+
+
+def d_lru_shrink(
+    rt: KernelRuntime, ctx: ExecutionContext, dentry: KObject
+) -> Generator:
+    """Shrinker: LRU surgery under the global LRU lock + ``d_lock``."""
+    with rt.function(ctx, "shrink_dentry_list", FILE, 1120):
+        lru = rt.static_lock("dcache_lru_lock", "spinlock_t")
+        yield from rt.spin_lock(ctx, lru)
+        yield from rt.spin_lock(ctx, dentry.lock("d_lock"))
+        rt.read(ctx, dentry, "d_lru", line=1125)
+        rt.write(ctx, dentry, "d_lru", line=1126)
+        rt.spin_unlock(ctx, dentry.lock("d_lock"))
+        rt.spin_unlock(ctx, lru)

@@ -1,0 +1,438 @@
+"""The VFS world: object lifecycle and high-level file operations.
+
+:class:`VfsWorld` owns the simulated kernel's object graph — super
+blocks (one per mounted filesystem type), inodes with their filesystem
+subclass, dentries, buffer heads, the ext4 journal, pipes, character
+and block devices — and provides the kernel-entry-point functions the
+workloads drive (``vfs_create``, ``vfs_write``, ``vfs_rename``, ...).
+
+Object constructors run inside the init/teardown functions of
+:data:`benchmarks.perf.legacy_repro.kernel.vfs.groundtruth.INIT_TEARDOWN_FUNCTIONS`, writing
+initial member values without locks; the importer filters those
+accesses exactly as the paper does (Sec. 5.3, item 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject, pinned
+from benchmarks.perf.legacy_repro.kernel.vfs import bufferhead, dentry as dops, inode as iops, jbd2
+from benchmarks.perf.legacy_repro.kernel.vfs.groundtruth import INODE_SUBCLASSES, build_all_specs
+from benchmarks.perf.legacy_repro.kernel.vfs.layouts import build_struct_registry
+from benchmarks.perf.legacy_repro.kernel.vfs.ops import OpEngine
+from benchmarks.perf.legacy_repro.kernel.vfs.spec import TypeSpec
+
+#: Which filesystem types get mounted by default, mapping to the inode
+#: subclass their inodes carry.
+DEFAULT_FILESYSTEMS = list(INODE_SUBCLASSES)
+
+
+class VfsWorld:
+    """The simulated kernel's living object graph."""
+
+    def __init__(
+        self,
+        runtime: Optional[KernelRuntime] = None,
+        seed: int = 0,
+        specs: Optional[Dict[str, TypeSpec]] = None,
+    ) -> None:
+        self.rt = runtime or KernelRuntime(build_struct_registry())
+        self.rng = random.Random(seed)
+        self.specs = specs or build_all_specs()
+        self.engine = OpEngine(
+            self.rt, self.specs, random.Random(seed + 1), combo_rate=0.0
+        )
+        self.boot_ctx = self.rt.new_task("swapper/0")
+        self.supers: Dict[str, KObject] = {}
+        self.bdis: Dict[str, KObject] = {}
+        self.root_inodes: Dict[str, KObject] = {}
+        self.root_dentries: Dict[str, KObject] = {}
+        self.inodes: Dict[str, List[KObject]] = {}
+        self.dentries: List[KObject] = []
+        self.buffer_heads: List[KObject] = []
+        self.pipes: List[KObject] = []
+        self.cdevs: List[KObject] = []
+        self.bdevs: List[KObject] = []
+        self.journal: Optional[KObject] = None
+        self.transactions: List[KObject] = []
+        self.journal_heads: List[KObject] = []
+        # Inode hash chains, bucketed per filesystem: adjacency in a
+        # chain (and thus neighbour writes on unhash) stays fs-local.
+        self.hash_chains: Dict[str, List[List[KObject]]] = {}
+
+    # ------------------------------------------------------------------
+    # Object constructors (init functions -> filtered accesses)
+    # ------------------------------------------------------------------
+
+    def new_bdi(self, ctx: ExecutionContext, name: str) -> KObject:
+        with self.rt.function(ctx, "bdi_alloc", "mm/backing-dev.c", 880):
+            bdi = self.rt.new_object(ctx, "backing_dev_info")
+            for member in ("name", "ra_pages", "min_ratio", "max_ratio", "wb.state"):
+                self.rt.write(ctx, bdi, member)
+            bdi.values["name"] = name
+        return bdi
+
+    def new_super(self, ctx: ExecutionContext, fstype: str) -> KObject:
+        bdi = self.new_bdi(ctx, f"bdi-{fstype}")
+        with self.rt.function(ctx, "alloc_super", "fs/super.c", 190):
+            sb = self.rt.new_object(ctx, "super_block")
+            for member in ("s_type", "s_blocksize", "s_magic", "s_id", "s_flags",
+                           "s_maxbytes", "s_op", "s_bdi"):
+                self.rt.write(ctx, sb, member)
+            sb.refs["s_bdi"] = bdi
+            sb.values["fstype"] = fstype
+        self.supers[fstype] = sb
+        self.bdis[fstype] = bdi
+        self.inodes.setdefault(fstype, [])
+        self.hash_chains.setdefault(fstype, [[] for _ in range(4)])
+        return sb
+
+    def new_inode(
+        self,
+        ctx: ExecutionContext,
+        fstype: str,
+        directory: Optional[KObject] = None,
+    ) -> KObject:
+        sb = self.supers[fstype]
+        with self.rt.function(ctx, "alloc_inode", "fs/inode.c", 230):
+            inode = self.rt.new_object(ctx, "inode", subclass=fstype)
+            with self.rt.function(ctx, "inode_init_always", "fs/inode.c", 140):
+                for member in ("i_ino", "i_sb", "i_mode", "i_state",
+                               "i_data.host", "i_flags"):
+                    self.rt.write(ctx, inode, member)
+            inode.refs["i_sb"] = sb
+            inode.refs["i_bdi"] = sb.refs["s_bdi"]
+            if directory is not None:
+                inode.refs["i_dir"] = directory
+            inode.values["i_ino"] = self.rng.getrandbits(32)
+        self.inodes[fstype].append(inode)
+        return inode
+
+    def new_dentry(
+        self,
+        ctx: ExecutionContext,
+        inode: KObject,
+        parent: Optional[KObject] = None,
+    ) -> KObject:
+        sb = inode.refs["i_sb"]
+        with self.rt.function(ctx, "d_alloc", "fs/dcache.c", 1760):
+            d = self.rt.new_object(ctx, "dentry")
+            for member in ("d_name", "d_iname", "d_flags", "d_inode", "d_sb",
+                           "d_parent"):
+                self.rt.write(ctx, d, member)
+            d.refs["d_inode"] = inode
+            d.refs["d_sb"] = sb
+            # Root dentries carry no parent ref: ops that need the
+            # parent's lock bail out, like kernel code checking IS_ROOT().
+            if parent is not None:
+                d.refs["d_parent"] = parent
+        self.dentries.append(d)
+        return d
+
+    def new_buffer_head(self, ctx: ExecutionContext, inode: KObject) -> KObject:
+        with self.rt.function(ctx, "alloc_buffer_head", "fs/buffer.c", 3340):
+            bh = self.rt.new_object(ctx, "buffer_head")
+            for member in ("b_state", "b_size", "b_blocknr", "b_bdev", "b_data"):
+                self.rt.write(ctx, bh, member)
+            bh.refs["b_assoc_map"] = inode
+        self.buffer_heads.append(bh)
+        return bh
+
+    def new_journal(self, ctx: ExecutionContext, fstype: str = "ext4") -> KObject:
+        with self.rt.function(ctx, "journal_init_common", "fs/jbd2/journal.c", 1150):
+            journal = self.rt.new_object(ctx, "journal_t")
+            for member in ("j_flags", "j_blocksize", "j_maxlen", "j_head",
+                           "j_tail", "j_free", "j_commit_interval"):
+                self.rt.write(ctx, journal, member)
+        self.journal = journal
+        return journal
+
+    def new_transaction(self, ctx: ExecutionContext) -> KObject:
+        assert self.journal is not None, "journal must exist first"
+        with self.rt.function(ctx, "jbd2_journal_init_transaction",
+                              "fs/jbd2/transaction.c", 60):
+            txn = self.rt.new_object(ctx, "transaction_t")
+            for member in ("t_journal", "t_tid", "t_state", "t_start_time"):
+                self.rt.write(ctx, txn, member)
+            txn.refs["t_journal"] = self.journal
+        self.transactions.append(txn)
+        return txn
+
+    def new_journal_head(self, ctx: ExecutionContext, bh: KObject) -> KObject:
+        assert self.journal is not None, "journal must exist first"
+        with self.rt.function(ctx, "journal_alloc_journal_head",
+                              "fs/jbd2/journal.c", 2450):
+            jh = self.rt.new_object(ctx, "journal_head")
+            for member in ("b_bh", "b_jcount", "b_jlist"):
+                self.rt.write(ctx, jh, member)
+            jh.refs["b_bh"] = bh
+            jh.refs["b_journal"] = self.journal
+        self.journal_heads.append(jh)
+        return jh
+
+    def new_pipe(self, ctx: ExecutionContext) -> KObject:
+        with self.rt.function(ctx, "alloc_pipe_info", "fs/pipe.c", 780):
+            pipe = self.rt.new_object(ctx, "pipe_inode_info")
+            for member in ("buffers", "readers", "writers", "bufs", "user"):
+                self.rt.write(ctx, pipe, member)
+        self.pipes.append(pipe)
+        return pipe
+
+    def new_cdev(self, ctx: ExecutionContext) -> KObject:
+        with self.rt.function(ctx, "cdev_alloc", "fs/char_dev.c", 580):
+            cdev = self.rt.new_object(ctx, "cdev")
+            for member in ("kobj", "owner", "ops", "dev"):
+                self.rt.write(ctx, cdev, member)
+        self.cdevs.append(cdev)
+        return cdev
+
+    def new_block_device(self, ctx: ExecutionContext, fstype: str = "bdev") -> KObject:
+        bdi = self.bdis.get(fstype) or next(iter(self.bdis.values()))
+        with self.rt.function(ctx, "bdev_alloc", "fs/block_dev.c", 900):
+            bdev = self.rt.new_object(ctx, "block_device")
+            for member in ("bd_dev", "bd_inode", "bd_block_size", "bd_partno",
+                           "bd_disk"):
+                self.rt.write(ctx, bdev, member)
+            bdev.refs["bd_bdi"] = bdi
+        self.bdevs.append(bdev)
+        return bdev
+
+    # ------------------------------------------------------------------
+    # Destructors (teardown functions -> filtered accesses)
+    # ------------------------------------------------------------------
+
+    def _destroyable(self, obj: KObject) -> bool:
+        """An object may be freed only when nothing references it: no
+        pins (refcount model) and no embedded lock held."""
+        if not obj.live or obj.pinned:
+            return False
+        return all(lock.is_free() for lock in obj.locks.values())
+
+    def destroy_inode(self, ctx: ExecutionContext, inode: KObject) -> bool:
+        if not self._destroyable(inode):
+            return False
+        with self.rt.function(ctx, "destroy_inode", "fs/inode.c", 280):
+            self.rt.write(ctx, inode, "i_state")
+            self.rt.write(ctx, inode, "i_hash")
+            self.rt.delete_object(ctx, inode)
+        fstype = inode.subclass or ""
+        if fstype in self.inodes and inode in self.inodes[fstype]:
+            self.inodes[fstype].remove(inode)
+        for chain in self.hash_chains.get(fstype, []):
+            if inode in chain:
+                chain.remove(inode)
+        return True
+
+    def destroy_dentry(self, ctx: ExecutionContext, d: KObject) -> None:
+        with self.rt.function(ctx, "dentry_free", "fs/dcache.c", 320):
+            self.rt.write(ctx, d, "d_flags")
+            self.rt.delete_object(ctx, d)
+        if d in self.dentries:
+            self.dentries.remove(d)
+
+    def destroy_buffer_head(self, ctx: ExecutionContext, bh: KObject) -> bool:
+        if not self._destroyable(bh):
+            return False
+        with self.rt.function(ctx, "free_buffer_head", "fs/buffer.c", 3360):
+            self.rt.write(ctx, bh, "b_state")
+            self.rt.delete_object(ctx, bh)
+        if bh in self.buffer_heads:
+            self.buffer_heads.remove(bh)
+        return True
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def boot(self, filesystems: Optional[List[str]] = None) -> None:
+        """Mount the filesystems and create the initial object graph.
+
+        Runs in the boot task; everything here happens before the
+        workloads start (and the constructors' accesses are filtered as
+        init-phase accesses anyway).
+        """
+        ctx = self.boot_ctx
+        filesystems = filesystems if filesystems is not None else DEFAULT_FILESYSTEMS
+        for fstype in filesystems:
+            self.new_super(ctx, fstype)
+            root = self.new_inode(ctx, fstype, directory=None)
+            self.root_inodes[fstype] = root
+            self.root_dentries[fstype] = self.new_dentry(ctx, root, parent=None)
+        if "ext4" in self.supers:
+            self.new_journal(ctx)
+            for _ in range(3):
+                self.new_transaction(ctx)
+        if "bdev" in self.supers:
+            for _ in range(2):
+                self.new_block_device(ctx)
+        for _ in range(2):
+            self.new_cdev(ctx)
+        # Pre-populate a small inode pool per filesystem so read-mostly
+        # subclasses (proc, sockfs, ...) have live objects without the
+        # workloads ever running creation paths on them.
+        for fstype in filesystems:
+            for _ in range(5):
+                self.new_inode(ctx, fstype, directory=self.root_inodes[fstype])
+
+    # ------------------------------------------------------------------
+    # High-level kernel entry points (generators)
+    # ------------------------------------------------------------------
+
+    def vfs_create(
+        self, ctx: ExecutionContext, fstype: str, directory: Optional[KObject] = None
+    ) -> Generator:
+        """Create a file: allocate inode + dentry, hash the inode, set
+        up ops tables under the parent directory's ``i_rwsem``."""
+        rt = self.rt
+        directory = directory or self.root_inodes[fstype]
+        with rt.function(ctx, "vfs_create", "fs/namei.c", 3000):
+            yield from rt.down_write(ctx, directory.lock("i_rwsem"))
+            inode = self.new_inode(ctx, fstype, directory=directory)
+            d = self.new_dentry(ctx, inode, parent=self.root_dentries[fstype])
+            # Publishing the inode in the dir: parent's rwsem held (EO
+            # rule for the ops group).
+            rt.write(ctx, inode, "i_op", line=3010)
+            rt.write(ctx, inode, "i_fop", line=3011)
+            rt.write(ctx, inode, "i_private", line=3012)
+            # The new inode stays pinned until it is hashed; a concurrent
+            # unlink must not free it under our feet.
+            with pinned(inode):
+                rt.up_write(ctx, directory.lock("i_rwsem"))
+                yield from iops.insert_inode_hash(rt, ctx, inode)
+        chain = self.rng.choice(self.hash_chains[fstype])
+        chain.append(inode)
+        return
+
+    def vfs_unlink(self, ctx: ExecutionContext, fstype: str) -> Generator:
+        """Remove a random file of *fstype*: unhash + destroy."""
+        pool = [i for i in self.inodes.get(fstype, []) if i.live
+                and i not in self.root_inodes.values()]
+        if len(pool) < 2:
+            return
+        rt = self.rt
+        victim = self.rng.choice(pool)
+        directory = victim.refs.get("i_dir") or self.root_inodes[fstype]
+        with pinned(victim):
+            with rt.function(ctx, "vfs_unlink", "fs/namei.c", 4010):
+                yield from rt.down_write(ctx, directory.lock("i_rwsem"))
+                if victim.live:
+                    # Unhashing touches a neighbour's pointer only when
+                    # the victim is not alone in its chain bucket; model
+                    # the observed adjacency rate directly.
+                    neighbors = self._hash_neighbors(victim)[:1]
+                    if self.rng.random() >= 0.15:
+                        neighbors = []
+                    yield from iops.remove_inode_hash(rt, ctx, victim, neighbors)
+                rt.up_write(ctx, directory.lock("i_rwsem"))
+        self.destroy_inode(ctx, victim)
+
+    def _hash_neighbors(self, inode: KObject) -> List[KObject]:
+        for chain in self.hash_chains.get(inode.subclass or "", []):
+            if inode in chain:
+                index = chain.index(inode)
+                neighbors = []
+                if index > 0:
+                    neighbors.append(chain[index - 1])
+                if index + 1 < len(chain):
+                    neighbors.append(chain[index + 1])
+                return neighbors
+        return []
+
+    def vfs_write(self, ctx: ExecutionContext, inode: KObject) -> Generator:
+        """Write to a file: size update, accounting, dirtying, and —
+        for ext4 — journalling through buffer heads."""
+        rt = self.rt
+        if not inode.live:
+            return
+        with pinned(inode), rt.function(ctx, "vfs_write", "fs/read_write.c", 540):
+            yield from iops.i_size_write(rt, ctx, inode)
+            locked = not (
+                inode.subclass in ("ext4", "rootfs", "tmpfs", "sysfs")
+                and self.rng.random() < 0.065
+            )
+            yield from iops.inode_add_bytes(rt, ctx, inode, locked=locked)
+            yield from iops.mark_inode_dirty(rt, ctx, inode)
+            if inode.subclass == "ext4" and self.journal is not None:
+                if self.buffer_heads and self.rng.random() < 0.7:
+                    bh = self.rng.choice(self.buffer_heads)
+                    if bh.live:
+                        with pinned(bh):
+                            yield from bufferhead.mark_buffer_dirty(
+                                rt, ctx, bh, locked=self.rng.random() > 0.07
+                            )
+                if self.transactions and self.rng.random() < 0.5:
+                    txn = self.rng.choice(self.transactions)
+                    if txn.live:
+                        yield from jbd2.jbd2_journal_start(rt, ctx, self.journal, txn)
+
+    def vfs_read(self, ctx: ExecutionContext, inode: KObject) -> Generator:
+        """Read a file: size read, buffer touching."""
+        rt = self.rt
+        if not inode.live:
+            return
+        with pinned(inode), rt.function(ctx, "vfs_read", "fs/read_write.c", 450):
+            yield from iops.i_size_read(rt, ctx, inode)
+            if self.buffer_heads and self.rng.random() < 0.05:
+                bh = self.rng.choice(self.buffer_heads)
+                if bh.live:
+                    with pinned(bh):
+                        yield from bufferhead.touch_buffer(rt, ctx, bh)
+
+    def vfs_rename(self, ctx: ExecutionContext) -> Generator:
+        """Rename a dentry (rename_lock + d_lock); a rename that stays
+        within a directory only rehashes."""
+        live = [d for d in self.dentries if d.live]
+        if not live:
+            return
+        d = self.rng.choice(live)
+        if self.rng.random() < 0.3:
+            yield from dops.d_rehash(self.rt, ctx, d)
+        else:
+            yield from dops.d_move(self.rt, ctx, d)
+
+    def exercise(
+        self, ctx: ExecutionContext, type_name: str, obj: KObject
+    ) -> Generator:
+        """Run one synthesized spec op on *obj* (long-tail coverage)."""
+        spec = self.specs[type_name]
+        profile = None
+        skip_scale = 1.0
+        if spec.subclass_profiles is not None and obj.subclass:
+            profile = spec.subclass_profiles.get(obj.subclass)
+            if profile is None:
+                return
+            skip_scale = profile.get("_skips", 1.0)
+            # "_rate" is the absolute probability that this subclass is
+            # exercised at all — without it, a near-zero profile would
+            # still funnel every call into its one remaining group.
+            if self.rng.random() >= profile.get("_rate", 1.0):
+                return
+        op = self.engine.pick_op(type_name, profile)
+        if op is None:
+            return
+        yield from self.engine.run_op(
+            ctx, obj, op, skip_scale=skip_scale, profile=profile
+        )
+
+    def random_object(self, type_name: str) -> Optional[KObject]:
+        """A random live object of *type_name* (None if none exist)."""
+        pools: Dict[str, List[KObject]] = {
+            "inode": [i for pool in self.inodes.values() for i in pool],
+            "dentry": self.dentries,
+            "super_block": list(self.supers.values()),
+            "backing_dev_info": list(self.bdis.values()),
+            "buffer_head": self.buffer_heads,
+            "pipe_inode_info": self.pipes,
+            "cdev": self.cdevs,
+            "block_device": self.bdevs,
+            "journal_t": [self.journal] if self.journal else [],
+            "transaction_t": self.transactions,
+            "journal_head": self.journal_heads,
+        }
+        pool = [o for o in pools.get(type_name, []) if o is not None and o.live]
+        if not pool:
+            return None
+        return self.rng.choice(pool)

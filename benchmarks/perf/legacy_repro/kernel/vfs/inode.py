@@ -1,0 +1,275 @@
+"""Hand-written inode kernel functions.
+
+These model the concrete code paths the paper discusses:
+
+* :func:`insert_inode_hash` / :func:`remove_inode_hash` — the
+  ``i_hash`` mystery (Sec. 7.4): removal writes the hash pointers of
+  the list *neighbours* while holding only the global
+  ``inode_hash_lock`` and the *removed* inode's ``i_lock`` — so the
+  neighbours see ``inode_hash_lock -> EO(i_lock in inode)``,
+  contradicting both documentation and the insert path.
+* :func:`find_inode` — traverses the hash chain (reads ``i_hash``)
+  under the hash lock (its stale documentation says "inode lock held").
+* :func:`inode_set_flags` — the confirmed kernel bug (Fig. 3): one
+  code path updates ``i_flags`` with a cmpxchg loop instead of taking
+  the required lock.
+* :func:`inode_lru_add` / :func:`inode_lru_isolate` — two legitimate
+  LRU paths, only one of which also holds ``i_lock`` (this is what
+  makes the documented ``i_lru`` rule ambivalent at ~50 %, Tab. 5).
+* :func:`fsstack_copy_inode_size` — reads ``i_size`` with no locks,
+  quoting the paper's "we don't actually know what locking is used at
+  the lower level" comment.
+* :func:`inode_add_bytes` — the canonical correct ``i_lock`` user.
+
+All functions are generators (kthread bodies).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject
+
+FILE = "fs/inode.c"
+
+
+def insert_inode_hash(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject
+) -> Generator:
+    """Add *inode* to the hash chain: hash lock, then own ``i_lock``."""
+    with rt.function(ctx, "insert_inode_hash", FILE, 481):
+        hash_lock = rt.static_lock("inode_hash_lock", "spinlock_t")
+        yield from rt.spin_lock(ctx, hash_lock)
+        yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+        rt.write(ctx, inode, "i_hash", line=485)
+        rt.read(ctx, inode, "i_state", line=486)
+        rt.write(ctx, inode, "i_state", line=487)
+        rt.spin_unlock(ctx, inode.lock("i_lock"))
+        rt.spin_unlock(ctx, hash_lock)
+
+
+def remove_inode_hash(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    inode: KObject,
+    neighbors: Sequence[KObject] = (),
+) -> Generator:
+    """``__remove_inode_hash``: unlink *inode* from its hash chain.
+
+    The doubly-linked-list unlink writes ``i_hash`` of up to two
+    *neighbour* inodes whose ``i_lock`` is **not** held — the numerous
+    EO-flavoured writes that let LockDoc conclude ``i_lock`` is not
+    needed for this operation (Sec. 7.4, Tab. 8 first row).
+    """
+    with rt.function(ctx, "__remove_inode_hash", FILE, 500):
+        hash_lock = rt.static_lock("inode_hash_lock", "spinlock_t")
+        yield from rt.spin_lock(ctx, hash_lock)
+        yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+        rt.write(ctx, inode, "i_hash", line=506)
+        for neighbor in neighbors:
+            if neighbor.live and neighbor is not inode:
+                rt.write(ctx, neighbor, "i_hash", line=507)
+        rt.write(ctx, inode, "i_state", line=509)
+        rt.spin_unlock(ctx, inode.lock("i_lock"))
+        rt.spin_unlock(ctx, hash_lock)
+
+
+def find_inode(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    chain: Sequence[KObject],
+    with_i_lock: bool = True,
+) -> Generator:
+    """``find_inode``: walk a hash chain reading ``i_hash`` pointers.
+
+    Called from ``iget5_locked`` with the global ``inode_hash_lock``
+    (not the per-inode lock the stale comment asks for); the match's
+    ``i_state`` is then checked under its ``i_lock``.
+    """
+    with rt.function(ctx, "find_inode", FILE, 803):
+        hash_lock = rt.static_lock("inode_hash_lock", "spinlock_t")
+        yield from rt.spin_lock(ctx, hash_lock)
+        match: Optional[KObject] = None
+        for inode in chain:
+            if not inode.live:
+                continue
+            rt.read(ctx, inode, "i_hash", line=810)
+            match = inode
+        if match is not None:
+            if with_i_lock:
+                yield from rt.spin_lock(ctx, match.lock("i_lock"))
+                rt.read(ctx, match, "i_state", line=815)
+                rt.spin_unlock(ctx, match.lock("i_lock"))
+            else:
+                # iget5_locked-style callers peek at i_state with only
+                # the hash lock held (the stale documentation says
+                # "inode lock held").
+                rt.read(ctx, match, "i_state", line=818)
+        rt.spin_unlock(ctx, hash_lock)
+
+
+def inode_set_flags(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    inode: KObject,
+    locked: bool = True,
+) -> Generator:
+    """``inode_set_flags``: atomically set inode flags (Fig. 3).
+
+    With ``locked=False`` this is the code path that "doesn't follow
+    this rule today" — a cmpxchg read-modify-write of ``i_flags``
+    without holding ``i_rwsem``.  This deviation is the violation a
+    kernel developer confirmed as a real bug (Sec. 7.5).
+    """
+    if locked:
+        with rt.function(ctx, "inode_set_flags", FILE, 2134):
+            yield from rt.down_write(ctx, inode.lock("i_rwsem"))
+            rt.read(ctx, inode, "i_flags", line=2140)
+            rt.write(ctx, inode, "i_flags", line=2141)
+            rt.up_write(ctx, inode.lock("i_rwsem"))
+    else:
+        with rt.function(ctx, "inode_set_flags_cmpxchg", FILE, 2150):
+            rt.read(ctx, inode, "i_flags", line=2152)
+            rt.write(ctx, inode, "i_flags", line=2153)
+            yield  # a preemption point; cmpxchg loops are lock-free
+
+
+def inode_add_bytes(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    inode: KObject,
+    nbytes: int = 512,
+    locked: bool = True,
+) -> Generator:
+    """``inode_add_bytes``: the canonical correct ``i_lock`` user.
+
+    With ``locked=False`` this is a lower-level filesystem updating
+    ``i_blocks`` without the lock — the deviation behind Tab. 5's
+    93.56 % support for the documented ``i_blocks`` write rule.
+    """
+    if locked:
+        with rt.function(ctx, "inode_add_bytes", "fs/stat.c", 718):
+            yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+            rt.read(ctx, inode, "i_blocks", line=721)
+            rt.write(ctx, inode, "i_blocks", line=722)
+            rt.read(ctx, inode, "i_bytes", line=723)
+            rt.write(ctx, inode, "i_bytes", line=724)
+            rt.spin_unlock(ctx, inode.lock("i_lock"))
+    else:
+        with rt.function(ctx, "fs_apply_blocks", "fs/ext4/balloc.c", 630):
+            rt.read(ctx, inode, "i_blocks", line=632)
+            rt.write(ctx, inode, "i_blocks", line=633)
+            yield
+
+
+def fsstack_copy_inode_size(
+    rt: KernelRuntime, ctx: ExecutionContext, dst: KObject, src: KObject
+) -> Generator:
+    """``fsstack_copy_inode_size``: "we don't actually know what locking
+    is used at the lower level" — reads ``i_size``/``i_blocks`` of the
+    source with no locks, writes the destination under its locks."""
+    with rt.function(ctx, "fsstack_copy_inode_size", "fs/stack.c", 12):
+        rt.read(ctx, src, "i_size", line=17)
+        rt.read(ctx, src, "i_blocks", line=18)
+        yield from rt.down_write(ctx, dst.lock("i_rwsem"))
+        yield from rt.write_seqlock(ctx, dst.lock("i_size_seqcount"))
+        rt.write(ctx, dst, "i_size", line=25)
+        rt.write_sequnlock(ctx, dst.lock("i_size_seqcount"))
+        rt.up_write(ctx, dst.lock("i_rwsem"))
+
+
+def i_size_write(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject
+) -> Generator:
+    """``i_size_write`` under ``i_rwsem`` + the size seqcount."""
+    with rt.function(ctx, "i_size_write", "include/linux/fs.h", 872):
+        yield from rt.down_write(ctx, inode.lock("i_rwsem"))
+        yield from rt.write_seqlock(ctx, inode.lock("i_size_seqcount"))
+        rt.write(ctx, inode, "i_size", line=876)
+        rt.write_sequnlock(ctx, inode.lock("i_size_seqcount"))
+        rt.up_write(ctx, inode.lock("i_rwsem"))
+
+
+def i_size_read(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject
+) -> Generator:
+    """``i_size_read``: seqcount read loop."""
+    with rt.function(ctx, "i_size_read", "include/linux/fs.h", 855):
+        yield from rt.read_seqbegin(ctx, inode.lock("i_size_seqcount"))
+        rt.read(ctx, inode, "i_size", line=858)
+        rt.read_seqend(ctx, inode.lock("i_size_seqcount"))
+
+
+def inode_lru_add(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject, with_i_lock: bool
+) -> Generator:
+    """Put *inode* on the LRU.  One caller holds ``i_lock``, the other
+    does not — together they make the documented ``ES(i_lock)`` rule
+    for ``i_lru`` ambivalent at ~50 % (Tab. 5)."""
+    lru_lock = rt.static_lock("inode_lru_lock", "spinlock_t")
+    if with_i_lock:
+        with rt.function(ctx, "inode_lru_list_add", FILE, 430):
+            yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+            yield from rt.spin_lock(ctx, lru_lock)
+            rt.read(ctx, inode, "i_lru", line=434)
+            rt.write(ctx, inode, "i_lru", line=435)
+            rt.spin_unlock(ctx, lru_lock)
+            rt.spin_unlock(ctx, inode.lock("i_lock"))
+    else:
+        with rt.function(ctx, "inode_lru_list_add_obj", FILE, 445):
+            yield from rt.spin_lock(ctx, lru_lock)
+            rt.read(ctx, inode, "i_lru", line=448)
+            rt.write(ctx, inode, "i_lru", line=449)
+            rt.spin_unlock(ctx, lru_lock)
+
+
+def inode_lru_check(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject, with_i_lock: bool
+) -> Generator:
+    """Read-only LRU membership check; like the add path, only one of
+    two callers holds ``i_lock`` (Tab. 5's ~50 % read support)."""
+    lru_lock = rt.static_lock("inode_lru_lock", "spinlock_t")
+    if with_i_lock:
+        with rt.function(ctx, "inode_lru_contains", FILE, 460):
+            yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+            yield from rt.spin_lock(ctx, lru_lock)
+            rt.read(ctx, inode, "i_lru", line=463)
+            rt.spin_unlock(ctx, lru_lock)
+            rt.spin_unlock(ctx, inode.lock("i_lock"))
+    else:
+        with rt.function(ctx, "inode_lru_peek", FILE, 470):
+            yield from rt.spin_lock(ctx, lru_lock)
+            rt.read(ctx, inode, "i_lru", line=473)
+            rt.spin_unlock(ctx, lru_lock)
+
+
+def inode_lru_isolate(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject
+) -> Generator:
+    """Shrinker path: isolate an inode from the LRU (no ``i_lock``)."""
+    lru_lock = rt.static_lock("inode_lru_lock", "spinlock_t")
+    with rt.function(ctx, "inode_lru_isolate", FILE, 730):
+        yield from rt.spin_lock(ctx, lru_lock)
+        rt.read(ctx, inode, "i_lru", line=733)
+        rt.write(ctx, inode, "i_lru", line=737)
+        rt.spin_unlock(ctx, lru_lock)
+
+
+def mark_inode_dirty(
+    rt: KernelRuntime, ctx: ExecutionContext, inode: KObject
+) -> Generator:
+    """``__mark_inode_dirty``: flag the inode and queue it on the bdi
+    writeback list (``i_state`` under ``i_lock``; list members under
+    the bdi's ``wb.list_lock``)."""
+    with rt.function(ctx, "__mark_inode_dirty", "fs/fs-writeback.c", 2112):
+        yield from rt.spin_lock(ctx, inode.lock("i_lock"))
+        rt.read(ctx, inode, "i_state", line=2126)
+        rt.write(ctx, inode, "i_state", line=2127)
+        rt.spin_unlock(ctx, inode.lock("i_lock"))
+        bdi = inode.refs.get("i_bdi")
+        if bdi is not None and bdi.live:
+            yield from rt.spin_lock(ctx, bdi.lock("wb.list_lock"))
+            rt.write(ctx, inode, "dirtied_when", line=2153)
+            rt.write(ctx, inode, "i_io_list", line=2154)
+            rt.spin_unlock(ctx, bdi.lock("wb.list_lock"))

@@ -1,0 +1,133 @@
+"""Hand-written JBD2 kernel functions (journal commit machinery).
+
+Models the code paths behind Tab. 4's best-documented structures and
+the Tab. 8 example where ``ext4_writepages`` writes
+``j_committing_transaction`` while holding only the *read* side of
+``j_state_lock`` (plus the inode's ``i_rwsem``) — the derived rule
+demands the write side, so every such access is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject
+
+FILE = "fs/jbd2/commit.c"
+
+
+def jbd2_journal_start(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    journal: KObject,
+    txn: KObject,
+) -> Generator:
+    """``start_this_handle``: join the running transaction."""
+    with rt.function(ctx, "start_this_handle", "fs/jbd2/transaction.c", 290):
+        yield from rt.read_lock(ctx, journal.lock("j_state_lock"))
+        rt.read(ctx, journal, "j_running_transaction", line=300)
+        rt.read(ctx, journal, "j_flags", line=301)
+        rt.read_unlock(ctx, journal.lock("j_state_lock"))
+        yield from rt.spin_lock(ctx, txn.lock("t_handle_lock"))
+        rt.read(ctx, txn, "t_outstanding_credits", line=320)
+        rt.write(ctx, txn, "t_outstanding_credits", line=321)
+        rt.read(ctx, txn, "t_handle_count", line=322)
+        rt.write(ctx, txn, "t_handle_count", line=323)
+        rt.spin_unlock(ctx, txn.lock("t_handle_lock"))
+
+
+def jbd2_journal_commit_transaction(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    journal: KObject,
+    txn: KObject,
+) -> Generator:
+    """``jbd2_journal_commit_transaction``: phase 0-2 of a commit.
+
+    State transitions happen under the write side of ``j_state_lock``;
+    buffer-list surgery under ``j_list_lock``.
+    """
+    with rt.function(ctx, "jbd2_journal_commit_transaction", FILE, 380):
+        yield from rt.write_lock(ctx, journal.lock("j_state_lock"))
+        rt.read(ctx, journal, "j_running_transaction", line=401)
+        rt.write(ctx, journal, "j_running_transaction", line=402)
+        rt.write(ctx, journal, "j_committing_transaction", line=403)
+        rt.read(ctx, journal, "j_commit_sequence", line=404)
+        rt.write(ctx, journal, "j_commit_sequence", line=405)
+        rt.write(ctx, txn, "t_state", line=410)
+        rt.write_unlock(ctx, journal.lock("j_state_lock"))
+        rt.read(ctx, txn, "t_tid", line=413)
+
+        yield from rt.spin_lock(ctx, journal.lock("j_list_lock"))
+        rt.read(ctx, txn, "t_buffers", line=430)
+        rt.write(ctx, txn, "t_buffers", line=431)
+        rt.write(ctx, txn, "t_nr_buffers", line=432)
+        rt.write(ctx, journal, "j_checkpoint_transactions", line=440)
+        rt.spin_unlock(ctx, journal.lock("j_list_lock"))
+
+        yield from rt.write_lock(ctx, journal.lock("j_state_lock"))
+        rt.write(ctx, journal, "j_committing_transaction", line=460)
+        rt.write(ctx, journal, "j_average_commit_time", line=461)
+        rt.write_unlock(ctx, journal.lock("j_state_lock"))
+
+
+def ext4_writepages_peek(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    inode: KObject,
+    journal: KObject,
+) -> Generator:
+    """``ext4_writepages`` (fs/ext4/inode.c:4685): the Tab. 8 example.
+
+    Holds the inode's ``i_rwsem`` and only the **read** side of
+    ``j_state_lock``, yet *writes* ``j_committing_transaction`` — a
+    violation of the derived write rule.
+    """
+    with rt.function(ctx, "ext4_writepages", "fs/ext4/inode.c", 4670):
+        yield from rt.down_read(ctx, inode.lock("i_rwsem"))
+        yield from rt.read_lock(ctx, journal.lock("j_state_lock"))
+        rt.read(ctx, journal, "j_running_transaction", line=4683)
+        rt.write(ctx, journal, "j_committing_transaction", line=4685)
+        rt.read_unlock(ctx, journal.lock("j_state_lock"))
+        rt.up_read(ctx, inode.lock("i_rwsem"))
+
+
+def jbd2_journal_add_journal_head(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    jh: KObject,
+    journal: KObject,
+) -> Generator:
+    """Attach buffer journalling state: bit-lock then list lock."""
+    with rt.function(ctx, "jbd2_journal_add_journal_head", "fs/jbd2/journal.c", 2500):
+        yield from rt.spin_lock(ctx, jh.lock("b_state_lock"))
+        rt.read(ctx, jh, "b_jcount", line=2510)
+        rt.write(ctx, jh, "b_jcount", line=2511)
+        yield from rt.spin_lock(ctx, journal.lock("j_list_lock"))
+        rt.write(ctx, jh, "b_transaction", line=2520)
+        rt.write(ctx, jh, "b_jlist", line=2521)
+        rt.spin_unlock(ctx, journal.lock("j_list_lock"))
+        rt.spin_unlock(ctx, jh.lock("b_state_lock"))
+
+
+def jbd2_checkpoint(
+    rt: KernelRuntime,
+    ctx: ExecutionContext,
+    journal: KObject,
+    txn: Optional[KObject] = None,
+) -> Generator:
+    """``jbd2_log_do_checkpoint``: serialize on the checkpoint mutex,
+    then prune checkpoint lists under ``j_list_lock``."""
+    with rt.function(ctx, "jbd2_log_do_checkpoint", "fs/jbd2/checkpoint.c", 350):
+        yield from rt.mutex_lock(ctx, journal.lock("j_checkpoint_mutex"))
+        rt.read(ctx, journal, "j_revoke", line=355)
+        rt.write(ctx, journal, "j_revoke_table", line=356)
+        yield from rt.spin_lock(ctx, journal.lock("j_list_lock"))
+        rt.read(ctx, journal, "j_checkpoint_transactions", line=360)
+        rt.write(ctx, journal, "j_checkpoint_transactions", line=361)
+        if txn is not None and txn.live:
+            rt.read(ctx, txn, "t_checkpoint_list", line=365)
+            rt.write(ctx, txn, "t_checkpoint_list", line=366)
+        rt.spin_unlock(ctx, journal.lock("j_list_lock"))
+        rt.mutex_unlock(ctx, journal.lock("j_checkpoint_mutex"))

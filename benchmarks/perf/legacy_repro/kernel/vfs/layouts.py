@@ -1,0 +1,568 @@
+"""Struct layouts of the 11 observed data types (Tab. 6).
+
+Member names follow the real Linux structs; union compounds (e.g. the
+``i_pipe``/``i_bdev``/``i_cdev`` union in ``struct inode``) appear
+pre-unrolled as separate members, exactly as the paper transforms them
+before tracing (Sec. 7.1).  Data-member counts match the paper's #M
+column:
+
+=================  ===  ==================================
+type               #M   embedded locks
+=================  ===  ==================================
+backing_dev_info    43  wb.list_lock, wb.work_lock
+block_device        21  bd_mutex, bd_fsfreeze_mutex
+buffer_head         13  b_uptodate_lock
+cdev                 6  (global cdev_lock only)
+dentry              21  d_lock, d_seq
+inode               65  i_lock, i_rwsem, i_size_seqcount,
+                        i_data.tree_lock, i_data.i_mmap_rwsem,
+                        i_data.private_lock
+journal_head        15  b_state_lock
+journal_t           58  j_state_lock, j_list_lock,
+                        j_checkpoint_mutex, j_barrier,
+                        j_history_lock
+pipe_inode_info     16  mutex
+super_block         56  s_umount, s_inode_list_lock,
+                        s_inode_wblist_lock, s_vfs_rename_mutex
+transaction_t       27  t_handle_lock
+=================  ===  ==================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from benchmarks.perf.legacy_repro.kernel.structs import Member, StructDef, StructRegistry
+
+S = Member.scalar
+A = Member.atomic
+L = Member.lock
+
+
+def _scalars(*names: str) -> List[Member]:
+    return [S(name) for name in names]
+
+
+def build_address_space() -> StructDef:
+    """``struct address_space`` — nested into inode as ``i_data``."""
+    return StructDef(
+        "address_space",
+        [
+            S("host"),
+            S("page_tree"),
+            L("tree_lock", "spinlock_t"),
+            S("i_mmap"),
+            L("i_mmap_rwsem", "rw_semaphore"),
+            S("nrpages"),
+            S("nrexceptional"),
+            S("writeback_index"),
+            S("a_ops"),
+            S("flags"),
+            S("gfp_mask"),
+            L("private_lock", "spinlock_t"),
+            S("private_data"),
+            S("private_list"),
+            S("assoc_mapping"),
+            S("i_mmap_writable"),
+            S("wb_err"),
+            S("nr_thps"),
+            S("mmap_base"),
+        ],
+    )
+
+
+def build_inode() -> StructDef:
+    """``struct inode`` — 65 data members, 6 embedded locks."""
+    return StructDef(
+        "inode",
+        [
+            S("i_mode"),
+            S("i_opflags"),
+            S("i_uid"),
+            S("i_gid"),
+            S("i_flags"),
+            S("i_acl"),
+            S("i_default_acl"),
+            S("i_op"),
+            S("i_sb"),
+            S("i_mapping"),
+            S("i_security"),
+            S("i_ino"),
+            S("i_nlink"),
+            S("i_rdev"),
+            S("i_size"),
+            S("i_atime"),
+            S("i_mtime"),
+            S("i_ctime"),
+            L("i_lock", "spinlock_t"),
+            S("i_bytes"),
+            S("i_blkbits"),
+            S("i_blocks"),
+            L("i_size_seqcount", "seqlock_t"),
+            S("i_state"),
+            L("i_rwsem", "rw_semaphore"),
+            S("dirtied_when"),
+            S("dirtied_time_when"),
+            S("i_hash"),
+            S("i_io_list"),
+            S("i_wb"),
+            S("i_wb_frn_winner"),
+            S("i_wb_frn_avg_time"),
+            S("i_wb_frn_history"),
+            S("i_lru"),
+            S("i_sb_list"),
+            S("i_wb_list"),
+            S("i_version"),
+            A("i_count"),
+            A("i_dio_count"),
+            A("i_writecount"),
+            A("i_readcount"),
+            S("i_fop"),
+            S("i_flctx"),
+            # union { i_pipe; i_bdev; i_cdev; i_link } — unrolled:
+            S("i_pipe"),
+            S("i_bdev"),
+            S("i_cdev"),
+            S("i_link"),
+            S("i_dir_seq"),
+            S("i_generation"),
+            S("i_fsnotify_mask"),
+            S("i_fsnotify_marks"),
+            S("i_private"),
+            Member.struct("i_data", build_address_space()),
+        ],
+    )
+
+
+def build_dentry() -> StructDef:
+    """``struct dentry`` — 21 data members."""
+    return StructDef(
+        "dentry",
+        [
+            S("d_flags"),
+            L("d_seq", "seqlock_t"),
+            S("d_hash"),
+            S("d_parent"),
+            S("d_name"),
+            S("d_inode"),
+            S("d_iname"),
+            A("d_count"),
+            L("d_lock", "spinlock_t"),
+            S("d_op"),
+            S("d_sb"),
+            S("d_time"),
+            S("d_fsdata"),
+            S("d_lru"),
+            S("d_child"),
+            S("d_subdirs"),
+            S("d_alias"),
+            S("d_rcu"),
+            S("d_mounted"),
+            S("d_cookie"),
+            S("d_bucket"),
+            S("d_genocide_count"),
+            S("d_wait"),
+        ],
+    )
+
+
+def build_super_block() -> StructDef:
+    """``struct super_block`` — 56 data members."""
+    return StructDef(
+        "super_block",
+        _scalars(
+            "s_list",
+            "s_dev",
+            "s_blocksize",
+            "s_blocksize_bits",
+            "s_dirt",
+            "s_maxbytes",
+            "s_type",
+            "s_op",
+            "dq_op",
+            "s_qcop",
+            "s_export_op",
+            "s_flags",
+            "s_iflags",
+            "s_magic",
+            "s_root",
+            "s_count",
+        )
+        + [A("s_active"), L("s_umount", "rw_semaphore")]
+        + _scalars(
+            "s_security",
+            "s_xattr",
+            "s_inodes",
+        )
+        + [L("s_inode_list_lock", "spinlock_t")]
+        + _scalars("s_inodes_wb")
+        + [L("s_inode_wblist_lock", "spinlock_t")]
+        + _scalars(
+            "s_mounts",
+            "s_bdev",
+            "s_bdi",
+            "s_mtd",
+            "s_instances",
+            "s_quota_types",
+            "s_dquot",
+            "s_writers",
+            "s_id",
+            "s_uuid",
+            "s_fs_info",
+            "s_max_links",
+            "s_mode",
+            "s_time_gran",
+        )
+        + [L("s_vfs_rename_mutex", "mutex")]
+        + _scalars(
+            "s_subtype",
+            "s_shrink",
+        )
+        + [A("s_remove_count")]
+        + _scalars(
+            "s_readonly_remount",
+            "s_dio_done_wq",
+            "s_pins",
+            "s_user_ns",
+            "s_inode_lru",
+            "s_dentry_lru",
+            "s_mount_opts",
+            "s_d_op",
+            "s_cleancache_poolid",
+            "s_stack_depth",
+            "s_fsnotify_mask",
+            "s_fsnotify_marks",
+            "s_time_min",
+            "s_time_max",
+            "s_wb_err",
+            "s_lsi",
+            "s_sync_count",
+            "s_pflags",
+        ),
+    )
+
+
+def build_block_device() -> StructDef:
+    """``struct block_device`` — 21 data members."""
+    return StructDef(
+        "block_device",
+        _scalars("bd_dev", "bd_openers", "bd_inode", "bd_super")
+        + [L("bd_mutex", "mutex")]
+        + _scalars(
+            "bd_claiming",
+            "bd_holder",
+        )
+        + [A("bd_holders")]
+        + _scalars(
+            "bd_write_holder",
+            "bd_holder_disks",
+            "bd_contains",
+            "bd_block_size",
+            "bd_partno",
+            "bd_part",
+            "bd_part_count",
+            "bd_invalidated",
+            "bd_disk",
+            "bd_queue",
+            "bd_bdi",
+            "bd_list",
+            "bd_private",
+        )
+        + [L("bd_fsfreeze_mutex", "mutex"), S("bd_fsfreeze_count")],
+    )
+
+
+def build_buffer_head() -> StructDef:
+    """``struct buffer_head`` — 13 data members.
+
+    ``b_uptodate_lock`` models the BH bit-spinlock; buffer heads are
+    completed from softirq context, so their rules involve the
+    synthetic softirq/hardirq locks.
+    """
+    return StructDef(
+        "buffer_head",
+        _scalars("b_state", "b_this_page", "b_page", "b_blocknr", "b_size", "b_data")
+        + [L("b_uptodate_lock", "spinlock_t")]
+        + _scalars(
+            "b_bdev",
+            "b_end_io",
+            "b_private",
+            "b_assoc_buffers",
+            "b_assoc_map",
+            "b_count",
+            "b_maybe_boundary",
+        ),
+    )
+
+
+def build_cdev() -> StructDef:
+    """``struct cdev`` — 6 data members, protected by global cdev_lock."""
+    return StructDef(
+        "cdev",
+        _scalars("kobj", "owner", "ops", "list", "dev", "count"),
+    )
+
+
+def build_bdi_writeback() -> StructDef:
+    """``struct bdi_writeback`` — nested into backing_dev_info as ``wb``."""
+    return StructDef(
+        "bdi_writeback",
+        [
+            S("state"),
+            S("last_old_flush"),
+            L("list_lock", "spinlock_t"),
+            S("b_dirty"),
+            S("b_io"),
+            S("b_more_io"),
+            S("b_dirty_time"),
+            S("bandwidth"),
+            S("avg_write_bandwidth"),
+            S("balanced_dirty_ratelimit"),
+            S("completions"),
+            S("dirty_exceeded"),
+            S("start_all_reason"),
+            A("refcnt"),
+            L("work_lock", "spinlock_t"),
+            S("work_list"),
+            S("dwork"),
+            S("last_comp"),
+            S("memcg_css"),
+            S("blkcg_css"),
+            S("congested_data"),
+        ],
+    )
+
+
+def build_backing_dev_info() -> StructDef:
+    """``struct backing_dev_info`` — 43 data members."""
+    return StructDef(
+        "backing_dev_info",
+        _scalars(
+            "bdi_list",
+            "ra_pages",
+            "io_pages",
+            "dev",
+            "name",
+            "owner",
+            "min_ratio",
+            "max_ratio",
+            "bw_time_stamp",
+            "written_stamp",
+            "write_bandwidth",
+            "avg_write_bandwidth",
+            "dirty_ratelimit",
+            "balanced_dirty_ratelimit",
+            "completions",
+            "dirty_exceeded",
+            "min_prop_frac",
+            "max_prop_frac",
+        )
+        + [A("usage_cnt")]
+        + _scalars(
+            "capabilities",
+            "congested",
+            "wb_waitq",
+            "dev_name",
+            "laptop_mode_wb_timer",
+        )
+        + [Member.struct("wb", build_bdi_writeback())],
+    )
+
+
+def build_pipe_inode_info() -> StructDef:
+    """``struct pipe_inode_info`` — 16 data members."""
+    return StructDef(
+        "pipe_inode_info",
+        [L("mutex", "mutex")]
+        + _scalars(
+            "nrbufs",
+            "curbuf",
+            "buffers",
+            "readers",
+            "writers",
+        )
+        + [A("files")]
+        + _scalars(
+            "waiting_writers",
+            "r_counter",
+            "w_counter",
+            "fasync_readers",
+            "fasync_writers",
+            "bufs",
+            "user",
+            "tmp_page",
+            "wait",
+            "max_usage",
+        ),
+    )
+
+
+def build_journal_head() -> StructDef:
+    """``struct journal_head`` — 15 data members."""
+    return StructDef(
+        "journal_head",
+        [S("b_bh"), L("b_state_lock", "spinlock_t")]
+        + _scalars(
+            "b_jcount",
+            "b_jlist",
+            "b_modified",
+            "b_frozen_data",
+            "b_committed_data",
+            "b_transaction",
+            "b_next_transaction",
+            "b_cp_transaction",
+            "b_tnext",
+            "b_tprev",
+            "b_cpnext",
+            "b_cpprev",
+            "b_triggers",
+            "b_frozen_triggers",
+        ),
+    )
+
+
+def build_journal_t() -> StructDef:
+    """``journal_t`` (struct journal_s) — 58 data members."""
+    return StructDef(
+        "journal_t",
+        _scalars("j_flags", "j_errno", "j_sb_buffer", "j_format_version")
+        + [L("j_state_lock", "rwlock_t")]
+        + _scalars(
+            "j_barrier_count",
+            "j_running_transaction",
+            "j_committing_transaction",
+            "j_checkpoint_transactions",
+            "j_wait_transaction_locked",
+            "j_wait_done_commit",
+            "j_wait_commit",
+            "j_wait_updates",
+            "j_wait_reserved",
+        )
+        + [L("j_checkpoint_mutex", "mutex"), L("j_barrier", "mutex")]
+        + _scalars(
+            "j_head",
+            "j_tail",
+            "j_free",
+            "j_first",
+            "j_last",
+            "j_dev",
+            "j_blocksize",
+            "j_blk_offset",
+            "j_fs_dev",
+            "j_maxlen",
+        )
+        + [A("j_reserved_credits"), L("j_list_lock", "spinlock_t")]
+        + _scalars(
+            "j_tail_sequence",
+            "j_transaction_sequence",
+            "j_commit_sequence",
+            "j_commit_request",
+            "j_uuid",
+            "j_task",
+            "j_max_transaction_buffers",
+            "j_commit_interval",
+            "j_commit_timer",
+            "j_revoke",
+            "j_revoke_table",
+            "j_wbuf",
+            "j_wbufsize",
+            "j_last_sync_writer",
+            "j_average_commit_time",
+            "j_min_batch_time",
+            "j_max_batch_time",
+            "j_commit_callback",
+            "j_failed_commit",
+            "j_chksum_driver",
+            "j_csum_seed",
+            "j_devname",
+            "j_superblock",
+        )
+        + [L("j_history_lock", "spinlock_t")]
+        + _scalars(
+            "j_history",
+            "j_history_max",
+            "j_history_cur",
+            "j_private",
+            "j_fc_off",
+            "j_fc_wbuf",
+            "j_fc_wbufsize",
+            "j_fc_cleanup_callback",
+            "j_fc_replay_callback",
+            "j_stats",
+        )
+        + [A("j_overflow_count")],
+    )
+
+
+def build_transaction_t() -> StructDef:
+    """``transaction_t`` (struct transaction_s) — 27 data members."""
+    return StructDef(
+        "transaction_t",
+        _scalars(
+            "t_journal",
+            "t_tid",
+            "t_state",
+            "t_log_start",
+            "t_nr_buffers",
+            "t_reserved_list",
+            "t_buffers",
+            "t_forget",
+            "t_checkpoint_list",
+            "t_checkpoint_io_list",
+            "t_shadow_list",
+            "t_log_list",
+        )
+        + [L("t_handle_lock", "spinlock_t"), A("t_updates")]
+        + _scalars(
+            "t_outstanding_credits",
+            "t_handle_count",
+            "t_expires",
+            "t_start_time",
+            "t_start",
+            "t_requested",
+            "t_chp_stats",
+            "t_tnext",
+            "t_tprev",
+            "t_need_data_flush",
+            "t_synchronous_commit",
+            "t_gc_count",
+            "t_max_wait",
+            "t_run_state",
+        ),
+    )
+
+
+#: Builders for every observed type, keyed by type name.
+BUILDERS = {
+    "backing_dev_info": build_backing_dev_info,
+    "block_device": build_block_device,
+    "buffer_head": build_buffer_head,
+    "cdev": build_cdev,
+    "dentry": build_dentry,
+    "inode": build_inode,
+    "journal_head": build_journal_head,
+    "journal_t": build_journal_t,
+    "pipe_inode_info": build_pipe_inode_info,
+    "super_block": build_super_block,
+    "transaction_t": build_transaction_t,
+}
+
+#: Expected data-member counts (#M of Tab. 6) — validated by tests.
+EXPECTED_MEMBER_COUNTS: Dict[str, int] = {
+    "backing_dev_info": 43,
+    "block_device": 21,
+    "buffer_head": 13,
+    "cdev": 6,
+    "dentry": 21,
+    "inode": 65,
+    "journal_head": 15,
+    "journal_t": 58,
+    "pipe_inode_info": 16,
+    "super_block": 56,
+    "transaction_t": 27,
+}
+
+
+def build_struct_registry() -> StructRegistry:
+    """Fresh registry with all 11 observed data types."""
+    return StructRegistry([builder() for builder in BUILDERS.values()])

@@ -1,0 +1,453 @@
+"""Spec-driven kernel-operation engine.
+
+Real kernel code accesses several related members of a structure inside
+one critical section.  The engine synthesizes such kernel functions
+from the ground-truth spec: members sharing a ``group`` *and* an
+identical lock rule are accessed together by one generated function
+(one transaction), under the locks the rule prescribes.
+
+Deviations — the injected bugs LockDoc is supposed to surface — are
+realized as *deviant twin* functions: with the member's configured skip
+probability, the access runs through a twin with its own function
+name/line that drops the tail of the lock sequence (or all locks),
+exactly like a real buggy call path would appear at a distinct source
+location.
+
+All generated functions are generators (kthread bodies); drive them
+with ``yield from`` inside a scheduler thread or ``runtime.run`` for
+single-context execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.locks import Lock, LockClass
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject, pinned
+from benchmarks.perf.legacy_repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """One synthesized kernel function."""
+
+    type_name: str
+    group: str
+    access_type: str  # "r" or "w"
+    members: Tuple[MemberSpec, ...]
+    tokens: Tuple[LockTok, ...]
+    weight: float
+    func_name: str
+    file: str
+    line: int
+    deviant_name: str
+    deviant_line: int
+    skip: float  # probability of running the deviant twin
+    lockfree_alt: float = 0.0  # probability of the legit lock-free path
+
+
+class _Released:
+    """Token for the release plan recorded while acquiring."""
+
+    __slots__ = ("kind", "lock", "mode", "flavor")
+
+    def __init__(self, kind: str, lock: Optional[Lock], mode: str, flavor: Optional[str]):
+        self.kind = kind
+        self.lock = lock
+        self.mode = mode
+        self.flavor = flavor
+
+
+class OpEngine:
+    """Synthesizes and executes spec-driven operations."""
+
+    def __init__(
+        self,
+        runtime: KernelRuntime,
+        specs: Dict[str, TypeSpec],
+        rng: Optional[random.Random] = None,
+        combo_rate: float = 0.15,
+    ) -> None:
+        self.runtime = runtime
+        self.specs = specs
+        self.rng = rng or random.Random(0)
+        self.combo_rate = combo_rate
+        self.ops_by_type: Dict[str, List[OpDef]] = {}
+        self.executed = 0
+        self.deviated = 0
+        for name, spec in specs.items():
+            self.ops_by_type[name] = self._synthesize(spec)
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+
+    def _synthesize(self, spec: TypeSpec) -> List[OpDef]:
+        ops: List[OpDef] = []
+        line = 100
+        for group, members in sorted(spec.groups().items()):
+            for access_type in ("r", "w"):
+                # Bucket by (rule, skip): members only share a generated
+                # function when both their lock rule *and* their deviation
+                # rate agree, so per-member calibration holds exactly.
+                buckets: Dict[
+                    Tuple[Tuple[LockTok, ...], float], List[MemberSpec]
+                ] = {}
+                for member in members:
+                    if member.weight_for(access_type) <= 0:
+                        continue
+                    rule = tuple(member.rule_spec(access_type))
+                    skip = member.read_skip if access_type == "r" else member.write_skip
+                    alt = member.lockfree_alt if access_type == "r" else 0.0
+                    buckets.setdefault((rule, skip, alt), []).append(member)
+                for index, ((rule, skip, alt), bucket) in enumerate(sorted(
+                    buckets.items(), key=lambda item: str(item[0])
+                )):
+                    weight = sum(m.weight_for(access_type) for m in bucket)
+                    if weight <= 0:
+                        continue
+                    skips = [skip]
+                    verb = "get" if access_type == "r" else "update"
+                    suffix = f"_{index}" if index else ""
+                    clean_group = group.lstrip("_")
+                    func = f"{spec.name}_{verb}_{clean_group}{suffix}"
+                    file = _FILE_OVERRIDES.get(
+                        (spec.name, group), f"fs/{_file_of(spec.name)}"
+                    )
+                    ops.append(
+                        OpDef(
+                            type_name=spec.name,
+                            group=group,
+                            access_type=access_type,
+                            members=tuple(bucket),
+                            tokens=rule,
+                            weight=weight,
+                            func_name=func,
+                            file=file,
+                            line=line,
+                            deviant_name=func + "_fastpath",
+                            deviant_line=line + 40,
+                            skip=max(skips) if skips else 0.0,
+                            lockfree_alt=alt,
+                        )
+                    )
+                    line += 80
+        return ops
+
+    # ------------------------------------------------------------------
+    # Lock plumbing
+    # ------------------------------------------------------------------
+
+    def _resolve_lock(self, obj: KObject, token: LockTok) -> Optional[Lock]:
+        if token.kind == "es":
+            return obj.lock(token.name)
+        if token.kind == "via":
+            target = obj.refs.get(token.via)
+            if not isinstance(target, KObject) or not target.live:
+                return None
+            return target.lock(token.name)
+        if token.kind == "global":
+            return self.runtime.static_lock(token.name, token.lock_class)
+        return None  # rcu handled separately
+
+    def acquire(
+        self, ctx: ExecutionContext, obj: KObject, token: LockTok
+    ) -> Generator:
+        """Acquire one lock token; yields while blocked.  Returns (via
+        StopIteration value) the release record, or None if the token
+        could not be resolved (dangling ``via`` reference)."""
+        rt = self.runtime
+        if token.kind == "rcu":
+            rt.rcu_read_lock(ctx)
+            return _Released("rcu", None, "r", None)
+        lock = self._resolve_lock(obj, token)
+        if lock is None:
+            return None
+        cls = lock.lock_class
+        if cls == LockClass.SPINLOCK:
+            if token.flavor == "irq":
+                yield from rt.spin_lock_irq(ctx, lock)
+            elif token.flavor == "bh":
+                yield from rt.spin_lock_bh(ctx, lock)
+            else:
+                yield from rt.spin_lock(ctx, lock)
+        elif cls == LockClass.RWLOCK:
+            if token.mode == "r":
+                yield from rt.read_lock(ctx, lock)
+            else:
+                yield from rt.write_lock(ctx, lock)
+        elif cls == LockClass.MUTEX:
+            yield from rt.mutex_lock(ctx, lock)
+        elif cls == LockClass.RW_SEMAPHORE:
+            if token.mode == "r":
+                yield from rt.down_read(ctx, lock)
+            else:
+                yield from rt.down_write(ctx, lock)
+        elif cls == LockClass.SEQLOCK:
+            if token.mode == "r":
+                yield from rt.read_seqbegin(ctx, lock)
+            else:
+                yield from rt.write_seqlock(ctx, lock)
+        elif cls == LockClass.SEMAPHORE:
+            yield from rt.down(ctx, lock)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported lock class {cls}")
+        return _Released("lock", lock, token.mode, token.flavor)
+
+    def release(self, ctx: ExecutionContext, record: _Released) -> None:
+        rt = self.runtime
+        if record.kind == "rcu":
+            rt.rcu_read_unlock(ctx)
+            return
+        lock = record.lock
+        assert lock is not None
+        cls = lock.lock_class
+        if cls == LockClass.SPINLOCK:
+            if record.flavor == "irq":
+                rt.spin_unlock_irq(ctx, lock)
+            elif record.flavor == "bh":
+                rt.spin_unlock_bh(ctx, lock)
+            else:
+                rt.spin_unlock(ctx, lock)
+        elif cls == LockClass.RWLOCK:
+            if record.mode == "r":
+                rt.read_unlock(ctx, lock)
+            else:
+                rt.write_unlock(ctx, lock)
+        elif cls == LockClass.MUTEX:
+            rt.mutex_unlock(ctx, lock)
+        elif cls == LockClass.RW_SEMAPHORE:
+            if record.mode == "r":
+                rt.up_read(ctx, lock)
+            else:
+                rt.up_write(ctx, lock)
+        elif cls == LockClass.SEQLOCK:
+            if record.mode == "r":
+                rt.read_seqend(ctx, lock)
+            else:
+                rt.write_sequnlock(ctx, lock)
+        elif cls == LockClass.SEMAPHORE:
+            rt.up(ctx, lock)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_op(
+        self,
+        ctx: ExecutionContext,
+        obj: KObject,
+        op: OpDef,
+        depth: int = 0,
+        skip_scale: float = 1.0,
+        profile: Optional[Dict[str, float]] = None,
+    ) -> Generator:
+        """Execute one synthesized kernel function on *obj*.
+
+        *skip_scale* scales the op's deviation probability; subclass
+        profiles use it to make e.g. proc/sockfs inodes deviation-free
+        (zero violations in Tab. 7).
+        """
+        rt = self.runtime
+        if not obj.live:
+            return
+        # Kernel code bails out on NULL back-references; ops whose `via`
+        # lock target is missing are skipped entirely so they neither
+        # under-lock nor pollute the observation statistics.  Targets are
+        # pinned for the op's duration (refcount model).
+        pins = [obj]
+        for token in op.tokens:
+            if token.kind == "via":
+                target = obj.refs.get(token.via)
+                if not isinstance(target, KObject) or not target.live:
+                    return
+                pins.append(target)
+        deviate = op.skip > 0 and self.rng.random() < op.skip * skip_scale
+        if deviate:
+            name, file, line = op.deviant_name, op.file, op.deviant_line
+            tokens = self._deviant_tokens(op.tokens)
+            self.deviated += 1
+        elif op.lockfree_alt > 0 and self.rng.random() < op.lockfree_alt:
+            # The legitimate lock-free fast path (e.g. an RCU reader);
+            # distinct source location, no locks, not a deviation.
+            name, file, line = op.func_name + "_rcu", op.file, op.line + 60
+            tokens = ()
+        else:
+            name, file, line = op.func_name, op.file, op.line
+            tokens = op.tokens
+        self.executed += 1
+        with pinned(*pins), rt.function(ctx, name, file, line):
+            released: List[_Released] = []
+            try:
+                for token in tokens:
+                    record = yield from self.acquire(ctx, obj, token)
+                    if record is not None:
+                        released.append(record)
+                for offset, member in enumerate(op.members):
+                    if op.access_type == "r":
+                        rt.read(ctx, obj, member.member, line=line + 1 + offset)
+                    else:
+                        rt.write(
+                            ctx, obj, member.member,
+                            value=self.rng.random(),
+                            line=line + 1 + offset,
+                        )
+                if depth == 0 and not deviate and self.rng.random() < self.combo_rate:
+                    nested = self._pick_nested(obj, op, profile)
+                    if nested is not None:
+                        yield from self.run_op(
+                            ctx, obj, nested, depth + 1, skip_scale, profile
+                        )
+            finally:
+                for record in reversed(released):
+                    self.release(ctx, record)
+
+    def _deviant_tokens(self, tokens: Tuple[LockTok, ...]) -> Tuple[LockTok, ...]:
+        """A buggy path drops the tail lock of a multi-lock rule, or the
+        only lock of a single-lock rule.  Multi-lock deviants thus still
+        comply with the weaker prefix rule — they make documented full
+        rules *ambivalent* without necessarily producing violations."""
+        if not tokens:
+            return tokens
+        if len(tokens) > 1:
+            return tokens[:-1]
+        return ()
+
+    def _pick_nested(
+        self,
+        obj: KObject,
+        outer: OpDef,
+        profile: Optional[Dict[str, float]] = None,
+    ) -> Optional[OpDef]:
+        """A compatible op to nest inside *outer* (same type, different
+        group, no conflicting lock tokens, allowed by the profile)."""
+        outer_locks = {(t.kind, t.name, t.via) for t in outer.tokens}
+        candidates = [
+            op
+            for op in self.ops_by_type[outer.type_name]
+            if op.group != outer.group
+            and not any((t.kind, t.name, t.via) in outer_locks for t in op.tokens)
+            and not _sleeping_tokens(self.specs[outer.type_name], op.tokens)
+            and self._profile_scale(op, profile) > 0
+        ]
+        if not candidates or _atomic_tokens(outer.tokens):
+            # Holding a spinlock forbids nesting sleeping locks; to keep
+            # things simple, atomic outer sections don't nest at all.
+            return None
+        return self._weighted_choice(candidates)
+
+    @staticmethod
+    def _profile_scale(op: OpDef, profile: Optional[Dict[str, float]]) -> float:
+        if profile is None:
+            return 1.0
+        default = profile.get("_default", 1.0)
+        scale = profile.get(op.group.lstrip("_"), profile.get(op.group, default))
+        scale *= profile.get("_reads" if op.access_type == "r" else "_writes", 1.0)
+        return scale
+
+    def _weighted_choice(self, ops: Sequence[OpDef]) -> Optional[OpDef]:
+        total = sum(op.weight for op in ops)
+        if total <= 0:
+            return None
+        point = self.rng.random() * total
+        acc = 0.0
+        for op in ops:
+            acc += op.weight
+            if point <= acc:
+                return op
+        return ops[-1]
+
+    def pick_op(
+        self,
+        type_name: str,
+        profile: Optional[Dict[str, float]] = None,
+    ) -> Optional[OpDef]:
+        """Pick a random op for *type_name*, honoring a subclass profile."""
+        ops = self.ops_by_type.get(type_name, [])
+        if not ops:
+            return None
+        if profile is None:
+            return self._weighted_choice(ops)
+
+        weighted: List[Tuple[OpDef, float]] = []
+        for op in ops:
+            scale = self._profile_scale(op, profile)
+            if scale > 0:
+                weighted.append((op, op.weight * scale))
+        total = sum(w for _, w in weighted)
+        if total <= 0:
+            return None
+        point = self.rng.random() * total
+        acc = 0.0
+        for op, w in weighted:
+            acc += w
+            if point <= acc:
+                return op
+        return weighted[-1][0]
+
+
+#: Some op groups live in filesystem-specific files (size/allocation
+#: management is ext4 code in the simulated kernel), which Tab. 3's
+#: per-directory coverage accounting relies on.
+_FILE_OVERRIDES = {
+    ("inode", "size"): "fs/ext4/inode.c",
+    ("inode", "bytes"): "fs/ext4/inode.c",
+    ("inode", "pagecache"): "fs/ext4/inode.c",
+    ("inode", "wbindex"): "fs/ext4/super.c",
+    ("inode", "ops"): "fs/ext4/namei.c",
+}
+
+
+def _file_of(type_name: str) -> str:
+    return {
+        "inode": "inode.c",
+        "dentry": "dcache.c",
+        "super_block": "super.c",
+        "block_device": "block_dev.c",
+        "buffer_head": "buffer.c",
+        "cdev": "char_dev.c",
+        "backing_dev_info": "backing-dev.c",
+        "pipe_inode_info": "pipe.c",
+        "journal_t": "jbd2/journal.c",
+        "transaction_t": "jbd2/transaction.c",
+        "journal_head": "jbd2/journal-head.c",
+    }.get(type_name, f"{type_name}.c")
+
+
+def _atomic_tokens(tokens: Tuple[LockTok, ...]) -> bool:
+    """True if the token list contains a non-sleeping (atomic) lock."""
+    for token in tokens:
+        if token.kind == "rcu" or token.flavor in ("irq", "bh"):
+            return True
+        if token.lock_class in ("spinlock_t", "rwlock_t", "seqlock_t"):
+            # es/via tokens: class is determined by the layout, but the
+            # VFS layouts only embed these three atomic classes plus
+            # mutexes/rwsems, which we detect via the name heuristic in
+            # _sleeping_tokens; globals carry lock_class directly.
+            if token.kind == "global":
+                return True
+    return False
+
+
+_SLEEPING_LOCK_MEMBERS = {
+    "i_rwsem",
+    "i_data.i_mmap_rwsem",
+    "s_umount",
+    "s_vfs_rename_mutex",
+    "bd_mutex",
+    "bd_fsfreeze_mutex",
+    "mutex",
+    "j_checkpoint_mutex",
+    "j_barrier",
+}
+
+
+def _sleeping_tokens(spec: TypeSpec, tokens: Tuple[LockTok, ...]) -> bool:
+    """True if the token list contains a sleeping lock."""
+    return any(
+        token.kind in ("es", "via") and token.name in _SLEEPING_LOCK_MEMBERS
+        for token in tokens
+    )

@@ -1,0 +1,67 @@
+"""Hand-written pipe kernel functions.
+
+Both pipe ends serialize on the pipe's single mutex; the wakeup
+fast path peeks at reader/writer counters without it (the paper's 9
+violating events over 3 members, Tab. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime, KObject
+
+FILE = "fs/pipe.c"
+
+
+def pipe_write(rt: KernelRuntime, ctx: ExecutionContext, pipe: KObject) -> Generator:
+    """``pipe_write``: append a buffer to the ring under the mutex."""
+    with rt.function(ctx, "pipe_write", FILE, 398):
+        yield from rt.mutex_lock(ctx, pipe.lock("mutex"))
+        rt.read(ctx, pipe, "readers", line=405)
+        rt.read(ctx, pipe, "nrbufs", line=410)
+        rt.read(ctx, pipe, "curbuf", line=411)
+        rt.read(ctx, pipe, "buffers", line=412)
+        rt.write(ctx, pipe, "bufs", line=430)
+        rt.write(ctx, pipe, "nrbufs", line=431)
+        rt.write(ctx, pipe, "tmp_page", line=432)
+        rt.mutex_unlock(ctx, pipe.lock("mutex"))
+
+
+def pipe_read(rt: KernelRuntime, ctx: ExecutionContext, pipe: KObject) -> Generator:
+    """``pipe_read``: consume a buffer from the ring under the mutex."""
+    with rt.function(ctx, "pipe_read", FILE, 244):
+        yield from rt.mutex_lock(ctx, pipe.lock("mutex"))
+        rt.read(ctx, pipe, "nrbufs", line=250)
+        rt.read(ctx, pipe, "curbuf", line=251)
+        rt.read(ctx, pipe, "bufs", line=252)
+        rt.write(ctx, pipe, "curbuf", line=270)
+        rt.write(ctx, pipe, "nrbufs", line=271)
+        rt.read(ctx, pipe, "writers", line=280)
+        rt.read(ctx, pipe, "waiting_writers", line=281)
+        rt.write(ctx, pipe, "waiting_writers", line=282)
+        rt.mutex_unlock(ctx, pipe.lock("mutex"))
+
+
+def pipe_poll_fast(rt: KernelRuntime, ctx: ExecutionContext, pipe: KObject) -> Generator:
+    """``pipe_poll`` fast path: peeks at the counters with no mutex —
+    the deviating accesses of Tab. 7's pipe row."""
+    with rt.function(ctx, "pipe_poll", FILE, 560):
+        rt.read(ctx, pipe, "nrbufs", line=563)
+        rt.read(ctx, pipe, "readers", line=564)
+        rt.read(ctx, pipe, "writers", line=565)
+        yield
+
+
+def pipe_release(rt: KernelRuntime, ctx: ExecutionContext, pipe: KObject) -> Generator:
+    """``pipe_release``: drop one end under the mutex."""
+    with rt.function(ctx, "pipe_release", FILE, 600):
+        yield from rt.mutex_lock(ctx, pipe.lock("mutex"))
+        rt.read(ctx, pipe, "readers", line=603)
+        rt.write(ctx, pipe, "readers", line=604)
+        rt.read(ctx, pipe, "writers", line=605)
+        rt.write(ctx, pipe, "writers", line=606)
+        rt.write(ctx, pipe, "r_counter", line=607)
+        rt.write(ctx, pipe, "w_counter", line=608)
+        rt.mutex_unlock(ctx, pipe.lock("mutex"))

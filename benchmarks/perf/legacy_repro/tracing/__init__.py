@@ -1,0 +1,28 @@
+"""Monitoring/tracing phase (paper phase 1).
+
+Replaces the Fail*/Bochs monitoring environment: the simulated kernel
+reports allocations, frees, member accesses and lock operations to a
+:class:`~benchmarks.perf.legacy_repro.tracing.tracer.Tracer`, which produces the flat, ordered
+event trace consumed by the post-processing importer.
+"""
+
+from benchmarks.perf.legacy_repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    EventKind,
+    FreeEvent,
+    LockEvent,
+)
+from benchmarks.perf.legacy_repro.tracing.tracer import Tracer, TraceStats
+
+__all__ = [
+    "AccessEvent",
+    "AllocEvent",
+    "Event",
+    "EventKind",
+    "FreeEvent",
+    "LockEvent",
+    "Tracer",
+    "TraceStats",
+]

@@ -1,0 +1,104 @@
+"""Trace event model.
+
+The trace is a flat, time-ordered sequence of events mirroring what the
+paper's Fail* experiment logs through the virtual I/O port (Sec. 6):
+
+* ``AllocEvent`` / ``FreeEvent`` — lifetime of observed allocations,
+* ``AccessEvent``                — one read or write to a raw address,
+* ``LockEvent``                  — one acquire or release operation.
+
+Every event carries a monotonically increasing timestamp ``ts`` and the
+id of the execution context that caused it.  Access and lock events
+also carry an interned call-stack id plus the immediate source location
+(file, line) so the rule-violation finder can point at code (Sec. 5.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    """Discriminator for the trace event types."""
+    ALLOC = "alloc"
+    FREE = "free"
+    READ = "read"
+    WRITE = "write"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Common event header."""
+
+    ts: int
+    ctx_id: int
+
+
+@dataclass(frozen=True)
+class AllocEvent(Event):
+    """Allocation event: a traced object came to life."""
+    alloc_id: int
+    address: int
+    size: int
+    data_type: str
+    subclass: Optional[str]
+
+    kind = EventKind.ALLOC
+
+
+@dataclass(frozen=True)
+class FreeEvent(Event):
+    """Deallocation event: a traced object died."""
+    alloc_id: int
+    address: int
+
+    kind = EventKind.FREE
+
+
+@dataclass(frozen=True)
+class AccessEvent(Event):
+    """A single memory access to a raw byte address.
+
+    The tracer does *not* resolve the address to an allocation or
+    member — that is the importer's job, exactly as in the paper where
+    the VM logs raw accesses and post-processing maps them to the
+    type layout.
+    """
+
+    address: int
+    size: int
+    is_write: bool
+    stack_id: int
+    file: str
+    line: int
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.WRITE if self.is_write else EventKind.READ
+
+
+@dataclass(frozen=True)
+class LockEvent(Event):
+    """A lock acquire or release.
+
+    ``mode`` is ``"r"`` for shared, ``"w"`` for exclusive acquisition —
+    matching :class:`benchmarks.perf.legacy_repro.kernel.locks.LockMode` values.
+    """
+
+    lock_id: int
+    lock_class: str
+    lock_name: str
+    address: Optional[int]
+    is_acquire: bool
+    mode: str
+    stack_id: int
+    file: str
+    line: int
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.ACQUIRE if self.is_acquire else EventKind.RELEASE

@@ -1,0 +1,625 @@
+"""Trace serialization.
+
+The paper's pipeline writes the raw trace to disk, then imports several
+generated CSV tables into a MariaDB database (Sec. 6).  This module
+provides the equivalent archival step with two interchangeable formats:
+
+* a **text format** (one tab-separated record per line, with a stack
+  table section) — human-greppable, like the paper's CSV intermediates,
+* a **binary format** (length-prefixed, ``struct``-packed) — compact,
+  for large traces.
+
+Both round-trip exactly: ``load(dump(trace)) == trace``.
+
+Ingestion contract
+------------------
+
+Real traces are killed mid-write, torn at record boundaries, and
+mangled by transport.  Every loader therefore comes in two modes:
+
+* **strict** (``load_text`` / ``load_binary``): the first malformed
+  byte raises :class:`TraceFormatError` — always that class, never a
+  bare ``KeyError``/``struct.error``/``IndexError`` — and the message
+  carries the position (line number for text, byte offset for binary)
+  plus the offending record.
+* **lenient** (``load_text_lenient`` / ``load_binary_lenient``): never
+  raises on malformed input; salvages every decodable record and
+  returns a :class:`LoadReport` whose ``diagnostics`` list one
+  :class:`Diagnostic` (position, reason, record snippet) per defect.
+
+The text format resynchronizes per line, so a mangled line costs only
+itself.  The binary format is length-prefixed without sync markers, so
+a torn record loses framing: lenient mode salvages the clean prefix and
+reports the tear offset.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, List, Optional, Sequence, TextIO, Tuple
+
+from benchmarks.perf.legacy_repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    FreeEvent,
+    LockEvent,
+)
+from benchmarks.perf.legacy_repro.tracing.tracer import Tracer
+
+_TEXT_MAGIC = "# lockdoc-trace v1"
+_BIN_MAGIC = b"LDOC1\n"
+
+_NONE_SUBCLASS = "-"
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed (strict mode only)."""
+
+
+class _ShortRead(Exception):
+    """Internal: a binary read hit EOF mid-record."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One malformed-input finding from a lenient load.
+
+    ``location`` is ``"line N"`` (text) or ``"offset 0xN"`` (binary).
+    """
+
+    location: str
+    reason: str
+    record: str = ""
+
+    def format(self) -> str:
+        suffix = f" in {self.record!r}" if self.record else ""
+        return f"{self.location}: {self.reason}{suffix}"
+
+
+@dataclass
+class LoadReport:
+    """Result of loading a trace: salvage plus per-record diagnostics."""
+
+    events: List[Event] = field(default_factory=list)
+    stacks: List[StackFrames] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Event count the file header declared (None if the header itself
+    #: was unreadable).
+    declared_events: Optional[int] = None
+
+    @property
+    def malformed_count(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def malformed_fraction(self) -> float:
+        """Defects relative to the declared (or salvaged) record count."""
+        denominator = max(self.declared_events or 0, len(self.events), 1)
+        return len(self.diagnostics) / denominator
+
+    def as_tuple(self) -> Tuple[List[Event], List[StackFrames]]:
+        return self.events, self.stacks
+
+
+def stacks_of(tracer: Tracer) -> List[StackFrames]:
+    """Materialize a tracer's interned stack table."""
+    return [tracer.stack(i) for i in range(tracer.stack_count)]
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+
+def write_text(
+    events: Sequence[Event], stacks: Sequence[StackFrames], fp: TextIO
+) -> None:
+    """Write an event stream and stack table as text."""
+    fp.write(_TEXT_MAGIC + "\n")
+    fp.write(f"stacks {len(stacks)}\n")
+    for stack_id, frames in enumerate(stacks):
+        encoded = ";".join(f"{fn}@{file}:{line}" for fn, file, line in frames)
+        fp.write(f"S\t{stack_id}\t{encoded}\n")
+    fp.write(f"events {len(events)}\n")
+    for event in events:
+        fp.write(_encode_text(event) + "\n")
+
+
+def dump_text(tracer: Tracer, fp: TextIO) -> None:
+    """Write the tracer's events and stack table as text."""
+    write_text(tracer.events, stacks_of(tracer), fp)
+
+
+def _encode_text(event: Event) -> str:
+    if isinstance(event, AllocEvent):
+        return "\t".join(
+            [
+                "A",
+                str(event.ts),
+                str(event.ctx_id),
+                str(event.alloc_id),
+                f"{event.address:#x}",
+                str(event.size),
+                event.data_type,
+                event.subclass or _NONE_SUBCLASS,
+            ]
+        )
+    if isinstance(event, FreeEvent):
+        return "\t".join(
+            ["F", str(event.ts), str(event.ctx_id), str(event.alloc_id), f"{event.address:#x}"]
+        )
+    if isinstance(event, AccessEvent):
+        return "\t".join(
+            [
+                "W" if event.is_write else "R",
+                str(event.ts),
+                str(event.ctx_id),
+                f"{event.address:#x}",
+                str(event.size),
+                str(event.stack_id),
+                event.file,
+                str(event.line),
+            ]
+        )
+    if isinstance(event, LockEvent):
+        return "\t".join(
+            [
+                "L+" if event.is_acquire else "L-",
+                str(event.ts),
+                str(event.ctx_id),
+                str(event.lock_id),
+                event.lock_class,
+                event.lock_name,
+                f"{event.address:#x}" if event.address is not None else _NONE_SUBCLASS,
+                event.mode,
+                str(event.stack_id),
+                event.file,
+                str(event.line),
+            ]
+        )
+    raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def load_text(fp: TextIO) -> Tuple[List[Event], List[StackFrames]]:
+    """Read a text trace strictly; returns ``(events, stack_table)``.
+
+    Raises :class:`TraceFormatError` — with line number and offending
+    record — on the first malformed input.
+    """
+    return _load_text(fp, lenient=False).as_tuple()
+
+
+def load_text_lenient(fp: TextIO) -> LoadReport:
+    """Read a text trace, salvaging around malformed records."""
+    return _load_text(fp, lenient=True)
+
+
+def _load_text(fp: TextIO, lenient: bool) -> LoadReport:
+    report = LoadReport()
+    lineno = 0
+
+    def next_line() -> str:
+        nonlocal lineno
+        lineno += 1
+        return fp.readline()
+
+    def problem(reason: str, record: str = "") -> None:
+        if not lenient:
+            suffix = f": {record!r}" if record else ""
+            raise TraceFormatError(f"line {lineno}: {reason}{suffix}")
+        report.diagnostics.append(Diagnostic(f"line {lineno}", reason, record))
+
+    header = next_line().rstrip("\n")
+    if header != _TEXT_MAGIC:
+        reason = "empty trace file" if header == "" else f"bad magic {header!r}"
+        problem(reason)
+        return report
+
+    stacks_line = next_line().split()
+    if len(stacks_line) != 2 or stacks_line[0] != "stacks":
+        problem("missing stack table header")
+        return report
+    try:
+        stack_count = int(stacks_line[1])
+    except ValueError:
+        problem(f"bad stack count {stacks_line[1]!r}")
+        return report
+
+    # Stack table.  A truncated table may run straight into the events
+    # header; detect that and resynchronize instead of mis-parsing.
+    events_header: Optional[str] = None
+    for _ in range(max(stack_count, 0)):
+        raw = next_line()
+        if raw == "":
+            problem(
+                f"truncated stack table: expected {stack_count} stacks, "
+                f"got {len(report.stacks)}"
+            )
+            return report
+        line = raw.rstrip("\n")
+        if line.startswith("events "):
+            problem(
+                f"truncated stack table: expected {stack_count} stacks, "
+                f"got {len(report.stacks)}"
+            )
+            events_header = line
+            break
+        parts = line.split("\t")
+        if parts[0] != "S":
+            problem(f"expected stack record, got {parts[0]!r}", line)
+            report.stacks.append(())
+            continue
+        encoded = parts[2] if len(parts) > 2 else ""
+        frames: List[Tuple[str, str, int]] = []
+        try:
+            if encoded:
+                for item in encoded.split(";"):
+                    fn, _, loc = item.partition("@")
+                    file, _, line_str = loc.rpartition(":")
+                    frames.append((fn, file, int(line_str)))
+        except ValueError:
+            problem("malformed stack frame", line)
+        report.stacks.append(tuple(frames))
+
+    if events_header is None:
+        events_header = next_line().rstrip("\n")
+    events_line = events_header.split()
+    if len(events_line) != 2 or events_line[0] != "events":
+        problem("missing events header", events_header)
+        return report
+    try:
+        event_count = int(events_line[1])
+    except ValueError:
+        problem(f"bad event count {events_line[1]!r}")
+        return report
+    report.declared_events = event_count
+
+    for _ in range(max(event_count, 0)):
+        raw = next_line()
+        if raw == "":
+            problem(
+                f"truncated events: expected {event_count}, "
+                f"got {len(report.events)}"
+            )
+            break
+        line = raw.rstrip("\n")
+        try:
+            report.events.append(_decode_text(line))
+        except (TraceFormatError, ValueError, IndexError) as exc:
+            problem(_bare_reason(exc), line)
+    return report
+
+
+def _bare_reason(exc: Exception) -> str:
+    if isinstance(exc, TraceFormatError):
+        return str(exc)
+    if isinstance(exc, IndexError):
+        return "truncated record (missing fields)"
+    return f"bad field value ({exc})"
+
+
+def _decode_text(line: str) -> Event:
+    parts = line.split("\t")
+    tag = parts[0]
+    if tag == "A":
+        return AllocEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            alloc_id=int(parts[3]),
+            address=int(parts[4], 16),
+            size=int(parts[5]),
+            data_type=parts[6],
+            subclass=None if parts[7] == _NONE_SUBCLASS else parts[7],
+        )
+    if tag == "F":
+        return FreeEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            alloc_id=int(parts[3]),
+            address=int(parts[4], 16),
+        )
+    if tag in ("R", "W"):
+        return AccessEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            address=int(parts[3], 16),
+            size=int(parts[4]),
+            is_write=(tag == "W"),
+            stack_id=int(parts[5]),
+            file=parts[6],
+            line=int(parts[7]),
+        )
+    if tag in ("L+", "L-"):
+        return LockEvent(
+            ts=int(parts[1]),
+            ctx_id=int(parts[2]),
+            lock_id=int(parts[3]),
+            lock_class=parts[4],
+            lock_name=parts[5],
+            address=None if parts[6] == _NONE_SUBCLASS else int(parts[6], 16),
+            is_acquire=(tag == "L+"),
+            mode=parts[7],
+            stack_id=int(parts[8]),
+            file=parts[9],
+            line=int(parts[10]),
+        )
+    raise TraceFormatError(f"unknown record tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+_HDR = struct.Struct("<BQI")  # tag, ts, ctx_id
+
+
+def _read_exact(fp: BinaryIO, count: int) -> bytes:
+    data = fp.read(count)
+    if len(data) != count:
+        raise _ShortRead(f"wanted {count} bytes, got {len(data)}")
+    return data
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(fp: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", _read_exact(fp, 2))
+    return _read_exact(fp, length).decode("utf-8")
+
+
+_TAG_ALLOC, _TAG_FREE, _TAG_READ, _TAG_WRITE, _TAG_ACQ, _TAG_REL = range(6)
+
+
+def write_binary(
+    events: Sequence[Event], stacks: Sequence[StackFrames], fp: BinaryIO
+) -> None:
+    """Write an event stream and stack table in binary form."""
+    fp.write(_BIN_MAGIC)
+    fp.write(struct.pack("<I", len(stacks)))
+    for frames in stacks:
+        fp.write(struct.pack("<H", len(frames)))
+        for fn, file, line in frames:
+            fp.write(_pack_str(fn))
+            fp.write(_pack_str(file))
+            fp.write(struct.pack("<I", line))
+    fp.write(struct.pack("<Q", len(events)))
+    for event in events:
+        _encode_binary(event, fp)
+
+
+def dump_binary(tracer: Tracer, fp: BinaryIO) -> None:
+    """Write the tracer's events and stack table in binary form."""
+    write_binary(tracer.events, stacks_of(tracer), fp)
+
+
+def _encode_binary(event: Event, fp: BinaryIO) -> None:
+    if isinstance(event, AllocEvent):
+        fp.write(_HDR.pack(_TAG_ALLOC, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QQI", event.alloc_id, event.address, event.size))
+        fp.write(_pack_str(event.data_type))
+        fp.write(_pack_str(event.subclass or _NONE_SUBCLASS))
+    elif isinstance(event, FreeEvent):
+        fp.write(_HDR.pack(_TAG_FREE, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QQ", event.alloc_id, event.address))
+    elif isinstance(event, AccessEvent):
+        tag = _TAG_WRITE if event.is_write else _TAG_READ
+        fp.write(_HDR.pack(tag, event.ts, event.ctx_id))
+        fp.write(struct.pack("<QIQ", event.address, event.size, event.stack_id))
+        fp.write(_pack_str(event.file))
+        fp.write(struct.pack("<I", event.line))
+    elif isinstance(event, LockEvent):
+        tag = _TAG_ACQ if event.is_acquire else _TAG_REL
+        fp.write(_HDR.pack(tag, event.ts, event.ctx_id))
+        address = event.address if event.address is not None else 0
+        has_address = 1 if event.address is not None else 0
+        fp.write(struct.pack("<QBQ", event.lock_id, has_address, address))
+        fp.write(_pack_str(event.lock_class))
+        fp.write(_pack_str(event.lock_name))
+        fp.write(_pack_str(event.mode))
+        fp.write(struct.pack("<Q", event.stack_id))
+        fp.write(_pack_str(event.file))
+        fp.write(struct.pack("<I", event.line))
+    else:
+        raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def load_binary(fp: BinaryIO) -> Tuple[List[Event], List[StackFrames]]:
+    """Read a binary trace strictly; returns ``(events, stack_table)``.
+
+    Raises :class:`TraceFormatError` — with the byte offset of the bad
+    record — on the first malformed input.
+    """
+    return _load_binary(fp, lenient=False).as_tuple()
+
+
+def load_binary_lenient(fp: BinaryIO) -> LoadReport:
+    """Read a binary trace, salvaging the clean prefix of the stream."""
+    return _load_binary(fp, lenient=True)
+
+
+_DECODE_ERRORS = (_ShortRead, struct.error, UnicodeDecodeError, ValueError)
+
+
+def _load_binary(fp: BinaryIO, lenient: bool) -> LoadReport:
+    report = LoadReport()
+
+    def problem(offset: int, reason: str) -> None:
+        if not lenient:
+            raise TraceFormatError(f"offset {offset:#x}: {reason}")
+        report.diagnostics.append(Diagnostic(f"offset {offset:#x}", reason))
+
+    magic = fp.read(len(_BIN_MAGIC))
+    if magic != _BIN_MAGIC:
+        reason = "empty trace file" if magic == b"" else f"bad magic {magic!r}"
+        problem(0, reason)
+        return report
+
+    # Stack table: its framing carries the events offset, so a defect
+    # here is unrecoverable even in lenient mode.
+    try:
+        (stack_count,) = struct.unpack("<I", _read_exact(fp, 4))
+        for _ in range(stack_count):
+            (frame_count,) = struct.unpack("<H", _read_exact(fp, 2))
+            frames = []
+            for _ in range(frame_count):
+                fn = _unpack_str(fp)
+                file = _unpack_str(fp)
+                (line,) = struct.unpack("<I", _read_exact(fp, 4))
+                frames.append((fn, file, line))
+            report.stacks.append(tuple(frames))
+        (event_count,) = struct.unpack("<Q", _read_exact(fp, 8))
+    except _DECODE_ERRORS as exc:
+        problem(fp.tell(), f"corrupt stack table: {exc}")
+        return report
+    report.declared_events = event_count
+
+    # Events are length-prefixed with no sync marker: a torn record
+    # loses framing, so lenient mode keeps the clean prefix and stops.
+    for _ in range(event_count):
+        start = fp.tell()
+        try:
+            report.events.append(_decode_binary(fp))
+        except TraceFormatError as exc:
+            problem(start, str(exc))
+            break
+        except _DECODE_ERRORS as exc:
+            problem(
+                start,
+                f"torn record after {len(report.events)} of "
+                f"{event_count} events ({exc})",
+            )
+            break
+    return report
+
+
+def _decode_binary(fp: BinaryIO) -> Event:
+    tag, ts, ctx_id = _HDR.unpack(_read_exact(fp, _HDR.size))
+    if tag == _TAG_ALLOC:
+        alloc_id, address, size = struct.unpack("<QQI", _read_exact(fp, 20))
+        data_type = _unpack_str(fp)
+        subclass = _unpack_str(fp)
+        return AllocEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            alloc_id=alloc_id,
+            address=address,
+            size=size,
+            data_type=data_type,
+            subclass=None if subclass == _NONE_SUBCLASS else subclass,
+        )
+    if tag == _TAG_FREE:
+        alloc_id, address = struct.unpack("<QQ", _read_exact(fp, 16))
+        return FreeEvent(ts=ts, ctx_id=ctx_id, alloc_id=alloc_id, address=address)
+    if tag in (_TAG_READ, _TAG_WRITE):
+        address, size, stack_id = struct.unpack("<QIQ", _read_exact(fp, 20))
+        file = _unpack_str(fp)
+        (line,) = struct.unpack("<I", _read_exact(fp, 4))
+        return AccessEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            address=address,
+            size=size,
+            is_write=(tag == _TAG_WRITE),
+            stack_id=stack_id,
+            file=file,
+            line=line,
+        )
+    if tag in (_TAG_ACQ, _TAG_REL):
+        lock_id, has_address, address = struct.unpack("<QBQ", _read_exact(fp, 17))
+        lock_class = _unpack_str(fp)
+        lock_name = _unpack_str(fp)
+        mode = _unpack_str(fp)
+        (stack_id,) = struct.unpack("<Q", _read_exact(fp, 8))
+        file = _unpack_str(fp)
+        (line,) = struct.unpack("<I", _read_exact(fp, 4))
+        return LockEvent(
+            ts=ts,
+            ctx_id=ctx_id,
+            lock_id=lock_id,
+            lock_class=lock_class,
+            lock_name=lock_name,
+            address=address if has_address else None,
+            is_acquire=(tag == _TAG_ACQ),
+            mode=mode,
+            stack_id=stack_id,
+            file=file,
+            line=line,
+        )
+    raise TraceFormatError(f"unknown binary tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+
+
+def dumps_text(tracer: Tracer) -> str:
+    """Serialize a tracer to the text format, returning a string."""
+    buffer = io.StringIO()
+    dump_text(tracer, buffer)
+    return buffer.getvalue()
+
+
+def dumps_events_text(events: Sequence[Event], stacks: Sequence[StackFrames]) -> str:
+    """Serialize an event stream to the text format."""
+    buffer = io.StringIO()
+    write_text(events, stacks, buffer)
+    return buffer.getvalue()
+
+
+def loads_text(text: str):
+    """Parse a text-format trace from a string (strict)."""
+    return load_text(io.StringIO(text))
+
+
+def loads_text_lenient(text: str) -> LoadReport:
+    """Parse a text-format trace from a string (lenient)."""
+    return load_text_lenient(io.StringIO(text))
+
+
+def dumps_binary(tracer: Tracer) -> bytes:
+    """Serialize a tracer to the binary format, returning bytes."""
+    buffer = io.BytesIO()
+    dump_binary(tracer, buffer)
+    return buffer.getvalue()
+
+
+def dumps_events_binary(
+    events: Sequence[Event], stacks: Sequence[StackFrames]
+) -> bytes:
+    """Serialize an event stream to the binary format."""
+    buffer = io.BytesIO()
+    write_binary(events, stacks, buffer)
+    return buffer.getvalue()
+
+
+def loads_binary(data: bytes):
+    """Parse a binary-format trace from bytes (strict)."""
+    return load_binary(io.BytesIO(data))
+
+
+def loads_binary_lenient(data: bytes) -> LoadReport:
+    """Parse a binary-format trace from bytes (lenient)."""
+    return load_binary_lenient(io.BytesIO(data))
+
+
+def load_path(path: str, lenient: bool = False) -> LoadReport:
+    """Load a trace file, sniffing the format from its content.
+
+    Returns a :class:`LoadReport` in both modes; in strict mode the
+    first defect raises :class:`TraceFormatError` instead.
+    """
+    with open(path, "rb") as fp:
+        data = fp.read()
+    if data.startswith(_BIN_MAGIC):
+        return _load_binary(io.BytesIO(data), lenient)
+    text = data.decode("utf-8", errors="replace")
+    return _load_text(io.StringIO(text), lenient)

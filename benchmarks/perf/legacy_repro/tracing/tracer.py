@@ -1,0 +1,189 @@
+"""The tracer: records the ordered event stream.
+
+One :class:`Tracer` instance exists per simulated run.  It
+
+* assigns monotonically increasing timestamps,
+* interns call stacks (a stack table keyed by id keeps the trace
+  compact, like the ``stack_traces`` relation in the paper's database
+  schema, Fig. 6), and
+* collects summary statistics matching what the paper reports for its
+  run (Sec. 7.2: counts of lock operations, memory accesses,
+  allocations and deallocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.locks import Lock, LockMode
+from benchmarks.perf.legacy_repro.kernel.memory import Allocation
+from benchmarks.perf.legacy_repro.tracing.events import (
+    AccessEvent,
+    AllocEvent,
+    Event,
+    FreeEvent,
+    LockEvent,
+)
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+#: Stack id used when a context has no frames pushed.
+EMPTY_STACK_ID = 0
+
+
+@dataclass
+class TraceStats:
+    """Trace summary counters (the Sec. 7.2 numbers)."""
+
+    lock_ops: int = 0
+    accesses: int = 0
+    allocs: int = 0
+    frees: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return self.lock_ops + self.accesses + self.allocs + self.frees
+
+
+class Tracer:
+    """Records trace events in order.
+
+    The tracer is deliberately dumb: it performs no analysis, no
+    filtering and no address resolution — those are post-processing
+    concerns.  ``enabled`` can be toggled to skip tracing (used to model
+    the paper's untraced warm-up phases).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.stats = TraceStats()
+        self.enabled = True
+        self._clock = 0
+        self._stack_table: Dict[StackFrames, int] = {(): EMPTY_STACK_ID}
+        self._stacks_by_id: List[StackFrames] = [()]
+
+    # ------------------------------------------------------------------
+    # Clock and stack interning
+    # ------------------------------------------------------------------
+
+    def now(self) -> int:
+        """Advance and return the trace clock."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def intern_stack(self, frames: StackFrames) -> int:
+        stack_id = self._stack_table.get(frames)
+        if stack_id is None:
+            stack_id = len(self._stacks_by_id)
+            self._stack_table[frames] = stack_id
+            self._stacks_by_id.append(frames)
+        return stack_id
+
+    def stack(self, stack_id: int) -> StackFrames:
+        """Resolve an interned stack id back to its frames."""
+        return self._stacks_by_id[stack_id]
+
+    @property
+    def stack_count(self) -> int:
+        return len(self._stacks_by_id)
+
+    def _site(self, ctx: ExecutionContext, line: Optional[int]) -> Tuple[int, str, int]:
+        """Intern the context's current stack; return (stack_id, file, line)."""
+        frames = ctx.stack_snapshot()
+        stack_id = self.intern_stack(frames)
+        if frames:
+            _, file, frame_line = frames[-1]
+            return stack_id, file, line if line is not None else frame_line
+        return stack_id, "<unknown>", line if line is not None else 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_alloc(self, ctx: ExecutionContext, allocation: Allocation) -> None:
+        if not self.enabled:
+            return
+        self.stats.allocs += 1
+        self.events.append(
+            AllocEvent(
+                ts=self.now(),
+                ctx_id=ctx.ctx_id,
+                alloc_id=allocation.alloc_id,
+                address=allocation.address,
+                size=allocation.size,
+                data_type=allocation.data_type,
+                subclass=allocation.subclass,
+            )
+        )
+
+    def record_free(self, ctx: ExecutionContext, allocation: Allocation) -> None:
+        if not self.enabled:
+            return
+        self.stats.frees += 1
+        self.events.append(
+            FreeEvent(
+                ts=self.now(),
+                ctx_id=ctx.ctx_id,
+                alloc_id=allocation.alloc_id,
+                address=allocation.address,
+            )
+        )
+
+    def record_access(
+        self,
+        ctx: ExecutionContext,
+        address: int,
+        size: int,
+        is_write: bool,
+        line: Optional[int] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        stack_id, file, site_line = self._site(ctx, line)
+        self.stats.accesses += 1
+        self.events.append(
+            AccessEvent(
+                ts=self.now(),
+                ctx_id=ctx.ctx_id,
+                address=address,
+                size=size,
+                is_write=is_write,
+                stack_id=stack_id,
+                file=file,
+                line=site_line,
+            )
+        )
+
+    def record_lock(
+        self,
+        ctx: ExecutionContext,
+        lock: Lock,
+        is_acquire: bool,
+        mode: LockMode,
+        line: Optional[int] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        stack_id, file, site_line = self._site(ctx, line)
+        self.stats.lock_ops += 1
+        self.events.append(
+            LockEvent(
+                ts=self.now(),
+                ctx_id=ctx.ctx_id,
+                lock_id=lock.lock_id,
+                lock_class=lock.lock_class.value,
+                lock_name=lock.name,
+                address=lock.address,
+                is_acquire=is_acquire,
+                mode=mode.value,
+                stack_id=stack_id,
+                file=file,
+                line=site_line,
+            )
+        )

@@ -1,0 +1,24 @@
+"""Benchmark workloads (the paper's custom mix, Sec. 7.1).
+
+The paper drives the kernel with a subset of the Linux Test Project
+plus custom programs: *fs-bench-test2* (create files, change
+owner/permission, random access), *fsstress* (random I/O on a
+directory tree), *fs_inod* (inode churn), pipe tests, symlink tests
+and permission tests.  Each has an analogue here, all driving the
+simulated VFS through scheduler kthreads:
+
+* :mod:`benchmarks.perf.legacy_repro.workloads.fsbench`   — fs-bench-test2
+* :mod:`benchmarks.perf.legacy_repro.workloads.fsstress`  — fsstress
+* :mod:`benchmarks.perf.legacy_repro.workloads.fsinod`    — fs_inod
+* :mod:`benchmarks.perf.legacy_repro.workloads.pipes`     — pipe workload
+* :mod:`benchmarks.perf.legacy_repro.workloads.symlinks`  — symlink workload
+* :mod:`benchmarks.perf.legacy_repro.workloads.perms`     — permission-change workload
+* :mod:`benchmarks.perf.legacy_repro.workloads.journal`   — jbd2 journal workload
+* :mod:`benchmarks.perf.legacy_repro.workloads.mix`       — the full benchmark mix
+* :mod:`benchmarks.perf.legacy_repro.workloads.coverage`  — code-coverage accounting (Tab. 3)
+"""
+
+from benchmarks.perf.legacy_repro.workloads.base import Workload
+from benchmarks.perf.legacy_repro.workloads.mix import BenchmarkMix, run_benchmark_mix
+
+__all__ = ["BenchmarkMix", "Workload", "run_benchmark_mix"]

@@ -1,0 +1,65 @@
+"""Workload protocol.
+
+A workload contributes one or more kthread bodies to the scheduler.
+Bodies are generator functions taking the thread's execution context;
+they drive the :class:`~benchmarks.perf.legacy_repro.kernel.vfs.fs.VfsWorld` through its
+kernel entry points.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.vfs.fs import VfsWorld
+
+ThreadBody = Callable[[ExecutionContext], Generator]
+
+#: How strongly the benchmark mix exercises each mounted filesystem;
+#: mirrors the paper's coverage skew (ext4-centric benchmarks, barely
+#: touched debugfs/sockfs/anon inodes — Tab. 6).
+FSTYPE_WEIGHTS = {
+    "ext4": 0.30,
+    "tmpfs": 0.19,
+    "rootfs": 0.19,
+    "devtmpfs": 0.08,
+    "sysfs": 0.07,
+    "proc": 0.06,
+    "pipefs": 0.04,
+    "bdev": 0.03,
+    "sockfs": 0.02,
+    "anon_inodefs": 0.013,
+    "debugfs": 0.004,
+}
+
+
+class Workload:
+    """Base class for workloads."""
+
+    name = "workload"
+
+    def __init__(self, world: VfsWorld, iterations: int = 50, seed: int = 0) -> None:
+        self.world = world
+        self.iterations = iterations
+        self.rng = random.Random(seed)
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        """``(thread_name, body)`` pairs to spawn."""
+        raise NotImplementedError
+
+    # Convenience used by subclasses -----------------------------------
+
+    def pick_fstype(self, candidates=None) -> str:
+        pool = candidates or list(self.world.supers)
+        weights = [FSTYPE_WEIGHTS.get(fstype, 0.02) for fstype in pool]
+        return self.rng.choices(pool, weights=weights, k=1)[0]
+
+    def pick_inode(self, fstype: str = ""):
+        world = self.world
+        if not fstype:
+            fstype = self.pick_fstype()
+        pool = [i for i in world.inodes.get(fstype, []) if i.live]
+        if not pool:
+            return None
+        return self.rng.choice(pool)

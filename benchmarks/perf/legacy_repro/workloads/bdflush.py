@@ -1,0 +1,68 @@
+"""Writeback/flusher workload: buffer-head traffic and backing-dev
+bandwidth accounting.  Together with the injected IO-completion
+softirqs this produces the buffer_head violation fountain of Tab. 7."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import pinned
+from benchmarks.perf.legacy_repro.kernel.vfs import bufferhead
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class BdFlush(Workload):
+    """Writeback/flusher workload (see module docstring)."""
+    name = "flush"
+
+    def __init__(self, world, iterations=80, seed=7, max_buffers=30):
+        super().__init__(world, iterations, seed)
+        self.max_buffers = max_buffers
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/0", self._body())]
+
+    def _body(self) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            for _ in range(self.iterations):
+                live = [b for b in world.buffer_heads if b.live]
+                if len(live) < self.max_buffers and self.rng.random() < 0.3:
+                    inode = self.pick_inode("ext4") or self.pick_inode()
+                    if inode is not None:
+                        world.new_buffer_head(ctx, inode)
+                live = [b for b in world.buffer_heads if b.live]
+                if live:
+                    bh = self.rng.choice(live)
+                    roll = self.rng.random()
+                    if roll < 0.48:
+                        with pinned(bh):
+                            yield from bufferhead.mark_buffer_dirty(
+                                rt, ctx, bh, locked=self.rng.random() > 0.07
+                            )
+                    elif roll < 0.51:
+                        with pinned(bh):
+                            yield from bufferhead.touch_buffer(rt, ctx, bh)
+                    elif roll < 0.70:
+                        inode = bh.refs.get("b_assoc_map")
+                        if inode is not None and inode.live:
+                            with pinned(bh, inode):
+                                yield from bufferhead.buffer_associate(rt, ctx, bh)
+                    elif roll < 0.8:
+                        yield from world.exercise(ctx, "buffer_head", bh)
+                    elif roll < 0.85 and len(live) > 4:
+                        world.destroy_buffer_head(ctx, bh)
+                # bdi bandwidth accounting + occasional sb activity.
+                if self.rng.random() < 0.5:
+                    bdi = world.random_object("backing_dev_info")
+                    if bdi is not None:
+                        yield from world.exercise(ctx, "backing_dev_info", bdi)
+                if self.rng.random() < 0.25:
+                    sb = world.random_object("super_block")
+                    if sb is not None:
+                        yield from world.exercise(ctx, "super_block", sb)
+                yield
+
+        return run

@@ -1,0 +1,51 @@
+"""fs-bench-test2 analogue: create files, change owner/permission,
+and access them randomly (Sec. 7.1)."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class FsBench(Workload):
+    """fs-bench-test2 analogue (see module docstring)."""
+    name = "fs-bench-test2"
+
+    def __init__(self, world, iterations=50, seed=0, fstypes=("ext4", "tmpfs")):
+        super().__init__(world, iterations, seed)
+        self.fstypes = [f for f in fstypes if f in world.supers]
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [
+            (f"{self.name}/{index}", self._body(index))
+            for index in range(len(self.fstypes) or 1)
+        ]
+
+    def _body(self, index: int) -> ThreadBody:
+        fstype = self.fstypes[index % len(self.fstypes)] if self.fstypes else "ext4"
+
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            for _ in range(self.iterations):
+                roll = self.rng.random()
+                if roll < 0.3:
+                    yield from world.vfs_create(ctx, fstype)
+                elif roll < 0.45:
+                    yield from world.vfs_unlink(ctx, fstype)
+                else:
+                    inode = self.pick_inode(fstype)
+                    if inode is None:
+                        yield from world.vfs_create(ctx, fstype)
+                        continue
+                    if roll < 0.7:
+                        yield from world.vfs_write(ctx, inode)
+                    elif roll < 0.85:
+                        yield from world.vfs_read(ctx, inode)
+                    else:
+                        # chown/chmod: the spec's "owner" group op.
+                        yield from world.exercise(ctx, "inode", inode)
+                yield  # voluntary preemption between syscalls
+
+        return run

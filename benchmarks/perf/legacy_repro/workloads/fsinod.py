@@ -1,0 +1,45 @@
+"""fs_inod analogue: rapid inode allocation/deallocation churn
+(Sec. 7.1).  The churn also recycles heap addresses, exercising the
+importer's lifetime-aware address resolution."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class FsInod(Workload):
+    """fs_inod analogue (see module docstring)."""
+    name = "fs_inod"
+
+    def __init__(self, world, iterations=60, seed=2, fstypes=("rootfs", "tmpfs")):
+        super().__init__(world, iterations, seed)
+        self.fstypes = [f for f in fstypes if f in world.supers]
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/0", self._body())]
+
+    def _body(self) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            for round_index in range(self.iterations):
+                if self.fstypes:
+                    weights = [3.0 if f == "rootfs" else 1.0 for f in self.fstypes]
+                    fstype = self.rng.choices(self.fstypes, weights=weights, k=1)[0]
+                else:
+                    fstype = "ext4"
+                # Burst-create a handful of inodes ...
+                for _ in range(3):
+                    yield from world.vfs_create(ctx, fstype)
+                # ... touch them briefly ...
+                inode = self.pick_inode(fstype)
+                if inode is not None:
+                    yield from world.vfs_write(ctx, inode)
+                # ... and burst-delete.
+                for _ in range(3):
+                    yield from world.vfs_unlink(ctx, fstype)
+                yield
+
+        return run

@@ -1,0 +1,113 @@
+"""fsstress analogue: random I/O operations across the whole directory
+tree and the supporting data structures (Sec. 7.1)."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import pinned
+from benchmarks.perf.legacy_repro.kernel.vfs import dentry as dops, inode as iops
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+#: Types the stress threads poke through the spec-driven op engine.
+_ENGINE_TYPES = (
+    "inode",
+    "dentry",
+    "super_block",
+    "backing_dev_info",
+    "buffer_head",
+    "block_device",
+    "cdev",
+    "pipe_inode_info",
+)
+
+
+class FsStress(Workload):
+    """fsstress analogue (see module docstring)."""
+    name = "fsstress"
+
+    def __init__(self, world, iterations=80, seed=1, nthreads=3):
+        super().__init__(world, iterations, seed)
+        self.nthreads = nthreads
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/{i}", self._body(i)) for i in range(self.nthreads)]
+
+    def _body(self, index: int) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            for _ in range(self.iterations):
+                roll = self.rng.random()
+                if roll < 0.42:
+                    type_name = self.rng.choice(_ENGINE_TYPES)
+                    obj = world.random_object(type_name)
+                    if obj is not None:
+                        yield from world.exercise(ctx, type_name, obj)
+                elif roll < 0.52:
+                    fstype = self.pick_fstype(
+                        ("ext4", "tmpfs", "rootfs", "devtmpfs", "sysfs")
+                    )
+                    yield from world.vfs_create(ctx, fstype)
+                elif roll < 0.60:
+                    yield from world.vfs_rename(ctx)
+                elif roll < 0.70:
+                    # readdir through the libfs walk (the d_subdirs
+                    # violation path) or the locked variant.
+                    live = [d for d in world.dentries if d.live]
+                    if live:
+                        d = self.rng.choice(live)
+                        dir_inode = d.refs.get("d_inode")
+                        if dir_inode is not None and dir_inode.live:
+                            if self.rng.random() < 0.02:
+                                with pinned(dir_inode, d):
+                                    yield from dops.simple_dir_walk(
+                                        rt, ctx, dir_inode, d
+                                    )
+                            else:
+                                yield from world.exercise(ctx, "dentry", d)
+                elif roll < 0.80:
+                    live = [d for d in world.dentries if d.live]
+                    if live:
+                        d = self.rng.choice(live)
+                        sub = self.rng.random()
+                        if sub < 0.40:
+                            yield from dops.dget(rt, ctx, d)
+                        elif sub < 0.86:
+                            yield from dops.rcu_walk_lookup(rt, ctx, d)
+                        elif sub < 0.95:
+                            yield from dops.d_lru_scan(rt, ctx, d)
+                        else:
+                            yield from dops.d_lru_shrink(rt, ctx, d)
+                elif roll < 0.88:
+                    inode = self.pick_inode()
+                    if inode is not None:
+                        yield from world.vfs_read(ctx, inode)
+                else:
+                    # hash lookups (find_inode) and LRU churn.
+                    fstype = self.pick_fstype()
+                    chains = world.hash_chains.get(fstype, [])
+                    chain = self.rng.choice(chains) if chains else []
+                    if chain:
+                        yield from iops.find_inode(
+                            rt, ctx, chain[-4:],
+                            with_i_lock=self.rng.random() < 0.2,
+                        )
+                    inode = self.pick_inode()
+                    if inode is not None:
+                        with pinned(inode):
+                            sub = self.rng.random()
+                            if sub < 0.45:
+                                yield from iops.inode_lru_add(
+                                    rt, ctx, inode, with_i_lock=self.rng.random() < 0.5
+                                )
+                            elif sub < 0.7:
+                                yield from iops.inode_lru_check(
+                                    rt, ctx, inode, with_i_lock=self.rng.random() < 0.5
+                                )
+                            else:
+                                yield from iops.inode_lru_isolate(rt, ctx, inode)
+                yield
+
+        return run

@@ -1,0 +1,74 @@
+"""JBD2 journal workload: commit/checkpoint machinery plus the
+``ext4_writepages`` path of Tab. 8."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import pinned
+from benchmarks.perf.legacy_repro.kernel.vfs import jbd2
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class Journal(Workload):
+    """JBD2 journal workload (see module docstring)."""
+    name = "jbd2"
+
+    def __init__(self, world, iterations=60, seed=6, peek_rate=0.06):
+        super().__init__(world, iterations, seed)
+        self.peek_rate = peek_rate
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/kjournald", self._body())]
+
+    def _body(self) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            journal = world.journal
+            if journal is None:
+                return
+            for _ in range(self.iterations):
+                live_txns = [t for t in world.transactions if t.live]
+                if not live_txns:
+                    world.new_transaction(ctx)
+                    live_txns = [t for t in world.transactions if t.live]
+                txn = self.rng.choice(live_txns)
+                roll = self.rng.random()
+                if roll < 0.26:
+                    yield from jbd2.jbd2_journal_commit_transaction(rt, ctx, journal, txn)
+                elif roll < 0.40:
+                    yield from jbd2.jbd2_journal_start(rt, ctx, journal, txn)
+                elif roll < 0.50:
+                    yield from jbd2.jbd2_checkpoint(rt, ctx, journal, txn)
+                elif roll < 0.50 + self.peek_rate:
+                    inode = self.pick_inode("ext4")
+                    if inode is not None:
+                        with pinned(inode):
+                            yield from jbd2.ext4_writepages_peek(rt, ctx, inode, journal)
+                else:
+                    kinds = ("journal_t", "journal_t", "journal_t",
+                             "transaction_t", "transaction_t",
+                             "journal_head", "journal_head")
+                    obj = world.random_object(self.rng.choice(kinds))
+                    if obj is not None:
+                        yield from world.exercise(ctx, obj.data_type, obj)
+                # keep journal heads flowing: attach to buffer heads.
+                if self.rng.random() < 0.25:
+                    bh_pool = [b for b in world.buffer_heads if b.live]
+                    if bh_pool:
+                        bh = self.rng.choice(bh_pool)
+                        if len(world.journal_heads) < 24:
+                            jh = world.new_journal_head(ctx, bh)
+                        else:
+                            jh = self.rng.choice(
+                                [j for j in world.journal_heads if j.live]
+                            )
+                        with pinned(jh):
+                            yield from jbd2.jbd2_journal_add_journal_head(
+                                rt, ctx, jh, journal
+                            )
+                yield
+
+        return run

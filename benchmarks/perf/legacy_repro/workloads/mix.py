@@ -1,0 +1,159 @@
+"""The full benchmark mix (Sec. 7.1).
+
+Assembles the simulated kernel, the workload threads (fs-bench-test2,
+fsstress, fs_inod, pipes, symlinks, perms, jbd2, flusher), and the
+injected IO-completion interrupts; runs everything under the
+deterministic scheduler; and hands back the recorded trace.
+
+``scale`` multiplies every workload's iteration count, so experiments
+can trade runtime for statistical depth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.runtime import KernelRuntime
+from benchmarks.perf.legacy_repro.kernel.sched import Scheduler
+from benchmarks.perf.legacy_repro.kernel.vfs import bufferhead
+from benchmarks.perf.legacy_repro.kernel.vfs.fs import VfsWorld
+from benchmarks.perf.legacy_repro.kernel.vfs.groundtruth import build_filter_config
+from benchmarks.perf.legacy_repro.workloads.base import Workload
+from benchmarks.perf.legacy_repro.workloads.bdflush import BdFlush
+from benchmarks.perf.legacy_repro.workloads.fsbench import FsBench
+from benchmarks.perf.legacy_repro.workloads.fsinod import FsInod
+from benchmarks.perf.legacy_repro.workloads.fsstress import FsStress
+from benchmarks.perf.legacy_repro.workloads.journal import Journal
+from benchmarks.perf.legacy_repro.workloads.perms import Perms
+from benchmarks.perf.legacy_repro.workloads.pipes import Pipes
+from benchmarks.perf.legacy_repro.workloads.symlinks import Symlinks
+
+
+@dataclass
+class MixResult:
+    """Everything a finished benchmark run produced."""
+
+    world: VfsWorld
+    scheduler: Scheduler
+    steps: int
+
+    @property
+    def tracer(self):
+        return self.world.rt.tracer
+
+    def to_database(self):
+        raise NotImplementedError("frozen benchmark snapshot has no importer")
+
+
+class BenchmarkMix:
+    """Configurable assembly of the paper's benchmark mix."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scale: float = 1.0,
+        irq_rate: float = 0.05,
+        softirq_rate: float = 0.16,
+    ) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.irq_rate = irq_rate
+        self.softirq_rate = softirq_rate
+
+    def _iterations(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def build_workloads(self, world: VfsWorld) -> List[Workload]:
+        seed = self.seed
+        return [
+            FsBench(world, self._iterations(50), seed + 10),
+            FsStress(world, self._iterations(80), seed + 11),
+            FsInod(world, self._iterations(60), seed + 12),
+            Pipes(world, self._iterations(60), seed + 13),
+            Symlinks(world, self._iterations(40), seed + 14),
+            Perms(world, self._iterations(60), seed + 15),
+            Journal(world, self._iterations(90), seed + 16),
+            BdFlush(world, self._iterations(150), seed + 17),
+        ]
+
+    def run(self, runtime: Optional[KernelRuntime] = None) -> MixResult:
+        if runtime is None:
+            from benchmarks.perf.legacy_repro.kernel import reset_id_counters
+
+            reset_id_counters()
+        world = VfsWorld(runtime, seed=self.seed)
+        world.boot()
+        scheduler = Scheduler(world.rt, seed=self.seed + 1)
+        for workload in self.build_workloads(world):
+            for name, body in workload.threads():
+                scheduler.spawn(name, body)
+        self._add_irq_sources(world, scheduler)
+        # Subclass-only stress: hit every inode subclass at least a bit.
+        scheduler.spawn(
+            "subclass-sweep",
+            _subclass_sweep(world, self._iterations(40), self.seed + 12345),
+        )
+        steps = scheduler.run()
+        return MixResult(world=world, scheduler=scheduler, steps=steps)
+
+    def _add_irq_sources(self, world: VfsWorld, scheduler: Scheduler) -> None:
+        rng = random.Random(self.seed + 99)
+
+        def softirq_body(ctx: ExecutionContext) -> Generator:
+            live = [b for b in world.buffer_heads if b.live]
+            if not live:
+                return
+            bh = rng.choice(live)
+            if rng.random() < 0.96:
+                yield from bufferhead.end_buffer_async_write(world.rt, ctx, bh)
+            else:
+                yield from bufferhead.touch_buffer(world.rt, ctx, bh)
+
+        def hardirq_body(ctx: ExecutionContext) -> Generator:
+            live = [b for b in world.buffer_heads if b.live]
+            if not live:
+                return
+            bh = rng.choice(live)
+            yield from bufferhead.end_buffer_read_sync(world.rt, ctx, bh)
+
+        scheduler.add_irq_source(
+            "blk-softirq", softirq_body, rate=self.softirq_rate, softirq=True
+        )
+        scheduler.add_irq_source("blk-hardirq", hardirq_body, rate=self.irq_rate)
+
+
+def _subclass_sweep(world: VfsWorld, iterations: int, seed: int = 12345):
+    """A thread that exercises inodes of every mounted subclass, so the
+    Tab. 6 per-subclass rows all have observations."""
+
+    def run(ctx: ExecutionContext) -> Generator:
+        from benchmarks.perf.legacy_repro.kernel.vfs import inode as iops
+
+        rng = random.Random(seed)
+        fstypes = list(world.supers)
+        for index in range(iterations):
+            fstype = fstypes[index % len(fstypes)]
+            pool = [i for i in world.inodes.get(fstype, []) if i.live]
+            if index < len(fstypes) and pool:
+                # First visit: hash one inode, so even barely-exercised
+                # subclasses (debugfs) contribute at least one rule.
+                yield from iops.insert_inode_hash(world.rt, ctx, pool[0])
+            if len(pool) < 3:
+                # boot-style allocation (init-filtered), so the sweep
+                # itself never runs creation paths on rare subclasses.
+                world.new_inode(ctx, fstype, directory=world.root_inodes[fstype])
+                pool = [i for i in world.inodes.get(fstype, []) if i.live]
+            for _ in range(6):
+                inode = rng.choice(pool)
+                yield from world.exercise(ctx, "inode", inode)
+            yield
+
+    return run
+
+
+def run_benchmark_mix(seed: int = 0, scale: float = 1.0) -> MixResult:
+    """Convenience one-shot runner used by experiments and examples."""
+    return BenchmarkMix(seed=seed, scale=scale).run()

@@ -1,0 +1,70 @@
+"""Permission-change workload: chmod/chown loops (Sec. 7.1).
+
+Owner/mode updates run under the inode's own ``i_rwsem`` (the spec's
+"owner" group), timestamps under the "times" group — including the
+``inode_set_flags`` paths, one of which is the confirmed kernel bug."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.vfs import inode as iops
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class Perms(Workload):
+    """Permission-change workload (see module docstring)."""
+    name = "perms"
+
+    def __init__(self, world, iterations=60, seed=5, buggy_flag_rate=0.05):
+        super().__init__(world, iterations, seed)
+        self.buggy_flag_rate = buggy_flag_rate
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/0", self._body())]
+
+    def _body(self) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            fstypes = ("ext4", "tmpfs", "rootfs", "devtmpfs", "sysfs", "bdev")
+            for _ in range(self.iterations):
+                inode = self.pick_inode(self.rng.choice(fstypes))
+                if inode is None:
+                    yield from world.vfs_create(ctx, "ext4")
+                    continue
+                if not inode.live:
+                    continue
+                inode.pin()
+                roll = self.rng.random()
+                if roll < 0.45:
+                    # chmod/chown: i_rwsem-guarded owner updates.
+                    with rt.function(ctx, "chmod_common", "fs/open.c", 550):
+                        yield from rt.down_write(ctx, inode.lock("i_rwsem"))
+                        rt.read(ctx, inode, "i_mode", line=556)
+                        rt.write(ctx, inode, "i_mode", line=557)
+                        rt.write(ctx, inode, "i_ctime", line=558)
+                        rt.up_write(ctx, inode.lock("i_rwsem"))
+                elif roll < 0.75:
+                    with rt.function(ctx, "chown_common", "fs/open.c", 600):
+                        yield from rt.down_write(ctx, inode.lock("i_rwsem"))
+                        rt.write(ctx, inode, "i_uid", line=606)
+                        rt.write(ctx, inode, "i_gid", line=607)
+                        rt.write(ctx, inode, "i_ctime", line=608)
+                        rt.up_write(ctx, inode.lock("i_rwsem"))
+                else:
+                    # Only the deviant subclasses carry the buggy
+                    # cmpxchg path (clean subclasses: Tab. 7 zero rows).
+                    from benchmarks.perf.legacy_repro.kernel.vfs.groundtruth import DEVIANT_SUBCLASSES
+
+                    buggy_ok = inode.subclass in DEVIANT_SUBCLASSES
+                    locked = (
+                        not buggy_ok
+                        or self.rng.random() >= self.buggy_flag_rate
+                    )
+                    yield from iops.inode_set_flags(rt, ctx, inode, locked=locked)
+                inode.unpin()
+                yield
+
+        return run

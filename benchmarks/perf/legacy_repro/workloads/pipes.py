@@ -1,0 +1,58 @@
+"""Pipe workload: the paper's custom pipe test program (Sec. 7.1)."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.kernel.vfs import pipe as pops
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class Pipes(Workload):
+    """Pipe workload (see module docstring)."""
+    name = "pipes"
+
+    def __init__(self, world, iterations=60, seed=3):
+        super().__init__(world, iterations, seed)
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [
+            (f"{self.name}/writer", self._body(writer=True)),
+            (f"{self.name}/reader", self._body(writer=False)),
+        ]
+
+    def _ensure_pipe(self, ctx: ExecutionContext):
+        world = self.world
+        live = [p for p in world.pipes if p.live]
+        if not live:
+            pipe = world.new_pipe(ctx)
+            # pipefs inodes accompany real pipes.
+            if "pipefs" in world.supers:
+                inode = world.new_inode(ctx, "pipefs")
+                inode.refs["i_pipe_obj"] = pipe
+            return pipe
+        return self.rng.choice(live)
+
+    def _body(self, writer: bool) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            for _ in range(self.iterations):
+                pipe = self._ensure_pipe(ctx)
+                roll = self.rng.random()
+                if roll < 0.004:
+                    yield from pops.pipe_poll_fast(rt, ctx, pipe)
+                elif roll < 0.10:
+                    yield from pops.pipe_release(rt, ctx, pipe)
+                elif writer:
+                    yield from pops.pipe_write(rt, ctx, pipe)
+                else:
+                    yield from pops.pipe_read(rt, ctx, pipe)
+                if self.rng.random() < 0.15:
+                    inode = self.pick_inode("pipefs")
+                    if inode is not None:
+                        yield from world.exercise(ctx, "inode", inode)
+                yield
+
+        return run

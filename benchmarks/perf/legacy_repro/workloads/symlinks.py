@@ -1,0 +1,42 @@
+"""Symlink workload: create/delete symbolic links (Sec. 7.1).
+
+Symlink creation writes ``i_link`` under the parent directory's
+``i_rwsem`` — the EO-flavoured ops rule of Fig. 8."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from benchmarks.perf.legacy_repro.kernel.context import ExecutionContext
+from benchmarks.perf.legacy_repro.workloads.base import ThreadBody, Workload
+
+
+class Symlinks(Workload):
+    """Symlink workload (see module docstring)."""
+    name = "symlinks"
+
+    def __init__(self, world, iterations=40, seed=4, fstypes=("ext4", "rootfs")):
+        super().__init__(world, iterations, seed)
+        self.fstypes = [f for f in fstypes if f in world.supers]
+
+    def threads(self) -> List[Tuple[str, ThreadBody]]:
+        return [(f"{self.name}/0", self._body())]
+
+    def _body(self) -> ThreadBody:
+        def run(ctx: ExecutionContext) -> Generator:
+            world = self.world
+            rt = world.rt
+            for _ in range(self.iterations):
+                fstype = self.rng.choice(self.fstypes) if self.fstypes else "ext4"
+                directory = world.root_inodes[fstype]
+                with rt.function(ctx, "vfs_symlink", "fs/namei.c", 4240):
+                    yield from rt.down_write(ctx, directory.lock("i_rwsem"))
+                    link = world.new_inode(ctx, fstype, directory=directory)
+                    rt.write(ctx, link, "i_link", line=4250)
+                    rt.write(ctx, link, "i_op", line=4251)
+                    rt.up_write(ctx, directory.lock("i_rwsem"))
+                if self.rng.random() < 0.6:
+                    yield from world.vfs_unlink(ctx, fstype)
+                yield
+
+        return run

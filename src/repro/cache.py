@@ -1,0 +1,391 @@
+"""Content-addressed on-disk trace cache.
+
+Re-running a workload the pipeline has already traced is pure waste:
+the simulation is deterministic, so ``(workload, seed, scale)`` plus
+the source revision of everything that influences the event stream
+fully determines the trace.  This module persists traces (and the
+expensive artifacts derived from them) under a cache directory keyed
+by exactly that tuple:
+
+* **trace tier** — the binary trace (``<key>.trace.bin``) plus a JSON
+  sidecar with human-readable metadata.  The key digests the workload
+  name, seed, scale, the trace-format version
+  (:data:`repro.tracing.serialize.FORMAT_VERSION`) and the **kernel
+  revision** — a content hash over every source file that can change
+  the emitted event stream (``repro.kernel``, ``repro.tracing``,
+  ``repro.workloads``, ``repro.fuzz``).  Touch any of those and every
+  cached trace silently misses.
+* **artifact tier** — pickled post-processing results (the imported
+  :class:`TraceDatabase`, observation tables, derivation results)
+  under ``<key>.<analysis-rev>.<name>.pkl``, where the analysis
+  revision additionally hashes ``repro.db`` and ``repro.core``.
+  Artifacts load independently, so a consumer that needs only the
+  split observation table never pays for the (much larger) database
+  pickle.
+
+The cache is **best-effort**: a missing directory, a corrupt entry or
+an unpicklable artifact degrades to recomputation, never to an error.
+Writes are atomic (temp file + rename), so concurrent runs at worst
+duplicate work.
+
+The cache directory defaults to ``~/.cache/lockdoc-repro`` (honouring
+``XDG_CACHE_HOME``) and is overridden by ``LOCKDOC_CACHE_DIR``; the
+test suites point it at a session-private temp directory.  The CLI
+exposes ``--no-cache`` (per invocation) and ``lockdoc cache
+ls / clear / path`` for management.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import repro.kernel  # noqa: F401  (must initialize before repro.tracing)
+from repro.tracing.serialize import (
+    FORMAT_VERSION,
+    dumps_events_binary,
+    load_binary,
+    open_binary_stream,
+    stacks_of,
+)
+from repro.tracing.tracer import TraceStats
+
+_ENV_DIR = "LOCKDOC_CACHE_DIR"
+
+#: Workloads eligible for disk caching: their factories are pure
+#: functions of ``(seed, scale)`` and the hashed source revision.
+#: ``fuzz:*`` corpora are excluded — their content lives outside the
+#: source tree, so the key could not see it change.
+_CACHEABLE = frozenset({"mix", "racer", "racer-safe"})
+
+#: Packages whose sources determine the emitted event stream.
+_TRACE_PACKAGES = ("kernel", "tracing", "workloads", "fuzz")
+
+#: Additional packages that determine imported/derived artifacts.
+_ANALYSIS_PACKAGES = _TRACE_PACKAGES + ("db", "core")
+
+_enabled = True
+
+_revision_memo: Dict[Tuple[str, ...], str] = {}
+
+
+def set_enabled(on: bool) -> None:
+    """Globally enable/disable the disk cache (CLI ``--no-cache``)."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def cache_dir() -> Path:
+    """The cache directory (not necessarily existing yet)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "lockdoc-repro"
+
+
+# ----------------------------------------------------------------------
+# Revision hashing and keys
+# ----------------------------------------------------------------------
+
+def _revision(packages: Tuple[str, ...]) -> str:
+    """Content hash over the named ``repro`` subpackages (memoized)."""
+    memoized = _revision_memo.get(packages)
+    if memoized is not None:
+        return memoized
+    root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for package in packages:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    revision = digest.hexdigest()[:16]
+    _revision_memo[packages] = revision
+    return revision
+
+
+def kernel_revision() -> str:
+    """Hash of every source that can change an emitted trace."""
+    return _revision(_TRACE_PACKAGES)
+
+
+def analysis_revision() -> str:
+    """Hash of trace *and* import/derivation sources (artifact tier)."""
+    return _revision(_ANALYSIS_PACKAGES)
+
+
+def trace_key(workload: str, seed: int, scale: float) -> str:
+    """The content-addressed key for one ``(workload, seed, scale)``."""
+    blob = json.dumps(
+        {
+            "workload": workload,
+            "seed": int(seed),
+            "scale": repr(float(scale)),
+            "format": FORMAT_VERSION,
+            "kernel": kernel_revision(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def trace_path(workload: str, seed: int, scale: float) -> Path:
+    return cache_dir() / f"{trace_key(workload, seed, scale)}.trace.bin"
+
+
+def _meta_path(key: str) -> Path:
+    return cache_dir() / f"{key}.meta.json"
+
+
+def _artifact_path(workload: str, seed: int, scale: float, name: str) -> Path:
+    key = trace_key(workload, seed, scale)
+    return cache_dir() / f"{key}.{analysis_revision()}.{name}.pkl"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Cached run results
+# ----------------------------------------------------------------------
+
+class ReplayTracer:
+    """Read-only :class:`~repro.tracing.tracer.Tracer` stand-in over a
+    cached event stream: events, the interned stack table, and the
+    derived summary statistics — everything trace *consumers* use."""
+
+    def __init__(self, events, stacks) -> None:
+        self.events = list(events)
+        self.enabled = False
+        self._stacks = list(stacks)
+
+    def stack(self, stack_id: int):
+        return self._stacks[stack_id]
+
+    @property
+    def stack_count(self) -> int:
+        return len(self._stacks)
+
+    @property
+    def clock(self) -> int:
+        return self.events[-1].ts if self.events else 0
+
+    @property
+    def stats(self) -> TraceStats:
+        from repro.tracing.events import (
+            AccessEvent,
+            AllocEvent,
+            FreeEvent,
+            LockEvent,
+        )
+
+        stats = TraceStats()
+        for event in self.events:
+            if isinstance(event, AccessEvent):
+                stats.accesses += 1
+            elif isinstance(event, LockEvent):
+                stats.lock_ops += 1
+            elif isinstance(event, AllocEvent):
+                stats.allocs += 1
+            elif isinstance(event, FreeEvent):
+                stats.frees += 1
+        return stats
+
+
+class CachedRun:
+    """A workload run served from the trace cache.
+
+    Honours the registry run-result contract (``.tracer`` /
+    ``.to_database()``) without re-running the simulation:
+
+    * ``tracer`` materializes the cached binary trace on first access,
+    * ``to_database()`` **streams** events straight from the cache file
+      into the importer (via
+      :func:`repro.tracing.serialize.open_binary_stream`), so the
+      310k-element event list is never built when only the database is
+      needed,
+    * any other attribute (``world``, ``scheduler``, ...) falls back to
+      a live re-run of the workload — deterministic, so the fallback is
+      observably identical to a cache miss, just slower.
+    """
+
+    def __init__(self, workload: str, seed: int, scale: float, path: Path) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.scale = scale
+        self.path = path
+        self._tracer: Optional[ReplayTracer] = None
+        self._live = None
+
+    @property
+    def tracer(self) -> ReplayTracer:
+        if self._tracer is None:
+            with open(self.path, "rb") as fp:
+                events, stacks = load_binary(fp)
+            self._tracer = ReplayTracer(events, stacks)
+        return self._tracer
+
+    def to_database(self):
+        from repro.db.importer import Importer
+        from repro.workloads import registry
+
+        structs, filters = registry.database_inputs(
+            registry.db_recipe(self.workload)
+        )
+        importer = Importer(structs, filters)
+        if self._tracer is not None:
+            # Already materialized — no point re-reading the file.
+            return importer.run(self._tracer.events, self._tracer._stacks)
+        with open(self.path, "rb") as fp:
+            stream = open_binary_stream(fp)
+            return importer.run(stream.events, stream.stacks)
+
+    def __getattr__(self, name: str):
+        # Anything beyond the trace (e.g. tab3's ``.world``) needs the
+        # simulation itself; re-run it once, lazily.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if self._live is None:
+            from repro.workloads import registry
+
+            self._live = registry.run(
+                self.workload, seed=self.seed, scale=self.scale
+            )
+        return getattr(self._live, name)
+
+
+# ----------------------------------------------------------------------
+# Store / lookup
+# ----------------------------------------------------------------------
+
+def store_trace(workload: str, seed: int, scale: float, tracer) -> Path:
+    """Persist *tracer*'s trace for ``(workload, seed, scale)``."""
+    path = trace_path(workload, seed, scale)
+    payload = dumps_events_binary(tracer.events, stacks_of(tracer))
+    _atomic_write(path, payload)
+    meta = {
+        "workload": workload,
+        "seed": int(seed),
+        "scale": float(scale),
+        "format": FORMAT_VERSION,
+        "kernel_revision": kernel_revision(),
+        "events": len(tracer.events),
+        "stacks": tracer.stack_count,
+        "bytes": len(payload),
+    }
+    _atomic_write(
+        _meta_path(trace_key(workload, seed, scale)),
+        json.dumps(meta, indent=2, sort_keys=True).encode() + b"\n",
+    )
+    return path
+
+
+def cached_run(workload: str, seed: int = 0, scale: float = 1.0):
+    """Run *workload* through the disk cache.
+
+    Cache hit: a :class:`CachedRun` (no simulation).  Miss: the live
+    run result, with its trace stored for next time.  Disabled cache or
+    uncacheable workload (``fuzz:*``): the live run, untouched.
+    """
+    from repro.workloads import registry
+
+    if not _enabled or workload not in _CACHEABLE:
+        return registry.run(workload, seed=seed, scale=scale)
+    path = trace_path(workload, seed, scale)
+    if path.exists():
+        return CachedRun(workload, seed, scale, path)
+    result = registry.run(workload, seed=seed, scale=scale)
+    try:
+        store_trace(workload, seed, scale, result.tracer)
+    except OSError:
+        pass  # unwritable cache dir: stay correct, just slower
+    return result
+
+
+def load_artifact(workload: str, seed: int, scale: float, name: str):
+    """A pickled artifact for the keyed run, or None."""
+    if not _enabled:
+        return None
+    path = _artifact_path(workload, seed, scale, name)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as fp:
+            return pickle.load(fp)
+    except Exception:  # corrupt/stale entry: recompute
+        return None
+
+
+def store_artifact(workload: str, seed: int, scale: float, name: str, obj) -> None:
+    """Best-effort persist of a derived artifact."""
+    if not _enabled:
+        return
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write(_artifact_path(workload, seed, scale, name), payload)
+    except (OSError, pickle.PicklingError, TypeError, AttributeError):
+        pass
+
+
+# ----------------------------------------------------------------------
+# Management (the ``lockdoc cache`` subcommand)
+# ----------------------------------------------------------------------
+
+def entries() -> List[Dict]:
+    """Metadata of every cached trace, plus its artifact footprint."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return []
+    found = []
+    for meta_file in sorted(directory.glob("*.meta.json")):
+        key = meta_file.name[: -len(".meta.json")]
+        try:
+            meta = json.loads(meta_file.read_text())
+        except (OSError, ValueError):
+            continue
+        artifacts = list(directory.glob(f"{key}.*.pkl"))
+        meta["key"] = key
+        meta["artifacts"] = len(artifacts)
+        meta["artifact_bytes"] = sum(p.stat().st_size for p in artifacts)
+        found.append(meta)
+    return found
+
+
+def clear() -> int:
+    """Delete every cache file; returns the number removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for pattern in ("*.trace.bin", "*.meta.json", "*.pkl"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

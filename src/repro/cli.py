@@ -20,12 +20,15 @@ Commands mirror the paper's pipeline and analysis tools:
 ``health``     lenient ingestion + TraceHealth damage report
 ``corrupt``    apply a seeded fault plan to a saved trace file
 ``fuzz``       coverage-guided workload fuzzing (run/replay/corpus/report)
+``cache``      inspect/manage the on-disk trace cache (ls/clear/path)
 =============  =====================================================
 
 Trace-producing subcommands take ``--workload``, resolved through the
 central :mod:`repro.workloads.registry` — built-ins (``mix``,
 ``racer``, ``racer-safe``) or a fuzzed corpus (``fuzz:<file>`` /
-``fuzz:<corpus-id>``).
+``fuzz:<corpus-id>``).  Built-in workload runs are served from the
+content-addressed on-disk trace cache (:mod:`repro.cache`) unless
+``--no-cache`` is given.
 
 Every subcommand taking a file input exits with status 2 and a
 one-line ``error: ...`` on empty, unreadable or malformed inputs —
@@ -65,13 +68,20 @@ def _add_pipeline_args(
         "racer-safe, or fuzz:<corpus-file> "
         f"(default: {workload_default})",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk trace cache: re-run the workload and "
+        "recompute every artifact (see `lockdoc cache`)",
+    )
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for rule derivation (results are "
-        "identical to serial; default: serial)",
+        "identical to serial; small workloads fall back to serial "
+        "automatically since pool startup would dominate; "
+        "default: serial)",
     )
 
 
@@ -247,6 +257,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz_report.add_argument("--threshold", type=float, default=0.9)
     _add_jobs_arg(fuzz_report)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect/manage the on-disk trace cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="action", required=True)
+    cache_sub.add_parser("ls", help="list cached traces and artifacts")
+    cache_sub.add_parser("clear", help="delete every cache entry")
+    cache_sub.add_parser("path", help="print the cache directory")
 
     return parser
 
@@ -460,14 +478,9 @@ def _cmd_sql(args) -> int:
 
 def _registry_for(name: str):
     """(StructRegistry, FilterConfig) for a --registry choice."""
-    if name == "racer":
-        from repro.workloads.racer import build_racer_registry
+    from repro.workloads.registry import database_inputs
 
-        return build_racer_registry(), None
-    from repro.kernel.vfs.groundtruth import build_filter_config
-    from repro.kernel.vfs.layouts import build_struct_registry
-
-    return build_struct_registry(), build_filter_config()
+    return database_inputs("racer" if name == "racer" else "vfs")
 
 
 def _cmd_health(args) -> int:
@@ -579,6 +592,38 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro import cache
+
+    if args.action == "path":
+        print(cache.cache_dir())
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache files from {cache.cache_dir()}")
+        return 0
+    # ls
+    rows = [
+        [
+            e.get("workload", "?"),
+            e.get("seed", "?"),
+            e.get("scale", "?"),
+            e.get("events", "?"),
+            f"{e.get('bytes', 0) / 1e6:.1f}",
+            e.get("artifacts", 0),
+            f"{e.get('artifact_bytes', 0) / 1e6:.1f}",
+            e.get("key", "?"),
+        ]
+        for e in cache.entries()
+    ]
+    print(render_table(
+        ["workload", "seed", "scale", "events", "trace MB",
+         "artifacts", "artifact MB", "key"],
+        rows, title=f"trace cache at {cache.cache_dir()}",
+    ))
+    return 0
+
+
 _HANDLERS = {
     "trace": _cmd_trace,
     "derive": _cmd_derive,
@@ -597,6 +642,7 @@ _HANDLERS = {
     "health": _cmd_health,
     "corrupt": _cmd_corrupt,
     "fuzz": _cmd_fuzz,
+    "cache": _cmd_cache,
 }
 
 
@@ -616,6 +662,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # One process-wide default so every derivation a subcommand
     # triggers (including inside experiments) uses the worker pool.
     experiments_common.set_default_jobs(jobs)
+    if getattr(args, "no_cache", False):
+        from repro import cache
+
+        cache.set_enabled(False)
     try:
         return _HANDLERS[args.command](args)
     except (ValueError, OSError) as exc:

@@ -149,6 +149,15 @@ class DerivationResult:
         return self.no_lock_count(type_key, access_type) / total
 
 
+#: Minimum distinct uncached profiles before ``jobs > 1`` actually
+#: forks a pool.  Spawning workers and pickling chunks costs a fixed
+#: few hundred milliseconds while scoring one profile takes ~1-3 ms,
+#: so below this point the pool is pure overhead (fsstress, with ~140
+#: distinct profiles, ran 5.6x slower under ``--jobs 4`` than serial).
+#: The mix workload (~335 distinct profiles) still parallelizes.
+_PARALLEL_MIN_PROFILES = 192
+
+
 def _score_chunk(payload: Tuple[Sequence[Profile], int]) -> List[List[Hypothesis]]:
     """Worker: enumerate and score one chunk of canonical profiles.
 
@@ -264,8 +273,14 @@ class Derivator:
 
         ``jobs > 1`` scores distinct observation profiles on a process
         pool; the merged result is bit-identical to the serial path.
-        A caller-supplied *memo* is reused (and further filled), which
-        lets repeated derivations at different thresholds share work.
+        Small workloads (fewer than
+        :data:`_PARALLEL_MIN_PROFILES` distinct uncached profiles)
+        fall back to serial automatically — forking the pool and
+        pickling the work units costs more than the scoring itself
+        there, so honouring ``--jobs`` literally made e.g. fsstress
+        several times *slower*.  A caller-supplied *memo* is reused
+        (and further filled), which lets repeated derivations at
+        different thresholds share work.
         """
         if memo is None:
             memo = HypothesisMemo()
@@ -306,8 +321,8 @@ class Derivator:
                 continue
             seen.add(profile)
             pending.append(profile)
-        if len(pending) < 2:
-            return  # nothing worth forking for
+        if len(pending) < _PARALLEL_MIN_PROFILES:
+            return  # pool startup would dominate; score serially
         try:
             from concurrent.futures import ProcessPoolExecutor
 

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.lockrefs import LockRef, LockSeq, dedup_refs
 from repro.db.database import TraceDatabase
@@ -228,12 +228,20 @@ class Importer:
     # ------------------------------------------------------------------
 
     def run(
-        self, events: Sequence[Event], stack_table: Sequence[StackFrames]
+        self, events: Iterable[Event], stack_table: Sequence[StackFrames]
     ) -> TraceDatabase:
+        """Import *events* (any iterable — a list, or a streaming
+        binary loader's iterator) over *stack_table*.
+
+        The import is single-pass, so a generator feeding straight from
+        a trace file works without materializing the event list.
+        """
         self._stack_table = stack_table if len(stack_table) > 0 else [()]
         self.db.set_stack_table(self._stack_table)
+        final_ts = 0
         for event in events:
             self.total_events += 1
+            final_ts = getattr(event, "ts", final_ts)
             if isinstance(event, AllocEvent):
                 self._on_alloc(event)
             elif isinstance(event, FreeEvent):
@@ -244,7 +252,6 @@ class Importer:
                 self._on_access(event)
             else:
                 self._reject(event, Q_UNKNOWN_EVENT, f"unknown event {event!r}")
-        final_ts = getattr(events[-1], "ts", 0) if events else 0
         self._finalize(final_ts)
         self._enforce_budget()
         self.db.health = self.health()
@@ -742,13 +749,19 @@ class Importer:
 
 
 def import_trace(
-    events: Sequence[Event],
+    events: Iterable[Event],
     stack_table: Sequence[StackFrames],
     structs: StructRegistry,
     filters: Optional[FilterConfig] = None,
     policy: Optional[ImportPolicy] = None,
 ) -> TraceDatabase:
-    """Import an event trace into a fresh :class:`TraceDatabase`."""
+    """Import an event trace into a fresh :class:`TraceDatabase`.
+
+    *events* may be any single-pass iterable — in particular the lazy
+    iterator of :func:`repro.tracing.serialize.open_binary_stream`, so
+    a trace file streams into the database without an intermediate
+    event list.
+    """
     importer = Importer(structs, filters, policy)
     return importer.run(events, stack_table)
 

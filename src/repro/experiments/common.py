@@ -3,21 +3,34 @@
 Runs the benchmark mix once per ``(seed, scale)`` and derives the
 artifacts every experiment needs: the trace database, the (split and
 merged) observation tables, and the rule-derivation results.  Results
-are cached process-wide, so a pytest/benchmark session that regenerates
-every table reuses one trace, exactly like the paper's pipeline ran on
-one recorded trace.
+are cached at two levels:
+
+* **in-process** — one :class:`Pipeline` per ``(workload, seed,
+  scale)``, so a pytest/benchmark session that regenerates every table
+  reuses one trace, exactly like the paper's pipeline ran on one
+  recorded trace;
+* **on disk** — the content-addressed trace cache
+  (:mod:`repro.cache`): traces and pickled artifacts persist across
+  processes, keyed by the workload tuple plus the source revision, so
+  a second ``lockdoc derive`` run skips both the simulation and the
+  (dominant) database import.
+
+Pipeline artifacts are **lazy**: ``db``/``table``/``merged_table``
+compute on first access — from a disk artifact when one exists, from
+the run result otherwise — so a consumer that needs only the split
+table (``derive``) never loads the much larger database.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import cache
 from repro.core.derivator import DerivationResult, Derivator
 from repro.core.observations import ObservationTable
 from repro.core.selection import DEFAULT_ACCEPT_THRESHOLD
 from repro.db.database import TraceDatabase
-from repro.workloads import registry
+from repro.workloads import registry  # noqa: F401  (re-export for monkeypatching)
 
 #: Default workload scale for experiments; large enough for stable
 #: statistics, small enough for a laptop-scale pytest run.
@@ -41,23 +54,69 @@ def get_default_jobs() -> Optional[int]:
     return _DEFAULT_JOBS
 
 
-@dataclass
 class Pipeline:
-    """One fully processed workload run.
+    """One fully processed workload run (artifacts computed lazily).
 
     ``mix`` keeps its historical name but holds whichever registered
     workload's run result the pipeline was built from (the common
-    contract: ``.tracer`` + ``.to_database()``).
+    contract: ``.tracer`` + ``.to_database()``) — possibly a
+    :class:`repro.cache.CachedRun` when the disk cache hit.
     """
 
-    seed: int
-    scale: float
-    mix: object  # run result of the selected workload
-    db: TraceDatabase
-    table: ObservationTable  # subclass-split (the paper's default)
-    merged_table: ObservationTable  # subclasses merged (checker view)
-    workload: str = DEFAULT_WORKLOAD
-    _derivations: Dict[float, DerivationResult] = field(default_factory=dict)
+    def __init__(
+        self,
+        seed: int,
+        scale: float,
+        mix: object,
+        workload: str = DEFAULT_WORKLOAD,
+    ) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.mix = mix
+        self.workload = workload
+        self._db: Optional[TraceDatabase] = None
+        self._table: Optional[ObservationTable] = None
+        self._merged_table: Optional[ObservationTable] = None
+        self._derivations: Dict[float, DerivationResult] = {}
+
+    def _artifact(self, name: str, compute):
+        """Disk-cached artifact: load if present, else compute + store."""
+        value = cache.load_artifact(self.workload, self.seed, self.scale, name)
+        if value is None:
+            value = compute()
+            cache.store_artifact(self.workload, self.seed, self.scale, name, value)
+        return value
+
+    @property
+    def db(self) -> TraceDatabase:
+        """The imported trace database (the dominant pipeline cost)."""
+        if self._db is None:
+            self._db = self._artifact("db", self.mix.to_database)
+        return self._db
+
+    @property
+    def table(self) -> ObservationTable:
+        """Subclass-split observation table (the paper's default)."""
+        if self._table is None:
+            self._table = self._artifact(
+                "table-split",
+                lambda: ObservationTable.from_database(
+                    self.db, split_subclasses=True
+                ),
+            )
+        return self._table
+
+    @property
+    def merged_table(self) -> ObservationTable:
+        """Subclasses-merged observation table (checker view)."""
+        if self._merged_table is None:
+            self._merged_table = self._artifact(
+                "table-merged",
+                lambda: ObservationTable.from_database(
+                    self.db, split_subclasses=False
+                ),
+            )
+        return self._merged_table
 
     def derive(
         self,
@@ -68,10 +127,14 @@ class Pipeline:
         # to serial, so the jobs count never changes the payload.
         result = self._derivations.get(accept_threshold)
         if result is None:
-            effective_jobs = jobs if jobs is not None else _DEFAULT_JOBS
-            result = Derivator(accept_threshold).derive(
-                self.table, jobs=effective_jobs
-            )
+
+            def compute() -> DerivationResult:
+                effective_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+                return Derivator(accept_threshold).derive(
+                    self.table, jobs=effective_jobs
+                )
+
+            result = self._artifact(f"derivation-t{accept_threshold!r}", compute)
             self._derivations[accept_threshold] = result
         return result
 
@@ -88,26 +151,27 @@ def get_pipeline(
 
     *workload* is any name the registry resolves — a built-in
     (``mix``, ``racer``, ``racer-safe``) or a fuzzed corpus
-    (``fuzz:<corpus-id>`` / ``fuzz:<path>``).
+    (``fuzz:<corpus-id>`` / ``fuzz:<path>``).  The run is served from
+    the on-disk trace cache when possible (see :mod:`repro.cache`).
     """
     key = (workload, seed, scale)
     pipeline = _CACHE.get(key)
     if pipeline is None:
-        result = registry.run(workload, seed=seed, scale=scale)
-        db = result.to_database()
-        pipeline = Pipeline(
-            seed=seed,
-            scale=scale,
-            mix=result,
-            db=db,
-            table=ObservationTable.from_database(db, split_subclasses=True),
-            merged_table=ObservationTable.from_database(db, split_subclasses=False),
-            workload=workload,
-        )
+        result = cache.cached_run(workload, seed=seed, scale=scale)
+        pipeline = Pipeline(seed=seed, scale=scale, mix=result, workload=workload)
         _CACHE[key] = pipeline
     return pipeline
 
 
 def clear_cache() -> None:
-    """Drop cached pipelines (test isolation / memory pressure)."""
+    """Drop cached **in-process** pipelines (test isolation / memory
+    pressure).
+
+    Contract: this touches only the process-local memo.  The on-disk
+    trace cache (:mod:`repro.cache`) is deliberately left intact — a
+    pipeline rebuilt after ``clear_cache()`` may therefore be served
+    from disk, byte-identical to the original.  Use
+    :func:`repro.cache.clear` (CLI: ``lockdoc cache clear``) to drop
+    the disk tier too.
+    """
     _CACHE.clear()

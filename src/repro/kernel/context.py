@@ -7,13 +7,20 @@ context (Sec. 2.2 of the paper).  The simulator models contexts
 explicitly; every trace event carries the id of the context that caused
 it, which the post-processing step uses to maintain per-context
 transaction stacks.
+
+The class is slotted and keeps two derived quantities up to date as the
+held stack changes — the number of held atomic-class locks (spinlocks,
+rwlocks, seqlock writers, the irq/bh/preempt pseudo-locks) and the
+number of held spinlocks — so the scheduler's is-this-context-atomic
+probe and the runtime's might-sleep check are O(1) instead of scanning
+the held stack on every scheduling decision.  All held-stack mutation
+must go through :meth:`push_held` / :meth:`remove_held_at`.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
@@ -34,7 +41,6 @@ def reset_context_ids() -> None:
     _context_ids = itertools.count(1)
 
 
-@dataclass
 class ExecutionContext:
     """A single kernel control flow.
 
@@ -46,18 +52,47 @@ class ExecutionContext:
         call_stack: stack of ``(function, file, line)`` frames.
         irq_disable_depth / bh_disable_depth / preempt_disable_depth:
             nesting counters for the pseudo-lock primitives.
+        atomic_held / spin_held: running counts of held atomic-class
+            locks and held spinlocks (see module docstring).
     """
 
-    kind: ContextKind
-    name: str
-    ctx_id: int = field(default_factory=lambda: next(_context_ids))
-    held: List[Tuple[object, object]] = field(default_factory=list)
-    call_stack: List[Tuple[str, str, int]] = field(default_factory=list)
-    irq_disable_depth: int = 0
-    bh_disable_depth: int = 0
-    preempt_disable_depth: int = 0
-    # Parent context when a hardirq/softirq interrupted another flow.
-    interrupted: Optional["ExecutionContext"] = None
+    __slots__ = (
+        "kind",
+        "name",
+        "ctx_id",
+        "held",
+        "call_stack",
+        "irq_disable_depth",
+        "bh_disable_depth",
+        "preempt_disable_depth",
+        "interrupted",
+        "atomic_held",
+        "spin_held",
+        "cached_site",
+    )
+
+    def __init__(
+        self,
+        kind: ContextKind,
+        name: str,
+        ctx_id: Optional[int] = None,
+        interrupted: Optional["ExecutionContext"] = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.ctx_id = next(_context_ids) if ctx_id is None else ctx_id
+        self.held: List[Tuple[object, object]] = []
+        self.call_stack: List[Tuple[str, str, int]] = []
+        self.irq_disable_depth = 0
+        self.bh_disable_depth = 0
+        self.preempt_disable_depth = 0
+        # Parent context when a hardirq/softirq interrupted another flow.
+        self.interrupted = interrupted
+        self.atomic_held = 0
+        self.spin_held = 0
+        # Memoized (stack_id, file, line) for the current call stack;
+        # owned by the Tracer, invalidated whenever the stack changes.
+        self.cached_site: Optional[Tuple[int, str, int]] = None
 
     def holds(self, lock: object) -> bool:
         """Return True if this context currently holds *lock* (any mode)."""
@@ -67,10 +102,36 @@ class ExecutionContext:
         """The locks held by this context, in acquisition order."""
         return [l for l, _ in self.held]
 
+    def push_held(self, lock, mode) -> None:
+        """Record that *lock* was acquired (keeps the counters in sync)."""
+        self.held.append((lock, mode))
+        if lock.is_atomic_class:
+            self.atomic_held += 1
+            self.spin_held += lock.is_spinlock
+
+    def remove_held_at(self, index: int) -> None:
+        """Drop the held entry at *index* (keeps the counters in sync)."""
+        lock = self.held[index][0]
+        del self.held[index]
+        if lock.is_atomic_class:
+            self.atomic_held -= 1
+            self.spin_held -= lock.is_spinlock
+
+    def is_atomic(self) -> bool:
+        """True while this context must not be preempted or sleep.
+
+        Relies on the invariant that the irq/bh/preempt pseudo-locks
+        stay on the held stack while their disable depth is non-zero,
+        so a positive ``atomic_held`` covers the depth counters too.
+        """
+        return self.atomic_held > 0
+
     def push_frame(self, function: str, file: str, line: int) -> None:
         self.call_stack.append((function, file, line))
+        self.cached_site = None
 
     def pop_frame(self) -> Tuple[str, str, int]:
+        self.cached_site = None
         return self.call_stack.pop()
 
     def stack_snapshot(self) -> Tuple[Tuple[str, str, int], ...]:

@@ -81,6 +81,40 @@ class LockMode(enum.Enum):
 
 _lock_ids = itertools.count(1)
 
+#: Lock classes whose holders are atomic (non-preemptable on the single
+#: simulated CPU).  The scheduler and the execution context's held
+#: counters derive their O(1) atomicity checks from this set.
+ATOMIC_LOCK_CLASSES = frozenset(
+    (
+        LockClass.SPINLOCK,
+        LockClass.RWLOCK,
+        LockClass.SEQLOCK,
+        LockClass.SOFTIRQ,
+        LockClass.HARDIRQ,
+        LockClass.PREEMPT,
+    )
+)
+
+#: Per-class hot-path flags, precomputed once at import time:
+#: (is_atomic_class, is_spinlock, class_value, has_shared, is_semaphore,
+#:  is_seqlock, recursive_shared, nests_exclusive).  ``recursive_shared``
+#: marks read sides that nest freely (RCU, rwlock, seqlock readers);
+#: ``nests_exclusive`` marks the disable-depth pseudo-locks whose
+#: exclusive side nests per context instead of self-deadlocking.
+_CLASS_FLAGS = {
+    cls: (
+        cls in ATOMIC_LOCK_CLASSES,
+        cls is LockClass.SPINLOCK,
+        cls.value,
+        cls.reader_writer,
+        cls is LockClass.SEMAPHORE,
+        cls is LockClass.SEQLOCK,
+        cls in (LockClass.RCU, LockClass.RWLOCK, LockClass.SEQLOCK),
+        cls in (LockClass.SOFTIRQ, LockClass.HARDIRQ, LockClass.PREEMPT),
+    )
+    for cls in LockClass
+}
+
 
 class Lock:
     """A single lock instance.
@@ -109,6 +143,14 @@ class Lock:
         "_sem_count",
         "_sem_capacity",
         "seq",
+        "is_atomic_class",
+        "is_spinlock",
+        "class_value",
+        "has_shared",
+        "is_semaphore",
+        "is_seqlock",
+        "recursive_shared",
+        "nests_exclusive",
     )
 
     def __init__(
@@ -130,6 +172,19 @@ class Lock:
         self._sem_capacity = capacity
         self._sem_count = capacity
         self.seq = 0  # sequence counter for seqlocks
+        # Precomputed hot-path facts: one table lookup instead of enum
+        # property calls per event (and per Lock construction — embedded
+        # locks are created once per allocated object).
+        (
+            self.is_atomic_class,
+            self.is_spinlock,
+            self.class_value,
+            self.has_shared,
+            self.is_semaphore,
+            self.is_seqlock,
+            self.recursive_shared,
+            self.nests_exclusive,
+        ) = _CLASS_FLAGS[lock_class]
 
     # ------------------------------------------------------------------
     # State inspection
@@ -151,7 +206,7 @@ class Lock:
 
     def is_free(self) -> bool:
         """True if nobody holds the lock in any mode."""
-        if self.lock_class == LockClass.SEMAPHORE:
+        if self.is_semaphore:
             return self._sem_count == self._sem_capacity
         return self._owner is None and not self._readers
 
@@ -165,31 +220,24 @@ class Lock:
         Raises :class:`LockUsageError` for self-deadlocks and illegal
         mode/primitive combinations rather than wedging the simulation.
         """
-        self._check_mode(mode)
-        cls = self.lock_class
+        if mode is LockMode.SHARED:
+            if not self.has_shared:
+                self._check_mode(mode)
+            return self._try_acquire_shared(ctx)
 
-        if cls == LockClass.SEMAPHORE:
+        if self.is_semaphore:
             if self._sem_count > 0:
                 self._sem_count -= 1
                 return True
             return False
 
-        if mode == LockMode.SHARED:
-            return self._try_acquire_shared(ctx)
         return self._try_acquire_exclusive(ctx)
 
     def release(self, ctx: ExecutionContext, mode: LockMode) -> None:
         """Release a previously acquired lock."""
-        self._check_mode(mode)
-        cls = self.lock_class
-
-        if cls == LockClass.SEMAPHORE:
-            if self._sem_count >= self._sem_capacity:
-                raise LockUsageError(f"up() on non-held semaphore {self.name}")
-            self._sem_count += 1
-            return
-
-        if mode == LockMode.SHARED:
+        if mode is LockMode.SHARED:
+            if not self.has_shared:
+                self._check_mode(mode)
             depth = self._readers.get(ctx.ctx_id)
             if depth is None:
                 raise LockUsageError(
@@ -201,6 +249,12 @@ class Lock:
                 self._readers[ctx.ctx_id] = depth - 1
             return
 
+        if self.is_semaphore:
+            if self._sem_count >= self._sem_capacity:
+                raise LockUsageError(f"up() on non-held semaphore {self.name}")
+            self._sem_count += 1
+            return
+
         if self._owner is not ctx:
             raise LockUsageError(
                 f"{ctx!r} releases {self.name} (exclusive) held by {self._owner!r}"
@@ -208,7 +262,7 @@ class Lock:
         self._exclusive_depth -= 1
         if self._exclusive_depth == 0:
             self._owner = None
-            if self.lock_class == LockClass.SEQLOCK:
+            if self.is_seqlock:
                 self.seq += 1  # write_sequnlock bumps to an even value
 
     # ------------------------------------------------------------------
@@ -216,19 +270,10 @@ class Lock:
     # ------------------------------------------------------------------
 
     def _check_mode(self, mode: LockMode) -> None:
-        if mode == LockMode.SHARED and not self.lock_class.reader_writer:
+        if mode is LockMode.SHARED and not self.has_shared:
             raise LockUsageError(
                 f"{self.lock_class.value} {self.name} has no shared mode"
             )
-
-    def _recursive_shared(self) -> bool:
-        # RCU read sections and irq/bh-disable nest freely; rwlock read
-        # sides are also recursive on Linux.
-        return self.lock_class in (
-            LockClass.RCU,
-            LockClass.RWLOCK,
-            LockClass.SEQLOCK,
-        )
 
     def _try_acquire_shared(self, ctx: ExecutionContext) -> bool:
         if self._owner is not None:
@@ -241,7 +286,7 @@ class Lock:
             # (retried) read section, i.e. the reader spins.
             return False
         if ctx.ctx_id in self._readers:
-            if not self._recursive_shared():
+            if not self.recursive_shared:
                 raise LockUsageError(
                     f"recursive read of non-recursive {self.name} by {ctx!r}"
                 )
@@ -251,8 +296,7 @@ class Lock:
         return True
 
     def _try_acquire_exclusive(self, ctx: ExecutionContext) -> bool:
-        cls = self.lock_class
-        if cls in (LockClass.SOFTIRQ, LockClass.HARDIRQ, LockClass.PREEMPT):
+        if self.nests_exclusive:
             # Disabling bottom halves / interrupts / preemption nests per
             # context and never contends in the single-core model.
             if self._owner is None:
@@ -280,13 +324,13 @@ class Lock:
         if self._owner is None:
             self._owner = ctx
             self._exclusive_depth = 1
-            if cls == LockClass.SEQLOCK:
+            if self.is_seqlock:
                 self.seq += 1  # write_seqlock bumps to an odd value
             return True
         if self._owner is ctx:
             raise LockUsageError(
                 f"self-deadlock: {ctx!r} re-acquires {self.name} "
-                f"({cls.value}) it already holds"
+                f"({self.class_value}) it already holds"
             )
         return False
 

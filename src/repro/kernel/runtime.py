@@ -22,34 +22,35 @@ phase-1 event trace of the paper.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Generator, Iterator, Optional
+from typing import Dict, Generator, Optional
 
 from repro.kernel.context import ContextKind, ExecutionContext, make_task
 from repro.kernel.errors import KernelError, LockUsageError
 from repro.kernel.locks import Lock, LockClass, LockMode, PseudoLocks
 from repro.kernel.memory import Allocation, Allocator
 from repro.kernel.structs import StructDef, StructRegistry
+from repro.tracing.events import AccessEvent, LockEvent
 from repro.tracing.tracer import Tracer
 
 
 class Wait:
     """Yielded by lock-acquiring generators while contended."""
 
-    __slots__ = ("lock", "mode")
+    __slots__ = ("lock", "mode", "_want_shared")
 
     def __init__(self, lock: Lock, mode: LockMode) -> None:
         self.lock = lock
         self.mode = mode
+        self._want_shared = mode is LockMode.SHARED
 
     def ready(self, ctx: ExecutionContext) -> bool:
         """Cheap readiness probe used by the scheduler (non-mutating)."""
         lock = self.lock
-        if lock.lock_class == LockClass.SEMAPHORE:
+        if lock.is_semaphore:
             return lock._sem_count > 0  # noqa: SLF001 - scheduler fast path
-        if self.mode == LockMode.SHARED:
-            return lock.owner is None
-        return lock.owner is None and lock.reader_count == 0
+        if self._want_shared:
+            return lock._owner is None  # noqa: SLF001
+        return lock._owner is None and not lock._readers  # noqa: SLF001
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Wait {self.lock.name} mode={self.mode.value}>"
@@ -75,6 +76,8 @@ class KObject:
         "values",
         "refs",
         "pin_count",
+        "live",
+        "address",
     )
 
     def __init__(
@@ -97,6 +100,14 @@ class KObject:
         # the kernel's refcounting, which keeps objects alive while a
         # control flow holds a reference across a blocking point.
         self.pin_count = 0
+        # Mirrors allocation.live; a plain attribute because workload
+        # pool filters test it millions of times per run.  The only
+        # code allowed to flip it is KernelRuntime.delete_object (the
+        # sole path that frees a traced object).
+        self.live = True
+        # An allocation's address never changes; denormalized here so
+        # the per-access hot path skips the property indirection.
+        self.address = allocation.address
 
     def pin(self) -> None:
         self.pin_count += 1
@@ -111,20 +122,12 @@ class KObject:
         return self.pin_count > 0
 
     @property
-    def address(self) -> int:
-        return self.allocation.address
-
-    @property
     def data_type(self) -> str:
         return self.struct.name
 
     @property
     def subclass(self) -> Optional[str]:
         return self.allocation.subclass
-
-    @property
-    def live(self) -> bool:
-        return self.allocation.live
 
     def lock(self, member: str) -> Lock:
         """The embedded lock instance stored in *member*."""
@@ -143,16 +146,53 @@ class KObject:
         return f"<{self.data_type}{sub} @{self.address:#x}>"
 
 
-@contextmanager
-def pinned(*objects: "KObject") -> Iterator[None]:
-    """Pin *objects* for the duration of a block (refcount guard)."""
-    for obj in objects:
-        obj.pin()
-    try:
-        yield
-    finally:
-        for obj in objects:
-            obj.unpin()
+class pinned:
+    """Pin objects for the duration of a block (refcount guard).
+
+    A hand-rolled context manager: the ``contextlib`` generator
+    machinery costs several function calls per use, and ops enter one
+    of these per operation.
+    """
+
+    __slots__ = ("objects",)
+
+    def __init__(self, *objects: "KObject") -> None:
+        self.objects = objects
+
+    def __enter__(self) -> None:
+        for obj in self.objects:
+            obj.pin_count += 1
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for obj in self.objects:
+            count = obj.pin_count
+            if count <= 0:
+                raise KernelError(f"unbalanced unpin of {obj!r}")
+            obj.pin_count = count - 1
+
+
+class _FunctionFrame:
+    """Push a call frame for the duration of a kernel function body."""
+
+    __slots__ = ("ctx", "name", "file", "line")
+
+    def __init__(self, ctx: ExecutionContext, name: str, file: str, line: int) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.file = file
+        self.line = line
+
+    def __enter__(self) -> None:
+        # Inlined ExecutionContext.push_frame: one method call per kernel
+        # function entry adds up across a trace.
+        ctx = self.ctx
+        ctx.call_stack.append((self.name, self.file, self.line))
+        ctx.cached_site = None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ctx = self.ctx
+        ctx.call_stack.pop()
+        ctx.cached_site = None
 
 
 class KernelRuntime:
@@ -180,16 +220,11 @@ class KernelRuntime:
     def new_task(self, name: str) -> ExecutionContext:
         return make_task(name)
 
-    @contextmanager
     def function(
         self, ctx: ExecutionContext, name: str, file: str, line: int
-    ) -> Iterator[None]:
+    ) -> _FunctionFrame:
         """Push a call frame for the duration of a kernel function body."""
-        ctx.push_frame(name, file, line)
-        try:
-            yield
-        finally:
-            ctx.pop_frame()
+        return _FunctionFrame(ctx, name, file, line)
 
     # ------------------------------------------------------------------
     # Object lifecycle
@@ -230,6 +265,7 @@ class KernelRuntime:
             del self.locks_by_id[lock.lock_id]
         self.tracer.record_free(ctx, obj.allocation)
         self.allocator.free(obj.allocation, timestamp=self.tracer.clock)
+        obj.live = False
         del self.objects_by_alloc_id[obj.allocation.alloc_id]
 
     def static_lock(self, name: str, lock_class: "LockClass | str") -> Lock:
@@ -257,11 +293,41 @@ class KernelRuntime:
         member: str,
         line: Optional[int] = None,
     ) -> object:
-        """Emit a traced read of ``obj.member``; returns the simulated value."""
-        laid_out = obj.struct.member(member)
-        self.tracer.record_access(
-            ctx, obj.address + laid_out.offset, laid_out.size, is_write=False, line=line
-        )
+        """Emit a traced read of ``obj.member``; returns the simulated value.
+
+        The tracer's ``record_access`` body is inlined here (and in
+        :meth:`write`): member accesses dominate the trace, and the extra
+        call per event is measurable.  Any change must be mirrored in
+        :meth:`~repro.tracing.tracer.Tracer.record_access`.
+        """
+        try:
+            laid_out = obj.struct._by_name[member]  # noqa: SLF001 - hot path
+        except KeyError:
+            laid_out = obj.struct.member(member)  # descriptive KeyError
+        tracer = self.tracer
+        if tracer.enabled:
+            site = ctx.cached_site
+            if site is None:
+                site = tracer._site(ctx)  # noqa: SLF001 - hot path
+            tracer._n_accesses += 1  # noqa: SLF001
+            tracer._clock += 1  # noqa: SLF001
+            # tuple.__new__ bypasses the namedtuple's generated __new__
+            # (one Python call per event, ~310k events per trace).
+            tracer.events.append(
+                tuple.__new__(
+                    AccessEvent,
+                    (
+                        tracer._clock,  # noqa: SLF001
+                        ctx.ctx_id,
+                        obj.address + laid_out.offset,
+                        laid_out.size,
+                        False,
+                        site[0],
+                        site[1],
+                        site[2] if line is None else line,
+                    ),
+                )
+            )
         return obj.values.get(member)
 
     def write(
@@ -273,10 +339,32 @@ class KernelRuntime:
         line: Optional[int] = None,
     ) -> None:
         """Emit a traced write of ``obj.member`` and store the value."""
-        laid_out = obj.struct.member(member)
-        self.tracer.record_access(
-            ctx, obj.address + laid_out.offset, laid_out.size, is_write=True, line=line
-        )
+        try:
+            laid_out = obj.struct._by_name[member]  # noqa: SLF001 - hot path
+        except KeyError:
+            laid_out = obj.struct.member(member)  # descriptive KeyError
+        tracer = self.tracer
+        if tracer.enabled:
+            site = ctx.cached_site
+            if site is None:
+                site = tracer._site(ctx)  # noqa: SLF001 - hot path
+            tracer._n_accesses += 1  # noqa: SLF001
+            tracer._clock += 1  # noqa: SLF001
+            tracer.events.append(
+                tuple.__new__(
+                    AccessEvent,
+                    (
+                        tracer._clock,  # noqa: SLF001
+                        ctx.ctx_id,
+                        obj.address + laid_out.offset,
+                        laid_out.size,
+                        True,
+                        site[0],
+                        site[1],
+                        site[2] if line is None else line,
+                    ),
+                )
+            )
         obj.values[member] = value
 
     def atomic_read(self, ctx: ExecutionContext, obj: KObject, member: str) -> object:
@@ -297,6 +385,44 @@ class KernelRuntime:
     # Core acquire/release plumbing
     # ------------------------------------------------------------------
 
+    def _record_lock_event(
+        self,
+        ctx: ExecutionContext,
+        lock: Lock,
+        is_acquire: bool,
+        mode: LockMode,
+        line: Optional[int],
+    ) -> None:
+        """Inlined twin of :meth:`Tracer.record_lock` (kept as one local
+        helper for the five lock-op call sites; any change must be
+        mirrored in the tracer)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        site = ctx.cached_site
+        if site is None:
+            site = tracer._site(ctx)  # noqa: SLF001 - hot path
+        tracer._n_lock_ops += 1  # noqa: SLF001
+        tracer._clock += 1  # noqa: SLF001
+        tracer.events.append(
+            tuple.__new__(
+                LockEvent,
+                (
+                    tracer._clock,  # noqa: SLF001
+                    ctx.ctx_id,
+                    lock.lock_id,
+                    lock.class_value,
+                    lock.name,
+                    lock.address,
+                    is_acquire,
+                    "w" if mode is LockMode.EXCLUSIVE else "r",
+                    site[0],
+                    site[1],
+                    site[2] if line is None else line,
+                ),
+            )
+        )
+
     def _acquire(
         self,
         ctx: ExecutionContext,
@@ -308,13 +434,15 @@ class KernelRuntime:
         # deschedule a task right before it takes a lock).
         yield None
         while True:
-            already_held = lock.held_by(ctx)
+            already_held = (lock._owner is ctx) or (  # noqa: SLF001
+                ctx.ctx_id in lock._readers  # noqa: SLF001
+            )
             if lock.try_acquire(ctx, mode):
                 break
             yield Wait(lock, mode)
         if not already_held:
-            ctx.held.append((lock, mode))
-            self.tracer.record_lock(ctx, lock, True, mode, line)
+            ctx.push_held(lock, mode)
+            self._record_lock_event(ctx, lock, True, mode, line)
 
     def _release(
         self,
@@ -324,16 +452,17 @@ class KernelRuntime:
         line: Optional[int] = None,
     ) -> None:
         lock.release(ctx, mode)
-        if not lock.held_by(ctx):
-            for index in range(len(ctx.held) - 1, -1, -1):
-                if ctx.held[index][0] is lock:
-                    del ctx.held[index]
-                    break
-            else:
-                raise LockUsageError(
-                    f"{ctx!r} released {lock.name} not in its held list"
-                )
-            self.tracer.record_lock(ctx, lock, False, mode, line)
+        if lock._owner is ctx or ctx.ctx_id in lock._readers:  # noqa: SLF001
+            return  # still held (recursive/nested); no release event yet
+        for index in range(len(ctx.held) - 1, -1, -1):
+            if ctx.held[index][0] is lock:
+                ctx.remove_held_at(index)
+                break
+        else:
+            raise LockUsageError(
+                f"{ctx!r} released {lock.name} not in its held list"
+            )
+        self._record_lock_event(ctx, lock, False, mode, line)
 
     def run(self, gen: KGen) -> None:
         """Inline trampoline for single-context code.
@@ -363,8 +492,8 @@ class KernelRuntime:
         """Non-blocking spinlock attempt (plain method, returns success)."""
         self._expect(lock, LockClass.SPINLOCK, "spin_trylock")
         if lock.try_acquire(ctx, LockMode.EXCLUSIVE):
-            ctx.held.append((lock, LockMode.EXCLUSIVE))
-            self.tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE, line)
+            ctx.push_held(lock, LockMode.EXCLUSIVE)
+            self._record_lock_event(ctx, lock, True, LockMode.EXCLUSIVE, line)
             return True
         return False
 
@@ -454,8 +583,8 @@ class KernelRuntime:
         already_held = lock.held_by(ctx)
         assert lock.try_acquire(ctx, LockMode.SHARED)
         if not already_held:
-            ctx.held.append((lock, LockMode.SHARED))
-            self.tracer.record_lock(ctx, lock, True, LockMode.SHARED, line)
+            ctx.push_held(lock, LockMode.SHARED)
+            self._record_lock_event(ctx, lock, True, LockMode.SHARED, line)
 
     def rcu_read_unlock(self, ctx: ExecutionContext, line: Optional[int] = None) -> None:
         self._release(ctx, self.pseudo.rcu, LockMode.SHARED, line)
@@ -467,8 +596,8 @@ class KernelRuntime:
         setattr(ctx, attr, depth + 1)
         if depth == 0:
             assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
-            ctx.held.append((lock, LockMode.EXCLUSIVE))
-            self.tracer.record_lock(ctx, lock, True, LockMode.EXCLUSIVE, line)
+            ctx.push_held(lock, LockMode.EXCLUSIVE)
+            self._record_lock_event(ctx, lock, True, LockMode.EXCLUSIVE, line)
         else:
             assert lock.try_acquire(ctx, LockMode.EXCLUSIVE)
 
@@ -521,7 +650,7 @@ class KernelRuntime:
             raise LockUsageError(
                 f"sleeping lock {lock.name} taken with irqs/bh/preemption disabled"
             )
-        if any(l.lock_class == LockClass.SPINLOCK for l in ctx.held_locks()):
+        if ctx.spin_held:
             raise LockUsageError(
                 f"sleeping lock {lock.name} taken while holding a spinlock"
             )

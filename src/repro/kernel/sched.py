@@ -24,6 +24,7 @@ simulated analogue of a frozen kernel.
 
 from __future__ import annotations
 
+import gc
 import random
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
@@ -36,27 +37,17 @@ from repro.kernel.context import (
     make_task,
 )
 from repro.kernel.errors import DeadlockError, KernelError, SchedulerError
-from repro.kernel.locks import LockClass
 from repro.kernel.runtime import KernelRuntime, Wait
 
 KThreadBody = Callable[[ExecutionContext], Generator]
 IrqBody = Callable[[ExecutionContext], Generator]
 
-#: Lock classes that make a context atomic (non-preemptable).
-_ATOMIC_CLASSES = (
-    LockClass.SPINLOCK,
-    LockClass.RWLOCK,
-    LockClass.SEQLOCK,
-    LockClass.SOFTIRQ,
-    LockClass.HARDIRQ,
-    LockClass.PREEMPT,
-)
-
 
 def _is_atomic(ctx: ExecutionContext) -> bool:
-    if ctx.irq_disable_depth or ctx.bh_disable_depth or ctx.preempt_disable_depth:
-        return True
-    return any(lock.lock_class in _ATOMIC_CLASSES for lock in ctx.held_locks())
+    # Which lock classes make a context atomic is decided by
+    # locks.ATOMIC_LOCK_CLASSES; the context maintains the running
+    # count, so this probe is a single attribute load.
+    return ctx.atomic_held > 0
 
 
 @dataclass
@@ -102,6 +93,7 @@ class Scheduler:
         self.irq_sources: List[IrqSource] = []
         self.steps = 0
         self._running = False
+        self._reap = False
 
     # ------------------------------------------------------------------
     # Setup
@@ -133,20 +125,41 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def run(self, max_steps: int = 10_000_000) -> int:
-        """Run until all threads finish; returns the number of steps."""
+        """Run until all threads finish; returns the number of steps.
+
+        The cyclic garbage collector is paused for the duration of the
+        run: exhausted generator frames produce hundreds of thousands of
+        reference cycles per trace, and letting the GC chase them
+        mid-run costs ~20% of generation wall time.  Objects allocated
+        while paused stay tracked, so the first threshold-triggered
+        collection after the run reclaims the (run-size-bounded) cycles;
+        an explicit collect here would just move that one-off cost into
+        the hot loop.  (Scheduling, RNG draws and the emitted trace are
+        unaffected — this changes only when memory is reclaimed.)
+        """
         if self._running:
             raise SchedulerError("scheduler is not reentrant")
         self._running = True
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             current: Optional[KThread] = None
+            # The alive list only shrinks (threads cannot be spawned
+            # mid-run), so it is re-filtered only after a step in which
+            # some thread finished rather than on every decision.
+            alive = [t for t in self.threads if not t.finished]
+            self._reap = False
             while True:
-                alive = [t for t in self.threads if not t.finished]
+                if self._reap:
+                    alive = [t for t in alive if not t.finished]
+                    self._reap = False
                 if not alive:
                     break
                 if self.steps >= max_steps:
                     raise SchedulerError(f"exceeded {max_steps} scheduler steps")
 
-                if current is None or current.finished or current.blocked:
+                if current is None or current.finished or current.waiting_on is not None:
                     current = self._pick(alive)
                 self._maybe_inject_irq(current)
                 burst = self.rng.randint(1, self.max_burst)
@@ -155,7 +168,7 @@ class Scheduler:
                         current = None
                         break
                     # Atomic sections are non-preemptable: extend the burst.
-                    while not current.finished and _is_atomic(current.ctx):
+                    while not current.finished and current.ctx.atomic_held:
                         if not self._step(current):
                             current = None
                             break
@@ -167,9 +180,16 @@ class Scheduler:
             return self.steps
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def _pick(self, alive: List[KThread]) -> KThread:
-        ready = [t for t in alive if t.runnable()]
+        # KThread.runnable() inlined: every pick probes every alive
+        # thread, so the method-call overhead is paid O(threads) per
+        # scheduling decision.  (alive threads are never .finished.)
+        ready = [
+            t for t in alive if t.waiting_on is None or t.waiting_on.ready(t.ctx)
+        ]
         if not ready:
             waits = ", ".join(
                 f"{t.ctx.name}->{t.waiting_on.lock.name}" for t in alive if t.waiting_on
@@ -184,9 +204,10 @@ class Scheduler:
             token = next(thread.gen)
         except StopIteration:
             thread.finished = True
+            self._reap = True
             self._check_clean_exit(thread)
             return False
-        if isinstance(token, Wait):
+        if token is not None and isinstance(token, Wait):
             if _is_atomic(thread.ctx):
                 raise KernelError(
                     f"{thread.ctx!r} blocked on {token.lock.name} while atomic"

@@ -122,6 +122,16 @@ class StructDef:
         for member in self.members:
             offset = self._layout(member, member.name, offset)
         self.size = offset
+        # Derived views, computed once: object creation asks for the
+        # lock members per allocation, and the importer resolves every
+        # access by byte offset.
+        self._lock_members: List[LaidOutMember] = [
+            m for m in self._flat if m.kind == MemberKind.LOCK
+        ]
+        self._at_offset: List[Optional[LaidOutMember]] = [None] * self.size
+        for laid_out in self._flat:
+            for byte in range(laid_out.offset, laid_out.end):
+                self._at_offset[byte] = laid_out
 
     def _layout(self, member: Member, path: str, offset: int) -> int:
         if member.kind == MemberKind.STRUCT:
@@ -156,14 +166,16 @@ class StructDef:
         return self.member(name).offset
 
     def member_at(self, offset: int) -> LaidOutMember:
-        """Resolve a byte offset to the leaf member covering it."""
-        for member in self._flat:
-            if member.offset <= offset < member.end:
+        """Resolve a byte offset to the leaf member covering it (O(1))."""
+        if 0 <= offset < self.size:
+            member = self._at_offset[offset]
+            if member is not None:
                 return member
         raise KeyError(f"{self.name} has no member at offset {offset}")
 
     def lock_members(self) -> List[LaidOutMember]:
-        return [m for m in self._flat if m.kind == MemberKind.LOCK]
+        """The struct's lock members (shared list — do not mutate)."""
+        return self._lock_members
 
     def data_members(self) -> List[LaidOutMember]:
         """Members LockDoc derives rules for (excludes locks)."""

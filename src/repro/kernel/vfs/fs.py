@@ -308,8 +308,9 @@ class VfsWorld:
 
     def vfs_unlink(self, ctx: ExecutionContext, fstype: str) -> Generator:
         """Remove a random file of *fstype*: unhash + destroy."""
+        roots = set(self.root_inodes.values())
         pool = [i for i in self.inodes.get(fstype, []) if i.live
-                and i not in self.root_inodes.values()]
+                and i not in roots]
         if len(pool) < 2:
             return
         rt = self.rt
@@ -417,22 +418,36 @@ class VfsWorld:
             ctx, obj, op, skip_scale=skip_scale, profile=profile
         )
 
+    def _pool_of(self, type_name: str) -> List[Optional[KObject]]:
+        """The raw candidate pool for *type_name* (may contain dead
+        objects); only the requested pool is materialized."""
+        if type_name == "inode":
+            return [i for pool in self.inodes.values() for i in pool]
+        if type_name == "dentry":
+            return self.dentries
+        if type_name == "super_block":
+            return list(self.supers.values())
+        if type_name == "backing_dev_info":
+            return list(self.bdis.values())
+        if type_name == "buffer_head":
+            return self.buffer_heads
+        if type_name == "pipe_inode_info":
+            return self.pipes
+        if type_name == "cdev":
+            return self.cdevs
+        if type_name == "block_device":
+            return self.bdevs
+        if type_name == "journal_t":
+            return [self.journal] if self.journal else []
+        if type_name == "transaction_t":
+            return self.transactions
+        if type_name == "journal_head":
+            return self.journal_heads
+        return []
+
     def random_object(self, type_name: str) -> Optional[KObject]:
         """A random live object of *type_name* (None if none exist)."""
-        pools: Dict[str, List[KObject]] = {
-            "inode": [i for pool in self.inodes.values() for i in pool],
-            "dentry": self.dentries,
-            "super_block": list(self.supers.values()),
-            "backing_dev_info": list(self.bdis.values()),
-            "buffer_head": self.buffer_heads,
-            "pipe_inode_info": self.pipes,
-            "cdev": self.cdevs,
-            "block_device": self.bdevs,
-            "journal_t": [self.journal] if self.journal else [],
-            "transaction_t": self.transactions,
-            "journal_head": self.journal_heads,
-        }
-        pool = [o for o in pools.get(type_name, []) if o is not None and o.live]
+        pool = [o for o in self._pool_of(type_name) if o is not None and o.live]
         if not pool:
             return None
         return self.rng.choice(pool)

@@ -80,6 +80,15 @@ class OpEngine:
         self.deviated = 0
         for name, spec in specs.items():
             self.ops_by_type[name] = self._synthesize(spec)
+        # Memoized per-(type, profile) weighted op lists and nested-op
+        # candidate lists.  Both are pure functions of their inputs, so
+        # caching cannot perturb the RNG draw sequence.  Keys use
+        # id(profile); _profile_refs pins the dicts so ids stay unique.
+        self._weighted_cache: Dict[
+            Tuple[str, Optional[int]], Tuple[List[Tuple[OpDef, float]], float]
+        ] = {}
+        self._nested_cache: Dict[Tuple[int, Optional[int]], Optional[List[OpDef]]] = {}
+        self._profile_refs: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Synthesis
@@ -167,31 +176,31 @@ class OpEngine:
         if lock is None:
             return None
         cls = lock.lock_class
-        if cls == LockClass.SPINLOCK:
+        if cls is LockClass.SPINLOCK:
             if token.flavor == "irq":
                 yield from rt.spin_lock_irq(ctx, lock)
             elif token.flavor == "bh":
                 yield from rt.spin_lock_bh(ctx, lock)
             else:
                 yield from rt.spin_lock(ctx, lock)
-        elif cls == LockClass.RWLOCK:
+        elif cls is LockClass.RWLOCK:
             if token.mode == "r":
                 yield from rt.read_lock(ctx, lock)
             else:
                 yield from rt.write_lock(ctx, lock)
-        elif cls == LockClass.MUTEX:
+        elif cls is LockClass.MUTEX:
             yield from rt.mutex_lock(ctx, lock)
-        elif cls == LockClass.RW_SEMAPHORE:
+        elif cls is LockClass.RW_SEMAPHORE:
             if token.mode == "r":
                 yield from rt.down_read(ctx, lock)
             else:
                 yield from rt.down_write(ctx, lock)
-        elif cls == LockClass.SEQLOCK:
+        elif cls is LockClass.SEQLOCK:
             if token.mode == "r":
                 yield from rt.read_seqbegin(ctx, lock)
             else:
                 yield from rt.write_seqlock(ctx, lock)
-        elif cls == LockClass.SEMAPHORE:
+        elif cls is LockClass.SEMAPHORE:
             yield from rt.down(ctx, lock)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unsupported lock class {cls}")
@@ -205,31 +214,31 @@ class OpEngine:
         lock = record.lock
         assert lock is not None
         cls = lock.lock_class
-        if cls == LockClass.SPINLOCK:
+        if cls is LockClass.SPINLOCK:
             if record.flavor == "irq":
                 rt.spin_unlock_irq(ctx, lock)
             elif record.flavor == "bh":
                 rt.spin_unlock_bh(ctx, lock)
             else:
                 rt.spin_unlock(ctx, lock)
-        elif cls == LockClass.RWLOCK:
+        elif cls is LockClass.RWLOCK:
             if record.mode == "r":
                 rt.read_unlock(ctx, lock)
             else:
                 rt.write_unlock(ctx, lock)
-        elif cls == LockClass.MUTEX:
+        elif cls is LockClass.MUTEX:
             rt.mutex_unlock(ctx, lock)
-        elif cls == LockClass.RW_SEMAPHORE:
+        elif cls is LockClass.RW_SEMAPHORE:
             if record.mode == "r":
                 rt.up_read(ctx, lock)
             else:
                 rt.up_write(ctx, lock)
-        elif cls == LockClass.SEQLOCK:
+        elif cls is LockClass.SEQLOCK:
             if record.mode == "r":
                 rt.read_seqend(ctx, lock)
             else:
                 rt.write_sequnlock(ctx, lock)
-        elif cls == LockClass.SEMAPHORE:
+        elif cls is LockClass.SEMAPHORE:
             rt.up(ctx, lock)
 
     # ------------------------------------------------------------------
@@ -323,19 +332,33 @@ class OpEngine:
         profile: Optional[Dict[str, float]] = None,
     ) -> Optional[OpDef]:
         """A compatible op to nest inside *outer* (same type, different
-        group, no conflicting lock tokens, allowed by the profile)."""
-        outer_locks = {(t.kind, t.name, t.via) for t in outer.tokens}
-        candidates = [
-            op
-            for op in self.ops_by_type[outer.type_name]
-            if op.group != outer.group
-            and not any((t.kind, t.name, t.via) in outer_locks for t in op.tokens)
-            and not _sleeping_tokens(self.specs[outer.type_name], op.tokens)
-            and self._profile_scale(op, profile) > 0
-        ]
-        if not candidates or _atomic_tokens(outer.tokens):
+        group, no conflicting lock tokens, allowed by the profile).
+
+        The candidate list is a pure function of (outer, profile), so it
+        is computed once and memoized; only the weighted draw runs per
+        call.  Profiles must not be mutated after first use.
+        """
+        profile_key = None if profile is None else id(profile)
+        if profile is not None:
+            self._profile_refs[profile_key] = profile
+        key = (id(outer), profile_key)
+        try:
+            candidates = self._nested_cache[key]
+        except KeyError:
+            outer_locks = {(t.kind, t.name, t.via) for t in outer.tokens}
+            pool = [
+                op
+                for op in self.ops_by_type[outer.type_name]
+                if op.group != outer.group
+                and not any((t.kind, t.name, t.via) in outer_locks for t in op.tokens)
+                and not _sleeping_tokens(self.specs[outer.type_name], op.tokens)
+                and self._profile_scale(op, profile) > 0
+            ]
             # Holding a spinlock forbids nesting sleeping locks; to keep
             # things simple, atomic outer sections don't nest at all.
+            candidates = None if (not pool or _atomic_tokens(outer.tokens)) else pool
+            self._nested_cache[key] = candidates
+        if candidates is None:
             return None
         return self._weighted_choice(candidates)
 
@@ -365,25 +388,35 @@ class OpEngine:
         type_name: str,
         profile: Optional[Dict[str, float]] = None,
     ) -> Optional[OpDef]:
-        """Pick a random op for *type_name*, honoring a subclass profile."""
-        ops = self.ops_by_type.get(type_name, [])
-        if not ops:
-            return None
-        if profile is None:
-            return self._weighted_choice(ops)
+        """Pick a random op for *type_name*, honoring a subclass profile.
 
-        weighted: List[Tuple[OpDef, float]] = []
-        for op in ops:
-            scale = self._profile_scale(op, profile)
-            if scale > 0:
-                weighted.append((op, op.weight * scale))
-        total = sum(w for _, w in weighted)
-        if total <= 0:
+        The scaled weight list is a pure function of (type, profile) and
+        is memoized, so each call costs one RNG draw plus the weighted
+        scan.  Profiles must not be mutated after first use.
+        """
+        profile_key = None if profile is None else id(profile)
+        key = (type_name, profile_key)
+        cached = self._weighted_cache.get(key)
+        if cached is None:
+            ops = self.ops_by_type.get(type_name, [])
+            if profile is None:
+                weighted = [(op, op.weight) for op in ops]
+            else:
+                self._profile_refs[profile_key] = profile
+                weighted = [
+                    (op, op.weight * scale)
+                    for op in ops
+                    if (scale := self._profile_scale(op, profile)) > 0
+                ]
+            cached = (weighted, sum(w for _, w in weighted))
+            self._weighted_cache[key] = cached
+        weighted, total = cached
+        if not weighted or total <= 0:
             return None
         point = self.rng.random() * total
         acc = 0.0
-        for op, w in weighted:
-            acc += w
+        for op, weight in weighted:
+            acc += weight
             if point <= acc:
                 return op
         return weighted[-1][0]

@@ -11,13 +11,19 @@ Every event carries a monotonically increasing timestamp ``ts`` and the
 id of the execution context that caused it.  Access and lock events
 also carry an interned call-stack id plus the immediate source location
 (file, line) so the rule-violation finder can point at code (Sec. 5.5).
+
+The event classes are ``NamedTuple``s: the tracer records hundreds of
+thousands of them per run, and a positional tuple construction is ~4×
+cheaper than a frozen-dataclass ``__init__``.  The four classes have
+pairwise-distinct arities (7, 4, 8, 11 fields), so tuple equality can
+never conflate events of different types.  ``Event`` remains as a
+typing alias for "any trace event".
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional, Union
 
 
 class EventKind(enum.Enum):
@@ -30,17 +36,11 @@ class EventKind(enum.Enum):
     RELEASE = "release"
 
 
-@dataclass(frozen=True)
-class Event:
-    """Common event header."""
+class AllocEvent(NamedTuple):
+    """Allocation event: a traced object came to life."""
 
     ts: int
     ctx_id: int
-
-
-@dataclass(frozen=True)
-class AllocEvent(Event):
-    """Allocation event: a traced object came to life."""
     alloc_id: int
     address: int
     size: int
@@ -50,17 +50,18 @@ class AllocEvent(Event):
     kind = EventKind.ALLOC
 
 
-@dataclass(frozen=True)
-class FreeEvent(Event):
+class FreeEvent(NamedTuple):
     """Deallocation event: a traced object died."""
+
+    ts: int
+    ctx_id: int
     alloc_id: int
     address: int
 
     kind = EventKind.FREE
 
 
-@dataclass(frozen=True)
-class AccessEvent(Event):
+class AccessEvent(NamedTuple):
     """A single memory access to a raw byte address.
 
     The tracer does *not* resolve the address to an allocation or
@@ -69,6 +70,8 @@ class AccessEvent(Event):
     type layout.
     """
 
+    ts: int
+    ctx_id: int
     address: int
     size: int
     is_write: bool
@@ -81,14 +84,15 @@ class AccessEvent(Event):
         return EventKind.WRITE if self.is_write else EventKind.READ
 
 
-@dataclass(frozen=True)
-class LockEvent(Event):
+class LockEvent(NamedTuple):
     """A lock acquire or release.
 
     ``mode`` is ``"r"`` for shared, ``"w"`` for exclusive acquisition —
     matching :class:`repro.kernel.locks.LockMode` values.
     """
 
+    ts: int
+    ctx_id: int
     lock_id: int
     lock_class: str
     lock_name: str
@@ -102,3 +106,8 @@ class LockEvent(Event):
     @property
     def kind(self) -> EventKind:
         return EventKind.ACQUIRE if self.is_acquire else EventKind.RELEASE
+
+
+#: Any trace event.  Kept as a typing alias so annotations that used
+#: the old dataclass base keep reading naturally.
+Event = Union[AllocEvent, FreeEvent, AccessEvent, LockEvent]

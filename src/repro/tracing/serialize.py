@@ -38,7 +38,7 @@ from __future__ import annotations
 import io
 import struct
 from dataclasses import dataclass, field
-from typing import BinaryIO, List, Optional, Sequence, TextIO, Tuple
+from typing import BinaryIO, Iterator, List, Optional, Sequence, TextIO, Tuple
 
 from repro.tracing.events import (
     AccessEvent,
@@ -51,6 +51,10 @@ from repro.tracing.tracer import Tracer
 
 _TEXT_MAGIC = "# lockdoc-trace v1"
 _BIN_MAGIC = b"LDOC1\n"
+
+#: Trace-format version tag (the binary magic without framing).  Cache
+#: keys include it so a format change invalidates every cached trace.
+FORMAT_VERSION = "LDOC1"
 
 _NONE_SUBCLASS = "-"
 
@@ -448,6 +452,71 @@ def load_binary_lenient(fp: BinaryIO) -> LoadReport:
 _DECODE_ERRORS = (_ShortRead, struct.error, UnicodeDecodeError, ValueError)
 
 
+def _read_stack_table(fp: BinaryIO) -> Tuple[List[StackFrames], int]:
+    """Read the stack table and the declared event count (post-magic)."""
+    stacks: List[StackFrames] = []
+    (stack_count,) = struct.unpack("<I", _read_exact(fp, 4))
+    for _ in range(stack_count):
+        (frame_count,) = struct.unpack("<H", _read_exact(fp, 2))
+        frames = []
+        for _ in range(frame_count):
+            fn = _unpack_str(fp)
+            file = _unpack_str(fp)
+            (line,) = struct.unpack("<I", _read_exact(fp, 4))
+            frames.append((fn, file, line))
+        stacks.append(tuple(frames))
+    (event_count,) = struct.unpack("<Q", _read_exact(fp, 8))
+    return stacks, event_count
+
+
+@dataclass
+class BinaryTraceStream:
+    """A binary trace opened for streaming consumption.
+
+    The stack table sits before the events on disk, so it is read
+    eagerly; ``events`` decodes records one at a time as the iterator
+    is drained, so importing a cached trace never materializes the
+    event list.  Decoding is strict — a malformed record raises
+    :class:`TraceFormatError` from the iterator.
+    """
+
+    stacks: List[StackFrames]
+    declared_events: int
+    events: Iterator[Event]
+
+
+def open_binary_stream(fp: BinaryIO) -> BinaryTraceStream:
+    """Open *fp* (a binary trace) for streaming; strict decoding.
+
+    *fp* must stay open while ``.events`` is consumed.  Use
+    :func:`load_binary` for the materialized ``(events, stacks)`` form.
+    """
+    magic = fp.read(len(_BIN_MAGIC))
+    if magic != _BIN_MAGIC:
+        reason = "empty trace file" if magic == b"" else f"bad magic {magic!r}"
+        raise TraceFormatError(f"offset 0x0: {reason}")
+    try:
+        stacks, event_count = _read_stack_table(fp)
+    except _DECODE_ERRORS as exc:
+        raise TraceFormatError(
+            f"offset {fp.tell():#x}: corrupt stack table: {exc}"
+        ) from exc
+
+    def _iter_events() -> Iterator[Event]:
+        for _ in range(event_count):
+            start = fp.tell()
+            try:
+                yield _decode_binary(fp)
+            except TraceFormatError:
+                raise
+            except _DECODE_ERRORS as exc:
+                raise TraceFormatError(
+                    f"offset {start:#x}: torn record ({exc})"
+                ) from exc
+
+    return BinaryTraceStream(stacks, event_count, _iter_events())
+
+
 def _load_binary(fp: BinaryIO, lenient: bool) -> LoadReport:
     report = LoadReport()
 
@@ -465,17 +534,8 @@ def _load_binary(fp: BinaryIO, lenient: bool) -> LoadReport:
     # Stack table: its framing carries the events offset, so a defect
     # here is unrecoverable even in lenient mode.
     try:
-        (stack_count,) = struct.unpack("<I", _read_exact(fp, 4))
-        for _ in range(stack_count):
-            (frame_count,) = struct.unpack("<H", _read_exact(fp, 2))
-            frames = []
-            for _ in range(frame_count):
-                fn = _unpack_str(fp)
-                file = _unpack_str(fp)
-                (line,) = struct.unpack("<I", _read_exact(fp, 4))
-                frames.append((fn, file, line))
-            report.stacks.append(tuple(frames))
-        (event_count,) = struct.unpack("<Q", _read_exact(fp, 8))
+        stacks, event_count = _read_stack_table(fp)
+        report.stacks.extend(stacks)
     except _DECODE_ERRORS as exc:
         problem(fp.tell(), f"corrupt stack table: {exc}")
         return report

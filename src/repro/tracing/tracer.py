@@ -9,6 +9,13 @@ One :class:`Tracer` instance exists per simulated run.  It
 * collects summary statistics matching what the paper reports for its
   run (Sec. 7.2: counts of lock operations, memory accesses,
   allocations and deallocations).
+
+The record methods are the hottest code in the repository (they run
+once per trace event — hundreds of thousands of times per run), so they
+are written for speed: events are ``NamedTuple``s constructed
+positionally, the ``(stack_id, file, line)`` site of the current call
+stack is memoized on the :class:`ExecutionContext` and only recomputed
+when a frame is pushed or popped, and the clock increment is inlined.
 """
 
 from __future__ import annotations
@@ -58,8 +65,11 @@ class Tracer:
 
     def __init__(self) -> None:
         self.events: List[Event] = []
-        self.stats = TraceStats()
         self.enabled = True
+        self._n_lock_ops = 0
+        self._n_accesses = 0
+        self._n_allocs = 0
+        self._n_frees = 0
         self._clock = 0
         self._stack_table: Dict[StackFrames, int] = {(): EMPTY_STACK_ID}
         self._stacks_by_id: List[StackFrames] = [()]
@@ -67,6 +77,17 @@ class Tracer:
     # ------------------------------------------------------------------
     # Clock and stack interning
     # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> TraceStats:
+        """Summary counters, assembled on demand (kept as plain ints on
+        the tracer so the record hot path pays one attribute bump)."""
+        return TraceStats(
+            lock_ops=self._n_lock_ops,
+            accesses=self._n_accesses,
+            allocs=self._n_allocs,
+            frees=self._n_frees,
+        )
 
     def now(self) -> int:
         """Advance and return the trace clock."""
@@ -93,14 +114,28 @@ class Tracer:
     def stack_count(self) -> int:
         return len(self._stacks_by_id)
 
-    def _site(self, ctx: ExecutionContext, line: Optional[int]) -> Tuple[int, str, int]:
-        """Intern the context's current stack; return (stack_id, file, line)."""
-        frames = ctx.stack_snapshot()
-        stack_id = self.intern_stack(frames)
-        if frames:
-            _, file, frame_line = frames[-1]
-            return stack_id, file, line if line is not None else frame_line
-        return stack_id, "<unknown>", line if line is not None else 0
+    def _site(self, ctx: ExecutionContext) -> Tuple[int, str, int]:
+        """The interned (stack_id, file, line) of the context's stack.
+
+        Memoized on the context and invalidated by push/pop_frame; the
+        common case (several events from the same frame) is a single
+        attribute load.
+        """
+        site = ctx.cached_site
+        if site is None:
+            frames = tuple(ctx.call_stack)
+            stack_id = self._stack_table.get(frames)
+            if stack_id is None:
+                stack_id = len(self._stacks_by_id)
+                self._stack_table[frames] = stack_id
+                self._stacks_by_id.append(frames)
+            if frames:
+                _, file, frame_line = frames[-1]
+                site = (stack_id, file, frame_line)
+            else:
+                site = (stack_id, "<unknown>", 0)
+            ctx.cached_site = site
+        return site
 
     # ------------------------------------------------------------------
     # Recording
@@ -109,29 +144,31 @@ class Tracer:
     def record_alloc(self, ctx: ExecutionContext, allocation: Allocation) -> None:
         if not self.enabled:
             return
-        self.stats.allocs += 1
+        self._n_allocs += 1
+        self._clock += 1
         self.events.append(
             AllocEvent(
-                ts=self.now(),
-                ctx_id=ctx.ctx_id,
-                alloc_id=allocation.alloc_id,
-                address=allocation.address,
-                size=allocation.size,
-                data_type=allocation.data_type,
-                subclass=allocation.subclass,
+                self._clock,
+                ctx.ctx_id,
+                allocation.alloc_id,
+                allocation.address,
+                allocation.size,
+                allocation.data_type,
+                allocation.subclass,
             )
         )
 
     def record_free(self, ctx: ExecutionContext, allocation: Allocation) -> None:
         if not self.enabled:
             return
-        self.stats.frees += 1
+        self._n_frees += 1
+        self._clock += 1
         self.events.append(
             FreeEvent(
-                ts=self.now(),
-                ctx_id=ctx.ctx_id,
-                alloc_id=allocation.alloc_id,
-                address=allocation.address,
+                self._clock,
+                ctx.ctx_id,
+                allocation.alloc_id,
+                allocation.address,
             )
         )
 
@@ -145,18 +182,20 @@ class Tracer:
     ) -> None:
         if not self.enabled:
             return
-        stack_id, file, site_line = self._site(ctx, line)
-        self.stats.accesses += 1
+        site = ctx.cached_site
+        stack_id, file, site_line = site if site is not None else self._site(ctx)
+        self._n_accesses += 1
+        self._clock += 1
         self.events.append(
             AccessEvent(
-                ts=self.now(),
-                ctx_id=ctx.ctx_id,
-                address=address,
-                size=size,
-                is_write=is_write,
-                stack_id=stack_id,
-                file=file,
-                line=site_line,
+                self._clock,
+                ctx.ctx_id,
+                address,
+                size,
+                is_write,
+                stack_id,
+                file,
+                site_line if line is None else line,
             )
         )
 
@@ -170,20 +209,22 @@ class Tracer:
     ) -> None:
         if not self.enabled:
             return
-        stack_id, file, site_line = self._site(ctx, line)
-        self.stats.lock_ops += 1
+        site = ctx.cached_site
+        stack_id, file, site_line = site if site is not None else self._site(ctx)
+        self._n_lock_ops += 1
+        self._clock += 1
         self.events.append(
             LockEvent(
-                ts=self.now(),
-                ctx_id=ctx.ctx_id,
-                lock_id=lock.lock_id,
-                lock_class=lock.lock_class.value,
-                lock_name=lock.name,
-                address=lock.address,
-                is_acquire=is_acquire,
-                mode=mode.value,
-                stack_id=stack_id,
-                file=file,
-                line=site_line,
+                self._clock,
+                ctx.ctx_id,
+                lock.lock_id,
+                lock.class_value,
+                lock.name,
+                lock.address,
+                is_acquire,
+                "w" if mode is LockMode.EXCLUSIVE else "r",
+                stack_id,
+                file,
+                site_line if line is None else line,
             )
         )

@@ -36,12 +36,52 @@ _PREFIX_FUZZ = "fuzz:"
 
 _REGISTRY: Dict[str, WorkloadFactory] = {}
 _HELP: Dict[str, str] = {}
+_DB_RECIPES: Dict[str, str] = {}
 
 
-def register(name: str, factory: WorkloadFactory, help: str = "") -> None:
-    """Register (or replace) a named workload factory."""
+def register(
+    name: str,
+    factory: WorkloadFactory,
+    help: str = "",
+    db_recipe: str = "vfs",
+) -> None:
+    """Register (or replace) a named workload factory.
+
+    *db_recipe* names the ``(StructRegistry, FilterConfig)`` pair a
+    recorded trace of this workload must be imported with (``"vfs"``
+    or ``"racer"``) — it lets a cached trace be re-imported without
+    the original run result in hand.
+    """
     _REGISTRY[name] = factory
     _HELP[name] = help
+    _DB_RECIPES[name] = db_recipe
+
+
+def db_recipe(name: str) -> str:
+    """The database recipe name for workload *name*."""
+    recipe = _DB_RECIPES.get(name)
+    if recipe is not None:
+        return recipe
+    if name.startswith(_PREFIX_FUZZ):
+        return "vfs"
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def database_inputs(recipe: str):
+    """``(StructRegistry, FilterConfig | None)`` for a recipe name.
+
+    Both registries are rebuilt deterministically from source, so a
+    trace imported through this pair matches an import through the
+    original run result's ``to_database()``.
+    """
+    if recipe == "racer":
+        from repro.workloads.racer import build_racer_registry
+
+        return build_racer_registry(), None
+    from repro.kernel.vfs.groundtruth import build_filter_config
+    from repro.kernel.vfs.layouts import build_struct_registry
+
+    return build_struct_registry(), build_filter_config()
 
 
 def available() -> List[str]:
@@ -100,8 +140,14 @@ def _racer_safe_factory(seed: int, scale: float):
 
 
 register("mix", _mix_factory, "the paper's full benchmark mix (Sec. 7.1)")
-register("racer", _racer_factory, "planted-race ground-truth workload")
-register("racer-safe", _racer_safe_factory, "race-free racer control variant")
+register(
+    "racer", _racer_factory, "planted-race ground-truth workload",
+    db_recipe="racer",
+)
+register(
+    "racer-safe", _racer_safe_factory, "race-free racer control variant",
+    db_recipe="racer",
+)
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,8 @@ test reads from it, exactly like the paper analyzed one recorded trace.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import get_pipeline
@@ -16,6 +18,18 @@ from repro.kernel.structs import Member, StructDef, StructRegistry
 #: Scale used by the shared test pipeline — statistics-bearing tests
 #: need a reasonably deep trace; heavier sweeps live in benchmarks/.
 TEST_SCALE = 18.0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk trace cache at a session-private directory.
+
+    Keeps the suite hermetic: no reads from (or writes to) the user's
+    ``~/.cache/lockdoc-repro``, and no cross-session coupling through
+    stale cached artifacts.
+    """
+    os.environ["LOCKDOC_CACHE_DIR"] = str(tmp_path_factory.mktemp("trace-cache"))
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -57,6 +57,36 @@ def test_racer_parallel_equals_serial():
     assert racer.derive(0.9, jobs=2) == racer.derive(0.9)
 
 
+def test_small_workload_falls_back_to_serial(monkeypatch):
+    """Regression: below ``_PARALLEL_MIN_PROFILES`` distinct uncached
+    profiles, ``jobs > 1`` must not fork a pool — startup plus chunk
+    pickling dominated the actual scoring there (fsstress under
+    ``--jobs 4`` ran ~5.6x slower than serial before the fallback)."""
+    import concurrent.futures
+
+    from repro.core.derivator import _PARALLEL_MIN_PROFILES
+    from repro.core.memo import canonical_profile
+
+    racer = run_racer(seed=0, scale=1.0)
+    table = ObservationTable.from_database(racer.to_database())
+    distinct = {
+        canonical_profile(sequences)
+        for key in table.keys()
+        if (sequences := table.sequences(*key))
+    }
+    assert 0 < len(distinct) < _PARALLEL_MIN_PROFILES  # genuinely small
+
+    def _no_forking(*args, **kwargs):
+        raise AssertionError("small workload must not spawn a process pool")
+
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", _no_forking
+    )
+    serial = Derivator(0.9).derive(table)
+    parallel = Derivator(0.9).derive(table, jobs=4)  # must not touch the pool
+    assert parallel == serial
+
+
 def test_fault_corrupted_trace_parallel_equals_serial():
     """Parity must survive quarantined/healed observations, not just
     clean traces."""

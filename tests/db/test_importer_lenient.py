@@ -391,9 +391,10 @@ class TestTraceHealth:
         obj = rt.new_object(ctx, "pair")
         rt.tracer.record_access(ctx, obj.addr_of("a"), 8, is_write=True)
         events, stacks = _trace_of(rt)
-        for event in events:
-            if hasattr(event, "stack_id"):
-                object.__setattr__(event, "stack_id", 424242)
+        events = [
+            event._replace(stack_id=424242) if hasattr(event, "stack_id") else event
+            for event in events
+        ]
         importer = _run(events, stacks, rt.structs, LENIENT_POLICY)
         assert importer.dangling_stack_refs > 0
         assert importer.health().dangling_stack_refs > 0

@@ -76,6 +76,25 @@ def test_replay_reproduces_coverage_bit_for_bit(outcome):
     assert result.pair_coverage == outcome.corpus.global_coverage.pair_count
 
 
+def test_replay_trace_is_bit_identical_on_fast_path(outcome):
+    """The hot-loop tracer rewrite (interned sites, inlined record
+    bodies) must not perturb corpus replay: executing the same corpus
+    workload twice produces byte-identical binary traces."""
+    from repro.tracing.serialize import dumps_events_binary, stacks_of
+    from repro.workloads import registry
+
+    name = registry.register_corpus(outcome.corpus, name="fuzz:bit-test")
+    first = registry.run(name, seed=0, scale=1.0)
+    first_dump = dumps_events_binary(
+        first.tracer.events, stacks_of(first.tracer)
+    )
+    second = registry.run(name, seed=0, scale=1.0)
+    second_dump = dumps_events_binary(
+        second.tracer.events, stacks_of(second.tracer)
+    )
+    assert first_dump == second_dump
+
+
 def test_replay_detects_divergence(outcome):
     from repro.fuzz.feedback import CoverageMap
 

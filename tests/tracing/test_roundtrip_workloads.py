@@ -1,0 +1,38 @@
+"""Lock-step serialization equivalence over every registered workload.
+
+For each registry built-in at small scale, the binary round-trip, the
+text round-trip, and the original in-memory trace must agree event for
+event and stack for stack — the property the trace cache (which serves
+binary dumps in place of live runs) leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tracing.serialize import (
+    dumps_binary,
+    dumps_text,
+    loads_binary,
+    loads_text,
+    stacks_of,
+)
+from repro.workloads import registry
+
+
+@pytest.mark.parametrize("workload", sorted(registry.available()))
+def test_binary_and_text_roundtrips_match_the_live_trace(workload):
+    result = registry.run(workload, seed=0, scale=1.0)
+    tracer = result.tracer
+    events, stacks = tracer.events, stacks_of(tracer)
+
+    bin_events, bin_stacks = loads_binary(dumps_binary(tracer))
+    text_events, text_stacks = loads_text(dumps_text(tracer))
+
+    assert bin_events == events
+    assert bin_stacks == stacks
+    assert text_events == events
+    assert text_stacks == stacks
+    # Transitivity spelled out: both decoded forms agree with each other.
+    assert bin_events == text_events
+    assert bin_stacks == text_stacks
