@@ -1,0 +1,43 @@
+import hashlib, json, sys, time
+sys.path.insert(0, "src")
+from repro.kernel import reset_id_counters
+from repro.tracing import serialize
+from repro.kernel.sched import Scheduler
+from repro.kernel.vfs.fs import VfsWorld
+from repro.workloads.fsstress import FsStress
+from repro.workloads.mix import BenchmarkMix
+from repro.workloads.racer import run_racer
+
+def run_fsstress(seed, scale):
+    reset_id_counters()
+    world = VfsWorld(seed=seed)
+    world.boot()
+    scheduler = Scheduler(world.rt, seed=seed + 1)
+    stress = FsStress(world, max(1, int(80 * scale)), seed + 11)
+    for name, body in stress.threads():
+        scheduler.spawn(name, body)
+    scheduler.run()
+    return world.rt.tracer
+
+out = {}
+for scale in (4.0, 18.0):
+    for name, fn in (
+        ("mix", lambda: BenchmarkMix(seed=0, scale=scale).run().tracer),
+        ("fsstress", lambda: run_fsstress(0, scale)),
+        ("racer", lambda: run_racer(0, scale).tracer),
+    ):
+        t0 = time.perf_counter()
+        tracer = fn()
+        dt = time.perf_counter() - t0
+        blob = serialize.dumps_binary(tracer)
+        key = f"{name}-s{scale:g}"
+        with open(f".bench_baseline/{key}.bin", "wb") as fp:
+            fp.write(blob)
+        out[key] = {
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "events": len(tracer.events),
+            "gen_s": round(dt, 4),
+        }
+        print(key, out[key])
+with open(".bench_baseline/manifest.json", "w") as fp:
+    json.dump(out, fp, indent=2, sort_keys=True)
