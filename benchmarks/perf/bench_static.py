@@ -1,0 +1,210 @@
+"""Static-checker benchmark: precision/recall, determinism, throughput.
+
+Runs the full static pipeline (plan → render → parse → trace →
+outliers → score) and gates the properties CI cares about:
+
+* **precision / recall** — flagged targets vs the corpus plan's
+  planted deviations; fails under ``--min-precision`` /
+  ``--min-recall`` (both default 0.8).
+* **determinism** — two complete runs must produce byte-identical
+  corpus trees and byte-identical findings JSON (same findings, same
+  order); any drift fails the run.
+* **fusion** — the static report fused against a real pipeline
+  derivation must classify at least one finding *static-only* (the
+  planted coverage gaps are invisible to the dynamic side).
+* **throughput** — functions analyzed per second, best of
+  ``--repeat`` timed runs, each preceded by ``gc.collect()``.
+
+Results land in ``BENCH_static.json``::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_static \
+        --scale 4 --out BENCH_static.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import sys
+import time
+
+#: Bump on any change to the JSON layout.
+SCHEMA = "lockdoc-bench-static/1"
+
+
+def _findings_blob(result) -> bytes:
+    return json.dumps(result.report.to_json_dict(), sort_keys=True).encode()
+
+
+def _tree_blob(result) -> bytes:
+    return json.dumps(sorted(result.tree.items())).encode()
+
+
+def bench_analysis(threshold: float, depth: int, repeat: int) -> dict:
+    from repro.staticcheck import run_static_analysis
+
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = run_static_analysis(threshold=threshold, max_depth=depth)
+        best = min(best, time.perf_counter() - t0)
+    score = result.score
+    counters = result.report.counters
+    return {
+        "functions": result.report.functions,
+        "call_edges": counters["call_edges"],
+        "targets": counters["targets"],
+        "paths": counters["paths"],
+        "truncated_paths": counters["truncated_paths"],
+        "findings": len(result.report.findings),
+        "flagged_targets": counters["flagged_targets"],
+        "planted": score.tp + score.fn,
+        "tp": score.tp,
+        "fp": score.fp,
+        "fn": score.fn,
+        "precision": round(score.precision, 4),
+        "recall": round(score.recall, 4),
+        "best_s": round(best, 4),
+        "functions_per_s": round(result.report.functions / best, 1),
+        "_result": result,  # stripped before writing the report
+    }
+
+
+def bench_determinism(result, threshold: float, depth: int) -> dict:
+    from repro.staticcheck import run_static_analysis
+
+    again = run_static_analysis(threshold=threshold, max_depth=depth)
+    tree_first = _tree_blob(result)
+    tree_again = _tree_blob(again)
+    findings_first = _findings_blob(result)
+    findings_again = _findings_blob(again)
+    return {
+        "tree_identical": tree_first == tree_again,
+        "findings_identical": findings_first == findings_again,
+        "tree_sha256": hashlib.sha256(tree_first).hexdigest(),
+        "findings_sha256": hashlib.sha256(findings_first).hexdigest(),
+    }
+
+
+def bench_fusion(result, seed: int, scale: float) -> dict:
+    from repro.core.rulesio import rules_from_json, rules_to_json
+    from repro.core.violations import ViolationFinder
+    from repro.experiments import common
+    from repro.staticcheck import fuse
+
+    pipeline = common.get_pipeline(seed, scale)
+    derivation = pipeline.derive()
+    rules = rules_from_json(rules_to_json(derivation))
+    violations = ViolationFinder(derivation, pipeline.table).find()
+    fusion = fuse(result.report, rules, violations)
+    counts = fusion.counts()
+    return {
+        "confirmed_by_trace": counts["confirmed-by-trace"],
+        "static_only": counts["static-only"],
+        "dynamic_only": counts["dynamic-only"],
+        "agreement": dict(sorted(fusion.agreement.items())),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the static checker; write BENCH_static.json"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=4.0,
+        help="pipeline scale for the fusion stage",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=0.7)
+    parser.add_argument("--depth", type=int, default=8)
+    parser.add_argument(
+        "--min-precision", type=float, default=0.8,
+        help="fail if precision on the planted set drops below this",
+    )
+    parser.add_argument(
+        "--min-recall", type=float, default=0.8,
+        help="fail if recall on the planted set drops below this",
+    )
+    parser.add_argument("--out", default="BENCH_static.json")
+    args = parser.parse_args(argv)
+
+    analysis = bench_analysis(args.threshold, args.depth, args.repeat)
+    result = analysis.pop("_result")
+    print(
+        f"analysis: {analysis['functions']} functions, "
+        f"{analysis['paths']} paths over {analysis['targets']} targets, "
+        f"{analysis['findings']} findings in {analysis['best_s']:.3f}s "
+        f"({analysis['functions_per_s']:.0f} functions/s)"
+    )
+    print(
+        f"score: precision={analysis['precision']} "
+        f"recall={analysis['recall']} "
+        f"(tp={analysis['tp']} fp={analysis['fp']} fn={analysis['fn']} "
+        f"of {analysis['planted']} planted)"
+    )
+
+    determinism = bench_determinism(result, args.threshold, args.depth)
+    print(
+        f"determinism: tree_identical={determinism['tree_identical']} "
+        f"findings_identical={determinism['findings_identical']}"
+    )
+
+    fusion = bench_fusion(result, args.seed, args.scale)
+    print(
+        f"fusion: confirmed={fusion['confirmed_by_trace']} "
+        f"static_only={fusion['static_only']} "
+        f"dynamic_only={fusion['dynamic_only']}"
+    )
+
+    failures = []
+    if analysis["precision"] < args.min_precision:
+        failures.append(
+            f"precision {analysis['precision']} below the "
+            f"{args.min_precision} floor"
+        )
+    if analysis["recall"] < args.min_recall:
+        failures.append(
+            f"recall {analysis['recall']} below the {args.min_recall} floor"
+        )
+    if not determinism["tree_identical"]:
+        failures.append("corpus tree differed between two runs")
+    if not determinism["findings_identical"]:
+        failures.append("findings differed between two runs")
+    if fusion["static_only"] < 1:
+        failures.append("fusion produced no static-only finding")
+
+    report = {
+        "schema": SCHEMA,
+        "seed": args.seed,
+        "scale": args.scale,
+        "repeat": args.repeat,
+        "threshold": args.threshold,
+        "depth": args.depth,
+        "python": sys.version.split()[0],
+        "analysis": analysis,
+        "determinism": determinism,
+        "fusion": fusion,
+        "gates": {
+            "min_precision": args.min_precision,
+            "min_recall": args.min_recall,
+            "failures": failures,
+        },
+    }
+    with open(args.out, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

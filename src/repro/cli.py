@@ -21,6 +21,7 @@ Commands mirror the paper's pipeline and analysis tools:
 ``corrupt``    apply a seeded fault plan to a saved trace file
 ``fuzz``       coverage-guided workload fuzzing (run/replay/corpus/report)
 ``cache``      inspect/manage the on-disk trace cache (ls/clear/path)
+``staticcheck`` static call-graph lock-context checker (run/report)
 =============  =====================================================
 
 Trace-producing subcommands take ``--workload``, resolved through the
@@ -257,6 +258,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz_report.add_argument("--threshold", type=float, default=0.9)
     _add_jobs_arg(fuzz_report)
+
+    staticcheck = sub.add_parser(
+        "staticcheck", help="static call-graph lock-context checker"
+    )
+    static_sub = staticcheck.add_subparsers(dest="action", required=True)
+
+    static_run = static_sub.add_parser(
+        "run", help="run the static analysis, print outliers + score"
+    )
+    static_run.add_argument(
+        "--threshold", type=float, default=0.7,
+        help="majority-context threshold (fraction of paths)",
+    )
+    static_run.add_argument(
+        "--depth", type=int, default=8,
+        help="context-string bound: max call-chain length",
+    )
+    static_run.add_argument(
+        "--paths", type=int, default=None, metavar="K",
+        help="locked call chains per target (corpus shape; default 3)",
+    )
+    static_run.add_argument(
+        "--findings", type=int, default=20, metavar="N",
+        help="print at most N findings (0 = all)",
+    )
+    static_run.add_argument(
+        "--json", default="", metavar="FILE",
+        help="write the machine-readable static report",
+    )
+
+    static_report = static_sub.add_parser(
+        "report", help="fuse static findings with dynamically mined rules"
+    )
+    _add_pipeline_args(static_report)
+    _add_jobs_arg(static_report)
+    static_report.add_argument(
+        "--rules", default="", metavar="FILE",
+        help="rule export from `lockdoc derive --json` "
+        "(default: derive in-process from the pipeline)",
+    )
+    static_report.add_argument("--threshold", type=float, default=0.7)
+    static_report.add_argument("--depth", type=int, default=8)
+    static_report.add_argument(
+        "--json", default="", metavar="FILE",
+        help="write the machine-readable fusion report",
+    )
 
     cache_p = sub.add_parser(
         "cache", help="inspect/manage the on-disk trace cache"
@@ -592,6 +639,76 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _cmd_staticcheck(args) -> int:
+    import json
+
+    from repro.staticcheck import fuse, run_static_analysis
+
+    if args.action == "report":
+        # Resolve the dynamic side first: a bad --rules file must fail
+        # fast (exit 2) before any static-analysis work starts.
+        import os
+
+        from repro.core.rulesio import rules_from_json, rules_to_json
+
+        violations = None
+        if args.rules:
+            if os.path.getsize(args.rules) == 0:
+                raise ValueError(f"empty rule export {args.rules!r}")
+            with open(args.rules) as fp:
+                rules = rules_from_json(fp.read())
+        else:
+            pipeline = _pipeline(args)
+            derivation = pipeline.derive()
+            rules = rules_from_json(rules_to_json(derivation))
+            violations = ViolationFinder(derivation, pipeline.table).find()
+        result = run_static_analysis(
+            threshold=args.threshold, max_depth=args.depth
+        )
+        fusion = fuse(result.report, rules, violations)
+        print(fusion.render())
+        if args.json:
+            with open(args.json, "w") as fp:
+                json.dump(fusion.to_json_dict(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            print(f"wrote fusion report to {args.json}")
+        return 0
+
+    # run
+    result = run_static_analysis(
+        threshold=args.threshold, max_depth=args.depth,
+        locked_paths=args.paths,
+    )
+    print(result.report.render(limit=args.findings))
+    score = result.score
+    print(
+        f"score vs planted ground truth: precision {score.precision:.2f} "
+        f"recall {score.recall:.2f} (tp={score.tp} fp={score.fp} "
+        f"fn={score.fn}, planted={score.tp + score.fn})"
+    )
+    if args.json:
+        payload = {
+            "report": result.report.to_json_dict(),
+            "score": {
+                "precision": round(score.precision, 4),
+                "recall": round(score.recall, 4),
+                "tp": score.tp,
+                "fp": score.fp,
+                "fn": score.fn,
+            },
+            "planted": [
+                {"target": f"{t}.{m}:{a}", "reason": p.reason}
+                for p in sorted(result.plan.planted, key=lambda p: p.key)
+                for t, m, a in [p.key]
+            ],
+        }
+        with open(args.json, "w") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote static report to {args.json}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro import cache
 
@@ -643,6 +760,7 @@ _HANDLERS = {
     "corrupt": _cmd_corrupt,
     "fuzz": _cmd_fuzz,
     "cache": _cmd_cache,
+    "staticcheck": _cmd_staticcheck,
 }
 
 

@@ -7,14 +7,23 @@ nonsense-but-plausible: function bodies, struct definitions, comments —
 enough that the scanner has to do real work (skip comments, match the
 actual initializer idioms) rather than counting lines of a trivial
 format.
+
+A second, independent product is the *call-graph-bearing* subsystem
+corpus (:func:`generate_subsystem_tree`): structured C rendered from
+:class:`~repro.kernelsrc.model.SourceFunction` records planned by
+:mod:`repro.staticcheck.plan` — real call edges, balanced
+acquire/release pairs, and typed member accesses that the static
+checker parses back.  It shares the rendering conventions of this
+module but is a separate tree: :func:`generate_tree` output (and hence
+the Fig. 1 counts) is unaffected by it.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
-from repro.kernelsrc.model import KernelVersion, scaled_metrics
+from repro.kernelsrc.model import KernelVersion, SourceFunction, scaled_metrics
 
 #: Spinlock initialization idioms (dynamic and static), as counted by
 #: the paper's Fig. 1 methodology.
@@ -115,4 +124,60 @@ def generate_tree(version: KernelVersion) -> Dict[str, str]:
         path = f"{subsystem}/gen_{version.name.replace('.', '_')}_{index:04d}.c"
         tree[path] = _make_file(rng, path, lines_budget, chunk)
         remaining_lines -= lines_budget
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Call-graph-bearing subsystem corpus (static-checker substrate)
+# ----------------------------------------------------------------------
+
+_SUBSYSTEM_INCLUDES = (
+    "#include <linux/fs.h>",
+    "#include <linux/spinlock.h>",
+    "#include <linux/mutex.h>",
+    "#include <linux/rwsem.h>",
+)
+
+
+def render_function(fn: SourceFunction) -> str:
+    """Render one :class:`SourceFunction` to kernel-style C text."""
+    params = ", ".join(f"struct {t} *{v}" for t, v in fn.params) or "void"
+    lines: List[str] = []
+    if fn.comment:
+        lines.append(f"/* {fn.comment} */")
+    lines.append(f"static void {fn.name}({params})")
+    lines.append("{")
+    lines.extend("\t" + statement for statement in fn.body)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_subsystem_tree(functions: Iterable[SourceFunction]) -> Dict[str, str]:
+    """Render a planned subsystem corpus to a ``{path: content}`` tree.
+
+    Deterministic: file paths come sorted, functions keep plan order
+    within each file, and the text depends only on the records.  Each
+    file carries forward declarations for every function it defines so
+    call order never constrains definition order.
+    """
+    by_file: Dict[str, List[SourceFunction]] = {}
+    for fn in functions:
+        by_file.setdefault(fn.file, []).append(fn)
+    tree: Dict[str, str] = {}
+    for path in sorted(by_file):
+        members = by_file[path]
+        lines: List[str] = [
+            "// SPDX-License-Identifier: GPL-2.0",
+            f"/* {path} — synthetic call-graph corpus (staticcheck substrate) */",
+            *_SUBSYSTEM_INCLUDES,
+            "",
+        ]
+        for fn in members:
+            params = ", ".join(f"struct {t} *{v}" for t, v in fn.params) or "void"
+            lines.append(f"static void {fn.name}({params});")
+        lines.append("")
+        for fn in members:
+            lines.append(render_function(fn))
+            lines.append("")
+        tree[path] = "\n".join(lines)
     return tree

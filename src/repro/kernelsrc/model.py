@@ -9,6 +9,7 @@ steadily, and the code base grew by 73 %.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -85,7 +86,10 @@ def expected_metrics(version: KernelVersion) -> Dict[str, int]:
     out = {}
     for metric, anchors in _ANCHORS.items():
         base = _interpolate(anchors, version.ordinal)
-        wobble = math.sin(version.ordinal * 2.39996 + hash(metric) % 7) * 0.008
+        # crc32, not hash(): hash() of a str is randomized per process
+        # (PYTHONHASHSEED), which made the targets differ across runs.
+        phase = zlib.crc32(metric.encode("ascii")) % 7
+        wobble = math.sin(version.ordinal * 2.39996 + phase) * 0.008
         out[metric] = int(base * (1.0 + wobble))
     return out
 
@@ -97,3 +101,31 @@ def scaled_metrics(version: KernelVersion) -> Dict[str, int]:
         metric: max(1, value // CORPUS_SCALE)
         for metric, value in expected_metrics(version).items()
     }
+
+
+@dataclass(frozen=True)
+class SourceFunction:
+    """IR of one function in the call-graph-bearing subsystem corpus.
+
+    The Fig. 1 corpus is counting-plausible nonsense; the static
+    checker needs *structured* C instead — real call edges, balanced
+    lock pairs, typed member accesses.  The corpus planner
+    (:mod:`repro.staticcheck.plan`) emits these records and the
+    generator renders them to C text, keeping the two corpora
+    independent (the Fig. 1 counts must not move when the subsystem
+    corpus grows).
+
+    Attributes:
+        name: function name (globally unique within the corpus).
+        file: tree-relative path of the ``.c`` file holding it.
+        params: ``(struct_type, var_name)`` pairs, pointer parameters.
+        body: statement lines, one statement each, without the
+            surrounding braces (rendered with a leading tab).
+        comment: optional one-line description rendered above.
+    """
+
+    name: str
+    file: str
+    params: Tuple[Tuple[str, str], ...] = ()
+    body: Tuple[str, ...] = ()
+    comment: str = ""

@@ -8,8 +8,9 @@ LoC, matching ``wc -l``-style methodology): block comments are tracked
 across lines with a small state machine, so an idiom mentioned in the
 middle of a multi-line ``/* ... */`` is not counted, while code sharing
 a line with a comment (``spin_lock_init(&a); /* why */``) still is.
-Comment markers inside string literals are not recognized — acceptable
-for a counting methodology, wrong for a parser.
+String and character literals are opaque: a ``"/*"`` inside a string
+does not open a comment (it used to swallow the rest of the file),
+and ``//`` inside a URL-bearing string does not truncate the line.
 """
 
 from __future__ import annotations
@@ -53,11 +54,16 @@ def _strip_comments(line: str, in_block: bool) -> Tuple[str, bool]:
     """Remove comment text from one line.
 
     Returns the remaining code and whether a ``/* ... */`` block is
-    still open at the end of the line.
+    still open at the end of the line.  Comment openers inside string
+    or character literals are literal text, not comments — the scan
+    walks the line character-wise and copies quoted regions verbatim
+    (honoring backslash escapes; an unterminated literal runs to the
+    end of the line).
     """
     code = []
+    length = len(line)
     position = 0
-    while position < len(line):
+    while position < length:
         if in_block:
             end = line.find("*/", position)
             if end == -1:
@@ -65,17 +71,32 @@ def _strip_comments(line: str, in_block: bool) -> Tuple[str, bool]:
             position = end + 2
             in_block = False
             continue
-        block = line.find("/*", position)
-        slashes = line.find("//", position)
-        if slashes != -1 and (block == -1 or slashes < block):
-            code.append(line[position:slashes])
-            return "".join(code), False
-        if block == -1:
-            code.append(line[position:])
-            return "".join(code), False
-        code.append(line[position:block])
-        position = block + 2
-        in_block = True
+        char = line[position]
+        if char == "/" and position + 1 < length:
+            following = line[position + 1]
+            if following == "/":
+                return "".join(code), False
+            if following == "*":
+                position += 2
+                in_block = True
+                continue
+        if char in ('"', "'"):
+            quote = char
+            code.append(char)
+            position += 1
+            while position < length:
+                char = line[position]
+                code.append(char)
+                if char == "\\" and position + 1 < length:
+                    code.append(line[position + 1])
+                    position += 2
+                    continue
+                position += 1
+                if char == quote:
+                    break
+            continue
+        code.append(char)
+        position += 1
     return "".join(code), in_block
 
 

@@ -1,0 +1,46 @@
+"""Static call-graph lock-context checker (the "staticcheck" side).
+
+The dynamic pipeline mines locking rules from what a workload
+*executed*; this package checks what the code *could* execute: it
+plans and renders a call-graph-bearing C corpus from the ground-truth
+specs, parses it into per-function lock summaries, traces every member
+access upward through bounded call chains, flags reaching paths that
+lack the majority lock context, and fuses the result with the
+dynamically mined rules.
+"""
+
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    DEFAULT_MAX_DEPTH,
+    PathContext,
+    build_call_graph,
+    resolve,
+    trace_access,
+)
+from repro.staticcheck.driver import (
+    DEFAULT_THRESHOLD,
+    StaticRunResult,
+    run_static_analysis,
+)
+from repro.staticcheck.fusion import FusionEntry, FusionReport, fuse
+from repro.staticcheck.outliers import (
+    Score,
+    StaticFinding,
+    StaticReport,
+    TargetSummary,
+    analyze,
+    score_against_plan,
+)
+from repro.staticcheck.parser import (
+    HeldLock,
+    MemberAccess,
+    ParsedFunction,
+    parse_source,
+    parse_tree,
+)
+from repro.staticcheck.plan import (
+    CorpusPlan,
+    PlanConfig,
+    PlantedDeviation,
+    build_corpus_plan,
+)

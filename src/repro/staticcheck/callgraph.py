@@ -1,0 +1,174 @@
+"""Call graph and bounded upward context tracing.
+
+The dynamic pipeline sees one lock context per *executed* access; the
+static side must instead enumerate every *reaching* call path.  This
+module builds the (reverse) call graph over parsed functions and, for
+one member access, walks upward from the access to every root (a
+function without callers), accumulating the held-lock snapshots of each
+call site along the way into a :class:`PathContext`.
+
+Two standard static-analysis guards keep the walk finite and honest:
+
+* **bounded context strings** — chains longer than ``max_depth``
+  are cut and marked ``truncated`` (k-CFA-style context bound), so
+  the analyzer can report how much of the path space it saw;
+* **cycle cuts** — a caller already on the current chain is not
+  re-entered; if *all* callers of a function sit on the chain the
+  path is emitted as truncated rather than silently dropped.
+
+Held locks resolve to :class:`~repro.core.lockrefs.LockRef` exactly
+like the dynamic tracer abstracts lock instances: a lock embedded in
+the object the access targets is ES, one embedded elsewhere is EO, and
+the *self* identity is re-bound at every call edge by mapping the
+callee's parameter through the call-site argument (a non-identifier
+argument loses the binding, conservatively demoting ES to EO).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lockrefs import LockRef, dedup_refs
+from repro.staticcheck.parser import CallSite, HeldLock, MemberAccess, ParsedFunction
+
+#: Default context-string bound (call-chain length, access included).
+DEFAULT_MAX_DEPTH = 8
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_]\w*$")
+
+
+@dataclass(frozen=True)
+class PathContext:
+    """One static reaching path for a member access.
+
+    ``chain`` runs root → … → accessing function; ``refs`` is the
+    sorted union of lock references held anywhere along the path at
+    the relevant program points.
+    """
+
+    chain: Tuple[str, ...]
+    refs: Tuple[LockRef, ...]
+    truncated: bool = False
+
+    @property
+    def root(self) -> str:
+        return self.chain[0]
+
+
+@dataclass
+class CallGraph:
+    """Functions plus the reverse (callee → callers) edge map."""
+
+    functions: Dict[str, ParsedFunction]
+    callers: Dict[str, List[Tuple[str, CallSite]]] = field(default_factory=dict)
+
+    @property
+    def edges(self) -> int:
+        return sum(len(sites) for sites in self.callers.values())
+
+
+def build_call_graph(functions: Sequence[ParsedFunction]) -> CallGraph:
+    """Index *functions* and invert their call edges.
+
+    Calls to functions outside the corpus (kernel API noise) carry no
+    edge; duplicate definitions are rejected — the corpus planner
+    guarantees globally unique names.
+    """
+    by_name: Dict[str, ParsedFunction] = {}
+    for fn in functions:
+        if fn.name in by_name:
+            raise ValueError(f"duplicate function definition {fn.name!r}")
+        by_name[fn.name] = fn
+    callers: Dict[str, List[Tuple[str, CallSite]]] = {}
+    for fn in functions:
+        for site in fn.calls:
+            if site.callee in by_name:
+                callers.setdefault(site.callee, []).append((fn.name, site))
+    for sites in callers.values():
+        sites.sort(key=lambda entry: (entry[0], entry[1].line))
+    return CallGraph(functions=by_name, callers=callers)
+
+
+def resolve(held: HeldLock, self_var: Optional[str]) -> LockRef:
+    """Abstract one held lock relative to the current *self* object."""
+    if not held.owner_var:
+        return LockRef.global_(held.name, held.mode)
+    if self_var is not None and held.owner_var == self_var:
+        return LockRef.es(held.name, held.owner_type, held.mode)
+    return LockRef.eo(held.name, held.owner_type, held.mode)
+
+
+def _bind_self(
+    callee: ParsedFunction, site: CallSite, self_var: Optional[str]
+) -> Optional[str]:
+    """The caller-side variable playing *self* at this call site."""
+    if self_var is None:
+        return None
+    index = callee.param_index(self_var)
+    if index is None or index >= len(site.args):
+        return None
+    argument = site.args[index]
+    if _IDENTIFIER.match(argument):
+        return argument
+    return None
+
+
+def _emit(
+    results: List[PathContext],
+    chain: Tuple[str, ...],
+    refs: Sequence[LockRef],
+    truncated: bool,
+) -> None:
+    results.append(PathContext(
+        chain=chain, refs=tuple(sorted(dedup_refs(refs))), truncated=truncated
+    ))
+
+
+def _walk(
+    graph: CallGraph,
+    fn: ParsedFunction,
+    self_var: Optional[str],
+    chain: Tuple[str, ...],
+    refs: List[LockRef],
+    results: List[PathContext],
+    max_depth: int,
+) -> None:
+    callers = graph.callers.get(fn.name, ())
+    if not callers:
+        _emit(results, chain, refs, truncated=False)
+        return
+    if len(chain) >= max_depth:
+        _emit(results, chain, refs, truncated=True)
+        return
+    progressed = False
+    for caller_name, site in callers:
+        if caller_name in chain:
+            continue  # cycle cut
+        caller = graph.functions[caller_name]
+        caller_self = _bind_self(fn, site, self_var)
+        site_refs = [resolve(held, caller_self) for held in site.held]
+        _walk(
+            graph, caller, caller_self, (caller_name,) + chain,
+            refs + site_refs, results, max_depth,
+        )
+        progressed = True
+    if not progressed:
+        # Every caller is already on the chain: the only continuations
+        # are cyclic, so record what we have rather than dropping it.
+        _emit(results, chain, refs, truncated=True)
+
+
+def trace_access(
+    graph: CallGraph, access: MemberAccess, max_depth: int = DEFAULT_MAX_DEPTH
+) -> List[PathContext]:
+    """All bounded reaching paths for *access*, sorted by chain."""
+    fn = graph.functions[access.function]
+    base_refs = [resolve(held, access.var) for held in access.held]
+    results: List[PathContext] = []
+    _walk(
+        graph, fn, access.var, (access.function,), base_refs, results, max_depth
+    )
+    results.sort(key=lambda path: path.chain)
+    return results

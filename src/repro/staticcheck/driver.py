@@ -1,0 +1,90 @@
+"""End-to-end static-analysis driver.
+
+One call runs the whole static pipeline: plan the call-graph corpus
+from the ground-truth specs, render it to C, parse it back, build the
+call graph, trace every member access upward, run the outlier
+analysis, and score the flagged targets against the planted
+deviations.  Everything in the chain is deterministic, so two runs
+produce identical findings in identical order — a property the bench
+harness and CI assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kernel.vfs.spec import TypeSpec
+from repro.kernelsrc.generator import generate_subsystem_tree
+from repro.staticcheck.callgraph import (
+    DEFAULT_MAX_DEPTH,
+    CallGraph,
+    PathContext,
+    build_call_graph,
+    trace_access,
+)
+from repro.staticcheck.outliers import (
+    Score,
+    StaticReport,
+    TargetKey,
+    analyze,
+    score_against_plan,
+)
+from repro.staticcheck.plan import CorpusPlan, PlanConfig, build_corpus_plan
+from repro.staticcheck.parser import parse_tree
+
+DEFAULT_THRESHOLD = 0.7
+
+
+@dataclass
+class StaticRunResult:
+    """Everything a consumer may want from one run."""
+
+    plan: CorpusPlan
+    tree: Dict[str, str]
+    graph: CallGraph
+    report: StaticReport
+    score: Score
+
+
+def run_static_analysis(
+    threshold: float = DEFAULT_THRESHOLD,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    locked_paths: Optional[int] = None,
+    specs: Optional[Dict[str, TypeSpec]] = None,
+) -> StaticRunResult:
+    """Run plan → render → parse → trace → analyze → score."""
+    if not 0.5 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0.5, 1.0), got {threshold}")
+    if max_depth < 2:
+        raise ValueError(f"max_depth must be at least 2, got {max_depth}")
+    # The corpus must be able to carry a majority at the chosen
+    # threshold: k/(k+1) >= threshold requires k >= t/(1-t).
+    floor = math.ceil(threshold / (1.0 - threshold))
+    config = PlanConfig(
+        locked_paths=max(locked_paths or 3, floor),
+        majority_threshold=threshold,
+    )
+    plan = build_corpus_plan(specs=specs, config=config)
+    tree = generate_subsystem_tree(plan.functions)
+    functions = parse_tree(tree)
+    graph = build_call_graph(functions)
+
+    paths_by_target: Dict[TargetKey, List[PathContext]] = {}
+    for fn in functions:  # sorted-file, definition order — deterministic
+        for access in fn.accesses:
+            target = (access.var_type, access.member, access.access_type)
+            paths = trace_access(graph, access, max_depth)
+            paths_by_target.setdefault(target, []).extend(paths)
+    for paths in paths_by_target.values():
+        paths.sort(key=lambda path: path.chain)
+
+    report = analyze(
+        paths_by_target, threshold, max_depth, functions=len(functions)
+    )
+    report.counters["call_edges"] = graph.edges
+    score = score_against_plan(report, plan.planted_keys())
+    return StaticRunResult(
+        plan=plan, tree=tree, graph=graph, report=report, score=score
+    )

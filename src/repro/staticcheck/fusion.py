@@ -1,0 +1,249 @@
+"""Fusion of static findings with the dynamic mining results.
+
+Static and dynamic analyses fail differently: the tracer only sees
+paths the workload exercises (false negatives from coverage gaps), the
+static tracer sees paths that may never execute (false positives from
+imprecision).  The fusion report joins the static outliers against the
+mined rules and the violation finder's output and classifies every
+discrepancy:
+
+* ``confirmed-by-trace`` — the static outlier corresponds to a target
+  whose mined rule also has dynamic counterexamples (s_r < 1): both
+  analyses agree something is off; highest confidence.
+* ``static-only`` — flagged statically but dynamically silent.  Either
+  the target was mined with full support (the deviant path exists in
+  the code but the workload never drove it — a *coverage gap*) or it
+  was never observed at all.  These are exactly the findings only a
+  static analysis can make.
+* ``dynamic-only`` — the trace shows violations but no static outlier
+  path reaches the member without the majority locks; typically
+  imprecision or a data-dependent path the call graph cannot separate.
+
+Independently of findings, the per-target **rule agreement** compares
+the static majority context against the mined rule's reference set
+(best match across subclass rules): equal sets, static context strictly
+stronger/weaker, or outright disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.report import render_table
+from repro.core.rulesio import ExportedRule
+from repro.core.violations import Violation
+from repro.staticcheck.outliers import StaticReport, TargetKey
+
+CONFIRMED = "confirmed-by-trace"
+STATIC_ONLY = "static-only"
+DYNAMIC_ONLY = "dynamic-only"
+
+AGREE_MATCH = "matches"
+AGREE_STRONGER = "static-stronger"
+AGREE_WEAKER = "static-weaker"
+AGREE_DISAGREE = "disagrees"
+AGREE_UNMINED = "unmined"
+
+#: s_r at/above this counts as fully complied (float-rounding guard;
+#: exports round s_r to 6 digits).
+_FULL_SUPPORT = 0.999999
+
+
+@dataclass(frozen=True)
+class FusionEntry:
+    """One fused finding."""
+
+    target: TargetKey
+    classification: str  # CONFIRMED | STATIC_ONLY | DYNAMIC_ONLY
+    detail: str
+    static_outliers: int = 0
+    dynamic_s_r: Optional[float] = None
+    dynamic_events: int = 0
+
+    @property
+    def key(self) -> str:
+        type_name, member, access = self.target
+        return f"{type_name}.{member}:{access}"
+
+
+@dataclass
+class FusionReport:
+    """Joined static/dynamic result."""
+
+    entries: List[FusionEntry]
+    agreement: Dict[str, int] = field(default_factory=dict)
+
+    def counts(self) -> Dict[str, int]:
+        out = {CONFIRMED: 0, STATIC_ONLY: 0, DYNAMIC_ONLY: 0}
+        for entry in self.entries:
+            out[entry.classification] += 1
+        return out
+
+    def by_class(self, classification: str) -> List[FusionEntry]:
+        return [e for e in self.entries if e.classification == classification]
+
+    def render(self) -> str:
+        counts = self.counts()
+        rows = [
+            (
+                entry.key,
+                entry.classification,
+                entry.static_outliers,
+                "-" if entry.dynamic_s_r is None else f"{entry.dynamic_s_r:.4f}",
+                entry.dynamic_events,
+                entry.detail,
+            )
+            for entry in self.entries
+        ]
+        table = render_table(
+            ("target", "class", "outliers", "s_r", "events", "detail"),
+            rows,
+            title=(
+                "Fusion report: "
+                f"{counts[CONFIRMED]} confirmed, "
+                f"{counts[STATIC_ONLY]} static-only, "
+                f"{counts[DYNAMIC_ONLY]} dynamic-only"
+            ),
+        )
+        agreement = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.agreement.items())
+        )
+        return table + f"\nRule agreement: {agreement}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "counts": self.counts(),
+            "agreement": dict(sorted(self.agreement.items())),
+            "entries": [
+                {
+                    "target": entry.key,
+                    "class": entry.classification,
+                    "static_outliers": entry.static_outliers,
+                    "dynamic_s_r": entry.dynamic_s_r,
+                    "dynamic_events": entry.dynamic_events,
+                    "detail": entry.detail,
+                }
+                for entry in self.entries
+            ],
+        }
+
+
+def _base_key(rule: ExportedRule) -> TargetKey:
+    # Dynamic type keys carry subclassing ("inode:file"); the static
+    # corpus knows only base types.
+    return (rule.type_key.split(":")[0], rule.member, rule.access_type)
+
+
+def _agreement(
+    majority: Sequence, rules: Sequence[ExportedRule]
+) -> str:
+    """Best agreement of the static majority context across the mined
+    (subclass) rules of one base target."""
+    static_refs: Set = set(majority)
+    rank = {
+        AGREE_MATCH: 0,
+        AGREE_STRONGER: 1,
+        AGREE_WEAKER: 2,
+        AGREE_DISAGREE: 3,
+    }
+    best = AGREE_DISAGREE
+    for rule in rules:
+        dynamic_refs = set(rule.rule.locks)
+        if static_refs == dynamic_refs:
+            kind = AGREE_MATCH
+        elif static_refs > dynamic_refs:
+            kind = AGREE_STRONGER
+        elif static_refs < dynamic_refs:
+            kind = AGREE_WEAKER
+        else:
+            kind = AGREE_DISAGREE
+        if rank[kind] < rank[best]:
+            best = kind
+    return best
+
+
+def fuse(
+    report: StaticReport,
+    rules: Sequence[ExportedRule],
+    violations: Optional[Sequence[Violation]] = None,
+) -> FusionReport:
+    """Join a static report with mined rules (and, optionally, the
+    violation finder's output for event counts)."""
+    mined: Dict[TargetKey, List[ExportedRule]] = {}
+    for rule in rules:
+        mined.setdefault(_base_key(rule), []).append(rule)
+    violating = {
+        key for key, rule_list in mined.items()
+        if any(rule.s_r < _FULL_SUPPORT for rule in rule_list)
+    }
+    events: Dict[TargetKey, int] = {}
+    for violation in violations or ():
+        key = (
+            violation.type_key.split(":")[0],
+            violation.member,
+            violation.access_type,
+        )
+        events[key] = events.get(key, 0) + violation.events
+
+    outliers_per_target: Dict[TargetKey, int] = {}
+    for finding in report.findings:
+        outliers_per_target[finding.target] = (
+            outliers_per_target.get(finding.target, 0) + 1
+        )
+
+    entries: List[FusionEntry] = []
+    for target in sorted(outliers_per_target):
+        target_rules = mined.get(target, [])
+        worst_s_r = min((r.s_r for r in target_rules), default=None)
+        if target in violating:
+            classification = CONFIRMED
+            detail = "dynamic counterexamples exist for the mined rule"
+        elif target_rules:
+            classification = STATIC_ONLY
+            detail = (
+                "mined rule fully complied dynamically — "
+                "deviant path unexercised (coverage gap)"
+            )
+        else:
+            classification = STATIC_ONLY
+            detail = "target unobserved dynamically"
+        event_count = events.get(target, 0)
+        if event_count:
+            detail += f"; {event_count} violating event(s) in trace"
+        entries.append(FusionEntry(
+            target=target,
+            classification=classification,
+            detail=detail,
+            static_outliers=outliers_per_target[target],
+            dynamic_s_r=worst_s_r,
+            dynamic_events=event_count,
+        ))
+    for target in sorted(violating - set(outliers_per_target)):
+        worst_s_r = min(rule.s_r for rule in mined[target])
+        event_count = events.get(target, 0)
+        entries.append(FusionEntry(
+            target=target,
+            classification=DYNAMIC_ONLY,
+            detail=(
+                "trace violations without a static outlier path "
+                "(imprecision or data-dependent locking)"
+            ),
+            static_outliers=0,
+            dynamic_s_r=worst_s_r,
+            dynamic_events=event_count,
+        ))
+    entries.sort(key=lambda entry: (entry.classification, entry.target))
+
+    agreement: Dict[str, int] = {}
+    for summary in report.summaries:
+        if not summary.majority:
+            continue
+        target_rules = mined.get(summary.target)
+        kind = (
+            _agreement(summary.majority, target_rules)
+            if target_rules
+            else AGREE_UNMINED
+        )
+        agreement[kind] = agreement.get(kind, 0) + 1
+    return FusionReport(entries=entries, agreement=agreement)

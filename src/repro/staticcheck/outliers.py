@@ -1,0 +1,270 @@
+"""Outlier analysis over static reaching paths.
+
+For every ``(type, member, access)`` target the tracer yields the set
+of reaching paths with their lock-context reference sets.  Following
+the outlier heuristic of context-sensitive lock checkers (and mirroring
+the dynamic side's acceptance threshold), a reference belongs to the
+target's **majority context** when at least ``threshold`` of the paths
+satisfy it (holding the write side satisfies a read-side need, exactly
+as in :func:`repro.core.lockrefs.satisfies`).  A path missing one or
+more majority references is an **outlier** — statically, a call chain
+that reaches the member without the locks most of the code base takes.
+
+Targets where *no* reference clears the threshold have an ambivalent
+discipline (e.g. a sanctioned lock-free fast path); nothing is flagged,
+matching how the dynamic miner refuses sub-threshold hypotheses.
+
+Scoring compares flagged targets against the corpus plan's planted
+deviations at target granularity: precision = flagged ∩ planted /
+flagged, recall = flagged ∩ planted / planted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.lockrefs import LockRef, satisfies
+from repro.core.report import render_table
+from repro.staticcheck.callgraph import PathContext
+
+TargetKey = Tuple[str, str, str]  # (type, member, access)
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One outlier path at one target."""
+
+    target: TargetKey
+    path: PathContext
+    missing: Tuple[LockRef, ...]
+    majority: Tuple[LockRef, ...]
+    paths_total: int
+    support: float  # fraction of paths carrying the full majority context
+
+    @property
+    def entry_point(self) -> str:
+        return self.path.root
+
+
+@dataclass(frozen=True)
+class TargetSummary:
+    """Per-target analysis outcome."""
+
+    target: TargetKey
+    majority: Tuple[LockRef, ...]
+    paths_total: int
+    truncated_paths: int
+    outliers: int
+
+    @property
+    def key(self) -> str:
+        type_name, member, access = self.target
+        return f"{type_name}.{member}:{access}"
+
+
+@dataclass
+class StaticReport:
+    """The full static-analysis result."""
+
+    findings: List[StaticFinding]
+    summaries: List[TargetSummary]
+    threshold: float
+    max_depth: int
+    functions: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def flagged_targets(self) -> List[TargetKey]:
+        return sorted({finding.target for finding in self.findings})
+
+    def render(self, limit: int = 0) -> str:
+        rows = []
+        findings = self.findings[:limit] if limit else self.findings
+        for finding in findings:
+            type_name, member, access = finding.target
+            rows.append((
+                f"{type_name}.{member}",
+                access,
+                " -> ".join(finding.path.chain),
+                ", ".join(ref.format() for ref in finding.missing) or "-",
+                f"{finding.support:.2f}",
+            ))
+        table = render_table(
+            ("target", "a", "outlier path", "missing locks", "support"),
+            rows,
+            title=(
+                f"Static outliers: {len(self.findings)} finding(s) over "
+                f"{len(self.summaries)} target(s) "
+                f"(threshold {self.threshold}, depth {self.max_depth})"
+            ),
+        )
+        if limit and len(self.findings) > limit:
+            table += f"\n... {len(self.findings) - limit} more finding(s)"
+        return table
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "max_depth": self.max_depth,
+            "functions": self.functions,
+            "counters": dict(sorted(self.counters.items())),
+            "targets": [
+                {
+                    "target": summary.key,
+                    "majority": [ref.format() for ref in summary.majority],
+                    "paths": summary.paths_total,
+                    "truncated_paths": summary.truncated_paths,
+                    "outliers": summary.outliers,
+                }
+                for summary in self.summaries
+            ],
+            "findings": [
+                {
+                    "target": ".".join(finding.target[:2]) + f":{finding.target[2]}",
+                    "chain": list(finding.path.chain),
+                    "missing": [ref.format() for ref in finding.missing],
+                    "majority": [ref.format() for ref in finding.majority],
+                    "paths_total": finding.paths_total,
+                    "support": round(finding.support, 4),
+                }
+                for finding in self.findings
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class Score:
+    """Target-level precision/recall against the planted ground truth."""
+
+    tp: int
+    fp: int
+    fn: int
+    found: Tuple[TargetKey, ...]
+    missed: Tuple[TargetKey, ...]
+    unexpected: Tuple[TargetKey, ...]
+
+    @property
+    def precision(self) -> float:
+        flagged = self.tp + self.fp
+        return 1.0 if flagged == 0 else self.tp / flagged
+
+    @property
+    def recall(self) -> float:
+        planted = self.tp + self.fn
+        return 1.0 if planted == 0 else self.tp / planted
+
+
+def _majority_refs(
+    paths: Sequence[PathContext], threshold: float
+) -> Tuple[LockRef, ...]:
+    """References satisfied on at least *threshold* of the paths."""
+    universe: Set[LockRef] = set()
+    for path in paths:
+        universe.update(path.refs)
+    total = len(paths)
+    majority = []
+    for ref in sorted(universe):
+        supported = sum(
+            1 for path in paths
+            if any(satisfies(held, ref) for held in path.refs)
+        )
+        if supported / total >= threshold:
+            majority.append(ref)
+    return tuple(majority)
+
+
+def analyze_target(
+    target: TargetKey, paths: Sequence[PathContext], threshold: float
+) -> Tuple[TargetSummary, List[StaticFinding]]:
+    """Flag outlier paths of one target against its majority context."""
+    majority = _majority_refs(paths, threshold)
+    total = len(paths)
+    truncated = sum(1 for path in paths if path.truncated)
+    findings: List[StaticFinding] = []
+    if majority:
+        clean = sum(
+            1 for path in paths
+            if all(
+                any(satisfies(held, ref) for held in path.refs)
+                for ref in majority
+            )
+        )
+        support = clean / total
+        for path in paths:
+            missing = tuple(
+                ref for ref in majority
+                if not any(satisfies(held, ref) for held in path.refs)
+            )
+            if missing:
+                findings.append(StaticFinding(
+                    target=target,
+                    path=path,
+                    missing=missing,
+                    majority=majority,
+                    paths_total=total,
+                    support=support,
+                ))
+    findings.sort(key=lambda finding: finding.path.chain)
+    summary = TargetSummary(
+        target=target,
+        majority=majority,
+        paths_total=total,
+        truncated_paths=truncated,
+        outliers=len(findings),
+    )
+    return summary, findings
+
+
+def analyze(
+    paths_by_target: Dict[TargetKey, Sequence[PathContext]],
+    threshold: float,
+    max_depth: int,
+    functions: int = 0,
+) -> StaticReport:
+    """Run the outlier analysis over all targets."""
+    summaries: List[TargetSummary] = []
+    findings: List[StaticFinding] = []
+    total_paths = 0
+    truncated_paths = 0
+    for target in sorted(paths_by_target):
+        summary, target_findings = analyze_target(
+            target, paths_by_target[target], threshold
+        )
+        summaries.append(summary)
+        findings.extend(target_findings)
+        total_paths += summary.paths_total
+        truncated_paths += summary.truncated_paths
+    findings.sort(key=lambda finding: (finding.target, finding.path.chain))
+    return StaticReport(
+        findings=findings,
+        summaries=summaries,
+        threshold=threshold,
+        max_depth=max_depth,
+        functions=functions,
+        counters={
+            "targets": len(summaries),
+            "paths": total_paths,
+            "truncated_paths": truncated_paths,
+            "flagged_targets": len({f.target for f in findings}),
+        },
+    )
+
+
+def score_against_plan(
+    report: StaticReport, planted_keys: Iterable[TargetKey]
+) -> Score:
+    """Score flagged targets against the planted deviation set."""
+    planted = set(planted_keys)
+    flagged = set(report.flagged_targets)
+    found = tuple(sorted(flagged & planted))
+    unexpected = tuple(sorted(flagged - planted))
+    missed = tuple(sorted(planted - flagged))
+    return Score(
+        tp=len(found),
+        fp=len(unexpected),
+        fn=len(missed),
+        found=found,
+        missed=missed,
+        unexpected=unexpected,
+    )

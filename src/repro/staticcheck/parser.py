@@ -1,0 +1,306 @@
+"""C parser for the call-graph corpus: per-function lock summaries.
+
+A deliberately narrow parser for the kernel-style C the corpus
+generator emits (one statement per line, function braces on their own
+lines) — but honest about the parts that bite real tools: comments are
+stripped with the scanner's literal-aware state machine (a ``"/*"``
+inside a string does not open a comment), lock acquisition APIs map to
+modes and irq/bh pseudo-locks exactly like the dynamic tracer's
+instrumentation, and every call site and member access records the
+*held-lock snapshot* at that program point.
+
+The per-function summary is a classic gen/kill pair:
+
+* **gen** — locks still held when the function returns (acquired and
+  never released here),
+* **kill** — locks released without a local acquisition (the caller
+  must have held them).
+
+The corpus functions are all balanced (empty gen/kill); the summaries
+exist so the call-graph layer can refuse to propagate through
+unbalanced functions and tests can assert balance.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.kernelsrc.scanner import _strip_comments
+
+#: acquisition API -> (held mode, pseudo global acquired first or None).
+ACQUIRE_OPS: Dict[str, Tuple[str, Optional[str]]] = {
+    "spin_lock": ("w", None),
+    "raw_spin_lock": ("w", None),
+    "spin_lock_irq": ("w", "hardirq"),
+    "spin_lock_irqsave": ("w", "hardirq"),
+    "spin_lock_bh": ("w", "softirq"),
+    "mutex_lock": ("w", None),
+    "down_read": ("r", None),
+    "down_write": ("w", None),
+    "read_lock": ("r", None),
+    "write_lock": ("w", None),
+    "write_seqlock": ("w", None),
+    "read_seqbegin": ("r", None),
+    "write_seqcount_begin": ("w", None),
+    "read_seqcount_begin": ("r", None),
+}
+
+#: release API -> pseudo global released alongside (or None).
+RELEASE_OPS: Dict[str, Optional[str]] = {
+    "spin_unlock": None,
+    "raw_spin_unlock": None,
+    "spin_unlock_irq": "hardirq",
+    "spin_unlock_irqrestore": "hardirq",
+    "spin_unlock_bh": "softirq",
+    "mutex_unlock": None,
+    "up_read": None,
+    "up_write": None,
+    "read_unlock": None,
+    "write_unlock": None,
+    "write_sequnlock": None,
+    "read_seqretry": None,
+    "write_seqcount_end": None,
+    "read_seqcount_retry": None,
+}
+
+_SIG = re.compile(r"^(?:static\s+)?void\s+(\w+)\((.*)\)$")
+_PARAM = re.compile(r"struct\s+(\w+)\s*\*\s*(\w+)")
+_LOCAL_DECL = re.compile(r"^struct\s+(\w+)\s*\*\s*(\w+)\s*=\s*(.+);$")
+_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(([^()]*)\)")
+_WRITE = re.compile(r"^(\w+)->([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*)\s*=(?!=)")
+_MEMBER = re.compile(r"(&?)\b(\w+)->([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*)")
+_LOCK_MEMBER_EXPR = re.compile(r"^&(\w+)->([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*)$")
+_LOCK_GLOBAL_EXPR = re.compile(r"^&([A-Za-z_]\w*)$")
+
+
+@dataclass(frozen=True)
+class HeldLock:
+    """One entry of a held-lock snapshot.
+
+    ``owner_var`` is the local variable the lock was reached through
+    ("" for globals and pseudo-locks); ``owner_type`` its struct type.
+    """
+
+    owner_var: str
+    owner_type: str
+    name: str
+    mode: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call statement with the held locks at that point."""
+
+    callee: str
+    args: Tuple[str, ...]
+    held: Tuple[HeldLock, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class MemberAccess:
+    """A typed member access with the held locks at that point."""
+
+    function: str
+    var: str
+    var_type: str
+    member: str
+    access_type: str  # "r" | "w"
+    held: Tuple[HeldLock, ...]
+    file: str
+    line: int
+
+
+@dataclass
+class ParsedFunction:
+    """One parsed function: signature, lock summary, sites."""
+
+    name: str
+    file: str
+    params: Tuple[Tuple[str, str], ...]  # (struct type, var)
+    var_types: Dict[str, str] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    accesses: List[MemberAccess] = field(default_factory=list)
+    #: gen set: locks still held at exit (acquired, never released).
+    gen: Tuple[HeldLock, ...] = ()
+    #: kill set: lock names released without a local acquisition.
+    kill: Tuple[str, ...] = ()
+
+    @property
+    def balanced(self) -> bool:
+        return not self.gen and not self.kill
+
+    def param_index(self, var: str) -> Optional[int]:
+        for index, (_, name) in enumerate(self.params):
+            if name == var:
+                return index
+        return None
+
+
+class _FunctionBuilder:
+    def __init__(self, name: str, params_text: str, file: str, line: int):
+        params = tuple(
+            (match.group(1), match.group(2))
+            for match in _PARAM.finditer(params_text)
+        )
+        self.fn = ParsedFunction(name=name, file=file, params=params)
+        self.fn.var_types.update({var: typ for typ, var in params})
+        self.held: List[HeldLock] = []
+        self.kill: List[str] = []
+        self.start_line = line
+
+    def _lock_target(self, expr: str, mode: str) -> Optional[HeldLock]:
+        expr = expr.strip()
+        member = _LOCK_MEMBER_EXPR.match(expr)
+        if member:
+            var, name = member.group(1), member.group(2)
+            owner_type = self.fn.var_types.get(var, "?")
+            return HeldLock(var, owner_type, name, mode)
+        glob = _LOCK_GLOBAL_EXPR.match(expr)
+        if glob:
+            return HeldLock("", "", glob.group(1), mode)
+        return None
+
+    def _release(self, owner_var: str, name: str) -> None:
+        for index in range(len(self.held) - 1, -1, -1):
+            entry = self.held[index]
+            if entry.owner_var == owner_var and entry.name == name:
+                del self.held[index]
+                return
+        self.kill.append(name)
+
+    def acquire(self, op: str, args: str) -> None:
+        mode, pseudo = ACQUIRE_OPS[op]
+        if pseudo is not None:
+            self.held.append(HeldLock("", "", pseudo, "w"))
+        first = args.split(",", 1)[0]
+        target = self._lock_target(first, mode)
+        if target is not None:
+            self.held.append(target)
+
+    def acquire_rcu(self) -> None:
+        self.held.append(HeldLock("", "", "rcu", "r"))
+
+    def release(self, op: str, args: str) -> None:
+        pseudo = RELEASE_OPS[op]
+        first = args.split(",", 1)[0]
+        target = self._lock_target(first, "w")
+        if target is not None:
+            self._release(target.owner_var, target.name)
+        if pseudo is not None:
+            self._release("", pseudo)
+
+    def release_rcu(self) -> None:
+        self._release("", "rcu")
+
+    def snapshot(self) -> Tuple[HeldLock, ...]:
+        return tuple(self.held)
+
+    def record_call(self, callee: str, args: str, line: int) -> None:
+        arg_vars = tuple(a.strip() for a in args.split(",")) if args.strip() else ()
+        self.fn.calls.append(
+            CallSite(callee=callee, args=arg_vars, held=self.snapshot(), line=line)
+        )
+
+    def record_access(self, var: str, member: str, access: str, line: int) -> None:
+        self.fn.accesses.append(MemberAccess(
+            function=self.fn.name,
+            var=var,
+            var_type=self.fn.var_types.get(var, "?"),
+            member=member,
+            access_type=access,
+            held=self.snapshot(),
+            file=self.fn.file,
+            line=line,
+        ))
+
+    def declare_local(self, struct_type: str, var: str) -> None:
+        self.fn.var_types[var] = struct_type
+
+    def finish(self) -> ParsedFunction:
+        self.fn.gen = tuple(self.held)
+        self.fn.kill = tuple(self.kill)
+        return self.fn
+
+
+def _scan_reads(builder: _FunctionBuilder, text: str, line: int) -> None:
+    """Record every non-address-of member dereference in *text* as a
+    read (``&x->lock`` is a lock address, not a data access)."""
+    for match in _MEMBER.finditer(text):
+        if match.group(1):
+            continue
+        builder.record_access(match.group(2), match.group(3), "r", line)
+
+
+def _process_statement(builder: _FunctionBuilder, stmt: str, line: int) -> None:
+    call = _CALL.search(stmt)
+    if call is not None:
+        op = call.group(1)
+        if op == "rcu_read_lock":
+            builder.acquire_rcu()
+            return
+        if op == "rcu_read_unlock":
+            builder.release_rcu()
+            return
+        if op in ACQUIRE_OPS:
+            builder.acquire(op, call.group(2))
+            return
+        if op in RELEASE_OPS:
+            builder.release(op, call.group(2))
+            return
+    decl = _LOCAL_DECL.match(stmt)
+    if decl is not None:
+        struct_type, var, rhs = decl.group(1), decl.group(2), decl.group(3)
+        builder.declare_local(struct_type, var)
+        _scan_reads(builder, rhs, line)
+        return
+    write = _WRITE.match(stmt)
+    if write is not None:
+        builder.record_access(write.group(1), write.group(2), "w", line)
+        _scan_reads(builder, stmt[write.end():], line)
+        return
+    if call is not None:
+        builder.record_call(call.group(1), call.group(2), line)
+        return
+    _scan_reads(builder, stmt, line)
+
+
+def parse_source(path: str, content: str) -> List[ParsedFunction]:
+    """Parse one corpus file into function summaries."""
+    functions: List[ParsedFunction] = []
+    builder: Optional[_FunctionBuilder] = None
+    pending: Optional[_FunctionBuilder] = None
+    in_block = False
+    for number, raw_line in enumerate(content.splitlines(), start=1):
+        code, in_block = _strip_comments(raw_line, in_block)
+        stmt = code.strip()
+        if not stmt:
+            continue
+        if builder is None:
+            if pending is not None and stmt == "{":
+                builder = pending
+                pending = None
+                continue
+            pending = None
+            signature = _SIG.match(stmt)
+            if signature is not None:  # prototypes end in ';' and don't match
+                pending = _FunctionBuilder(
+                    signature.group(1), signature.group(2), path, number
+                )
+            continue
+        if stmt == "}":
+            functions.append(builder.finish())
+            builder = None
+            continue
+        _process_statement(builder, stmt, number)
+    return functions
+
+
+def parse_tree(tree: Mapping[str, str]) -> List[ParsedFunction]:
+    """Parse a ``{path: content}`` corpus tree (sorted path order)."""
+    functions: List[ParsedFunction] = []
+    for path in sorted(tree):
+        functions.extend(parse_source(path, tree[path]))
+    return functions

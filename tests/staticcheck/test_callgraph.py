@@ -1,0 +1,136 @@
+"""Tests for call-graph construction and upward context tracing."""
+
+import pytest
+
+from repro.core.lockrefs import LockRef, Scope
+from repro.staticcheck.callgraph import (
+    build_call_graph,
+    resolve,
+    trace_access,
+)
+from repro.staticcheck.parser import HeldLock, parse_source
+
+CORPUS = """\
+static void raw(struct inode *inode)
+{
+\tinode->i_state = 0;
+}
+
+static void locked(struct inode *inode)
+{
+\tspin_lock(&inode->i_lock);
+\traw(inode);
+\tspin_unlock(&inode->i_lock);
+}
+
+static void root_a(struct inode *inode)
+{
+\tlocked(inode);
+}
+
+static void root_b(struct inode *inode)
+{
+\tlocked(inode);
+}
+
+static void root_bare(struct inode *inode)
+{
+\traw(inode);
+}
+"""
+
+
+@pytest.fixture()
+def graph():
+    return build_call_graph(parse_source("fs/a.c", CORPUS))
+
+
+def test_reverse_edges(graph):
+    assert sorted(name for name, _ in graph.callers["locked"]) == [
+        "root_a", "root_b"
+    ]
+    assert graph.edges == 4  # raw<-{locked,root_bare}, locked<-{root_a,root_b}
+
+
+def test_duplicate_definitions_rejected():
+    functions = parse_source("fs/a.c", CORPUS) + parse_source("fs/b.c", CORPUS)
+    with pytest.raises(ValueError):
+        build_call_graph(functions)
+
+
+def test_resolve_scopes():
+    es = resolve(HeldLock("inode", "inode", "i_lock", "w"), "inode")
+    assert es == LockRef.es("i_lock", "inode")
+    eo = resolve(HeldLock("other", "inode", "i_lock", "w"), "inode")
+    assert eo.scope == Scope.EO
+    glob = resolve(HeldLock("", "", "rcu", "r"), "inode")
+    assert glob == LockRef.global_("rcu", "r")
+    # losing the self binding demotes ES to EO
+    lost = resolve(HeldLock("inode", "inode", "i_lock", "w"), None)
+    assert lost.scope == Scope.EO
+
+
+def test_trace_enumerates_all_roots(graph):
+    access = graph.functions["raw"].accesses[0]
+    paths = trace_access(graph, access)
+    chains = sorted(path.chain for path in paths)
+    assert chains == [
+        ("root_a", "locked", "raw"),
+        ("root_b", "locked", "raw"),
+        ("root_bare", "raw"),
+    ]
+    by_root = {path.chain[0]: path for path in paths}
+    locked_ref = LockRef.es("i_lock", "inode")
+    assert locked_ref in by_root["root_a"].refs
+    assert locked_ref in by_root["root_b"].refs
+    assert by_root["root_bare"].refs == ()
+    assert not any(path.truncated for path in paths)
+
+
+def test_depth_bound_truncates(graph):
+    access = graph.functions["raw"].accesses[0]
+    paths = trace_access(graph, access, max_depth=2)
+    assert {path.chain for path in paths} == {
+        ("locked", "raw"),
+        ("root_bare", "raw"),
+    }
+    truncated = [p for p in paths if p.truncated]
+    assert [p.chain for p in truncated] == [("locked", "raw")]
+
+
+def test_cycle_is_cut_not_dropped():
+    corpus = (
+        "static void raw(struct inode *inode)\n{\n"
+        "\t(void)inode->i_flags;\n}\n"
+        "static void walk(struct inode *inode)\n{\n"
+        "\traw(inode);\n\tstep(inode);\n}\n"
+        "static void step(struct inode *inode)\n{\n"
+        "\twalk(inode);\n}\n"
+    )
+    graph = build_call_graph(parse_source("fs/c.c", corpus))
+    access = graph.functions["raw"].accesses[0]
+    paths = trace_access(graph, access)
+    # walk <-> step is a pure cycle with no external root: the walk
+    # terminates and emits the chain as truncated.
+    assert len(paths) == 1
+    assert paths[0].truncated
+    assert paths[0].chain[-1] == "raw"
+
+
+def test_argument_rebinding_demotes_to_eo():
+    corpus = (
+        "static void raw(struct inode *inode)\n{\n"
+        "\tinode->i_state = 0;\n}\n"
+        "static void cross(struct inode *a, struct inode *b)\n{\n"
+        "\tspin_lock(&a->i_lock);\n"
+        "\traw(b);\n"
+        "\tspin_unlock(&a->i_lock);\n}\n"
+        "static void entry(struct inode *a, struct inode *b)\n{\n"
+        "\tcross(a, b);\n}\n"
+    )
+    graph = build_call_graph(parse_source("fs/d.c", corpus))
+    access = graph.functions["raw"].accesses[0]
+    paths = trace_access(graph, access)
+    assert len(paths) == 1
+    # a's lock is held while b is written: EO, not ES.
+    assert paths[0].refs == (LockRef.eo("i_lock", "inode"),)

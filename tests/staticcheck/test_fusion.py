@@ -1,0 +1,107 @@
+"""Tests for static/dynamic fusion (repro.staticcheck.fusion)."""
+
+import json
+
+from repro.core.lockrefs import LockRef
+from repro.core.rules import LockingRule
+from repro.core.rulesio import ExportedRule, rules_from_json, rules_to_json
+from repro.core.violations import ViolationFinder
+from repro.staticcheck import fuse, run_static_analysis
+from repro.staticcheck.callgraph import PathContext
+from repro.staticcheck.fusion import CONFIRMED, DYNAMIC_ONLY, STATIC_ONLY
+from repro.staticcheck.outliers import StaticFinding, StaticReport, TargetSummary
+
+I_LOCK = LockRef.es("i_lock", "inode")
+
+
+def make_static_report(targets):
+    path = PathContext(chain=("root", "raw"), refs=())
+    findings = [
+        StaticFinding(
+            target=target, path=path, missing=(I_LOCK,), majority=(I_LOCK,),
+            paths_total=4, support=0.75,
+        )
+        for target in targets
+    ]
+    summaries = [
+        TargetSummary(
+            target=target, majority=(I_LOCK,), paths_total=4,
+            truncated_paths=0, outliers=1,
+        )
+        for target in targets
+    ]
+    return StaticReport(
+        findings=findings, summaries=summaries, threshold=0.7, max_depth=8
+    )
+
+
+def exported(member, s_r, locks=(I_LOCK,)):
+    return ExportedRule(
+        type_key="inode:ext4", member=member, access_type="w",
+        rule=LockingRule(tuple(locks)), s_a=10, s_r=s_r, observations=10,
+    )
+
+
+def test_classification_three_way():
+    report = make_static_report([
+        ("inode", "i_state", "w"),   # mined with counterexamples
+        ("inode", "i_flags", "w"),   # mined, fully complied
+        ("inode", "i_nlink", "w"),   # never observed dynamically
+    ])
+    rules = [
+        exported("i_state", 0.9),
+        exported("i_flags", 1.0),
+        exported("i_mode", 0.8),     # violating but not flagged statically
+    ]
+    fusion = fuse(report, rules)
+    by_target = {entry.target: entry for entry in fusion.entries}
+    assert by_target[("inode", "i_state", "w")].classification == CONFIRMED
+    assert by_target[("inode", "i_flags", "w")].classification == STATIC_ONLY
+    assert "coverage gap" in by_target[("inode", "i_flags", "w")].detail
+    assert by_target[("inode", "i_nlink", "w")].classification == STATIC_ONLY
+    assert "unobserved" in by_target[("inode", "i_nlink", "w")].detail
+    assert by_target[("inode", "i_mode", "w")].classification == DYNAMIC_ONLY
+    assert fusion.counts() == {CONFIRMED: 1, STATIC_ONLY: 2, DYNAMIC_ONLY: 1}
+
+
+def test_rule_agreement_kinds():
+    extra = LockRef.global_("inode_hash_lock")
+    report = make_static_report([("inode", "i_state", "w")])
+    fusion = fuse(report, [exported("i_state", 1.0)])
+    assert fusion.agreement == {"matches": 1}
+    fusion = fuse(report, [exported("i_state", 1.0, locks=(I_LOCK, extra))])
+    assert fusion.agreement == {"static-weaker": 1}
+    fusion = fuse(report, [exported("i_state", 1.0, locks=(extra,))])
+    assert fusion.agreement == {"disagrees": 1}
+    fusion = fuse(report, [])
+    assert fusion.agreement == {"unmined": 1}
+
+
+def test_render_and_json():
+    report = make_static_report([("inode", "i_state", "w")])
+    fusion = fuse(report, [exported("i_state", 0.9)])
+    text = fusion.render()
+    assert "Fusion report" in text and "Rule agreement" in text
+    payload = fusion.to_json_dict()
+    assert payload["counts"][CONFIRMED] == 1
+    json.dumps(payload)
+
+
+def test_fusion_against_real_pipeline(derivation, pipeline):
+    """The acceptance-criteria path: fuse the real static report with
+    the real mined rules; at least one finding must be static-only
+    (the planted coverage gaps are unreachable dynamically)."""
+    rules = rules_from_json(rules_to_json(derivation))
+    violations = ViolationFinder(derivation, pipeline.table).find()
+    result = run_static_analysis()
+    fusion = fuse(result.report, rules, violations)
+    counts = fusion.counts()
+    assert counts[STATIC_ONLY] >= 1
+    # every static finding appears in the fusion report
+    assert sum(
+        entry.static_outliers for entry in fusion.entries
+    ) == len(result.report.findings)
+    # agreement: the static majority context matches the mined rule for
+    # the overwhelming share of mined targets
+    matches = fusion.agreement.get("matches", 0)
+    assert matches >= 100

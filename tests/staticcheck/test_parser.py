@@ -1,0 +1,152 @@
+"""Tests for the corpus C parser (repro.staticcheck.parser)."""
+
+from repro.staticcheck.parser import parse_source
+
+SNIPPET = """\
+// SPDX-License-Identifier: GPL-2.0
+static void inode_touch(struct inode *inode);
+
+/* the wrapper takes the rule locks */
+static void inode_touch(struct inode *inode)
+{
+\tspin_lock(&inode->i_lock);
+\tinode->i_state = 0;
+\tspin_unlock(&inode->i_lock);
+}
+
+static void inode_sys(struct inode *inode)
+{
+\tinode_touch(inode);
+}
+"""
+
+
+def parse(snippet=SNIPPET):
+    return {fn.name: fn for fn in parse_source("fs/x.c", snippet)}
+
+
+def test_prototypes_are_not_functions():
+    functions = parse()
+    assert set(functions) == {"inode_touch", "inode_sys"}
+
+
+def test_access_records_held_snapshot():
+    functions = parse()
+    accesses = functions["inode_touch"].accesses
+    assert len(accesses) == 1
+    access = accesses[0]
+    assert (access.var, access.var_type, access.member) == (
+        "inode", "inode", "i_state"
+    )
+    assert access.access_type == "w"
+    assert [(h.owner_var, h.name, h.mode) for h in access.held] == [
+        ("inode", "i_lock", "w")
+    ]
+
+
+def test_call_site_snapshot_and_balance():
+    functions = parse()
+    assert functions["inode_touch"].balanced
+    site = functions["inode_sys"].calls[0]
+    assert site.callee == "inode_touch"
+    assert site.args == ("inode",)
+    assert site.held == ()
+
+
+def test_irq_flavor_adds_pseudo_lock_first():
+    functions = parse(
+        "static void f(struct inode *inode)\n{\n"
+        "\tspin_lock_irq(&inode->i_lock);\n"
+        "\tinode->i_size = 0;\n"
+        "\tspin_unlock_irq(&inode->i_lock);\n}\n"
+    )
+    held = functions["f"].accesses[0].held
+    assert [(h.owner_var, h.name) for h in held] == [
+        ("", "hardirq"), ("inode", "i_lock")
+    ]
+    assert functions["f"].balanced
+
+
+def test_rcu_and_global_locks():
+    functions = parse(
+        "static void g(struct dentry *dentry)\n{\n"
+        "\trcu_read_lock();\n"
+        "\tread_lock(&tasklist_lock);\n"
+        "\t(void)dentry->d_flags;\n"
+        "\tread_unlock(&tasklist_lock);\n"
+        "\trcu_read_unlock();\n}\n"
+    )
+    held = functions["g"].accesses[0].held
+    assert [(h.owner_var, h.name, h.mode) for h in held] == [
+        ("", "rcu", "r"), ("", "tasklist_lock", "r")
+    ]
+    assert functions["g"].balanced
+
+
+def test_reader_writer_modes():
+    functions = parse(
+        "static void h(struct super_block *sb)\n{\n"
+        "\tdown_read(&sb->s_umount);\n"
+        "\t(void)sb->s_flags;\n"
+        "\tup_read(&sb->s_umount);\n}\n"
+    )
+    held = functions["h"].accesses[0].held
+    assert [(h.name, h.mode) for h in held] == [("s_umount", "r")]
+
+
+def test_unbalanced_function_reports_gen_and_kill():
+    functions = parse(
+        "static void leak(struct inode *inode)\n{\n"
+        "\tspin_lock(&inode->i_lock);\n}\n"
+        "static void steal(struct inode *inode)\n{\n"
+        "\tspin_unlock(&inode->i_lock);\n}\n"
+    )
+    assert [h.name for h in functions["leak"].gen] == ["i_lock"]
+    assert functions["steal"].kill == ("i_lock",)
+    assert not functions["leak"].balanced
+
+
+def test_local_decl_registers_type_and_counts_deref_read():
+    functions = parse(
+        "static void via(struct inode *inode)\n{\n"
+        "\tstruct backing_dev_info *bdi = inode->i_bdi;\n"
+        "\tspin_lock(&bdi->wb.list_lock);\n"
+        "\tinode->i_wb_list = 0;\n"
+        "\tspin_unlock(&bdi->wb.list_lock);\n}\n"
+    )
+    fn = functions["via"]
+    assert fn.var_types["bdi"] == "backing_dev_info"
+    # the decl's RHS is a read of inode->i_bdi
+    first = fn.accesses[0]
+    assert (first.member, first.access_type) == ("i_bdi", "r")
+    write = fn.accesses[1]
+    assert write.member == "i_wb_list"
+    assert [(h.owner_var, h.owner_type, h.name) for h in write.held] == [
+        ("bdi", "backing_dev_info", "wb.list_lock")
+    ]
+    assert fn.balanced
+
+
+def test_comment_openers_in_strings_do_not_hide_code():
+    functions = parse(
+        "static void s(struct inode *inode)\n{\n"
+        '\tpr_warn("/* not a comment");\n'
+        "\tspin_lock(&inode->i_lock);\n"
+        "\tinode->i_flags = 0;\n"
+        "\tspin_unlock(&inode->i_lock);\n}\n"
+    )
+    access = functions["s"].accesses[-1]
+    assert access.member == "i_flags"
+    assert [h.name for h in access.held] == ["i_lock"]
+
+
+def test_seqcount_read_side():
+    functions = parse(
+        "static void q(struct dentry *dentry)\n{\n"
+        "\tseq = read_seqcount_begin(&dentry->d_seq);\n"
+        "\t(void)dentry->d_name;\n"
+        "\t(void)read_seqcount_retry(&dentry->d_seq, seq);\n}\n"
+    )
+    held = functions["q"].accesses[0].held
+    assert [(h.name, h.mode) for h in held] == [("d_seq", "r")]
+    assert functions["q"].balanced

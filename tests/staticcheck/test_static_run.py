@@ -1,0 +1,100 @@
+"""End-to-end tests for the static-analysis driver."""
+
+import json
+
+import pytest
+
+from repro.staticcheck import run_static_analysis
+from repro.staticcheck.plan import PLANT_COVERAGE_GAP, PLANT_SKIP
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_static_analysis()
+
+
+def test_perfect_score_on_planted_set(result):
+    assert result.score.fp == 0, result.score.unexpected
+    assert result.score.fn == 0, result.score.missed
+    assert result.score.precision == 1.0
+    assert result.score.recall == 1.0
+    assert result.score.tp == len(result.plan.planted)
+    assert result.score.tp >= 30  # the spec plants a substantial set
+
+
+def test_both_plant_kinds_present(result):
+    reasons = {p.reason for p in result.plan.planted}
+    assert reasons == {PLANT_SKIP, PLANT_COVERAGE_GAP}
+
+
+def test_deterministic_across_runs(result):
+    again = run_static_analysis()
+    assert result.tree == again.tree
+    assert json.dumps(result.report.to_json_dict(), sort_keys=True) == (
+        json.dumps(again.report.to_json_dict(), sort_keys=True)
+    )
+
+
+def test_findings_carry_path_and_missing_context(result):
+    for finding in result.report.findings:
+        assert finding.path.chain, finding
+        assert finding.missing, finding
+        assert set(finding.missing) <= set(finding.majority)
+        assert 0.0 < finding.support < 1.0
+
+
+def test_counters_consistent(result):
+    counters = result.report.counters
+    assert counters["flagged_targets"] == result.score.tp
+    assert counters["paths"] > counters["targets"]
+    assert counters["call_edges"] > 0
+    assert result.report.functions > 1000
+
+
+def test_corpus_functions_all_balanced(result):
+    unbalanced = [
+        fn.name for fn in result.graph.functions.values() if not fn.balanced
+    ]
+    assert unbalanced == []
+
+
+def test_ambivalent_target_not_flagged(result):
+    summaries = {summary.target: summary for summary in result.report.summaries}
+    # d_flags reads have a sanctioned lock-free fast path: no majority
+    # context, nothing flagged.
+    summary = summaries[("dentry", "d_flags", "r")]
+    assert summary.outliers == 0
+    assert summary.majority == ()
+
+
+def test_coverage_gap_targets_flagged(result):
+    gap_keys = {
+        p.key for p in result.plan.planted if p.reason == PLANT_COVERAGE_GAP
+    }
+    assert gap_keys
+    assert gap_keys <= set(result.report.flagged_targets)
+
+
+def test_score_stable_across_thresholds():
+    for threshold in (0.7, 0.75, 0.8):
+        run = run_static_analysis(threshold=threshold)
+        assert run.score.fp == 0 and run.score.fn == 0, threshold
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        run_static_analysis(threshold=1.5)
+    with pytest.raises(ValueError):
+        run_static_analysis(threshold=0.3)
+    with pytest.raises(ValueError):
+        run_static_analysis(max_depth=1)
+
+
+def test_render_and_json_roundtrip(result):
+    text = result.report.render(limit=5)
+    assert "Static outliers" in text
+    assert "more finding(s)" in text
+    payload = result.report.to_json_dict()
+    assert payload["counters"]["flagged_targets"] == result.score.tp
+    assert len(payload["findings"]) == len(result.report.findings)
+    json.dumps(payload)  # serializable

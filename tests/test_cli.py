@@ -188,6 +188,7 @@ def test_file_commands_reject_missing_input(tmp_path, capsys, suffix):
         ["analyze", missing],
         ["health", missing],
         ["corrupt", missing, out],
+        ["staticcheck", "report", "--rules", missing],
     ):
         assert cli.main(argv) == 2
         err = capsys.readouterr().err
@@ -205,11 +206,46 @@ def test_file_commands_reject_empty_input(tmp_path, capsys, suffix):
         ["analyze", str(empty)],
         ["health", str(empty)],
         ["corrupt", str(empty), out],
+        ["staticcheck", "report", "--rules", str(empty)],
     ):
         assert cli.main(argv) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert len(err.strip().splitlines()) == 1
+
+
+def test_staticcheck_run(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "static.json"
+    argv = ["staticcheck", "run", "--findings", "3", "--json", str(out)]
+    assert cli.main(argv) == 0
+    stdout = capsys.readouterr().out
+    assert "Static outliers" in stdout
+    assert "precision 1.00 recall 1.00" in stdout
+    payload = json.loads(out.read_text())
+    assert payload["score"]["fp"] == 0 and payload["score"]["fn"] == 0
+    assert payload["planted"]
+
+
+def test_staticcheck_report_with_rules_file(tmp_path, capsys):
+    rules = tmp_path / "rules.json"
+    assert cli.main(["derive", "--json", str(rules)]) == 0
+    capsys.readouterr()
+    assert cli.main(["staticcheck", "report", "--rules", str(rules)]) == 0
+    out = capsys.readouterr().out
+    assert "Fusion report" in out
+    assert "static-only" in out
+    assert "Rule agreement" in out
+
+
+def test_staticcheck_report_rejects_malformed_rules(tmp_path, capsys):
+    bad = tmp_path / "rules.json"
+    bad.write_text("{\"format\": 99}")
+    assert cli.main(["staticcheck", "report", "--rules", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
 
 
 def test_contention_command(capsys):

@@ -1,15 +1,21 @@
 """Tests for the synthetic kernel-source corpus and scanner (Fig. 1)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.kernelsrc.generator import generate_tree
+from repro.kernelsrc.generator import generate_subsystem_tree, generate_tree
 from repro.kernelsrc.model import (
     KERNEL_VERSIONS,
     KernelVersion,
+    SourceFunction,
     expected_metrics,
     scaled_metrics,
 )
-from repro.kernelsrc.scanner import LockUsage, scan_source, scan_tree
+from repro.kernelsrc.scanner import LockUsage, _strip_comments, scan_source, scan_tree
 
 
 def test_release_axis():
@@ -130,3 +136,103 @@ def test_tree_paths_cover_subsystems():
     directories = {path.rsplit("/", 1)[0] for path in tree}
     assert "fs" in directories
     assert any(d.startswith("drivers") for d in directories)
+
+
+def test_comment_openers_inside_strings_are_literal():
+    # Regression: a "/*" inside a string literal used to open a block
+    # comment and swallow every following line of the file.
+    usage = LockUsage()
+    scan_source(
+        "\n".join(
+            [
+                'const char *s = "/* not a comment";',
+                "spin_lock_init(&a);",
+                'pr_info("see https://example.org//x"); mutex_init(&b);',
+                "rcu_read_lock();",
+            ]
+        ),
+        usage,
+    )
+    assert usage.spinlock == 1
+    assert usage.mutex == 1
+    assert usage.rcu == 1
+
+
+def test_strip_comments_handles_literals_and_escapes():
+    code, in_block = _strip_comments('s = "/*"; spin_lock_init(&a);', False)
+    assert not in_block and "spin_lock_init" in code
+    code, in_block = _strip_comments(r'p = "\"/*"; mutex_init(&b);', False)
+    assert not in_block and "mutex_init" in code
+    code, in_block = _strip_comments("char c = '\"'; rcu_read_lock();", False)
+    assert not in_block and "rcu_read_lock" in code
+    # real comments still work after a literal
+    code, in_block = _strip_comments('x = "*/"; /* tail', False)
+    assert in_block and '"*/"' in code
+    # unterminated literal runs to end of line without crashing
+    code, in_block = _strip_comments('broken = "no close', False)
+    assert not in_block and code == 'broken = "no close'
+
+
+def test_generate_tree_deterministic_across_processes():
+    # Byte-identical output under different hash seeds: nothing in the
+    # generator (or the metric wobble) may depend on PYTHONHASHSEED.
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    script = (
+        "import hashlib, json;"
+        "from repro.kernelsrc.generator import generate_tree;"
+        "from repro.kernelsrc.model import KernelVersion;"
+        "tree = generate_tree(KernelVersion(4, 10));"
+        "blob = json.dumps(sorted(tree.items()));"
+        "print(hashlib.sha256(blob.encode()).hexdigest())"
+    )
+    digests = set()
+    for hash_seed in ("1", "2"):
+        env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        digests.add(proc.stdout.strip())
+    assert len(digests) == 1
+
+
+def test_subsystem_corpus_does_not_move_fig1_counts():
+    # The call-graph corpus is a separate tree: generating it must not
+    # perturb the Fig. 1 counts of the release corpus.
+    version = KernelVersion(3, 0)
+    before = scan_tree(generate_tree(version)).as_dict()
+    from repro.staticcheck.plan import build_corpus_plan
+
+    plan = build_corpus_plan()
+    subsystem = generate_subsystem_tree(plan.functions)
+    assert subsystem
+    assert not set(subsystem) & set(generate_tree(version))
+    after = scan_tree(generate_tree(version)).as_dict()
+    assert before == after
+    targets = scaled_metrics(version)
+    assert after["spinlock"] == targets["spinlock"]
+    assert after["mutex"] == targets["mutex"]
+    assert after["rcu"] == targets["rcu"]
+
+
+def test_subsystem_tree_is_deterministic_and_renders_decls():
+    from repro.staticcheck.plan import build_corpus_plan
+
+    first = generate_subsystem_tree(build_corpus_plan().functions)
+    second = generate_subsystem_tree(build_corpus_plan().functions)
+    assert first == second
+    content = first["fs/vfs_inode_paths.c"]
+    assert content.startswith("// SPDX-License-Identifier: GPL-2.0")
+    # forward declarations precede every definition
+    assert content.index("static void inode_set_i_flags_raw(struct inode *inode);") < (
+        content.index("static void inode_set_i_flags_raw(struct inode *inode)\n")
+    )
+
+
+def test_render_function_paramless():
+    from repro.kernelsrc.generator import render_function
+
+    text = render_function(
+        SourceFunction(name="noop", file="fs/x.c", body=("return;",))
+    )
+    assert "static void noop(void)" in text
