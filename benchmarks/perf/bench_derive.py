@@ -23,11 +23,11 @@ this benchmark's subject).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Callable, Dict, Tuple
 
+from repro.atomicio import atomic_write_json
 from repro.core.derivator import DerivationResult, Derivator
 from repro.core.observations import ObservationTable
 from repro.db.database import TraceDatabase
@@ -183,9 +183,7 @@ def main(argv=None) -> int:
             f"speedup={record['speedup_vs_serial']}x"
         )
 
-    with open(args.out, "w") as fp:
-        json.dump(report, fp, indent=2, sort_keys=True)
-        fp.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
     if not ok:
         print(

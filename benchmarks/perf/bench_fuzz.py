@@ -16,9 +16,10 @@ acceptance-floor growth over the mix baseline is not met.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
+
+from repro.atomicio import atomic_write_json
 
 from repro.fuzz.orchestrator import (
     FuzzConfig,
@@ -96,9 +97,7 @@ def main(argv=None) -> int:
         else None,
         "replay_identical": replay.identical,
     }
-    with open(args.out, "w") as fp:
-        json.dump(report, fp, indent=2, sort_keys=True)
-        fp.write("\n")
+    atomic_write_json(args.out, report)
     if args.corpus_out:
         corpus.save(args.corpus_out)
         print(f"wrote {args.corpus_out}")

@@ -30,6 +30,8 @@ import json
 import sys
 import time
 
+from repro.atomicio import atomic_write_json
+
 #: Bump on any change to the JSON layout.
 SCHEMA = "lockdoc-bench-static/1"
 
@@ -195,9 +197,7 @@ def main(argv=None) -> int:
             "failures": failures,
         },
     }
-    with open(args.out, "w") as fp:
-        json.dump(report, fp, indent=2, sort_keys=True)
-        fp.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
     if failures:
         for failure in failures:

@@ -34,7 +34,7 @@ import argparse
 import gc
 import hashlib
 import io
-import json
+
 import os
 import subprocess
 import sys
@@ -44,6 +44,7 @@ import tracemalloc
 from typing import Callable, Tuple
 
 import repro.kernel  # noqa: F401  (must initialize before repro.tracing)
+from repro.atomicio import atomic_write_json
 
 #: Bump on any change to the JSON layout.
 SCHEMA = "lockdoc-bench-trace/1"
@@ -286,9 +287,7 @@ def main(argv=None) -> int:
             "failures": failures,
         },
     }
-    with open(args.out, "w") as fp:
-        json.dump(report, fp, indent=2, sort_keys=True)
-        fp.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
     if failures:
         for failure in failures:

@@ -1,0 +1,63 @@
+"""Crash-safe file emission: atomic tmp-file + rename.
+
+Every persistent artifact this repo emits — cache entries, fuzz
+corpora, ``BENCH_*.json`` reports — goes through the same contract: the
+payload is written to a temporary file in the destination directory and
+published with :func:`os.replace`.  A process killed mid-write can
+therefore never leave a torn file under the final name: readers see
+either the complete old content or the complete new content, never a
+prefix.
+
+The temporary file is created with :func:`tempfile.mkstemp` in the
+*destination* directory (rename is only atomic within one filesystem)
+and unlinked on any failure, so crashes leak at most an
+``.tmp``-suffixed orphan, never a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically publish *data* at *path* (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(data)
+            fp.flush()
+            try:
+                os.fsync(fp.fileno())
+            except OSError:
+                # Durability is best-effort (some filesystems refuse
+                # fsync); atomicity comes from the rename either way.
+                pass
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically publish *text* (UTF-8) at *path*."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, obj, *, indent: int = 2) -> None:
+    """Atomically publish *obj* as sorted, indented JSON at *path*."""
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=True) + "\n"
+    )

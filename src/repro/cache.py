@@ -41,11 +41,11 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import repro.kernel  # noqa: F401  (must initialize before repro.tracing)
+from repro.atomicio import atomic_write_bytes
 from repro.tracing.serialize import (
     FORMAT_VERSION,
     dumps_events_binary,
@@ -155,18 +155,27 @@ def _artifact_path(workload: str, seed: int, scale: float, name: str) -> Path:
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+    atomic_write_bytes(path, data)
+
+
+#: Suffix appended to cache files the recovery sweep (or a failed read)
+#: set aside: none of the lookup globs match it, so a quarantined entry
+#: can never be served again, but it stays on disk for post-mortems.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def quarantine_file(path: Path) -> Optional[Path]:
+    """Move a torn/corrupt cache file out of service (best-effort).
+
+    Returns the quarantine path, or None when the file vanished first
+    (a concurrent sweeper or ``cache clear`` got there before us).
+    """
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
     try:
-        with os.fdopen(fd, "wb") as fp:
-            fp.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +240,11 @@ class CachedRun:
     * any other attribute (``world``, ``scheduler``, ...) falls back to
       a live re-run of the workload — deterministic, so the fallback is
       observably identical to a cache miss, just slower.
+
+    A cached trace that turns out to be torn or corrupt (truncated by a
+    killed writer, vanished under a concurrent ``cache clear``) is
+    **quarantined** and the run degrades to the same live re-run — a
+    damaged cache can slow a request down but never change its answer.
     """
 
     def __init__(self, workload: str, seed: int, scale: float, path: Path) -> None:
@@ -241,11 +255,30 @@ class CachedRun:
         self._tracer: Optional[ReplayTracer] = None
         self._live = None
 
+    def _live_run(self):
+        if self._live is None:
+            from repro.workloads import registry
+
+            self._live = registry.run(
+                self.workload, seed=self.seed, scale=self.scale
+            )
+        return self._live
+
+    def _entry_corrupt(self, exc: Exception):
+        """Quarantine the damaged entry; all reads go live from now on."""
+        quarantine_file(self.path)
+        return self._live_run()
+
     @property
     def tracer(self) -> ReplayTracer:
         if self._tracer is None:
-            with open(self.path, "rb") as fp:
-                events, stacks = load_binary(fp)
+            if self._live is not None:
+                return self._live.tracer
+            try:
+                with open(self.path, "rb") as fp:
+                    events, stacks = load_binary(fp)
+            except Exception as exc:  # torn entry: degrade to a live run
+                return self._entry_corrupt(exc).tracer
             self._tracer = ReplayTracer(events, stacks)
         return self._tracer
 
@@ -260,22 +293,24 @@ class CachedRun:
         if self._tracer is not None:
             # Already materialized — no point re-reading the file.
             return importer.run(self._tracer.events, self._tracer._stacks)
-        with open(self.path, "rb") as fp:
-            stream = open_binary_stream(fp)
-            return importer.run(stream.events, stream.stacks)
+        if self._live is not None:
+            return self._live.to_database()
+        try:
+            with open(self.path, "rb") as fp:
+                stream = open_binary_stream(fp)
+                return importer.run(stream.events, stream.stacks)
+        except Exception as exc:
+            # The stream can fail mid-import (truncated tail), leaving
+            # the importer partially filled — discard it and rebuild
+            # from a live run.
+            return self._entry_corrupt(exc).to_database()
 
     def __getattr__(self, name: str):
         # Anything beyond the trace (e.g. tab3's ``.world``) needs the
         # simulation itself; re-run it once, lazily.
         if name.startswith("_"):
             raise AttributeError(name)
-        if self._live is None:
-            from repro.workloads import registry
-
-            self._live = registry.run(
-                self.workload, seed=self.seed, scale=self.scale
-            )
-        return getattr(self._live, name)
+        return getattr(self._live_run(), name)
 
 
 # ----------------------------------------------------------------------
@@ -356,7 +391,14 @@ def store_artifact(workload: str, seed: int, scale: float, name: str, obj) -> No
 # ----------------------------------------------------------------------
 
 def entries() -> List[Dict]:
-    """Metadata of every cached trace, plus its artifact footprint."""
+    """Metadata of every cached trace, plus its artifact footprint.
+
+    Concurrency contract: the cache directory is shared with writers,
+    the daemon's recovery sweep and ``cache clear`` — any file may
+    vanish between listing and stat.  Vanished files are skipped, never
+    raised: a listing taken during churn is a consistent snapshot of
+    whatever survived it.
+    """
     directory = cache_dir()
     if not directory.is_dir():
         return []
@@ -367,21 +409,37 @@ def entries() -> List[Dict]:
             meta = json.loads(meta_file.read_text())
         except (OSError, ValueError):
             continue
-        artifacts = list(directory.glob(f"{key}.*.pkl"))
+        artifacts = 0
+        artifact_bytes = 0
+        for path in directory.glob(f"{key}.*.pkl"):
+            try:
+                artifact_bytes += path.stat().st_size
+            except OSError:
+                continue  # deleted/quarantined mid-iteration
+            artifacts += 1
         meta["key"] = key
-        meta["artifacts"] = len(artifacts)
-        meta["artifact_bytes"] = sum(p.stat().st_size for p in artifacts)
+        meta["artifacts"] = artifacts
+        meta["artifact_bytes"] = artifact_bytes
         found.append(meta)
     return found
 
 
 def clear() -> int:
-    """Delete every cache file; returns the number removed."""
+    """Delete every cache file; returns the number removed.
+
+    Tolerates a concurrent writer/sweeper the same way
+    :func:`entries` does: files that vanish mid-iteration are simply
+    not counted.
+    """
     directory = cache_dir()
     if not directory.is_dir():
         return 0
     removed = 0
-    for pattern in ("*.trace.bin", "*.meta.json", "*.pkl"):
+    patterns = (
+        "*.trace.bin", "*.meta.json", "*.pkl",
+        f"*{QUARANTINE_SUFFIX}", "*.tmp",
+    )
+    for pattern in patterns:
         for path in directory.glob(pattern):
             try:
                 path.unlink()

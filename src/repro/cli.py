@@ -22,7 +22,15 @@ Commands mirror the paper's pipeline and analysis tools:
 ``fuzz``       coverage-guided workload fuzzing (run/replay/corpus/report)
 ``cache``      inspect/manage the on-disk trace cache (ls/clear/path)
 ``staticcheck`` static call-graph lock-context checker (run/report)
+``serve``      always-on analysis daemon (run/status/stop)
 =============  =====================================================
+
+``derive``/``check``/``violations``/``races``/``health`` also take
+``--remote``: the request is sent to a running analysis daemon
+(:mod:`repro.serve`), which owns a shared warm cache and coalesces
+duplicate in-flight work.  Output is byte-identical to local mode;
+when the daemon is unreachable the client prints a one-line
+``degraded:`` notice on stderr and computes locally.
 
 Trace-producing subcommands take ``--workload``, resolved through the
 central :mod:`repro.workloads.registry` — built-ins (``mix``,
@@ -42,10 +50,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.checker import check_rules, summarize as summarize_checks
 from repro.core.docgen import DocOptions, generate_doc
 from repro.core.report import render_table
-from repro.core.violations import ViolationFinder, summarize as summarize_violations
+from repro.core.violations import ViolationFinder
 from repro.doc.corpus import documented_rules
 from repro.experiments import common as experiments_common
 
@@ -76,6 +83,15 @@ def _add_pipeline_args(
     )
 
 
+def _add_remote_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote", action="store_true",
+        help="send this request to the analysis daemon (`lockdoc serve "
+        "run`); output is identical to local mode; falls back to local "
+        "computation with a `degraded:` stderr notice when unreachable",
+    )
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -100,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     derive = sub.add_parser("derive", help="derive locking rules")
     _add_pipeline_args(derive)
     _add_jobs_arg(derive)
+    _add_remote_arg(derive)
     derive.add_argument("--type", default="", help="restrict to one type key")
     derive.add_argument(
         "--threshold", type=float, default=0.9, help="accept threshold t_ac"
@@ -112,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="check documented rules (Tab. 4)")
     _add_pipeline_args(check)
     _add_jobs_arg(check)
+    _add_remote_arg(check)
 
     docgen = sub.add_parser("docgen", help="generate documentation (Fig. 8)")
     _add_pipeline_args(docgen)
@@ -120,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     violations = sub.add_parser("violations", help="find rule violations (Tab. 7)")
     _add_pipeline_args(violations)
     _add_jobs_arg(violations)
+    _add_remote_arg(violations)
     violations.add_argument(
         "--examples", type=int, default=0, help="also print the N largest violations"
     )
@@ -149,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_args(races, workload_default="racer")
     _add_jobs_arg(races)
+    _add_remote_arg(races)
     races.add_argument(
         "--examples", type=int, default=0,
         help="print details for the first N findings (default: racy only)",
@@ -194,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--diagnostics", type=int, default=10,
         help="how many parse diagnostics to print",
     )
+    _add_remote_arg(health)
 
     corrupt = sub.add_parser(
         "corrupt", help="apply a seeded fault plan to a saved trace"
@@ -313,6 +334,75 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("clear", help="delete every cache entry")
     cache_sub.add_parser("path", help="print the cache directory")
 
+    serve = sub.add_parser(
+        "serve", help="always-on analysis daemon (run/status/stop)"
+    )
+    serve_sub = serve.add_subparsers(dest="action", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="serve in the foreground until signalled"
+    )
+    serve_run.add_argument(
+        "--socket", default="", metavar="PATH",
+        help="unix socket path (default: <cache dir>/serve/serve.sock)",
+    )
+    serve_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="max concurrent worker processes",
+    )
+    serve_run.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission limit before load shedding (RETRY_AFTER)",
+    )
+    serve_run.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="per-client token-bucket refill rate (requests/second)",
+    )
+    serve_run.add_argument(
+        "--burst", type=float, default=None, metavar="B",
+        help="per-client token-bucket burst capacity",
+    )
+    serve_run.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="default per-request deadline in seconds",
+    )
+    serve_run.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="bounded re-executions after a worker crash",
+    )
+    serve_run.add_argument(
+        "--chaos", default="", metavar="SPEC",
+        help="fault-injection drill inside workers: name[:param],... "
+        "(crash, stall, stall-sometimes; see repro.faults.daemon)",
+    )
+    serve_run.add_argument("--chaos-seed", type=int, default=0)
+    serve_run.add_argument(
+        "--log", default="", metavar="FILE",
+        help="structured JSON-lines log "
+        "(default: <cache dir>/serve/serve.log.jsonl)",
+    )
+    serve_run.add_argument(
+        "--no-sweep", action="store_true",
+        help="skip the startup recovery sweep of the cache",
+    )
+
+    serve_status = serve_sub.add_parser(
+        "status", help="ask a running daemon for its counters"
+    )
+    serve_status.add_argument("--socket", default="", metavar="PATH")
+    serve_status.add_argument(
+        "--json", action="store_true", help="print the raw status object"
+    )
+
+    serve_stop = serve_sub.add_parser(
+        "stop", help="stop a running daemon (graceful, then SIGTERM)"
+    )
+    serve_stop.add_argument("--socket", default="", metavar="PATH")
+    serve_stop.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds to wait for the daemon to exit",
+    )
+
     return parser
 
 
@@ -337,43 +427,61 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_derive(args) -> int:
-    pipeline = _pipeline(args)
-    derivation = pipeline.derive(args.threshold)
-    if args.json:
-        from repro.core.rulesio import rules_to_json
+def _pipeline_params(args) -> dict:
+    return {"workload": args.workload, "seed": args.seed, "scale": args.scale}
 
-        with open(args.json, "w") as fp:
-            fp.write(rules_to_json(derivation))
-        print(f"wrote rule export to {args.json}")
-    rows = []
-    for d in derivation.all():
-        if args.type and d.type_key != args.type:
-            continue
-        rows.append(
-            [d.type_key, d.member, d.access_type, d.rule.format(),
-             f"{d.winner.s_r:.2%}", d.observation_count]
+
+def _execute_op(args, op: str, params: dict) -> dict:
+    """Run one :mod:`repro.serve.ops` operation, locally by default.
+
+    With ``--remote`` the request goes to the analysis daemon; an
+    unreachable daemon degrades to local computation (flagged on
+    stderr), and a classified remote error surfaces through the
+    standard ``error:``/exit-2 contract.  Both paths execute the same
+    runner, so the printed result is identical either way.
+    """
+    from repro.serve import ops
+
+    if not getattr(args, "remote", False):
+        return ops.execute(op, params)
+    if getattr(args, "no_cache", False):
+        raise ValueError(
+            "--remote cannot be combined with --no-cache "
+            "(the daemon owns the shared cache)"
         )
-    print(render_table(
-        ["type", "member", "r/w", "winning rule", "s_r", "n"], rows,
-        title=f"derived locking rules (t_ac={args.threshold})",
-    ))
-    return 0
+    from repro.serve.client import DaemonUnreachable, RemoteClient, RemoteError
+
+    try:
+        return RemoteClient().request(op, params).result
+    except DaemonUnreachable as exc:
+        print(f"degraded: {exc}; computing locally", file=sys.stderr)
+        return ops.execute(op, params)
+    except RemoteError as exc:
+        raise ValueError(f"remote {exc.kind}: {exc.message}") from None
+
+
+def _cmd_derive(args) -> int:
+    params = {
+        **_pipeline_params(args),
+        "threshold": args.threshold,
+        "type": args.type,
+        "jobs": args.jobs,
+        "want_rules_json": bool(args.json),
+    }
+    result = _execute_op(args, "derive", params)
+    if args.json:
+        with open(args.json, "w") as fp:
+            fp.write(result["rules_json"])
+        print(f"wrote rule export to {args.json}")
+    print(result["text"])
+    return result["exit_code"]
 
 
 def _cmd_check(args) -> int:
-    pipeline = _pipeline(args)
-    results = check_rules(pipeline.table, documented_rules())
-    rows = [
-        [s.data_type, s.rules, s.unobserved, s.observed, s.correct,
-         s.ambivalent, s.incorrect]
-        for s in summarize_checks(results)
-    ]
-    print(render_table(
-        ["type", "#R", "#No", "#Ob", "correct", "ambivalent", "incorrect"],
-        rows, title="documented-rule check (Tab. 4)",
-    ))
-    return 0
+    params = {**_pipeline_params(args), "jobs": args.jobs}
+    result = _execute_op(args, "check", params)
+    print(result["text"])
+    return result["exit_code"]
 
 
 def _cmd_docgen(args) -> int:
@@ -384,20 +492,14 @@ def _cmd_docgen(args) -> int:
 
 
 def _cmd_violations(args) -> int:
-    pipeline = _pipeline(args)
-    derivation = pipeline.derive()
-    violations = ViolationFinder(derivation, pipeline.table).find()
-    rows = [
-        [s.type_key, s.events, s.members, s.contexts]
-        for s in summarize_violations(violations)
-    ]
-    print(render_table(
-        ["type", "events", "members", "contexts"], rows,
-        title="locking-rule violations (Tab. 7)",
-    ))
-    for violation in violations[: args.examples]:
-        print(violation.format())
-    return 0
+    params = {
+        **_pipeline_params(args),
+        "examples": args.examples,
+        "jobs": args.jobs,
+    }
+    result = _execute_op(args, "violations", params)
+    print(result["text"])
+    return result["exit_code"]
 
 
 def _cmd_experiment(args) -> int:
@@ -464,24 +566,15 @@ def _cmd_lockorder(args) -> int:
 
 
 def _cmd_races(args) -> int:
-    from repro.analysis import detect_races
-
-    if args.workload == "mix":
-        pipeline = _pipeline(args)
-        events = pipeline.mix.tracer.events
-        db = pipeline.db
-        derivation = pipeline.derive(args.threshold)
-    else:
-        from repro.workloads.racer import run_racer
-
-        result = run_racer(
-            seed=args.seed, scale=args.scale, racy=args.workload == "racer"
-        )
-        events = result.tracer.events
-        db = result.to_database()
-        derivation = result.derive(args.threshold, jobs=args.jobs)
-    print(detect_races(events, db, derivation).render(examples=args.examples))
-    return 0
+    params = {
+        **_pipeline_params(args),
+        "threshold": args.threshold,
+        "examples": args.examples,
+        "jobs": args.jobs,
+    }
+    result = _execute_op(args, "races", params)
+    print(result["text"])
+    return result["exit_code"]
 
 
 def _cmd_docpatch(args) -> int:
@@ -523,28 +616,23 @@ def _cmd_sql(args) -> int:
     return 0
 
 
-def _registry_for(name: str):
-    """(StructRegistry, FilterConfig) for a --registry choice."""
-    from repro.workloads.registry import database_inputs
-
-    return database_inputs("racer" if name == "racer" else "vfs")
-
-
 def _cmd_health(args) -> int:
     import os
 
-    from repro.db.health import ingest_path, render_diagnostics
-    from repro.db.importer import ImportPolicy
-
-    if os.path.getsize(args.trace) == 0:
-        raise ValueError(f"empty trace file {args.trace!r}")
-    structs, filters = _registry_for(args.registry)
-    policy = ImportPolicy(lenient=True, max_malformed_fraction=args.budget)
-    db, health, report = ingest_path(args.trace, structs, filters, policy)
-    if report.diagnostics:
-        print(render_diagnostics(report.diagnostics, limit=args.diagnostics))
-    print(health.render())
-    return 1 if health.budget_exceeded else 0
+    trace = args.trace
+    if getattr(args, "remote", False):
+        # The daemon runs in its own cwd: a relative path must be
+        # resolved on the client side to name the same file.
+        trace = os.path.abspath(trace)
+    params = {
+        "trace": trace,
+        "registry": args.registry,
+        "budget": args.budget,
+        "diagnostics": args.diagnostics,
+    }
+    result = _execute_op(args, "health", params)
+    print(result["text"])
+    return result["exit_code"]
 
 
 def _cmd_corrupt(args) -> int:
@@ -741,6 +829,63 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import daemon as serve_daemon
+
+    if args.action == "run":
+        import os
+
+        config = serve_daemon.build_config(
+            socket_path=args.socket or None,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            bucket_rate=args.rate,
+            bucket_burst=args.burst,
+            default_deadline=args.deadline,
+            max_retries=args.max_retries,
+            chaos_spec=args.chaos or None,
+            chaos_seed=args.chaos_seed,
+            log_path=args.log or None,
+            skip_sweep=args.no_sweep,
+        )
+        print(f"serving on {config.socket_path} (pid {os.getpid()})", flush=True)
+        return serve_daemon.run(config)
+
+    if args.action == "status":
+        payload = serve_daemon.status(args.socket or None)
+        if args.json:
+            import json
+
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif payload["running"]:
+            counters = payload.get("counters", {})
+            print(f"running: pid {payload.get('pid')} on {payload['socket']}")
+            print(
+                f"uptime {payload.get('uptime_s', 0):.0f}s, "
+                f"workers {payload.get('workers')}, "
+                f"active {payload.get('active')}, "
+                f"requests {counters.get('received', 0)} "
+                f"(ok {counters.get('ok', 0)}, "
+                f"coalesced {counters.get('coalesced', 0)}, "
+                f"shed {counters.get('shed', 0)})"
+            )
+        else:
+            print(f"not running (socket {payload['socket']})")
+            if payload.get("note"):
+                print(payload["note"])
+        return 0 if payload["running"] else 2
+
+    # stop
+    if serve_daemon.stop(args.socket or None, timeout=args.timeout):
+        print("daemon stopped")
+        return 0
+    print(
+        "error: no daemon stopped (not running, or it did not exit in time)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 _HANDLERS = {
     "trace": _cmd_trace,
     "derive": _cmd_derive,
@@ -761,7 +906,16 @@ _HANDLERS = {
     "fuzz": _cmd_fuzz,
     "cache": _cmd_cache,
     "staticcheck": _cmd_staticcheck,
+    "serve": _cmd_serve,
 }
+
+
+class _Terminated(Exception):
+    """SIGTERM arrived: unwind for a clean exit (code 143)."""
+
+
+def _raise_terminated(signum, frame):
+    raise _Terminated()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -770,6 +924,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     Input problems (missing/empty/malformed trace files, bad fault
     specs, exceeded error budgets in strict paths) surface as a
     one-line ``error: ...`` on stderr and exit status 2 — never as a
+    traceback.  Long-running subcommands (fuzz, experiment,
+    staticcheck, serve) interrupted by SIGINT/SIGTERM exit with the
+    conventional codes 130/143 and a one-line message, also without a
     traceback.
     """
     args = _build_parser().parse_args(argv)
@@ -784,11 +941,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro import cache
 
         cache.set_enabled(False)
+    import signal as signal_mod
+
+    previous_sigterm = None
+    try:
+        # Only the main thread may install handlers; in-process callers
+        # (tests, embedding) from other threads keep their own.
+        previous_sigterm = signal_mod.signal(
+            signal_mod.SIGTERM, _raise_terminated
+        )
+    except ValueError:
+        pass
     try:
         return _HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted (SIGINT)", file=sys.stderr)
+        return 130
+    except _Terminated:
+        print("terminated (SIGTERM)", file=sys.stderr)
+        return 143
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous_sigterm is not None:
+            try:
+                signal_mod.signal(signal_mod.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
 
 
 if __name__ == "__main__":

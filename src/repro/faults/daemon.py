@@ -1,0 +1,130 @@
+"""Daemon-level fault operators (chaos injection for ``repro.serve``).
+
+The trace-level operators in :mod:`repro.faults.operators` corrupt
+*data*; these corrupt the *service*: a worker process that dies
+mid-computation, a worker that stalls past its deadline.  They run
+**inside** the worker, armed by the server's ``--chaos`` spec, so the
+chaos harness exercises exactly the production failure paths (pipe EOF
+→ crashed-worker classification, deadline expiry → worker kill).
+
+Determinism mirrors :class:`repro.faults.plan.FaultPlan`: every
+decision draws from ``random.Random(f"{seed}/{key}/{attempt}")`` — the
+request's content-addressed key plus the re-execution attempt — so a
+gauntlet failure replays exactly, and a crash-on-first-attempt can be
+configured to succeed on the bounded retry (rates < 1) or to exhaust
+it (rate = 1).
+
+Spec syntax (the ``corrupt --ops`` convention)::
+
+    crash:0.5,stall:2.0     # die with p=.5, then sleep 2 s if alive
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Exit code of a chaos-crashed worker (distinguishable from signals).
+CHAOS_EXIT = 70
+
+
+@dataclass(frozen=True)
+class ChaosOp:
+    """One daemon-level fault: ``kind`` with a numeric parameter."""
+
+    kind: str  # "crash" | "stall" | "stall-sometimes"
+    param: float
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.param})"
+
+
+_KNOWN: Dict[str, Callable[[Optional[float]], ChaosOp]] = {
+    # Die instantly with probability p (default 0.5).
+    "crash": lambda p: ChaosOp("crash", p if p is not None else 0.5),
+    # Always sleep s seconds before computing (default 2.0).
+    "stall": lambda p: ChaosOp("stall", p if p is not None else 2.0),
+    # Sleep s seconds with probability 0.5 (slow-request injection
+    # that leaves the other half of requests fast).
+    "stall-sometimes": lambda p: ChaosOp(
+        "stall-sometimes", p if p is not None else 2.0
+    ),
+}
+
+
+def operator_names() -> List[str]:
+    return sorted(_KNOWN)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, ordered composition of daemon-level faults."""
+
+    operators: Tuple[ChaosOp, ...]
+    seed: int = 0
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "ChaosPlan":
+        operators: List[ChaosOp] = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, _, raw = token.partition(":")
+            factory = _KNOWN.get(name)
+            if factory is None:
+                known = ", ".join(operator_names())
+                raise ValueError(
+                    f"unknown chaos operator {name!r} (known: {known})"
+                )
+            param: Optional[float] = None
+            if raw:
+                try:
+                    param = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"bad parameter {raw!r} for chaos operator {name!r}"
+                    ) from None
+            operators.append(factory(param))
+        if not operators:
+            raise ValueError(f"empty chaos spec {spec!r}")
+        return cls(tuple(operators), seed=seed)
+
+    def describe(self) -> str:
+        chain = " -> ".join(op.describe() for op in self.operators)
+        return f"{chain} @seed={self.seed}"
+
+    # ------------------------------------------------------------------
+    # Injection (runs inside the worker process)
+    # ------------------------------------------------------------------
+
+    def decisions(self, key: str, attempt: int) -> Sequence[Tuple[str, float]]:
+        """The (action, param) sequence this (key, attempt) will take —
+        pure, so tests and the harness can predict worker fate."""
+        rng = random.Random(f"{self.seed}/{key}/{attempt}")
+        taken: List[Tuple[str, float]] = []
+        for op in self.operators:
+            if op.kind == "crash":
+                if rng.random() < op.param:
+                    taken.append(("crash", op.param))
+                    break  # nothing executes after death
+            elif op.kind == "stall":
+                taken.append(("stall", op.param))
+            elif op.kind == "stall-sometimes":
+                if rng.random() < 0.5:
+                    taken.append(("stall", op.param))
+        return taken
+
+    def inject(self, key: str, attempt: int) -> None:
+        """Apply this plan inside the current (worker) process."""
+        for action, param in self.decisions(key, attempt):
+            if action == "crash":
+                # A real crash: no cleanup, no exception propagation —
+                # the parent sees pipe EOF + a dead process, exactly
+                # like a segfault or an OOM kill.
+                os._exit(CHAOS_EXIT)
+            elif action == "stall":
+                time.sleep(param)

@@ -195,9 +195,12 @@ class Corpus:
         }
 
     def save(self, path: str) -> None:
-        with open(path, "w") as fp:
-            json.dump(self.to_dict(), fp, indent=1, sort_keys=True)
-            fp.write("\n")
+        # Atomic (tmp + rename): a fuzzing campaign killed mid-save can
+        # never leave a torn corpus under the final name.
+        from repro.atomicio import atomic_write_text
+
+        text = json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+        atomic_write_text(path, text)
 
     @classmethod
     def from_dict(cls, data: dict) -> "Corpus":

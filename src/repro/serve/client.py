@@ -1,0 +1,191 @@
+"""Synchronous daemon client with fault-tolerant retry behaviour.
+
+Used by the CLI's ``--remote`` mode.  Transport is one request per
+connection over the daemon's unix socket.  The client owns the retry
+policy:
+
+* transport failures (daemon not running, connection reset, socket
+  timeout) retry under **exponential backoff with jitter**; when every
+  attempt fails, :class:`DaemonUnreachable` is raised and the caller
+  degrades to local computation (explicitly flagged);
+* ``RETRY_AFTER`` / ``SHUTTING_DOWN`` replies retry after
+  ``max(server hint, backoff)`` — the server's hint always wins over
+  an eager client;
+* every other classified error (``BAD_REQUEST``, ``DEADLINE``,
+  ``WORKER_CRASH``, ``INTERNAL``) is **not** retried — the server
+  already performed bounded re-execution for crashes, and re-sending a
+  bad request cannot fix it — and surfaces as :class:`RemoteError`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.serve import paths
+from repro.serve.protocol import (
+    MAX_LINE,
+    ProtocolError,
+    Request,
+    Response,
+    RETRYABLE_KINDS,
+)
+
+
+class DaemonUnreachable(ConnectionError):
+    """The daemon could not be reached after every retry."""
+
+
+class RemoteError(RuntimeError):
+    """The daemon answered with a classified, non-retryable error."""
+
+    def __init__(self, kind: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.message = message
+        self.retry_after = retry_after
+
+
+class RemoteClient:
+    """One client identity talking to one daemon socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[Union[str, Path]] = None,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        client_id: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.socket_path = Path(socket_path) if socket_path else paths.socket_path()
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.client_id = client_id or f"cli-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call_once(self, request: Request) -> Response:
+        io_timeout = self.connect_timeout
+        if request.deadline is not None:
+            # The socket read must outlive the server-side deadline, or
+            # a slow-but-in-budget request would be misread as a
+            # transport failure.
+            io_timeout = max(io_timeout, request.deadline + 5.0)
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.connect_timeout)
+            sock.connect(str(self.socket_path))
+            sock.settimeout(io_timeout)
+            sock.sendall(request.to_wire())
+            chunks = []
+            total = 0
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                total += len(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+                if total > MAX_LINE * 4:
+                    raise ProtocolError("oversized response")
+        line = b"".join(chunks)
+        if not line:
+            raise ConnectionError("daemon closed the connection without a reply")
+        return Response.from_wire(line)
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return delay * (0.5 + self._rng.random())  # jitter in [0.5, 1.5)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> Response:
+        """Send one operation; returns the ``ok`` response.
+
+        Raises :class:`RemoteError` on a classified failure and
+        :class:`DaemonUnreachable` when the daemon never answered.
+        """
+        req = Request(
+            op=op,
+            params=params or {},
+            request_id=uuid.uuid4().hex[:12],
+            client=self.client_id,
+            deadline=deadline,
+        )
+        transport_error: Optional[Exception] = None
+        last_retryable: Optional[RemoteError] = None
+        for attempt in range(self.attempts):
+            try:
+                response = self._call_once(req)
+            except ProtocolError:
+                raise
+            except (ConnectionError, FileNotFoundError, socket.timeout,
+                    OSError) as exc:
+                transport_error = exc
+                if attempt + 1 < self.attempts:
+                    self._sleep(self._backoff(attempt))
+                continue
+            if response.status == "ok":
+                return response
+            kind = response.error_kind or "INTERNAL"
+            if kind in RETRYABLE_KINDS and attempt + 1 < self.attempts:
+                last_retryable = RemoteError(
+                    kind, response.error_message, response.retry_after
+                )
+                hint = response.retry_after or 0.0
+                self._sleep(max(hint, self._backoff(attempt)))
+                continue
+            raise RemoteError(kind, response.error_message, response.retry_after)
+        if transport_error is not None:
+            raise DaemonUnreachable(
+                f"analysis daemon unreachable at {self.socket_path} "
+                f"after {self.attempts} attempts ({transport_error})"
+            )
+        assert last_retryable is not None
+        raise last_retryable
+
+    def ping(self) -> bool:
+        """True when a daemon answers on the socket (no retries)."""
+        try:
+            probe = RemoteClient(
+                self.socket_path, attempts=1, client_id=self.client_id,
+                connect_timeout=self.connect_timeout,
+            )
+            return probe.request("ping").result == {"pong": True}
+        except (DaemonUnreachable, RemoteError, ProtocolError):
+            return False
+
+    def status(self) -> Dict[str, Any]:
+        response = self.request("status")
+        return response.result or {}
+
+    def shutdown(self) -> bool:
+        try:
+            response = self.request("shutdown")
+        except (DaemonUnreachable, RemoteError):
+            return False
+        return bool(response.result and response.result.get("stopping"))

@@ -1,0 +1,170 @@
+"""Daemon lifecycle management for ``repro serve run/status/stop``.
+
+``run`` serves in the foreground (supervisors and the test harness
+background it themselves); ``status`` asks a live daemon for its
+counters and falls back to pidfile forensics; ``stop`` prefers a
+graceful in-protocol shutdown and escalates to SIGTERM via the pidfile
+only when the socket no longer answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.serve import paths
+from repro.serve.client import DaemonUnreachable, RemoteClient, RemoteError
+from repro.serve.server import ServerConfig, serve_forever
+
+
+def build_config(
+    socket_path: Optional[str] = None,
+    workers: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    bucket_rate: Optional[float] = None,
+    bucket_burst: Optional[float] = None,
+    default_deadline: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    chaos_spec: Optional[str] = None,
+    chaos_seed: int = 0,
+    log_path: Optional[str] = None,
+    skip_sweep: bool = False,
+) -> ServerConfig:
+    """Assemble a :class:`ServerConfig` from CLI args + runtime defaults."""
+    config = ServerConfig(
+        socket_path=Path(socket_path) if socket_path else paths.socket_path(),
+        pidfile=paths.pidfile_path(),
+        log_path=Path(log_path) if log_path else paths.log_path(),
+        chaos_spec=chaos_spec,
+        chaos_seed=chaos_seed,
+        skip_sweep=skip_sweep,
+    )
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"--workers must be >= 1, got {workers}")
+        config.workers = workers
+    if max_inflight is not None:
+        if max_inflight < 1:
+            raise ValueError(f"--max-inflight must be >= 1, got {max_inflight}")
+        config.max_inflight = max_inflight
+    if bucket_rate is not None:
+        if bucket_rate <= 0:
+            raise ValueError(f"--rate must be > 0, got {bucket_rate}")
+        config.bucket_rate = bucket_rate
+    if bucket_burst is not None:
+        if bucket_burst < 1:
+            raise ValueError(f"--burst must be >= 1, got {bucket_burst}")
+        config.bucket_burst = bucket_burst
+    if default_deadline is not None:
+        if default_deadline <= 0:
+            raise ValueError(
+                f"--deadline must be > 0, got {default_deadline}"
+            )
+        config.default_deadline = default_deadline
+    if max_retries is not None:
+        if max_retries < 0:
+            raise ValueError(f"--max-retries must be >= 0, got {max_retries}")
+        config.max_retries = max_retries
+    return config
+
+
+def read_pidfile(path: Optional[Path] = None) -> Optional[Dict[str, Any]]:
+    """Parse the pidfile; None when absent or torn."""
+    path = path if path is not None else paths.pidfile_path()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "pid" not in payload:
+        return None
+    return payload
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def run(config: ServerConfig) -> int:
+    """Serve in the foreground until signalled. Returns an exit code."""
+    serve_forever(config)
+    return 0
+
+
+def status(socket_path: Optional[str] = None) -> Dict[str, Any]:
+    """Status dict: ``{"running": bool, ...}``.
+
+    When a daemon answers on the socket its own ``status_payload`` is
+    embedded; otherwise the pidfile (if any) is reported as forensics.
+    """
+    client = RemoteClient(socket_path=socket_path, attempts=1)
+    try:
+        payload = client.status()
+    except (DaemonUnreachable, RemoteError):
+        payload = None
+    if payload is not None:
+        return {"running": True, "socket": str(client.socket_path), **payload}
+    info = read_pidfile()
+    if info and _pid_alive(int(info["pid"])):
+        return {
+            "running": False,
+            "socket": str(client.socket_path),
+            "note": (
+                f"pid {info['pid']} is alive but the socket did not answer "
+                "(starting up, or serving a different socket)"
+            ),
+            "pidfile": info,
+        }
+    return {"running": False, "socket": str(client.socket_path)}
+
+
+def stop(socket_path: Optional[str] = None, timeout: float = 10.0) -> bool:
+    """Stop a running daemon; True when one was running and is now gone.
+
+    Graceful first (in-protocol ``shutdown``), then SIGTERM via the
+    pidfile, polling until the pid dies or *timeout* expires.
+    """
+    client = RemoteClient(socket_path=socket_path, attempts=1)
+    asked = client.shutdown()
+
+    def gone() -> bool:
+        # A clean shutdown unlinks pidfile and socket.  Checking the
+        # pidfile (re-read every poll) rather than pid liveness also
+        # handles a daemon lingering as an unreaped zombie of some
+        # other parent, which still "answers" ``kill(pid, 0)``.
+        info = read_pidfile()
+        if info is None:
+            return not client.ping()
+        return not _pid_alive(int(info["pid"]))
+
+    deadline = time.monotonic() + timeout
+    if asked:
+        while time.monotonic() < deadline:
+            if gone():
+                return True
+            time.sleep(0.05)
+    info = read_pidfile()
+    if info is not None and _pid_alive(int(info["pid"])):
+        try:
+            os.kill(int(info["pid"]), signal.SIGTERM)
+        except OSError:
+            return False
+        while time.monotonic() < deadline:
+            if gone():
+                return True
+            time.sleep(0.05)
+        return gone()
+    # Nothing answered the socket and no live pid in the pidfile:
+    # there was no daemon to stop — report that, don't claim success.
+    return False

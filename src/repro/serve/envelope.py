@@ -1,0 +1,126 @@
+"""Robustness-envelope primitives: deadlines, budgets, admission.
+
+These are plain synchronous objects (the asyncio server drives them
+from one thread) with injectable clocks for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class Deadline:
+    """A wall-clock budget for one request."""
+
+    def __init__(
+        self, seconds: Optional[float], clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._clock = clock
+        self.seconds = seconds
+        self._expires = clock() + seconds if seconds is not None else None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (>= 0), or None for an unbounded request."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - self._clock())
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+
+class TokenBucket:
+    """Per-client request budget: *rate* tokens/s, *burst* capacity.
+
+    ``try_take`` either spends one token or returns the seconds until
+    the next token accrues — the server forwards that as the
+    ``RETRY_AFTER`` hint, so a flooding client backs off instead of
+    queueing unboundedly.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError(f"bad bucket shape rate={rate} burst={burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self) -> Tuple[bool, float]:
+        """(granted, retry_after_seconds)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class ClientBudgets:
+    """One :class:`TokenBucket` per client id (bounded client table)."""
+
+    #: Hard cap on tracked clients; beyond it the least-recently-seen
+    #: bucket is evicted (a fresh bucket is *more* permissive, so
+    #: eviction can never lock a client out).
+    MAX_CLIENTS = 1024
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def try_take(self, client: str) -> Tuple[bool, float]:
+        bucket = self._buckets.pop(client, None)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            if len(self._buckets) >= self.MAX_CLIENTS:
+                oldest = next(iter(self._buckets))
+                del self._buckets[oldest]
+        self._buckets[client] = bucket  # re-insert: LRU order
+        return bucket.try_take()
+
+
+class Admission:
+    """Bounded-queue admission counter (load shedding).
+
+    The server admits at most *limit* concurrently active requests
+    (running or queued on the worker semaphore).  Beyond that, new
+    requests are shed with an explicit ``RETRY_AFTER`` instead of
+    accumulating unbounded latency.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self.active = 0
+        self.shed = 0
+
+    def try_enter(self) -> bool:
+        if self.active >= self.limit:
+            self.shed += 1
+            return False
+        self.active += 1
+        return True
+
+    def leave(self) -> None:
+        self.active = max(0, self.active - 1)

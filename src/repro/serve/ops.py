@@ -1,0 +1,270 @@
+"""The daemon's operation registry.
+
+One table maps each remote-able pipeline operation (``derive``,
+``check``, ``violations``, ``races``, ``health``) to a **validator**
+(raw request params → canonical params, raising ``ValueError`` on
+anything unknown or mistyped — classified ``BAD_REQUEST`` at the
+envelope) and a **runner** (canonical params → JSON-able result dict
+with the rendered ``text`` and an ``exit_code``).
+
+The CLI's local path and the daemon's workers call the *same* runner
+functions, so ``lockdoc derive`` and ``lockdoc derive --remote`` print
+byte-identical output — remote mode changes where the computation
+happens, never what it answers.  Canonical params also feed
+:func:`repro.serve.protocol.request_key`, so validation doubles as the
+coalescing normalizer: two requests that differ only in param spelling
+(``seed: "0"`` vs ``seed: 0``) share one in-flight execution.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments import common as experiments_common
+
+#: field -> (coercer, default); a default of ``_REQUIRED`` must be given.
+_REQUIRED = object()
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ValueError(f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _as_float(value: Any) -> float:
+    if isinstance(value, bool):
+        raise ValueError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _as_str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise ValueError(f"expected a string, got {value!r}")
+    return value
+
+
+def _as_bool(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _as_jobs(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    jobs = _as_int(value)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+_PIPELINE_FIELDS: Dict[str, Tuple[Callable[[Any], Any], Any]] = {
+    "workload": (_as_str, "mix"),
+    "seed": (_as_int, 0),
+    "scale": (_as_float, experiments_common.DEFAULT_SCALE),
+}
+
+_SPECS: Dict[str, Dict[str, Tuple[Callable[[Any], Any], Any]]] = {
+    "derive": {
+        **_PIPELINE_FIELDS,
+        "threshold": (_as_float, 0.9),
+        "type": (_as_str, ""),
+        "jobs": (_as_jobs, None),
+        "want_rules_json": (_as_bool, False),
+    },
+    "check": {**_PIPELINE_FIELDS, "jobs": (_as_jobs, None)},
+    "violations": {
+        **_PIPELINE_FIELDS,
+        "examples": (_as_int, 0),
+        "jobs": (_as_jobs, None),
+    },
+    "races": {
+        **_PIPELINE_FIELDS,
+        "threshold": (_as_float, 0.9),
+        "examples": (_as_int, 0),
+        "jobs": (_as_jobs, None),
+    },
+    "health": {
+        "trace": (_as_str, _REQUIRED),
+        "registry": (_as_str, "vfs"),
+        "budget": (_as_float, 0.25),
+        "diagnostics": (_as_int, 10),
+    },
+}
+
+
+def operation_names() -> Tuple[str, ...]:
+    return tuple(sorted(_SPECS))
+
+
+def validate(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonicalize *params* for *op*; raises ``ValueError`` on junk."""
+    spec = _SPECS.get(op)
+    if spec is None:
+        known = ", ".join(operation_names())
+        raise ValueError(f"unknown operation {op!r} (known: {known})")
+    unknown = sorted(set(params) - set(spec))
+    if unknown:
+        raise ValueError(f"unknown parameter(s) for {op!r}: {', '.join(unknown)}")
+    canonical: Dict[str, Any] = {}
+    for name, (coerce, default) in spec.items():
+        if name in params:
+            try:
+                canonical[name] = coerce(params[name])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"bad parameter {name!r} for {op!r}: {exc}") from None
+        elif default is _REQUIRED:
+            raise ValueError(f"missing required parameter {name!r} for {op!r}")
+        else:
+            canonical[name] = default
+    if op == "health" and canonical["registry"] not in ("vfs", "racer"):
+        raise ValueError(f"unknown registry {canonical['registry']!r}")
+    return canonical
+
+
+# ---------------------------------------------------------------------
+# Runners (execute in worker processes; also the CLI's local path)
+# ---------------------------------------------------------------------
+
+def _pipeline(params: Dict[str, Any]):
+    return experiments_common.get_pipeline(
+        params["seed"], params["scale"], workload=params["workload"]
+    )
+
+
+def _run_derive(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.report import render_table
+
+    pipeline = _pipeline(params)
+    derivation = pipeline.derive(params["threshold"], jobs=params["jobs"])
+    rows = []
+    for d in derivation.all():
+        if params["type"] and d.type_key != params["type"]:
+            continue
+        rows.append(
+            [d.type_key, d.member, d.access_type, d.rule.format(),
+             f"{d.winner.s_r:.2%}", d.observation_count]
+        )
+    text = render_table(
+        ["type", "member", "r/w", "winning rule", "s_r", "n"], rows,
+        title=f"derived locking rules (t_ac={params['threshold']})",
+    )
+    result: Dict[str, Any] = {"text": text, "exit_code": 0, "rules": len(rows)}
+    if params["want_rules_json"]:
+        from repro.core.rulesio import rules_to_json
+
+        result["rules_json"] = rules_to_json(derivation)
+    return result
+
+
+def _run_check(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.checker import check_rules, summarize as summarize_checks
+    from repro.core.report import render_table
+    from repro.doc.corpus import documented_rules
+
+    pipeline = _pipeline(params)
+    results = check_rules(pipeline.table, documented_rules())
+    rows = [
+        [s.data_type, s.rules, s.unobserved, s.observed, s.correct,
+         s.ambivalent, s.incorrect]
+        for s in summarize_checks(results)
+    ]
+    text = render_table(
+        ["type", "#R", "#No", "#Ob", "correct", "ambivalent", "incorrect"],
+        rows, title="documented-rule check (Tab. 4)",
+    )
+    return {"text": text, "exit_code": 0, "types": len(rows)}
+
+
+def _run_violations(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.report import render_table
+    from repro.core.violations import (
+        ViolationFinder,
+        summarize as summarize_violations,
+    )
+
+    pipeline = _pipeline(params)
+    derivation = pipeline.derive(jobs=params["jobs"])
+    violations = ViolationFinder(derivation, pipeline.table).find()
+    rows = [
+        [s.type_key, s.events, s.members, s.contexts]
+        for s in summarize_violations(violations)
+    ]
+    parts = [render_table(
+        ["type", "events", "members", "contexts"], rows,
+        title="locking-rule violations (Tab. 7)",
+    )]
+    for violation in violations[: params["examples"]]:
+        parts.append(violation.format())
+    return {
+        "text": "\n".join(parts),
+        "exit_code": 0,
+        "violations": len(violations),
+    }
+
+
+def _run_races(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.analysis import detect_races
+
+    if params["workload"] == "mix":
+        pipeline = _pipeline(params)
+        events = pipeline.mix.tracer.events
+        db = pipeline.db
+        derivation = pipeline.derive(params["threshold"])
+    else:
+        from repro.workloads.racer import run_racer
+
+        result = run_racer(
+            seed=params["seed"],
+            scale=params["scale"],
+            racy=params["workload"] == "racer",
+        )
+        events = result.tracer.events
+        db = result.to_database()
+        derivation = result.derive(params["threshold"], jobs=params["jobs"])
+    text = detect_races(events, db, derivation).render(
+        examples=params["examples"]
+    )
+    return {"text": text, "exit_code": 0}
+
+
+def _run_health(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.db.health import ingest_path, render_diagnostics
+    from repro.db.importer import ImportPolicy
+    from repro.workloads.registry import database_inputs
+
+    trace = params["trace"]
+    if os.path.getsize(trace) == 0:
+        raise ValueError(f"empty trace file {trace!r}")
+    structs, filters = database_inputs(
+        "racer" if params["registry"] == "racer" else "vfs"
+    )
+    policy = ImportPolicy(lenient=True, max_malformed_fraction=params["budget"])
+    db, health, report = ingest_path(trace, structs, filters, policy)
+    parts = []
+    if report.diagnostics:
+        parts.append(
+            render_diagnostics(report.diagnostics, limit=params["diagnostics"])
+        )
+    parts.append(health.render())
+    return {
+        "text": "\n".join(parts),
+        "exit_code": 1 if health.budget_exceeded else 0,
+    }
+
+
+_RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "derive": _run_derive,
+    "check": _run_check,
+    "violations": _run_violations,
+    "races": _run_races,
+    "health": _run_health,
+}
+
+
+def execute(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one validated operation; returns the JSON-able result."""
+    canonical = validate(op, params)
+    return _RUNNERS[op](canonical)

@@ -1,0 +1,41 @@
+"""Where one daemon instance keeps its runtime state.
+
+The socket, pidfile and structured log live together in one runtime
+directory under the cache (the daemon's primary state), overridable
+with ``LOCKDOC_SERVE_DIR`` — the test suites and the chaos harness
+point it at short-lived private directories.  The socket path alone is
+additionally overridable with ``LOCKDOC_SERVE_SOCKET`` so ``--remote``
+clients can target a non-default daemon without relocating its state.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+ENV_DIR = "LOCKDOC_SERVE_DIR"
+ENV_SOCKET = "LOCKDOC_SERVE_SOCKET"
+
+
+def runtime_dir() -> Path:
+    override = os.environ.get(ENV_DIR)
+    if override:
+        return Path(override).expanduser()
+    from repro import cache
+
+    return cache.cache_dir() / "serve"
+
+
+def socket_path() -> Path:
+    override = os.environ.get(ENV_SOCKET)
+    if override:
+        return Path(override).expanduser()
+    return runtime_dir() / "serve.sock"
+
+
+def pidfile_path() -> Path:
+    return runtime_dir() / "serve.pid"
+
+
+def log_path() -> Path:
+    return runtime_dir() / "serve.log.jsonl"

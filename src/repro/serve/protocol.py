@@ -1,0 +1,230 @@
+"""The fault-tolerant request envelope.
+
+Transport is deliberately minimal: one JSON object per line over a
+unix-domain socket, one request per connection.  Every reply carries a
+machine-readable **classification** — a request can end three ways:
+
+* ``status == "ok"`` — the result is correct (recomputed if the cache
+  was damaged, coalesced if a twin was already in flight);
+* ``status == "error"`` with ``error.kind`` in :data:`ERROR_KINDS` — a
+  clean, classified failure the client can act on (``RETRY_AFTER``
+  carries a retry hint, ``DEADLINE`` means the worker was killed at the
+  requested deadline, ``WORKER_CRASH`` means bounded re-execution was
+  exhausted);
+* transport failure — the daemon is unreachable; the client degrades
+  to local computation, explicitly flagged.
+
+Requests are content-addressed: :func:`request_key` digests the
+canonical ``(op, params)`` so the server can coalesce duplicate
+in-flight requests and the chaos operators can inject deterministically
+per request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Wire-format version; bump on incompatible envelope changes.
+PROTOCOL_VERSION = 1
+
+#: Largest accepted request line (bytes) — a flooded or garbage client
+#: cannot make the server buffer unboundedly.
+MAX_LINE = 1 << 20
+
+# ---------------------------------------------------------------------
+# Error classification
+# ---------------------------------------------------------------------
+
+#: Malformed envelope, unknown op, or invalid params.  Not retryable.
+E_BAD_REQUEST = "BAD_REQUEST"
+#: Load was shed (queue full) or the client's token budget is empty.
+#: Retryable after ``error.retry_after`` seconds.
+E_RETRY_AFTER = "RETRY_AFTER"
+#: The per-request deadline expired; the worker was killed.
+E_DEADLINE = "DEADLINE"
+#: The worker process died (crash, OOM-kill, chaos); bounded
+#: re-execution was exhausted.
+E_WORKER_CRASH = "WORKER_CRASH"
+#: The operation itself raised; message carries the classified cause.
+E_INTERNAL = "INTERNAL"
+#: The daemon is draining for shutdown; retry against a new instance.
+E_SHUTTING_DOWN = "SHUTTING_DOWN"
+
+ERROR_KINDS = frozenset({
+    E_BAD_REQUEST,
+    E_RETRY_AFTER,
+    E_DEADLINE,
+    E_WORKER_CRASH,
+    E_INTERNAL,
+    E_SHUTTING_DOWN,
+})
+
+#: Error kinds a client may transparently retry.  ``WORKER_CRASH`` is
+#: deliberately absent: the server already performed bounded
+#: re-execution, so a client retry would multiply the damage.
+RETRYABLE_KINDS = frozenset({E_RETRY_AFTER, E_SHUTTING_DOWN})
+
+
+class ProtocolError(ValueError):
+    """A malformed request/response envelope."""
+
+
+def request_key(op: str, params: Dict[str, Any]) -> str:
+    """Content-addressed key of one request: sha256 of the canonical
+    ``(op, params)`` JSON.  Two requests with the same key are the same
+    computation and may share one in-flight execution."""
+    blob = json.dumps({"op": op, "params": params}, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass
+class Request:
+    """One client request."""
+
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    request_id: str = ""
+    client: str = "anon"
+    deadline: Optional[float] = None  # seconds, wall-clock budget
+
+    def to_wire(self) -> bytes:
+        payload = {
+            "v": PROTOCOL_VERSION,
+            "id": self.request_id,
+            "op": self.op,
+            "params": self.params,
+            "client": self.client,
+            "deadline": self.deadline,
+        }
+        return json.dumps(payload, sort_keys=True).encode() + b"\n"
+
+    @classmethod
+    def from_wire(cls, line: bytes) -> "Request":
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"unparseable request line: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError("request is not a JSON object")
+        if payload.get("v") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {payload.get('v')!r} "
+                f"(expected {PROTOCOL_VERSION})"
+            )
+        op = payload.get("op")
+        if not isinstance(op, str) or not op:
+            raise ProtocolError("request has no op")
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("request params must be an object")
+        deadline = payload.get("deadline")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"bad deadline {payload.get('deadline')!r}"
+                ) from None
+            if deadline <= 0:
+                raise ProtocolError(f"deadline must be positive, got {deadline}")
+        return cls(
+            op=op,
+            params=params,
+            request_id=str(payload.get("id") or ""),
+            client=str(payload.get("client") or "anon"),
+            deadline=deadline,
+        )
+
+
+@dataclass
+class Response:
+    """One server reply: ``ok(result)`` or a classified error."""
+
+    status: str  # "ok" | "error"
+    request_id: str = ""
+    result: Optional[Dict[str, Any]] = None
+    error_kind: Optional[str] = None
+    error_message: str = ""
+    retry_after: Optional[float] = None
+    #: Envelope metadata: coalesced, attempts, latency_ms, ...
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, request_id: str, result: Dict[str, Any], **meta) -> "Response":
+        return cls(status="ok", request_id=request_id, result=result, meta=meta)
+
+    @classmethod
+    def error(
+        cls,
+        request_id: str,
+        kind: str,
+        message: str,
+        retry_after: Optional[float] = None,
+        **meta,
+    ) -> "Response":
+        assert kind in ERROR_KINDS, kind
+        return cls(
+            status="error",
+            request_id=request_id,
+            error_kind=kind,
+            error_message=message,
+            retry_after=retry_after,
+            meta=meta,
+        )
+
+    def to_wire(self) -> bytes:
+        payload: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "id": self.request_id,
+            "status": self.status,
+            "meta": self.meta,
+        }
+        if self.status == "ok":
+            payload["result"] = self.result
+        else:
+            error: Dict[str, Any] = {
+                "kind": self.error_kind,
+                "message": self.error_message,
+            }
+            if self.retry_after is not None:
+                error["retry_after"] = round(self.retry_after, 4)
+            payload["error"] = error
+        return json.dumps(payload, sort_keys=True).encode() + b"\n"
+
+    @classmethod
+    def from_wire(cls, line: bytes) -> "Response":
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"unparseable response line: {exc}") from None
+        if not isinstance(payload, dict) or payload.get("v") != PROTOCOL_VERSION:
+            raise ProtocolError("unsupported response envelope")
+        status = payload.get("status")
+        if status == "ok":
+            result = payload.get("result")
+            if not isinstance(result, dict):
+                raise ProtocolError("ok response carries no result object")
+            return cls(
+                status="ok",
+                request_id=str(payload.get("id") or ""),
+                result=result,
+                meta=payload.get("meta") or {},
+            )
+        if status == "error":
+            error = payload.get("error") or {}
+            kind = error.get("kind")
+            if kind not in ERROR_KINDS:
+                raise ProtocolError(f"unknown error kind {kind!r}")
+            retry_after = error.get("retry_after")
+            return cls(
+                status="error",
+                request_id=str(payload.get("id") or ""),
+                error_kind=kind,
+                error_message=str(error.get("message") or ""),
+                retry_after=float(retry_after) if retry_after is not None else None,
+                meta=payload.get("meta") or {},
+            )
+        raise ProtocolError(f"unknown response status {status!r}")

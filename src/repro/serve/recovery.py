@@ -1,0 +1,154 @@
+"""Startup recovery sweep: quarantine torn/corrupt cache entries.
+
+The daemon owns the cache; a previous process killed mid-write (or a
+disk hiccup) may have left damage behind.  Before serving, the sweep
+walks the cache directory and **quarantines** — renames with the
+:data:`repro.cache.QUARANTINE_SUFFIX` — every entry that fails its
+structural invariant, so a torn file is set aside for post-mortems
+instead of being served:
+
+* ``*.meta.json`` must parse as a JSON object;
+* ``*.trace.bin`` must carry the binary magic, have a parseable meta
+  sidecar, and match the sidecar's recorded byte count (the sidecar is
+  written *after* the trace, so a matching pair proves both completed);
+* ``*.pkl`` artifacts must be non-empty and end with the pickle STOP
+  opcode (``b"."``) — a truncated pickle almost surely loses it, and
+  an entry this check misses still cannot be served wrong, because
+  ``pickle.loads`` of a torn stream raises and the cache treats any
+  load failure as a miss;
+* orphaned ``*.tmp`` spool files from :mod:`repro.atomicio` are
+  deleted outright (they were never published).
+
+The sweep is best-effort and race-tolerant: entries that vanish
+mid-sweep (a concurrent ``cache clear``) are skipped, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import cache
+
+_BIN_MAGIC = b"LDOC1\n"
+
+
+@dataclass
+class SweepReport:
+    """What the startup sweep found and did."""
+
+    scanned: int = 0
+    ok: int = 0
+    #: (file name, reason) for every quarantined entry.
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    tmp_removed: int = 0
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "quarantined": [
+                {"file": name, "reason": reason}
+                for name, reason in self.quarantined
+            ],
+            "tmp_removed": self.tmp_removed,
+        }
+
+
+def _read_prefix(path: Path, count: int) -> Optional[bytes]:
+    try:
+        with open(path, "rb") as fp:
+            return fp.read(count)
+    except OSError:
+        return None
+
+
+def _read_tail_byte(path: Path) -> Optional[bytes]:
+    try:
+        with open(path, "rb") as fp:
+            fp.seek(0, 2)
+            size = fp.tell()
+            if size == 0:
+                return b""
+            fp.seek(size - 1)
+            return fp.read(1)
+    except OSError:
+        return None
+
+
+def _check_meta(path: Path) -> Optional[str]:
+    """Reason the meta sidecar is corrupt, or None when sound."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError:
+        return None  # vanished mid-sweep: nothing to do
+    except ValueError:
+        return "unparseable JSON (torn write)"
+    if not isinstance(payload, dict):
+        return "meta is not a JSON object"
+    return None
+
+
+def _check_trace(path: Path, directory: Path) -> Optional[str]:
+    prefix = _read_prefix(path, len(_BIN_MAGIC))
+    if prefix is None:
+        return None  # vanished mid-sweep
+    if prefix != _BIN_MAGIC:
+        return "missing binary trace magic"
+    key = path.name[: -len(".trace.bin")]
+    meta_path = directory / f"{key}.meta.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+        declared = meta.get("bytes")
+    except (OSError, ValueError, AttributeError):
+        return "no readable meta sidecar (trace may predate its write)"
+    try:
+        actual = path.stat().st_size
+    except OSError:
+        return None  # vanished mid-sweep
+    if not isinstance(declared, int) or declared != actual:
+        return f"size {actual} != declared {declared} (truncated)"
+    return None
+
+
+def _check_artifact(path: Path) -> Optional[str]:
+    tail = _read_tail_byte(path)
+    if tail is None:
+        return None  # vanished mid-sweep
+    if tail == b"":
+        return "empty artifact"
+    if tail != b".":
+        return "missing pickle STOP opcode (truncated)"
+    return None
+
+
+def sweep(directory: Optional[Path] = None) -> SweepReport:
+    """Run the recovery sweep over *directory* (default: the cache)."""
+    directory = directory if directory is not None else cache.cache_dir()
+    report = SweepReport()
+    if not directory.is_dir():
+        return report
+    checks = (
+        ("*.meta.json", lambda p: _check_meta(p)),
+        ("*.trace.bin", lambda p: _check_trace(p, directory)),
+        ("*.pkl", lambda p: _check_artifact(p)),
+    )
+    for pattern, check in checks:
+        for path in sorted(directory.glob(pattern)):
+            report.scanned += 1
+            reason = check(path)
+            if reason is None:
+                report.ok += 1
+                continue
+            if cache.quarantine_file(path) is not None:
+                report.quarantined.append((path.name, reason))
+            # else: vanished between check and rename — nothing served
+    for path in directory.glob("*.tmp"):
+        try:
+            path.unlink()
+            report.tmp_removed += 1
+        except OSError:
+            pass
+    return report

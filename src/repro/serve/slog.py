@@ -1,0 +1,71 @@
+"""JSON-lines structured log for the analysis daemon.
+
+Production debuggability (the "Sense of Logging" posture): every
+lifecycle event, request and classified outcome is one self-describing
+JSON object per line — greppable, parseable, append-only.  The logger
+is **fail-silent**: a full disk or unwritable path degrades to no
+logging, never to a crashed daemon.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+class StructuredLog:
+    """Append-only JSON-lines event log (one object per line)."""
+
+    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+        self.path = Path(path) if path is not None else None
+        self._fp: Optional[io.TextIOWrapper] = None
+        if self.path is not None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fp = open(self.path, "a", encoding="utf-8")
+            except OSError:
+                self._fp = None  # fail-silent: keep serving, unlogged
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event; never raises."""
+        if self._fp is None:
+            return
+        record: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        try:
+            self._fp.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            self._fp.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._fp is not None:
+            try:
+                self._fp.close()
+            except OSError:
+                pass
+            self._fp = None
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a structured log back into event dicts (tolerating a torn
+    final line from a killed writer)."""
+    events: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail
+                if isinstance(record, dict):
+                    events.append(record)
+    except OSError:
+        return []
+    return events

@@ -1,0 +1,115 @@
+"""Streaming import must equal batch import — including under faults.
+
+``Importer.run`` accepts any iterable: the materialized event list of
+a batch load, or the lazy iterator of a streaming binary load.  This
+regression suite pins the contract that the two paths are *identical*
+in every observable — kept/quarantined accounting, error-budget
+enforcement (:class:`ErrorBudgetExceeded` at the same point with the
+same message), and the database rows that come out — even when the
+input stream was corrupted by fault injection first.
+"""
+
+import io
+
+import pytest
+
+from repro.db.importer import (
+    ErrorBudgetExceeded,
+    ImportPolicy,
+    LENIENT_POLICY,
+    import_trace,
+)
+from repro.faults import FaultPlan
+from repro.tracing import serialize
+from repro.tracing.events import FreeEvent
+from repro.workloads.racer import build_racer_registry, run_racer
+
+FAULT_SPECS = ("flip:0.002", "torn:0.1", "flip:0.002,torn:0.1")
+
+
+@pytest.fixture(scope="module")
+def racer_binary():
+    tracer = run_racer(seed=0, scale=1.0).tracer
+    events = list(tracer.events)
+    stacks = serialize.stacks_of(tracer)
+    return serialize.dumps_events_binary(events, stacks)
+
+
+@pytest.fixture(scope="module")
+def structs():
+    return build_racer_registry()
+
+
+def _db_fingerprint(db):
+    """Everything observable about an imported database."""
+    return {
+        "health": db.health.to_dict(),
+        "allocations": sorted(db.allocations),
+        "locks": sorted(db.locks),
+        "txns": sorted(db.txns),
+        "accesses": len(db.accesses),
+        "access_rows": [repr(row) for row in db.accesses[:200]],
+    }
+
+
+@pytest.mark.parametrize("spec", FAULT_SPECS)
+def test_streaming_equals_batch_over_corrupted_trace(
+    racer_binary, structs, spec
+):
+    mutated = FaultPlan.from_spec(spec, seed=1).corrupt_binary(racer_binary)
+    report = serialize.loads_binary_lenient(mutated)
+    assert report.events, "corruption should leave a salvageable prefix"
+
+    batch = import_trace(
+        list(report.events), report.stacks, structs, policy=LENIENT_POLICY
+    )
+    # A true single-pass iterator: no len(), no second traversal.
+    streamed = import_trace(
+        iter(report.events), report.stacks, structs, policy=LENIENT_POLICY
+    )
+    assert _db_fingerprint(streamed) == _db_fingerprint(batch)
+    assert streamed.health.accounts_for_all_events()
+
+
+def test_file_stream_equals_batch_on_clean_trace(racer_binary, structs):
+    """The real streaming consumer: ``open_binary_stream`` off a file."""
+    stream = serialize.open_binary_stream(io.BytesIO(racer_binary))
+    streamed = import_trace(
+        stream.events, stream.stacks, structs, policy=LENIENT_POLICY
+    )
+    events, stacks = serialize.load_binary(io.BytesIO(racer_binary))
+    batch = import_trace(events, stacks, structs, policy=LENIENT_POLICY)
+    assert _db_fingerprint(streamed) == _db_fingerprint(batch)
+
+
+class TestBudgetIdentity:
+    """Error budgets bite at the same place with the same message."""
+
+    def _bad_events(self, n):
+        # Frees of allocations that never existed: every one of these
+        # is quarantined by the importer.
+        return [
+            FreeEvent(ts=i, ctx_id=0, alloc_id=9000 + i, address=0)
+            for i in range(n)
+        ]
+
+    def test_budget_exceeded_identically(self, structs):
+        policy = ImportPolicy(lenient=True, max_malformed_fraction=0.25)
+        bad = self._bad_events(100)
+        errors = []
+        for shape in (list(bad), iter(list(bad))):
+            with pytest.raises(ErrorBudgetExceeded) as info:
+                import_trace(shape, [()], structs, policy=policy)
+            errors.append(str(info.value))
+        assert errors[0] == errors[1]
+
+    def test_below_budget_floor_not_enforced_identically(self, structs):
+        # Under min_events_for_budget the budget must not trip — for
+        # either shape — even at 100% malformed.
+        policy = ImportPolicy(lenient=True, max_malformed_fraction=0.25)
+        assert policy.min_events_for_budget > 10
+        bad = self._bad_events(10)
+        batch = import_trace(list(bad), [()], structs, policy=policy)
+        streamed = import_trace(iter(list(bad)), [()], structs, policy=policy)
+        assert _db_fingerprint(streamed) == _db_fingerprint(batch)
+        assert batch.health.quarantined_total == 10

@@ -1,0 +1,83 @@
+"""ChaosPlan unit tests: spec parsing, determinism, decision logic."""
+
+import pytest
+
+from repro.faults.daemon import CHAOS_EXIT, ChaosPlan, operator_names
+
+
+class TestSpecParsing:
+    def test_single_operator_with_param(self):
+        plan = ChaosPlan.from_spec("crash:0.25", seed=7)
+        assert [(op.kind, op.param) for op in plan.operators] == [("crash", 0.25)]
+        assert plan.seed == 7
+
+    def test_defaults(self):
+        plan = ChaosPlan.from_spec("crash,stall,stall-sometimes")
+        assert [(op.kind, op.param) for op in plan.operators] == [
+            ("crash", 0.5), ("stall", 2.0), ("stall-sometimes", 2.0),
+        ]
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown chaos operator"):
+            ChaosPlan.from_spec("explode:1.0")
+
+    def test_bad_param(self):
+        with pytest.raises(ValueError, match="bad parameter"):
+            ChaosPlan.from_spec("crash:often")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="empty chaos spec"):
+            ChaosPlan.from_spec("  ,  ")
+
+    def test_operator_names_listed(self):
+        assert operator_names() == ["crash", "stall", "stall-sometimes"]
+
+
+class TestDecisions:
+    def test_deterministic_per_key_and_attempt(self):
+        plan = ChaosPlan.from_spec("crash:0.5,stall-sometimes:1.0", seed=3)
+        for key in ("aaa", "bbb", "ccc"):
+            for attempt in (0, 1):
+                first = plan.decisions(key, attempt)
+                assert first == plan.decisions(key, attempt)
+
+    def test_attempts_draw_independently(self):
+        # With p=0.5, over many keys some must crash on attempt 0 but
+        # not on attempt 1 — the retry path the server depends on.
+        plan = ChaosPlan.from_spec("crash:0.5", seed=0)
+        fates = {
+            (bool(plan.decisions(f"key-{i}", 0)),
+             bool(plan.decisions(f"key-{i}", 1)))
+            for i in range(64)
+        }
+        assert (True, False) in fates
+        assert (False, False) in fates
+
+    def test_rate_one_always_crashes(self):
+        plan = ChaosPlan.from_spec("crash:1.0", seed=5)
+        for i in range(16):
+            for attempt in range(3):
+                assert plan.decisions(f"k{i}", attempt) == [("crash", 1.0)]
+
+    def test_rate_zero_never_crashes(self):
+        plan = ChaosPlan.from_spec("crash:0.0", seed=5)
+        assert plan.decisions("anything", 0) == []
+
+    def test_crash_preempts_later_operators(self):
+        plan = ChaosPlan.from_spec("crash:1.0,stall:9.0", seed=0)
+        assert plan.decisions("k", 0) == [("crash", 1.0)]
+
+    def test_stall_always_taken(self):
+        plan = ChaosPlan.from_spec("stall:0.5", seed=0)
+        assert plan.decisions("k", 0) == [("stall", 0.5)]
+
+    def test_describe(self):
+        plan = ChaosPlan.from_spec("crash:0.5,stall:2.0", seed=9)
+        assert plan.describe() == "crash(0.5) -> stall(2.0) @seed=9"
+
+
+def test_chaos_exit_code_is_distinguishable():
+    # Not a signal exit (negative), not a clean exit (0), not the CLI
+    # error contract (2) — post-mortems can tell chaos from real faults.
+    assert CHAOS_EXIT not in (0, 1, 2)
+    assert 0 < CHAOS_EXIT < 128

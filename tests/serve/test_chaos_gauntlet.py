@@ -1,0 +1,84 @@
+"""Chaos gauntlet (small scale): every request terminates classified.
+
+The acceptance bar for the daemon: under worker crashes, stalls with
+deadlines, cache truncation and flooding, 100% of requests end in a
+correct result or a clean, classified error — never a hang, a
+traceback, or a silently-wrong artifact.  The full-size version runs in
+``benchmarks/perf/bench_serve.py``; this is the regression-speed cut.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.client import RemoteError
+from repro.serve.protocol import ERROR_KINDS
+
+from tests.serve.test_server_e2e import Daemon, trace_file  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def chaotic_daemon():
+    daemon = Daemon(extra_args=[
+        "--chaos", "crash:0.4,stall-sometimes:0.4",
+        "--chaos-seed", "7",
+        "--rate", "20", "--burst", "10",
+    ])
+    yield daemon
+    daemon.close()
+
+
+def test_gauntlet_all_requests_classified(chaotic_daemon, trace_file):  # noqa: F811
+    outcomes = []
+    for i in range(14):
+        client = chaotic_daemon.client(client_id=f"g{i}")
+        try:
+            response = client.request(
+                "health",
+                {"trace": trace_file, "registry": "racer",
+                 "diagnostics": 10 + i},  # distinct keys: no coalescing
+                deadline=30.0,
+            )
+            assert response.result["exit_code"] == 0
+            assert "trace health" in response.result["text"]
+            outcomes.append("ok")
+        except RemoteError as exc:
+            assert exc.kind in ERROR_KINDS
+            outcomes.append(exc.kind)
+    # Terminate classified, all of them; chaos at these rates must
+    # actually bite at least once and let at least one through.
+    assert len(outcomes) == 14
+    assert "ok" in outcomes, outcomes
+
+
+def test_gauntlet_survives_truncated_cache_entry(trace_file):  # noqa: F811
+    """Torn cache entries are quarantined at startup, then recomputed."""
+    import pathlib
+
+    first = Daemon()
+    try:
+        params = {"scale": 1.22}
+        warm = first.client().request("derive", params, deadline=120)
+        cache_dir = pathlib.Path(first.cache_dir)
+        traces = list(cache_dir.glob("*.trace.bin"))
+        assert traces, "derive should have populated the trace cache"
+        for trace in traces:
+            trace.write_bytes(trace.read_bytes()[:-64])  # torn write
+    finally:
+        first.close()
+
+    # Same dirs, fresh daemon: the sweep must quarantine the torn
+    # entries, and the re-request must recompute — same answer.
+    rebuilt = Daemon(serve_dir=first.serve_dir, cache_dir=first.cache_dir)
+    try:
+        # Both daemons appended to the same log: the rebuilt daemon's
+        # startup is the *last* start event.
+        events = rebuilt.events()
+        start = [e for e in events if e["event"] == "start"][-1]
+        assert start["sweep"]["quarantined"], json.dumps(start["sweep"])
+        recomputed = rebuilt.client().request(
+            "derive", {"scale": 1.22}, deadline=120
+        )
+        assert recomputed.result == warm.result
+    finally:
+        rebuilt.close()

@@ -1,0 +1,180 @@
+"""Client retry-policy unit tests against a scripted fake daemon."""
+
+import random
+import socketserver
+import tempfile
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import DaemonUnreachable, RemoteClient, RemoteError
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_RETRY_AFTER,
+    E_WORKER_CRASH,
+    Request,
+    Response,
+)
+
+
+class FakeDaemon:
+    """Answers each connection with the next scripted response."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests = []
+        self._dir = tempfile.TemporaryDirectory(prefix="fsrv", dir="/tmp")
+        self.socket_path = Path(self._dir.name) / "s.sock"
+        outer = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                line = self.request.makefile("rb").readline()
+                outer.requests.append(Request.from_wire(line))
+                if not outer.responses:
+                    return  # close without replying
+                response = outer.responses.pop(0)
+                if response is not None:
+                    self.request.sendall(response.to_wire())
+
+        class Server(socketserver.ThreadingUnixStreamServer):
+            daemon_threads = True
+
+        self.server = Server(str(self.socket_path), Handler)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self._dir.cleanup()
+
+
+@pytest.fixture
+def fake(request):
+    daemons = []
+
+    def make(responses):
+        daemon = FakeDaemon(responses)
+        daemons.append(daemon)
+        return daemon
+
+    yield make
+    for daemon in daemons:
+        daemon.close()
+
+
+def _client(daemon, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("sleep", lambda s: None)
+    return RemoteClient(socket_path=daemon.socket_path, **kwargs)
+
+
+def _ok(result=None):
+    return Response.ok("x", result if result is not None else {"pong": True})
+
+
+class TestHappyPath:
+    def test_ok_response_returned(self, fake):
+        daemon = fake([_ok({"text": "hi", "exit_code": 0})])
+        response = _client(daemon).request("derive", {"seed": 1})
+        assert response.result["text"] == "hi"
+        assert daemon.requests[0].op == "derive"
+        assert daemon.requests[0].params == {"seed": 1}
+
+    def test_client_identity_travels(self, fake):
+        daemon = fake([_ok()])
+        _client(daemon, client_id="me").request("ping")
+        assert daemon.requests[0].client == "me"
+
+
+class TestRetryPolicy:
+    def test_retry_after_is_retried_and_hint_honored(self, fake):
+        sleeps = []
+        daemon = fake([
+            Response.error("x", E_RETRY_AFTER, "busy", retry_after=0.7),
+            _ok({"done": True}),
+        ])
+        client = _client(daemon, sleep=sleeps.append)
+        response = client.request("ping")
+        assert response.result == {"done": True}
+        # Backoff never undercuts the server's hint.
+        assert len(sleeps) == 1 and sleeps[0] >= 0.7
+
+    def test_bad_request_not_retried(self, fake):
+        daemon = fake([
+            Response.error("x", E_BAD_REQUEST, "bad scale"),
+            _ok(),
+        ])
+        with pytest.raises(RemoteError) as info:
+            _client(daemon).request("derive", {"scale": "x"})
+        assert info.value.kind == E_BAD_REQUEST
+        assert len(daemon.requests) == 1  # one shot, no retry
+
+    def test_worker_crash_not_retried(self, fake):
+        daemon = fake([Response.error("x", E_WORKER_CRASH, "died")])
+        with pytest.raises(RemoteError) as info:
+            _client(daemon).request("derive")
+        assert info.value.kind == E_WORKER_CRASH
+        assert len(daemon.requests) == 1
+
+    def test_retryable_exhaustion_raises_last_error(self, fake):
+        daemon = fake([
+            Response.error("x", E_RETRY_AFTER, "busy", retry_after=0.1)
+            for _ in range(3)
+        ])
+        with pytest.raises(RemoteError) as info:
+            _client(daemon, attempts=3).request("ping")
+        assert info.value.kind == E_RETRY_AFTER
+        assert len(daemon.requests) == 3
+
+    def test_transport_failure_backs_off_then_unreachable(self):
+        sleeps = []
+        client = RemoteClient(
+            socket_path="/tmp/definitely-not-a-daemon.sock",
+            attempts=3,
+            rng=random.Random(0),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(DaemonUnreachable, match="after 3 attempts"):
+            client.request("ping")
+        assert len(sleeps) == 2  # no sleep after the final attempt
+        assert sleeps[1] > sleeps[0] * 0.5  # exponential-ish growth
+
+    def test_jitter_stays_in_band(self):
+        client = RemoteClient(
+            socket_path="/tmp/x.sock", base_delay=1.0, max_delay=1.0,
+            rng=random.Random(7),
+        )
+        for attempt in range(20):
+            delay = client._backoff(attempt)
+            assert 0.5 <= delay < 1.5
+
+    def test_connection_closed_without_reply_is_transport(self, fake):
+        daemon = fake([])  # accepts, reads, closes silently
+        with pytest.raises(DaemonUnreachable):
+            _client(daemon, attempts=2).request("ping")
+
+
+class TestHelpers:
+    def test_ping_true_on_pong(self, fake):
+        daemon = fake([_ok({"pong": True})])
+        assert _client(daemon).ping()
+
+    def test_ping_false_when_down(self):
+        client = RemoteClient(socket_path="/tmp/nope-daemon.sock", attempts=1)
+        assert not client.ping()
+
+    def test_shutdown_false_when_down(self):
+        client = RemoteClient(
+            socket_path="/tmp/nope-daemon.sock", attempts=1,
+            sleep=lambda s: None,
+        )
+        assert not client.shutdown()
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RemoteClient(attempts=0)

@@ -1,0 +1,94 @@
+"""Worker-process unit tests: outcomes, crash and deadline classification.
+
+Uses the ``health`` operation throughout — the one daemon op that does
+not touch the pipeline cache, so these tests stay fast and isolated.
+"""
+
+import pytest
+
+from repro.faults.daemon import CHAOS_EXIT, ChaosPlan
+from repro.serve.pool import TaskOutcome, run_task_sync, worker_env_note
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_WORKER_CRASH,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    from repro.tracing import serialize
+    from repro.workloads.racer import run_racer
+
+    path = tmp_path_factory.mktemp("pool") / "racer.bin"
+    with open(path, "wb") as fp:
+        serialize.dump_binary(run_racer(seed=0, scale=0.5).tracer, fp)
+    return str(path)
+
+
+def _health_params(trace_file):
+    return {"trace": trace_file, "registry": "racer"}
+
+
+class TestOutcomes:
+    def test_ok(self, trace_file):
+        outcome = run_task_sync("health", _health_params(trace_file))
+        assert outcome.status == "ok"
+        assert outcome.result["exit_code"] == 0
+        assert "trace health" in outcome.result["text"]
+
+    def test_bad_request_classified(self):
+        outcome = run_task_sync("health", {"trace": "/nope/missing.bin"})
+        assert outcome.status == "error"
+        assert outcome.error_kind == E_BAD_REQUEST
+
+    def test_unknown_op_classified(self):
+        outcome = run_task_sync("frobnicate", {})
+        assert outcome.status == "error"
+        assert outcome.error_kind == E_BAD_REQUEST
+        assert "unknown operation" in outcome.error_message
+
+
+class TestCrash:
+    def test_chaos_crash_detected_via_pipe_eof(self, trace_file):
+        chaos = ChaosPlan.from_spec("crash:1.0", seed=0)
+        outcome = run_task_sync(
+            "health", _health_params(trace_file), chaos=chaos
+        )
+        assert outcome.status == "crash"
+        assert outcome.exitcode == CHAOS_EXIT
+        kind, message = outcome.as_error()
+        assert kind == E_WORKER_CRASH
+        assert str(CHAOS_EXIT) in message
+
+    def test_crash_rate_zero_is_a_noop(self, trace_file):
+        chaos = ChaosPlan.from_spec("crash:0.0", seed=0)
+        outcome = run_task_sync(
+            "health", _health_params(trace_file), chaos=chaos
+        )
+        assert outcome.status == "ok"
+
+
+class TestDeadline:
+    def test_stalled_worker_is_killed_at_deadline(self, trace_file):
+        chaos = ChaosPlan.from_spec("stall:30.0", seed=0)
+        outcome = run_task_sync(
+            "health", _health_params(trace_file), timeout=0.3, chaos=chaos
+        )
+        assert outcome.status == "deadline"
+        assert outcome.elapsed < 5.0  # killed, not waited out
+        kind, _ = outcome.as_error()
+        assert kind == E_DEADLINE
+
+
+def test_as_error_passthrough():
+    outcome = TaskOutcome(
+        status="error", error_kind=E_BAD_REQUEST, error_message="nope"
+    )
+    assert outcome.as_error() == (E_BAD_REQUEST, "nope")
+
+
+def test_worker_env_note_is_json_able():
+    import json
+
+    json.dumps(worker_env_note())

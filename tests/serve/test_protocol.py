@@ -1,0 +1,116 @@
+"""Wire-envelope unit tests: canonical keys, roundtrips, rejection."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_KINDS,
+    E_BAD_REQUEST,
+    E_RETRY_AFTER,
+    E_SHUTTING_DOWN,
+    E_WORKER_CRASH,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    RETRYABLE_KINDS,
+    request_key,
+)
+
+
+class TestRequestKey:
+    def test_param_order_is_canonical(self):
+        a = request_key("derive", {"seed": 0, "scale": 2.0})
+        b = request_key("derive", {"scale": 2.0, "seed": 0})
+        assert a == b
+
+    def test_distinct_params_distinct_keys(self):
+        assert request_key("derive", {"seed": 0}) != request_key(
+            "derive", {"seed": 1}
+        )
+
+    def test_op_is_part_of_the_key(self):
+        assert request_key("derive", {}) != request_key("check", {})
+
+
+class TestRequestWire:
+    def test_roundtrip(self):
+        req = Request(
+            op="derive", params={"seed": 3}, request_id="abc",
+            client="cli-1", deadline=12.5,
+        )
+        back = Request.from_wire(req.to_wire())
+        assert back == req
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            Request.from_wire(b"not json\n")
+
+    def test_rejects_wrong_version(self):
+        line = json.dumps({"v": PROTOCOL_VERSION + 1, "op": "x"}).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            Request.from_wire(line)
+
+    def test_rejects_missing_op(self):
+        line = json.dumps({"v": PROTOCOL_VERSION}).encode()
+        with pytest.raises(ProtocolError, match="no op"):
+            Request.from_wire(line)
+
+    def test_rejects_non_positive_deadline(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "ping", "deadline": 0}
+        ).encode()
+        with pytest.raises(ProtocolError, match="positive"):
+            Request.from_wire(line)
+
+    def test_rejects_non_object_params(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "ping", "params": [1]}
+        ).encode()
+        with pytest.raises(ProtocolError, match="params"):
+            Request.from_wire(line)
+
+
+class TestResponseWire:
+    def test_ok_roundtrip(self):
+        resp = Response.ok("id1", {"text": "t", "exit_code": 0}, coalesced=True)
+        back = Response.from_wire(resp.to_wire())
+        assert back.status == "ok"
+        assert back.result == {"text": "t", "exit_code": 0}
+        assert back.meta == {"coalesced": True}
+
+    def test_error_roundtrip(self):
+        resp = Response.error("id2", E_RETRY_AFTER, "busy", retry_after=1.5)
+        back = Response.from_wire(resp.to_wire())
+        assert back.status == "error"
+        assert back.error_kind == E_RETRY_AFTER
+        assert back.error_message == "busy"
+        assert back.retry_after == 1.5
+
+    def test_rejects_unknown_kind(self):
+        line = json.dumps({
+            "v": PROTOCOL_VERSION, "id": "x", "status": "error",
+            "error": {"kind": "NOPE", "message": "?"},
+        }).encode()
+        with pytest.raises(ProtocolError, match="unknown error kind"):
+            Response.from_wire(line)
+
+    def test_rejects_ok_without_result(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION, "id": "x", "status": "ok"}
+        ).encode()
+        with pytest.raises(ProtocolError, match="no result"):
+            Response.from_wire(line)
+
+
+class TestClassification:
+    def test_retryable_is_subset_of_kinds(self):
+        assert RETRYABLE_KINDS <= ERROR_KINDS
+
+    def test_worker_crash_not_client_retryable(self):
+        # The server already re-executed the request (bounded); a client
+        # retry on top would multiply the damage.
+        assert E_WORKER_CRASH not in RETRYABLE_KINDS
+        assert E_BAD_REQUEST not in RETRYABLE_KINDS
+        assert E_SHUTTING_DOWN in RETRYABLE_KINDS

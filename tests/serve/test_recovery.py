@@ -1,0 +1,101 @@
+"""Startup-sweep unit tests: quarantine torn entries, keep sound ones."""
+
+import json
+import pickle
+
+from repro import cache
+from repro.serve.recovery import sweep
+
+_MAGIC = b"LDOC1\n"
+
+
+def _write_entry(directory, key, payload=b"\x00" * 64):
+    """One sound cache entry: magic-prefixed trace + matching sidecar."""
+    trace = directory / f"{key}.trace.bin"
+    trace.write_bytes(_MAGIC + payload)
+    meta = directory / f"{key}.meta.json"
+    meta.write_text(json.dumps({"bytes": trace.stat().st_size}))
+    return trace, meta
+
+
+class TestSweepSoundEntries:
+    def test_clean_cache_untouched(self, tmp_path):
+        _write_entry(tmp_path, "aaa")
+        artifact = tmp_path / "aaa.r1.table.pkl"
+        artifact.write_bytes(pickle.dumps({"x": 1}))
+        report = sweep(tmp_path)
+        assert report.quarantined == []
+        assert report.scanned == 3  # meta + trace + pkl
+        assert report.ok == 3
+        assert artifact.exists()
+
+    def test_empty_directory(self, tmp_path):
+        report = sweep(tmp_path / "missing")
+        assert report.scanned == 0
+
+
+class TestSweepTornEntries:
+    def test_truncated_trace_quarantined(self, tmp_path):
+        trace, _ = _write_entry(tmp_path, "bbb")
+        trace.write_bytes(trace.read_bytes()[:-10])  # torn write
+        report = sweep(tmp_path)
+        assert [name for name, _ in report.quarantined] == ["bbb.trace.bin"]
+        assert "truncated" in report.quarantined[0][1]
+        assert not trace.exists()
+        quarantined = trace.with_name(trace.name + cache.QUARANTINE_SUFFIX)
+        assert quarantined.exists()
+
+    def test_missing_magic_quarantined(self, tmp_path):
+        trace = tmp_path / "ccc.trace.bin"
+        trace.write_bytes(b"garbage bytes")
+        (tmp_path / "ccc.meta.json").write_text(
+            json.dumps({"bytes": trace.stat().st_size})
+        )
+        report = sweep(tmp_path)
+        assert ("ccc.trace.bin", "missing binary trace magic") in report.quarantined
+
+    def test_torn_meta_quarantined(self, tmp_path):
+        trace, meta = _write_entry(tmp_path, "ddd")
+        meta.write_text('{"bytes": 12')  # torn JSON
+        report = sweep(tmp_path)
+        names = [name for name, _ in report.quarantined]
+        # The torn sidecar goes, and the trace it vouched for follows.
+        assert "ddd.meta.json" in names
+        assert "ddd.trace.bin" in names
+
+    def test_truncated_pickle_quarantined(self, tmp_path):
+        artifact = tmp_path / "eee.r1.table.pkl"
+        artifact.write_bytes(pickle.dumps({"x": 1})[:-1])  # loses STOP
+        report = sweep(tmp_path)
+        assert ("eee.r1.table.pkl",
+                "missing pickle STOP opcode (truncated)") in report.quarantined
+
+    def test_empty_pickle_quarantined(self, tmp_path):
+        (tmp_path / "fff.r1.t.pkl").write_bytes(b"")
+        report = sweep(tmp_path)
+        assert ("fff.r1.t.pkl", "empty artifact") in report.quarantined
+
+    def test_orphan_tmp_files_deleted(self, tmp_path):
+        orphan = tmp_path / "ggg.trace.bin.k3j2.tmp"
+        orphan.write_bytes(b"half-written spool")
+        report = sweep(tmp_path)
+        assert report.tmp_removed == 1
+        assert not orphan.exists()
+
+
+class TestQuarantineIsInvisible:
+    def test_quarantined_entries_escape_every_lookup(self, tmp_path):
+        trace, _ = _write_entry(tmp_path, "hhh")
+        trace.write_bytes(trace.read_bytes()[:-5])
+        sweep(tmp_path)
+        # The lookup globs the cache uses must not see the renamed file.
+        assert list(tmp_path.glob("*.trace.bin")) == []
+        assert list(tmp_path.glob("hhh.*")) != []  # still on disk
+
+    def test_report_serializes(self, tmp_path):
+        trace, _ = _write_entry(tmp_path, "iii")
+        trace.write_bytes(b"junk")
+        payload = sweep(tmp_path).to_json_dict()
+        assert payload["scanned"] >= 1
+        assert isinstance(payload["quarantined"], list)
+        json.dumps(payload)  # JSON-able for the structured log

@@ -1,0 +1,283 @@
+"""End-to-end daemon tests over a real unix socket.
+
+Each fixture daemon is a genuine ``lockdoc serve run`` subprocess with
+private cache + runtime directories (short paths under /tmp — unix
+socket paths are capped at ~108 chars).  The ``health`` op keeps
+requests fast; ``derive`` at a tiny scale exercises the cold/warm/
+coalesced paths.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import RemoteClient, RemoteError
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_RETRY_AFTER,
+    E_WORKER_CRASH,
+)
+from repro.serve.slog import read_events
+
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+class Daemon:
+    """One `lockdoc serve run` subprocess plus its runtime dirs."""
+
+    def __init__(self, extra_args=(), serve_dir=None, cache_dir=None):
+        self.serve_dir = serve_dir or tempfile.mkdtemp(prefix="sd", dir="/tmp")
+        self.cache_dir = cache_dir or tempfile.mkdtemp(prefix="sc", dir="/tmp")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO, "src")
+        env["LOCKDOC_SERVE_DIR"] = self.serve_dir
+        env["LOCKDOC_CACHE_DIR"] = self.cache_dir
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "run",
+             "--workers", "2", *extra_args],
+            env=env, cwd=_REPO,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        self.socket_path = os.path.join(self.serve_dir, "serve.sock")
+        self.log_path = os.path.join(self.serve_dir, "serve.log.jsonl")
+        probe = self.client(attempts=1)
+        deadline = time.monotonic() + 30.0
+        while not probe.ping():
+            if self.process.poll() is not None or time.monotonic() > deadline:
+                raise RuntimeError(
+                    "daemon did not come up: "
+                    + self.process.stderr.read().decode(errors="replace")
+                )
+            time.sleep(0.1)
+
+    def client(self, **kwargs):
+        kwargs.setdefault("attempts", 1)
+        return RemoteClient(socket_path=self.socket_path, **kwargs)
+
+    def events(self):
+        return read_events(self.log_path)
+
+    def close(self):
+        if self.process.poll() is None:
+            if not self.client().shutdown():
+                self.process.terminate()
+            try:
+                self.process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5)
+        self.process.stdout.close()
+        self.process.stderr.close()
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    d = Daemon()
+    yield d
+    d.close()
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    from repro.tracing import serialize
+    from repro.workloads.racer import run_racer
+
+    path = tmp_path_factory.mktemp("e2e") / "racer.bin"
+    with open(path, "wb") as fp:
+        serialize.dump_binary(run_racer(seed=0, scale=0.5).tracer, fp)
+    return str(path)
+
+
+class TestEnvelope:
+    def test_ping_and_status(self, daemon):
+        client = daemon.client()
+        assert client.ping()
+        status = client.status()
+        assert status["workers"] == 2
+        assert "derive" in status["operations"]
+        assert status["counters"]["received"] >= 1
+
+    def test_health_request(self, daemon, trace_file):
+        response = daemon.client().request(
+            "health", {"trace": trace_file, "registry": "racer"}
+        )
+        assert response.result["exit_code"] == 0
+        assert "trace health" in response.result["text"]
+
+    def test_bad_request_classified(self, daemon):
+        with pytest.raises(RemoteError) as info:
+            daemon.client().request("derive", {"bogus": 1})
+        assert info.value.kind == E_BAD_REQUEST
+        assert "bogus" in info.value.message
+
+    def test_unknown_op_classified(self, daemon):
+        with pytest.raises(RemoteError) as info:
+            daemon.client().request("frobnicate", {})
+        assert info.value.kind == E_BAD_REQUEST
+
+    def test_deadline_kills_cold_derive(self, daemon):
+        with pytest.raises(RemoteError) as info:
+            daemon.client().request(
+                "derive", {"scale": 1.31}, deadline=0.05
+            )
+        assert info.value.kind == E_DEADLINE
+
+    def test_cold_warm_and_coalesced_derive(self, daemon):
+        client = daemon.client()
+        params = {"scale": 1.25}
+        results = [None, None]
+
+        def call(i):
+            results[i] = client.request("derive", params, deadline=120)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results[0].result == results[1].result
+        coalesced = [r.meta.get("coalesced") for r in results]
+        assert sorted(coalesced) == [False, True]
+        # Warm repeat: served from the daemon-owned cache, fast.
+        t0 = time.monotonic()
+        warm = client.request("derive", params, deadline=120)
+        assert warm.result == results[0].result
+        assert time.monotonic() - t0 < 5.0
+
+    def test_structured_log_accounts_for_requests(self, daemon):
+        events = daemon.events()
+        kinds = {e["event"] for e in events}
+        assert "start" in kinds
+        assert "request" in kinds and "reply" in kinds
+        replies = [e for e in events if e["event"] == "reply"]
+        assert all(r["status"] in ("ok", "error") for r in replies)
+
+
+class TestBudgetsAndShedding:
+    def test_flood_is_shed_with_retry_hint(self, trace_file):
+        daemon = Daemon(extra_args=["--rate", "0.5", "--burst", "2"])
+        try:
+            client = daemon.client(client_id="flooder")
+            outcomes = []
+            for i in range(8):
+                params = {"trace": trace_file, "registry": "racer",
+                          "diagnostics": 10 + i}  # distinct: no coalescing
+                try:
+                    outcomes.append(client.request("health", params).status)
+                except RemoteError as exc:
+                    outcomes.append(exc.kind)
+                    assert exc.retry_after is not None
+                    assert exc.retry_after > 0
+            assert "ok" in outcomes
+            assert E_RETRY_AFTER in outcomes
+            # A different client has its own bucket: not locked out.
+            other = daemon.client(client_id="other")
+            params = {"trace": trace_file, "registry": "racer"}
+            assert other.request("health", params).status == "ok"
+        finally:
+            daemon.close()
+
+
+class TestCrashRecovery:
+    def test_crash_rate_one_exhausts_bounded_retry(self, trace_file):
+        daemon = Daemon(extra_args=["--chaos", "crash:1.0"])
+        try:
+            with pytest.raises(RemoteError) as info:
+                daemon.client().request(
+                    "health", {"trace": trace_file, "registry": "racer"}
+                )
+            assert info.value.kind == E_WORKER_CRASH
+            events = daemon.events()
+            crashes = [e for e in events if e["event"] == "worker_crash"]
+            # First attempt crashes (will_retry), bounded re-execution
+            # crashes again (gives up) — exactly two, never more.
+            assert len(crashes) == 2
+            reply = [e for e in events if e["event"] == "reply"][-1]
+            assert reply["attempts"] == 2
+        finally:
+            daemon.close()
+
+    def test_crash_then_retry_succeeds(self, trace_file):
+        from repro.faults.daemon import ChaosPlan
+        from repro.serve import ops
+        from repro.serve.protocol import request_key
+
+        # Deterministic chaos: scan for a seed where this exact request
+        # crashes on attempt 0 but survives the bounded re-execution.
+        params = {"trace": trace_file, "registry": "racer"}
+        key = request_key("health", ops.validate("health", params))
+        chaos_seed = next(
+            seed for seed in range(1000)
+            if ChaosPlan.from_spec("crash:0.6", seed=seed).decisions(key, 0)
+            and not ChaosPlan.from_spec("crash:0.6", seed=seed).decisions(key, 1)
+        )
+        daemon = Daemon(extra_args=[
+            "--chaos", "crash:0.6", "--chaos-seed", str(chaos_seed),
+        ])
+        try:
+            response = daemon.client().request("health", params)
+            assert response.result["exit_code"] == 0
+            assert response.meta["attempts"] == 2
+        finally:
+            daemon.close()
+
+
+class TestLifecycle:
+    def test_status_and_stop_via_cli(self):
+        daemon = Daemon()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO, "src")
+        env["LOCKDOC_SERVE_DIR"] = daemon.serve_dir
+        env["LOCKDOC_CACHE_DIR"] = daemon.cache_dir
+        try:
+            status = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "serve", "status",
+                 "--json"],
+                env=env, cwd=_REPO, capture_output=True, text=True,
+            )
+            assert status.returncode == 0
+            payload = json.loads(status.stdout)
+            assert payload["running"] is True
+            stop = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "serve", "stop"],
+                env=env, cwd=_REPO, capture_output=True, text=True,
+            )
+            assert stop.returncode == 0
+            assert "daemon stopped" in stop.stdout
+            daemon.process.wait(timeout=10)
+            assert daemon.process.returncode == 0
+            # Socket and pidfile are gone: status now reports down.
+            after = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "serve", "status"],
+                env=env, cwd=_REPO, capture_output=True, text=True,
+            )
+            assert after.returncode == 2
+            assert "not running" in after.stdout
+        finally:
+            daemon.close()
+
+    def test_second_daemon_refuses_live_socket(self):
+        daemon = Daemon()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO, "src")
+        env["LOCKDOC_SERVE_DIR"] = daemon.serve_dir
+        env["LOCKDOC_CACHE_DIR"] = daemon.cache_dir
+        try:
+            second = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "serve", "run"],
+                env=env, cwd=_REPO, capture_output=True, text=True,
+                timeout=30,
+            )
+            assert second.returncode == 2
+            assert "already serving" in second.stderr
+        finally:
+            daemon.close()

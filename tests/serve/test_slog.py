@@ -1,0 +1,53 @@
+"""Structured-log unit tests: emit, torn-tail tolerance, fail-silence."""
+
+import json
+
+from repro.serve.slog import StructuredLog, read_events
+
+
+class TestStructuredLog:
+    def test_emits_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = StructuredLog(path)
+        log.emit("start", workers=4)
+        log.emit("request", op="derive")
+        log.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["start", "request"]
+        assert events[0]["workers"] == 4
+        assert all("ts" in e for e in events)
+
+    def test_none_path_disables_logging(self):
+        log = StructuredLog(None)
+        log.emit("start")  # must not raise
+        log.close()
+
+    def test_unwritable_path_is_fail_silent(self):
+        log = StructuredLog("/proc/definitely/not/writable/log.jsonl")
+        log.emit("start")  # must not raise
+        log.close()
+
+    def test_emit_survives_unserializable_fields(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = StructuredLog(path)
+        log.emit("weird", payload=object())  # default=str kicks in
+        log.close()
+        assert read_events(path)[0]["event"] == "weird"
+
+
+class TestReadEvents:
+    def test_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps({"event": "ok"}) + "\n" + '{"event": "torn'
+        )
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["ok"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+    def test_skips_non_object_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('[1, 2]\n{"event": "real"}\n\n')
+        assert [e["event"] for e in read_events(path)] == ["real"]

@@ -1,0 +1,106 @@
+"""Atomic-write contract: publish whole files or nothing, never torn."""
+
+import json
+import os
+
+import pytest
+
+from repro.atomicio import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteBytes:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+
+    def test_no_tmp_left_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_failure_leaves_no_tmp_and_old_content(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"original")
+        # os.replace to a directory path fails after the tmp file was
+        # written: the destination must keep its old content and the
+        # spool file must be cleaned up.
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        (blocked / "x").write_text("keep")  # non-empty: replace fails
+        with pytest.raises(OSError):
+            atomic_write_bytes(blocked, b"new")
+        assert path.read_bytes() == b"original"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.bin"
+        atomic_write_bytes(path, b"x")
+        assert path.read_bytes() == b"x"
+
+
+class TestAtomicWriteTextAndJson:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "héllo\n")
+        assert path.read_text() == "héllo\n"
+
+    def test_json_is_sorted_with_trailing_newline(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+
+class TestConsumers:
+    def test_fuzz_corpus_save_is_atomic(self, tmp_path):
+        """Corpus.save must leave no spool file behind (satellite:
+        crash-safe persistence)."""
+        from repro.fuzz.corpus import Corpus
+        from repro.fuzz.feedback import CoverageMap
+
+        corpus = Corpus(CoverageMap(), seed=3)
+        out = tmp_path / "corpus.json"
+        corpus.save(str(out))
+        reloaded = Corpus.load(str(out))
+        assert reloaded.seed == 3
+        assert [p.name for p in tmp_path.iterdir()] == ["corpus.json"]
+
+    def test_bench_reports_use_atomic_json(self):
+        """Every benchmark's report emission goes through atomicio."""
+        import pathlib
+
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks" / "perf"
+        for script in sorted(bench_dir.glob("bench_*.py")):
+            source = script.read_text()
+            assert "atomic_write_json" in source, script.name
+            # The raw torn-write idiom must be gone from report emission.
+            assert 'open(args.out, "w")' not in source, script.name
+
+
+def test_cache_atomic_write_delegates():
+    """The cache's atomic writes share the one audited implementation."""
+    import inspect
+
+    from repro import cache
+
+    assert "atomic_write_bytes" in inspect.getsource(cache._atomic_write)
+
+
+def test_fsync_failure_is_not_fatal(tmp_path, monkeypatch):
+    calls = {"n": 0}
+    real_fsync = os.fsync
+
+    def flaky_fsync(fd):
+        calls["n"] += 1
+        raise OSError("fsync unsupported")
+
+    monkeypatch.setattr(os, "fsync", flaky_fsync)
+    try:
+        atomic_write_bytes(tmp_path / "out.bin", b"data")
+    finally:
+        monkeypatch.setattr(os, "fsync", real_fsync)
+    assert (tmp_path / "out.bin").read_bytes() == b"data"
+    assert calls["n"] >= 1

@@ -256,3 +256,41 @@ def test_contention_command(capsys):
 def test_relations_command(capsys):
     assert cli.main(["relations"]) == 0
     assert "EO-rule object relations" in capsys.readouterr().out
+
+
+class TestRemoteFlag:
+    """`--remote` behavior without a live daemon."""
+
+    def test_remote_falls_back_locally_when_daemon_down(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Point the client at a socket nobody serves: the command must
+        # print a one-line degraded notice and produce the *same*
+        # stdout as the local path.
+        monkeypatch.setenv("LOCKDOC_SERVE_DIR", str(tmp_path / "nosrv"))
+        assert cli.main(["check", "--remote"]) == 0
+        remote = capsys.readouterr()
+        assert remote.err.startswith("degraded: ")
+        assert "computing locally" in remote.err
+        assert cli.main(["check"]) == 0
+        local = capsys.readouterr()
+        assert remote.out == local.out
+        assert local.err == ""
+
+    def test_remote_rejects_no_cache(self, capsys):
+        assert cli.main(["derive", "--remote", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--no-cache" in err
+
+    def test_serve_status_reports_down(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("LOCKDOC_SERVE_DIR", str(tmp_path / "nosrv"))
+        assert cli.main(["serve", "status"]) == 2
+        assert "not running" in capsys.readouterr().out
+
+    def test_serve_stop_when_down_is_an_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("LOCKDOC_SERVE_DIR", str(tmp_path / "nosrv"))
+        assert cli.main(["serve", "stop", "--timeout", "0.2"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Long-running CLI subcommands die cleanly on SIGINT/SIGTERM.
+
+The robustness envelope extends to the terminal: an interrupted fuzz
+campaign (or experiment, or static check) must exit with the
+conventional code (128+signum), print a one-line notice to stderr, and
+never dump a traceback.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _spawn_fuzz(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src")
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "fuzz", "run",
+         "--generations", "50", "--population", "4",
+         "--out", str(tmp_path / "corpus.json")],
+        env=env, cwd=_REPO,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    # Wait until the campaign is demonstrably inside its long-running
+    # loop (first progress line) before signalling it.
+    line = process.stdout.readline()
+    if not line:
+        process.kill()
+        pytest.fail(
+            "fuzz run produced no progress output: "
+            + process.stderr.read().decode(errors="replace")
+        )
+    return process
+
+
+def _finish(process, signum):
+    time.sleep(0.2)
+    process.send_signal(signum)
+    try:
+        process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    stderr = process.stderr.read().decode(errors="replace")
+    process.stdout.close()
+    process.stderr.close()
+    return process.returncode, stderr
+
+
+def test_sigint_exits_130_without_traceback(tmp_path):
+    process = _spawn_fuzz(tmp_path)
+    code, stderr = _finish(process, signal.SIGINT)
+    assert code == 130, stderr
+    assert "interrupted (SIGINT)" in stderr
+    assert "Traceback" not in stderr
+
+
+def test_sigterm_exits_143_without_traceback(tmp_path):
+    process = _spawn_fuzz(tmp_path)
+    code, stderr = _finish(process, signal.SIGTERM)
+    assert code == 143, stderr
+    assert "terminated (SIGTERM)" in stderr
+    assert "Traceback" not in stderr
