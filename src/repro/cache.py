@@ -145,6 +145,22 @@ def trace_path(workload: str, seed: int, scale: float) -> Path:
     return cache_dir() / f"{trace_key(workload, seed, scale)}.trace.bin"
 
 
+def is_cacheable(workload: str) -> bool:
+    """Whether *workload* is eligible for disk caching at all."""
+    return workload in _CACHEABLE
+
+
+def store_path(workload: str, seed: int, scale: float) -> Path:
+    """The SQLite trace-store artifact for one workload tuple.
+
+    Stores live in the artifact tier (keyed by the analysis revision,
+    like the pickles): the on-disk schema embeds import semantics, so
+    any db/core source change must invalidate them.
+    """
+    key = trace_key(workload, seed, scale)
+    return cache_dir() / f"{key}.{analysis_revision()}.store.sqlite"
+
+
 def _meta_path(key: str) -> Path:
     return cache_dir() / f"{key}.meta.json"
 
@@ -411,12 +427,13 @@ def entries() -> List[Dict]:
             continue
         artifacts = 0
         artifact_bytes = 0
-        for path in directory.glob(f"{key}.*.pkl"):
-            try:
-                artifact_bytes += path.stat().st_size
-            except OSError:
-                continue  # deleted/quarantined mid-iteration
-            artifacts += 1
+        for pattern in (f"{key}.*.pkl", f"{key}.*.store.sqlite"):
+            for path in directory.glob(pattern):
+                try:
+                    artifact_bytes += path.stat().st_size
+                except OSError:
+                    continue  # deleted/quarantined mid-iteration
+                artifacts += 1
         meta["key"] = key
         meta["artifacts"] = artifacts
         meta["artifact_bytes"] = artifact_bytes
@@ -436,7 +453,7 @@ def clear() -> int:
         return 0
     removed = 0
     patterns = (
-        "*.trace.bin", "*.meta.json", "*.pkl",
+        "*.trace.bin", "*.meta.json", "*.pkl", "*.store.sqlite",
         f"*{QUARANTINE_SUFFIX}", "*.tmp",
     )
     for pattern in patterns:

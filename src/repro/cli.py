@@ -32,6 +32,13 @@ duplicate in-flight work.  Output is byte-identical to local mode;
 when the daemon is unreachable the client prints a one-line
 ``degraded:`` notice on stderr and computes locally.
 
+The same five subcommands take ``--backend memory|sqlite``: ``memory``
+(default) analyzes the in-RAM :class:`TraceDatabase`; ``sqlite``
+builds an out-of-core sharded SQLite trace store
+(:mod:`repro.db.sqlstore`) and streams derivation/checking/violation
+queries from disk — byte-identical output with bounded resident
+memory.  ``--backend`` composes with ``--remote``.
+
 Trace-producing subcommands take ``--workload``, resolved through the
 central :mod:`repro.workloads.registry` — built-ins (``mix``,
 ``racer``, ``racer-safe``) or a fuzzed corpus (``fuzz:<file>`` /
@@ -92,6 +99,16 @@ def _add_remote_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=experiments_common.BACKENDS,
+        default=experiments_common.DEFAULT_BACKEND,
+        help="trace query backend: `memory` holds the whole TraceDatabase "
+        "in RAM; `sqlite` builds an out-of-core sharded store and streams "
+        "queries from disk (identical output, bounded memory)",
+    )
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -116,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
     derive = sub.add_parser("derive", help="derive locking rules")
     _add_pipeline_args(derive)
     _add_jobs_arg(derive)
+    _add_backend_arg(derive)
     _add_remote_arg(derive)
     derive.add_argument("--type", default="", help="restrict to one type key")
     derive.add_argument(
@@ -129,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="check documented rules (Tab. 4)")
     _add_pipeline_args(check)
     _add_jobs_arg(check)
+    _add_backend_arg(check)
     _add_remote_arg(check)
 
     docgen = sub.add_parser("docgen", help="generate documentation (Fig. 8)")
@@ -138,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     violations = sub.add_parser("violations", help="find rule violations (Tab. 7)")
     _add_pipeline_args(violations)
     _add_jobs_arg(violations)
+    _add_backend_arg(violations)
     _add_remote_arg(violations)
     violations.add_argument(
         "--examples", type=int, default=0, help="also print the N largest violations"
@@ -168,6 +188,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_args(races, workload_default="racer")
     _add_jobs_arg(races)
+    _add_backend_arg(races)
     _add_remote_arg(races)
     races.add_argument(
         "--examples", type=int, default=0,
@@ -214,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--diagnostics", type=int, default=10,
         help="how many parse diagnostics to print",
     )
+    _add_backend_arg(health)
     _add_remote_arg(health)
 
     corrupt = sub.add_parser(
@@ -428,7 +450,11 @@ def _cmd_trace(args) -> int:
 
 
 def _pipeline_params(args) -> dict:
-    return {"workload": args.workload, "seed": args.seed, "scale": args.scale}
+    params = {"workload": args.workload, "seed": args.seed, "scale": args.scale}
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        params["backend"] = backend
+    return params
 
 
 def _execute_op(args, op: str, params: dict) -> dict:
@@ -629,6 +655,7 @@ def _cmd_health(args) -> int:
         "registry": args.registry,
         "budget": args.budget,
         "diagnostics": args.diagnostics,
+        "backend": args.backend,
     }
     result = _execute_op(args, "health", params)
     print(result["text"])

@@ -97,6 +97,38 @@ class TraceDatabase:
                 flagged += 1
         return flagged
 
+    def scrub_stale_lock(
+        self, ctx_id: int, cutoff_ts: int, end_ts: int, ref_for
+    ) -> int:
+        """Remove a presumed-stale lock from affected lock sequences.
+
+        Accesses *ctx_id* made in ``(cutoff_ts, end_ts]`` were resolved
+        while a stale held-set entry was still present; their recorded
+        sequences contain one lock reference too many.  *ref_for* maps
+        an accessed ``alloc_id`` to the :class:`LockRef` to remove —
+        the reference depends on the accessed object (embedded-same vs
+        embedded-other scoping), so it must be recomputed per row.
+        Returns how many rows were repaired.
+        """
+        scrubbed = 0
+        for row in self.accesses:
+            if (
+                row.ctx_id != ctx_id
+                or not cutoff_ts < row.ts <= end_ts
+                or row.filter_reason is not None
+                or not row.lockseq
+            ):
+                continue
+            ref = ref_for(row.alloc_id)
+            seq = list(row.lockseq)
+            try:
+                seq.remove(ref)
+            except ValueError:
+                continue
+            row.lockseq = tuple(seq)
+            scrubbed += 1
+        return scrubbed
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

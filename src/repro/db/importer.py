@@ -194,8 +194,12 @@ class Importer:
         structs: StructRegistry,
         filters: Optional[FilterConfig] = None,
         policy: Optional[ImportPolicy] = None,
+        db: Optional[TraceDatabase] = None,
     ) -> None:
-        self.db = TraceDatabase(structs)
+        #: The target database.  Injectable so alternative storage
+        #: (e.g. the spooling SQLite store) can receive the same
+        #: population/repair calls through the TraceDatabase interface.
+        self.db = db if db is not None else TraceDatabase(structs)
         self.filters = filters or FilterConfig()
         self.policy = policy or STRICT_POLICY
         self.stats = FilterStats()
@@ -332,24 +336,12 @@ class Importer:
         lock = self.db.locks.get(lock_id)
         if lock is None:  # pragma: no cover - defensive
             return 0
-        scrubbed = 0
-        for row in self.db.accesses:
-            if (
-                row.ctx_id != ctx_id
-                or not cutoff_ts < row.ts <= end_ts
-                or row.filter_reason is not None
-                or not row.lockseq
-            ):
-                continue
-            ref = self._ref_for(lock, mode, row.alloc_id)
-            seq = list(row.lockseq)
-            try:
-                seq.remove(ref)
-            except ValueError:
-                continue
-            row.lockseq = tuple(seq)
-            scrubbed += 1
-        return scrubbed
+        return self.db.scrub_stale_lock(
+            ctx_id,
+            cutoff_ts,
+            end_ts,
+            lambda alloc_id: self._ref_for(lock, mode, alloc_id),
+        )
 
     def _enforce_budget(self) -> None:
         if self.total_events < self.policy.min_events_for_budget:

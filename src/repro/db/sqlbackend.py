@@ -2,9 +2,17 @@
 
 The paper loads its trace into MariaDB and implements the
 rule-violation finder "as a parametrizable SQL statement" (Sec. 6).
-This module provides the equivalent: export a
-:class:`~repro.db.database.TraceDatabase` into an SQLite database with
-the Fig. 6 relations, plus the violation query itself.
+This module provides the equivalent schema and queries:
+
+* :func:`export_sqlite` — export an in-memory
+  :class:`~repro.db.database.TraceDatabase` into the schema (the
+  original side path, now crash-safe: bulk-load PRAGMAs, tmp+rename
+  publish, indexes created after the inserts),
+* the shared DDL (:data:`TABLES_SQL` / :data:`INDEXES_SQL`) and the
+  small-table writers also used by :mod:`repro.db.sqlstore`, which
+  *builds* the same schema straight from an event stream without ever
+  materializing the database in RAM,
+* :data:`VIOLATION_QUERY` — the parametrizable rule-violation SQL.
 
 Schema (one table per Fig. 6 relation):
 
@@ -13,21 +21,49 @@ Schema (one table per Fig. 6 relation):
 ``type_layout``         member name/offset/size/kind per data type
 ``allocations``         id, address, size, type, subclass, lifetime
 ``locks``               id, class, name, address, static flag, owner
-``txns``                id, context, start/end timestamps, no-locks flag
+``txns``                id, insertion seq, context, timestamps, flags
 ``txn_locks``           held locks per txn in acquisition order (+mode)
 ``accesses``            member-resolved accesses (txn, alloc, member, ...)
-``access_locks``        the abstract lock-reference sequence per access
+``lockseqs``            distinct abstract lock sequences (interned)
+``lockseq_refs``        one row per lock reference of each sequence
+``access_locks``        VIEW: the per-access lock-reference expansion
 ``stack_traces``        interned stacks, one row per frame
 ``subclasses``          distinct (data_type, subclass) pairs
+``meta``                completeness flag, row counts, health report
 ======================  ==================================================
+
+Lock sequences are *interned*: each distinct abstract sequence is one
+``lockseqs`` row (canonical text via :meth:`LockRef.format`, exactly
+invertible by :meth:`LockRef.parse`) and every access stores only its
+``lockseq_id``.  ``access_locks`` — the relation the violation query
+joins against — is a view over that dimension, so retroactive lockseq
+repairs (stale-lock scrubbing) are single-column updates and the
+on-disk size stays near-linear in distinct sequences, not references.
+
+The ``meta`` table carries a ``complete`` flag plus per-table row
+counts written only after every insert and index landed.  A crash
+mid-export can therefore never produce a database that *opens*
+successfully but silently misses rows: the loader
+(:func:`repro.db.sqlstore.open_store`) refuses anything whose counts
+disagree.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.lockrefs import LockRef, LockSeq
 from repro.db.database import TraceDatabase
+
+#: Bumped whenever the DDL changes shape; stored in ``meta``.
+SCHEMA_VERSION = "2"
+
+#: Separator between formatted refs in a canonical lockseq text.  A
+#: control character that cannot occur in lock/struct identifiers, so
+#: the join is unambiguous.
+_SEQ_SEPARATOR = "\x1f"
 
 
 def _s64(value):
@@ -38,7 +74,32 @@ def _s64(value):
         return None
     return value - (1 << 64) if value >= (1 << 63) else value
 
-_SCHEMA = """
+
+def _u64(value):
+    """Inverse of :func:`_s64`: recover the unsigned kernel address
+    from its stored two's-complement value (None passes through).
+
+    Every read path must go through this — a raw read hands back
+    negative "addresses" for anything at or above 2^63.
+    """
+    if value is None:
+        return None
+    return value + (1 << 64) if value < 0 else value
+
+
+def format_lockseq(lockseq: LockSeq) -> str:
+    """Canonical text of an abstract lock sequence (order-preserving)."""
+    return _SEQ_SEPARATOR.join(ref.format() for ref in lockseq)
+
+
+def parse_lockseq(text: str) -> LockSeq:
+    """Exact inverse of :func:`format_lockseq`."""
+    if not text:
+        return ()
+    return tuple(LockRef.parse(part) for part in text.split(_SEQ_SEPARATOR))
+
+
+TABLES_SQL = """
 CREATE TABLE data_types (
     name TEXT PRIMARY KEY,
     size INTEGER NOT NULL
@@ -72,10 +133,12 @@ CREATE TABLE locks (
 );
 CREATE TABLE txns (
     txn_id INTEGER PRIMARY KEY,
+    seq INTEGER NOT NULL,
     ctx_id INTEGER NOT NULL,
     start_ts INTEGER NOT NULL,
     end_ts INTEGER NOT NULL,
-    no_locks INTEGER NOT NULL
+    no_locks INTEGER NOT NULL,
+    synthetic_close INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE txn_locks (
     txn_id INTEGER NOT NULL,
@@ -99,17 +162,28 @@ CREATE TABLE accesses (
     stack_id INTEGER NOT NULL,
     file TEXT NOT NULL,
     line INTEGER NOT NULL,
+    lockseq_id INTEGER NOT NULL,
     filter_reason TEXT
 );
-CREATE TABLE access_locks (
-    access_id INTEGER NOT NULL,
+CREATE TABLE lockseqs (
+    lockseq_id INTEGER PRIMARY KEY,
+    lockseq TEXT NOT NULL UNIQUE
+);
+CREATE TABLE lockseq_refs (
+    lockseq_id INTEGER NOT NULL,
     position INTEGER NOT NULL,
     scope TEXT NOT NULL,
     name TEXT NOT NULL,
     owner_type TEXT,
     mode TEXT NOT NULL,
-    PRIMARY KEY (access_id, position)
+    PRIMARY KEY (lockseq_id, position)
 );
+CREATE VIEW access_locks AS
+    SELECT a.access_id AS access_id, r.position AS position,
+           r.scope AS scope, r.name AS name,
+           r.owner_type AS owner_type, r.mode AS mode
+    FROM accesses a
+    JOIN lockseq_refs r ON r.lockseq_id = a.lockseq_id;
 CREATE TABLE stack_traces (
     stack_id INTEGER NOT NULL,
     depth INTEGER NOT NULL,
@@ -123,20 +197,63 @@ CREATE TABLE subclasses (
     subclass TEXT NOT NULL,
     PRIMARY KEY (data_type, subclass)
 );
-CREATE INDEX idx_accesses_member ON accesses (data_type, member, access_type);
-CREATE INDEX idx_accesses_txn ON accesses (txn_id);
-CREATE INDEX idx_access_locks ON access_locks (access_id);
+CREATE TABLE meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
+#: Created *after* the bulk inserts: index maintenance during the load
+#: would roughly double the write volume for nothing.
+INDEXES_SQL = """
+CREATE INDEX idx_accesses_member ON accesses (data_type, member, access_type);
+CREATE INDEX idx_accesses_txn ON accesses (txn_id);
+CREATE INDEX idx_accesses_fold
+    ON accesses (txn_id, alloc_id, member, access_id);
+"""
 
-def export_sqlite(
-    db: TraceDatabase, path: str = ":memory:"
-) -> sqlite3.Connection:
-    """Export *db* into an SQLite database; returns the connection."""
-    connection = sqlite3.connect(path)
-    connection.executescript(_SCHEMA)
+#: Kept for backwards compatibility with the original export signature.
+_SCHEMA = TABLES_SQL + INDEXES_SQL
 
-    for struct in db.structs.all():
+
+def apply_bulk_pragmas(connection: sqlite3.Connection) -> None:
+    """Tune *connection* for a one-shot bulk load.
+
+    Rollback journal and fsyncs are disabled: crash-safety comes from
+    the tmp+rename publish protocol (a killed writer leaves only a
+    ``*.tmp`` orphan), not from SQLite's own durability machinery, so
+    paying for a journal here would buy nothing.
+    """
+    connection.execute("PRAGMA journal_mode=OFF")
+    connection.execute("PRAGMA synchronous=OFF")
+    connection.execute("PRAGMA temp_store=MEMORY")
+    connection.execute("PRAGMA cache_size=-16384")
+
+
+def write_meta(connection: sqlite3.Connection, values: Dict[str, str]) -> None:
+    connection.executemany(
+        "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+        [(key, str(value)) for key, value in values.items()],
+    )
+
+
+def completion_meta(connection: sqlite3.Connection) -> Dict[str, str]:
+    """The completeness stamp: row counts the loader re-verifies."""
+    values = {"schema_version": SCHEMA_VERSION, "complete": "1"}
+    for table in ("accesses", "txns", "allocations", "locks"):
+        (count,) = connection.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()
+        values[f"rows_{table}"] = str(count)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Shared table writers (export path and the sqlstore build path)
+# ----------------------------------------------------------------------
+
+def write_struct_tables(connection: sqlite3.Connection, structs) -> None:
+    for struct in structs.all():
         connection.execute(
             "INSERT INTO data_types VALUES (?, ?)", (struct.name, struct.size)
         )
@@ -148,73 +265,168 @@ def export_sqlite(
             ],
         )
 
+
+def write_allocation_rows(connection: sqlite3.Connection, allocations) -> None:
     connection.executemany(
         "INSERT INTO allocations VALUES (?, ?, ?, ?, ?, ?, ?)",
         [
             (a.alloc_id, _s64(a.address), a.size, a.data_type, a.subclass,
              a.alloc_ts, a.free_ts)
-            for a in db.allocations.values()
+            for a in allocations
         ],
     )
+    subclasses = sorted(
+        {(a.data_type, a.subclass) for a in allocations if a.subclass}
+    )
+    connection.executemany("INSERT INTO subclasses VALUES (?, ?)", subclasses)
+
+
+def write_lock_rows(connection: sqlite3.Connection, locks) -> None:
     connection.executemany(
         "INSERT INTO locks VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
         [
-            (l.lock_id, l.lock_class, l.name, _s64(l.address), int(l.is_static),
-             l.owner_alloc_id, l.owner_data_type, l.owner_member)
-            for l in db.locks.values()
+            (l.lock_id, l.lock_class, l.name, _s64(l.address),
+             int(l.is_static), l.owner_alloc_id, l.owner_data_type,
+             l.owner_member)
+            for l in locks
         ],
     )
-    connection.executemany(
-        "INSERT INTO txns VALUES (?, ?, ?, ?, ?)",
-        [
-            (t.txn_id, t.ctx_id, t.start_ts, t.end_ts, int(t.no_locks))
-            for t in db.txns.values()
-        ],
-    )
-    txn_locks = []
-    for txn in db.txns.values():
-        for position, held in enumerate(txn.held):
-            txn_locks.append((txn.txn_id, position, held.lock_id, held.mode))
-    connection.executemany("INSERT INTO txn_locks VALUES (?, ?, ?, ?)", txn_locks)
 
+
+def write_txn_rows(connection: sqlite3.Connection, txns) -> None:
+    """*txns* in database insertion order — recorded in ``seq`` so a
+    reload can restore the exact iteration order (``txn_id`` alone
+    cannot: transactions are inserted at *close* time)."""
+    rows = []
+    held_rows = []
+    for seq, txn in enumerate(txns):
+        rows.append(
+            (txn.txn_id, seq, txn.ctx_id, txn.start_ts, txn.end_ts,
+             int(txn.no_locks), int(txn.synthetic_close))
+        )
+        for position, held in enumerate(txn.held):
+            held_rows.append((txn.txn_id, position, held.lock_id, held.mode))
     connection.executemany(
-        "INSERT INTO accesses VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-        [
-            (a.access_id, a.ts, a.ctx_id, a.txn_id, a.alloc_id, a.data_type,
-             a.subclass, a.member, a.access_type, _s64(a.address), a.size,
-             a.stack_id, a.file, a.line, a.filter_reason)
-            for a in db.accesses
-        ],
+        "INSERT INTO txns VALUES (?, ?, ?, ?, ?, ?, ?)", rows
     )
-    access_locks = []
-    for access in db.accesses:
-        for position, ref in enumerate(access.lockseq):
-            access_locks.append(
-                (access.access_id, position, ref.scope.value, ref.name,
+    connection.executemany(
+        "INSERT INTO txn_locks VALUES (?, ?, ?, ?)", held_rows
+    )
+
+
+def write_stack_rows(
+    connection: sqlite3.Connection, stack_table: Sequence
+) -> None:
+    rows = []
+    for stack_id, frames in enumerate(stack_table):
+        for depth, (function, file, line) in enumerate(frames):
+            rows.append((stack_id, depth, function, file, line))
+    connection.executemany(
+        "INSERT INTO stack_traces VALUES (?, ?, ?, ?, ?)", rows
+    )
+    write_meta(connection, {"stack_count": str(len(stack_table))})
+
+
+def write_lockseq_rows(
+    connection: sqlite3.Connection, sequences: Iterable[Tuple[int, LockSeq]]
+) -> None:
+    """Write the interned sequence dimension: one ``lockseqs`` row per
+    distinct sequence plus its ``lockseq_refs`` expansion."""
+    seq_rows = []
+    ref_rows = []
+    for seq_id, lockseq in sequences:
+        seq_rows.append((seq_id, format_lockseq(lockseq)))
+        for position, ref in enumerate(lockseq):
+            ref_rows.append(
+                (seq_id, position, ref.scope.value, ref.name,
                  ref.owner_type, ref.mode)
             )
+    connection.executemany("INSERT INTO lockseqs VALUES (?, ?)", seq_rows)
     connection.executemany(
-        "INSERT INTO access_locks VALUES (?, ?, ?, ?, ?, ?)", access_locks
+        "INSERT INTO lockseq_refs VALUES (?, ?, ?, ?, ?, ?)", ref_rows
     )
 
-    stack_rows = []
-    for stack_id, frames in enumerate(db.stack_table):
-        for depth, (function, file, line) in enumerate(frames):
-            stack_rows.append((stack_id, depth, function, file, line))
-    connection.executemany(
-        "INSERT INTO stack_traces VALUES (?, ?, ?, ?, ?)", stack_rows
-    )
 
-    subclasses = sorted(
-        {
-            (a.data_type, a.subclass)
-            for a in db.allocations.values()
-            if a.subclass
-        }
-    )
-    connection.executemany("INSERT INTO subclasses VALUES (?, ?)", subclasses)
+def _publish(connection: sqlite3.Connection, tmp: str, path: str) -> None:
+    """Close *connection*'s tmp file and atomically rename it into place."""
     connection.commit()
-    return connection
+    connection.close()
+    try:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError:
+        pass  # durability is best-effort; atomicity comes from the rename
+    os.replace(tmp, path)
+
+
+def export_sqlite(
+    db: TraceDatabase, path: str = ":memory:"
+) -> sqlite3.Connection:
+    """Export *db* into an SQLite database; returns the connection.
+
+    File exports are **atomic**: the database is built at a ``*.tmp``
+    sibling and renamed over *path* only once it is complete (tables,
+    indexes, the ``meta`` completeness stamp).  A crash mid-export
+    leaves the previous file — or nothing — under the final name,
+    never a half-written database that opens "successfully".
+    """
+    in_memory = path == ":memory:"
+    tmp = path if in_memory else f"{path}.{os.getpid()}.export.tmp"
+    connection = sqlite3.connect(tmp)
+    try:
+        apply_bulk_pragmas(connection)
+        connection.executescript(TABLES_SQL)
+
+        write_struct_tables(connection, db.structs)
+        write_allocation_rows(connection, db.allocations.values())
+        write_lock_rows(connection, db.locks.values())
+        write_txn_rows(connection, db.txns.values())
+        write_stack_rows(connection, db.stack_table)
+
+        seq_ids: Dict[LockSeq, int] = {}
+        access_rows = []
+        for a in db.accesses:
+            seq_id = seq_ids.get(a.lockseq)
+            if seq_id is None:
+                seq_id = len(seq_ids)
+                seq_ids[a.lockseq] = seq_id
+            access_rows.append(
+                (a.access_id, a.ts, a.ctx_id, a.txn_id, a.alloc_id,
+                 a.data_type, a.subclass, a.member, a.access_type,
+                 _s64(a.address), a.size, a.stack_id, a.file, a.line,
+                 seq_id, a.filter_reason)
+            )
+        connection.executemany(
+            "INSERT INTO accesses VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            access_rows,
+        )
+        write_lockseq_rows(
+            connection, ((sid, seq) for seq, sid in seq_ids.items())
+        )
+
+        connection.executescript(INDEXES_SQL)
+        write_meta(connection, completion_meta(connection))
+        if in_memory:
+            connection.commit()
+            return connection
+        _publish(connection, tmp, path)
+        # Reopen under the final name; same file, post-rename.
+        return sqlite3.connect(path)
+    except BaseException:
+        try:
+            connection.close()
+        except sqlite3.Error:
+            pass
+        if not in_memory:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        raise
 
 
 #: The parametrizable rule-violation SQL (Sec. 6): find kept accesses to
@@ -278,7 +490,8 @@ def table_counts(connection: sqlite3.Connection) -> dict:
     """Row counts per table (sanity/report helper)."""
     tables = (
         "data_types", "type_layout", "allocations", "locks", "txns",
-        "txn_locks", "accesses", "access_locks", "stack_traces", "subclasses",
+        "txn_locks", "accesses", "access_locks", "lockseqs",
+        "stack_traces", "subclasses",
     )
     counts = {}
     for table in tables:

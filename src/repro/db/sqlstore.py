@@ -1,0 +1,1041 @@
+"""Out-of-core SQLite trace store: build, validate, query.
+
+This is the promotion of :mod:`repro.db.sqlbackend` from an export-only
+side path to a first-class backend (the paper's own substrate is a
+MariaDB instance holding the Fig. 6 schema).  Three pieces:
+
+**Spooling import** — :class:`SpoolDatabase` subclasses
+:class:`TraceDatabase` but spools access rows straight into SQLite in
+batches instead of materializing them.  The importer's retroactive
+repairs (synthetic-txn quarantine, stale-span fencing, stale-lock
+scrubbing) become SQL ``UPDATE``s with identical semantics, so the
+lenient-import behaviour is preserved bit-for-bit while resident
+memory stays bounded by the small relations (allocations, locks,
+transactions) plus one spool batch.
+
+**Sharded build** — :func:`build_store_from_trace` partitions the
+access table by ``txn_id % shard_count`` across worker processes.
+Every worker replays the *full* event stream (the importer is a
+cross-context state machine: transactions, healing and fences depend
+on global order, so slicing the stream would change the analysis) but
+spools only its partition, which is where all the memory and most of
+the write volume lives.  Shards are merged with ``ATTACH`` + ordered
+inserts; shard-local lockseq ids are remapped through a temp table.
+Partition-local health counters (synthetic/fenced/scrubbed access
+rows) sum exactly to the serial import's; every global counter is
+identical in each worker by construction.
+
+**Query backend** — :func:`open_store` validates completeness (a torn
+or truncated file raises :class:`StoreCorrupt`, it never yields
+partial rows); :class:`SqliteTraceStore` exposes
+
+* :meth:`~SqliteTraceStore.fold` — :class:`SqliteFold`, a columnar
+  streaming observation fold that feeds ``Derivator.derive`` without
+  ever materializing a :class:`TraceDatabase` (duck-types the
+  :class:`~repro.core.observations.ObservationTable` query surface,
+  including lazy per-target observation materialization for the
+  violation finder),
+* :meth:`~SqliteTraceStore.load_database` — full reconstruction for
+  consumers that need real rows (race detection).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import sys
+from array import array
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.lockrefs import LockSeq
+from repro.core.observations import ObsKey, Observation
+from repro.db.database import TraceDatabase
+from repro.db.filters import REASON_STALE_LOCK, REASON_SYNTHETIC_TXN, FilterConfig
+from repro.db.health import TraceHealth
+from repro.db.importer import Importer, ImportPolicy
+from repro.db.schema import AccessRow, AllocationRow, HeldLock, LockRow, TxnRow
+from repro.db.sqlbackend import (
+    INDEXES_SQL,
+    TABLES_SQL,
+    _s64,
+    _u64,
+    apply_bulk_pragmas,
+    completion_meta,
+    parse_lockseq,
+    table_counts,
+    write_allocation_rows,
+    write_lock_rows,
+    write_lockseq_rows,
+    write_meta,
+    write_stack_rows,
+    write_struct_tables,
+    write_txn_rows,
+)
+from repro.kernel.structs import StructRegistry
+
+StackFrames = Tuple[Tuple[str, str, int], ...]
+
+#: Environment override for the default shard count.
+SHARDS_ENV = "LOCKDOC_DB_SHARDS"
+
+#: TraceHealth fields serialized into the store's ``meta`` table.
+_HEALTH_FIELDS = (
+    "total_events", "kept_events", "quarantined", "synthesized_releases",
+    "healed_releases", "synthetic_txns", "synthetic_accesses",
+    "fenced_accesses", "scrubbed_accesses", "dangling_stack_refs",
+    "parse_diagnostics", "declared_events", "budget",
+)
+
+_ACCESS_INSERT = (
+    "INSERT INTO accesses VALUES "
+    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+)
+
+_ACCESS_COLUMNS = (
+    "access_id, ts, ctx_id, txn_id, alloc_id, data_type, subclass, member, "
+    "access_type, address, size, stack_id, file, line, lockseq_id"
+)
+
+
+class StoreCorrupt(ValueError):
+    """A store file is missing, torn, or fails completeness checks."""
+
+
+def default_shard_count() -> int:
+    """Shard workers for a parallel build (env-overridable).
+
+    More shards than cores buys nothing (every worker replays the full
+    stream); beyond ~4 the per-shard replay cost dominates the write
+    savings on typical traces.
+    """
+    override = os.environ.get(SHARDS_ENV)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def health_to_json(health: TraceHealth) -> str:
+    return json.dumps(
+        {name: getattr(health, name) for name in _HEALTH_FIELDS},
+        sort_keys=True,
+    )
+
+
+def health_from_json(text: str) -> TraceHealth:
+    return TraceHealth(**json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Spooling import
+# ----------------------------------------------------------------------
+
+
+class SpoolDatabase(TraceDatabase):
+    """A :class:`TraceDatabase` whose access table lives in SQLite.
+
+    The small relations (allocations, locks, transactions, stacks) stay
+    in memory exactly as before — the importer reads them constantly.
+    Access rows are spooled to *connection* in batches and never
+    retained, so peak memory no longer grows with trace length.  With
+    ``shard_count > 1`` only rows of the ``txn_id % shard_count ==
+    shard_index`` partition are written (the importer's state machine
+    still sees every event).
+
+    The retroactive-repair API (:meth:`quarantine_txn_accesses`,
+    :meth:`quarantine_span_accesses`, :meth:`scrub_stale_lock`) is
+    reimplemented over SQL with the exact in-memory semantics: repairs
+    touch kept rows only, return the newly-affected count, and the
+    scrub removes at most one reference per row.
+    """
+
+    def __init__(
+        self,
+        structs: StructRegistry,
+        connection: sqlite3.Connection,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        batch_rows: int = 4096,
+    ) -> None:
+        super().__init__(structs)
+        self._conn = connection
+        self._shard_index = shard_index
+        self._shard_count = shard_count
+        self._batch_rows = batch_rows
+        self._pending: List[tuple] = []
+        self._seq_ids: Dict[LockSeq, int] = {}
+        self._seqs: List[LockSeq] = []
+        self.spooled = 0
+
+    def seq_id(self, lockseq: LockSeq) -> int:
+        seq_id = self._seq_ids.get(lockseq)
+        if seq_id is None:
+            seq_id = len(self._seqs)
+            self._seq_ids[lockseq] = seq_id
+            self._seqs.append(lockseq)
+        return seq_id
+
+    def add_access(self, row: AccessRow) -> None:
+        if self._shard_count > 1 and row.txn_id % self._shard_count != self._shard_index:
+            return
+        self._pending.append(
+            (row.access_id, row.ts, row.ctx_id, row.txn_id, row.alloc_id,
+             row.data_type, row.subclass, row.member, row.access_type,
+             _s64(row.address), row.size, row.stack_id, row.file, row.line,
+             self.seq_id(row.lockseq), row.filter_reason)
+        )
+        if len(self._pending) >= self._batch_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._pending:
+            self._conn.executemany(_ACCESS_INSERT, self._pending)
+            self.spooled += len(self._pending)
+            self._pending.clear()
+
+    def lockseq_dimension(self) -> Iterable[Tuple[int, LockSeq]]:
+        return enumerate(self._seqs)
+
+    # -- retroactive repairs (SQL flavours of the in-memory API) -------
+
+    def quarantine_txn_accesses(self, txn_id: int, reason: str) -> int:
+        self.flush()
+        cursor = self._conn.execute(
+            "UPDATE accesses SET filter_reason = ? "
+            "WHERE txn_id = ? AND filter_reason IS NULL",
+            (reason, txn_id),
+        )
+        return cursor.rowcount
+
+    def quarantine_span_accesses(
+        self, ctx_id: int, start_ts: int, end_ts: int, reason: str
+    ) -> int:
+        self.flush()
+        cursor = self._conn.execute(
+            "UPDATE accesses SET filter_reason = ? "
+            "WHERE ctx_id = ? AND ts >= ? AND ts <= ? "
+            "AND filter_reason IS NULL",
+            (reason, ctx_id, start_ts, end_ts),
+        )
+        return cursor.rowcount
+
+    def scrub_stale_lock(
+        self, ctx_id: int, cutoff_ts: int, end_ts: int, ref_for
+    ) -> int:
+        self.flush()
+        updates: List[Tuple[int, int]] = []
+        cursor = self._conn.execute(
+            "SELECT access_id, alloc_id, lockseq_id FROM accesses "
+            "WHERE ctx_id = ? AND ts > ? AND ts <= ? "
+            "AND filter_reason IS NULL",
+            (ctx_id, cutoff_ts, end_ts),
+        )
+        for access_id, alloc_id, lockseq_id in cursor.fetchall():
+            lockseq = self._seqs[lockseq_id]
+            if not lockseq:
+                continue
+            ref = ref_for(alloc_id)
+            seq = list(lockseq)
+            try:
+                seq.remove(ref)
+            except ValueError:
+                continue
+            updates.append((self.seq_id(tuple(seq)), access_id))
+        if updates:
+            self._conn.executemany(
+                "UPDATE accesses SET lockseq_id = ? WHERE access_id = ?",
+                updates,
+            )
+        return len(updates)
+
+
+# ----------------------------------------------------------------------
+# Store building
+# ----------------------------------------------------------------------
+
+
+def build_store(
+    path: str,
+    events: Iterable,
+    stacks: Sequence[StackFrames],
+    structs: StructRegistry,
+    filters: Optional[FilterConfig] = None,
+    policy: Optional[ImportPolicy] = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    parse_report=None,
+    meta_extra: Optional[Dict[str, str]] = None,
+) -> TraceHealth:
+    """Import *events* into a store file at *path* (atomic publish).
+
+    One shard of a sharded build when ``shard_count > 1``; the complete
+    store otherwise.  Returns the import's :class:`TraceHealth` (with
+    partition-local access counters when sharded).  Like the in-memory
+    importer, raises :class:`~repro.db.importer.ErrorBudgetExceeded`
+    when the malformed fraction exceeds the policy budget — leaving no
+    file behind.
+    """
+    tmp = f"{path}.{os.getpid()}.{shard_index}.build.tmp"
+    connection: Optional[sqlite3.Connection] = sqlite3.connect(tmp)
+    try:
+        apply_bulk_pragmas(connection)
+        connection.executescript(TABLES_SQL)
+        db = SpoolDatabase(structs, connection, shard_index, shard_count)
+        importer = Importer(structs, filters, policy, db=db)
+        importer.run(events, stacks)
+        db.flush()
+        health = importer.health(parse_report)
+
+        write_struct_tables(connection, structs)
+        write_allocation_rows(connection, db.allocations.values())
+        write_lock_rows(connection, db.locks.values())
+        write_txn_rows(connection, db.txns.values())
+        write_stack_rows(connection, db.stack_table)
+        write_lockseq_rows(connection, db.lockseq_dimension())
+        connection.executescript(INDEXES_SQL)
+
+        meta = {
+            "health": health_to_json(health),
+            "shard_index": str(shard_index),
+            "shard_count": str(shard_count),
+        }
+        if meta_extra:
+            meta.update(meta_extra)
+        write_meta(connection, meta)
+        write_meta(connection, completion_meta(connection))
+        connection.commit()
+        connection.close()
+        connection = None
+        _fsync_file(tmp)
+        os.replace(tmp, path)
+        return health
+    finally:
+        if connection is not None:
+            connection.close()
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _fsync_file(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError:
+        pass
+
+
+def _shard_worker(
+    trace_path: str,
+    recipe: str,
+    policy: Optional[ImportPolicy],
+    shard_index: int,
+    shard_count: int,
+    out_path: str,
+) -> None:
+    """One sharded-build worker: full replay, partition-only spool."""
+    from repro.tracing.serialize import open_binary_stream
+    from repro.workloads.registry import database_inputs
+
+    structs, filters = database_inputs(recipe)
+    with open(trace_path, "rb") as fp:
+        stream = open_binary_stream(fp)
+        build_store(
+            out_path,
+            stream.events,
+            stream.stacks,
+            structs,
+            filters,
+            policy,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            meta_extra={"recipe": recipe},
+        )
+
+
+#: Small relations copied verbatim from shard 0 during a merge (every
+#: worker builds identical copies — they are global state).
+_SHARED_TABLES = (
+    "data_types", "type_layout", "allocations", "locks", "txns",
+    "txn_locks", "stack_traces", "subclasses",
+)
+
+
+def merge_shards(
+    path: str,
+    shard_paths: Sequence[str],
+    meta_extra: Optional[Dict[str, str]] = None,
+) -> TraceHealth:
+    """Merge shard stores into one complete store at *path*.
+
+    Small relations come from shard 0 (identical everywhere); access
+    partitions are inserted in ``access_id`` order with shard-local
+    lockseq ids remapped through a temp table; partition-local health
+    counters are summed.
+    """
+    tmp = f"{path}.{os.getpid()}.merge.tmp"
+    connection: Optional[sqlite3.Connection] = sqlite3.connect(tmp)
+    try:
+        apply_bulk_pragmas(connection)
+        connection.executescript(TABLES_SQL)
+        connection.execute(
+            "CREATE TEMP TABLE seqmap (old INTEGER PRIMARY KEY, new INTEGER NOT NULL)"
+        )
+        merged_seq_ids: Dict[str, int] = {}
+        healths: List[TraceHealth] = []
+        stack_count = "1"
+        recipe = None
+        for index, shard_path in enumerate(shard_paths):
+            connection.execute("ATTACH DATABASE ? AS shard", (str(shard_path),))
+            shard_meta = dict(
+                connection.execute("SELECT key, value FROM shard.meta")
+            )
+            if shard_meta.get("complete") != "1":
+                raise StoreCorrupt(f"incomplete shard store {shard_path}")
+            healths.append(health_from_json(shard_meta["health"]))
+            if index == 0:
+                stack_count = shard_meta.get("stack_count", "1")
+                recipe = shard_meta.get("recipe")
+                for table in _SHARED_TABLES:
+                    connection.execute(
+                        f"INSERT INTO {table} SELECT * FROM shard.{table}"
+                    )
+            connection.execute("DELETE FROM seqmap")
+            remap = []
+            for old_id, text in connection.execute(
+                "SELECT lockseq_id, lockseq FROM shard.lockseqs"
+            ):
+                new_id = merged_seq_ids.get(text)
+                if new_id is None:
+                    new_id = len(merged_seq_ids)
+                    merged_seq_ids[text] = new_id
+                remap.append((old_id, new_id))
+            connection.executemany("INSERT INTO seqmap VALUES (?, ?)", remap)
+            connection.execute(
+                "INSERT INTO accesses "
+                "SELECT a.access_id, a.ts, a.ctx_id, a.txn_id, a.alloc_id, "
+                "a.data_type, a.subclass, a.member, a.access_type, a.address, "
+                "a.size, a.stack_id, a.file, a.line, m.new, a.filter_reason "
+                "FROM shard.accesses a JOIN seqmap m ON m.old = a.lockseq_id "
+                "ORDER BY a.access_id"
+            )
+            connection.commit()  # an open txn would pin the attached db
+            connection.execute("DETACH DATABASE shard")
+        write_lockseq_rows(
+            connection,
+            (
+                (seq_id, parse_lockseq(text))
+                for text, seq_id in merged_seq_ids.items()
+            ),
+        )
+        connection.executescript(INDEXES_SQL)
+        health = replace(
+            healths[0],
+            synthetic_accesses=sum(h.synthetic_accesses for h in healths),
+            fenced_accesses=sum(h.fenced_accesses for h in healths),
+            scrubbed_accesses=sum(h.scrubbed_accesses for h in healths),
+        )
+        meta = {
+            "health": health_to_json(health),
+            "stack_count": stack_count,
+            "shard_index": "0",
+            "shard_count": "1",
+            "merged_from": str(len(shard_paths)),
+        }
+        if recipe is not None:
+            meta["recipe"] = recipe
+        if meta_extra:
+            meta.update(meta_extra)
+        write_meta(connection, meta)
+        write_meta(connection, completion_meta(connection))
+        connection.commit()
+        connection.close()
+        connection = None
+        _fsync_file(tmp)
+        os.replace(tmp, path)
+        return health
+    finally:
+        if connection is not None:
+            connection.close()
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def build_store_from_trace(
+    path: str,
+    trace_path: str,
+    recipe: str,
+    shard_count: Optional[int] = None,
+    policy: Optional[ImportPolicy] = None,
+    meta_extra: Optional[Dict[str, str]] = None,
+) -> TraceHealth:
+    """Build a store from a binary trace file, sharded across processes.
+
+    Each worker streams the file independently (no event pickling
+    between processes) and writes one partition; the shards are then
+    merged.  ``shard_count=1`` — or a failure to fan out — degrades to
+    a serial in-process build with identical output.
+    """
+    if shard_count is None:
+        shard_count = default_shard_count()
+    if shard_count <= 1:
+        return _serial_build_from_trace(path, trace_path, recipe, policy, meta_extra)
+    shard_paths = [f"{path}.shard{index}" for index in range(shard_count)]
+    try:
+        try:
+            with ProcessPoolExecutor(max_workers=shard_count) as pool:
+                futures = [
+                    pool.submit(
+                        _shard_worker, trace_path, recipe, policy,
+                        index, shard_count, shard_paths[index],
+                    )
+                    for index in range(shard_count)
+                ]
+                for future in futures:
+                    future.result()
+        except (OSError, RuntimeError):
+            # Process pools need working fork/spawn; degrade to serial.
+            return _serial_build_from_trace(
+                path, trace_path, recipe, policy, meta_extra
+            )
+        return merge_shards(path, shard_paths, meta_extra)
+    finally:
+        for shard_path in shard_paths:
+            if os.path.exists(shard_path):
+                os.unlink(shard_path)
+
+
+def _serial_build_from_trace(
+    path: str,
+    trace_path: str,
+    recipe: str,
+    policy: Optional[ImportPolicy],
+    meta_extra: Optional[Dict[str, str]],
+) -> TraceHealth:
+    from repro.tracing.serialize import open_binary_stream
+    from repro.workloads.registry import database_inputs
+
+    structs, filters = database_inputs(recipe)
+    meta = {"recipe": recipe}
+    if meta_extra:
+        meta.update(meta_extra)
+    with open(trace_path, "rb") as fp:
+        stream = open_binary_stream(fp)
+        return build_store(
+            path, stream.events, stream.stacks, structs, filters, policy,
+            meta_extra=meta,
+        )
+
+
+def ingest_path_spooled(
+    trace_path: str,
+    store_path: str,
+    structs: StructRegistry,
+    filters: Optional[FilterConfig] = None,
+    policy: Optional[ImportPolicy] = None,
+    lenient: bool = True,
+):
+    """Spooled twin of :func:`repro.db.health.ingest_path`.
+
+    Loads a trace file and imports it straight into a store file;
+    returns ``(health, parse_report)``.  Error budgets and parse
+    semantics are identical to the in-memory path.
+    """
+    from repro.db.importer import LENIENT_POLICY
+    from repro.tracing.serialize import load_path
+
+    if policy is None and lenient:
+        policy = LENIENT_POLICY
+    report = load_path(trace_path, lenient=lenient)
+    health = build_store(
+        store_path, report.events, report.stacks, structs, filters, policy,
+        parse_report=report,
+    )
+    return health, report
+
+
+# ----------------------------------------------------------------------
+# Opening / validation
+# ----------------------------------------------------------------------
+
+
+def open_store(path: str) -> sqlite3.Connection:
+    """Open a store file, verifying completeness.
+
+    A torn file — truncated mid-byte, or written by a crashed builder —
+    raises :class:`StoreCorrupt` instead of quietly serving partial
+    rows: the ``meta`` completeness stamp (written last) must be
+    present and every stamped row count must match an actual
+    ``COUNT(*)``.
+    """
+    if not os.path.exists(path):
+        raise StoreCorrupt(f"no trace store at {path}")
+    connection = sqlite3.connect(path)
+    try:
+        try:
+            meta = dict(connection.execute("SELECT key, value FROM meta"))
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorrupt(f"unreadable trace store {path}: {exc}")
+        if meta.get("complete") != "1":
+            raise StoreCorrupt(f"incomplete trace store {path}")
+        for table in ("accesses", "txns", "allocations", "locks"):
+            declared = meta.get(f"rows_{table}")
+            try:
+                (count,) = connection.execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()
+            except sqlite3.DatabaseError as exc:
+                raise StoreCorrupt(f"unreadable trace store {path}: {exc}")
+            if declared is None or count != int(declared):
+                raise StoreCorrupt(
+                    f"trace store {path} is torn: {table} has {count} rows, "
+                    f"stamp says {declared}"
+                )
+        return connection
+    except BaseException:
+        connection.close()
+        raise
+
+
+# ----------------------------------------------------------------------
+# The query backend
+# ----------------------------------------------------------------------
+
+
+class SqliteTraceStore:
+    """First-class query backend over one store file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.connection = open_store(self.path)
+        self.meta = dict(self.connection.execute("SELECT key, value FROM meta"))
+        self._seq_table: Optional[List[LockSeq]] = None
+        self._folds: Dict[bool, "SqliteFold"] = {}
+
+    def close(self) -> None:
+        self.connection.close()
+
+    @property
+    def recipe(self) -> str:
+        return self.meta.get("recipe", "vfs")
+
+    def health(self) -> Optional[TraceHealth]:
+        text = self.meta.get("health")
+        return health_from_json(text) if text else None
+
+    def counts(self) -> Dict[str, int]:
+        return table_counts(self.connection)
+
+    def lockseq_table(self) -> List[LockSeq]:
+        """All interned lock sequences, indexed by ``lockseq_id``."""
+        if self._seq_table is None:
+            rows = self.connection.execute(
+                "SELECT lockseq_id, lockseq FROM lockseqs ORDER BY lockseq_id"
+            ).fetchall()
+            table: List[LockSeq] = [()] * (rows[-1][0] + 1 if rows else 0)
+            for seq_id, text in rows:
+                table[seq_id] = parse_lockseq(text)
+            self._seq_table = table
+        return self._seq_table
+
+    def fold(self, split_subclasses: bool = True) -> "SqliteFold":
+        fold = self._folds.get(split_subclasses)
+        if fold is None:
+            fold = SqliteFold(self, split_subclasses=split_subclasses)
+            self._folds[split_subclasses] = fold
+        return fold
+
+    def load_database(
+        self,
+        structs: Optional[StructRegistry] = None,
+        filters=None,
+    ) -> TraceDatabase:
+        """Reconstruct the full in-memory :class:`TraceDatabase`.
+
+        For consumers that need real rows (race detection).  The result
+        is identical — row for row, index for index — to the database
+        the in-memory importer would have produced.
+        """
+        if structs is None:
+            from repro.workloads.registry import database_inputs
+
+            structs, _ = database_inputs(self.recipe)
+        conn = self.connection
+        db = TraceDatabase(structs)
+        for (alloc_id, address, size, data_type, subclass, alloc_ts,
+             free_ts) in conn.execute(
+                "SELECT alloc_id, address, size, data_type, subclass, "
+                "alloc_ts, free_ts FROM allocations ORDER BY alloc_id"):
+            db.add_allocation(AllocationRow(
+                alloc_id=alloc_id, address=_u64(address), size=size,
+                data_type=data_type, subclass=subclass, alloc_ts=alloc_ts,
+                free_ts=free_ts,
+            ))
+        for (lock_id, lock_class, name, address, is_static, owner_alloc_id,
+             owner_data_type, owner_member) in conn.execute(
+                "SELECT lock_id, lock_class, name, address, is_static, "
+                "owner_alloc_id, owner_data_type, owner_member "
+                "FROM locks ORDER BY lock_id"):
+            db.add_lock(LockRow(
+                lock_id=lock_id, lock_class=lock_class, name=name,
+                address=_u64(address), is_static=bool(is_static),
+                owner_alloc_id=owner_alloc_id,
+                owner_data_type=owner_data_type, owner_member=owner_member,
+            ))
+        held: Dict[int, List[HeldLock]] = {}
+        for txn_id, lock_id, mode in conn.execute(
+                "SELECT txn_id, lock_id, mode FROM txn_locks "
+                "ORDER BY txn_id, position"):
+            held.setdefault(txn_id, []).append(HeldLock(lock_id, mode))
+        for (txn_id, ctx_id, start_ts, end_ts, no_locks,
+             synthetic_close) in conn.execute(
+                "SELECT txn_id, ctx_id, start_ts, end_ts, no_locks, "
+                "synthetic_close FROM txns ORDER BY seq"):
+            db.add_txn(TxnRow(
+                txn_id=txn_id, ctx_id=ctx_id, start_ts=start_ts,
+                end_ts=end_ts, held=tuple(held.get(txn_id, ())),
+                no_locks=bool(no_locks),
+                synthetic_close=bool(synthetic_close),
+            ))
+        stack_count = int(self.meta.get("stack_count", "1"))
+        stacks: List[StackFrames] = [()] * max(stack_count, 1)
+        frames: Dict[int, List[Tuple[str, str, int]]] = {}
+        for stack_id, function, file, line in conn.execute(
+                "SELECT stack_id, function, file, line FROM stack_traces "
+                "ORDER BY stack_id, depth"):
+            frames.setdefault(stack_id, []).append((function, file, line))
+        for stack_id, frame_list in frames.items():
+            stacks[stack_id] = tuple(frame_list)
+        db.set_stack_table(stacks)
+        seqs = self.lockseq_table()
+        for (access_id, ts, ctx_id, txn_id, alloc_id, data_type, subclass,
+             member, access_type, address, size, stack_id, file, line,
+             lockseq_id, filter_reason) in conn.execute(
+                f"SELECT {_ACCESS_COLUMNS}, filter_reason FROM accesses "
+                "ORDER BY access_id"):
+            db.add_access(AccessRow(
+                access_id=access_id, ts=ts, ctx_id=ctx_id, txn_id=txn_id,
+                alloc_id=alloc_id, data_type=data_type, subclass=subclass,
+                member=member, access_type=access_type,
+                address=_u64(address), size=size, stack_id=stack_id,
+                file=file, line=line, lockseq=seqs[lockseq_id],
+                filter_reason=filter_reason,
+            ))
+        db.health = self.health()
+        return db
+
+
+# ----------------------------------------------------------------------
+# The columnar derivation fold
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ColumnBatch:
+    """One fetch chunk of the access table in columnar form.
+
+    Integer columns are ``array('q')`` (8 bytes per value, no object
+    boxing); string columns are interned so the per-batch footprint is
+    a pointer array over a handful of distinct strings.
+    """
+
+    txn_ids: array
+    alloc_ids: array
+    seq_ids: array
+    members: List[str]
+    access_types: List[str]
+    data_types: List[str]
+    subclasses: List[Optional[str]]
+
+    def __len__(self) -> int:
+        return len(self.txn_ids)
+
+
+def _column_batches(cursor, batch_rows: int = 16384) -> Iterable[ColumnBatch]:
+    intern = sys.intern
+    while True:
+        rows = cursor.fetchmany(batch_rows)
+        if not rows:
+            return
+        yield ColumnBatch(
+            txn_ids=array("q", (row[0] for row in rows)),
+            alloc_ids=array("q", (row[1] for row in rows)),
+            seq_ids=array("q", (row[2] for row in rows)),
+            members=[intern(row[3]) for row in rows],
+            access_types=[intern(row[4]) for row in rows],
+            data_types=[intern(row[5]) for row in rows],
+            subclasses=[
+                intern(row[6]) if row[6] is not None else None for row in rows
+            ],
+        )
+
+
+class SqliteFold:
+    """Streaming observation fold over a store (Tab. 1 semantics).
+
+    Duck-types the :class:`~repro.core.observations.ObservationTable`
+    query surface used by rule derivation (``keys`` / ``sequences`` /
+    ``observation_count``), by the documented-rule checker
+    (``merged_sequences`` and friends), and by the violation finder
+    (``get``).  The fold itself is one indexed scan of the kept access
+    rows in ``(txn_id, alloc_id, member)`` group order, consumed in
+    columnar batches with O(1) state per group — observation *rows*
+    are only materialized lazily, per derivation target, when the
+    violation finder asks for them.
+    """
+
+    def __init__(
+        self,
+        store: SqliteTraceStore,
+        split_subclasses: bool = True,
+        write_over_read: bool = True,
+    ) -> None:
+        self.store = store
+        self.split_subclasses = split_subclasses
+        self.write_over_read = write_over_read
+        self._seq_counts: Dict[ObsKey, Dict[LockSeq, int]] = {}
+        self._counts: Dict[ObsKey, int] = {}
+        self._sorted_seqs: Dict[ObsKey, List[Tuple[LockSeq, int]]] = {}
+        self.total = 0
+        self._obs: Dict[ObsKey, List[Observation]] = {}
+        self._materialized: Set[Tuple[str, str]] = set()
+        self._scan()
+        (self.synthetic_excluded,) = store.connection.execute(
+            "SELECT COUNT(*) FROM accesses WHERE filter_reason IN (?, ?)",
+            (REASON_SYNTHETIC_TXN, REASON_STALE_LOCK),
+        ).fetchone()
+
+    # -- the fold ------------------------------------------------------
+
+    def _type_key(self, data_type: str, subclass: Optional[str]) -> str:
+        if self.split_subclasses and subclass:
+            return f"{data_type}:{subclass}"
+        return data_type
+
+    def _scan(self) -> None:
+        cursor = self.store.connection.execute(
+            "SELECT txn_id, alloc_id, lockseq_id, member, access_type, "
+            "data_type, subclass FROM accesses "
+            "WHERE filter_reason IS NULL "
+            "ORDER BY txn_id, alloc_id, member, access_id"
+        )
+        group_txn = group_alloc = -1
+        group_member: Optional[str] = None
+        group_seq_id = 0
+        group_type_key = ""
+        has_write = has_read = False
+        for batch in _column_batches(cursor):
+            txn_ids = batch.txn_ids
+            alloc_ids = batch.alloc_ids
+            seq_ids = batch.seq_ids
+            members = batch.members
+            access_types = batch.access_types
+            for index in range(len(batch)):
+                txn_id = txn_ids[index]
+                alloc_id = alloc_ids[index]
+                member = members[index]
+                if (
+                    txn_id != group_txn
+                    or alloc_id != group_alloc
+                    or member != group_member
+                ):
+                    if group_member is not None:
+                        self._emit(
+                            group_type_key, group_member, group_seq_id,
+                            has_write, has_read,
+                        )
+                    group_txn = txn_id
+                    group_alloc = alloc_id
+                    group_member = member
+                    group_seq_id = seq_ids[index]
+                    group_type_key = self._type_key(
+                        batch.data_types[index], batch.subclasses[index]
+                    )
+                    has_write = has_read = False
+                if access_types[index] == "w":
+                    has_write = True
+                else:
+                    has_read = True
+        if group_member is not None:
+            self._emit(group_type_key, group_member, group_seq_id,
+                       has_write, has_read)
+
+    def _emit(
+        self,
+        type_key: str,
+        member: str,
+        seq_id: int,
+        has_write: bool,
+        has_read: bool,
+    ) -> None:
+        lockseq = self.store.lockseq_table()[seq_id]
+        if self.write_over_read:
+            access_types = ("w",) if has_write else ("r",)
+        else:
+            access_types = (
+                ("w",) if has_write else ()
+            ) + (("r",) if has_read else ())
+        for access_type in access_types:
+            key = (type_key, member, access_type)
+            counter = self._seq_counts.get(key)
+            if counter is None:
+                counter = {}
+                self._seq_counts[key] = counter
+            counter[lockseq] = counter.get(lockseq, 0) + 1
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.total += 1
+
+    # -- ObservationTable query surface --------------------------------
+
+    def keys(self) -> List[ObsKey]:
+        return sorted(self._seq_counts)
+
+    def type_keys(self) -> List[str]:
+        return sorted({key[0] for key in self._seq_counts})
+
+    def members_of(self, type_key: str) -> List[str]:
+        return sorted({m for (tk, m, _) in self._seq_counts if tk == type_key})
+
+    def sequences(
+        self, type_key: str, member: str, access_type: str
+    ) -> List[Tuple[LockSeq, int]]:
+        key = (type_key, member, access_type)
+        cached = self._sorted_seqs.get(key)
+        if cached is None:
+            counter = self._seq_counts.get(key)
+            if not counter:
+                return []
+            cached = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+            self._sorted_seqs[key] = cached
+        return cached
+
+    def observation_count(
+        self, type_key: str, member: str, access_type: str
+    ) -> int:
+        return self._counts.get((type_key, member, access_type), 0)
+
+    def base_keys(self, data_type: str) -> List[str]:
+        prefix = data_type + ":"
+        return [
+            tk
+            for tk in self.type_keys()
+            if tk == data_type or tk.startswith(prefix)
+        ]
+
+    def merged_sequences(
+        self, data_type: str, member: str, access_type: str
+    ) -> List[Tuple[LockSeq, int]]:
+        counter: Dict[LockSeq, int] = {}
+        for type_key in self.base_keys(data_type):
+            for lockseq, count in self._seq_counts.get(
+                (type_key, member, access_type), {}
+            ).items():
+                counter[lockseq] = counter.get(lockseq, 0) + count
+        return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+    def merged_members_of(self, data_type: str) -> List[str]:
+        members: Set[str] = set()
+        for type_key in self.base_keys(data_type):
+            members.update(self.members_of(type_key))
+        return sorted(members)
+
+    def merged_get(
+        self, data_type: str, member: str, access_type: str
+    ) -> List[Observation]:
+        merged: List[Observation] = []
+        for type_key in self.base_keys(data_type):
+            merged.extend(self.get(type_key, member, access_type))
+        return merged
+
+    # -- lazy observation materialization (violation finder) -----------
+
+    def get(
+        self, type_key: str, member: str, access_type: str
+    ) -> List[Observation]:
+        key = (type_key, member, access_type)
+        cached = self._obs.get(key)
+        if cached is not None:
+            return cached
+        data_type = type_key.split(":", 1)[0]
+        if (data_type, member) not in self._materialized:
+            self._materialize(data_type, member)
+        return self._obs.get(key, [])
+
+    def _materialize(self, data_type: str, member: str) -> None:
+        """Fetch all kept rows of ``(data_type, member)`` and rebuild
+        their observations, in the exact order the in-memory table
+        holds them (first appearance in the access scan — i.e. by the
+        group's smallest ``access_id``)."""
+        self._materialized.add((data_type, member))
+        seqs = self.store.lockseq_table()
+        cursor = self.store.connection.execute(
+            f"SELECT {_ACCESS_COLUMNS} FROM accesses "
+            "WHERE filter_reason IS NULL AND data_type = ? AND member = ? "
+            "ORDER BY txn_id, alloc_id, access_id",
+            (data_type, member),
+        )
+        pending: List[Tuple[int, Observation]] = []
+        group_key: Optional[Tuple[int, int]] = None
+        rows: List[AccessRow] = []
+
+        def emit() -> None:
+            if not rows:
+                return
+            first = rows[0]
+            type_key = self._type_key(first.data_type, first.subclass)
+            reads = [r for r in rows if r.access_type == "r"]
+            writes = [r for r in rows if r.access_type == "w"]
+            observations = []
+            if self.write_over_read:
+                if writes:
+                    observations.append(Observation(
+                        first.txn_id, first.alloc_id, type_key, member,
+                        "w", first.lockseq, tuple(rows), mixed=bool(reads),
+                    ))
+                else:
+                    observations.append(Observation(
+                        first.txn_id, first.alloc_id, type_key, member,
+                        "r", first.lockseq, tuple(rows),
+                    ))
+            else:
+                if writes:
+                    observations.append(Observation(
+                        first.txn_id, first.alloc_id, type_key, member,
+                        "w", first.lockseq, tuple(writes),
+                    ))
+                if reads:
+                    observations.append(Observation(
+                        first.txn_id, first.alloc_id, type_key, member,
+                        "r", first.lockseq, tuple(reads),
+                    ))
+            for obs in observations:
+                pending.append((first.access_id, obs))
+
+        for record in cursor:
+            (access_id, ts, ctx_id, txn_id, alloc_id, row_dt, subclass,
+             row_member, row_access_type, address, size, stack_id, file,
+             line, lockseq_id) = record
+            if (txn_id, alloc_id) != group_key:
+                emit()
+                group_key = (txn_id, alloc_id)
+                rows = []
+            rows.append(AccessRow(
+                access_id=access_id, ts=ts, ctx_id=ctx_id, txn_id=txn_id,
+                alloc_id=alloc_id, data_type=row_dt, subclass=subclass,
+                member=row_member, access_type=row_access_type,
+                address=_u64(address), size=size, stack_id=stack_id,
+                file=file, line=line, lockseq=seqs[lockseq_id],
+                filter_reason=None,
+            ))
+        emit()
+        pending.sort(key=lambda item: item[0])
+        for _, obs in pending:
+            obs_key = (obs.type_key, obs.member, obs.access_type)
+            self._obs.setdefault(obs_key, []).append(obs)

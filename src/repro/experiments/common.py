@@ -38,6 +38,13 @@ DEFAULT_SCALE = 18.0
 DEFAULT_SEED = 0
 DEFAULT_WORKLOAD = "mix"
 
+#: Trace query backends: the in-memory ``TraceDatabase`` and the
+#: out-of-core sharded SQLite store.  Both produce byte-identical
+#: analysis output; they differ only in resident memory and build
+#: strategy.
+BACKENDS = ("memory", "sqlite")
+DEFAULT_BACKEND = "memory"
+
 #: Process-level default for derivation worker processes (``--jobs``).
 #: None means serial.  Parallel and serial derivation produce identical
 #: results, so this only affects wall-clock time.
@@ -78,6 +85,12 @@ class Pipeline:
         self._table: Optional[ObservationTable] = None
         self._merged_table: Optional[ObservationTable] = None
         self._derivations: Dict[float, DerivationResult] = {}
+        self._store = None
+        #: Separate memo for sqlite-backed derivations: sharing the
+        #: memory-backend entry would make backend-parity checks
+        #: vacuous (both sides would read one cached payload).
+        self._derivations_sqlite: Dict[float, DerivationResult] = {}
+        self._store_tmp = None
 
     def _artifact(self, name: str, compute):
         """Disk-cached artifact: load if present, else compute + store."""
@@ -118,24 +131,105 @@ class Pipeline:
             )
         return self._merged_table
 
+    # ------------------------------------------------------------------
+    # SQLite backend
+    # ------------------------------------------------------------------
+
+    def store(self):
+        """The out-of-core SQLite trace store for this run.
+
+        Lives in the artifact cache tier when the workload is cacheable
+        and caching is on (built sharded from the cached trace file);
+        otherwise built serially into a private temp directory from the
+        run's tracer.  A torn/corrupt cached store is quarantined and
+        rebuilt — same contract as every other cache tier.
+        """
+        if self._store is None:
+            from repro.db import sqlstore
+
+            self._store = self._open_or_build_store(sqlstore)
+        return self._store
+
+    def _open_or_build_store(self, sqlstore):
+        recipe = registry.db_recipe(self.workload)
+        cached = cache.is_enabled() and cache.is_cacheable(self.workload)
+        if cached:
+            path = cache.store_path(self.workload, self.seed, self.scale)
+            if path.exists():
+                try:
+                    return sqlstore.SqliteTraceStore(path)
+                except sqlstore.StoreCorrupt:
+                    cache.quarantine_file(path)
+        else:
+            import tempfile
+
+            self._store_tmp = tempfile.TemporaryDirectory(prefix="lockdoc-store-")
+            path = f"{self._store_tmp.name}/store.sqlite"
+        meta = {
+            "recipe": recipe,
+            "workload": self.workload,
+            "seed": str(self.seed),
+            "scale": repr(self.scale),
+        }
+        trace_file = (
+            cache.trace_path(self.workload, self.seed, self.scale)
+            if cached
+            else None
+        )
+        if trace_file is not None and trace_file.exists():
+            # Sharded parallel build, streaming the cached trace file.
+            sqlstore.build_store_from_trace(
+                str(path), str(trace_file), recipe, meta_extra=meta
+            )
+        else:
+            # No trace file to fan out over: serial in-process build
+            # straight from the run's event stream.
+            tracer = self.mix.tracer
+            stacks = [tracer.stack(i) for i in range(tracer.stack_count)]
+            structs, filters = registry.database_inputs(recipe)
+            sqlstore.build_store(
+                str(path), tracer.events, stacks, structs, filters,
+                meta_extra=meta,
+            )
+        return sqlstore.SqliteTraceStore(path)
+
+    def sqlite_table(self, split_subclasses: bool = True):
+        """The store's streaming observation fold (duck-types
+        :class:`ObservationTable` for derive/check/violations)."""
+        return self.store().fold(split_subclasses)
+
     def derive(
         self,
         accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD,
         jobs: Optional[int] = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> DerivationResult:
         # Cached per threshold only: parallel derivation is bit-identical
-        # to serial, so the jobs count never changes the payload.
-        result = self._derivations.get(accept_threshold)
+        # to serial, so the jobs count never changes the payload.  The
+        # sqlite backend caches under its own artifact name so the two
+        # backends never serve each other's results.
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
+        memo = (
+            self._derivations if backend == "memory" else self._derivations_sqlite
+        )
+        result = memo.get(accept_threshold)
         if result is None:
 
             def compute() -> DerivationResult:
                 effective_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+                table = (
+                    self.table if backend == "memory" else self.sqlite_table()
+                )
                 return Derivator(accept_threshold).derive(
-                    self.table, jobs=effective_jobs
+                    table, jobs=effective_jobs
                 )
 
-            result = self._artifact(f"derivation-t{accept_threshold!r}", compute)
-            self._derivations[accept_threshold] = result
+            suffix = "" if backend == "memory" else "-sqlite"
+            result = self._artifact(
+                f"derivation{suffix}-t{accept_threshold!r}", compute
+            )
+            memo[accept_threshold] = result
         return result
 
 

@@ -60,10 +60,19 @@ def _as_jobs(value: Any) -> Optional[int]:
     return jobs
 
 
+def _as_backend(value: Any) -> str:
+    backend = _as_str(value)
+    if backend not in experiments_common.BACKENDS:
+        known = ", ".join(experiments_common.BACKENDS)
+        raise ValueError(f"unknown backend {backend!r} (known: {known})")
+    return backend
+
+
 _PIPELINE_FIELDS: Dict[str, Tuple[Callable[[Any], Any], Any]] = {
     "workload": (_as_str, "mix"),
     "seed": (_as_int, 0),
     "scale": (_as_float, experiments_common.DEFAULT_SCALE),
+    "backend": (_as_backend, experiments_common.DEFAULT_BACKEND),
 }
 
 _SPECS: Dict[str, Dict[str, Tuple[Callable[[Any], Any], Any]]] = {
@@ -91,6 +100,7 @@ _SPECS: Dict[str, Dict[str, Tuple[Callable[[Any], Any], Any]]] = {
         "registry": (_as_str, "vfs"),
         "budget": (_as_float, 0.25),
         "diagnostics": (_as_int, 10),
+        "backend": (_as_backend, experiments_common.DEFAULT_BACKEND),
     },
 }
 
@@ -134,11 +144,20 @@ def _pipeline(params: Dict[str, Any]):
     )
 
 
+def _table_for(pipeline, params: Dict[str, Any]):
+    """The split observation table under the requested backend."""
+    if params["backend"] == "sqlite":
+        return pipeline.sqlite_table()
+    return pipeline.table
+
+
 def _run_derive(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.core.report import render_table
 
     pipeline = _pipeline(params)
-    derivation = pipeline.derive(params["threshold"], jobs=params["jobs"])
+    derivation = pipeline.derive(
+        params["threshold"], jobs=params["jobs"], backend=params["backend"]
+    )
     rows = []
     for d in derivation.all():
         if params["type"] and d.type_key != params["type"]:
@@ -165,7 +184,7 @@ def _run_check(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.doc.corpus import documented_rules
 
     pipeline = _pipeline(params)
-    results = check_rules(pipeline.table, documented_rules())
+    results = check_rules(_table_for(pipeline, params), documented_rules())
     rows = [
         [s.data_type, s.rules, s.unobserved, s.observed, s.correct,
          s.ambivalent, s.incorrect]
@@ -186,8 +205,8 @@ def _run_violations(params: Dict[str, Any]) -> Dict[str, Any]:
     )
 
     pipeline = _pipeline(params)
-    derivation = pipeline.derive(jobs=params["jobs"])
-    violations = ViolationFinder(derivation, pipeline.table).find()
+    derivation = pipeline.derive(jobs=params["jobs"], backend=params["backend"])
+    violations = ViolationFinder(derivation, _table_for(pipeline, params)).find()
     rows = [
         [s.type_key, s.events, s.members, s.contexts]
         for s in summarize_violations(violations)
@@ -208,11 +227,14 @@ def _run_violations(params: Dict[str, Any]) -> Dict[str, Any]:
 def _run_races(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.analysis import detect_races
 
+    sqlite = params["backend"] == "sqlite"
     if params["workload"] == "mix":
         pipeline = _pipeline(params)
         events = pipeline.mix.tracer.events
-        db = pipeline.db
-        derivation = pipeline.derive(params["threshold"])
+        db = pipeline.store().load_database() if sqlite else pipeline.db
+        derivation = pipeline.derive(
+            params["threshold"], backend=params["backend"]
+        )
     else:
         from repro.workloads.racer import run_racer
 
@@ -222,12 +244,42 @@ def _run_races(params: Dict[str, Any]) -> Dict[str, Any]:
             racy=params["workload"] == "racer",
         )
         events = result.tracer.events
-        db = result.to_database()
+        db = (
+            _racer_store_database(result) if sqlite else result.to_database()
+        )
         derivation = result.derive(params["threshold"], jobs=params["jobs"])
     text = detect_races(events, db, derivation).render(
         examples=params["examples"]
     )
     return {"text": text, "exit_code": 0}
+
+
+def _racer_store_database(result):
+    """Round-trip a racer run through a (temporary) SQLite store.
+
+    Racer runs are tiny and never disk-cached as stores; building the
+    store in a temp dir keeps the backend semantics — spool import, SQL
+    schema, validated reload — without a cache tier for throwaways.
+    """
+    import tempfile
+
+    from repro.db import sqlstore
+    from repro.workloads.registry import database_inputs
+
+    structs, filters = database_inputs("racer")
+    tracer = result.tracer
+    stacks = [tracer.stack(i) for i in range(tracer.stack_count)]
+    with tempfile.TemporaryDirectory(prefix="lockdoc-racer-store-") as tmp:
+        path = os.path.join(tmp, "racer.store.sqlite")
+        sqlstore.build_store(
+            path, tracer.events, stacks, structs, filters,
+            meta_extra={"recipe": "racer"},
+        )
+        store = sqlstore.SqliteTraceStore(path)
+        try:
+            return store.load_database(structs)
+        finally:
+            store.close()
 
 
 def _run_health(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -242,7 +294,18 @@ def _run_health(params: Dict[str, Any]) -> Dict[str, Any]:
         "racer" if params["registry"] == "racer" else "vfs"
     )
     policy = ImportPolicy(lenient=True, max_malformed_fraction=params["budget"])
-    db, health, report = ingest_path(trace, structs, filters, policy)
+    if params["backend"] == "sqlite":
+        import tempfile
+
+        from repro.db import sqlstore
+
+        with tempfile.TemporaryDirectory(prefix="lockdoc-health-store-") as tmp:
+            health, report = sqlstore.ingest_path_spooled(
+                trace, os.path.join(tmp, "health.store.sqlite"),
+                structs, filters, policy,
+            )
+    else:
+        _db, health, report = ingest_path(trace, structs, filters, policy)
     parts = []
     if report.diagnostics:
         parts.append(

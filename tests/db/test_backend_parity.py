@@ -1,0 +1,195 @@
+"""Backend parity: ``--backend sqlite`` output is byte-identical.
+
+Every analysis surface (rule derivation, documented-rule checking,
+violation finding, race detection) is run through both trace backends
+for each registry workload — on clean traces and on fault-corrupted
+ones — and the *rendered text* is compared, not just summaries.  A
+store that drops an access row, reorders a lockseq, or mangles one
+flag would show up here as a one-character diff.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.violations import ViolationFinder
+from repro.db.health import ingest_events
+from repro.db.importer import LENIENT_POLICY
+from repro.db.sqlstore import SqliteTraceStore, build_store
+from repro.faults import FaultPlan
+from repro.serve import ops
+from repro.tracing import serialize
+from repro.workloads.registry import database_inputs
+
+SCALE = 1.2
+
+WORKLOADS = ("mix", "racer", "racer-safe")
+
+
+# ----------------------------------------------------------------------
+# Ops-level parity (the exact runners the CLI and daemon execute)
+# ----------------------------------------------------------------------
+
+
+def _both_backends(op: str, extra: dict) -> None:
+    results = {
+        backend: ops.execute(op, {**extra, "backend": backend})
+        for backend in ("memory", "sqlite")
+    }
+    assert results["sqlite"]["text"] == results["memory"]["text"]
+    assert results["sqlite"]["exit_code"] == results["memory"]["exit_code"]
+
+
+@pytest.mark.parametrize("op", ["derive", "check", "violations"])
+def test_mix_ops_identical(op):
+    _both_backends(op, {"workload": "mix", "scale": SCALE})
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_races_identical(workload):
+    _both_backends(
+        "races", {"workload": workload, "scale": 1.0, "examples": 2}
+    )
+
+
+def test_violations_with_examples_identical():
+    _both_backends(
+        "violations", {"workload": "mix", "scale": SCALE, "examples": 3}
+    )
+
+
+def test_health_identical(tmp_path):
+    from repro.workloads.racer import run_racer
+
+    trace = tmp_path / "racer.bin"
+    with open(trace, "wb") as fp:
+        serialize.dump_binary(run_racer(seed=0, scale=0.5).tracer, fp)
+    _both_backends("health", {"trace": str(trace), "registry": "racer"})
+
+
+# ----------------------------------------------------------------------
+# Corrupted-trace parity (2% event drops, lenient import)
+# ----------------------------------------------------------------------
+
+
+def _workload_trace(workload: str):
+    if workload == "mix":
+        from repro.workloads.mix import run_benchmark_mix
+
+        result = run_benchmark_mix(seed=0, scale=SCALE)
+        recipe = "vfs"
+    else:
+        from repro.workloads.racer import run_racer
+
+        result = run_racer(seed=0, scale=1.0, racy=workload == "racer")
+        recipe = "racer"
+    return result.tracer, recipe
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("corrupted", [False, True])
+def test_analysis_parity(tmp_path, workload, corrupted):
+    """Derive + check + violations rendered output, both backends."""
+    tracer, recipe = _workload_trace(workload)
+    events = tracer.events
+    if corrupted:
+        events = FaultPlan.from_spec("drop:0.02", seed=1).apply_events(events)
+    stacks = serialize.stacks_of(tracer)
+    structs, filters = database_inputs(recipe)
+
+    db, health = ingest_events(events, stacks, structs, filters, LENIENT_POLICY)
+    path = tmp_path / "parity.store.sqlite"
+    build_store(str(path), events, stacks, structs, filters, LENIENT_POLICY)
+    store = SqliteTraceStore(str(path))
+    try:
+        memory_table = ObservationTable.from_database(db)
+        sqlite_table = store.fold()
+
+        memory_rules = Derivator(0.9).derive(memory_table)
+        sqlite_rules = Derivator(0.9).derive(sqlite_table)
+        assert _render_rules(sqlite_rules) == _render_rules(memory_rules)
+
+        memory_hits = ViolationFinder(memory_rules, memory_table).find()
+        sqlite_hits = ViolationFinder(sqlite_rules, sqlite_table).find()
+        assert [v.format() for v in sqlite_hits] == [
+            v.format() for v in memory_hits
+        ]
+
+        assert store.health() == health
+    finally:
+        store.close()
+
+
+def _render_rules(derivation) -> list:
+    return [
+        (d.type_key, d.member, d.access_type, d.rule.format(),
+         f"{d.winner.s_r:.6f}", d.observation_count)
+        for d in derivation.all()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Through the daemon: --remote --backend sqlite
+# ----------------------------------------------------------------------
+
+
+class TestRemoteBackend:
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        from tests.serve.test_server_e2e import Daemon
+
+        d = Daemon()
+        yield d
+        d.close()
+
+    def test_remote_backends_identical(self, daemon):
+        client = daemon.client()
+        responses = {
+            backend: client.request(
+                "derive", {"scale": SCALE, "backend": backend}, deadline=300
+            )
+            for backend in ("memory", "sqlite")
+        }
+        assert (
+            responses["sqlite"].result["text"]
+            == responses["memory"].result["text"]
+        )
+
+    def test_cli_remote_sqlite_matches_local(self, daemon):
+        repo = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo, "src")
+        env["LOCKDOC_SERVE_DIR"] = daemon.serve_dir
+        env["LOCKDOC_CACHE_DIR"] = daemon.cache_dir
+        base = [
+            sys.executable, "-m", "repro.cli", "violations",
+            "--scale", str(SCALE), "--backend", "sqlite",
+        ]
+        remote = subprocess.run(
+            base + ["--remote"], env=env, cwd=repo,
+            capture_output=True, text=True, timeout=600,
+        )
+        local = subprocess.run(
+            base, env=env, cwd=repo,
+            capture_output=True, text=True, timeout=600,
+        )
+        assert remote.returncode == 0, remote.stderr
+        assert local.returncode == 0, local.stderr
+        assert remote.stdout == local.stdout
+
+    def test_bad_backend_rejected(self, daemon):
+        from repro.serve.client import RemoteError
+        from repro.serve.protocol import E_BAD_REQUEST
+
+        with pytest.raises(RemoteError) as info:
+            daemon.client().request(
+                "derive", {"scale": SCALE, "backend": "mariadb"}
+            )
+        assert info.value.kind == E_BAD_REQUEST
+        assert "mariadb" in info.value.message

@@ -1,0 +1,345 @@
+"""Tests for the out-of-core SQLite trace store (build/validate/query).
+
+The store's contract is *bit-identical analysis*: every relation, the
+observation fold, and the health report must match what the in-memory
+importer produces — on clean traces, on fault-corrupted traces, built
+serially or sharded.  Plus the crash-safety contract: a torn file is
+refused, a failed build leaves nothing behind.
+"""
+
+import os
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.observations import ObservationTable
+from repro.db import sqlstore
+from repro.db.health import ingest_events
+from repro.db.importer import LENIENT_POLICY
+from repro.db.sqlbackend import _s64, _u64, export_sqlite
+from repro.faults import FaultPlan
+from repro.kernel.vfs.groundtruth import build_filter_config
+from repro.kernel.vfs.layouts import build_struct_registry
+from repro.tracing import serialize
+from repro.workloads.mix import run_benchmark_mix
+
+SCALE = 1.2
+
+#: The four boundary addresses of the signed/unsigned 64-bit mapping.
+U64_BOUNDARIES = (0, 2**63 - 1, 2**63, 2**64 - 1)
+
+
+@pytest.fixture(scope="module")
+def mix_trace():
+    """One small mix run: events, stacks, registries."""
+    result = run_benchmark_mix(seed=0, scale=SCALE)
+    return {
+        "events": result.tracer.events,
+        "stacks": serialize.stacks_of(result.tracer),
+        "structs": build_struct_registry(),
+        "filters": build_filter_config(),
+    }
+
+
+@pytest.fixture(scope="module")
+def memory_db(mix_trace):
+    db, health = ingest_events(
+        mix_trace["events"], mix_trace["stacks"],
+        mix_trace["structs"], mix_trace["filters"],
+    )
+    db.health = health
+    return db
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, mix_trace):
+    path = tmp_path_factory.mktemp("store") / "mix.store.sqlite"
+    sqlstore.build_store(
+        str(path), mix_trace["events"], mix_trace["stacks"],
+        mix_trace["structs"], mix_trace["filters"],
+        meta_extra={"recipe": "vfs"},
+    )
+    s = sqlstore.SqliteTraceStore(str(path))
+    yield s
+    s.close()
+
+
+# ----------------------------------------------------------------------
+# _s64/_u64 round trip (satellite: unsigned-address read paths)
+# ----------------------------------------------------------------------
+
+
+class TestAddressRoundTrip:
+    def test_boundary_addresses(self):
+        for address in U64_BOUNDARIES:
+            stored = _s64(address)
+            assert -(2**63) <= stored < 2**63  # fits SQLite INTEGER
+            assert _u64(stored) == address
+
+    def test_none_passes_through(self):
+        assert _s64(None) is None
+        assert _u64(None) is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip_property(self, address):
+        assert _u64(_s64(address)) == address
+
+    def test_high_addresses_survive_sqlite_storage(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (v INTEGER)")
+        connection.executemany(
+            "INSERT INTO t VALUES (?)",
+            [(_s64(address),) for address in U64_BOUNDARIES],
+        )
+        read_back = [
+            _u64(value)
+            for (value,) in connection.execute("SELECT v FROM t ORDER BY rowid")
+        ]
+        assert read_back == list(U64_BOUNDARIES)
+
+
+# ----------------------------------------------------------------------
+# Store build == in-memory import, relation for relation
+# ----------------------------------------------------------------------
+
+
+class TestLoadDatabaseParity:
+    def test_accesses_identical(self, store, memory_db, mix_trace):
+        loaded = store.load_database(mix_trace["structs"])
+        assert loaded.accesses == memory_db.accesses
+
+    def test_small_relations_identical(self, store, memory_db, mix_trace):
+        loaded = store.load_database(mix_trace["structs"])
+        assert loaded.allocations == memory_db.allocations
+        assert loaded.locks == memory_db.locks
+        assert list(loaded.txns.values()) == list(memory_db.txns.values())
+        assert loaded.stack_table == memory_db.stack_table
+
+    def test_health_identical(self, store, memory_db):
+        assert store.health() == memory_db.health
+
+    def test_addresses_are_unsigned_after_reload(self, store, mix_trace):
+        loaded = store.load_database(mix_trace["structs"])
+        assert all(a.address >= 0 for a in loaded.accesses)
+        assert all(a.address >= 0 for a in loaded.allocations.values())
+
+
+class TestFoldParity:
+    @pytest.mark.parametrize("split", [True, False])
+    def test_fold_matches_observation_table(self, store, memory_db, split):
+        table = ObservationTable.from_database(
+            memory_db, split_subclasses=split
+        )
+        fold = store.fold(split_subclasses=split)
+        assert fold.keys() == table.keys()
+        assert fold.observation_count is not None
+        for key in table.keys():
+            assert fold.sequences(*key) == table.sequences(*key)
+            assert fold.observation_count(*key) == table.observation_count(*key)
+
+    def test_lazy_get_matches_observation_rows(self, store, memory_db):
+        table = ObservationTable.from_database(memory_db)
+        fold = store.fold()
+        for key in table.keys()[:40]:
+            assert fold.get(*key) == table.get(*key)
+
+    def test_merged_surface_matches(self, store, memory_db):
+        table = ObservationTable.from_database(memory_db)
+        fold = store.fold()
+        for type_key in table.type_keys():
+            data_type = type_key.split(":", 1)[0]
+            for member in table.merged_members_of(data_type):
+                for access_type in ("r", "w"):
+                    assert fold.merged_sequences(
+                        data_type, member, access_type
+                    ) == table.merged_sequences(data_type, member, access_type)
+
+
+# ----------------------------------------------------------------------
+# Sharded build == serial build
+# ----------------------------------------------------------------------
+
+
+class TestShardedBuild:
+    def test_sharded_equals_serial(self, tmp_path, mix_trace):
+        trace_path = tmp_path / "mix.bin"
+        with open(trace_path, "wb") as fp:
+            serialize.write_binary(
+                mix_trace["events"], mix_trace["stacks"], fp
+            )
+        serial = tmp_path / "serial.store.sqlite"
+        sharded = tmp_path / "sharded.store.sqlite"
+        health_serial = sqlstore.build_store_from_trace(
+            str(serial), str(trace_path), "vfs", shard_count=1
+        )
+        health_sharded = sqlstore.build_store_from_trace(
+            str(sharded), str(trace_path), "vfs", shard_count=3
+        )
+        assert health_sharded == health_serial
+        a = sqlstore.SqliteTraceStore(str(serial))
+        b = sqlstore.SqliteTraceStore(str(sharded))
+        try:
+            assert b.load_database().accesses == a.load_database().accesses
+            assert b.counts() == a.counts()
+            fold_a, fold_b = a.fold(), b.fold()
+            assert fold_b.keys() == fold_a.keys()
+            for key in fold_a.keys():
+                assert fold_b.sequences(*key) == fold_a.sequences(*key)
+        finally:
+            a.close()
+            b.close()
+
+    def test_shard_files_cleaned_up(self, tmp_path, mix_trace):
+        trace_path = tmp_path / "mix.bin"
+        with open(trace_path, "wb") as fp:
+            serialize.write_binary(
+                mix_trace["events"], mix_trace["stacks"], fp
+            )
+        out = tmp_path / "out.store.sqlite"
+        sqlstore.build_store_from_trace(
+            str(out), str(trace_path), "vfs", shard_count=2
+        )
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if name not in ("mix.bin", "out.store.sqlite")
+        ]
+        assert leftovers == []
+
+    def test_default_shard_count_env_override(self, monkeypatch):
+        monkeypatch.setenv(sqlstore.SHARDS_ENV, "7")
+        assert sqlstore.default_shard_count() == 7
+        monkeypatch.setenv(sqlstore.SHARDS_ENV, "junk")
+        assert sqlstore.default_shard_count() >= 1
+
+
+# ----------------------------------------------------------------------
+# Fault-corrupted traces (synthetic_close + scrub/fence parity)
+# ----------------------------------------------------------------------
+
+
+class TestCorruptedTraceParity:
+    @pytest.fixture(scope="class")
+    def corrupted(self, tmp_path_factory, mix_trace):
+        events = FaultPlan.from_spec("drop:0.02", seed=1).apply_events(
+            mix_trace["events"]
+        )
+        path = tmp_path_factory.mktemp("corrupted") / "store.sqlite"
+        db, health = ingest_events(
+            events, mix_trace["stacks"], mix_trace["structs"],
+            mix_trace["filters"], LENIENT_POLICY,
+        )
+        sqlstore.build_store(
+            str(path), events, mix_trace["stacks"], mix_trace["structs"],
+            mix_trace["filters"], LENIENT_POLICY,
+        )
+        store = sqlstore.SqliteTraceStore(str(path))
+        yield db, health, store
+        store.close()
+
+    def test_health_identical(self, corrupted):
+        _db, health, store = corrupted
+        assert store.health() == health
+        assert store.health().scrubbed_accesses > 0  # repairs did run
+
+    def test_synthetic_close_preserved(self, corrupted, mix_trace):
+        db, _health, store = corrupted
+        synthetic = [t.txn_id for t in db.txns.values() if t.synthetic_close]
+        assert synthetic, "expected synthetic closes from a 2%-drop trace"
+        loaded = store.load_database(mix_trace["structs"])
+        assert [
+            t.txn_id for t in loaded.txns.values() if t.synthetic_close
+        ] == synthetic
+        stored = dict(store.connection.execute(
+            "SELECT txn_id, synthetic_close FROM txns"
+        ))
+        assert sorted(
+            txn_id for txn_id, flag in stored.items() if flag
+        ) == sorted(synthetic)
+
+    def test_full_database_identical(self, corrupted, mix_trace):
+        db, _health, store = corrupted
+        loaded = store.load_database(mix_trace["structs"])
+        assert loaded.accesses == db.accesses
+        assert list(loaded.txns.values()) == list(db.txns.values())
+
+
+# ----------------------------------------------------------------------
+# Crash safety: torn files refused, failed builds leave nothing
+# ----------------------------------------------------------------------
+
+
+class TestCrashSafety:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(sqlstore.StoreCorrupt):
+            sqlstore.open_store(str(tmp_path / "nope.sqlite"))
+
+    def test_torn_file_raises(self, tmp_path, store):
+        torn = tmp_path / "torn.sqlite"
+        data = open(store.path, "rb").read()
+        torn.write_bytes(data[: int(len(data) * 0.6)])
+        with pytest.raises(sqlstore.StoreCorrupt):
+            sqlstore.open_store(str(torn))
+
+    def test_unstamped_file_raises(self, tmp_path):
+        path = tmp_path / "unstamped.sqlite"
+        connection = sqlite3.connect(str(path))
+        connection.execute("CREATE TABLE meta (key TEXT, value TEXT)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(sqlstore.StoreCorrupt, match="incomplete"):
+            sqlstore.open_store(str(path))
+
+    def test_row_count_mismatch_raises(self, tmp_path, store):
+        path = tmp_path / "tampered.sqlite"
+        path.write_bytes(open(store.path, "rb").read())
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "DELETE FROM accesses WHERE access_id IN "
+            "(SELECT access_id FROM accesses LIMIT 5)"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(sqlstore.StoreCorrupt, match="torn"):
+            sqlstore.open_store(str(path))
+
+    def test_export_failure_leaves_no_file(
+        self, tmp_path, memory_db, monkeypatch
+    ):
+        from repro.db import sqlbackend
+
+        monkeypatch.setattr(
+            sqlbackend, "INDEXES_SQL", "CREATE INDEX bogus ON nonexistent (x);"
+        )
+        path = tmp_path / "failed.sqlite"
+        with pytest.raises(sqlite3.OperationalError):
+            export_sqlite(memory_db, str(path))
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []  # no tmp orphan either
+
+    def test_failed_build_leaves_no_file(
+        self, tmp_path, mix_trace, monkeypatch
+    ):
+        from repro.db import sqlstore as module
+
+        monkeypatch.setattr(
+            module, "INDEXES_SQL", "CREATE INDEX bogus ON nonexistent (x);"
+        )
+        path = tmp_path / "failed.store.sqlite"
+        with pytest.raises(sqlite3.OperationalError):
+            sqlstore.build_store(
+                str(path), mix_trace["events"], mix_trace["stacks"],
+                mix_trace["structs"], mix_trace["filters"],
+            )
+        assert os.listdir(tmp_path) == []
+
+    def test_export_file_passes_store_validation(self, tmp_path, memory_db):
+        path = tmp_path / "export.sqlite"
+        export_sqlite(memory_db, str(path)).close()
+        connection = sqlstore.open_store(str(path))
+        meta = dict(connection.execute("SELECT key, value FROM meta"))
+        connection.close()
+        assert meta["complete"] == "1"
+        assert int(meta["rows_accesses"]) == len(memory_db.accesses)
