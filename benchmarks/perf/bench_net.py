@@ -1,0 +1,232 @@
+"""Net-slice benchmark: rule fidelity, plants, parity, fuzz growth.
+
+Runs the netbench workload end-to-end against the net ground truth and
+writes ``BENCH_net.json``::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_net \
+        --scale 4 --out BENCH_net.json
+
+Exit status is 1 (and the ``net-smoke`` CI job fails) if any gate
+misses:
+
+* **fidelity** — the fraction of ground-truth targets whose mined
+  winning rule equals the spec falls below the floor (default 90 %;
+  the one expected miss is the documented ambivalent ``sk_state``
+  read, whose sanctioned lock-free peek path outvotes ``sk_lock``);
+* **plants** — any of the four planted deviations fails to surface as
+  a rule violation;
+* **parity** — the sqlite backend's rule export differs from the
+  in-memory backend's by a single byte;
+* **determinism** — a second netbench run at the same seed mines a
+  different rule set;
+* **fuzz growth** — a coverage-guided campaign over the net syscall
+  vocabulary fails to grow pair coverage over the netbench baseline by
+  the floor (default 10 %), or its corpus replay diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.atomicio import atomic_write_json
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.rulesio import rules_to_json
+from repro.core.violations import ViolationFinder
+from repro.fuzz.orchestrator import (
+    FuzzConfig,
+    FuzzOrchestrator,
+    baseline_coverage,
+    replay_corpus,
+)
+from repro.kernel.net.groundtruth import (
+    NET_MEMBER_BLACKLIST,
+    NET_PLANTED_DEVIATIONS,
+    build_net_specs,
+)
+from repro.workloads import registry
+from repro.workloads.net import NetBench
+
+#: Bump on any change to the JSON layout.
+SCHEMA = "lockdoc-bench-net/1"
+
+
+def _derive(db):
+    table = ObservationTable.from_database(db, split_subclasses=True)
+    return table, Derivator(0.9).derive(table)
+
+
+def _fidelity(derivation):
+    """(matched, total, misses) over every observable ground-truth
+    target — no exclusions: the ambivalent members count as misses,
+    exactly like the paper's Tab. 6 counts ambivalent targets."""
+    specs = build_net_specs()
+    matched, total, misses = 0, 0, []
+    for name in sorted(specs):
+        spec = specs[name]
+        for member in spec.members:
+            if member.member in spec.blacklist:
+                continue
+            if (name, member.member) in NET_MEMBER_BLACKLIST:
+                continue
+            for access in ("r", "w"):
+                if member.weight_for(access) == 0:
+                    continue
+                d = derivation.get(name, member.member, access)
+                if d is None:
+                    continue
+                total += 1
+                expected = spec.expected_rule(member.member, access)
+                if d.rule == expected:
+                    matched += 1
+                else:
+                    misses.append(
+                        f"{name}.{member.member}[{access}]: mined "
+                        f"[{d.rule.format()}] expected [{expected.format()}]"
+                    )
+    return matched, total, misses
+
+
+def _sqlite_rules(run, tmpdir: str) -> str:
+    """Rule export mined through the out-of-core sqlite backend."""
+    from repro.db import sqlstore
+
+    tracer = run.tracer
+    stacks = [tracer.stack(i) for i in range(tracer.stack_count)]
+    structs, filters = registry.database_inputs("net")
+    path = f"{tmpdir}/net-store.sqlite"
+    sqlstore.build_store(path, tracer.events, stacks, structs, filters)
+    store = sqlstore.SqliteTraceStore(path)
+    return rules_to_json(Derivator(0.9).derive(store.fold(True)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the net-slice gates; write BENCH_net.json"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=4.0)
+    parser.add_argument("--min-fidelity", type=float, default=0.9)
+    parser.add_argument("--generations", type=int, default=4)
+    parser.add_argument("--population", type=int, default=10)
+    parser.add_argument("--fuzz-baseline-scale", type=float, default=1.0)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--min-growth", type=float, default=0.10,
+        help="required pair-coverage growth over the netbench baseline",
+    )
+    parser.add_argument("--out", default="BENCH_net.json")
+    args = parser.parse_args(argv)
+
+    # -- mine the netbench trace (twice: the determinism gate).
+    t0 = time.perf_counter()
+    run = NetBench(seed=args.seed, scale=args.scale).run()
+    db = run.to_database()
+    table, derivation = _derive(db)
+    mine_s = time.perf_counter() - t0
+    rules_json = rules_to_json(derivation)
+    again = NetBench(seed=args.seed, scale=args.scale).run()
+    rules_again = rules_to_json(_derive(again.to_database())[1])
+    deterministic = rules_json == rules_again
+
+    # -- fidelity vs the ground-truth specs.
+    matched, total, misses = _fidelity(derivation)
+    fidelity = matched / total if total else 0.0
+
+    # -- the planted deviations must surface as violations.
+    violations = ViolationFinder(derivation, table).find()
+    violated = {(v.type_key, v.member, v.access_type) for v in violations}
+    missing_plants = [
+        f"{t}.{m}[{a}]"
+        for t, m, a in NET_PLANTED_DEVIATIONS
+        if (t, m, a) not in violated
+    ]
+
+    # -- backend parity: sqlite mining must match byte-for-byte.
+    with tempfile.TemporaryDirectory(prefix="lockdoc-bench-net-") as tmpdir:
+        parity = _sqlite_rules(run, tmpdir) == rules_json
+
+    # -- coverage-guided fuzzing over the net vocabulary.
+    t0 = time.perf_counter()
+    baseline = baseline_coverage(
+        args.seed, args.fuzz_baseline_scale, subsystem="net"
+    )
+    config = FuzzConfig(
+        seed=args.seed,
+        generations=args.generations,
+        population=args.population,
+        baseline_scale=args.fuzz_baseline_scale,
+        jobs=args.jobs,
+        subsystem="net",
+    )
+    outcome = FuzzOrchestrator(config).run(baseline=baseline)
+    campaign_s = time.perf_counter() - t0
+    corpus = outcome.corpus
+    replay = replay_corpus(corpus)
+
+    report = {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "seed": args.seed,
+        "scale": args.scale,
+        "events": len(run.tracer.events),
+        "fidelity": round(fidelity, 4),
+        "fidelity_matched": matched,
+        "fidelity_total": total,
+        "fidelity_misses": misses,
+        "planted": [f"{t}.{m}[{a}]" for t, m, a in NET_PLANTED_DEVIATIONS],
+        "missing_plants": missing_plants,
+        "violations": len(violations),
+        "backend_parity": parity,
+        "deterministic": deterministic,
+        "mine_s": round(mine_s, 4),
+        "fuzz_generations": args.generations,
+        "fuzz_population": args.population,
+        "fuzz_baseline_pairs": baseline.pair_count,
+        "fuzz_pairs": corpus.global_coverage.pair_count,
+        "fuzz_pair_growth": round(outcome.pair_growth, 4),
+        "fuzz_corpus_entries": len(corpus.entries),
+        "fuzz_replay_identical": replay.identical,
+        "campaign_s": round(campaign_s, 4),
+    }
+    atomic_write_json(args.out, report)
+
+    print(
+        f"net: fidelity={matched}/{total} ({fidelity:.1%}) "
+        f"violations={len(violations)} plants_found="
+        f"{len(NET_PLANTED_DEVIATIONS) - len(missing_plants)}/"
+        f"{len(NET_PLANTED_DEVIATIONS)} parity={parity} "
+        f"fuzz_pairs={baseline.pair_count}->"
+        f"{corpus.global_coverage.pair_count} (+{outcome.pair_growth:.1%})"
+    )
+    print(f"wrote {args.out}")
+
+    errors = []
+    if fidelity < args.min_fidelity:
+        errors.append(
+            f"rule fidelity {fidelity:.1%} below the "
+            f"{args.min_fidelity:.0%} floor: {misses}"
+        )
+    if missing_plants:
+        errors.append(f"planted deviations not surfaced: {missing_plants}")
+    if not parity:
+        errors.append("sqlite backend rules diverge from the memory backend")
+    if not deterministic:
+        errors.append("two netbench runs mined different rules")
+    if outcome.pair_growth < args.min_growth:
+        errors.append(
+            f"fuzz pair growth {outcome.pair_growth:.1%} below the "
+            f"{args.min_growth:.0%} floor"
+        )
+    if not replay.identical:
+        errors.append(f"fuzz replay diverged on entries {replay.mismatches}")
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,7 +61,9 @@ _ENV_DIR = "LOCKDOC_CACHE_DIR"
 #: functions of ``(seed, scale)`` and the hashed source revision.
 #: ``fuzz:*`` corpora are excluded — their content lives outside the
 #: source tree, so the key could not see it change.
-_CACHEABLE = frozenset({"mix", "racer", "racer-safe"})
+_CACHEABLE = frozenset(
+    {"mix", "racer", "racer-safe", "netbench", "sockstress", "netmix"}
+)
 
 #: Packages whose sources determine the emitted event stream.
 _TRACE_PACKAGES = ("kernel", "tracing", "workloads", "fuzz")

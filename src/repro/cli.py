@@ -65,7 +65,7 @@ from repro.experiments import common as experiments_common
 
 _EXPERIMENTS = (
     "fig1", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
-    "fig7", "tab7", "tab8", "fig8", "stats",
+    "fig7", "tab7", "tab8", "fig8", "stats", "tab3net", "tab6net",
 )
 
 
@@ -80,7 +80,8 @@ def _add_pipeline_args(
     parser.add_argument(
         "--workload", default=workload_default, metavar="NAME",
         help="trace source from the workload registry: mix, racer, "
-        "racer-safe, or fuzz:<corpus-file> "
+        "racer-safe, netbench, sockstress, netmix, or "
+        "fuzz:<corpus-file> "
         f"(default: {workload_default})",
     )
     parser.add_argument(
@@ -224,8 +225,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     health.add_argument("trace", help="trace file (text or binary, may be damaged)")
     health.add_argument(
-        "--registry", choices=("vfs", "racer"), default="vfs",
-        help="struct registry the trace was recorded against",
+        "--registry", choices=("vfs", "racer", "net"), default="vfs",
+        help="struct registry the trace was recorded against "
+        "(`net` = the combined vfs+net recipe)",
     )
     health.add_argument(
         "--budget", type=float, default=0.25,
@@ -258,6 +260,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "run", help="run a fuzzing campaign and save the corpus"
     )
     fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument(
+        "--subsystem", choices=("vfs", "net"), default="vfs",
+        help="which simulated slice to fuzz (baseline: mix for vfs, "
+        "netbench for net)",
+    )
     fuzz_run.add_argument(
         "--generations", type=int, default=3, help="fuzzing generations"
     )
@@ -532,11 +539,12 @@ def _cmd_experiment(args) -> int:
     import importlib
 
     if args.workload != "mix":
-        # The paper tables are defined over the benchmark mix; use the
-        # ``stats``/``derive``/``races`` subcommands for other workloads.
+        # The paper tables are defined over the benchmark mix; the net
+        # analogues (tab3net/tab6net) run their own netbench trace.
         print(
             "error: experiments reproduce paper tables over the benchmark "
-            "mix and do not accept --workload",
+            "mix and do not accept --workload (net-only workloads "
+            "included; tab3net/tab6net already run netbench internally)",
             file=sys.stderr,
         )
         return 2
@@ -696,15 +704,17 @@ def _cmd_fuzz(args) -> int:
             population=args.population,
             baseline_scale=args.baseline_scale,
             jobs=args.jobs,
+            subsystem=args.subsystem,
         )
         outcome = FuzzOrchestrator(config, progress=print).run()
         corpus = outcome.corpus
         corpus.save(args.out)
         name = register_corpus(corpus)
+        baseline_name = "netbench" if args.subsystem == "net" else "mix"
         print(
             f"wrote {args.out}: {len(corpus.entries)} programs, "
             f"{corpus.global_coverage.pair_count} pairs "
-            f"(+{outcome.pair_growth:.1%} over the mix baseline)"
+            f"(+{outcome.pair_growth:.1%} over the {baseline_name} baseline)"
         )
         print(f"registered as workload {name!r} "
               f"(also runnable as fuzz:{args.out})")

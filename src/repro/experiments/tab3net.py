@@ -1,0 +1,67 @@
+"""Tab. 3, second column: code coverage of the netbench workload.
+
+The paper's Tab. 3 reports GCOV coverage of ``fs/``, ``fs/ext4/`` and
+``fs/jbd2/`` under the VFS benchmark mix.  This is the net-slice
+analogue: the same catalog accounting (synthesized ops + hand-written
+kernel functions + never-executed cold paths) over the ``net/``,
+``net/core/`` and ``net/ipv4/`` directory buckets, measured against a
+netbench trace.  The shape to hold mirrors the paper's observation:
+partial coverage — a single benchmark exercises well under half of the
+subsystem it targets, which is exactly why Sec. 7 treats the mined
+rules as hypotheses rather than ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.report import render_table
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, get_pipeline
+from repro.workloads.coverage import CoverageRow, coverage_report
+
+#: Coverage band the netbench run should land in (fractions, per
+#: directory bucket): strictly partial like the paper's fs rows, with
+#: net/core by far the best covered (that is where the hot sock/skb
+#: paths live) and net/ipv4 barely touched — netbench only reaches the
+#: tcp.c/tcp_output.c helpers through the fuzzer's handwritten paths.
+NET_COVERAGE_BAND = (0.01, 0.80)
+
+
+@dataclass
+class Tab3NetResult:
+    """Net-slice Tab. 3 coverage rows with render()/data views."""
+    rows: List[CoverageRow]
+
+    @property
+    def data(self):
+        return [
+            {
+                "directory": row.directory,
+                "line_coverage": round(row.line_coverage, 4),
+                "function_coverage": round(row.function_coverage, 4),
+            }
+            for row in self.rows
+        ]
+
+    def render(self) -> str:
+        headers = ["Directory", "Line Coverage", "Function Coverage"]
+        table_rows = [
+            [
+                row.directory,
+                f"{row.line_coverage:.2%} ({row.lines_hit}/{row.lines_total})",
+                f"{row.function_coverage:.2%} ({row.functions_hit}/{row.functions_total})",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers, table_rows,
+            title="Tab. 3 (net column) — netbench code coverage",
+        )
+
+
+def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> Tab3NetResult:
+    """Regenerate this experiment; see the module docstring for the paper reference."""
+    pipeline = get_pipeline(seed, scale, workload="netbench")
+    rows = coverage_report(pipeline.mix.world, pipeline.db, subsystem="net")
+    return Tab3NetResult(rows=rows)

@@ -108,6 +108,14 @@ class Corpus:
     # -- identity ------------------------------------------------------
 
     @property
+    def subsystem(self) -> str:
+        """The subsystem of the corpus's programs (``"vfs"`` if empty).
+
+        A campaign breeds within one vocabulary, so all entries agree.
+        """
+        return self.entries[0].program.subsystem if self.entries else "vfs"
+
+    @property
     def corpus_id(self) -> str:
         """Deterministic id: seed + admitted program structure."""
         digest = hashlib.sha256()

@@ -120,16 +120,24 @@ def execute_program(program, scale_pool: bool = False) -> Execution:
     """
     from repro.kernel import reset_id_counters
     from repro.kernel.sched import Scheduler
-    from repro.kernel.vfs.fs import VfsWorld
 
     reset_id_counters()
-    world = VfsWorld(seed=program.sched_seed * 2 + 1)
-    world.boot()
+    subsystem = getattr(program, "subsystem", "vfs")
+    if subsystem == "net":
+        from repro.kernel.net.world import NetWorld
+
+        world = NetWorld(seed=program.sched_seed * 2 + 1)
+        world.boot()
+    else:
+        from repro.kernel.vfs.fs import VfsWorld
+
+        world = VfsWorld(seed=program.sched_seed * 2 + 1)
+        world.boot()
     scheduler = Scheduler(world.rt, seed=program.sched_seed)
     for name, body in program.compile(world):
         scheduler.spawn(name, body)
     steps = scheduler.run()
-    db = _import(world)
+    db = _import(world, subsystem)
     return Execution(
         coverage=CoverageMap.of_database(db),
         events=len(world.rt.tracer.events),
@@ -138,11 +146,18 @@ def execute_program(program, scale_pool: bool = False) -> Execution:
     )
 
 
-def _import(world) -> TraceDatabase:
+def _import(world, subsystem: str = "vfs") -> TraceDatabase:
     from repro.db.importer import import_tracer
-    from repro.kernel.vfs.groundtruth import build_filter_config
 
-    return import_tracer(world.rt.tracer, world.rt.structs, build_filter_config())
+    if subsystem == "net":
+        from repro.kernel.net.groundtruth import build_net_filter_config
+
+        filters = build_net_filter_config()
+    else:
+        from repro.kernel.vfs.groundtruth import build_filter_config
+
+        filters = build_filter_config()
+    return import_tracer(world.rt.tracer, world.rt.structs, filters)
 
 
 def execute_program_dict(program_dict: dict) -> dict:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Tuple
 
-from repro.fuzz.program import _ARITY, OP_KINDS, SyscallOp, SyscallProgram
+from repro.fuzz.program import _ARITY, SyscallOp, SyscallProgram, kinds_for
 
 #: Bounds keeping candidates cheap to execute.
 MAX_THREADS = 4
@@ -21,8 +21,13 @@ MAX_OPS_PER_THREAD = 24
 _ARG_RANGE = 64  # raw slot values; consumers reduce modulo pool sizes
 
 
-def random_op(rng: random.Random) -> SyscallOp:
-    kind = rng.choice(OP_KINDS)
+def random_op(rng: random.Random, subsystem: str = "vfs") -> SyscallOp:
+    """One random op from *subsystem*'s vocabulary.
+
+    For vfs the draw sequence is identical to the historical one (same
+    ``rng.choice`` over the same tuple), so seeded campaigns reproduce.
+    """
+    kind = rng.choice(kinds_for(subsystem))
     return SyscallOp(
         kind, tuple(rng.randrange(_ARG_RANGE) for _ in range(_ARITY[kind]))
     )
@@ -32,15 +37,17 @@ def random_program(
     rng: random.Random,
     max_threads: int = MAX_THREADS,
     max_ops: int = MAX_OPS_PER_THREAD,
+    subsystem: str = "vfs",
 ) -> SyscallProgram:
     """A fresh random candidate (corpus bootstrap / exploration)."""
     nthreads = rng.randint(1, max_threads)
     return SyscallProgram(
         threads=[
-            [random_op(rng) for _ in range(rng.randint(1, max_ops))]
+            [random_op(rng, subsystem) for _ in range(rng.randint(1, max_ops))]
             for _ in range(nthreads)
         ],
         sched_seed=rng.randrange(1 << 30),
+        subsystem=subsystem,
     )
 
 
@@ -48,6 +55,7 @@ def _copy(program: SyscallProgram) -> SyscallProgram:
     return SyscallProgram(
         threads=[list(thread) for thread in program.threads],
         sched_seed=program.sched_seed,
+        subsystem=program.subsystem,
     )
 
 
@@ -63,7 +71,7 @@ def insert_op(program: SyscallProgram, rng: random.Random) -> SyscallProgram:
     out = _copy(program)
     thread = out.threads[_pick_thread(out, rng)]
     if len(thread) < MAX_OPS_PER_THREAD:
-        thread.insert(rng.randint(0, len(thread)), random_op(rng))
+        thread.insert(rng.randint(0, len(thread)), random_op(rng, out.subsystem))
     return out
 
 
@@ -96,7 +104,7 @@ def mutate_arg(program: SyscallProgram, rng: random.Random) -> SyscallProgram:
         args[slot] = rng.randrange(_ARG_RANGE)
         thread[index] = SyscallOp(op.kind, tuple(args))
     else:
-        thread[index] = random_op(rng)
+        thread[index] = random_op(rng, out.subsystem)
     return out
 
 
@@ -111,7 +119,8 @@ def mutate_threads(program: SyscallProgram, rng: random.Random) -> SyscallProgra
         len(out.threads) == 1 or rng.random() < 0.5
     ):
         out.threads.append(
-            [random_op(rng) for _ in range(rng.randint(1, MAX_OPS_PER_THREAD // 2))]
+            [random_op(rng, out.subsystem)
+             for _ in range(rng.randint(1, MAX_OPS_PER_THREAD // 2))]
         )
     elif len(out.threads) > 1:
         del out.threads[rng.randrange(len(out.threads))]
@@ -141,9 +150,11 @@ def splice(
         cut_a = rng.randint(0, len(a))
         cut_b = rng.randint(0, len(b))
         body = (list(a[:cut_a]) + list(b[cut_b:]))[:MAX_OPS_PER_THREAD]
-        threads.append(body or [random_op(rng)])
+        threads.append(body or [random_op(rng, first.subsystem)])
     seed = first.sched_seed if rng.random() < 0.5 else second.sched_seed
-    return SyscallProgram(threads=threads, sched_seed=seed)
+    return SyscallProgram(
+        threads=threads, sched_seed=seed, subsystem=first.subsystem
+    )
 
 
 MUTATORS: Tuple[Callable[[SyscallProgram, random.Random], SyscallProgram], ...] = (

@@ -44,6 +44,8 @@ class FuzzConfig:
     jobs: Optional[int] = None
     max_threads: int = 4
     max_ops: int = 24
+    #: Which simulated subsystem the campaign fuzzes ("vfs" or "net").
+    subsystem: str = "vfs"
     #: Probability mix for candidate breeding.
     p_mutate: float = 0.70
     p_splice: float = 0.15  # remainder is fresh random programs
@@ -66,8 +68,16 @@ class FuzzOutcome:
         return (self.corpus.global_coverage.pair_count - base) / base
 
 
-def baseline_coverage(seed: int, scale: float) -> CoverageMap:
-    """Coverage of the seed workload (the benchmark mix)."""
+def baseline_coverage(
+    seed: int, scale: float, subsystem: str = "vfs"
+) -> CoverageMap:
+    """Coverage of the seed workload: the benchmark mix for vfs, the
+    socket benchmark for net."""
+    if subsystem == "net":
+        from repro.workloads.net import NetBench
+
+        result = NetBench(seed=seed, scale=scale).run()
+        return CoverageMap.of_database(result.to_database())
     from repro.workloads.mix import BenchmarkMix
 
     mix = BenchmarkMix(seed=seed, scale=scale).run()
@@ -97,17 +107,23 @@ class FuzzOrchestrator:
             first = corpus.select(rng)
             second = corpus.select(rng)
             return splice(first.program, second.program, rng)
-        return random_program(rng, config.max_threads, config.max_ops)
+        return random_program(
+            rng, config.max_threads, config.max_ops, config.subsystem
+        )
 
     # -- campaign ------------------------------------------------------
 
     def run(self, baseline: Optional[CoverageMap] = None) -> FuzzOutcome:
         config = self.config
         if baseline is None:
+            workload = "netbench" if config.subsystem == "net" else "mix"
             self._progress(
-                f"baseline: mix seed={config.seed} scale={config.baseline_scale}"
+                f"baseline: {workload} seed={config.seed} "
+                f"scale={config.baseline_scale}"
             )
-            baseline = baseline_coverage(config.seed, config.baseline_scale)
+            baseline = baseline_coverage(
+                config.seed, config.baseline_scale, config.subsystem
+            )
         corpus = Corpus(baseline, seed=config.seed)
         self._progress(
             f"baseline coverage: {baseline.pair_count} pairs, "

@@ -61,10 +61,47 @@ OP_KINDS: Tuple[str, ...] = (
     "lru",          # (fstype, idx, sub)  inode LRU add/check/isolate
 )
 
+#: Struct types reachable through the net slice's op engine.
+NET_ENGINE_TYPES: Tuple[str, ...] = (
+    "sock", "sk_buff", "socket_wq", "net_device",
+)
+
+#: Op kinds of the net-slice vocabulary.  Socket arguments are indices
+#: into the live sock pool (modulo its size at execution time), exactly
+#: like the VFS vocabulary's object slots.
+NET_OP_KINDS: Tuple[str, ...] = (
+    "sock_create",      # ()            socket(2) + connect
+    "sock_send",        # (idx)         sendmsg(2) on socks[idx]
+    "sock_recv",        # (idx, dgram)  recvmsg(2); odd dgram = UDP path
+    "sock_poll",        # (idx, busy)   poll(2); odd busy = busy-poll tail
+    "sock_setsockopt",  # (idx)         setsockopt(2) on socks[idx]
+    "dev_ioctl",        # ()            device flags read/write
+    "sock_close",       # (idx)         close(2) on socks[idx]
+    "sock_wake",        # (idx)         sock_wake_async (callback read lock)
+    "sock_fasync",      # (idx)         O_ASYNC setup (owner + callback)
+    "sock_retransmit",  # (idx)         tx-queue walk (owner + queue lock)
+    "dev_set_mtu",      # ()            MTU write under rtnl
+    "sock_diag",        # ()            family-list dump under global lock
+    "net_exercise",     # (type, idx)   one synthesized spec op
+)
+
 _ARITY: Dict[str, int] = {
     "create": 1, "unlink": 1, "write": 2, "read": 2, "rename": 0,
     "exercise": 2, "hash_lookup": 2, "journal": 1, "dirwalk": 1, "lru": 3,
+    "sock_create": 0, "sock_send": 1, "sock_recv": 2, "sock_poll": 2,
+    "sock_setsockopt": 1, "dev_ioctl": 0, "sock_close": 1, "sock_wake": 1,
+    "sock_fasync": 1, "sock_retransmit": 1, "dev_set_mtu": 0,
+    "sock_diag": 0, "net_exercise": 2,
 }
+
+
+def kinds_for(subsystem: str) -> Tuple[str, ...]:
+    """The op vocabulary of *subsystem* (``vfs`` or ``net``)."""
+    if subsystem == "vfs":
+        return OP_KINDS
+    if subsystem == "net":
+        return NET_OP_KINDS
+    raise ValueError(f"unknown fuzz subsystem {subsystem!r}")
 
 
 @dataclass(frozen=True)
@@ -97,12 +134,15 @@ class SyscallProgram:
 
     threads: List[List[SyscallOp]] = field(default_factory=list)
     sched_seed: int = 0
+    #: Which simulated subsystem the program drives ("vfs" or "net").
+    subsystem: str = "vfs"
 
     # -- identity ------------------------------------------------------
 
     def key(self) -> Tuple:
         """Hashable structural identity (corpus de-duplication)."""
         return (
+            self.subsystem,
             self.sched_seed,
             tuple(tuple((op.kind, op.args) for op in t) for t in self.threads),
         )
@@ -114,10 +154,14 @@ class SyscallProgram:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "sched_seed": self.sched_seed,
             "threads": [[op.to_list() for op in t] for t in self.threads],
         }
+        # Omitted for vfs so existing corpus JSON stays byte-identical.
+        if self.subsystem != "vfs":
+            data["subsystem"] = self.subsystem
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SyscallProgram":
@@ -127,15 +171,18 @@ class SyscallProgram:
                 for thread in data.get("threads", [])
             ],
             sched_seed=int(data.get("sched_seed", 0)),
+            subsystem=str(data.get("subsystem", "vfs")),
         )
 
     # -- compilation ---------------------------------------------------
 
-    def compile(self, world: VfsWorld) -> List[Tuple[str, ThreadBody]]:
+    def compile(self, world) -> List[Tuple[str, ThreadBody]]:
         """``(name, body)`` pairs driving *world* — the workload shape
-        every scheduler consumer expects."""
+        every scheduler consumer expects.  The world must match the
+        program's subsystem (:class:`VfsWorld` or ``NetWorld``)."""
+        body = _net_thread_body if self.subsystem == "net" else _thread_body
         return [
-            (f"fuzz/{index}", _thread_body(world, list(ops)))
+            (f"fuzz/{index}", body(world, list(ops)))
             for index, ops in enumerate(self.threads)
         ]
 
@@ -213,6 +260,62 @@ def _thread_body(world: VfsWorld, ops: List[SyscallOp]) -> ThreadBody:
                             )
                         else:
                             yield from iops.inode_lru_isolate(rt, ctx, inode)
+            yield  # voluntary preemption between syscalls
+
+    return run
+
+
+def _live_socks(world) -> List:
+    return [s for s in world.socks if s.live]
+
+
+def _net_thread_body(world, ops: List[SyscallOp]) -> ThreadBody:
+    def run(ctx: ExecutionContext) -> Generator:
+        for op in ops:
+            kind, args = op.kind, op.args
+            if kind == "sock_create":
+                yield from world.sock_create(ctx)
+            elif kind in ("sock_send", "sock_recv", "sock_poll",
+                          "sock_setsockopt", "sock_close", "sock_wake",
+                          "sock_fasync", "sock_retransmit"):
+                pool = _live_socks(world)
+                # Keep a couple of sockets alive so close storms don't
+                # starve every other op of targets.
+                if kind == "sock_close" and len(pool) <= 2:
+                    pool = []
+                if pool:
+                    sk = pool[args[0] % len(pool)]
+                    if kind == "sock_send":
+                        yield from world.sock_sendmsg(ctx, sk)
+                    elif kind == "sock_recv":
+                        yield from world.sock_recvmsg(
+                            ctx, sk, datagram=args[1] % 2 == 1
+                        )
+                    elif kind == "sock_poll":
+                        yield from world.sock_poll(
+                            ctx, sk, busy=args[1] % 2 == 1
+                        )
+                    elif kind == "sock_setsockopt":
+                        yield from world.sock_setsockopt(ctx, sk)
+                    elif kind == "sock_wake":
+                        yield from world.sock_wake_async(ctx, sk)
+                    elif kind == "sock_fasync":
+                        yield from world.sock_fasync(ctx, sk)
+                    elif kind == "sock_retransmit":
+                        yield from world.tcp_retransmit(ctx, sk)
+                    else:
+                        yield from world.sock_close(ctx, sk)
+            elif kind == "dev_ioctl":
+                yield from world.dev_ioctl(ctx)
+            elif kind == "dev_set_mtu":
+                yield from world.dev_set_mtu(ctx)
+            elif kind == "sock_diag":
+                yield from world.sock_diag_dump(ctx)
+            elif kind == "net_exercise":
+                type_name = NET_ENGINE_TYPES[args[0] % len(NET_ENGINE_TYPES)]
+                obj = world.random_object(type_name)
+                if obj is not None:
+                    yield from world.exercise(ctx, type_name, obj)
             yield  # voluntary preemption between syscalls
 
     return run

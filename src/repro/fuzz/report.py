@@ -27,7 +27,7 @@ from repro.core.report import render_table
 from repro.db.database import TraceDatabase
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.feedback import CoverageMap, execute_program, pairs_of
-from repro.workloads.coverage import build_catalog
+from repro.workloads.coverage import build_catalog, subsystem_directories
 
 #: s_r histogram buckets (upper bounds, inclusive for the last).
 _SR_BUCKETS: Tuple[Tuple[str, float], ...] = (
@@ -149,10 +149,18 @@ def build_fuzz_report(
     threshold: float = 0.9,
     jobs: Optional[int] = None,
 ) -> FuzzReport:
-    """Run mix + every corpus program, derive both views, compare."""
-    from repro.workloads.mix import BenchmarkMix
+    """Run the baseline workload + every corpus program, derive both
+    views, compare.  The baseline matches the corpus's subsystem: the
+    benchmark mix for vfs corpora, netbench for net corpora."""
+    subsystem = corpus.subsystem
+    if subsystem == "net":
+        from repro.workloads.net import NetBench
 
-    mix = BenchmarkMix(seed=seed, scale=scale).run()
+        mix = NetBench(seed=seed, scale=scale).run()
+    else:
+        from repro.workloads.mix import BenchmarkMix
+
+        mix = BenchmarkMix(seed=seed, scale=scale).run()
     mix_world = mix.world
     mix_db = mix.to_database()
     mix_pairs = set(pairs_of(mix_db))
@@ -174,9 +182,9 @@ def build_fuzz_report(
     baseline_sr = SrDistribution.of(derivator.derive(mix_table, jobs=jobs))
     combined_sr = SrDistribution.of(derivator.derive(combined_table, jobs=jobs))
 
-    catalog = build_catalog(mix_world)
+    catalog = build_catalog(mix_world, subsystem)
     coverage_rows = []
-    for directory in ("fs", "fs/ext4", "fs/jbd2"):
+    for directory in subsystem_directories(subsystem):
         members = [e for e in catalog if e.directory == directory]
         if not members:
             continue

@@ -1,0 +1,18 @@
+"""Simulated networking subsystem (sock / sk_buff slice).
+
+A second traced subsystem next to :mod:`repro.kernel.vfs`: four
+observed data types (``sock``, ``sk_buff``, ``socket_wq``,
+``net_device``) with their own struct layouts, ground-truth locking
+spec, and a :class:`~repro.kernel.net.world.NetWorld` driving the
+shared runtime/tracer/scheduler.  The locking idioms are deliberately
+different from anything in the VFS slice: ``sk_lock`` is a sleeping
+owner semaphore, receive queues use ``_bh``-flavored spinlocks,
+``net_device`` configuration is RCU-read / rtnl-write.
+"""
+
+from repro.kernel.net.groundtruth import (  # noqa: F401
+    build_net_filter_config,
+    build_net_specs,
+)
+from repro.kernel.net.layouts import build_net_struct_registry  # noqa: F401
+from repro.kernel.net.world import NetWorld  # noqa: F401

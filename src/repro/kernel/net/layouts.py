@@ -1,0 +1,165 @@
+"""Struct layouts of the 4 observed networking data types.
+
+Member names follow the real Linux structs.  ``sk_lock`` is modelled as
+a semaphore — the real ``struct sock``'s ``sk_lock`` is the hand-rolled
+"socket lock" (a spinlock-protected owner flag plus a wait queue whose
+process-context side *sleeps*), which maps onto the simulator's
+counting-semaphore class: sleeping, exclusive, not owner-tracked the
+way a mutex is.  The receive/write queues embed their own spinlocks
+(``sk_buff_head``), flattened to dotted members exactly like the VFS
+``i_data`` nesting.
+
+=============  ===  ====================================
+type           #M   embedded locks
+=============  ===  ====================================
+net_device      20  addr_list_lock
+sk_buff         16  (queue lock lives in the owning sock)
+sock            30  sk_lock, sk_callback_lock, sk_dst_lock,
+                    sk_receive_queue.lock, sk_write_queue.lock
+socket_wq        4  (sk_callback_lock of the owning sock)
+=============  ===  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.kernel.structs import Member, StructDef, StructRegistry
+
+S = Member.scalar
+A = Member.atomic
+L = Member.lock
+
+
+def _scalars(*names: str) -> List[Member]:
+    return [S(name) for name in names]
+
+
+def build_sk_buff_head() -> StructDef:
+    """``struct sk_buff_head`` — nested into sock twice (rx/tx queues)."""
+    return StructDef(
+        "sk_buff_head",
+        [
+            S("next"),
+            S("prev"),
+            S("qlen"),
+            L("lock", "spinlock_t"),
+        ],
+    )
+
+
+def build_sock() -> StructDef:
+    """``struct sock`` — 30 data members, 5 embedded locks."""
+    return StructDef(
+        "sock",
+        _scalars("sk_family", "sk_type", "sk_protocol", "sk_prot")
+        + [L("sk_lock", "semaphore")]
+        + _scalars("sk_state", "sk_shutdown", "sk_err", "sk_err_soft")
+        + [
+            Member.struct("sk_receive_queue", build_sk_buff_head()),
+            Member.struct("sk_write_queue", build_sk_buff_head()),
+            L("sk_callback_lock", "rwlock_t"),
+            L("sk_dst_lock", "spinlock_t"),
+        ]
+        + _scalars(
+            "sk_rcvbuf",
+            "sk_sndbuf",
+            "sk_rcvtimeo",
+            "sk_sndtimeo",
+            "sk_dst_cache",
+            "sk_socket",
+            "sk_wq",
+            "sk_user_data",
+            "sk_node",
+            "sk_backlog",
+            "sk_priority",
+            "sk_mark",
+        )
+        + [A("sk_refcnt"), A("sk_wmem_alloc"), A("sk_rmem_alloc"), A("sk_drops")],
+    )
+
+
+def build_sk_buff() -> StructDef:
+    """``struct sk_buff`` — 16 data members, no embedded lock (list
+    linkage is guarded by the owning sock's queue lock)."""
+    return StructDef(
+        "sk_buff",
+        _scalars(
+            "next",
+            "prev",
+            "sk",
+            "dev",
+            "len",
+            "data_len",
+            "truesize",
+            "protocol",
+            "data",
+            "head",
+            "tail",
+            "end",
+            "cb",
+            "queue_mapping",
+            "hash",
+        )
+        + [A("users")],
+    )
+
+
+def build_socket_wq() -> StructDef:
+    """``struct socket_wq`` — 4 data members, guarded by the owning
+    sock's ``sk_callback_lock`` (plus RCU on the reader side)."""
+    return StructDef(
+        "socket_wq",
+        _scalars("wait", "fasync_list", "flags", "sk"),
+    )
+
+
+def build_net_device() -> StructDef:
+    """``struct net_device`` — 20 data members, 1 embedded lock."""
+    return StructDef(
+        "net_device",
+        _scalars(
+            "name",
+            "ifindex",
+            "state",
+            "flags",
+            "mtu",
+            "type",
+            "operstate",
+            "dev_addr",
+            "broadcast",
+            "features",
+        )
+        + [L("addr_list_lock", "spinlock_t")]
+        + _scalars("uc", "mc", "promiscuity", "qdisc")
+        + [A("refcnt")]
+        + _scalars(
+            "rx_packets",
+            "tx_packets",
+            "rx_bytes",
+            "tx_bytes",
+            "rx_dropped",
+        ),
+    )
+
+
+#: Builders for every observed net type, keyed by type name.
+NET_BUILDERS = {
+    "net_device": build_net_device,
+    "sk_buff": build_sk_buff,
+    "sock": build_sock,
+    "socket_wq": build_socket_wq,
+}
+
+#: Expected data-member counts — validated by tests.
+EXPECTED_NET_MEMBER_COUNTS: Dict[str, int] = {
+    "net_device": 20,
+    "sk_buff": 16,
+    "sock": 30,
+    "socket_wq": 4,
+}
+
+
+def build_net_struct_registry() -> StructRegistry:
+    """Fresh registry with the 4 observed networking types."""
+    return StructRegistry([builder() for builder in NET_BUILDERS.values()])

@@ -1,0 +1,545 @@
+"""The net world: socket lifecycle and high-level network operations.
+
+:class:`NetWorld` owns the simulated networking object graph — net
+devices, socks with their receive/write queues, socket wait-queue
+heads, in-flight sk_buffs — and provides the kernel-entry-point
+functions the net workloads drive (``sock_create``, ``sock_sendmsg``,
+``sock_recvmsg``, ``sock_close``, and the softirq-side
+``netif_receive``).
+
+The locking idioms deliberately mirror the real net core rather than
+the VFS slice: process-context paths take the sleeping ``sk_lock``
+owner semaphore first (``lock_sock``), queue surgery always goes
+through ``spin_lock_bh`` so the softirq delivery path and the syscall
+path serialize on the same discipline, and device configuration is
+RCU-read / rtnl-write.
+
+Like :class:`~repro.kernel.vfs.fs.VfsWorld`, object constructors run
+inside the init/teardown functions of
+:data:`repro.kernel.net.groundtruth.NET_INIT_TEARDOWN_FUNCTIONS`, so
+the importer filters their unlocked initialization writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List, Optional
+
+from repro.kernel.context import ExecutionContext
+from repro.kernel.runtime import KernelRuntime, KObject, pinned
+from repro.kernel.net.groundtruth import build_net_specs
+from repro.kernel.net.layouts import build_net_struct_registry
+from repro.kernel.vfs.ops import OpEngine
+from repro.kernel.vfs.spec import TypeSpec
+
+#: Simulated network interfaces brought up at boot.
+DEFAULT_DEVICES = ("lo", "eth0", "eth1")
+
+
+class NetWorld:
+    """The simulated networking object graph."""
+
+    def __init__(
+        self,
+        runtime: Optional[KernelRuntime] = None,
+        seed: int = 0,
+        specs: Optional[Dict[str, TypeSpec]] = None,
+    ) -> None:
+        self.rt = runtime or KernelRuntime(build_net_struct_registry())
+        self.rng = random.Random(seed)
+        self.specs = specs or build_net_specs()
+        self.engine = OpEngine(
+            self.rt, self.specs, random.Random(seed + 1), combo_rate=0.0
+        )
+        self.boot_ctx = self.rt.new_task("netd/0")
+        self.devices: List[KObject] = []
+        self.socks: List[KObject] = []
+        self.wqs: List[KObject] = []
+        self.skbs: List[KObject] = []
+        # Deterministic counters driving the planted skip-path bugs.
+        self._setsockopt_calls = 0
+        self._flag_writes = 0
+
+    # ------------------------------------------------------------------
+    # Object constructors (init functions -> filtered accesses)
+    # ------------------------------------------------------------------
+
+    def new_netdev(self, ctx: ExecutionContext, name: str) -> KObject:
+        with self.rt.function(ctx, "alloc_netdev", "net/core/dev.c", 10450):
+            dev = self.rt.new_object(ctx, "net_device")
+            for member in ("name", "ifindex", "mtu", "type", "flags",
+                           "features", "dev_addr", "broadcast"):
+                self.rt.write(ctx, dev, member)
+            dev.values["name"] = name
+        self.devices.append(dev)
+        return dev
+
+    def new_sock(self, ctx: ExecutionContext) -> KObject:
+        with self.rt.function(ctx, "sk_alloc", "net/core/sock.c", 1930):
+            sk = self.rt.new_object(ctx, "sock")
+            with self.rt.function(ctx, "sock_init_data", "net/core/sock.c", 3150):
+                for member in ("sk_family", "sk_type", "sk_protocol",
+                               "sk_state", "sk_rcvbuf", "sk_sndbuf",
+                               "sk_rcvtimeo", "sk_sndtimeo",
+                               "sk_receive_queue.next", "sk_receive_queue.prev",
+                               "sk_receive_queue.qlen",
+                               "sk_write_queue.next", "sk_write_queue.prev",
+                               "sk_write_queue.qlen"):
+                    self.rt.write(ctx, sk, member)
+            sk.values["sk_state"] = "TCP_CLOSE"
+        self.socks.append(sk)
+        self.new_wq(ctx, sk)
+        return sk
+
+    def new_wq(self, ctx: ExecutionContext, sk: KObject) -> KObject:
+        with self.rt.function(ctx, "sock_alloc_wq", "net/socket.c", 600):
+            wq = self.rt.new_object(ctx, "socket_wq")
+            for member in ("wait", "flags", "fasync_list"):
+                self.rt.write(ctx, wq, member)
+            wq.refs["sk"] = sk
+        self.wqs.append(wq)
+        return wq
+
+    def new_skb(self, ctx: ExecutionContext, sk: KObject) -> KObject:
+        with self.rt.function(ctx, "alloc_skb", "net/core/skbuff.c", 200):
+            skb = self.rt.new_object(ctx, "sk_buff")
+            for member in ("len", "data_len", "truesize", "protocol",
+                           "data", "head", "tail", "end"):
+                self.rt.write(ctx, skb, member)
+            skb.refs["sk"] = sk
+            if self.devices:
+                skb.refs["dev"] = self.rng.choice(self.devices)
+        self.skbs.append(skb)
+        return skb
+
+    # ------------------------------------------------------------------
+    # Destructors (teardown functions -> filtered accesses)
+    # ------------------------------------------------------------------
+
+    def _destroyable(self, obj: KObject) -> bool:
+        if not obj.live or obj.pinned:
+            return False
+        return all(lock.is_free() for lock in obj.locks.values())
+
+    def destroy_skb(self, ctx: ExecutionContext, skb: KObject) -> bool:
+        if not self._destroyable(skb):
+            return False
+        with self.rt.function(ctx, "skb_release_all", "net/core/skbuff.c", 870):
+            self.rt.write(ctx, skb, "len")
+            self.rt.delete_object(ctx, skb)
+        if skb in self.skbs:
+            self.skbs.remove(skb)
+        return True
+
+    def destroy_sock(self, ctx: ExecutionContext, sk: KObject) -> bool:
+        if not self._destroyable(sk):
+            return False
+        # In-flight skbs keep the sock alive (refcount model).
+        if any(skb.live and skb.refs.get("sk") is sk for skb in self.skbs):
+            return False
+        with self.rt.function(ctx, "sk_free", "net/core/sock.c", 2120):
+            self.rt.write(ctx, sk, "sk_state")
+            self.rt.delete_object(ctx, sk)
+        if sk in self.socks:
+            self.socks.remove(sk)
+        for wq in [w for w in self.wqs if w.refs.get("sk") is sk]:
+            if wq.live and not wq.pinned:
+                with self.rt.function(ctx, "sock_free_wq", "net/socket.c", 640):
+                    self.rt.write(ctx, wq, "flags")
+                    self.rt.delete_object(ctx, wq)
+                self.wqs.remove(wq)
+        return True
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def boot(self, sockets: int = 6) -> None:
+        """Bring up the devices and pre-open a socket pool."""
+        ctx = self.boot_ctx
+        for name in DEFAULT_DEVICES:
+            self.new_netdev(ctx, name)
+        for _ in range(sockets):
+            sk = self.new_sock(ctx)
+            self.rt.run(self.sock_register(ctx, sk))
+
+    # ------------------------------------------------------------------
+    # Lock helpers (lock_sock / release_sock idiom)
+    # ------------------------------------------------------------------
+
+    def lock_sock(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        yield from self.rt.down(ctx, sk.lock("sk_lock"))
+
+    def release_sock(self, ctx: ExecutionContext, sk: KObject) -> None:
+        self.rt.up(ctx, sk.lock("sk_lock"))
+
+    # ------------------------------------------------------------------
+    # High-level kernel entry points (generators)
+    # ------------------------------------------------------------------
+
+    def sock_register(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """Publish a sock: family-list insert under the global
+        ``net_family_lock``, callback pointers under ``sk_callback_lock``."""
+        rt = self.rt
+        family_lock = rt.static_lock("net_family_lock", "spinlock_t")
+        with pinned(sk), rt.function(ctx, "sk_add_node", "net/core/sock.c", 2600):
+            yield from rt.spin_lock(ctx, family_lock)
+            rt.write(ctx, sk, "sk_node", line=2604)
+            rt.spin_unlock(ctx, family_lock)
+            yield from rt.write_lock(ctx, sk.lock("sk_callback_lock"))
+            rt.write(ctx, sk, "sk_socket", line=2610)
+            rt.write(ctx, sk, "sk_wq", line=2611)
+            rt.write_unlock(ctx, sk.lock("sk_callback_lock"))
+
+    def sock_create(self, ctx: ExecutionContext) -> Generator:
+        """``socket(2)``: allocate, then connect — state moves under the
+        owner lock."""
+        rt = self.rt
+        sk = self.new_sock(ctx)
+        yield from self.sock_register(ctx, sk)
+        with pinned(sk), rt.function(ctx, "tcp_connect", "net/ipv4/tcp_output.c", 3880):
+            yield from self.lock_sock(ctx, sk)
+            rt.write(ctx, sk, "sk_state", value="TCP_ESTABLISHED", line=3890)
+            rt.read(ctx, sk, "sk_err", line=3891)
+            self.release_sock(ctx, sk)
+        return sk
+
+    def sock_sendmsg(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """``sendmsg(2)``: owner lock, skb fill, tx-queue append, then a
+        loopback transmit that charges the device stats."""
+        rt = self.rt
+        if not sk.live:
+            return
+        with pinned(sk), rt.function(ctx, "sock_sendmsg", "net/socket.c", 730):
+            yield from self.lock_sock(ctx, sk)
+            rt.read(ctx, sk, "sk_sndbuf", line=738)
+            skb = self.new_skb(ctx, sk)
+            with pinned(skb):
+                # Payload geometry under the owner lock (EO rule).
+                rt.write(ctx, skb, "len", line=745)
+                rt.write(ctx, skb, "data_len", line=746)
+                rt.write(ctx, skb, "tail", line=747)
+                yield from rt.spin_lock_bh(ctx, sk.lock("sk_write_queue.lock"))
+                rt.write(ctx, sk, "sk_write_queue.next", line=752)
+                rt.write(ctx, sk, "sk_write_queue.prev", line=753)
+                rt.write(ctx, sk, "sk_write_queue.qlen", line=754)
+                rt.spin_unlock_bh(ctx, sk.lock("sk_write_queue.lock"))
+                self.release_sock(ctx, sk)
+                yield from self._dev_xmit(ctx, skb)
+
+    def _dev_xmit(self, ctx: ExecutionContext, skb: KObject) -> Generator:
+        """Loopback transmit: per-cpu-style stats, lock-free."""
+        rt = self.rt
+        if not self.devices:
+            return
+        dev = skb.refs.get("dev") or self.rng.choice(self.devices)
+        with pinned(dev), rt.function(ctx, "dev_queue_xmit", "net/core/dev.c", 4210):
+            yield None
+            rt.write(ctx, dev, "tx_packets", line=4215)
+            rt.write(ctx, dev, "tx_bytes", line=4216)
+
+    def sock_setsockopt(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """``setsockopt(2)``: buffer-limit writes under the owner lock —
+        except every 12th call, which takes the planted unlocked fast
+        path (the ``sock.sk_sndbuf`` write deviation)."""
+        rt = self.rt
+        if not sk.live:
+            return
+        self._setsockopt_calls += 1
+        deviant = self._setsockopt_calls % 12 == 0
+        with pinned(sk), rt.function(ctx, "sock_setsockopt", "net/core/sock.c", 1040):
+            yield None
+            if deviant:
+                rt.write(ctx, sk, "sk_sndbuf", line=1052)
+            else:
+                yield from self.lock_sock(ctx, sk)
+                rt.write(ctx, sk, "sk_sndbuf", line=1060)
+                rt.write(ctx, sk, "sk_rcvbuf", line=1061)
+                rt.write(ctx, sk, "sk_sndtimeo", line=1062)
+                self.release_sock(ctx, sk)
+
+    def sock_recvmsg(
+        self, ctx: ExecutionContext, sk: KObject, datagram: bool = False
+    ) -> Generator:
+        """``recvmsg(2)``: owner lock, rx-queue pop under the bh
+        spinlock, payload reads, skb free.
+
+        With ``datagram=True`` the UDP-style path runs instead: the
+        dequeue takes only the queue spinlock (no ``lock_sock``), and
+        payload reads happen lock-free — the dequeued skb is
+        thread-owned by refcount, the classic ownership-transfer idiom
+        the benchmark mix never exercises (fuzzing finds it)."""
+        rt = self.rt
+        if not sk.live:
+            return
+        if datagram:
+            with pinned(sk), rt.function(
+                ctx, "skb_recv_datagram", "net/core/datagram.c", 300
+            ):
+                yield None
+                rt.read(ctx, sk, "sk_rcvtimeo", line=306)  # READ_ONCE
+                yield from rt.spin_lock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+                rt.read(ctx, sk, "sk_receive_queue.next", line=308)
+                rt.write(ctx, sk, "sk_receive_queue.next", line=309)
+                rt.write(ctx, sk, "sk_receive_queue.qlen", line=310)
+                rt.spin_unlock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+                skb = self._queued_skb(sk)
+                if skb is not None:
+                    with pinned(skb):
+                        # Unlinked skb is thread-owned: lock-free reads.
+                        rt.read(ctx, skb, "len", line=318)
+                        rt.read(ctx, skb, "data", line=319)
+                    self.destroy_skb(ctx, skb)
+            return
+        with pinned(sk), rt.function(ctx, "sock_recvmsg", "net/socket.c", 960):
+            yield from self.lock_sock(ctx, sk)
+            yield from rt.spin_lock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+            rt.read(ctx, sk, "sk_receive_queue.next", line=968)
+            rt.read(ctx, sk, "sk_receive_queue.qlen", line=969)
+            rt.write(ctx, sk, "sk_receive_queue.next", line=970)
+            rt.write(ctx, sk, "sk_receive_queue.qlen", line=971)
+            rt.spin_unlock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+            skb = self._queued_skb(sk)
+            if skb is not None:
+                with pinned(skb):
+                    rt.read(ctx, skb, "len", line=976)
+                    rt.read(ctx, skb, "data_len", line=977)
+                    rt.read(ctx, skb, "data", line=978)
+            self.release_sock(ctx, sk)
+            if skb is not None:
+                self.destroy_skb(ctx, skb)
+
+    def _queued_skb(self, sk: KObject) -> Optional[KObject]:
+        pool = [s for s in self.skbs if s.live and s.refs.get("sk") is sk]
+        if not pool:
+            return None
+        return self.rng.choice(pool)
+
+    def sock_close(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """``close(2)``: shutdown under the owner lock, callback teardown
+        under the rwlock, family-list removal, then free."""
+        rt = self.rt
+        if not sk.live:
+            return
+        family_lock = rt.static_lock("net_family_lock", "spinlock_t")
+        with pinned(sk):
+            with rt.function(ctx, "sock_close", "net/socket.c", 1320):
+                yield from self.lock_sock(ctx, sk)
+                rt.write(ctx, sk, "sk_state", value="TCP_CLOSE", line=1327)
+                rt.write(ctx, sk, "sk_shutdown", line=1328)
+                self.release_sock(ctx, sk)
+                yield from rt.write_lock(ctx, sk.lock("sk_callback_lock"))
+                rt.write(ctx, sk, "sk_socket", line=1333)
+                rt.write(ctx, sk, "sk_wq", line=1334)
+                rt.write_unlock(ctx, sk.lock("sk_callback_lock"))
+                yield from rt.spin_lock(ctx, family_lock)
+                rt.write(ctx, sk, "sk_node", line=1338)
+                rt.spin_unlock(ctx, family_lock)
+        for skb in [s for s in self.skbs if s.refs.get("sk") is sk]:
+            self.destroy_skb(ctx, skb)
+        self.destroy_sock(ctx, sk)
+
+    def sock_poll(
+        self, ctx: ExecutionContext, sk: KObject, busy: bool = False
+    ) -> Generator:
+        """``poll(2)``: RCU peek at the wait queue flags plus a locked
+        queue-length read.
+
+        ``busy=True`` adds the busy-poll tail: lock-free ``READ_ONCE``
+        reads of the connection state, as ``tcp_poll`` does — another
+        path only the fuzzer reaches."""
+        rt = self.rt
+        if not sk.live:
+            return
+        wq = next((w for w in self.wqs if w.live and w.refs.get("sk") is sk), None)
+        with pinned(sk), rt.function(ctx, "sock_poll", "net/socket.c", 1180):
+            yield None
+            if wq is not None:
+                with pinned(wq):
+                    rt.rcu_read_lock(ctx)
+                    rt.read(ctx, wq, "flags", line=1186)
+                    rt.rcu_read_unlock(ctx)
+            yield from rt.spin_lock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+            rt.read(ctx, sk, "sk_receive_queue.qlen", line=1191)
+            rt.spin_unlock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+            if busy:
+                with rt.function(ctx, "tcp_poll", "net/ipv4/tcp.c", 510):
+                    rt.read(ctx, sk, "sk_state", line=516)
+                    rt.read(ctx, sk, "sk_err", line=517)
+
+    def sock_fasync(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """``fcntl(F_SETFL, O_ASYNC)``: owner lock, then the callback
+        rwlock write-side around the fasync list surgery — a nested
+        lockset no synthesized op produces."""
+        rt = self.rt
+        if not sk.live:
+            return
+        wq = next((w for w in self.wqs if w.live and w.refs.get("sk") is sk), None)
+        if wq is None:
+            return
+        with pinned(sk, wq), rt.function(ctx, "sock_fasync", "net/socket.c", 1420):
+            yield from self.lock_sock(ctx, sk)
+            yield from rt.write_lock(ctx, sk.lock("sk_callback_lock"))
+            rt.read(ctx, wq, "fasync_list", line=1428)
+            rt.write(ctx, wq, "fasync_list", line=1429)
+            rt.write(ctx, wq, "flags", line=1430)
+            rt.write_unlock(ctx, sk.lock("sk_callback_lock"))
+            self.release_sock(ctx, sk)
+
+    def tcp_retransmit(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """Retransmit probe: walk the tx queue under owner lock + queue
+        spinlock, peeking at in-flight skb payload while both are held."""
+        rt = self.rt
+        if not sk.live:
+            return
+        with pinned(sk), rt.function(
+            ctx, "tcp_retransmit_skb", "net/ipv4/tcp_output.c", 3330
+        ):
+            yield from self.lock_sock(ctx, sk)
+            yield from rt.spin_lock_bh(ctx, sk.lock("sk_write_queue.lock"))
+            rt.read(ctx, sk, "sk_write_queue.next", line=3340)
+            rt.read(ctx, sk, "sk_write_queue.prev", line=3341)
+            rt.read(ctx, sk, "sk_write_queue.qlen", line=3342)
+            skb = self._queued_skb(sk)
+            if skb is not None:
+                rt.read(ctx, skb, "len", line=3345)
+                rt.read(ctx, skb, "data_len", line=3346)
+                rt.read(ctx, skb, "truesize", line=3347)
+            rt.spin_unlock_bh(ctx, sk.lock("sk_write_queue.lock"))
+            self.release_sock(ctx, sk)
+
+    def sock_diag_dump(self, ctx: ExecutionContext) -> Generator:
+        """Diag-style dump: walk the family list under the global lock,
+        reading each sock's identity fields while it is held."""
+        rt = self.rt
+        live = [s for s in self.socks if s.live][:3]
+        if not live:
+            return
+        family_lock = rt.static_lock("net_family_lock", "spinlock_t")
+        with pinned(*live), rt.function(
+            ctx, "sock_diag_dump", "net/core/sock_diag.c", 180
+        ):
+            yield from rt.spin_lock(ctx, family_lock)
+            for sk in live:
+                rt.read(ctx, sk, "sk_family", line=188)
+                rt.read(ctx, sk, "sk_state", line=189)
+            rt.spin_unlock(ctx, family_lock)
+
+    def dev_set_mtu(self, ctx: ExecutionContext) -> Generator:
+        """MTU reconfiguration under rtnl, reading the device state it
+        depends on while the mutex is held."""
+        rt = self.rt
+        if not self.devices:
+            return
+        dev = self.rng.choice(self.devices)
+        rtnl = rt.static_lock("rtnl_mutex", "mutex")
+        with pinned(dev), rt.function(ctx, "dev_set_mtu", "net/core/dev.c", 8860):
+            yield from rt.mutex_lock(ctx, rtnl)
+            rt.read(ctx, dev, "flags", line=8868)
+            rt.read(ctx, dev, "features", line=8869)
+            rt.write(ctx, dev, "mtu", line=8870)
+            rt.mutex_unlock(ctx, rtnl)
+
+    def sock_wake_async(self, ctx: ExecutionContext, sk: KObject) -> Generator:
+        """Wakeup delivery: the read side of ``sk_callback_lock`` (the
+        benchmark mix only ever write-locks it) plus an RCU peek at the
+        wait-queue head."""
+        rt = self.rt
+        if not sk.live:
+            return
+        wq = next((w for w in self.wqs if w.live and w.refs.get("sk") is sk), None)
+        with pinned(sk), rt.function(ctx, "sock_wake_async", "net/core/sock.c", 3010):
+            yield from rt.read_lock(ctx, sk.lock("sk_callback_lock"))
+            rt.read(ctx, sk, "sk_socket", line=3015)
+            rt.read(ctx, sk, "sk_wq", line=3016)
+            rt.read(ctx, sk, "sk_err", line=3017)  # error-report callback
+            rt.read_unlock(ctx, sk.lock("sk_callback_lock"))
+            if wq is not None:
+                with pinned(wq):
+                    rt.rcu_read_lock(ctx)
+                    rt.read(ctx, wq, "flags", line=3021)
+                    rt.rcu_read_unlock(ctx)
+
+    def netif_receive(self, ctx: ExecutionContext) -> Generator:
+        """Softirq-side packet delivery: allocate an skb, link it into a
+        random sock's receive queue under the bh spinlock, charge the
+        device rx stats.  Runs as a scheduler softirq source body."""
+        rt = self.rt
+        live = [s for s in self.socks if s.live]
+        if not live or not self.devices:
+            return
+        sk = self.rng.choice(live)
+        dev = self.rng.choice(self.devices)
+        with pinned(sk, dev):
+            with rt.function(ctx, "netif_receive_skb", "net/core/dev.c", 5630):
+                skb = self.new_skb(ctx, sk)
+                with pinned(skb):
+                    yield from rt.spin_lock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+                    rt.write(ctx, sk, "sk_receive_queue.next", line=5640)
+                    rt.write(ctx, sk, "sk_receive_queue.prev", line=5641)
+                    rt.write(ctx, sk, "sk_receive_queue.qlen", line=5642)
+                    rt.write(ctx, skb, "next", line=5643)
+                    rt.write(ctx, skb, "prev", line=5644)
+                    rt.spin_unlock_bh(ctx, sk.lock("sk_receive_queue.lock"))
+                    rt.write(ctx, dev, "rx_packets", line=5648)
+                    rt.write(ctx, dev, "rx_bytes", line=5649)
+
+    def dev_ioctl(self, ctx: ExecutionContext) -> Generator:
+        """Device reconfiguration: rtnl-write / RCU-read discipline."""
+        rt = self.rt
+        if not self.devices:
+            return
+        dev = self.rng.choice(self.devices)
+        rtnl = rt.static_lock("rtnl_mutex", "mutex")
+        with pinned(dev):
+            if self.rng.random() < 0.5:
+                self._flag_writes += 1
+                with rt.function(ctx, "dev_change_flags", "net/core/dev.c", 8740):
+                    if self._flag_writes % 13 == 0:
+                        # Planted bug: a notifier fast path flips the
+                        # flags without taking the rtnl mutex.
+                        yield None
+                        rt.write(ctx, dev, "flags", line=8752)
+                        return
+                    yield from rt.mutex_lock(ctx, rtnl)
+                    rt.write(ctx, dev, "flags", line=8745)
+                    rt.write(ctx, dev, "state", line=8746)
+                    rt.mutex_unlock(ctx, rtnl)
+            else:
+                with rt.function(ctx, "dev_get_flags", "net/core/dev.c", 8700):
+                    yield None
+                    rt.rcu_read_lock(ctx)
+                    rt.read(ctx, dev, "flags", line=8705)
+                    rt.read(ctx, dev, "mtu", line=8706)
+                    rt.rcu_read_unlock(ctx)
+
+    # ------------------------------------------------------------------
+    # Spec-driven long-tail coverage
+    # ------------------------------------------------------------------
+
+    def exercise(
+        self, ctx: ExecutionContext, type_name: str, obj: KObject
+    ) -> Generator:
+        """Run one synthesized spec op on *obj* (long-tail coverage)."""
+        op = self.engine.pick_op(type_name)
+        if op is None:
+            return
+        yield from self.engine.run_op(ctx, obj, op)
+
+    def _pool_of(self, type_name: str) -> List[Optional[KObject]]:
+        if type_name == "sock":
+            return self.socks
+        if type_name == "sk_buff":
+            return self.skbs
+        if type_name == "socket_wq":
+            return self.wqs
+        if type_name == "net_device":
+            return self.devices
+        return []
+
+    def random_object(self, type_name: str) -> Optional[KObject]:
+        """A random live object of *type_name* (None if none exist)."""
+        pool = [o for o in self._pool_of(type_name) if o is not None and o.live]
+        if not pool:
+            return None
+        return self.rng.choice(pool)

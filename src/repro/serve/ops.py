@@ -129,7 +129,7 @@ def validate(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
             raise ValueError(f"missing required parameter {name!r} for {op!r}")
         else:
             canonical[name] = default
-    if op == "health" and canonical["registry"] not in ("vfs", "racer"):
+    if op == "health" and canonical["registry"] not in ("vfs", "racer", "net"):
         raise ValueError(f"unknown registry {canonical['registry']!r}")
     return canonical
 
@@ -228,7 +228,7 @@ def _run_races(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.analysis import detect_races
 
     sqlite = params["backend"] == "sqlite"
-    if params["workload"] == "mix":
+    if params["workload"] not in ("racer", "racer-safe"):
         pipeline = _pipeline(params)
         events = pipeline.mix.tracer.events
         db = pipeline.store().load_database() if sqlite else pipeline.db
@@ -290,9 +290,7 @@ def _run_health(params: Dict[str, Any]) -> Dict[str, Any]:
     trace = params["trace"]
     if os.path.getsize(trace) == 0:
         raise ValueError(f"empty trace file {trace!r}")
-    structs, filters = database_inputs(
-        "racer" if params["registry"] == "racer" else "vfs"
-    )
+    structs, filters = database_inputs(params["registry"])
     policy = ImportPolicy(lenient=True, max_malformed_fraction=params["budget"])
     if params["backend"] == "sqlite":
         import tempfile

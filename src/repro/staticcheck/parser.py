@@ -37,6 +37,7 @@ ACQUIRE_OPS: Dict[str, Tuple[str, Optional[str]]] = {
     "spin_lock_irqsave": ("w", "hardirq"),
     "spin_lock_bh": ("w", "softirq"),
     "mutex_lock": ("w", None),
+    "down": ("w", None),
     "down_read": ("r", None),
     "down_write": ("w", None),
     "read_lock": ("r", None),
@@ -55,6 +56,7 @@ RELEASE_OPS: Dict[str, Optional[str]] = {
     "spin_unlock_irqrestore": "hardirq",
     "spin_unlock_bh": "softirq",
     "mutex_unlock": None,
+    "up": None,
     "up_read": None,
     "up_write": None,
     "read_unlock": None,

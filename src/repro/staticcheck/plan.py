@@ -35,6 +35,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.kernel.net.groundtruth import build_net_specs
 from repro.kernel.vfs.groundtruth import build_all_specs
 from repro.kernel.vfs.spec import LockTok, MemberSpec, TypeSpec
 from repro.kernelsrc.model import SourceFunction
@@ -53,6 +54,10 @@ _TYPE_FILES: Dict[str, str] = {
     "journal_t": "fs/jbd2/journal_paths.c",
     "transaction_t": "fs/jbd2/transaction_paths.c",
     "journal_head": "fs/jbd2/journal_head_paths.c",
+    "sock": "net/core/sock_paths.c",
+    "sk_buff": "net/core/skbuff_paths.c",
+    "socket_wq": "net/socket_paths.c",
+    "net_device": "net/core/dev_paths.c",
 }
 
 #: Parameter variable naming per type (kernel idiom).
@@ -68,6 +73,10 @@ _PARAM_VARS: Dict[str, str] = {
     "journal_t": "journal",
     "transaction_t": "txn",
     "journal_head": "jh",
+    "sock": "sk",
+    "sk_buff": "skb",
+    "socket_wq": "wq",
+    "net_device": "dev",
 }
 
 #: Local variable names for dereferenced ``via`` members.
@@ -84,10 +93,12 @@ _VIA_ALIASES: Dict[str, str] = {
 #: Lock names that are reader/writer semaphores or rwlocks without a
 #: give-away substring in their name.
 _RWSEM_NAMES = {"s_umount"}
-_RWLOCK_NAMES = {"j_state_lock"}
+_RWLOCK_NAMES = {"j_state_lock", "sk_callback_lock"}
 _MUTEX_NAMES = {"j_barrier"}
 _SEQLOCK_NAMES = {"rename_lock"}
 _SEQCOUNT_NAMES = {"d_seq"}
+#: Plain sleeping semaphores (the sk_lock owner-lock idiom).
+_SEMAPHORE_NAMES = {"sk_lock"}
 
 PLANT_SKIP = "skip"
 PLANT_COVERAGE_GAP = "coverage-gap"
@@ -164,6 +175,8 @@ def _lock_pair(token: LockTok, expr: str) -> Tuple[List[str], List[str]]:
         return [f"down_write(&{expr});"], [f"up_write(&{expr});"]
     if "mutex" in short or short in _MUTEX_NAMES:
         return [f"mutex_lock(&{expr});"], [f"mutex_unlock(&{expr});"]
+    if short in _SEMAPHORE_NAMES:
+        return [f"down(&{expr});"], [f"up(&{expr});"]
     if short in _RWLOCK_NAMES:
         if token.mode == "r":
             return [f"read_lock(&{expr});"], [f"read_unlock(&{expr});"]
@@ -345,8 +358,16 @@ def build_corpus_plan(
     specs: Optional[Dict[str, TypeSpec]] = None,
     config: Optional[PlanConfig] = None,
 ) -> CorpusPlan:
-    """Plan the full call-graph corpus from the ground-truth specs."""
-    specs = specs if specs is not None else build_all_specs()
+    """Plan the full call-graph corpus from the ground-truth specs.
+
+    The default corpus merges the VFS and net slices, so the static
+    outlier analysis covers both subsystems' planted deviations in one
+    deterministic run (the net plants are all skip-path: the net specs
+    have no zero-weight ruled members).
+    """
+    specs = specs if specs is not None else {
+        **build_all_specs(), **build_net_specs(),
+    }
     config = config or PlanConfig()
     functions: List[SourceFunction] = []
     planted: List[PlantedDeviation] = []

@@ -21,7 +21,7 @@ import inspect
 import random
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.db.database import TraceDatabase
 
@@ -36,6 +36,66 @@ COLD_FUNCTIONS = {
     "fs/ext4": 26,
     "fs/jbd2": 92,
 }
+
+#: Directories of the net slice's Tab. 3 second column.
+NET_DIRECTORIES = ("net", "net/core", "net/ipv4")
+
+#: Cold-path counts for the net slice (own seed: the vfs cold catalog
+#: must keep drawing the exact same rng sequence it always has).
+NET_COLD_FUNCTIONS = {
+    "net": 120,
+    "net/core": 150,
+    "net/ipv4": 40,
+}
+
+
+@dataclass(frozen=True)
+class SubsystemCatalog:
+    """Catalog shape of one simulated subsystem.
+
+    Directory buckets, cold-path sizing, and the modules to scan for
+    hand-written kernel functions all derive from this registration —
+    nothing downstream assumes ``fs/``-rooted paths.
+    """
+
+    directories: Tuple[str, ...]
+    cold_functions: Dict[str, int]
+    cold_seed: int
+    #: dotted module names scanned for ``rt.function(...)`` frames.
+    handwritten_modules: Tuple[str, ...]
+
+
+SUBSYSTEM_CATALOGS: Dict[str, SubsystemCatalog] = {
+    "vfs": SubsystemCatalog(
+        directories=TAB3_DIRECTORIES,
+        cold_functions=COLD_FUNCTIONS,
+        cold_seed=0xC01D,
+        handwritten_modules=(
+            "repro.kernel.vfs.bufferhead",
+            "repro.kernel.vfs.dentry",
+            "repro.kernel.vfs.fs",
+            "repro.kernel.vfs.inode",
+            "repro.kernel.vfs.jbd2",
+            "repro.kernel.vfs.pipe",
+            "repro.workloads.perms",
+            "repro.workloads.symlinks",
+        ),
+    ),
+    "net": SubsystemCatalog(
+        directories=NET_DIRECTORIES,
+        cold_functions=NET_COLD_FUNCTIONS,
+        cold_seed=0xC01DBE,
+        handwritten_modules=(
+            "repro.kernel.net.world",
+            "repro.workloads.net",
+        ),
+    ),
+}
+
+
+def subsystem_directories(subsystem: str) -> Tuple[str, ...]:
+    """The Tab. 3 directory buckets of *subsystem*."""
+    return SUBSYSTEM_CATALOGS[subsystem].directories
 
 _RT_FUNCTION = re.compile(
     r"(?:self\.)?rt\.function\(\s*ctx,\s*\"([^\"]+)\",\s*([\w\"./-]+),\s*(\d+)"
@@ -85,20 +145,16 @@ class CoverageRow:
         )
 
 
-def _handwritten_entries() -> List[CatalogEntry]:
-    """Extract hand-written kernel functions from the VFS modules."""
-    from repro.kernel.vfs import (  # local import avoids cycles
-        bufferhead,
-        dentry,
-        fs,
-        inode,
-        jbd2,
-        pipe,
-    )
-    from repro.workloads import perms, symlinks
+def _handwritten_entries(subsystem: str = "vfs") -> List[CatalogEntry]:
+    """Extract hand-written kernel functions from a subsystem's modules."""
+    import importlib
 
+    modules = [
+        importlib.import_module(name)
+        for name in SUBSYSTEM_CATALOGS[subsystem].handwritten_modules
+    ]
     entries: Dict[Tuple[str, str], CatalogEntry] = {}
-    for module in (bufferhead, dentry, fs, inode, jbd2, pipe, perms, symlinks):
+    for module in modules:
         source = inspect.getsource(module)
         for name, file_token, line in _RT_FUNCTION.findall(source):
             if file_token.startswith('"'):
@@ -131,11 +187,16 @@ def _engine_entries(world) -> List[CatalogEntry]:
     return entries
 
 
-def _cold_entries() -> List[CatalogEntry]:
-    """Deterministic cold-path catalog (never executed by the mix)."""
-    rng = random.Random(0xC01D)
+def _cold_entries(subsystem: str = "vfs") -> List[CatalogEntry]:
+    """Deterministic cold-path catalog (never executed by the mix).
+
+    Each subsystem draws from its own seeded rng, so registering a new
+    subsystem can never perturb another's span sequence.
+    """
+    catalog = SUBSYSTEM_CATALOGS[subsystem]
+    rng = random.Random(catalog.cold_seed)
     entries = []
-    for directory, count in COLD_FUNCTIONS.items():
+    for directory, count in catalog.cold_functions.items():
         for index in range(count):
             entries.append(
                 CatalogEntry(
@@ -148,9 +209,13 @@ def _cold_entries() -> List[CatalogEntry]:
     return entries
 
 
-def build_catalog(world) -> List[CatalogEntry]:
+def build_catalog(world, subsystem: str = "vfs") -> List[CatalogEntry]:
     """The full function catalog for one world."""
-    return _handwritten_entries() + _engine_entries(world) + _cold_entries()
+    return (
+        _handwritten_entries(subsystem)
+        + _engine_entries(world)
+        + _cold_entries(subsystem)
+    )
 
 
 def executed_functions(db: TraceDatabase) -> Set[Tuple[str, str]]:
@@ -165,14 +230,17 @@ def executed_functions(db: TraceDatabase) -> Set[Tuple[str, str]]:
 def coverage_report(
     world,
     db: TraceDatabase,
-    directories: Iterable[str] = TAB3_DIRECTORIES,
+    directories: Optional[Iterable[str]] = None,
+    subsystem: str = "vfs",
 ) -> List[CoverageRow]:
     """Per-directory coverage rows (Tab. 3).
 
     Like the paper, ``fs`` counts only files directly in ``fs/`` (each
     Tab. 3 line is "all files located in the respective directory").
     """
-    catalog = build_catalog(world)
+    if directories is None:
+        directories = subsystem_directories(subsystem)
+    catalog = build_catalog(world, subsystem)
     executed = executed_functions(db)
     rows = []
     for directory in directories:

@@ -1,0 +1,375 @@
+"""Networking workloads: netbench, sockstress, and the netmix blend.
+
+Three trace sources over the :mod:`repro.kernel.net` slice, all
+honouring the registry's run-result contract (``.tracer`` /
+``.to_database()``):
+
+``netbench``
+    The bread-and-butter socket mix — connect/send/recv/poll/close
+    client threads, spec-driven sweepers for long-tail coverage, and a
+    softirq packet-delivery source.  This is the net analogue of the
+    VFS benchmark mix and the baseline for net fuzz coverage.
+
+``sockstress``
+    Accept/backlog churn: sockets are created, polled, drained, and
+    closed aggressively, while a diag-style broadcaster walks the
+    socket table taking the **fs-side** ``sb_lock`` and the net-side
+    ``net_family_lock`` in both orders — a planted cross-subsystem
+    ABBA inversion.  Each inverted section is sequential within one
+    thread (never deadlocks at runtime), but the recorded order
+    witnesses must make the lock-order analysis report the cycle.
+    The access under both locks goes to the blacklisted
+    ``sock.sk_backlog`` member, so the planted witnesses never leak
+    into rule mining.
+
+``netmix``
+    VFS and net threads interleaved over **one** runtime/scheduler:
+    a combined struct registry backs both worlds, the fs benchmark
+    threads run next to the socket clients, and both subsystems'
+    softirq sources fire.  This is the cross-subsystem trace the
+    importer/health/sqlstore round-trip tests exercise.
+
+Both the combined struct registry and the merged filter configuration
+are rebuilt deterministically from source (recipe ``"net"`` in
+:mod:`repro.workloads.registry`), so a cached trace re-imports
+identically to the original run result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.db.database import TraceDatabase
+from repro.db.filters import FilterConfig
+from repro.db.importer import import_tracer
+from repro.kernel.context import ExecutionContext
+from repro.kernel.net.groundtruth import build_net_filter_config
+from repro.kernel.net.layouts import NET_BUILDERS
+from repro.kernel.net.world import NetWorld
+from repro.kernel.runtime import KernelRuntime, pinned
+from repro.kernel.sched import Scheduler
+from repro.kernel.structs import StructRegistry
+
+#: The observed net types, in sweep order.
+NET_TYPES = ("sock", "sk_buff", "socket_wq", "net_device")
+
+
+# ----------------------------------------------------------------------
+# Recipe inputs (registry ``db_recipe="net"``)
+# ----------------------------------------------------------------------
+
+def build_net_registry() -> StructRegistry:
+    """Combined vfs+net struct registry.
+
+    Net-only traces never touch the vfs types, and both registries
+    build identical layouts for the net types, so the combined
+    registry imports netbench, sockstress, and netmix traces alike.
+    """
+    from repro.kernel.vfs.layouts import build_struct_registry
+
+    registry = build_struct_registry()
+    for builder in NET_BUILDERS.values():
+        registry.register(builder())
+    return registry
+
+
+def build_net_filters() -> FilterConfig:
+    """Union of the vfs and net filter configurations."""
+    from repro.kernel.vfs.groundtruth import build_filter_config
+
+    vfs = build_filter_config()
+    net = build_net_filter_config()
+    return FilterConfig(
+        init_teardown_functions=(
+            vfs.init_teardown_functions | net.init_teardown_functions
+        ),
+        global_function_blacklist=(
+            vfs.global_function_blacklist | net.global_function_blacklist
+        ),
+        per_type_function_blacklist={
+            **vfs.per_type_function_blacklist,
+            **net.per_type_function_blacklist,
+        },
+        member_blacklist=vfs.member_blacklist | net.member_blacklist,
+    )
+
+
+# ----------------------------------------------------------------------
+# Run result
+# ----------------------------------------------------------------------
+
+@dataclass
+class NetResult:
+    """A finished net workload run (netmix also keeps the vfs world)."""
+
+    world: NetWorld
+    scheduler: Scheduler
+    steps: int
+    vfs_world: Optional[object] = None
+
+    @property
+    def tracer(self):
+        return self.world.rt.tracer
+
+    def to_database(self) -> TraceDatabase:
+        """Import with the ``"net"`` recipe inputs — by construction
+        identical to a cached re-import through the registry."""
+        return import_tracer(
+            self.tracer, build_net_registry(), build_net_filters()
+        )
+
+
+# ----------------------------------------------------------------------
+# Thread bodies
+# ----------------------------------------------------------------------
+
+def _client(world: NetWorld, iterations: int, seed: int):
+    """A socket client: connect/send/recv/poll/ioctl/close mix."""
+
+    def body(ctx: ExecutionContext) -> Generator:
+        rng = random.Random(seed)
+        for _ in range(iterations):
+            roll = rng.random()
+            sk = world.random_object("sock")
+            if roll < 0.10 or sk is None:
+                yield from world.sock_create(ctx)
+            elif roll < 0.36:
+                yield from world.sock_sendmsg(ctx, sk)
+            elif roll < 0.62:
+                yield from world.sock_recvmsg(ctx, sk)
+            elif roll < 0.72:
+                yield from world.sock_poll(ctx, sk)
+            elif roll < 0.82:
+                yield from world.sock_setsockopt(ctx, sk)
+            elif roll < 0.94:
+                yield from world.dev_ioctl(ctx)
+            elif len(world.socks) > 3:
+                yield from world.sock_close(ctx, sk)
+            yield
+
+    return body
+
+
+def _sweeper(world: NetWorld, iterations: int, seed: int):
+    """Spec-driven long-tail coverage over every observed net type."""
+
+    def body(ctx: ExecutionContext) -> Generator:
+        rng = random.Random(seed)
+        for index in range(iterations):
+            type_name = NET_TYPES[index % len(NET_TYPES)]
+            obj = world.random_object(type_name)
+            if obj is not None:
+                yield from world.exercise(ctx, type_name, obj)
+            if rng.random() < 0.02 and len(world.skbs) > 8:
+                world.destroy_skb(ctx, rng.choice(world.skbs))
+            yield
+
+    return body
+
+
+def _churn(world: NetWorld, iterations: int, seed: int):
+    """Accept/backlog churn: aggressive socket create/drain/close."""
+
+    def body(ctx: ExecutionContext) -> Generator:
+        rng = random.Random(seed)
+        for _ in range(iterations):
+            roll = rng.random()
+            sk = world.random_object("sock")
+            if roll < 0.35 or sk is None:
+                yield from world.sock_create(ctx)
+            elif roll < 0.55:
+                yield from world.sock_poll(ctx, sk)
+            elif roll < 0.80:
+                yield from world.sock_recvmsg(ctx, sk)
+            elif len(world.socks) > 2:
+                yield from world.sock_close(ctx, sk)
+            yield
+
+    return body
+
+
+def _order_inverter(world: NetWorld, rounds: int):
+    """The planted cross-subsystem ABBA: ``sb_lock`` vs
+    ``net_family_lock`` taken in both orders, sequentially in one
+    thread.  The guarded access lands on the blacklisted
+    ``sock.sk_backlog`` member, so the witnesses feed the lock-order
+    graph without polluting rule derivation."""
+
+    def body(ctx: ExecutionContext) -> Generator:
+        rt = world.rt
+        sb = rt.static_lock("sb_lock", "spinlock_t")
+        family = rt.static_lock("net_family_lock", "spinlock_t")
+        with rt.function(ctx, "sock_diag_broadcast", "net/core/sock_diag.c", 220):
+            for index in range(rounds):
+                sk = world.random_object("sock")
+                if sk is None:
+                    yield
+                    continue
+                with pinned(sk):
+                    if index % 2 == 0:
+                        yield from rt.spin_lock(ctx, sb, line=231)
+                        yield from rt.spin_lock(ctx, family, line=232)
+                        rt.write(ctx, sk, "sk_backlog", line=233)
+                        rt.spin_unlock(ctx, family, line=234)
+                        rt.spin_unlock(ctx, sb, line=235)
+                    else:
+                        yield from rt.spin_lock(ctx, family, line=238)
+                        yield from rt.spin_lock(ctx, sb, line=239)
+                        rt.write(ctx, sk, "sk_backlog", line=240)
+                        rt.spin_unlock(ctx, sb, line=241)
+                        rt.spin_unlock(ctx, family, line=242)
+                yield
+
+    return body
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+class NetBench:
+    """The socket benchmark mix over the net slice."""
+
+    def __init__(
+        self, seed: int = 0, scale: float = 1.0, softirq_rate: float = 0.08
+    ) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.softirq_rate = softirq_rate
+
+    def _iterations(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def run(self, runtime: Optional[KernelRuntime] = None) -> NetResult:
+        if runtime is None:
+            from repro.kernel import reset_id_counters
+
+            reset_id_counters()
+        world = NetWorld(runtime, seed=self.seed)
+        world.boot()
+        scheduler = Scheduler(world.rt, seed=self.seed + 1)
+        for index in range(3):
+            scheduler.spawn(
+                f"netbench/{index}",
+                _client(world, self._iterations(80), self.seed + 10 + index),
+            )
+        for index in range(2):
+            scheduler.spawn(
+                f"net-sweep/{index}",
+                _sweeper(world, self._iterations(400), self.seed + 20 + index),
+            )
+        scheduler.add_irq_source(
+            "net-rx-softirq",
+            world.netif_receive,
+            rate=self.softirq_rate,
+            softirq=True,
+        )
+        steps = scheduler.run()
+        return NetResult(world=world, scheduler=scheduler, steps=steps)
+
+
+class SockStress:
+    """Socket churn plus the planted fs<->net lock-order inversion."""
+
+    def __init__(
+        self, seed: int = 0, scale: float = 1.0, softirq_rate: float = 0.12
+    ) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.softirq_rate = softirq_rate
+
+    def _iterations(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def run(self, runtime: Optional[KernelRuntime] = None) -> NetResult:
+        if runtime is None:
+            from repro.kernel import reset_id_counters
+
+            reset_id_counters()
+        world = NetWorld(runtime, seed=self.seed)
+        world.boot()
+        scheduler = Scheduler(world.rt, seed=self.seed + 1)
+        for index in range(4):
+            scheduler.spawn(
+                f"sockstress/{index}",
+                _churn(world, self._iterations(50), self.seed + 30 + index),
+            )
+        scheduler.spawn(
+            "sock-diag", _order_inverter(world, self._iterations(12))
+        )
+        scheduler.add_irq_source(
+            "net-rx-softirq",
+            world.netif_receive,
+            rate=self.softirq_rate,
+            softirq=True,
+        )
+        steps = scheduler.run()
+        return NetResult(world=world, scheduler=scheduler, steps=steps)
+
+
+class NetMix:
+    """VFS and net threads interleaved over one runtime/scheduler."""
+
+    def __init__(self, seed: int = 0, scale: float = 1.0) -> None:
+        self.seed = seed
+        self.scale = scale
+
+    def _iterations(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def run(self) -> NetResult:
+        from repro.kernel import reset_id_counters
+        from repro.kernel.vfs.fs import VfsWorld
+        from repro.workloads.fsbench import FsBench
+        from repro.workloads.fsstress import FsStress
+        from repro.workloads.journal import Journal
+        from repro.workloads.mix import BenchmarkMix
+
+        reset_id_counters()
+        rt = KernelRuntime(build_net_registry())
+        vfs_world = VfsWorld(rt, seed=self.seed)
+        vfs_world.boot()
+        net_world = NetWorld(rt, seed=self.seed + 500)
+        net_world.boot()
+        scheduler = Scheduler(rt, seed=self.seed + 1)
+        vfs_workloads = [
+            FsBench(vfs_world, self._iterations(30), self.seed + 10),
+            FsStress(vfs_world, self._iterations(40), self.seed + 11),
+            Journal(vfs_world, self._iterations(40), self.seed + 16),
+        ]
+        for workload in vfs_workloads:
+            for name, body in workload.threads():
+                scheduler.spawn(name, body)
+        for index in range(2):
+            scheduler.spawn(
+                f"netbench/{index}",
+                _client(net_world, self._iterations(50), self.seed + 40 + index),
+            )
+        scheduler.spawn(
+            "net-sweep/0",
+            _sweeper(net_world, self._iterations(120), self.seed + 50),
+        )
+        scheduler.spawn(
+            "sock-diag", _order_inverter(net_world, self._iterations(8))
+        )
+        # Both subsystems' interrupt sources fire into the same trace.
+        BenchmarkMix(seed=self.seed, scale=self.scale)._add_irq_sources(
+            vfs_world, scheduler
+        )
+        scheduler.add_irq_source(
+            "net-rx-softirq", net_world.netif_receive, rate=0.08, softirq=True
+        )
+        steps = scheduler.run()
+        return NetResult(
+            world=net_world,
+            scheduler=scheduler,
+            steps=steps,
+            vfs_world=vfs_world,
+        )
+
+
+def run_netbench(seed: int = 0, scale: float = 1.0) -> NetResult:
+    """Convenience one-shot runner used by experiments and benchmarks."""
+    return NetBench(seed=seed, scale=scale).run()

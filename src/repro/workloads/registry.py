@@ -37,6 +37,7 @@ _PREFIX_FUZZ = "fuzz:"
 _REGISTRY: Dict[str, WorkloadFactory] = {}
 _HELP: Dict[str, str] = {}
 _DB_RECIPES: Dict[str, str] = {}
+_SUBSYSTEMS: Dict[str, str] = {}
 
 
 def register(
@@ -44,17 +45,22 @@ def register(
     factory: WorkloadFactory,
     help: str = "",
     db_recipe: str = "vfs",
+    subsystem: str = "vfs",
 ) -> None:
     """Register (or replace) a named workload factory.
 
     *db_recipe* names the ``(StructRegistry, FilterConfig)`` pair a
-    recorded trace of this workload must be imported with (``"vfs"``
-    or ``"racer"``) — it lets a cached trace be re-imported without
-    the original run result in hand.
+    recorded trace of this workload must be imported with (``"vfs"``,
+    ``"racer"``, or ``"net"``) — it lets a cached trace be re-imported
+    without the original run result in hand.  *subsystem* tags which
+    simulated slice the workload drives (``"vfs"``, ``"net"``,
+    ``"mixed"``, ...); it groups the unknown-workload error listing
+    and lets subsystem-specific tooling pick its inputs.
     """
     _REGISTRY[name] = factory
     _HELP[name] = help
     _DB_RECIPES[name] = db_recipe
+    _SUBSYSTEMS[name] = subsystem
 
 
 def db_recipe(name: str) -> str:
@@ -63,7 +69,7 @@ def db_recipe(name: str) -> str:
     if recipe is not None:
         return recipe
     if name.startswith(_PREFIX_FUZZ):
-        return "vfs"
+        return "net" if _fuzz_subsystem(name) == "net" else "vfs"
     raise ValueError(f"unknown workload {name!r}")
 
 
@@ -78,6 +84,10 @@ def database_inputs(recipe: str):
         from repro.workloads.racer import build_racer_registry
 
         return build_racer_registry(), None
+    if recipe == "net":
+        from repro.workloads.net import build_net_filters, build_net_registry
+
+        return build_net_registry(), build_net_filters()
     from repro.kernel.vfs.groundtruth import build_filter_config
     from repro.kernel.vfs.layouts import build_struct_registry
 
@@ -87,6 +97,59 @@ def database_inputs(recipe: str):
 def available() -> List[str]:
     """Registered workload names (without dynamic ``fuzz:<path>``)."""
     return sorted(_REGISTRY)
+
+
+def subsystem_of(name: str) -> str:
+    """The subsystem tag of workload *name* (corpus-derived for fuzz
+    refs)."""
+    tag = _SUBSYSTEMS.get(name)
+    if tag is not None:
+        return tag
+    if name.startswith(_PREFIX_FUZZ):
+        return _fuzz_subsystem(name)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+#: Corpora loaded from disk, keyed by path (fuzz:<path> refs).
+_FUZZ_PATH_CACHE: Dict[str, object] = {}
+
+
+def _load_fuzz_corpus(path: str):
+    corpus = _FUZZ_PATH_CACHE.get(path)
+    if corpus is None:
+        from repro.fuzz.corpus import Corpus
+
+        corpus = Corpus.load(path)
+        _FUZZ_PATH_CACHE[path] = corpus
+    return corpus
+
+
+def _fuzz_subsystem(name: str) -> str:
+    """The subsystem of a ``fuzz:<ref>`` workload (``"vfs"`` when the
+    ref is not a loadable corpus file — resolution errors out later)."""
+    ref = name[len(_PREFIX_FUZZ):]
+    if os.path.exists(ref):
+        try:
+            return _load_fuzz_corpus(ref).subsystem
+        except ValueError:
+            return "vfs"
+    return "vfs"
+
+
+def available_by_subsystem() -> Dict[str, List[str]]:
+    """Registered names grouped by subsystem tag, sorted both ways."""
+    groups: Dict[str, List[str]] = {}
+    for name in available():
+        groups.setdefault(_SUBSYSTEMS.get(name, "vfs"), []).append(name)
+    return {tag: sorted(names) for tag, names in sorted(groups.items())}
+
+
+def _available_listing() -> str:
+    """Human listing for error messages, grouped by subsystem."""
+    groups = available_by_subsystem()
+    return "; ".join(
+        f"{tag}: {', '.join(names)}" for tag, names in groups.items()
+    )
 
 
 def describe() -> Dict[str, str]:
@@ -107,7 +170,7 @@ def resolve(name: str) -> WorkloadFactory:
             f"not a corpus file"
         )
     raise ValueError(
-        f"unknown workload {name!r} (available: {', '.join(available())}, "
+        f"unknown workload {name!r} (available — {_available_listing()}; "
         f"or fuzz:<corpus-file>)"
     )
 
@@ -139,6 +202,24 @@ def _racer_safe_factory(seed: int, scale: float):
     return run_racer(seed=seed, scale=scale, racy=False)
 
 
+def _netbench_factory(seed: int, scale: float):
+    from repro.workloads.net import NetBench
+
+    return NetBench(seed=seed, scale=scale).run()
+
+
+def _sockstress_factory(seed: int, scale: float):
+    from repro.workloads.net import SockStress
+
+    return SockStress(seed=seed, scale=scale).run()
+
+
+def _netmix_factory(seed: int, scale: float):
+    from repro.workloads.net import NetMix
+
+    return NetMix(seed=seed, scale=scale).run()
+
+
 register("mix", _mix_factory, "the paper's full benchmark mix (Sec. 7.1)")
 register(
     "racer", _racer_factory, "planted-race ground-truth workload",
@@ -147,6 +228,27 @@ register(
 register(
     "racer-safe", _racer_safe_factory, "race-free racer control variant",
     db_recipe="racer",
+)
+register(
+    "netbench",
+    _netbench_factory,
+    "socket connect/send/recv/close mix over the net slice",
+    db_recipe="net",
+    subsystem="net",
+)
+register(
+    "sockstress",
+    _sockstress_factory,
+    "socket churn with a planted fs<->net lock-order inversion",
+    db_recipe="net",
+    subsystem="net",
+)
+register(
+    "netmix",
+    _netmix_factory,
+    "interleaved vfs+net threads over one runtime",
+    db_recipe="net",
+    subsystem="mixed",
 )
 
 
@@ -161,6 +263,7 @@ class CorpusRunResult:
     world: object
     scheduler: object
     steps: int
+    subsystem: str = "vfs"
 
     @property
     def tracer(self):
@@ -168,11 +271,16 @@ class CorpusRunResult:
 
     def to_database(self) -> TraceDatabase:
         from repro.db.importer import import_tracer
-        from repro.kernel.vfs.groundtruth import build_filter_config
 
-        return import_tracer(
-            self.tracer, self.world.rt.structs, build_filter_config()
-        )
+        if self.subsystem == "net":
+            from repro.kernel.net.groundtruth import build_net_filter_config
+
+            filters = build_net_filter_config()
+        else:
+            from repro.kernel.vfs.groundtruth import build_filter_config
+
+            filters = build_filter_config()
+        return import_tracer(self.tracer, self.world.rt.structs, filters)
 
 
 def _run_corpus(corpus, seed: int, scale: float) -> CorpusRunResult:
@@ -183,10 +291,16 @@ def _run_corpus(corpus, seed: int, scale: float) -> CorpusRunResult:
     """
     from repro.kernel import reset_id_counters
     from repro.kernel.sched import Scheduler
-    from repro.kernel.vfs.fs import VfsWorld
 
     reset_id_counters()
-    world = VfsWorld(seed=seed)
+    if corpus.subsystem == "net":
+        from repro.kernel.net.world import NetWorld
+
+        world = NetWorld(seed=seed)
+    else:
+        from repro.kernel.vfs.fs import VfsWorld
+
+        world = VfsWorld(seed=seed)
     world.boot()
     scheduler = Scheduler(world.rt, seed=seed + 1)
     repeats = max(1, int(scale))
@@ -195,13 +309,14 @@ def _run_corpus(corpus, seed: int, scale: float) -> CorpusRunResult:
             for name, body in entry.program.compile(world):
                 scheduler.spawn(f"corpus/{repeat}/{index}/{name}", body)
     steps = scheduler.run()
-    return CorpusRunResult(world=world, scheduler=scheduler, steps=steps)
+    return CorpusRunResult(
+        world=world, scheduler=scheduler, steps=steps,
+        subsystem=corpus.subsystem,
+    )
 
 
 def _corpus_factory_from_path(path: str) -> WorkloadFactory:
-    from repro.fuzz.corpus import Corpus
-
-    corpus = Corpus.load(path)
+    corpus = _load_fuzz_corpus(path)
 
     def factory(seed: int, scale: float) -> CorpusRunResult:
         return _run_corpus(corpus, seed, scale)
@@ -217,5 +332,7 @@ def register_corpus(corpus, name: Optional[str] = None) -> str:
         registered,
         lambda seed, scale: _run_corpus(corpus, seed, scale),
         f"fuzzed corpus ({len(corpus.entries)} programs)",
+        db_recipe="net" if corpus.subsystem == "net" else "vfs",
+        subsystem=corpus.subsystem,
     )
     return registered

@@ -1,0 +1,167 @@
+"""Cross-subsystem trace tests: netmix parity, gauntlet, lock order.
+
+The netmix workload interleaves VFS and net threads over one runtime,
+so its trace is the acid test for every subsystem-agnostic layer: the
+importer must keep both slices' accesses, the sqlite backend must mine
+byte-identically to the in-memory one, the corruption gauntlet must
+degrade gracefully, and the lock-order analysis must catch the planted
+fs<->net ABBA inversion with witnesses on both edges.
+"""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.lockorder import build_lock_order, format_class
+from repro.core.observations import ObservationTable
+from repro.core.rulesio import rules_to_json
+from repro.db.health import ingest_events
+from repro.db.importer import ImportPolicy
+from repro.faults import FaultPlan
+from repro.tracing import serialize
+from repro.workloads.net import NetMix, SockStress, build_net_filters, build_net_registry
+
+LENIENT = ImportPolicy(lenient=True, max_malformed_fraction=1.0)
+
+
+@pytest.fixture(scope="module")
+def netmix():
+    run = NetMix(seed=0, scale=1.0).run()
+    db = run.to_database()
+    derivation = Derivator(0.9).derive(ObservationTable.from_database(db))
+    return {"run": run, "db": db, "derivation": derivation}
+
+
+# ----------------------------------------------------------------------
+# One trace, both subsystems
+# ----------------------------------------------------------------------
+
+def test_netmix_observes_both_slices(netmix):
+    types = {row.type_key for row in netmix["db"].kept_accesses()}
+    assert "sock" in types
+    assert any(t.startswith("inode") for t in types)
+
+
+def test_netmix_derives_rules_for_both_slices(netmix):
+    keys = {d.type_key for d in netmix["derivation"].all()}
+    assert "sock" in keys
+    assert any(key.startswith("inode") for key in keys)
+
+
+def test_vfs_rules_survive_the_interleaving(netmix):
+    """Sharing the scheduler with socket threads must not change what
+    the vfs slice documents."""
+    d = netmix["derivation"].get("dentry", "d_flags", "w")
+    assert d is not None
+    assert d.rule.format() == "ES(d_lock in dentry)"
+
+
+# ----------------------------------------------------------------------
+# Backend parity (memory vs sqlite, byte-identical)
+# ----------------------------------------------------------------------
+
+def test_sqlite_backend_parity_on_netmix(netmix, tmp_path):
+    from repro.db import sqlstore
+
+    tracer = netmix["run"].tracer
+    stacks = [tracer.stack(i) for i in range(tracer.stack_count)]
+    path = str(tmp_path / "netmix.sqlite")
+    sqlstore.build_store(
+        path, tracer.events, stacks, build_net_registry(), build_net_filters()
+    )
+    store = sqlstore.SqliteTraceStore(path)
+    sqlite_rules = rules_to_json(Derivator(0.9).derive(store.fold(True)))
+    memory_rules = rules_to_json(
+        Derivator(0.9).derive(
+            ObservationTable.from_database(netmix["db"], split_subclasses=True)
+        )
+    )
+    assert sqlite_rules == memory_rules
+
+
+def test_serialize_round_trip_reimports_identically(netmix):
+    tracer = netmix["run"].tracer
+    text = serialize.dumps_events_text(
+        list(tracer.events), serialize.stacks_of(tracer)
+    )
+    report = serialize.loads_text_lenient(text)
+    db, health = ingest_events(
+        report.events, report.stacks, build_net_registry(),
+        build_net_filters(), LENIENT, parse_report=report,
+    )
+    assert health.accounts_for_all_events(), health.to_dict()
+    derivation = Derivator(0.9).derive(ObservationTable.from_database(db))
+    assert rules_to_json(derivation) == rules_to_json(netmix["derivation"])
+
+
+# ----------------------------------------------------------------------
+# Corruption gauntlet
+# ----------------------------------------------------------------------
+
+def test_netmix_survives_two_percent_drops(netmix):
+    """<= 2% event drops still reproduce >= 90% of the winning rules."""
+    baseline = {
+        (d.type_key, d.member, d.access_type): d.rule.format()
+        for d in netmix["derivation"].all()
+    }
+    assert baseline
+
+    tracer = netmix["run"].tracer
+    plan = FaultPlan.from_spec("drop:0.02", seed=0)
+    events = plan.apply_events(tracer.events)
+    stacks = serialize.stacks_of(tracer)
+    db, health = ingest_events(
+        events, stacks, build_net_registry(), build_net_filters(), LENIENT
+    )
+    assert health.accounts_for_all_events()
+    derivation = Derivator(0.9).derive(ObservationTable.from_database(db))
+    degraded = {
+        (d.type_key, d.member, d.access_type): d.rule.format()
+        for d in derivation.all()
+    }
+    matching = sum(
+        1 for key, rule in baseline.items() if degraded.get(key) == rule
+    )
+    assert matching / len(baseline) >= 0.9, (
+        f"only {matching}/{len(baseline)} winning rules survived 2% drops"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-subsystem lock order
+# ----------------------------------------------------------------------
+
+def _names(classes):
+    return {format_class(key) for key in classes}
+
+
+def test_netmix_catches_the_planted_fs_net_inversion(netmix):
+    report = build_lock_order(netmix["db"])
+    inverted = [
+        inversion for inversion in report.inversions
+        if _names(inversion.classes) == {"sb_lock", "net_family_lock"}
+    ]
+    assert inverted, [i.format() for i in report.inversions]
+    inversion = inverted[0]
+    # witnesses on both directions: a genuine ABBA, not a one-off
+    assert inversion.forward.witnesses > 0
+    assert inversion.backward.witnesses > 0
+
+
+def test_sockstress_reports_the_cycle_with_a_witness_path():
+    run = SockStress(seed=0, scale=1.0).run()
+    report = build_lock_order(run.to_database())
+    cycles = [
+        cycle for cycle in report.cycles
+        if _names(cycle.classes) == {"sb_lock", "net_family_lock"}
+    ]
+    assert cycles, [c.format() for c in report.cycles]
+    cycle = cycles[0]
+    assert len(cycle) == 2
+    assert cycle.min_witnesses >= 1
+    rendered = report.render()
+    assert "sb_lock" in rendered and "net_family_lock" in rendered
+
+
+def test_planted_witnesses_never_pollute_rule_mining(netmix):
+    """The inverted sections only touch the blacklisted sk_backlog."""
+    assert netmix["derivation"].get("sock", "sk_backlog", "w") is None

@@ -1,0 +1,167 @@
+"""Tests for the simulated networking slice (repro.kernel.net)."""
+
+import pytest
+
+from repro.core.derivator import Derivator
+from repro.core.observations import ObservationTable
+from repro.core.violations import ViolationFinder
+from repro.kernel.net.groundtruth import (
+    NET_MEMBER_BLACKLIST,
+    NET_PLANTED_DEVIATIONS,
+    build_net_specs,
+)
+from repro.kernel.net.layouts import build_net_struct_registry
+from repro.workloads.net import NetBench
+
+SPECS = build_net_specs()
+
+
+@pytest.fixture(scope="module")
+def netbench():
+    run = NetBench(seed=0, scale=4.0).run()
+    db = run.to_database()
+    table = ObservationTable.from_database(db)
+    derivation = Derivator(0.9).derive(table)
+    return {"run": run, "db": db, "table": table, "derivation": derivation}
+
+
+# ----------------------------------------------------------------------
+# Layouts and specs
+# ----------------------------------------------------------------------
+
+def test_layouts_cover_the_four_observed_types():
+    registry = build_net_struct_registry()
+    names = {struct.name for struct in registry.all()}
+    assert {"sock", "sk_buff", "socket_wq", "net_device"} <= names
+
+
+def test_layout_member_counts():
+    registry = build_net_struct_registry()
+    counts = {
+        struct.name: len(struct.data_members()) for struct in registry.all()
+    }
+    assert counts["sock"] == 30
+    assert counts["sk_buff"] == 16
+    assert counts["socket_wq"] == 4
+    assert counts["net_device"] == 20
+
+
+def test_every_spec_member_exists_in_the_layout():
+    registry = build_net_struct_registry()
+    for name, spec in SPECS.items():
+        layout = registry.get(name)
+        members = {m.name for m in layout.members}
+        for member_spec in spec.members:
+            base = member_spec.member.split(".", 1)[0]
+            assert base in members, (name, member_spec.member)
+
+
+def test_net_idioms_differ_from_vfs():
+    """The slice exists to exercise idioms the VFS model lacks."""
+    sock = SPECS["sock"]
+    # sk_lock: a plain sleeping semaphore (lock_sock).
+    assert sock.expected_rule("sk_state", "w").format() == (
+        "ES(sk_lock in sock)"
+    )
+    # bh-flavored queue spinlock: softirq pseudo-lock in the rule.
+    assert "softirq" in sock.expected_rule(
+        "sk_receive_queue.next", "r"
+    ).format()
+    # two-token send-path rule on the write queue.
+    assert sock.expected_rule("sk_write_queue.next", "w").format() == (
+        "ES(sk_lock in sock) -> softirq -> "
+        "ES(sk_write_queue.lock in sock)"
+    )
+    # global mutex-class rtnl serializes net_device configuration.
+    assert SPECS["net_device"].expected_rule("mtu", "w").format() == (
+        "rtnl_mutex"
+    )
+    # RCU read side on device configuration.
+    assert SPECS["net_device"].expected_rule("mtu", "r").format() == "rcu:r"
+    # EO rule through the sk back-reference (net analogue of Fig. 8).
+    assert SPECS["sk_buff"].expected_rule("next", "w").format() == (
+        "softirq -> EO(sk_receive_queue.lock in sock)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Mining fidelity
+# ----------------------------------------------------------------------
+
+def _fidelity(derivation):
+    matched, total, misses = 0, 0, []
+    for name in sorted(SPECS):
+        spec = SPECS[name]
+        for member in spec.members:
+            if member.member in spec.blacklist:
+                continue
+            if (name, member.member) in NET_MEMBER_BLACKLIST:
+                continue
+            for access in ("r", "w"):
+                if member.weight_for(access) == 0:
+                    continue
+                d = derivation.get(name, member.member, access)
+                if d is None:
+                    continue
+                total += 1
+                if d.rule == spec.expected_rule(member.member, access):
+                    matched += 1
+                else:
+                    misses.append((name, member.member, access))
+    return matched, total, misses
+
+
+def test_netbench_mines_the_ground_truth(netbench):
+    matched, total, misses = _fidelity(netbench["derivation"])
+    assert total >= 80  # the slice is a substantial target set
+    assert matched / total >= 0.9, misses
+
+
+def test_the_only_expected_miss_is_the_ambivalent_peek(netbench):
+    _, _, misses = _fidelity(netbench["derivation"])
+    assert misses == [("sock", "sk_state", "r")]
+
+
+def test_blacklisted_members_never_derive(netbench):
+    derivation = netbench["derivation"]
+    for access in ("r", "w"):
+        assert derivation.get("sock", "sk_backlog", access) is None
+        assert derivation.get("socket_wq", "wait", access) is None
+
+
+# ----------------------------------------------------------------------
+# Planted deviations
+# ----------------------------------------------------------------------
+
+def test_planted_deviations_surface_as_violations(netbench):
+    violations = ViolationFinder(
+        netbench["derivation"], netbench["table"]
+    ).find()
+    violated = {(v.type_key, v.member, v.access_type) for v in violations}
+    for planted in NET_PLANTED_DEVIATIONS:
+        assert planted in violated, planted
+
+
+def test_planted_skips_stay_below_the_accept_complement():
+    """Every plant keeps the true rule winning (skip < 10%)."""
+    for type_name, member, access in NET_PLANTED_DEVIATIONS:
+        spec = SPECS[type_name].member(member)
+        skip = spec.write_skip if access == "w" else spec.read_skip
+        assert 0.0 < skip < 0.1, (type_name, member, access)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+def test_netbench_is_deterministic(netbench):
+    again = NetBench(seed=0, scale=4.0).run()
+    first = netbench["run"].tracer
+    assert len(again.tracer.events) == len(first.events)
+    assert again.tracer.events == first.events
+
+
+def test_seed_changes_the_trace():
+    small = NetBench(seed=0, scale=1.0).run()
+    other = NetBench(seed=1, scale=1.0).run()
+    assert small.tracer.events != other.tracer.events

@@ -115,7 +115,7 @@ def test_coverage_report_per_directory_accounting():
     import repro.workloads.coverage as cov
 
     original = cov.build_catalog
-    cov.build_catalog = lambda world: catalog
+    cov.build_catalog = lambda world, subsystem="vfs": catalog
     try:
         rows = coverage_report(_World(), _Db(), directories=("fs", "fs/ext4"))
     finally:
