@@ -25,7 +25,13 @@ the rest of the system follows.
 
 from repro.analysis.happens import AccessStamp, HappensBeforeIndex, happens_before
 from repro.analysis.lockset import LocksetResult, MemberState, run_lockset
-from repro.analysis.racedetect import RaceClass, RaceFinding, RaceReport, detect_races
+from repro.analysis.racedetect import (
+    RaceClass,
+    RaceFinding,
+    RaceReport,
+    classify_candidates,
+    detect_races,
+)
 from repro.analysis.vectorclock import VectorClock
 
 __all__ = [
@@ -37,6 +43,7 @@ __all__ = [
     "RaceFinding",
     "RaceReport",
     "VectorClock",
+    "classify_candidates",
     "detect_races",
     "happens_before",
     "run_lockset",

@@ -223,7 +223,32 @@ def detect_races(
         lockset = run_lockset(db)
     needed = {access.ts for track in lockset.candidates for access in track.accesses}
     hb = HappensBeforeIndex.build(events, needed)
+    return classify_candidates(
+        lockset,
+        hb,
+        derivation,
+        synthetic_excluded=sum(
+            1
+            for a in db.accesses
+            if a.filter_reason in (REASON_SYNTHETIC_TXN, REASON_STALE_LOCK)
+        ),
+    )
 
+
+def classify_candidates(
+    lockset: LocksetResult,
+    hb: HappensBeforeIndex,
+    derivation: DerivationResult,
+    synthetic_excluded: int = 0,
+) -> RaceReport:
+    """Classify lockset candidates against *hb* and the derived rules.
+
+    The shared back half of race detection: :func:`detect_races` calls
+    it after a post-mortem lockset/HB pass, and the streaming engine
+    (:mod:`repro.stream`) calls it with its incrementally built state —
+    both produce the same report given the same inputs.  *hb* must hold
+    a stamp for every access of every candidate track.
+    """
     grouped: Dict[Tuple[RaceClass, str, str], RaceFinding] = {}
     for track in lockset.candidates:
         pair, pairs = _first_unordered_pair(track, hb)
@@ -256,11 +281,7 @@ def detect_races(
         state_counts={
             state.value: count for state, count in lockset.state_counts().items()
         },
-        synthetic_excluded=sum(
-            1
-            for a in db.accesses
-            if a.filter_reason in (REASON_SYNTHETIC_TXN, REASON_STALE_LOCK)
-        ),
+        synthetic_excluded=synthetic_excluded,
     )
 
 

@@ -10,6 +10,7 @@ Commands mirror the paper's pipeline and analysis tools:
 ``violations`` print the rule-violation summary (Tab. 7)
 ``experiment`` regenerate a specific table/figure by name
 ``stats``      trace statistics (Sec. 7.2)
+``watch``      live-monitor a workload: streamed interval contention
 ``analyze``    derive rules from a previously saved trace file
 ``lockorder``  lockdep-style lock-order graph, ABBA candidates, cycles
 ``races``      lockset + happens-before race detection
@@ -25,14 +26,19 @@ Commands mirror the paper's pipeline and analysis tools:
 ``serve``      always-on analysis daemon (run/status/stop)
 =============  =====================================================
 
-``derive``/``check``/``violations``/``races``/``health`` also take
-``--remote``: the request is sent to a running analysis daemon
+``derive`` and ``races`` also take ``--stream``: the trace is folded
+*online* by the fused single-pass engine (:mod:`repro.stream`) while
+the workload runs — no event list, no serialize/import round trip —
+with output identical to the post-mortem path on clean traces.
+
+``derive``/``check``/``violations``/``races``/``stats``/``health``
+also take ``--remote``: the request is sent to a running analysis daemon
 (:mod:`repro.serve`), which owns a shared warm cache and coalesces
 duplicate in-flight work.  Output is byte-identical to local mode;
 when the daemon is unreachable the client prints a one-line
 ``degraded:`` notice on stderr and computes locally.
 
-The same five subcommands take ``--backend memory|sqlite``: ``memory``
+The same subcommands take ``--backend memory|sqlite``: ``memory``
 (default) analyzes the in-RAM :class:`TraceDatabase`; ``sqlite``
 builds an out-of-core sharded SQLite trace store
 (:mod:`repro.db.sqlstore`) and streams derivation/checking/violation
@@ -110,6 +116,16 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stream_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="fold the trace online while the workload runs (single "
+        "fused pass, no serialize/import round trip); identical output "
+        "on clean traces; memory backend only, not combinable with "
+        "--remote",
+    )
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -144,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", default="", metavar="FILE",
         help="also write the machine-readable rule export (summary mode)",
     )
+    _add_stream_arg(derive)
 
     check = sub.add_parser("check", help="check documented rules (Tab. 4)")
     _add_pipeline_args(check)
@@ -171,6 +188,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="trace statistics (Sec. 7.2)")
     _add_pipeline_args(stats)
+    _add_backend_arg(stats)
+    _add_remote_arg(stats)
 
     analyze = sub.add_parser(
         "analyze", help="derive rules from a saved trace file"
@@ -197,6 +216,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     races.add_argument(
         "--threshold", type=float, default=0.9, help="accept threshold t_ac"
+    )
+    _add_stream_arg(races)
+
+    watch = sub.add_parser(
+        "watch", help="live-monitor a workload with the streaming engine"
+    )
+    _add_pipeline_args(watch)
+    watch.add_argument(
+        "--interval", type=int, default=2000, metavar="TICKS",
+        help="tick-window width in simulated trace-clock ticks "
+        "(default: 2000)",
+    )
+    watch.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="hottest lock classes printed per interval (default: 5)",
+    )
+    watch.add_argument(
+        "--limit", type=int, default=12,
+        help="lock classes in the final cumulative summary (default: 12)",
     )
 
     docpatch = sub.add_parser(
@@ -493,6 +531,20 @@ def _execute_op(args, op: str, params: dict) -> dict:
         raise ValueError(f"remote {exc.kind}: {exc.message}") from None
 
 
+def _check_stream_flags(args) -> None:
+    """``--stream`` is a local, in-memory fused pass by definition."""
+    if getattr(args, "remote", False):
+        raise ValueError(
+            "--stream cannot be combined with --remote (the stream is "
+            "this process's live workload run)"
+        )
+    if getattr(args, "backend", "memory") != "memory":
+        raise ValueError(
+            "--stream supports only the memory backend (the fused pass "
+            "never builds a store)"
+        )
+
+
 def _cmd_derive(args) -> int:
     params = {
         **_pipeline_params(args),
@@ -501,7 +553,14 @@ def _cmd_derive(args) -> int:
         "jobs": args.jobs,
         "want_rules_json": bool(args.json),
     }
-    result = _execute_op(args, "derive", params)
+    if args.stream:
+        from repro.stream import run_derive_streamed
+
+        _check_stream_flags(args)
+        params.pop("backend", None)
+        result = run_derive_streamed(params)
+    else:
+        result = _execute_op(args, "derive", params)
     if args.json:
         with open(args.json, "w") as fp:
             fp.write(result["rules_json"])
@@ -558,12 +617,31 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from repro.experiments import stats as stats_mod
+    result = _execute_op(args, "stats", _pipeline_params(args))
+    print(result["text"])
+    return result["exit_code"]
 
-    result = stats_mod.run(
-        seed=args.seed, scale=args.scale, workload=args.workload
+
+def _cmd_watch(args) -> int:
+    from repro.stream import run_streamed
+
+    if args.interval < 1:
+        raise ValueError(f"--interval {args.interval} must be >= 1")
+    run = run_streamed(
+        args.workload,
+        args.seed,
+        args.scale,
+        interval=args.interval,
+        interval_callback=lambda report: print(report.format(), flush=True),
+        top=args.top,
     )
-    print(result.render())
+    engine = run.engine
+    print(
+        f"watched {args.workload}: {engine.total_events} events in "
+        f"{len(engine.interval_reports)} interval(s) of "
+        f"{args.interval} ticks"
+    )
+    print(engine.contention_report().render(limit=args.limit))
     return 0
 
 
@@ -606,7 +684,14 @@ def _cmd_races(args) -> int:
         "examples": args.examples,
         "jobs": args.jobs,
     }
-    result = _execute_op(args, "races", params)
+    if args.stream:
+        from repro.stream import run_races_streamed
+
+        _check_stream_flags(args)
+        params.pop("backend", None)
+        result = run_races_streamed(params)
+    else:
+        result = _execute_op(args, "races", params)
     print(result["text"])
     return result["exit_code"]
 
@@ -931,6 +1016,7 @@ _HANDLERS = {
     "violations": _cmd_violations,
     "experiment": _cmd_experiment,
     "stats": _cmd_stats,
+    "watch": _cmd_watch,
     "analyze": _cmd_analyze,
     "lockorder": _cmd_lockorder,
     "races": _cmd_races,

@@ -57,6 +57,12 @@ class ContentionReport:
     """Per-lock-class usage statistics with rankings."""
     stats: Dict[LockClassKey, LockStats]
     unmatched_releases: int = 0
+    #: Acquisitions whose release never arrived — the importer closes
+    #: their transaction with a *synthesized* release, so they are not
+    #: real hold spans.  They are excluded from the per-class counts
+    #: (an unreleased hold would otherwise skew mean/max rankings with
+    #: a span of zero) and only surfaced here.
+    synthetic_closes: int = 0
 
     def hottest_by_acquisitions(self, limit: int = 10) -> List[LockStats]:
         return sorted(
@@ -75,10 +81,16 @@ class ContentionReport:
         headers = ["lock class", "acq", "acq(r)", "hold total", "hold mean",
                    "hold max"]
         rows = [s.row() for s in self.hottest_by_acquisitions(limit)]
-        return render_table(
+        text = render_table(
             headers, rows,
             title=f"lock-usage statistics ({len(self.stats)} lock classes)",
         )
+        if self.synthetic_closes:
+            text += (
+                f"\n{self.synthetic_closes} unreleased hold(s) excluded "
+                f"(synthesized close — span unknown)"
+            )
+        return text
 
 
 def build_contention(
@@ -88,10 +100,16 @@ def build_contention(
 
     *events* is the trace event list (hold spans need the raw
     acquire/release timestamps); *db* resolves lock ids to classes.
+
+    Holds still open when the walk ends are exactly the ones the
+    importer closes with a *synthesized* release (``synthetic_close``
+    transactions): their spans are guesses, so they are dropped from
+    the per-class acquisition counts and reported via
+    ``synthetic_closes`` instead of skewing the hold-span rankings.
     """
     stats: Dict[LockClassKey, LockStats] = {}
-    # open acquisitions: (ctx_id, lock_id) -> acquire timestamp stack
-    open_holds: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    # open acquisitions: (ctx_id, lock_id) -> (acquire ts, mode) stack
+    open_holds: Dict[Tuple[int, int], List[Tuple[int, str]]] = defaultdict(list)
     unmatched = 0
     for event in events:
         if not isinstance(event, LockEvent):
@@ -108,14 +126,28 @@ def build_contention(
             entry.acquisitions += 1
             if event.mode == "r":
                 entry.read_acquisitions += 1
-            open_holds[hold_key].append(event.ts)
+            open_holds[hold_key].append((event.ts, event.mode))
         else:
             if not open_holds[hold_key]:
                 unmatched += 1
                 continue
-            start = open_holds[hold_key].pop()
+            start, _ = open_holds[hold_key].pop()
             span = event.ts - start
             entry.total_hold_span += span
             if span > entry.max_hold_span:
                 entry.max_hold_span = span
-    return ContentionReport(stats=stats, unmatched_releases=unmatched)
+    synthetic = 0
+    for (_, lock_id), dangling in open_holds.items():
+        if not dangling:
+            continue
+        entry = stats.get(_class_of(db, lock_id))
+        for _, mode in dangling:
+            synthetic += 1
+            if entry is None:
+                continue
+            entry.acquisitions -= 1
+            if mode == "r":
+                entry.read_acquisitions -= 1
+    return ContentionReport(
+        stats=stats, unmatched_releases=unmatched, synthetic_closes=synthetic
+    )

@@ -38,7 +38,9 @@ class StatsResult:
         rows = [["events (total)", self.trace["total"]]]
         rows += [[k, v] for k, v in self.trace.items() if k != "total"]
         rows += [[f"db.{k}", v] for k, v in self.db.items()]
-        rows += [[f"filtered.{k}", v] for k, v in self.filtered.items()]
+        # Sorted: the memory backend accumulates reasons in trace order,
+        # the SQLite backend GROUPs BY — byte parity needs one order.
+        rows += [[f"filtered.{k}", v] for k, v in sorted(self.filtered.items())]
         return render_table(["metric", "value"], rows, title="Sec. 7.2 — trace statistics")
 
 

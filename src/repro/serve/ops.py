@@ -1,7 +1,8 @@
 """The daemon's operation registry.
 
 One table maps each remote-able pipeline operation (``derive``,
-``check``, ``violations``, ``races``, ``health``) to a **validator**
+``check``, ``violations``, ``races``, ``stats``, ``health``) to a
+**validator**
 (raw request params → canonical params, raising ``ValueError`` on
 anything unknown or mistyped — classified ``BAD_REQUEST`` at the
 envelope) and a **runner** (canonical params → JSON-able result dict
@@ -95,6 +96,7 @@ _SPECS: Dict[str, Dict[str, Tuple[Callable[[Any], Any], Any]]] = {
         "examples": (_as_int, 0),
         "jobs": (_as_jobs, None),
     },
+    "stats": dict(_PIPELINE_FIELDS),
     "health": {
         "trace": (_as_str, _REQUIRED),
         "registry": (_as_str, "vfs"),
@@ -282,6 +284,61 @@ def _racer_store_database(result):
             store.close()
 
 
+def _run_stats(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.stats import StatsResult
+
+    pipeline = _pipeline(params)
+    trace_stats = pipeline.mix.tracer.stats
+    trace = {
+        "total": trace_stats.total_events,
+        "lock_ops": trace_stats.lock_ops,
+        "accesses": trace_stats.accesses,
+        "allocs": trace_stats.allocs,
+        "frees": trace_stats.frees,
+    }
+    if params["backend"] == "sqlite":
+        db_stats, filtered = _sqlite_stats(pipeline.store())
+    else:
+        db_stats = pipeline.db.stats()
+        filtered = pipeline.db.filtered_counts()
+    result = StatsResult(trace=trace, db=db_stats, filtered=filtered)
+    return {"text": result.render(), "exit_code": 0}
+
+
+def _sqlite_stats(store):
+    """``TraceDatabase.stats()``/``filtered_counts()`` straight from a
+    SQLite trace store — same keys, same values, no reconstruction."""
+
+    def one(sql: str) -> int:
+        return int(store.connection.execute(sql).fetchone()[0])
+
+    db_stats = {
+        "allocations": one("SELECT COUNT(*) FROM allocations"),
+        "frees": one(
+            "SELECT COUNT(*) FROM allocations WHERE free_ts IS NOT NULL"
+        ),
+        "locks": one("SELECT COUNT(*) FROM locks"),
+        "static_locks": one("SELECT COUNT(*) FROM locks WHERE is_static != 0"),
+        "embedded_locks": one(
+            "SELECT COUNT(*) FROM locks WHERE is_static = 0"
+        ),
+        "txns": one("SELECT COUNT(*) FROM txns"),
+        "accesses": one("SELECT COUNT(*) FROM accesses"),
+        "kept_accesses": one(
+            "SELECT COUNT(*) FROM accesses WHERE filter_reason IS NULL"
+        ),
+        "stacks": max(int(store.meta.get("stack_count", "1")), 1),
+    }
+    filtered = {
+        reason: int(count)
+        for reason, count in store.connection.execute(
+            "SELECT filter_reason, COUNT(*) FROM accesses "
+            "WHERE filter_reason IS NOT NULL GROUP BY filter_reason"
+        )
+    }
+    return db_stats, filtered
+
+
 def _run_health(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.db.health import ingest_path, render_diagnostics
     from repro.db.importer import ImportPolicy
@@ -321,6 +378,7 @@ _RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "check": _run_check,
     "violations": _run_violations,
     "races": _run_races,
+    "stats": _run_stats,
     "health": _run_health,
 }
 

@@ -1,0 +1,70 @@
+"""Interval reports for the live monitoring path (``watch``).
+
+Each :class:`IntervalReport` is the *delta* of the streaming engine's
+cumulative contention counters over one tick window ``[start_ts,
+end_ts)`` of the simulated trace clock — acquisitions, releases, a
+log2 hold-span histogram, and the hottest lock classes of the window.
+The engine snapshots its counters at every window boundary, so a
+report costs O(lock classes), not O(events), and the cumulative totals
+stay untouched.
+
+Spans are bucketed by bit length: bucket 0 holds zero-tick spans,
+bucket *i* holds spans in ``[2^(i-1), 2^i)`` — the same shape as
+lockstat-style latency histograms, cheap enough (one ``bit_length``
+per release) for the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.lockorder import LockClassKey, format_class
+
+#: One hottest-lock row: (class key, Δacquisitions, Δhold span).
+TopLock = Tuple[LockClassKey, int, int]
+
+
+def bucket_label(bucket: int) -> str:
+    """Human label of one histogram bucket (span range in ticks)."""
+    if bucket == 0:
+        return "0"
+    if bucket == 1:
+        return "1"
+    return f"{1 << (bucket - 1)}-{(1 << bucket) - 1}"
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """Contention deltas of one tick window."""
+
+    index: int
+    start_ts: int
+    end_ts: int
+    events: int
+    acquisitions: int
+    read_acquisitions: int
+    releases: int
+    #: Sparse log2 hold-span histogram delta: ((bucket, count), ...).
+    histogram_delta: Tuple[Tuple[int, int], ...]
+    #: Hottest lock classes of the window, by Δacquisitions.
+    top_locks: Tuple[TopLock, ...]
+
+    def format(self) -> str:
+        lines = [
+            f"[{self.index:>3}] ts {self.start_ts}..{self.end_ts}: "
+            f"{self.events} events, {self.acquisitions} acq "
+            f"({self.read_acquisitions} r), {self.releases} rel"
+        ]
+        if self.histogram_delta:
+            buckets = "  ".join(
+                f"{bucket_label(bucket)}:{count:+d}"
+                for bucket, count in self.histogram_delta
+            )
+            lines.append(f"      hold spans (ticks): {buckets}")
+        for key, delta_acq, delta_hold in self.top_locks:
+            lines.append(
+                f"      {format_class(key):<32} {delta_acq:+6d} acq  "
+                f"{delta_hold:+8d} held"
+            )
+        return "\n".join(lines)

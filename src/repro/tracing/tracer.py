@@ -39,6 +39,27 @@ StackFrames = Tuple[Tuple[str, str, int], ...]
 #: Stack id used when a context has no frames pushed.
 EMPTY_STACK_ID = 0
 
+#: Optional event-sink factory (``factory(tracer) -> sink``).  When
+#: installed, a newly constructed tracer's ``events`` attribute is
+#: whatever the factory returns instead of a plain list.  A sink only
+#: needs ``append`` (the record hot paths call nothing else), which is
+#: how the streaming engine (:mod:`repro.stream`) subscribes to the
+#: live event stream without adding a single branch to the hot loop.
+_SINK_FACTORY = None
+
+
+def install_sink_factory(factory):
+    """Install (or with ``None`` clear) the tracer event-sink factory.
+
+    Returns the previously installed factory so callers can restore it
+    — the streaming engine does this in a try/finally around one
+    workload run.
+    """
+    global _SINK_FACTORY
+    previous = _SINK_FACTORY
+    _SINK_FACTORY = factory
+    return previous
+
 
 @dataclass
 class TraceStats:
@@ -64,7 +85,9 @@ class Tracer:
     """
 
     def __init__(self) -> None:
-        self.events: List[Event] = []
+        self.events: List[Event] = (
+            [] if _SINK_FACTORY is None else _SINK_FACTORY(self)
+        )
         self.enabled = True
         self._n_lock_ops = 0
         self._n_accesses = 0

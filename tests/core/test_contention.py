@@ -6,7 +6,8 @@ from repro.core.contention import build_contention
 from repro.core.lockorder import format_class
 from repro.db.importer import import_tracer
 from repro.kernel.runtime import KernelRuntime
-from repro.kernel.structs import StructRegistry
+from repro.kernel.structs import Member, StructDef, StructRegistry
+from repro.tracing.events import LockEvent
 from tests.conftest import make_pair_struct
 
 
@@ -80,6 +81,115 @@ def test_render(traced):
     text = report_of(traced).render()
     assert "lock-usage statistics" in text
     assert "pair.lock_a" in text
+
+
+def test_read_write_acquisitions_counted_separately():
+    """rw-semaphore spans: shared and exclusive acquisitions both count
+    toward ``acquisitions``; only shared ones toward ``read_acquisitions``."""
+    rwpair = StructDef(
+        "rwpair",
+        [Member.scalar("a", 8), Member.lock("sem", "rw_semaphore")],
+    )
+    rt = KernelRuntime(StructRegistry([rwpair]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "rwpair")
+    for _ in range(2):
+        rt.run(rt.down_read(ctx, obj.lock("sem")))
+        rt.read(ctx, obj, "a")
+        rt.up_read(ctx, obj.lock("sem"))
+    rt.run(rt.down_write(ctx, obj.lock("sem")))
+    rt.write(ctx, obj, "a")
+    rt.up_write(ctx, obj.lock("sem"))
+    report = report_of(rt)
+    sem = {format_class(s.key): s for s in report.stats.values()}["rwpair.sem"]
+    assert sem.acquisitions == 3
+    assert sem.read_acquisitions == 2
+    assert report.synthetic_closes == 0
+
+
+def test_nested_reacquisition_of_same_class():
+    """Two instances of one lock class held in a nested (LIFO) pattern:
+    both spans are attributed to the shared class entry, the inner span
+    never swallowing the outer one."""
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    outer = rt.new_object(ctx, "pair")
+    inner = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, outer.lock("lock_a")))
+    rt.write(ctx, outer, "a")
+    rt.run(rt.spin_lock(ctx, inner.lock("lock_a")))
+    rt.write(ctx, inner, "a")
+    rt.spin_unlock(ctx, inner.lock("lock_a"))
+    rt.write(ctx, outer, "a")
+    rt.spin_unlock(ctx, outer.lock("lock_a"))
+    report = report_of(rt)
+    lock_a = {format_class(s.key): s for s in report.stats.values()}["pair.lock_a"]
+    assert lock_a.acquisitions == 2
+    # The outer hold brackets the inner one entirely, so max == outer
+    # and total == outer + inner > max.
+    assert lock_a.total_hold_span > lock_a.max_hold_span > 0
+    events = [e for e in rt.tracer.events if isinstance(e, LockEvent)]
+    spans = {}
+    open_ts = {}
+    for e in events:
+        if e.is_acquire:
+            open_ts[e.lock_id] = e.ts
+        else:
+            spans[e.lock_id] = e.ts - open_ts.pop(e.lock_id)
+    assert lock_a.total_hold_span == sum(spans.values())
+    assert lock_a.max_hold_span == max(spans.values())
+
+
+def test_span_math_against_hand_written_events():
+    """Hand-written acquire/release pairs with known spans: total, mean
+    and max must come out exactly (5, 10, 45 -> 60 / 20.0 / 45)."""
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    db = import_tracer(rt.tracer, rt.structs)
+    template = next(
+        e for e in rt.tracer.events
+        if isinstance(e, LockEvent) and e.is_acquire
+    )
+
+    def lock_event(ts, is_acquire):
+        return template._replace(ts=ts, is_acquire=is_acquire)
+
+    events = [
+        lock_event(0, True), lock_event(5, False),
+        lock_event(10, True), lock_event(20, False),
+        lock_event(100, True), lock_event(145, False),
+    ]
+    report = build_contention(events, db)
+    stats = {format_class(s.key): s for s in report.stats.values()}["pair.lock_a"]
+    assert stats.acquisitions == 3
+    assert stats.total_hold_span == 60
+    assert stats.mean_hold_span == 20.0
+    assert stats.max_hold_span == 45
+
+
+def test_dangling_hold_excluded_from_spans():
+    """Satellite regression: an acquire whose release never arrives is
+    the importer's *synthesized close* — it must not count as a real
+    acquisition (span unknown) and must be surfaced separately."""
+    rt = KernelRuntime(StructRegistry([make_pair_struct()]))
+    ctx = rt.new_task("t")
+    obj = rt.new_object(ctx, "pair")
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_a")))
+    rt.write(ctx, obj, "a")
+    rt.spin_unlock(ctx, obj.lock("lock_a"))
+    rt.run(rt.spin_lock(ctx, obj.lock("lock_b")))
+    rt.write(ctx, obj, "b")
+    # lock_b is never released: the trace is truncated mid-hold.
+    report = report_of(rt)
+    by_name = {format_class(s.key): s for s in report.stats.values()}
+    assert report.synthetic_closes == 1
+    assert by_name["pair.lock_b"].acquisitions == 0
+    assert by_name["pair.lock_b"].total_hold_span == 0
+    assert by_name["pair.lock_a"].acquisitions == 1
+    assert "1 unreleased hold(s) excluded" in report.render()
 
 
 def test_vfs_hotlocks(pipeline):
